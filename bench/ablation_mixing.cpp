@@ -1,0 +1,62 @@
+// Ablation: the two propagation-side design choices DESIGN.md calls out —
+// the mixing coefficient alpha (Algorithm 1 line 8) and the number of
+// propagation iterations (line 7). One corpus preparation is reused across
+// the whole sweep (GraphNerModel::prepare / finish).
+//
+// Expected shape (paper Table IV + Fig. 1 discussion): graph-weighted
+// mixing (small-to-moderate alpha) beats both extremes; one or two
+// propagation sweeps are enough, and many sweeps over-smooth.
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace graphner;
+
+  util::Cli cli("ablation_mixing", "Alpha and iteration-count sweeps");
+  auto scale = cli.flag<double>("scale", 1.0, "corpus scale");
+  auto seed = cli.flag<std::uint64_t>("seed", 42, "corpus seed");
+  cli.parse(argc, argv);
+
+  const auto data = corpus::generate_corpus(corpus::bc2gm_like_spec(*scale, *seed));
+  const auto config = bench::bc2gm_config(core::CrfProfile::kBanner);
+  const auto model = core::GraphNerModel::train(data.train, {}, config);
+  const auto context = model.prepare(data.train, data.test);
+
+  auto f_of = [&](const propagation::PropagationConfig& prop, double alpha) {
+    const auto result = model.finish(context, prop, alpha);
+    const auto anns = core::tags_to_annotations(data.test, result.graphner_tags);
+    return eval::evaluate_bc2gm(anns, data.test_gold, data.test_alternatives)
+        .metrics;
+  };
+
+  const eval::Metrics baseline = [&] {
+    const auto anns = core::tags_to_annotations(data.test, context.baseline_tags);
+    return eval::evaluate_bc2gm(anns, data.test_gold, data.test_alternatives)
+        .metrics;
+  }();
+  std::cout << "baseline (pure CRF): F = "
+            << util::TablePrinter::fmt(100 * baseline.f_score()) << "%\n\n";
+
+  util::TablePrinter alpha_table({"alpha", "P (%)", "R (%)", "F (%)"});
+  for (const double alpha : {0.0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    const auto m = f_of(config.propagation, alpha);
+    alpha_table.add_row({util::TablePrinter::fmt(alpha),
+                         util::TablePrinter::fmt(100 * m.precision()),
+                         util::TablePrinter::fmt(100 * m.recall()),
+                         util::TablePrinter::fmt(100 * m.f_score())});
+  }
+  alpha_table.print(std::cout,
+                    "Mixing-coefficient sweep (alpha = CRF weight; iterations = 2)");
+
+  util::TablePrinter iter_table({"#iterations", "P (%)", "R (%)", "F (%)"});
+  for (const std::size_t iters : {0U, 1U, 2U, 3U, 5U, 10U}) {
+    auto prop = config.propagation;
+    prop.iterations = iters;
+    const auto m = f_of(prop, config.alpha);
+    iter_table.add_row({std::to_string(iters),
+                        util::TablePrinter::fmt(100 * m.precision()),
+                        util::TablePrinter::fmt(100 * m.recall()),
+                        util::TablePrinter::fmt(100 * m.f_score())});
+  }
+  iter_table.print(std::cout, "\nPropagation-iteration sweep (alpha fixed)");
+  return 0;
+}

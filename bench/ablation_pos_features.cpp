@@ -1,0 +1,75 @@
+// Ablation: BANNER with vs without POS features.
+//
+// The published BANNER feeds HMM POS tags to its CRF; the GraphNER paper
+// inherits that. This bench trains the same order-2 CRF with and without
+// the POS feature group (HMM tagger trained on the lexical gold POS of
+// the training sentences) and reports the effect on the supervised
+// baseline — the substrate-level ablation behind DESIGN.md §1's "same
+// feature philosophy" claim.
+#include "bench/bench_common.hpp"
+#include "src/crf/trainer.hpp"
+#include "src/features/encoder.hpp"
+#include "src/postag/hmm_tagger.hpp"
+#include "src/postag/pos.hpp"
+
+namespace {
+
+using namespace graphner;
+
+eval::Metrics run_crf(const corpus::LabelledCorpus& data,
+                      const features::FeatureExtractor& extractor) {
+  const auto space = crf::StateSpace::order2();
+  crf::FeatureIndex index;
+  const auto batch =
+      features::encode_batch_for_training(data.train, extractor, index, space);
+  index.freeze();
+  crf::LinearChainCrf model(space, index.size());
+  crf::train_crf(model, batch, {});
+
+  std::vector<std::vector<text::Tag>> tags;
+  tags.reserve(data.test.size());
+  for (const auto& s : data.test)
+    tags.push_back(model.viterbi(features::encode_for_inference(s, extractor, index)));
+  const auto anns = core::tags_to_annotations(data.test, tags);
+  return eval::evaluate_bc2gm(anns, data.test_gold, data.test_alternatives).metrics;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli("ablation_pos_features", "BANNER CRF with vs without POS features");
+  auto scale = cli.flag<double>("scale", 0.5, "corpus scale");
+  auto seed = cli.flag<std::uint64_t>("seed", 42, "corpus seed");
+  cli.parse(argc, argv);
+
+  const auto data = corpus::generate_corpus(corpus::bc2gm_like_spec(*scale, *seed));
+
+  // HMM POS tagger trained on the lexical gold POS of the training side.
+  std::vector<std::vector<std::string>> gold_pos;
+  gold_pos.reserve(data.train.size());
+  for (const auto& s : data.train)
+    gold_pos.push_back(postag::assign_gold_pos(s.tokens));
+  const auto tagger = postag::HmmPosTagger::train(data.train, gold_pos);
+  std::cout << "HMM POS tagger: " << tagger.tagset_size() << " tags, train accuracy "
+            << util::TablePrinter::fmt(100 * tagger.accuracy(data.train, gold_pos), 2)
+            << "%\n";
+
+  const features::FeatureExtractor without{features::FeatureConfig{}};
+  features::FeatureConfig pos_config;
+  pos_config.pos_tagger = &tagger;
+  const features::FeatureExtractor with{pos_config};
+
+  const auto base = run_crf(data, without);
+  const auto posful = run_crf(data, with);
+
+  util::TablePrinter table({"System", "P (%)", "R (%)", "F (%)"});
+  auto row = [&](const std::string& name, const eval::Metrics& m) {
+    table.add_row({name, util::TablePrinter::fmt(100 * m.precision()),
+                   util::TablePrinter::fmt(100 * m.recall()),
+                   util::TablePrinter::fmt(100 * m.f_score())});
+  };
+  row("BANNER (no POS features)", base);
+  row("BANNER (+ HMM POS features)", posful);
+  table.print(std::cout, "\nPOS-feature ablation on the BC2GM-like corpus");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Shared plumbing for the table/figure reproduction harnesses.
+//
+// Each bench binary regenerates one exhibit of the paper on the synthetic
+// corpora (see DESIGN.md §1 for the substitution rationale). Absolute
+// numbers differ from the paper — the corpora are simulated — but each
+// harness prints the paper's published values alongside ours so the shape
+// comparison is one glance away.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "src/corpus/generator.hpp"
+#include "src/eval/metrics.hpp"
+#include "src/graphner/experiment.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+
+namespace graphner::bench {
+
+/// Cross-validated hyper-parameters for the synthetic corpora (the analog
+/// of the paper's Table IV; regenerate with bench/table4_hyperparams).
+/// Like the paper, the tuples differ per corpus x base model.
+inline core::GraphNerConfig bc2gm_config(core::CrfProfile profile) {
+  core::GraphNerConfig config;
+  config.profile = profile;
+  config.alpha = 0.5;
+  config.propagation = {1e-4, 1e-6, 1};
+  return config;
+}
+
+inline core::GraphNerConfig aml_config(core::CrfProfile profile) {
+  core::GraphNerConfig config;
+  config.profile = profile;
+  config.alpha = profile == core::CrfProfile::kBanner ? 0.5 : 0.85;
+  config.propagation = {1e-4, 1e-6, 1};
+  return config;
+}
+
+inline void add_metrics_row(util::TablePrinter& table, const std::string& category,
+                            const std::string& method, const eval::Metrics& metrics,
+                            const std::string& note = "") {
+  table.add_row({category, method, util::TablePrinter::fmt(100 * metrics.precision()),
+                 util::TablePrinter::fmt(100 * metrics.recall()),
+                 util::TablePrinter::fmt(100 * metrics.f_score()), note});
+}
+
+/// Reference row straight out of the paper (shape comparison only).
+inline void add_paper_row(util::TablePrinter& table, const std::string& category,
+                          const std::string& method, const std::string& p,
+                          const std::string& r, const std::string& f) {
+  table.add_row({category, method, p, r, f, "paper"});
+}
+
+}  // namespace graphner::bench

@@ -1,0 +1,148 @@
+// Microbenchmarks of the hot kernels (google-benchmark).
+//
+// Not a paper exhibit — these cover the inner loops whose complexity the
+// paper analyzes in §II-E: CRF forward-backward and Viterbi (order 1/2),
+// sparse cosine, exact k-NN construction, and one propagation sweep.
+#include <benchmark/benchmark.h>
+
+#include "src/crf/model.hpp"
+#include "src/graph/knn_graph.hpp"
+#include "src/graph/sparse_vector.hpp"
+#include "src/propagation/propagation.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace graphner;
+
+crf::EncodedSentence random_sentence(std::size_t length, std::size_t num_features,
+                                     util::Rng& rng) {
+  crf::EncodedSentence s;
+  s.features.resize(length);
+  for (auto& feats : s.features) {
+    for (int j = 0; j < 20; ++j)
+      feats.push_back(static_cast<crf::FeatureIndex::Id>(rng.below(num_features)));
+    std::sort(feats.begin(), feats.end());
+    feats.erase(std::unique(feats.begin(), feats.end()), feats.end());
+  }
+  return s;
+}
+
+crf::LinearChainCrf random_model(const crf::StateSpace& space,
+                                 std::size_t num_features, util::Rng& rng) {
+  crf::LinearChainCrf model(space, num_features);
+  std::vector<double> w(model.num_parameters());
+  for (auto& x : w) x = rng.normal(0.0, 0.3);
+  model.set_weights(w);
+  return model;
+}
+
+void BM_ForwardBackward(benchmark::State& state) {
+  util::Rng rng(1);
+  const auto space = state.range(0) == 2 ? crf::StateSpace::order2()
+                                         : crf::StateSpace::order1();
+  constexpr std::size_t kFeatures = 5000;
+  const auto model = random_model(space, kFeatures, rng);
+  const auto sentence = random_sentence(25, kFeatures, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.posteriors(sentence));
+  }
+  state.SetLabel("order " + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_ForwardBackward)->Arg(1)->Arg(2);
+
+void BM_Viterbi(benchmark::State& state) {
+  util::Rng rng(2);
+  const auto space = state.range(0) == 2 ? crf::StateSpace::order2()
+                                         : crf::StateSpace::order1();
+  constexpr std::size_t kFeatures = 5000;
+  const auto model = random_model(space, kFeatures, rng);
+  const auto sentence = random_sentence(25, kFeatures, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.viterbi(sentence));
+  }
+  state.SetLabel("order " + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_Viterbi)->Arg(1)->Arg(2);
+
+void BM_CrfGradient(benchmark::State& state) {
+  util::Rng rng(3);
+  const auto space = crf::StateSpace::order2();
+  constexpr std::size_t kFeatures = 5000;
+  const auto model = random_model(space, kFeatures, rng);
+  auto sentence = random_sentence(25, kFeatures, rng);
+  std::vector<text::Tag> tags(25, text::Tag::kO);
+  sentence.states = space.encode(tags);
+  std::vector<double> grad(model.num_parameters());
+  for (auto _ : state) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    benchmark::DoNotOptimize(model.log_likelihood(sentence, grad));
+  }
+}
+BENCHMARK(BM_CrfGradient);
+
+std::vector<graph::SparseVector> random_vectors(std::size_t count, std::size_t dims,
+                                                std::size_t nnz, util::Rng& rng) {
+  std::vector<graph::SparseVector> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::vector<graph::SparseEntry> entries;
+    for (std::size_t j = 0; j < nnz; ++j)
+      entries.push_back({static_cast<std::uint32_t>(rng.below(dims)),
+                         static_cast<float>(rng.uniform(0.1, 1.0))});
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.index < b.index; });
+    entries.erase(std::unique(entries.begin(), entries.end(),
+                              [](const auto& a, const auto& b) {
+                                return a.index == b.index;
+                              }),
+                  entries.end());
+    graph::SparseVector v(std::move(entries));
+    v.normalize();
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+void BM_SparseCosine(benchmark::State& state) {
+  util::Rng rng(4);
+  const auto vectors = random_vectors(2, 10000, static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vectors[0].cosine(vectors[1]));
+  }
+}
+BENCHMARK(BM_SparseCosine)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_KnnGraphBuild(benchmark::State& state) {
+  util::Rng rng(5);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto vectors = random_vectors(n, 2000, 24, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::build_knn_graph(vectors, {10, 100000, 1e-6}));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_KnnGraphBuild)->Arg(500)->Arg(1000)->Arg(2000)->Unit(benchmark::kMillisecond)->Complexity();
+
+void BM_PropagationSweep(benchmark::State& state) {
+  util::Rng rng(6);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  graph::KnnGraph knn(n, 10);
+  for (std::size_t v = 0; v < n; ++v) {
+    std::vector<graph::Edge> edges;
+    for (int e = 0; e < 10; ++e)
+      edges.push_back({static_cast<graph::VertexId>(rng.below(n)),
+                       static_cast<float>(rng.uniform(0.1, 1.0))});
+    knn.set_neighbours(static_cast<graph::VertexId>(v), std::move(edges));
+  }
+  std::vector<propagation::LabelDistribution> x(n, propagation::uniform_distribution());
+  std::vector<propagation::LabelDistribution> ref(n, propagation::uniform_distribution());
+  std::vector<bool> labelled(n, false);
+  for (std::size_t v = 0; v < n; v += 3) labelled[v] = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(propagation::propagate(knn, x, ref, labelled, {1e-4, 1e-6, 1}));
+  }
+}
+BENCHMARK(BM_PropagationSweep)->Arg(10000)->Arg(50000)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,97 @@
+// Table III — effect of the vertex representation used in graph
+// construction (All-features / Lexical-features / MI-selected) and of the
+// graph degree K (10 vs 5), on the BC2GM corpus.
+//
+// Expected shape: All-features best, Lexical close behind, MI-selected
+// competitive with far fewer feature types; K=5 a hair below K=10; every
+// variant still improves its base CRF.
+#include "bench/bench_common.hpp"
+#include "src/features/mi_selection.hpp"
+
+int main(int argc, char** argv) {
+  using namespace graphner;
+
+  util::Cli cli("table3_features", "Reproduce Table III (vertex representations)");
+  auto scale = cli.flag<double>("scale", 1.0, "corpus scale");
+  auto seed = cli.flag<std::uint64_t>("seed", 42, "corpus seed");
+  // The paper's thresholds (0.005 / 0.01) selected 85 / 40 features in
+  // BANNER's feature space; the synthetic corpus has a different MI scale,
+  // so the defaults here are recalibrated to select feature sets of
+  // comparable discriminative coverage (a too-small set collapses the
+  // vertex vectors and the k-NN neighbourhoods with them).
+  auto mi_hi = cli.flag<double>("mi-hi", 0.007, "high MI threshold");
+  auto mi_lo = cli.flag<double>("mi-lo", 0.004, "low MI threshold");
+  cli.parse(argc, argv);
+
+  const auto data = corpus::generate_corpus(corpus::bc2gm_like_spec(*scale, *seed));
+
+  // MI of BANNER features against the gold tags, over the training data.
+  const features::FeatureExtractor banner_extractor{features::FeatureConfig{}};
+  const auto mi_scores =
+      features::feature_mutual_information(data.train, banner_extractor);
+  const auto selected_lo = features::select_by_mi(mi_scores, *mi_lo);
+  const auto selected_hi = features::select_by_mi(mi_scores, *mi_hi);
+  std::cout << "MI selection: " << selected_lo.size() << " features > " << *mi_lo
+            << ", " << selected_hi.size() << " features > " << *mi_hi << "\n";
+
+  struct Variant {
+    std::string name;
+    graph::VertexFeatureConfig vertex;
+    std::size_t k = 10;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"All-features", {}, 10});
+  {
+    graph::VertexFeatureConfig v;
+    v.representation = graph::VertexRepresentation::kLexical;
+    variants.push_back({"Lexical-features", v, 10});
+  }
+  {
+    graph::VertexFeatureConfig v;
+    v.representation = graph::VertexRepresentation::kMiSelected;
+    v.selected_features = selected_lo;
+    variants.push_back({"MI > " + std::to_string(*mi_lo), v, 10});
+  }
+  {
+    graph::VertexFeatureConfig v;
+    v.representation = graph::VertexRepresentation::kMiSelected;
+    v.selected_features = selected_hi;
+    variants.push_back({"MI > " + std::to_string(*mi_hi), v, 10});
+  }
+  variants.push_back({"All-features", {}, 5});  // the paper's K=5 probe
+
+  util::TablePrinter table({"Method", "CRF Model", "Vector-Representation", "K",
+                            "F-Score (%)", "Source"});
+  table.add_row({"BANNER (paper)", "-", "-", "10", "84.38", "paper"});
+  table.add_row({"BANNER-ChemDNER (paper)", "-", "-", "10", "86.49", "paper"});
+  table.add_row({"GraphNER (paper)", "BANNER", "All-features", "10", "85.83", "paper"});
+  table.add_row({"GraphNER (paper)", "BANNER-ChemDNER", "All-features", "10", "87.34", "paper"});
+  table.add_row({"GraphNER (paper)", "BANNER-ChemDNER", "All-features", "5", "87.32", "paper"});
+
+  for (const auto profile :
+       {core::CrfProfile::kBanner, core::CrfProfile::kBannerChemDner}) {
+    bool baseline_reported = false;
+    for (const auto& variant : variants) {
+      auto config = bench::bc2gm_config(profile);
+      config.vertex_features = variant.vertex;
+      config.knn.k = variant.k;
+      const auto out = core::run_experiment(data, config);
+      if (!baseline_reported) {
+        table.add_row({core::profile_name(profile), "-", "-", "10",
+                       util::TablePrinter::fmt(100 * out.baseline.metrics.f_score()),
+                       "ours"});
+        baseline_reported = true;
+      }
+      table.add_row({"GraphNER", core::profile_name(profile), variant.name,
+                     std::to_string(variant.k),
+                     util::TablePrinter::fmt(100 * out.graphner.metrics.f_score()),
+                     "ours"});
+    }
+  }
+
+  table.print(std::cout,
+              "\nTable III — choice of feature sets for graph construction");
+  std::cout << "\nShape checks: every representation improves its base CRF; "
+               "All-features best; K=5 slightly below K=10.\n";
+  return 0;
+}

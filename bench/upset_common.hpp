@@ -1,0 +1,75 @@
+// Shared implementation for the Fig. 4 / Fig. 5 UpSet-style error analyses.
+//
+// Runs GraphNER (CRF = BANNER-ChemDNER) and its baseline on one corpus,
+// categorizes every false positive as gene-related or spurious, tabulates
+// the set intersections (the UpSet bars), flags corpus errors (detections
+// matching the pristine pre-noise truth), and runs the paper's chi-square
+// proportion tests.
+#pragma once
+
+#include "bench/bench_common.hpp"
+#include "src/eval/error_analysis.hpp"
+#include "src/stats/chi_square.hpp"
+
+namespace graphner::bench {
+
+inline int run_upset_analysis(const std::string& figure_name,
+                              const corpus::LabelledCorpus& data,
+                              const core::GraphNerConfig& config) {
+  const auto out = core::run_experiment(data, config);
+
+  const eval::ErrorCategorizer categorizer(data.gene_related_tokens, data.test_truth);
+  const auto graphner_fps =
+      categorizer.categorize_all(out.graphner.false_positive_details);
+  const auto baseline_fps =
+      categorizer.categorize_all(out.baseline.false_positive_details);
+
+  std::cout << figure_name << " — false-positive intersections, GraphNER (A) vs "
+            << core::profile_name(config.profile) << " (B)\n\n";
+
+  const auto table = eval::build_upset_table(graphner_fps, baseline_fps);
+  util::TablePrinter upset({"Category", "GraphNER only", "Both", "Baseline only"});
+  upset.add_row({"gene-related", std::to_string(table.gene_related.only_a),
+                 std::to_string(table.gene_related.both),
+                 std::to_string(table.gene_related.only_b)});
+  upset.add_row({"spurious", std::to_string(table.spurious.only_a),
+                 std::to_string(table.spurious.both),
+                 std::to_string(table.spurious.only_b)});
+  upset.print(std::cout, "UpSet intersection counts");
+
+  auto count_categories = [](const std::vector<eval::CategorizedError>& errors) {
+    std::size_t gene_related = 0;
+    std::size_t corpus_errors = 0;
+    for (const auto& e : errors) {
+      gene_related += e.category == eval::ErrorCategory::kGeneRelated;
+      corpus_errors += e.corpus_error;
+    }
+    return std::pair{gene_related, corpus_errors};
+  };
+  const auto [graphner_gene, graphner_corpus] = count_categories(graphner_fps);
+  const auto [baseline_gene, baseline_corpus] = count_categories(baseline_fps);
+
+  std::cout << "\nFP totals: GraphNER " << graphner_fps.size() << " ("
+            << graphner_gene << " gene-related, " << graphner_corpus
+            << " corpus errors), baseline " << baseline_fps.size() << " ("
+            << baseline_gene << " gene-related, " << baseline_corpus
+            << " corpus errors)\n";
+
+  // Chi-square two-sample test on the gene-related FP proportion
+  // (paper: p = 0.56 on AML, p = 0.029 on BC2GM).
+  const auto proportions = stats::proportion_test(
+      graphner_gene, std::max<std::size_t>(1, graphner_fps.size()),
+      baseline_gene, std::max<std::size_t>(1, baseline_fps.size()));
+  std::cout << "\nchi-square test, equal gene-related FP proportions: X2 = "
+            << util::TablePrinter::fmt(proportions.chi_square, 3)
+            << ", p = " << util::TablePrinter::fmt(proportions.p_value, 3) << '\n';
+
+  std::cout << "precision: GraphNER "
+            << util::TablePrinter::fmt(100 * out.graphner.metrics.precision())
+            << "% vs baseline "
+            << util::TablePrinter::fmt(100 * out.baseline.metrics.precision())
+            << "%\n";
+  return 0;
+}
+
+}  // namespace graphner::bench

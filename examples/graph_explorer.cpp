@@ -1,0 +1,75 @@
+// Graph explorer: a Fig. 1-style walkthrough of the similarity graph.
+//
+// Builds the all-features 3-gram graph over a BC2GM-like corpus and, for a
+// few gene-bearing vertices, shows their nearest neighbours with edge
+// weights and train-side labels, then the label distribution of each
+// vertex before and after graph propagation — the machinery behind the
+// paper's [tumor - 1] example.
+//
+//   $ graph_explorer [--scale 0.5] [--vertices 4]
+#include <iostream>
+
+#include "src/corpus/generator.hpp"
+#include "src/graphner/pipeline.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace graphner;
+
+  util::Cli cli("graph_explorer", "Inspect k-NN neighbourhoods and propagation");
+  auto scale = cli.flag<double>("scale", 0.5, "corpus scale");
+  auto seed = cli.flag<std::uint64_t>("seed", 42, "corpus seed");
+  auto show = cli.flag<std::size_t>("vertices", 4, "gene vertices to display");
+  cli.parse(argc, argv);
+
+  const auto data = corpus::generate_corpus(corpus::bc2gm_like_spec(*scale, *seed));
+  core::GraphNerConfig config;
+  const auto model = core::GraphNerModel::train(data.train, {}, config);
+  const auto context = model.prepare(data.train, data.test);
+
+  // Run propagation once so before/after distributions can be compared.
+  const auto propagated = propagation::propagate(
+      context.knn, context.x_initial, context.x_reference, context.is_labelled,
+      config.propagation);
+
+  auto fmt_dist = [](const propagation::LabelDistribution& d) {
+    return "(B " + util::TablePrinter::fmt(d[0]) + ", I " +
+           util::TablePrinter::fmt(d[1]) + ", O " + util::TablePrinter::fmt(d[2]) + ")";
+  };
+  auto label_of = [&](graph::VertexId v) -> std::string {
+    if (!context.is_labelled[v]) return "unlabelled";
+    const auto& r = context.x_reference[v];
+    const std::size_t arg =
+        r[0] >= r[1] ? (r[0] >= r[2] ? 0 : 2) : (r[1] >= r[2] ? 1 : 2);
+    return std::string(1, "BIO"[arg]);
+  };
+
+  std::cout << "graph: " << context.vertices.vertex_count() << " vertices, "
+            << context.knn.edge_count() << " edges\n";
+
+  std::size_t shown = 0;
+  for (std::size_t v = 0; v < context.vertices.vertex_count() && shown < *show; ++v) {
+    // Show labelled vertices whose reference peaks at B (gene starts).
+    if (!context.is_labelled[v]) continue;
+    const auto& ref = context.x_reference[v];
+    if (!(ref[0] > ref[1] && ref[0] > ref[2])) continue;
+    ++shown;
+
+    const auto vid = static_cast<graph::VertexId>(v);
+    std::cout << "\nvertex " << context.vertices.vertex_text(vid) << "  [" << label_of(vid)
+              << "]\n"
+              << "  X before propagation: " << fmt_dist(context.x_initial[v]) << '\n'
+              << "  X after propagation:  " << fmt_dist(propagated.distributions[v])
+              << "\n  nearest neighbours:\n";
+    for (const auto& edge : context.knn.neighbours(vid)) {
+      std::cout << "    w=" << util::TablePrinter::fmt(edge.weight) << "  "
+                << context.vertices.vertex_text(edge.target) << "  ["
+                << label_of(edge.target) << "]\n";
+    }
+  }
+  std::cout << "\nReading guide: neighbours sharing tokens/contexts carry the\n"
+               "same train-side label; propagation pulls each vertex toward\n"
+               "its neighbourhood — exactly the paper's Fig. 1 example.\n";
+  return 0;
+}

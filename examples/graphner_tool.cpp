@@ -1,0 +1,169 @@
+// The GraphNER command-line tool (the paper's deliverable #1: a gene
+// mention detection tool usable on biomedical text).
+//
+// Subcommands operate on BioCreative-II-format corpus directories
+// (train.in / test.in / train.eval / GENE.eval [/ ALTGENE.eval]):
+//
+//   graphner_tool generate --corpus bc2gm --dir DIR [--scale 1.0] [--seed 42]
+//       write a synthetic corpus in the shared-task layout
+//   graphner_tool tag --dir DIR --out FILE [--profile chemdner] [--alpha 0.5]
+//       train on train.in/train.eval, run Algorithm 1 transductively over
+//       test.in, write detections to FILE in the shared-task format
+//   graphner_tool eval --dir DIR --detections FILE
+//       score an annotation file with the BC2GM protocol
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+
+#include "src/corpus/bc2gm_io.hpp"
+#include "src/corpus/generator.hpp"
+#include "src/graphner/experiment.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+using namespace graphner;
+
+int cmd_generate(int argc, char** argv) {
+  util::Cli cli("graphner_tool generate", "write a synthetic corpus directory");
+  auto corpus_kind = cli.flag<std::string>("corpus", "bc2gm", "bc2gm | aml");
+  auto dir = cli.flag<std::string>("dir", "corpus_out", "output directory");
+  auto scale = cli.flag<double>("scale", 1.0, "corpus scale");
+  auto seed = cli.flag<std::uint64_t>("seed", 42, "corpus seed");
+  cli.parse(argc, argv);
+
+  const auto spec = (*corpus_kind == "aml") ? corpus::aml_like_spec(*scale, *seed)
+                                            : corpus::bc2gm_like_spec(*scale, *seed);
+  const auto data = corpus::generate_corpus(spec);
+  corpus::save_corpus(data, *dir);
+  std::cout << "wrote " << data.train.size() << " train / " << data.test.size()
+            << " test sentences to " << *dir << '\n';
+  return 0;
+}
+
+int cmd_tag(int argc, char** argv) {
+  util::Cli cli("graphner_tool tag", "train + transductive tagging");
+  auto dir = cli.flag<std::string>("dir", "corpus_out", "corpus directory");
+  auto out_path = cli.flag<std::string>("out", "detections.eval", "output annotations");
+  auto profile = cli.flag<std::string>("profile", "banner", "banner | chemdner");
+  auto alpha = cli.flag<double>("alpha", 0.5, "mixing coefficient");
+  auto mu = cli.flag<double>("mu", 1e-4, "neighbour-agreement weight");
+  auto nu = cli.flag<double>("nu", 1e-6, "uniform-prior weight");
+  auto iterations = cli.flag<std::size_t>("iterations", 1, "propagation sweeps");
+  auto order = cli.flag<int>("crf-order", 2, "CRF order (1 or 2)");
+  auto baseline_out = cli.flag<std::string>(
+      "baseline-out", "", "also write the pure-CRF detections here");
+  auto save_model = cli.flag<std::string>("save-model", "",
+                                          "persist the trained model here");
+  auto load_model = cli.flag<std::string>(
+      "load-model", "", "reuse a saved model instead of training");
+  cli.parse(argc, argv);
+
+  const auto data = corpus::load_corpus(*dir);
+  core::GraphNerConfig config;
+  config.profile = (*profile == "chemdner") ? core::CrfProfile::kBannerChemDner
+                                            : core::CrfProfile::kBanner;
+  config.alpha = *alpha;
+  config.propagation = {*mu, *nu, *iterations};
+  config.crf_order = *order;
+
+  // Obtain a model: load a saved one (its stored configuration wins) or
+  // train fresh on train.in/train.eval.
+  auto make_model = [&]() -> core::GraphNerModel {
+    if (!load_model->empty()) {
+      std::ifstream model_in(*load_model);
+      if (!model_in)
+        throw std::runtime_error("cannot read model " + *load_model);
+      return core::GraphNerModel::load(model_in);
+    }
+    std::vector<text::Sentence> unlabelled;
+    for (const auto& s : data.test) {
+      text::Sentence stripped;
+      stripped.id = s.id;
+      stripped.tokens = s.tokens;
+      unlabelled.push_back(std::move(stripped));
+    }
+    return core::GraphNerModel::train(data.train, unlabelled, config);
+  };
+  const auto model = make_model();
+  if (!save_model->empty()) {
+    std::ofstream model_out(*save_model);
+    model.save(model_out);
+    std::cout << "saved model to " << *save_model << '\n';
+  }
+
+  const auto result = model.test(data.train, data.test);
+  core::ExperimentOutput out;
+  out.baseline_detections = core::tags_to_annotations(data.test, result.baseline_tags);
+  out.graphner_detections = core::tags_to_annotations(data.test, result.graphner_tags);
+  out.baseline = eval::evaluate_bc2gm(out.baseline_detections, data.test_gold,
+                                      data.test_alternatives);
+  out.graphner = eval::evaluate_bc2gm(out.graphner_detections, data.test_gold,
+                                      data.test_alternatives);
+  {
+    std::ofstream file(*out_path);
+    text::write_annotations(file, out.graphner_detections);
+  }
+  std::cout << "wrote " << out.graphner_detections.size() << " detections to "
+            << *out_path << '\n';
+  if (!baseline_out->empty()) {
+    std::ofstream file(*baseline_out);
+    text::write_annotations(file, out.baseline_detections);
+    std::cout << "wrote " << out.baseline_detections.size()
+              << " baseline detections to " << *baseline_out << '\n';
+  }
+
+  util::TablePrinter table({"System", "P (%)", "R (%)", "F (%)"});
+  auto row = [&](const std::string& name, const eval::Metrics& m) {
+    table.add_row({name, util::TablePrinter::fmt(100 * m.precision()),
+                   util::TablePrinter::fmt(100 * m.recall()),
+                   util::TablePrinter::fmt(100 * m.f_score())});
+  };
+  row(core::profile_name(config.profile), out.baseline.metrics);
+  row("GraphNER", out.graphner.metrics);
+  table.print(std::cout, "Evaluation on " + *dir + "/GENE.eval");
+  return 0;
+}
+
+int cmd_eval(int argc, char** argv) {
+  util::Cli cli("graphner_tool eval", "score an annotation file");
+  auto dir = cli.flag<std::string>("dir", "corpus_out", "corpus directory");
+  auto detections_path = cli.flag<std::string>("detections", "detections.eval",
+                                               "annotation file to score");
+  cli.parse(argc, argv);
+
+  const auto data = corpus::load_corpus(*dir);
+  std::ifstream in(*detections_path);
+  if (!in) {
+    std::cerr << "cannot read " << *detections_path << '\n';
+    return 1;
+  }
+  const auto detections = text::parse_annotations(in);
+  const auto result =
+      eval::evaluate_bc2gm(detections, data.test_gold, data.test_alternatives);
+  std::cout << "TP " << result.metrics.true_positives << ", FP "
+            << result.metrics.false_positives << ", FN "
+            << result.metrics.false_negatives << '\n'
+            << "P " << util::TablePrinter::fmt(100 * result.metrics.precision())
+            << "%, R " << util::TablePrinter::fmt(100 * result.metrics.recall())
+            << "%, F " << util::TablePrinter::fmt(100 * result.metrics.f_score())
+            << "%\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: graphner_tool <generate|tag|eval> [flags]\n"
+                 "       graphner_tool <subcommand> --help\n";
+    return 2;
+  }
+  const std::string subcommand = argv[1];
+  if (subcommand == "generate") return cmd_generate(argc - 1, argv + 1);
+  if (subcommand == "tag") return cmd_tag(argc - 1, argv + 1);
+  if (subcommand == "eval") return cmd_eval(argc - 1, argv + 1);
+  std::cerr << "unknown subcommand '" << subcommand << "'\n";
+  return 2;
+}

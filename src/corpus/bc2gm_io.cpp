@@ -1,0 +1,147 @@
+#include "src/corpus/bc2gm_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "src/text/bio.hpp"
+#include "src/text/tokenizer.hpp"
+#include "src/util/logging.hpp"
+#include "src/util/strings.hpp"
+
+namespace graphner::corpus {
+namespace {
+
+namespace fs = std::filesystem;
+
+void write_sentences(const fs::path& path, const std::vector<text::Sentence>& sentences) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path.string());
+  for (const auto& s : sentences) out << s.id << ' ' << s.text() << '\n';
+}
+
+void write_annotation_file(const fs::path& path,
+                           const std::vector<text::Annotation>& anns) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path.string());
+  text::write_annotations(out, anns);
+}
+
+std::vector<text::Sentence> read_sentences(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read " + path.string());
+  std::vector<text::Sentence> sentences;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty()) continue;
+    const auto space = trimmed.find(' ');
+    text::Sentence s;
+    if (space == std::string_view::npos) {
+      s.id = std::string(trimmed);
+    } else {
+      s.id = std::string(trimmed.substr(0, space));
+      s.tokens = text::tokenize(trimmed.substr(space + 1));
+    }
+    sentences.push_back(std::move(s));
+  }
+  return sentences;
+}
+
+std::vector<text::Annotation> read_annotation_file(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  return text::parse_annotations(in);
+}
+
+void apply_tags(std::vector<text::Sentence>& sentences,
+                const std::vector<text::Annotation>& anns) {
+  const auto index = text::index_annotations(anns);
+  for (auto& s : sentences) {
+    const auto it = index.find(s.id);
+    s.tags = tags_from_annotations(
+        s, it == index.end() ? std::vector<text::CharSpan>{} : it->second);
+  }
+}
+
+}  // namespace
+
+std::vector<text::Tag> tags_from_annotations(const text::Sentence& sentence,
+                                             const std::vector<text::CharSpan>& spans) {
+  // Map each token to its space-free char range, then align annotations.
+  std::vector<text::CharSpan> token_ranges;
+  token_ranges.reserve(sentence.size());
+  std::size_t offset = 0;
+  for (const auto& tok : sentence.tokens) {
+    token_ranges.push_back({offset, offset + tok.size() - 1});
+    offset += tok.size();
+  }
+
+  std::vector<text::TokenSpan> token_spans;
+  std::size_t dropped = 0;
+  for (const auto& span : spans) {
+    std::size_t first = sentence.size();
+    std::size_t last = sentence.size();
+    for (std::size_t i = 0; i < token_ranges.size(); ++i) {
+      if (token_ranges[i].first == span.first) first = i;
+      if (token_ranges[i].last == span.last) last = i;
+    }
+    if (first >= sentence.size() || last >= sentence.size() || first > last) {
+      ++dropped;  // annotation does not align with token boundaries
+      continue;
+    }
+    token_spans.push_back({first, last});
+  }
+  if (dropped > 0)
+    util::log_debug("bc2gm_io: dropped ", dropped,
+                    " misaligned annotations in sentence ", sentence.id);
+  std::sort(token_spans.begin(), token_spans.end());
+  return text::encode_bio(token_spans, sentence.size());
+}
+
+void save_corpus(const LabelledCorpus& corpus, const fs::path& directory) {
+  fs::create_directories(directory);
+  write_sentences(directory / "train.in", corpus.train);
+  write_sentences(directory / "test.in", corpus.test);
+
+  std::vector<text::Annotation> train_gold;
+  for (const auto& s : corpus.train)
+    for (auto& ann : text::annotations_from_tags(s)) train_gold.push_back(std::move(ann));
+  write_annotation_file(directory / "train.eval", train_gold);
+  write_annotation_file(directory / "GENE.eval", corpus.test_gold);
+  if (!corpus.test_alternatives.empty())
+    write_annotation_file(directory / "ALTGENE.eval", corpus.test_alternatives);
+  if (!corpus.test_truth.empty())
+    write_annotation_file(directory / "TRUTH.eval", corpus.test_truth);
+
+  // Gene-related token list for the error categorizer.
+  std::ofstream lexicon(directory / "gene_tokens.txt");
+  for (const auto& tok : corpus.gene_related_tokens) lexicon << tok << '\n';
+  util::log_info("bc2gm_io: wrote corpus '", corpus.name, "' to ", directory.string());
+}
+
+LabelledCorpus load_corpus(const fs::path& directory) {
+  LabelledCorpus corpus;
+  corpus.name = directory.filename().string();
+  corpus.train = read_sentences(directory / "train.in");
+  corpus.test = read_sentences(directory / "test.in");
+
+  apply_tags(corpus.train, read_annotation_file(directory / "train.eval"));
+  corpus.test_gold = read_annotation_file(directory / "GENE.eval");
+  apply_tags(corpus.test, corpus.test_gold);
+  corpus.test_alternatives = read_annotation_file(directory / "ALTGENE.eval");
+  corpus.test_truth = read_annotation_file(directory / "TRUTH.eval");
+
+  std::ifstream lexicon(directory / "gene_tokens.txt");
+  std::string token;
+  while (std::getline(lexicon, token)) {
+    const auto trimmed = util::trim(token);
+    if (!trimmed.empty()) corpus.gene_related_tokens.emplace_back(trimmed);
+  }
+  util::log_info("bc2gm_io: loaded corpus '", corpus.name, "': ",
+                 corpus.train.size(), " train / ", corpus.test.size(),
+                 " test sentences");
+  return corpus;
+}
+
+}  // namespace graphner::corpus

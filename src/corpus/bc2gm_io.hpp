@@ -1,0 +1,39 @@
+// BioCreative II shared-task on-disk format.
+//
+// A corpus directory holds:
+//   train.in      one sentence per line:  "<sentence-id> <raw text>"
+//   test.in       same layout for the test side
+//   train.eval    gold annotations for the training sentences
+//   GENE.eval     primary gold annotations for the test sentences
+//   ALTGENE.eval  alternative (boundary-variant) annotations, optional
+//
+// This mirrors the real shared-task release closely enough that the tool
+// can be pointed at the original data (train/test .in + .eval files) by
+// anyone who has it, while the generator writes the same layout for the
+// synthetic corpora. Sentences are re-tokenized on load with the
+// biomedical tokenizer; tags are reconstructed from the char-offset
+// annotations (offsets count non-space characters, as in the task).
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "src/corpus/corpus.hpp"
+
+namespace graphner::corpus {
+
+/// Write `corpus` into `directory` (created if missing). `test_truth` is
+/// stored as TRUTH.eval when present so error analyses survive a roundtrip.
+void save_corpus(const LabelledCorpus& corpus, const std::filesystem::path& directory);
+
+/// Load a corpus directory. Missing ALTGENE.eval / TRUTH.eval are fine;
+/// throws std::runtime_error when the .in files are absent or unreadable.
+[[nodiscard]] LabelledCorpus load_corpus(const std::filesystem::path& directory);
+
+/// Reconstruct BIO tags for a tokenized sentence from char-offset
+/// annotations (exposed for tests). Annotations that do not align with
+/// token boundaries are dropped.
+[[nodiscard]] std::vector<text::Tag> tags_from_annotations(
+    const text::Sentence& sentence, const std::vector<text::CharSpan>& spans);
+
+}  // namespace graphner::corpus

@@ -1,0 +1,126 @@
+#include "src/corpus/gene_lexicon.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "src/corpus/wordlists.hpp"
+#include "src/util/strings.hpp"
+
+namespace graphner::corpus {
+namespace {
+
+/// Abbreviate a descriptive name: first letters of content tokens, uppercased,
+/// optionally with a trailing digit ("wilms tumor 1" -> "WT1").
+std::string abbreviate(const std::vector<std::string>& tokens) {
+  std::string out;
+  for (const auto& tok : tokens) {
+    if (tok == "-" || tok.empty()) continue;
+    if (util::is_all_digits(tok)) {
+      out += tok;
+      continue;
+    }
+    out += static_cast<char>(std::toupper(static_cast<unsigned char>(tok[0])));
+  }
+  return out;
+}
+
+GeneEntity make_messy_entity(util::Rng& rng) {
+  GeneEntity entity;
+  entity.messy = true;
+
+  const auto mods = gene_modifiers();
+  const auto heads = gene_head_nouns();
+  const auto greek = greek_letters();
+
+  // Canonical descriptive name: 1-2 modifiers + head noun, optional number
+  // or Greek-letter suffix.
+  std::vector<std::string> name;
+  name.emplace_back(rng.pick(mods));
+  if (rng.flip(0.45)) name.emplace_back(rng.pick(mods));
+  name.emplace_back(rng.pick(heads));
+
+  const bool numbered = rng.flip(0.5);
+  const bool greekified = !numbered && rng.flip(0.3);
+  std::string number = std::to_string(1 + rng.below(9));
+
+  std::vector<std::string> canonical = name;
+  if (numbered) {
+    canonical.emplace_back("-");
+    canonical.emplace_back(number);
+  } else if (greekified) {
+    canonical.emplace_back(rng.pick(greek));
+  }
+  entity.variants.push_back(canonical);
+
+  // Variant: no hyphen ("wilms tumor 1").
+  if (numbered) {
+    std::vector<std::string> v = name;
+    v.push_back(number);
+    entity.variants.push_back(std::move(v));
+  }
+  // Variant: bare descriptive name without the suffix.
+  if (numbered || greekified) entity.variants.push_back(name);
+  // Variant: abbreviation symbol.
+  std::vector<std::string> abbr_tokens = name;
+  if (numbered) abbr_tokens.push_back(number);
+  const std::string symbol = abbreviate(abbr_tokens);
+  if (symbol.size() >= 2) entity.variants.push_back({symbol});
+
+  return entity;
+}
+
+GeneEntity make_hgnc_entity(util::Rng& rng) {
+  GeneEntity entity;
+  entity.messy = false;
+  const std::string symbol = make_hgnc_symbol(rng);
+  entity.variants.push_back({symbol});
+  // Occasional hyphen-split variant ("SH2-B3" style) seen even in clean text.
+  if (util::has_digit(symbol) && symbol.size() >= 4 && rng.flip(0.2)) {
+    std::size_t split = symbol.size() - 1;
+    while (split > 1 && std::isdigit(static_cast<unsigned char>(symbol[split - 1])))
+      --split;
+    if (split > 1 && split < symbol.size()) {
+      entity.variants.push_back(
+          {symbol.substr(0, split), "-", symbol.substr(split)});
+    }
+  }
+  return entity;
+}
+
+}  // namespace
+
+std::string make_hgnc_symbol(util::Rng& rng) {
+  static constexpr char kLetters[] = "ABCDEFGHIKLMNPRSTUWXZ";
+  const std::size_t letters = 2 + rng.below(3);  // 2-4 letters
+  std::string symbol;
+  for (std::size_t i = 0; i < letters; ++i)
+    symbol += kLetters[rng.below(sizeof(kLetters) - 1)];
+  if (rng.flip(0.8)) symbol += std::to_string(1 + rng.below(19));
+  return symbol;
+}
+
+GeneLexicon GeneLexicon::generate(const LexiconConfig& config, util::Rng& rng) {
+  GeneLexicon lexicon;
+  std::set<std::string> seen;
+  while (lexicon.entities_.size() < config.num_genes) {
+    const bool messy = rng.flip(config.messy_fraction);
+    GeneEntity entity = messy ? make_messy_entity(rng) : make_hgnc_entity(rng);
+    const std::string key = util::join(entity.variants.front(), " ");
+    if (!seen.insert(key).second) continue;  // uniqueness on canonical name
+    lexicon.entities_.push_back(std::move(entity));
+  }
+  return lexicon;
+}
+
+std::vector<std::string> GeneLexicon::gene_related_tokens() const {
+  std::set<std::string> tokens;
+  for (const auto& entity : entities_)
+    for (const auto& variant : entity.variants)
+      for (const auto& tok : variant)
+        if (tok != "-" && !util::is_all_digits(tok))
+          tokens.insert(util::to_lower(tok));
+  return {tokens.begin(), tokens.end()};
+}
+
+}  // namespace graphner::corpus

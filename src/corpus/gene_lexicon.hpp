@@ -1,0 +1,54 @@
+// Synthetic gene nomenclature.
+//
+// Two naming styles mirror the paper's corpus contrast:
+//  * HGNC style  — short standardized symbols ("FLT3", "NPM1"-shaped),
+//    dominant in the AML-like corpus (clinical genetics articles).
+//  * messy style — descriptive multi-word names with hyphen/number/Greek
+//    variants ("wilms tumor - 1", "lymphocyte adaptor protein"), common in
+//    the BC2GM-like corpus (broad biology, inconsistent notation).
+//
+// Each entity carries several surface variants; the generator samples a
+// variant per mention, and the variant set also feeds the alternative-
+// annotation machinery (ALTGENE) on the BC2GM-like corpus.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/util/rng.hpp"
+
+namespace graphner::corpus {
+
+/// One gene entity with all of its acceptable surface forms (tokenized).
+struct GeneEntity {
+  std::vector<std::vector<std::string>> variants;  ///< variants[0] = canonical
+  bool messy = false;  ///< true for descriptive multi-word naming style
+};
+
+struct LexiconConfig {
+  std::size_t num_genes = 200;
+  double messy_fraction = 0.5;  ///< share of entities with descriptive names
+};
+
+class GeneLexicon {
+ public:
+  /// Deterministically generate a lexicon from `rng`.
+  static GeneLexicon generate(const LexiconConfig& config, util::Rng& rng);
+
+  [[nodiscard]] const std::vector<GeneEntity>& entities() const noexcept {
+    return entities_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return entities_.size(); }
+
+  /// All tokens that appear inside any gene variant (lowercased); used by
+  /// the error-analysis categorizer ("gene-related" vs "spurious" FPs).
+  [[nodiscard]] std::vector<std::string> gene_related_tokens() const;
+
+ private:
+  std::vector<GeneEntity> entities_;
+};
+
+/// Generate one HGNC-style symbol, e.g. "FLT3" / "SH2B3" / "NPM1".
+[[nodiscard]] std::string make_hgnc_symbol(util::Rng& rng);
+
+}  // namespace graphner::corpus

@@ -1,0 +1,295 @@
+#include "src/corpus/generator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "src/corpus/templates.hpp"
+#include "src/corpus/wordlists.hpp"
+#include "src/text/bio.hpp"
+#include "src/text/tokenizer.hpp"
+#include "src/util/strings.hpp"
+
+namespace graphner::corpus {
+namespace {
+
+/// Everything needed while realizing sentences from templates.
+struct GeneratorState {
+  const CorpusSpec* spec = nullptr;
+  const GeneLexicon* lexicon = nullptr;
+  std::vector<Template> bank;
+  std::size_t shared_gene_count = 0;  ///< entities [0, shared) appear anywhere
+  std::vector<std::string> acronym_pool;
+  std::size_t shared_acronym_count = 0;
+  util::Rng rng;
+
+  GeneratorState(const CorpusSpec& s, const GeneLexicon& lex)
+      : spec(&s), lexicon(&lex), rng(s.seed) {
+    bank = parse_bank(s.clinical_register ? clinical_patterns() : abstract_patterns());
+    const auto reserved = static_cast<std::size_t>(
+        s.test_only_gene_fraction * static_cast<double>(lex.size()));
+    shared_gene_count = lex.size() > reserved ? lex.size() - reserved : lex.size();
+
+    // Acronym inventory: the static clinical list plus generated
+    // HGNC-shaped symbols, deterministically derived from the corpus seed.
+    util::Rng acr_rng(s.seed ^ 0x5eedac20ULL);
+    for (const auto& a : acronyms()) {
+      if (acronym_pool.size() >= s.num_acronyms) break;
+      acronym_pool.emplace_back(a);
+    }
+    while (acronym_pool.size() < s.num_acronyms)
+      acronym_pool.push_back(make_hgnc_symbol(acr_rng));
+    const auto acr_reserved = static_cast<std::size_t>(
+        s.test_only_acronym_fraction * static_cast<double>(acronym_pool.size()));
+    shared_acronym_count = acronym_pool.size() > acr_reserved
+                               ? acronym_pool.size() - acr_reserved
+                               : acronym_pool.size();
+  }
+};
+
+/// One realized sentence plus its true mention spans.
+struct Realized {
+  std::vector<std::string> tokens;
+  std::vector<text::TokenSpan> mentions;
+  /// For each mention: index of the realized lexicon entity (for variants).
+  std::vector<std::size_t> mention_entities;
+};
+
+void append_tokens(Realized& out, std::string_view phrase) {
+  for (auto& tok : text::tokenize(phrase)) out.tokens.push_back(std::move(tok));
+}
+
+std::size_t pick_gene_entity(GeneratorState& state, bool is_test) {
+  const bool use_test_only =
+      is_test && state.shared_gene_count < state.lexicon->size() &&
+      state.rng.flip(state.spec->test_only_draw_rate);
+  if (use_test_only) {
+    const std::size_t extra = state.lexicon->size() - state.shared_gene_count;
+    // Zipf here too: unseen genes *recur* within the test set, which is
+    // what lets corpus-level averaging recover them.
+    return state.shared_gene_count + state.rng.zipf(extra);
+  }
+  // Zipf-ish over the shared inventory so a handful of genes recur often —
+  // this is what gives the 3-gram graph informative repeated contexts.
+  return state.rng.zipf(state.shared_gene_count);
+}
+
+const std::string& pick_acronym(GeneratorState& state, bool is_test) {
+  const bool use_test_only =
+      is_test && state.shared_acronym_count < state.acronym_pool.size() &&
+      state.rng.flip(state.spec->test_only_acronym_draw_rate);
+  if (use_test_only) {
+    const std::size_t extra = state.acronym_pool.size() - state.shared_acronym_count;
+    return state.acronym_pool[state.shared_acronym_count + state.rng.zipf(extra)];
+  }
+  return state.acronym_pool[state.rng.zipf(state.shared_acronym_count)];
+}
+
+Realized realize(GeneratorState& state, const Template& tmpl, bool is_test) {
+  Realized out;
+  auto& rng = state.rng;
+  for (const auto& slot : tmpl.slots) {
+    switch (slot.kind) {
+      case SlotKind::kLiteral:
+        out.tokens.push_back(slot.literal);
+        break;
+      case SlotKind::kGene: {
+        const std::size_t entity_idx = pick_gene_entity(state, is_test);
+        const GeneEntity& entity = state.lexicon->entities()[entity_idx];
+        // Canonical variant dominates; others appear occasionally.
+        const std::size_t variant_idx =
+            (entity.variants.size() > 1 && rng.flip(0.3))
+                ? 1 + rng.below(entity.variants.size() - 1)
+                : 0;
+        const auto& variant = entity.variants[variant_idx];
+        const std::size_t first = out.tokens.size();
+        for (const auto& tok : variant) out.tokens.push_back(tok);
+        out.mentions.push_back({first, out.tokens.size() - 1});
+        out.mention_entities.push_back(entity_idx);
+        break;
+      }
+      case SlotKind::kTrap:
+        append_tokens(out, rng.flip(0.5) ? rng.pick(cell_lines()) : rng.pick(places()));
+        break;
+      case SlotKind::kAcronym:
+        out.tokens.push_back(pick_acronym(state, is_test));
+        break;
+      case SlotKind::kDisease:
+        append_tokens(out, rng.pick(diseases()));
+        break;
+      case SlotKind::kMethod:
+        append_tokens(out, rng.pick(methods()));
+        break;
+      case SlotKind::kVerb:
+        out.tokens.emplace_back(rng.pick(verbs()));
+        break;
+      case SlotKind::kAdjective:
+        out.tokens.emplace_back(rng.pick(adjectives()));
+        break;
+      case SlotKind::kNoun:
+        out.tokens.emplace_back(rng.pick(background_words()));
+        break;
+      case SlotKind::kNumber:
+        out.tokens.push_back(std::to_string(1 + rng.below(99)));
+        break;
+    }
+  }
+  return out;
+}
+
+std::string make_sentence_id(const CorpusSpec& spec, std::string_view side,
+                             std::size_t index) {
+  std::ostringstream id;
+  if (spec.sentences_per_document > 0) {
+    id << spec.name << "-doc" << (index / spec.sentences_per_document) << '-';
+  } else {
+    id << spec.name << '-';
+  }
+  id << side << '-' << index;
+  return id.str();
+}
+
+/// Boundary-variant alternatives for a mention, in the ALTGENE spirit:
+/// accept the mention without its leading modifier and/or without its
+/// trailing "- N" / single-token suffix.
+std::vector<text::TokenSpan> boundary_alternatives(const text::TokenSpan& span) {
+  std::vector<text::TokenSpan> alts;
+  if (span.length() >= 2) {
+    alts.push_back({span.first + 1, span.last});   // drop leading token
+    alts.push_back({span.first, span.last - 1});   // drop trailing token
+  }
+  if (span.length() >= 3)
+    alts.push_back({span.first, span.last - 2});   // drop "- N" style suffix
+  return alts;
+}
+
+}  // namespace
+
+CorpusSpec bc2gm_like_spec(double scale, std::uint64_t seed) {
+  CorpusSpec spec;
+  spec.name = "bc2gm";
+  spec.train_sentences = static_cast<std::size_t>(1500 * scale);
+  spec.test_sentences = static_cast<std::size_t>(500 * scale);
+  spec.lexicon.num_genes = std::max<std::size_t>(60, static_cast<std::size_t>(200 * scale));
+  spec.lexicon.messy_fraction = 0.6;  // broad-biology notation chaos
+  spec.test_only_gene_fraction = 0.15;
+  spec.test_only_draw_rate = 0.3;
+  // Trap inventory grows with the corpus so the per-sentence pressure from
+  // unseen gene-shaped non-genes stays constant across scales.
+  spec.num_acronyms = std::max<std::size_t>(40, static_cast<std::size_t>(40 * scale));
+  spec.test_only_acronym_fraction = 0.5;
+  spec.test_only_acronym_draw_rate = 0.7;
+  // Undergraduate annotators: visible error rates in both splits.
+  spec.train_noise = NoiseSpec{0.03, 0.04, 0.012};
+  spec.test_noise = NoiseSpec{0.03, 0.04, 0.012};
+  spec.alternatives = true;
+  spec.clinical_register = false;
+  spec.sentences_per_document = 0;
+  spec.seed = seed;
+  return spec;
+}
+
+CorpusSpec aml_like_spec(double scale, std::uint64_t seed) {
+  CorpusSpec spec;
+  spec.name = "aml";
+  spec.train_sentences = static_cast<std::size_t>(1050 * scale);
+  spec.test_sentences = static_cast<std::size_t>(395 * scale);
+  spec.lexicon.num_genes = std::max<std::size_t>(40, static_cast<std::size_t>(120 * scale));
+  spec.lexicon.messy_fraction = 0.08;  // HGNC discipline
+  spec.test_only_gene_fraction = 0.10;
+  spec.test_only_draw_rate = 0.15;
+  spec.num_acronyms = std::max<std::size_t>(30, static_cast<std::size_t>(30 * scale));
+  spec.test_only_acronym_fraction = 0.4;
+  spec.test_only_acronym_draw_rate = 0.5;
+  // Expert curators: almost clean gold standard (spurious annotations in
+  // particular are vanishingly rare in expert-reviewed corpora).
+  spec.train_noise = NoiseSpec{0.004, 0.006, 0.0005};
+  spec.test_noise = NoiseSpec{0.004, 0.005, 0.0005};
+  spec.alternatives = false;  // the AML corpus shipped no ALTGENE file
+  spec.clinical_register = true;
+  spec.sentences_per_document = 130;  // ~80 full-text docs at scale 10
+  spec.seed = seed;
+  return spec;
+}
+
+LabelledCorpus generate_corpus(const CorpusSpec& spec) {
+  util::Rng lexicon_rng(spec.seed ^ 0xa5a5a5a5ULL);
+  const GeneLexicon lexicon = GeneLexicon::generate(spec.lexicon, lexicon_rng);
+  GeneratorState state(spec, lexicon);
+
+  LabelledCorpus corpus;
+  corpus.name = spec.name;
+  corpus.gene_related_tokens = lexicon.gene_related_tokens();
+
+  auto make_side = [&](std::size_t count, bool is_test,
+                       std::vector<text::Sentence>& sink) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const Template& tmpl = state.bank[state.rng.below(state.bank.size())];
+      Realized realized = realize(state, tmpl, is_test);
+
+      text::Sentence sentence;
+      sentence.id = make_sentence_id(spec, is_test ? "test" : "train", i);
+      sentence.tokens = std::move(realized.tokens);
+
+      const NoiseSpec& noise = is_test ? spec.test_noise : spec.train_noise;
+      const auto observed =
+          corrupt_spans(realized.mentions, sentence.size(), noise, state.rng);
+      sentence.tags = text::encode_bio(observed, sentence.size());
+
+      if (is_test) {
+        // Primary gold annotations from the observed (noisy) spans.
+        for (auto& ann : text::annotations_from_tags(sentence))
+          corpus.test_gold.push_back(std::move(ann));
+        // Pristine truth for the error analysis.
+        for (const auto& span : realized.mentions) {
+          text::Annotation ann;
+          ann.sentence_id = sentence.id;
+          ann.span = sentence.to_char_span(span);
+          ann.mention = sentence.span_text(span);
+          corpus.test_truth.push_back(std::move(ann));
+        }
+        // Boundary alternatives for multi-token (messy-style) mentions.
+        if (spec.alternatives) {
+          for (const auto& span : observed) {
+            for (const auto& alt : boundary_alternatives(span)) {
+              text::Annotation ann;
+              ann.sentence_id = sentence.id;
+              ann.span = sentence.to_char_span(alt);
+              ann.mention = sentence.span_text(alt);
+              corpus.test_alternatives.push_back(std::move(ann));
+            }
+          }
+        }
+      }
+      sink.push_back(std::move(sentence));
+    }
+  };
+
+  make_side(spec.train_sentences, /*is_test=*/false, corpus.train);
+  make_side(spec.test_sentences, /*is_test=*/true, corpus.test);
+  return corpus;
+}
+
+std::vector<text::Sentence> generate_unlabelled(const CorpusSpec& spec,
+                                                std::size_t count,
+                                                std::uint64_t seed) {
+  CorpusSpec shifted = spec;
+  shifted.seed = seed;
+  util::Rng lexicon_rng(spec.seed ^ 0xa5a5a5a5ULL);  // same lexicon as labelled
+  const GeneLexicon lexicon = GeneLexicon::generate(spec.lexicon, lexicon_rng);
+  GeneratorState state(shifted, lexicon);
+
+  std::vector<text::Sentence> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Template& tmpl = state.bank[state.rng.below(state.bank.size())];
+    Realized realized = realize(state, tmpl, /*is_test=*/true);
+    text::Sentence sentence;
+    sentence.id = spec.name + "-unlab-" + std::to_string(i);
+    sentence.tokens = std::move(realized.tokens);
+    out.push_back(std::move(sentence));
+  }
+  return out;
+}
+
+}  // namespace graphner::corpus

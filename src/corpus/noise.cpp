@@ -1,0 +1,58 @@
+#include "src/corpus/noise.hpp"
+
+#include <algorithm>
+
+namespace graphner::corpus {
+namespace {
+
+[[nodiscard]] bool overlaps(const text::TokenSpan& a, const text::TokenSpan& b) noexcept {
+  return a.first <= b.last && b.first <= a.last;
+}
+
+}  // namespace
+
+std::vector<text::TokenSpan> corrupt_spans(const std::vector<text::TokenSpan>& truth,
+                                           std::size_t length, const NoiseSpec& spec,
+                                           util::Rng& rng) {
+  std::vector<text::TokenSpan> observed;
+  observed.reserve(truth.size());
+  for (const auto& span : truth) {
+    if (rng.flip(spec.miss_rate)) continue;  // annotator missed the mention
+    text::TokenSpan out = span;
+    if (rng.flip(spec.boundary_rate)) {
+      // Four boundary errors, chosen uniformly among the legal ones:
+      // shrink left / shrink right / extend left / extend right.
+      std::vector<int> moves;
+      if (out.first < out.last) { moves.push_back(0); moves.push_back(1); }
+      if (out.first > 0) moves.push_back(2);
+      if (out.last + 1 < length) moves.push_back(3);
+      if (!moves.empty()) {
+        switch (moves[rng.below(moves.size())]) {
+          case 0: ++out.first; break;
+          case 1: --out.last; break;
+          case 2: --out.first; break;
+          case 3: ++out.last; break;
+        }
+      }
+    }
+    observed.push_back(out);
+  }
+  if (length > 0 && rng.flip(spec.spurious_rate)) {
+    // Annotate a random non-gene unigram as a gene.
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      const std::size_t pos = rng.below(length);
+      const text::TokenSpan bogus{pos, pos};
+      const bool clash = std::any_of(
+          observed.begin(), observed.end(),
+          [&](const text::TokenSpan& s) { return overlaps(s, bogus); });
+      if (!clash) {
+        observed.push_back(bogus);
+        break;
+      }
+    }
+  }
+  std::sort(observed.begin(), observed.end());
+  return observed;
+}
+
+}  // namespace graphner::corpus

@@ -1,0 +1,30 @@
+// Annotation-noise model.
+//
+// The paper attributes part of GraphNER's BC2GM advantage to annotator
+// error in the gold standard (undergraduate annotators) versus the
+// expert-curated AML corpus. This module corrupts the *observed* gold
+// annotations of a generated sentence while the pristine truth is kept for
+// the Fig. 4/5-style error analysis.
+#pragma once
+
+#include <vector>
+
+#include "src/text/sentence.hpp"
+#include "src/util/rng.hpp"
+
+namespace graphner::corpus {
+
+struct NoiseSpec {
+  double miss_rate = 0.0;      ///< drop a true mention entirely
+  double boundary_rate = 0.0;  ///< shrink/extend a mention by one token
+  double spurious_rate = 0.0;  ///< per-sentence chance of a bogus mention
+};
+
+/// Apply annotation noise: takes the true mention spans of a sentence and
+/// returns the corrupted spans an imperfect annotator would have produced.
+/// `length` is the sentence length in tokens.
+[[nodiscard]] std::vector<text::TokenSpan> corrupt_spans(
+    const std::vector<text::TokenSpan>& truth, std::size_t length,
+    const NoiseSpec& spec, util::Rng& rng);
+
+}  // namespace graphner::corpus

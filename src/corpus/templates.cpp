@@ -1,0 +1,176 @@
+#include "src/corpus/templates.hpp"
+
+#include <array>
+
+#include "src/text/tokenizer.hpp"
+#include "src/util/strings.hpp"
+
+namespace graphner::corpus {
+namespace {
+
+using sv = std::string_view;
+
+// Gene-bearing and background sentence patterns in an abstract register.
+// Several deliberately reuse the same local contexts around <g> so that the
+// corpus-level 3-gram graph has informative neighbourhoods, and several put
+// <trap> tokens in gene-like contexts to create false-positive pressure.
+constexpr std::array kAbstractPatterns = {
+    sv{"mutations of <g> were <verb> in <disease> ."},
+    sv{"the mutation of <g> ( <g> ) was <verb> in <disease> ."},
+    sv{"<adj> expression of <g> was <verb> in <num> patients ."},
+    sv{"expression of <g> and <g> was <adj> in all samples ."},
+    sv{"we <verb> <adj> expression of <g> in <disease> ."},
+    sv{"<g> encodes a protein that interacts with <g> ."},
+    sv{"<g> is a <adj> regulator of <noun> in <noun> cells ."},
+    sv{"loss of <g> function leads to <adj> <noun> ."},
+    sv{"overexpression of <g> was associated with poor <noun> ."},
+    sv{"the <g> gene was <verb> by <method> ."},
+    sv{"<g> positive patients showed <adj> response to treatment ."},
+    sv{"silencing of <g> reduced <noun> in <trap> cells ."},
+    sv{"knockdown of <g> in <trap> cells <verb> <adj> <noun> ."},
+    sv{"we <verb> the following mutations in <g> ."},
+    sv{"binding of <g> to the <g> promoter was <verb> by <method> ."},
+    sv{"phosphorylation of <g> was <adj> after treatment ."},
+    sv{"<g> mutations occur in <num> % of <disease> cases ."},
+    sv{"the role of <g> in <disease> remains unclear ."},
+    sv{"transcription of <g> is controlled by <g> and <g> ."},
+    sv{"deletion of <g> was <verb> in the patient ' s <noun> ."},
+    sv{"<g> variants were <verb> by <method> in <num> samples ."},
+    sv{"activation of the <g> pathway was <adj> in <disease> ."},
+    sv{"<g> and <g> form a complex that regulates <noun> ."},
+    sv{"no mutations of <g> were <verb> in the control group ."},
+    sv{"drug response was <adj> in <g> positive patients ."},
+    sv{"we did not observe this mutation in the patient ' s <noun> ."},
+    sv{"the study was performed in <trap> with <num> patients ."},
+    sv{"samples were <verb> using <method> ."},
+    sv{"patients were recruited in <trap> between <num> and <num> ."},
+    sv{"<adj> <noun> was <verb> in <num> of <num> cases ."},
+    sv{"<trap> cells were cultured and <verb> by <method> ."},
+    sv{"the <noun> of <noun> in <disease> is <adj> ."},
+    sv{"these results suggest a <adj> role for <noun> in <noun> ."},
+    sv{"treatment with inhibitors <verb> <adj> effects on <noun> ."},
+    sv{"further studies are needed to confirm these <noun> ."},
+    sv{"<disease> is a <adj> disease of the <noun> ."},
+    sv{"in <disease> , <g> mutations confer <adj> risk ."},
+    sv{"expression was <verb> relative to <trap> controls ."},
+    // Acronym bait: clinical acronyms dropped into contexts that elsewhere
+    // carry genes, so orthography + context both mislead a supervised CRF.
+    sv{"the mutation of <g> was <verb> in <acr> ."},
+    sv{"<acr> was <verb> in <num> % of patients ."},
+    sv{"expression of <acr> positive blasts was <adj> ."},
+    sv{"patients with <acr> showed <adj> response to therapy ."},
+    sv{"mutations of <g> and <g> were <verb> in <acr> cases ."},
+    sv{"<acr> status was assessed by <method> ."},
+    sv{"overexpression of <acr> markers was associated with poor <noun> ."},
+    sv{"the role of <acr> in <disease> was <verb> ."},
+    // Clearly non-gene acronym contexts: these dominate an acronym's
+    // occurrence profile, so its corpus-level average belief leans O and
+    // propagation can clean up the gene-like minority contexts above.
+    sv{"<acr> criteria were used for response assessment ."},
+    sv{"the <acr> score was <num> in most cases ."},
+    sv{"patients were stratified by <acr> at baseline ."},
+    sv{"according to <acr> , <num> patients responded ."},
+    sv{"<acr> was defined as <noun> <noun> below <num> % ."},
+    sv{"median <acr> was <num> months in this cohort ."},
+    sv{"<acr> and <acr> were recorded for all patients ."},
+    sv{"assessment followed <acr> guidelines ."},
+};
+
+// Clinical / full-text register: HGNC symbols appear in standardized
+// contexts; more background prose sentences (lower positive-vertex rate).
+constexpr std::array kClinicalPatterns = {
+    sv{"<g> mutations were <verb> in <num> % of patients with <disease> ."},
+    sv{"the <g> internal tandem duplication was <verb> by <method> ."},
+    sv{"patients with <g> mutations had <adj> overall survival ."},
+    sv{"co - occurrence of <g> and <g> mutations was <adj> ."},
+    sv{"<g> variant allele frequency was <num> % at diagnosis ."},
+    sv{"targeted sequencing of <g> , <g> , and <g> was performed ."},
+    sv{"the <g> p . <num> variant was classified as pathogenic ."},
+    sv{"<g> is recurrently mutated in <disease> ."},
+    sv{"variant interpretation followed standard guidelines for <g> ."},
+    sv{"germline <g> variants were excluded by <method> ."},
+    sv{"minimal residual disease was monitored using <g> transcripts ."},
+    sv{"<g> expression predicts response to induction therapy ."},
+    sv{"the prognostic impact of <g> mutations is <adj> ."},
+    sv{"<g> and <g> define a <adj> molecular subgroup ."},
+    sv{"allogeneic transplantation was considered for <g> mutated cases ."},
+    sv{"the cohort included <num> patients with <disease> ."},
+    sv{"median age at diagnosis was <num> years ."},
+    sv{"bone marrow samples were collected at diagnosis and relapse ."},
+    sv{"cytogenetic analysis was performed using standard methods ."},
+    sv{"overall survival was <verb> using kaplan meier estimates ."},
+    sv{"patients received <adj> induction chemotherapy ."},
+    sv{"response was assessed according to standard criteria ."},
+    sv{"<method> was used for all samples ."},
+    sv{"clinical data were available for <num> of <num> patients ."},
+    sv{"the median follow - up was <num> months ."},
+    sv{"adverse events were <adj> and manageable ."},
+    sv{"informed consent was obtained from all patients ."},
+    sv{"statistical analysis was performed with standard software ."},
+    sv{"<trap> cells were used as a <adj> control ."},
+    sv{"the study protocol was approved in <trap> ."},
+    sv{"relapse occurred in <num> patients during follow - up ."},
+    sv{"in <disease> , molecular profiling guides therapy selection ."},
+    sv{"<acr> positivity predicted <adj> outcome ."},
+    sv{"patients in <acr> after induction proceeded to transplant ."},
+    sv{"<acr> was <num> % at diagnosis and <num> % at relapse ."},
+    sv{"mutations of <g> were <verb> in <acr> positive patients ."},
+    sv{"the <acr> classification was applied to all cases ."},
+    sv{"monitoring of <acr> guided treatment decisions ."},
+    // Gene-like acronym contexts: clinical scores and panels discussed in
+    // the same frames as genes ("expression of X", "X and GENE"), the FP
+    // bait that gives GraphNER its AML precision headroom.
+    sv{"expression of <acr> transcripts was <verb> at relapse ."},
+    sv{"co - occurrence of <g> and <acr> was <adj> ."},
+};
+
+}  // namespace
+
+std::size_t Template::gene_slots() const noexcept {
+  std::size_t n = 0;
+  for (const auto& slot : slots)
+    if (slot.kind == SlotKind::kGene) ++n;
+  return n;
+}
+
+Template parse_template(std::string_view pattern) {
+  Template out;
+  for (const auto& piece : util::split_whitespace(pattern)) {
+    SlotKind kind = SlotKind::kLiteral;
+    if (piece == "<g>") kind = SlotKind::kGene;
+    else if (piece == "<trap>") kind = SlotKind::kTrap;
+    else if (piece == "<acr>") kind = SlotKind::kAcronym;
+    else if (piece == "<disease>") kind = SlotKind::kDisease;
+    else if (piece == "<method>") kind = SlotKind::kMethod;
+    else if (piece == "<verb>") kind = SlotKind::kVerb;
+    else if (piece == "<adj>") kind = SlotKind::kAdjective;
+    else if (piece == "<noun>") kind = SlotKind::kNoun;
+    else if (piece == "<num>") kind = SlotKind::kNumber;
+
+    if (kind == SlotKind::kLiteral) {
+      // Run literals through the tokenizer so "(" etc. split correctly.
+      for (auto& tok : text::tokenize(piece))
+        out.slots.push_back({SlotKind::kLiteral, std::move(tok)});
+    } else {
+      out.slots.push_back({kind, {}});
+    }
+  }
+  return out;
+}
+
+std::span<const std::string_view> abstract_patterns() noexcept {
+  return kAbstractPatterns;
+}
+
+std::span<const std::string_view> clinical_patterns() noexcept {
+  return kClinicalPatterns;
+}
+
+std::vector<Template> parse_bank(std::span<const std::string_view> patterns) {
+  std::vector<Template> bank;
+  bank.reserve(patterns.size());
+  for (const auto& p : patterns) bank.push_back(parse_template(p));
+  return bank;
+}
+
+}  // namespace graphner::corpus

@@ -1,0 +1,58 @@
+// Sentence templates for the synthetic corpora.
+//
+// A template is a whitespace-separated pattern of literal tokens and slots:
+//   <g>       gene mention (from the lexicon)
+//   <trap>    gene-shaped non-gene (cell line / place) — FP bait
+//   <disease> disease name (multi-token)
+//   <method>  assay / method name (multi-token)
+//   <verb> <adj> <noun> <num>  simple lexical slots
+// Literal tokens pass through the tokenizer, so punctuation in a template
+// splits exactly as real text would.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/rng.hpp"
+
+namespace graphner::corpus {
+
+enum class SlotKind {
+  kLiteral,
+  kGene,
+  kTrap,     ///< cell line / place name (gene-shaped or capitalized non-gene)
+  kAcronym,  ///< clinical acronym from the corpus inventory (never a gene)
+  kDisease,
+  kMethod,
+  kVerb,
+  kAdjective,
+  kNoun,
+  kNumber,
+};
+
+struct Slot {
+  SlotKind kind = SlotKind::kLiteral;
+  std::string literal;  ///< only for kLiteral
+};
+
+struct Template {
+  std::vector<Slot> slots;
+  /// Number of gene slots, cached for slot-rate control.
+  [[nodiscard]] std::size_t gene_slots() const noexcept;
+};
+
+/// Parse the "<g> expression was <verb> ." pattern syntax.
+[[nodiscard]] Template parse_template(std::string_view pattern);
+
+/// Abstract-style templates (BC2GM-like register).
+[[nodiscard]] std::span<const std::string_view> abstract_patterns() noexcept;
+
+/// Full-text / clinical-style templates (AML-like register).
+[[nodiscard]] std::span<const std::string_view> clinical_patterns() noexcept;
+
+/// Parse a whole pattern bank once.
+[[nodiscard]] std::vector<Template> parse_bank(std::span<const std::string_view> patterns);
+
+}  // namespace graphner::corpus

@@ -1,0 +1,145 @@
+#include "src/corpus/wordlists.hpp"
+
+#include <array>
+
+namespace graphner::corpus {
+namespace {
+
+using sv = std::string_view;
+
+constexpr std::array kBackground = {
+    sv{"the"},        sv{"of"},          sv{"in"},          sv{"and"},
+    sv{"to"},         sv{"a"},           sv{"was"},         sv{"were"},
+    sv{"is"},         sv{"that"},        sv{"with"},        sv{"for"},
+    sv{"by"},         sv{"we"},          sv{"this"},        sv{"these"},
+    sv{"patients"},   sv{"cells"},       sv{"expression"},  sv{"mutation"},
+    sv{"mutations"},  sv{"protein"},     sv{"analysis"},    sv{"results"},
+    sv{"study"},      sv{"levels"},      sv{"samples"},     sv{"treatment"},
+    sv{"response"},   sv{"clinical"},    sv{"significant"}, sv{"observed"},
+    sv{"data"},       sv{"tumor"},       sv{"cancer"},      sv{"bone"},
+    sv{"marrow"},     sv{"blood"},       sv{"tissue"},      sv{"sequence"},
+    sv{"variant"},    sv{"variants"},    sv{"allele"},      sv{"exon"},
+    sv{"domain"},     sv{"pathway"},     sv{"signaling"},   sv{"activity"},
+    sv{"function"},   sv{"binding"},     sv{"region"},      sv{"cases"},
+    sv{"cohort"},     sv{"survival"},    sv{"prognosis"},   sv{"therapy"},
+    sv{"diagnosis"},  sv{"relapse"},     sv{"remission"},   sv{"risk"},
+    sv{"frequency"},  sv{"presence"},    sv{"absence"},     sv{"role"},
+    sv{"effect"},     sv{"effects"},     sv{"level"},       sv{"group"},
+    sv{"groups"},     sv{"control"},     sv{"controls"},    sv{"normal"},
+    sv{"human"},      sv{"mouse"},       sv{"murine"},      sv{"assay"},
+    sv{"not"},        sv{"no"},          sv{"also"},        sv{"however"},
+    sv{"further"},    sv{"previously"},  sv{"recently"},    sv{"here"},
+    sv{"both"},       sv{"all"},         sv{"other"},       sv{"several"},
+    sv{"may"},        sv{"can"},         sv{"could"},       sv{"have"},
+    sv{"has"},        sv{"been"},        sv{"from"},        sv{"into"},
+    sv{"between"},    sv{"among"},       sv{"during"},      sv{"after"},
+    sv{"before"},     sv{"using"},       sv{"based"},       sv{"associated"},
+    sv{"compared"},   sv{"related"},     sv{"specific"},    sv{"distinct"},
+    sv{"novel"},      sv{"known"},       sv{"common"},      sv{"rare"},
+    sv{"high"},       sv{"low"},         sv{"higher"},      sv{"lower"},
+    sv{"overall"},    sv{"total"},       sv{"primary"},     sv{"secondary"},
+    sv{"positive"},   sv{"negative"},    sv{"wild"},        sv{"type"},
+    sv{"subclone"},   sv{"clone"},       sv{"lineage"},     sv{"progenitor"},
+    sv{"transcript"}, sv{"transcripts"}, sv{"promoter"},    sv{"enhancer"},
+    sv{"codon"},      sv{"residue"},     sv{"deletion"},    sv{"insertion"},
+    sv{"duplication"}, sv{"translocation"}, sv{"fusion"},   sv{"rearrangement"},
+    sv{"methylation"}, sv{"phosphorylation"}, sv{"activation"}, sv{"inhibition"},
+    sv{"proliferation"}, sv{"differentiation"}, sv{"apoptosis"}, sv{"senescence"},
+};
+
+constexpr std::array kVerbs = {
+    sv{"detected"},   sv{"identified"},  sv{"observed"},   sv{"reported"},
+    sv{"found"},      sv{"showed"},      sv{"revealed"},   sv{"demonstrated"},
+    sv{"suggested"},  sv{"indicated"},   sv{"confirmed"},  sv{"examined"},
+    sv{"analyzed"},   sv{"measured"},    sv{"screened"},   sv{"sequenced"},
+    sv{"evaluated"},  sv{"investigated"}, sv{"assessed"},  sv{"compared"},
+};
+
+constexpr std::array kAdjectives = {
+    sv{"significant"}, sv{"recurrent"},  sv{"somatic"},    sv{"germline"},
+    sv{"frequent"},    sv{"elevated"},   sv{"reduced"},    sv{"aberrant"},
+    sv{"differential"}, sv{"increased"}, sv{"decreased"},  sv{"marked"},
+    sv{"notable"},     sv{"robust"},     sv{"consistent"}, sv{"strong"},
+};
+
+constexpr std::array kDiseases = {
+    sv{"acute myeloid leukemia"},
+    sv{"chronic lymphocytic leukemia"},
+    sv{"myelodysplastic syndrome"},
+    sv{"multiple myeloma"},
+    sv{"breast cancer"},
+    sv{"colorectal cancer"},
+    sv{"lung adenocarcinoma"},
+    sv{"diffuse large b cell lymphoma"},
+    sv{"essential thrombocythemia"},
+    sv{"polycythemia vera"},
+    sv{"primary myelofibrosis"},
+    sv{"glioblastoma"},
+    sv{"melanoma"},
+    sv{"neuroblastoma"},
+    sv{"hepatocellular carcinoma"},
+    sv{"pancreatic cancer"},
+};
+
+constexpr std::array kCellLines = {
+    sv{"HeLa"},   sv{"K562"},   sv{"HL60"},  sv{"U937"},   sv{"Jurkat"},
+    sv{"THP1"},   sv{"MOLM13"}, sv{"OCI3"},  sv{"KG1"},    sv{"NB4"},
+    sv{"HEK293"}, sv{"MCF7"},   sv{"A549"},  sv{"SKBR3"},  sv{"RAJI"},
+};
+
+// Disease / study acronyms: HGNC-shaped tokens that are never genes. These
+// mirror the paper's MPN example — orthographically indistinguishable from
+// gene symbols, so shape features alone mislead the CRF.
+constexpr std::array kAcronyms = {
+    sv{"MPN"},  sv{"MDS"},  sv{"CLL"},  sv{"CML"},   sv{"DLBCL"},
+    sv{"ECOG"}, sv{"WHO"},  sv{"FAB"},  sv{"ELN"},   sv{"NCCN"},
+    sv{"CR1"},  sv{"OS"},   sv{"EFS"},  sv{"MRD"},   sv{"VAF"},
+};
+
+constexpr std::array kPlaces = {
+    sv{"Ann Arbor"},   sv{"Vancouver"}, sv{"Bethesda"},  sv{"Rochester"},
+    sv{"Heidelberg"},  sv{"Boston"},    sv{"Toronto"},   sv{"Houston"},
+    sv{"Seattle"},     sv{"Baltimore"},
+};
+
+constexpr std::array kMethods = {
+    sv{"flow cytometry"},       sv{"western blot"},
+    sv{"polymerase chain reaction"}, sv{"targeted sequencing"},
+    sv{"whole exome sequencing"},    sv{"immunohistochemistry"},
+    sv{"quantitative pcr"},     sv{"sanger sequencing"},
+    sv{"rna sequencing"},       sv{"mass spectrometry"},
+};
+
+constexpr std::array kGeneHeads = {
+    sv{"factor"},   sv{"kinase"},    sv{"receptor"},  sv{"protein"},
+    sv{"ligase"},   sv{"phosphatase"}, sv{"transporter"}, sv{"channel"},
+    sv{"adaptor"},  sv{"homolog"},   sv{"antigen"},   sv{"regulator"},
+};
+
+constexpr std::array kGeneModifiers = {
+    sv{"lymphocyte"},  sv{"growth"},     sv{"tumor"},     sv{"transcription"},
+    sv{"tyrosine"},    sv{"serine"},     sv{"nuclear"},   sv{"epidermal"},
+    sv{"fibroblast"},  sv{"insulin"},    sv{"platelet"},  sv{"vascular"},
+    sv{"myeloid"},     sv{"erythroid"},  sv{"hematopoietic"}, sv{"mitogen"},
+    sv{"stress"},      sv{"heat"},       sv{"zinc"},      sv{"retinoic"},
+};
+
+constexpr std::array kGreek = {
+    sv{"alpha"}, sv{"beta"}, sv{"gamma"}, sv{"delta"}, sv{"epsilon"}, sv{"kappa"},
+};
+
+}  // namespace
+
+std::span<const std::string_view> background_words() noexcept { return kBackground; }
+std::span<const std::string_view> verbs() noexcept { return kVerbs; }
+std::span<const std::string_view> adjectives() noexcept { return kAdjectives; }
+std::span<const std::string_view> diseases() noexcept { return kDiseases; }
+std::span<const std::string_view> cell_lines() noexcept { return kCellLines; }
+std::span<const std::string_view> places() noexcept { return kPlaces; }
+std::span<const std::string_view> acronyms() noexcept { return kAcronyms; }
+std::span<const std::string_view> methods() noexcept { return kMethods; }
+std::span<const std::string_view> gene_head_nouns() noexcept { return kGeneHeads; }
+std::span<const std::string_view> gene_modifiers() noexcept { return kGeneModifiers; }
+std::span<const std::string_view> greek_letters() noexcept { return kGreek; }
+
+}  // namespace graphner::corpus

@@ -1,0 +1,47 @@
+// Static word banks used by the synthetic corpus generator.
+//
+// The banks give the generated text a biomedical register: background
+// vocabulary with a Zipf-ish frequency profile, disease names, cell lines,
+// place names (classic spurious-FP bait, cf. the paper's "Ann Arbor"
+// example) and morphemes for descriptive gene names.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+namespace graphner::corpus {
+
+/// High-frequency background words (function + general science words).
+[[nodiscard]] std::span<const std::string_view> background_words() noexcept;
+
+/// Verbs used in sentence templates.
+[[nodiscard]] std::span<const std::string_view> verbs() noexcept;
+
+/// Adjectives used in sentence templates.
+[[nodiscard]] std::span<const std::string_view> adjectives() noexcept;
+
+/// Multi-token disease names ("acute myeloid leukemia", ...).
+[[nodiscard]] std::span<const std::string_view> diseases() noexcept;
+
+/// Cell-line names — gene-like tokens that are NOT genes (FP bait).
+[[nodiscard]] std::span<const std::string_view> cell_lines() noexcept;
+
+/// Place / institution names — spurious-FP bait.
+[[nodiscard]] std::span<const std::string_view> places() noexcept;
+
+/// Disease / clinical-score acronyms — gene-shaped non-genes (FP bait).
+[[nodiscard]] std::span<const std::string_view> acronyms() noexcept;
+
+/// Lab methods / assay names.
+[[nodiscard]] std::span<const std::string_view> methods() noexcept;
+
+/// Head nouns for descriptive gene names ("factor", "kinase", ...).
+[[nodiscard]] std::span<const std::string_view> gene_head_nouns() noexcept;
+
+/// Modifiers for descriptive gene names ("lymphocyte", "growth", ...).
+[[nodiscard]] std::span<const std::string_view> gene_modifiers() noexcept;
+
+/// Greek letter words used in gene names ("alpha", "beta", ...).
+[[nodiscard]] std::span<const std::string_view> greek_letters() noexcept;
+
+}  // namespace graphner::corpus

@@ -1,0 +1,134 @@
+#include "src/crf/belief_viterbi.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/util/math.hpp"
+
+namespace graphner::crf {
+
+using text::kNumTags;
+using text::Tag;
+
+namespace {
+constexpr double kEps = 1e-12;
+
+[[nodiscard]] double safe_log(double p) noexcept {
+  return std::log(p < kEps ? kEps : p);
+}
+}  // namespace
+
+TagTransitionMatrix normalize_transition_counts(const TagTransitionMatrix& counts) {
+  TagTransitionMatrix out{};
+  for (std::size_t a = 0; a < kNumTags; ++a) {
+    double row = 0.0;
+    for (std::size_t b = 0; b < kNumTags; ++b) row += counts[a * kNumTags + b];
+    for (std::size_t b = 0; b < kNumTags; ++b)
+      out[a * kNumTags + b] =
+          row > 0.0 ? counts[a * kNumTags + b] / row : 1.0 / kNumTags;
+  }
+  return out;
+}
+
+TagTransitionMatrix transition_ratio_matrix(const TagTransitionMatrix& counts) {
+  TagTransitionMatrix out{};
+  double total = 0.0;
+  for (const double c : counts) total += c;
+  if (total <= 0.0) {
+    out.fill(1.0);
+    return out;
+  }
+  std::array<double, kNumTags> from_marginal{};
+  std::array<double, kNumTags> to_marginal{};
+  for (std::size_t a = 0; a < kNumTags; ++a) {
+    for (std::size_t b = 0; b < kNumTags; ++b) {
+      from_marginal[a] += counts[a * kNumTags + b];
+      to_marginal[b] += counts[a * kNumTags + b];
+    }
+  }
+  for (std::size_t a = 0; a < kNumTags; ++a) {
+    for (std::size_t b = 0; b < kNumTags; ++b) {
+      const double denom = from_marginal[a] * to_marginal[b];
+      out[a * kNumTags + b] =
+          denom > 0.0 ? counts[a * kNumTags + b] * total / denom : 0.0;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Shared Viterbi core; `transition_at(i)` yields the matrix for the edge
+/// between positions i-1 and i.
+template <typename TransitionAt>
+std::vector<Tag> belief_viterbi_impl(
+    const std::vector<std::array<double, kNumTags>>& beliefs,
+    TransitionAt&& transition_at) {
+  const std::size_t n = beliefs.size();
+  std::vector<Tag> tags(n);
+  if (n == 0) return tags;
+
+  std::vector<std::array<double, kNumTags>> score(n);
+  std::vector<std::array<std::size_t, kNumTags>> back(n);
+
+  for (std::size_t t = 0; t < kNumTags; ++t) {
+    const bool legal_start = text::tag_from_index(t) != Tag::kI;
+    score[0][t] = legal_start ? safe_log(beliefs[0][t]) : util::kNegInf;
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    const TagTransitionMatrix& transitions = transition_at(i);
+    for (std::size_t t = 0; t < kNumTags; ++t) {
+      double best = util::kNegInf;
+      std::size_t arg = 0;
+      for (std::size_t p = 0; p < kNumTags; ++p) {
+        if (text::is_illegal_transition(text::tag_from_index(p),
+                                        text::tag_from_index(t)))
+          continue;
+        const double cand = score[i - 1][p] + safe_log(transitions[p * kNumTags + t]);
+        if (cand > best) {
+          best = cand;
+          arg = p;
+        }
+      }
+      score[i][t] = best + safe_log(beliefs[i][t]);
+      back[i][t] = arg;
+    }
+  }
+
+  std::size_t cur = 0;
+  double best = util::kNegInf;
+  for (std::size_t t = 0; t < kNumTags; ++t) {
+    if (score[n - 1][t] > best) {
+      best = score[n - 1][t];
+      cur = t;
+    }
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    tags[i] = text::tag_from_index(cur);
+    if (i > 0) cur = back[i][cur];
+  }
+  return tags;
+}
+
+}  // namespace
+
+std::vector<Tag> belief_viterbi(
+    const std::vector<std::array<double, kNumTags>>& beliefs,
+    const TagTransitionMatrix& transitions) {
+  return belief_viterbi_impl(beliefs,
+                             [&](std::size_t) -> const TagTransitionMatrix& {
+                               return transitions;
+                             });
+}
+
+std::vector<Tag> belief_viterbi(
+    const std::vector<std::array<double, kNumTags>>& beliefs,
+    const std::vector<TagTransitionMatrix>& per_edge_transitions) {
+  assert(per_edge_transitions.size() == beliefs.size());
+  return belief_viterbi_impl(
+      beliefs, [&](std::size_t i) -> const TagTransitionMatrix& {
+        return per_edge_transitions[i];
+      });
+}
+
+}  // namespace graphner::crf

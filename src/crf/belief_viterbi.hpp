@@ -1,0 +1,50 @@
+// Tag-level Viterbi over externally supplied node beliefs.
+//
+// Algorithm 1, line 9: after GraphNER mixes CRF posteriors with propagated
+// graph distributions, the final decode runs Viterbi over those combined
+// per-token tag beliefs and the CRF's tag-transition probabilities.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "src/text/tag.hpp"
+
+namespace graphner::crf {
+
+/// Row-major kNumTags x kNumTags matrix of transition probabilities
+/// p(next | prev); rows need not be perfectly normalized.
+using TagTransitionMatrix = std::array<double, text::kNumTags * text::kNumTags>;
+
+/// Decode argmax_t sum_i log(beliefs[i][t_i]) + sum_i log(T[t_{i-1}][t_i])
+/// with the BIO constraint (no I after O, no initial I) enforced.
+/// Zero beliefs/transitions are floored at a tiny epsilon.
+[[nodiscard]] std::vector<text::Tag> belief_viterbi(
+    const std::vector<std::array<double, text::kNumTags>>& beliefs,
+    const TagTransitionMatrix& transitions);
+
+/// Position-specific variant: transitions[i] applies to the edge between
+/// positions i-1 and i (entry 0 unused; sizes must match beliefs). Used
+/// with per-edge pairwise/marginal ratios from the CRF, which makes the
+/// decode the exact tree reparameterization of the CRF distribution at
+/// order 1 — a corpus-aggregated matrix misprices rare transitions (e.g.
+/// rewards B -> I between two adjacent single-token mentions).
+[[nodiscard]] std::vector<text::Tag> belief_viterbi(
+    const std::vector<std::array<double, text::kNumTags>>& beliefs,
+    const std::vector<TagTransitionMatrix>& per_edge_transitions);
+
+/// Normalize expected tag-bigram counts into a row-stochastic transition
+/// matrix (rows with zero mass become uniform).
+[[nodiscard]] TagTransitionMatrix normalize_transition_counts(
+    const TagTransitionMatrix& counts);
+
+/// Turn expected tag-bigram counts into the pairwise/marginal ratio
+/// R[a][b] = p(a,b) / (p(a) p(b)). For a chain-structured distribution the
+/// joint factorizes as prod_i p(t_i) * prod_i R[t_{i-1}][t_i], so Viterbi
+/// over node *marginals* with R as the transition matrix recovers the MAP
+/// sequence without double-counting transition mass (using p(b|a) here
+/// would re-penalize rare tags that the marginals already account for).
+[[nodiscard]] TagTransitionMatrix transition_ratio_matrix(
+    const TagTransitionMatrix& counts);
+
+}  // namespace graphner::crf

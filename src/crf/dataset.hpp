@@ -1,0 +1,26 @@
+// Encoded training/test instances for the CRF.
+#pragma once
+
+#include <vector>
+
+#include "src/crf/feature_index.hpp"
+#include "src/crf/state_space.hpp"
+#include "src/text/tag.hpp"
+
+namespace graphner::crf {
+
+/// One sentence after feature extraction: per-position active feature ids
+/// (binary features; sorted, unique) and, for training data, gold states.
+struct EncodedSentence {
+  std::vector<std::vector<FeatureIndex::Id>> features;
+  std::vector<StateId> states;  ///< empty at test time
+
+  [[nodiscard]] std::size_t size() const noexcept { return features.size(); }
+  [[nodiscard]] bool labelled() const noexcept {
+    return states.size() == features.size() && !features.empty();
+  }
+};
+
+using Batch = std::vector<EncodedSentence>;
+
+}  // namespace graphner::crf

@@ -1,0 +1,22 @@
+#include "src/crf/feature_index.hpp"
+
+#include <cassert>
+
+namespace graphner::crf {
+
+FeatureIndex::Id FeatureIndex::intern(std::string_view name) {
+  if (auto it = index_.find(std::string(name)); it != index_.end()) return it->second;
+  assert(!frozen_ && "intern called on a frozen FeatureIndex");
+  const Id id = static_cast<Id>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<FeatureIndex::Id> FeatureIndex::find(std::string_view name) const {
+  const auto it = index_.find(std::string(name));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace graphner::crf

@@ -1,0 +1,40 @@
+// Feature-name interning for the CRF.
+//
+// Feature extractors emit string names ("W=tumor", "SHAPE=Aa", ...); the
+// index maps them to dense ids. During training new names are interned;
+// at test time unseen names are dropped (standard CRF practice).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace graphner::crf {
+
+class FeatureIndex {
+ public:
+  using Id = std::uint32_t;
+
+  /// Intern (training mode): returns a stable id, creating one if new.
+  Id intern(std::string_view name);
+
+  /// Lookup (test mode): id if known.
+  [[nodiscard]] std::optional<Id> find(std::string_view name) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return names_.size(); }
+  [[nodiscard]] const std::string& name(Id id) const { return names_.at(id); }
+
+  /// Freeze: find-only from now on (intern asserts in debug builds).
+  void freeze() noexcept { frozen_ = true; }
+  [[nodiscard]] bool frozen() const noexcept { return frozen_; }
+
+ private:
+  std::unordered_map<std::string, Id> index_;
+  std::vector<std::string> names_;
+  bool frozen_ = false;
+};
+
+}  // namespace graphner::crf

@@ -1,0 +1,131 @@
+#include "src/crf/lbfgs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "src/util/logging.hpp"
+#include "src/util/math.hpp"
+
+namespace graphner::crf {
+namespace {
+
+struct Pair {
+  std::vector<double> s;  ///< x_{k+1} - x_k
+  std::vector<double> y;  ///< g_{k+1} - g_k
+  double rho = 0.0;       ///< 1 / (y . s)
+};
+
+/// Two-loop recursion: returns the descent direction -H g.
+std::vector<double> two_loop(const std::deque<Pair>& history,
+                             std::span<const double> grad) {
+  std::vector<double> q(grad.begin(), grad.end());
+  std::vector<double> alpha(history.size());
+  for (std::size_t i = history.size(); i-- > 0;) {
+    alpha[i] = history[i].rho * util::dot(history[i].s, q);
+    for (std::size_t j = 0; j < q.size(); ++j) q[j] -= alpha[i] * history[i].y[j];
+  }
+  if (!history.empty()) {
+    const auto& last = history.back();
+    const double yy = util::dot(last.y, last.y);
+    if (yy > 0) {
+      const double gamma = util::dot(last.s, last.y) / yy;
+      for (double& v : q) v *= gamma;
+    }
+  }
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    const double beta = history[i].rho * util::dot(history[i].y, q);
+    for (std::size_t j = 0; j < q.size(); ++j)
+      q[j] += history[i].s[j] * (alpha[i] - beta);
+  }
+  for (double& v : q) v = -v;
+  return q;
+}
+
+}  // namespace
+
+LbfgsResult lbfgs_minimize(std::vector<double>& x, const Objective& objective,
+                           const LbfgsOptions& options) {
+  const std::size_t n = x.size();
+  std::vector<double> grad(n, 0.0);
+  std::vector<double> new_grad(n, 0.0);
+  std::vector<double> trial(n, 0.0);
+
+  double f = objective(x, grad);
+  std::deque<Pair> history;
+
+  LbfgsResult result;
+  result.objective = f;
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    const double gnorm = util::norm(grad);
+    const double xnorm = std::max(1.0, util::norm(x));
+    if (gnorm / xnorm < options.gradient_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    std::vector<double> direction = two_loop(history, grad);
+    double dg = util::dot(direction, grad);
+    if (dg >= 0.0) {
+      // Not a descent direction (stale curvature); restart with -g.
+      history.clear();
+      for (std::size_t j = 0; j < n; ++j) direction[j] = -grad[j];
+      dg = util::dot(direction, grad);
+    }
+
+    // Backtracking Armijo line search.
+    double new_f = f;
+    auto line_search = [&](double step) {
+      for (std::size_t ls = 0; ls < options.max_line_search_steps; ++ls) {
+        for (std::size_t j = 0; j < n; ++j) trial[j] = x[j] + step * direction[j];
+        std::fill(new_grad.begin(), new_grad.end(), 0.0);
+        new_f = objective(trial, new_grad);
+        if (new_f <= f + options.armijo_c1 * step * dg) return true;
+        step *= options.backtrack_factor;
+      }
+      return false;
+    };
+    // With an empty history the direction is the raw gradient; scale the
+    // first trial step by 1/||g|| so the line search starts in a sane range.
+    const double first_step = history.empty()
+                                  ? std::min(options.initial_step, 1.0 / (1.0 + gnorm))
+                                  : options.initial_step;
+    bool accepted = line_search(first_step);
+    if (!accepted) {
+      // Stale curvature can make the quasi-Newton direction useless; fall
+      // back to a gradient-scaled steepest-descent step before giving up.
+      history.clear();
+      for (std::size_t j = 0; j < n; ++j) direction[j] = -grad[j];
+      dg = util::dot(direction, grad);
+      accepted = line_search(1.0 / (1.0 + gnorm));
+    }
+    if (!accepted) {
+      util::log_debug("lbfgs: line search failed at iter ", iter, ", stopping");
+      break;
+    }
+
+    Pair pair;
+    pair.s.resize(n);
+    pair.y.resize(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      pair.s[j] = trial[j] - x[j];
+      pair.y[j] = new_grad[j] - grad[j];
+    }
+    const double ys = util::dot(pair.y, pair.s);
+    if (ys > 1e-10) {
+      pair.rho = 1.0 / ys;
+      history.push_back(std::move(pair));
+      if (history.size() > options.history) history.pop_front();
+    }
+
+    x.swap(trial);
+    grad.swap(new_grad);
+    f = new_f;
+    result.iterations = iter + 1;
+    result.objective = f;
+  }
+  return result;
+}
+
+}  // namespace graphner::crf

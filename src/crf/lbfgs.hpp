@@ -1,0 +1,38 @@
+// Limited-memory BFGS minimizer with Armijo backtracking line search.
+//
+// Standard two-loop recursion (Nocedal & Wright, Alg. 7.4). Used to train
+// the CRF by minimizing the L2-regularized negative conditional
+// log-likelihood; generic over the objective so tests can exercise it on
+// analytic functions.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace graphner::crf {
+
+struct LbfgsOptions {
+  std::size_t history = 7;        ///< stored (s, y) pairs
+  std::size_t max_iterations = 100;
+  double gradient_tolerance = 1e-4;  ///< stop when ||g||/max(1,||x||) below
+  double initial_step = 1.0;
+  double armijo_c1 = 1e-4;
+  double backtrack_factor = 0.5;
+  std::size_t max_line_search_steps = 30;
+};
+
+struct LbfgsResult {
+  double objective = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Objective: fills `grad` (same size as x) and returns f(x).
+using Objective = std::function<double(std::span<const double> x, std::span<double> grad)>;
+
+/// Minimize `objective` starting from `x` (updated in place).
+LbfgsResult lbfgs_minimize(std::vector<double>& x, const Objective& objective,
+                           const LbfgsOptions& options = {});
+
+}  // namespace graphner::crf

@@ -1,0 +1,261 @@
+#include "src/crf/model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/util/math.hpp"
+
+namespace graphner::crf {
+
+using text::kNumTags;
+using util::kNegInf;
+using util::log_add;
+
+LinearChainCrf::LinearChainCrf(StateSpace space, std::size_t num_features)
+    : space_(std::move(space)), num_features_(num_features) {
+  const std::size_t total = num_features_ * space_.num_states() +
+                            space_.transitions().size() + space_.num_states();
+  weights_.assign(total, 0.0);
+}
+
+void LinearChainCrf::set_weights(std::span<const double> w) {
+  assert(w.size() == weights_.size());
+  std::copy(w.begin(), w.end(), weights_.begin());
+}
+
+void LinearChainCrf::emission_scores(const EncodedSentence& sentence,
+                                     std::vector<double>& out) const {
+  const std::size_t n = sentence.size();
+  const std::size_t S = space_.num_states();
+  out.assign(n * S, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double* row = out.data() + i * S;
+    for (const FeatureIndex::Id f : sentence.features[i]) {
+      const double* w = weights_.data() + static_cast<std::size_t>(f) * S;
+      for (std::size_t s = 0; s < S; ++s) row[s] += w[s];
+    }
+  }
+}
+
+void LinearChainCrf::run_forward_backward(const EncodedSentence& sentence,
+                                          Lattice& lat) const {
+  const std::size_t n = sentence.size();
+  const std::size_t S = space_.num_states();
+  assert(n > 0);
+  emission_scores(sentence, lat.emit);
+
+  const double* trans = weights_.data() + transition_base();
+  const double* start = weights_.data() + start_base();
+
+  lat.alpha.assign(n * S, kNegInf);
+  lat.beta.assign(n * S, kNegInf);
+
+  // Forward.
+  for (const StateId s : space_.start_states())
+    lat.alpha[s] = start[s] + lat.emit[s];
+  for (std::size_t i = 1; i < n; ++i) {
+    const double* prev = lat.alpha.data() + (i - 1) * S;
+    double* cur = lat.alpha.data() + i * S;
+    for (std::size_t s = 0; s < S; ++s) {
+      double acc = kNegInf;
+      for (const StateId p : space_.incoming()[static_cast<StateId>(s)]) {
+        const double w = trans[space_.transition_slot(p, static_cast<StateId>(s))];
+        acc = log_add(acc, prev[p] + w);
+      }
+      if (acc != kNegInf) cur[s] = acc + lat.emit[i * S + s];
+    }
+  }
+  lat.log_z = util::log_sum_exp(
+      std::span<const double>(lat.alpha.data() + (n - 1) * S, S));
+
+  // Backward.
+  for (std::size_t s = 0; s < S; ++s) lat.beta[(n - 1) * S + s] = 0.0;
+  for (std::size_t i = n - 1; i-- > 0;) {
+    const double* next = lat.beta.data() + (i + 1) * S;
+    double* cur = lat.beta.data() + i * S;
+    for (std::size_t p = 0; p < S; ++p) {
+      double acc = kNegInf;
+      for (const StateId s : space_.outgoing()[static_cast<StateId>(p)]) {
+        const double w = trans[space_.transition_slot(static_cast<StateId>(p), s)];
+        acc = log_add(acc, w + lat.emit[(i + 1) * S + s] + next[s]);
+      }
+      cur[p] = acc;
+    }
+  }
+}
+
+double LinearChainCrf::log_likelihood(const EncodedSentence& sentence,
+                                      std::span<double> grad) const {
+  assert(sentence.labelled());
+  const std::size_t n = sentence.size();
+  const std::size_t S = space_.num_states();
+
+  Lattice lat;
+  run_forward_backward(sentence, lat);
+
+  // Gold-path score.
+  const double* trans = weights_.data() + transition_base();
+  const double* start = weights_.data() + start_base();
+  double gold = start[sentence.states[0]] + lat.emit[sentence.states[0]];
+  for (std::size_t i = 1; i < n; ++i) {
+    gold += trans[space_.transition_slot(sentence.states[i - 1], sentence.states[i])];
+    gold += lat.emit[i * S + sentence.states[i]];
+  }
+  const double log_likelihood = gold - lat.log_z;
+  if (grad.empty()) return log_likelihood;
+  assert(grad.size() == weights_.size());
+
+  // Observed counts.
+  for (std::size_t i = 0; i < n; ++i) {
+    const StateId s = sentence.states[i];
+    for (const FeatureIndex::Id f : sentence.features[i])
+      grad[emission_slot(f, s)] += 1.0;
+  }
+  grad[start_base() + sentence.states[0]] += 1.0;
+  for (std::size_t i = 1; i < n; ++i)
+    grad[transition_base() +
+         space_.transition_slot(sentence.states[i - 1], sentence.states[i])] += 1.0;
+
+  // Expected counts: node marginals.
+  std::vector<double> node(n * S);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t s = 0; s < S; ++s)
+      node[i * S + s] = std::exp(lat.alpha[i * S + s] + lat.beta[i * S + s] - lat.log_z);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* m = node.data() + i * S;
+    for (const FeatureIndex::Id f : sentence.features[i]) {
+      double* g = grad.data() + static_cast<std::size_t>(f) * S;
+      for (std::size_t s = 0; s < S; ++s) g[s] -= m[s];
+    }
+  }
+  for (std::size_t s = 0; s < S; ++s) grad[start_base() + s] -= node[s];
+
+  // Expected counts: pairwise marginals.
+  for (std::size_t i = 1; i < n; ++i) {
+    for (const auto& t : space_.transitions()) {
+      const double w = trans[space_.transition_slot(t.from, t.to)];
+      const double lp = lat.alpha[(i - 1) * S + t.from] + w +
+                        lat.emit[i * S + t.to] + lat.beta[i * S + t.to] - lat.log_z;
+      if (lp == kNegInf) continue;
+      grad[transition_base() + space_.transition_slot(t.from, t.to)] -= std::exp(lp);
+    }
+  }
+  return log_likelihood;
+}
+
+SentencePosteriors LinearChainCrf::posteriors(const EncodedSentence& sentence) const {
+  const std::size_t n = sentence.size();
+  const std::size_t S = space_.num_states();
+
+  Lattice lat;
+  run_forward_backward(sentence, lat);
+
+  SentencePosteriors out;
+  out.log_z = lat.log_z;
+  out.tag_marginals.assign(n, {});
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& row = out.tag_marginals[i];
+    row.fill(0.0);
+    for (std::size_t s = 0; s < S; ++s) {
+      const double lp = lat.alpha[i * S + s] + lat.beta[i * S + s] - lat.log_z;
+      if (lp == kNegInf) continue;
+      row[text::tag_index(space_.tag_of(static_cast<StateId>(s)))] += std::exp(lp);
+    }
+    util::normalize_inplace(row);  // absorb rounding drift
+  }
+
+  // Pairwise tag marginals (entry 0 unused).
+  out.pairwise_marginals.assign(n, {});
+  const double* trans = weights_.data() + transition_base();
+  for (std::size_t i = 1; i < n; ++i) {
+    auto& cell = out.pairwise_marginals[i];
+    cell.fill(0.0);
+    for (const auto& t : space_.transitions()) {
+      const double w = trans[space_.transition_slot(t.from, t.to)];
+      const double lp = lat.alpha[(i - 1) * S + t.from] + w +
+                        lat.emit[i * S + t.to] + lat.beta[i * S + t.to] - lat.log_z;
+      if (lp == kNegInf) continue;
+      cell[text::tag_index(space_.tag_of(t.from)) * kNumTags +
+           text::tag_index(space_.tag_of(t.to))] += std::exp(lp);
+    }
+    util::normalize_inplace(cell);
+  }
+  return out;
+}
+
+void LinearChainCrf::accumulate_tag_transition_expectations(
+    const EncodedSentence& sentence,
+    std::array<double, kNumTags * kNumTags>& counts) const {
+  const std::size_t n = sentence.size();
+  const std::size_t S = space_.num_states();
+  if (n < 2) return;
+
+  Lattice lat;
+  run_forward_backward(sentence, lat);
+  const double* trans = weights_.data() + transition_base();
+
+  for (std::size_t i = 1; i < n; ++i) {
+    for (const auto& t : space_.transitions()) {
+      const double w = trans[space_.transition_slot(t.from, t.to)];
+      const double lp = lat.alpha[(i - 1) * S + t.from] + w +
+                        lat.emit[i * S + t.to] + lat.beta[i * S + t.to] - lat.log_z;
+      if (lp == kNegInf) continue;
+      const std::size_t a = text::tag_index(space_.tag_of(t.from));
+      const std::size_t b = text::tag_index(space_.tag_of(t.to));
+      counts[a * kNumTags + b] += std::exp(lp);
+    }
+  }
+}
+
+std::vector<text::Tag> LinearChainCrf::viterbi(const EncodedSentence& sentence) const {
+  const std::size_t n = sentence.size();
+  const std::size_t S = space_.num_states();
+  assert(n > 0);
+
+  std::vector<double> emit;
+  emission_scores(sentence, emit);
+  const double* trans = weights_.data() + transition_base();
+  const double* start = weights_.data() + start_base();
+
+  std::vector<double> score(n * S, kNegInf);
+  std::vector<StateId> back(n * S, 0);
+  for (const StateId s : space_.start_states()) score[s] = start[s] + emit[s];
+  for (std::size_t i = 1; i < n; ++i) {
+    for (std::size_t s = 0; s < S; ++s) {
+      double best = kNegInf;
+      StateId arg = 0;
+      for (const StateId p : space_.incoming()[static_cast<StateId>(s)]) {
+        const double cand =
+            score[(i - 1) * S + p] +
+            trans[space_.transition_slot(p, static_cast<StateId>(s))];
+        if (cand > best) {
+          best = cand;
+          arg = p;
+        }
+      }
+      if (best != kNegInf) {
+        score[i * S + s] = best + emit[i * S + s];
+        back[i * S + s] = arg;
+      }
+    }
+  }
+
+  StateId cur = 0;
+  double best = kNegInf;
+  for (std::size_t s = 0; s < S; ++s) {
+    if (score[(n - 1) * S + s] > best) {
+      best = score[(n - 1) * S + s];
+      cur = static_cast<StateId>(s);
+    }
+  }
+  std::vector<text::Tag> tags(n);
+  for (std::size_t i = n; i-- > 0;) {
+    tags[i] = space_.tag_of(cur);
+    cur = back[i * S + cur];
+  }
+  return tags;
+}
+
+}  // namespace graphner::crf

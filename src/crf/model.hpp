@@ -1,0 +1,93 @@
+// Linear-chain CRF: potentials, forward-backward, marginals, Viterbi.
+//
+// Parameters:
+//   * emission weights  — one per (feature id, state): w_emit[f * S + s]
+//   * transition weights — one per legal (from, to) pair
+//   * start weights      — one per legal start state
+// Inference runs in log space throughout; sentences are short (tens of
+// tokens) and the state count is 3 or 9, so log-space costs are negligible
+// next to feature extraction.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "src/crf/dataset.hpp"
+#include "src/crf/state_space.hpp"
+#include "src/text/tag.hpp"
+
+namespace graphner::crf {
+
+/// Per-sentence inference outputs consumed by GraphNER (Algorithm 1 line 5).
+struct SentencePosteriors {
+  /// posterior[i][t] = p(tag at i == t | x); rows sum to 1 (kNumTags cols).
+  std::vector<std::array<double, text::kNumTags>> tag_marginals;
+  /// pairwise[i][a * kNumTags + b] = p(tag_{i-1} = a, tag_i = b | x) for
+  /// i >= 1 (entry 0 is unused). These are the position-specific
+  /// "transition probabilities" GraphNER's final Viterbi consumes.
+  std::vector<std::array<double, text::kNumTags * text::kNumTags>> pairwise_marginals;
+  double log_z = 0.0;
+};
+
+class LinearChainCrf {
+ public:
+  LinearChainCrf(StateSpace space, std::size_t num_features);
+
+  [[nodiscard]] const StateSpace& space() const noexcept { return space_; }
+  [[nodiscard]] std::size_t num_features() const noexcept { return num_features_; }
+  [[nodiscard]] std::size_t num_parameters() const noexcept { return weights_.size(); }
+
+  [[nodiscard]] std::span<double> weights() noexcept { return weights_; }
+  [[nodiscard]] std::span<const double> weights() const noexcept { return weights_; }
+  void set_weights(std::span<const double> w);
+
+  /// Emission lattice: out[i * S + s] = sum of active feature weights.
+  void emission_scores(const EncodedSentence& sentence,
+                       std::vector<double>& out) const;
+
+  /// Conditional log-likelihood of the gold states; if `grad` is non-null,
+  /// accumulates d(logL)/dw into it (same layout as weights()).
+  double log_likelihood(const EncodedSentence& sentence,
+                        std::span<double> grad = {}) const;
+
+  /// Tag-level posterior marginals (states folded down to tags).
+  [[nodiscard]] SentencePosteriors posteriors(const EncodedSentence& sentence) const;
+
+  /// Expected tag-bigram counts E[count(t at i-1, t' at i)] summed over the
+  /// sentence, added into `counts` (kNumTags x kNumTags row-major). Used to
+  /// derive the tag-transition matrix GraphNER's final Viterbi consumes.
+  void accumulate_tag_transition_expectations(
+      const EncodedSentence& sentence,
+      std::array<double, text::kNumTags * text::kNumTags>& counts) const;
+
+  /// MAP decode to tags.
+  [[nodiscard]] std::vector<text::Tag> viterbi(const EncodedSentence& sentence) const;
+
+  // --- weight slot helpers (shared with the trainer) ---
+  [[nodiscard]] std::size_t emission_slot(FeatureIndex::Id f, StateId s) const noexcept {
+    return static_cast<std::size_t>(f) * space_.num_states() + s;
+  }
+  [[nodiscard]] std::size_t transition_base() const noexcept {
+    return num_features_ * space_.num_states();
+  }
+  [[nodiscard]] std::size_t start_base() const noexcept {
+    return transition_base() + space_.transitions().size();
+  }
+
+ private:
+  struct Lattice {
+    std::vector<double> emit;     ///< n x S
+    std::vector<double> alpha;    ///< n x S, log forward
+    std::vector<double> beta;     ///< n x S, log backward
+    double log_z = 0.0;
+  };
+
+  void run_forward_backward(const EncodedSentence& sentence, Lattice& lat) const;
+
+  StateSpace space_;
+  std::size_t num_features_;
+  std::vector<double> weights_;  ///< [emission | transition | start]
+};
+
+}  // namespace graphner::crf

@@ -1,0 +1,102 @@
+#include "src/crf/state_space.hpp"
+
+#include <cassert>
+
+namespace graphner::crf {
+
+using text::Tag;
+using text::kNumTags;
+
+namespace {
+
+[[nodiscard]] bool bio_legal(Tag prev, Tag next) noexcept {
+  return !text::is_illegal_transition(prev, next);
+}
+
+}  // namespace
+
+StateSpace StateSpace::order1() {
+  StateSpace space;
+  space.order_ = 1;
+  space.state_tag_ = {Tag::kB, Tag::kI, Tag::kO};
+  for (StateId s = 0; s < kNumTags; ++s) {
+    // A sentence may start with B or O but not I.
+    if (space.state_tag_[s] != Tag::kI) space.starts_.push_back(s);
+  }
+  for (StateId a = 0; a < kNumTags; ++a)
+    for (StateId b = 0; b < kNumTags; ++b)
+      if (bio_legal(space.state_tag_[a], space.state_tag_[b]))
+        space.transitions_.push_back({a, b});
+  space.finalize();
+  return space;
+}
+
+StateSpace StateSpace::order2() {
+  StateSpace space;
+  space.order_ = 2;
+  // State (prev, cur) = prev * 3 + cur; only BIO-legal pairs are reachable
+  // but we materialize all 9 for simple indexing.
+  space.state_tag_.resize(kNumTags * kNumTags);
+  for (std::size_t prev = 0; prev < kNumTags; ++prev)
+    for (std::size_t cur = 0; cur < kNumTags; ++cur)
+      space.state_tag_[prev * kNumTags + cur] = text::tag_from_index(cur);
+
+  // Start states behave as (O, t): the virtual pre-sentence tag is O, so
+  // the first real tag may be B or O.
+  const auto state_of = [](std::size_t prev, std::size_t cur) {
+    return static_cast<StateId>(prev * kNumTags + cur);
+  };
+  const auto o = text::tag_index(Tag::kO);
+  space.starts_.push_back(state_of(o, text::tag_index(Tag::kB)));
+  space.starts_.push_back(state_of(o, o));
+
+  for (std::size_t a = 0; a < kNumTags; ++a) {
+    for (std::size_t b = 0; b < kNumTags; ++b) {
+      if (!bio_legal(text::tag_from_index(a), text::tag_from_index(b))) continue;
+      for (std::size_t c = 0; c < kNumTags; ++c) {
+        if (!bio_legal(text::tag_from_index(b), text::tag_from_index(c))) continue;
+        space.transitions_.push_back({state_of(a, b), state_of(b, c)});
+      }
+    }
+  }
+  space.finalize();
+  return space;
+}
+
+void StateSpace::finalize() {
+  const std::size_t n = num_states();
+  incoming_.assign(n, {});
+  outgoing_.assign(n, {});
+  slot_.assign(n * n, -1);
+  for (std::size_t i = 0; i < transitions_.size(); ++i) {
+    const auto& t = transitions_[i];
+    incoming_[t.to].push_back(t.from);
+    outgoing_[t.from].push_back(t.to);
+    slot_[t.from * n + t.to] = static_cast<std::int32_t>(i);
+  }
+}
+
+std::size_t StateSpace::transition_slot(StateId from, StateId to) const {
+  const std::int32_t slot = slot_[from * num_states() + to];
+  assert(slot >= 0 && "illegal transition queried");
+  return static_cast<std::size_t>(slot);
+}
+
+std::vector<StateId> StateSpace::encode(const std::vector<Tag>& tags) const {
+  std::vector<StateId> states(tags.size());
+  if (order_ == 1) {
+    for (std::size_t i = 0; i < tags.size(); ++i)
+      states[i] = static_cast<StateId>(text::tag_index(tags[i]));
+    return states;
+  }
+  // Order 2: previous tag for position 0 is the virtual O.
+  std::size_t prev = text::tag_index(Tag::kO);
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    const std::size_t cur = text::tag_index(tags[i]);
+    states[i] = static_cast<StateId>(prev * kNumTags + cur);
+    prev = cur;
+  }
+  return states;
+}
+
+}  // namespace graphner::crf

@@ -1,0 +1,68 @@
+// State space abstraction: one linear-chain CRF implementation serves both
+// CRF orders used in the paper.
+//
+// Order 1: states are the tags themselves (3 states).
+// Order 2: states are (previous tag, tag) pairs (9 states); a transition
+// (a,b) -> (c,d) is legal iff b == c, so the chain over pair-states encodes
+// a second-order dependency while the inference code stays first-order.
+// Both spaces also bake in the BIO constraint (no I directly after O).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/text/tag.hpp"
+
+namespace graphner::crf {
+
+using StateId = std::uint16_t;
+
+struct Transition {
+  StateId from = 0;
+  StateId to = 0;
+};
+
+class StateSpace {
+ public:
+  [[nodiscard]] static StateSpace order1();
+  [[nodiscard]] static StateSpace order2();
+
+  [[nodiscard]] std::size_t num_states() const noexcept { return state_tag_.size(); }
+  [[nodiscard]] text::Tag tag_of(StateId state) const { return state_tag_[state]; }
+  [[nodiscard]] int order() const noexcept { return order_; }
+
+  /// Legal (from, to) pairs, including the BIO constraint.
+  [[nodiscard]] const std::vector<Transition>& transitions() const noexcept {
+    return transitions_;
+  }
+  /// Legal start states.
+  [[nodiscard]] const std::vector<StateId>& start_states() const noexcept {
+    return starts_;
+  }
+  /// Incoming legal transitions per state (for forward passes).
+  [[nodiscard]] const std::vector<std::vector<StateId>>& incoming() const noexcept {
+    return incoming_;
+  }
+  /// Outgoing legal transitions per state (for backward passes).
+  [[nodiscard]] const std::vector<std::vector<StateId>>& outgoing() const noexcept {
+    return outgoing_;
+  }
+  /// Dense transition-parameter slot for (from, to); one weight per legal pair.
+  [[nodiscard]] std::size_t transition_slot(StateId from, StateId to) const;
+
+  /// Map a gold tag sequence to the state sequence this space uses.
+  [[nodiscard]] std::vector<StateId> encode(const std::vector<text::Tag>& tags) const;
+
+ private:
+  int order_ = 1;
+  std::vector<text::Tag> state_tag_;
+  std::vector<Transition> transitions_;
+  std::vector<StateId> starts_;
+  std::vector<std::vector<StateId>> incoming_;
+  std::vector<std::vector<StateId>> outgoing_;
+  std::vector<std::int32_t> slot_;  ///< num_states^2 lookup, -1 = illegal
+
+  void finalize();
+};
+
+}  // namespace graphner::crf

@@ -1,0 +1,63 @@
+#include "src/crf/trainer.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/util/logging.hpp"
+#include "src/util/parallel.hpp"
+#include "src/util/stopwatch.hpp"
+
+namespace graphner::crf {
+
+TrainReport train_crf(LinearChainCrf& model, const Batch& batch,
+                      const TrainOptions& options) {
+  assert(!batch.empty());
+  const double inv_sigma2 = 1.0 / (options.l2_sigma * options.l2_sigma);
+  const std::size_t dim = model.num_parameters();
+
+  struct Partial {
+    double neg_log_likelihood = 0.0;
+    std::vector<double> grad;
+  };
+
+  // Negative regularized conditional log-likelihood and its gradient.
+  const Objective objective = [&](std::span<const double> x,
+                                  std::span<double> grad) -> double {
+    model.set_weights(x);
+
+    Partial init;
+    init.grad.assign(dim, 0.0);
+    Partial total = util::parallel_reduce(
+        std::size_t{0}, batch.size(), std::move(init),
+        [&](Partial& acc, std::size_t i) {
+          // log_likelihood adds d(logL)/dw; we negate at the end.
+          acc.neg_log_likelihood -= model.log_likelihood(batch[i], acc.grad);
+        },
+        [](Partial& lhs, const Partial& rhs) {
+          lhs.neg_log_likelihood += rhs.neg_log_likelihood;
+          for (std::size_t j = 0; j < lhs.grad.size(); ++j)
+            lhs.grad[j] += rhs.grad[j];
+        });
+
+    double objective_value = total.neg_log_likelihood;
+    for (std::size_t j = 0; j < dim; ++j) {
+      grad[j] = -total.grad[j] + inv_sigma2 * x[j];
+      objective_value += 0.5 * inv_sigma2 * x[j] * x[j];
+    }
+    return objective_value;
+  };
+
+  util::Stopwatch watch;
+  std::vector<double> x(model.weights().begin(), model.weights().end());
+  const LbfgsResult result = lbfgs_minimize(x, objective, options.lbfgs);
+  model.set_weights(x);
+
+  if (options.verbose) {
+    util::log_info("crf: trained on ", batch.size(), " sentences, ",
+                   result.iterations, " L-BFGS iterations, objective ",
+                   result.objective, ", ", watch.seconds(), "s");
+  }
+  return TrainReport{result.objective, result.iterations, result.converged};
+}
+
+}  // namespace graphner::crf

@@ -1,0 +1,28 @@
+// CRF training: L2-regularized maximum conditional likelihood via L-BFGS.
+#pragma once
+
+#include "src/crf/dataset.hpp"
+#include "src/crf/lbfgs.hpp"
+#include "src/crf/model.hpp"
+
+namespace graphner::crf {
+
+struct TrainOptions {
+  double l2_sigma = 2.0;  ///< Gaussian prior stddev; smaller = stronger prior
+  LbfgsOptions lbfgs{};
+  bool verbose = false;
+};
+
+struct TrainReport {
+  double final_objective = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Train `model` in place on `batch` (all sentences must be labelled).
+/// The per-sentence gradient is embarrassingly parallel; accumulation is
+/// partitioned across worker threads (util::parallel_reduce).
+TrainReport train_crf(LinearChainCrf& model, const Batch& batch,
+                      const TrainOptions& options = {});
+
+}  // namespace graphner::crf

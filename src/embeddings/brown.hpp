@@ -1,0 +1,62 @@
+// Brown clustering (Brown et al. 1992).
+//
+// BANNER-ChemDNER feeds hierarchical Brown-cluster bit-string prefixes to
+// its CRF as features extracted from unlabelled text. This implementation
+// follows the classic greedy algorithm: keep C active clusters, insert
+// words in frequency order, and repeatedly merge the pair whose merge
+// loses the least average mutual information of the cluster-level bigram
+// distribution. After all words are inserted, the final C clusters are
+// merged down to one while recording the merge tree, which yields a binary
+// path (bit string) per cluster.
+//
+// Clustering cost is O(V * C^3) with the straightforward merge-cost
+// evaluation used here, so the vocabulary is capped to the most frequent
+// `max_vocabulary` words; rarer words map to the cluster of a same-shape
+// frequent word when possible, else to a catch-all rare cluster.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/text/sentence.hpp"
+
+namespace graphner::embeddings {
+
+struct BrownConfig {
+  std::size_t num_clusters = 48;
+  std::size_t max_vocabulary = 1200;
+  std::size_t min_count = 2;
+};
+
+class BrownClustering {
+ public:
+  /// Cluster the token stream of `sentences` (sentence boundaries break
+  /// bigrams). Deterministic.
+  static BrownClustering train(const std::vector<text::Sentence>& sentences,
+                               const BrownConfig& config);
+
+  /// Bit-string path of the word's cluster ("0110..."); empty if unknown.
+  [[nodiscard]] std::string path(const std::string& word) const;
+
+  /// Path prefix of length n (whole path if shorter); empty if unknown.
+  [[nodiscard]] std::string path_prefix(const std::string& word, std::size_t n) const;
+
+  /// Flat cluster id in [0, num_clusters); -1 if unknown.
+  [[nodiscard]] int cluster(const std::string& word) const;
+
+  [[nodiscard]] std::size_t num_clusters() const noexcept { return paths_.size(); }
+  [[nodiscard]] std::size_t vocabulary_size() const noexcept { return word_cluster_.size(); }
+
+  /// Text serialization (cluster paths + word assignments).
+  void save(std::ostream& out) const;
+  static BrownClustering load(std::istream& in);
+
+ private:
+  std::unordered_map<std::string, int> word_cluster_;
+  std::vector<std::string> paths_;  ///< per cluster id
+};
+
+}  // namespace graphner::embeddings

@@ -1,0 +1,236 @@
+#include "src/embeddings/word2vec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.hpp"
+#include "src/util/strings.hpp"
+
+namespace graphner::embeddings {
+namespace {
+
+constexpr std::size_t kNegativeTableSize = 1 << 17;
+
+[[nodiscard]] float sigmoid(float x) noexcept {
+  if (x > 8.0F) return 1.0F;
+  if (x < -8.0F) return 0.0F;
+  return 1.0F / (1.0F + std::exp(-x));
+}
+
+}  // namespace
+
+Word2Vec Word2Vec::train(const std::vector<text::Sentence>& sentences,
+                         const Word2VecConfig& config) {
+  Word2Vec model;
+  model.dims_ = config.dimensions;
+
+  // Vocabulary.
+  std::unordered_map<std::string, std::uint64_t> counts;
+  std::uint64_t total_tokens = 0;
+  for (const auto& sentence : sentences) {
+    for (const auto& raw : sentence.tokens) {
+      ++counts[util::to_lower(raw)];
+      ++total_tokens;
+    }
+  }
+  std::vector<std::pair<std::string, std::uint64_t>> vocab;
+  for (auto& [word, count] : counts)
+    if (count >= config.min_count) vocab.emplace_back(word, count);
+  std::sort(vocab.begin(), vocab.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  for (std::size_t i = 0; i < vocab.size(); ++i) {
+    model.index_[vocab[i].first] = i;
+    model.words_.push_back(vocab[i].first);
+  }
+  const std::size_t v = vocab.size();
+  if (v == 0 || total_tokens == 0) return model;
+
+  // Negative-sampling table over unigram^(3/4).
+  std::vector<std::size_t> neg_table(kNegativeTableSize);
+  {
+    double z = 0.0;
+    for (const auto& [_, count] : vocab) z += std::pow(static_cast<double>(count), 0.75);
+    std::size_t word = 0;
+    double cum = std::pow(static_cast<double>(vocab[0].second), 0.75) / z;
+    for (std::size_t i = 0; i < kNegativeTableSize; ++i) {
+      neg_table[i] = word;
+      if (static_cast<double>(i) / kNegativeTableSize > cum && word + 1 < v) {
+        ++word;
+        cum += std::pow(static_cast<double>(vocab[word].second), 0.75) / z;
+      }
+    }
+  }
+
+  util::Rng rng(config.seed);
+  model.input_.assign(v * config.dimensions, 0.0F);
+  std::vector<float> output(v * config.dimensions, 0.0F);
+  for (auto& x : model.input_)
+    x = static_cast<float>(rng.uniform(-0.5, 0.5) / static_cast<double>(config.dimensions));
+
+  // Pre-encode sentences as id sequences.
+  std::vector<std::vector<std::size_t>> encoded;
+  encoded.reserve(sentences.size());
+  for (const auto& sentence : sentences) {
+    std::vector<std::size_t> ids;
+    for (const auto& raw : sentence.tokens) {
+      const auto it = model.index_.find(util::to_lower(raw));
+      if (it != model.index_.end()) ids.push_back(it->second);
+    }
+    if (ids.size() >= 2) encoded.push_back(std::move(ids));
+  }
+
+  const std::size_t dims = config.dimensions;
+  std::vector<float> grad_center(dims);
+  std::uint64_t processed = 0;
+  const std::uint64_t budget =
+      std::max<std::uint64_t>(1, config.epochs * total_tokens);
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    for (const auto& ids : encoded) {
+      for (std::size_t pos = 0; pos < ids.size(); ++pos) {
+        ++processed;
+        const std::size_t center = ids[pos];
+        // Subsample very frequent words.
+        const double freq = static_cast<double>(vocab[center].second) /
+                            static_cast<double>(total_tokens);
+        if (freq > config.subsample_threshold) {
+          const double keep =
+              std::sqrt(config.subsample_threshold / freq) +
+              config.subsample_threshold / freq;
+          if (!rng.flip(std::min(1.0, keep))) continue;
+        }
+        const float lr = static_cast<float>(
+            config.initial_lr *
+            std::max(0.05, 1.0 - static_cast<double>(processed) /
+                               static_cast<double>(budget)));
+        const std::size_t window = 1 + rng.below(config.window);
+        const std::size_t lo = pos >= window ? pos - window : 0;
+        const std::size_t hi = std::min(ids.size(), pos + window + 1);
+        float* vc = model.input_.data() + center * dims;
+        for (std::size_t ctx = lo; ctx < hi; ++ctx) {
+          if (ctx == pos) continue;
+          std::fill(grad_center.begin(), grad_center.end(), 0.0F);
+          for (std::size_t neg = 0; neg <= config.negatives; ++neg) {
+            std::size_t target;
+            float label;
+            if (neg == 0) {
+              target = ids[ctx];
+              label = 1.0F;
+            } else {
+              target = neg_table[rng.below(kNegativeTableSize)];
+              if (target == ids[ctx]) continue;
+              label = 0.0F;
+            }
+            float* vo = output.data() + target * dims;
+            float score = 0.0F;
+            for (std::size_t d = 0; d < dims; ++d) score += vc[d] * vo[d];
+            const float g = (label - sigmoid(score)) * lr;
+            for (std::size_t d = 0; d < dims; ++d) {
+              grad_center[d] += g * vo[d];
+              vo[d] += g * vc[d];
+            }
+          }
+          for (std::size_t d = 0; d < dims; ++d) vc[d] += grad_center[d];
+        }
+      }
+    }
+  }
+  util::log_debug("word2vec: ", v, " words x ", dims, " dims, ",
+                  config.epochs, " epochs");
+  return model;
+}
+
+std::optional<std::span<const float>> Word2Vec::vector(const std::string& word) const {
+  const auto it = index_.find(util::to_lower(word));
+  if (it == index_.end()) return std::nullopt;
+  return std::span<const float>(input_.data() + it->second * dims_, dims_);
+}
+
+double Word2Vec::similarity(const std::string& a, const std::string& b) const {
+  const auto va = vector(a);
+  const auto vb = vector(b);
+  if (!va || !vb) return 0.0;
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (std::size_t d = 0; d < dims_; ++d) {
+    dot += static_cast<double>((*va)[d]) * (*vb)[d];
+    na += static_cast<double>((*va)[d]) * (*va)[d];
+    nb += static_cast<double>((*vb)[d]) * (*vb)[d];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+EmbeddingClusters cluster_embeddings(const Word2Vec& embeddings, std::size_t k,
+                                     std::uint64_t seed, std::size_t iterations) {
+  EmbeddingClusters result;
+  const std::size_t v = embeddings.vocabulary_size();
+  const std::size_t dims = embeddings.dimensions();
+  if (v == 0 || k == 0) return result;
+  k = std::min(k, v);
+  result.k = k;
+
+  // L2-normalized copies so k-means approximates spherical clustering.
+  std::vector<std::vector<float>> points(v, std::vector<float>(dims, 0.0F));
+  for (std::size_t i = 0; i < v; ++i) {
+    const auto vec = embeddings.vector(embeddings.words()[i]);
+    double norm = 0.0;
+    for (std::size_t d = 0; d < dims; ++d) norm += static_cast<double>((*vec)[d]) * (*vec)[d];
+    const float inv = norm > 0 ? static_cast<float>(1.0 / std::sqrt(norm)) : 0.0F;
+    for (std::size_t d = 0; d < dims; ++d) points[i][d] = (*vec)[d] * inv;
+  }
+
+  util::Rng rng(seed);
+  std::vector<std::size_t> seeds(v);
+  for (std::size_t i = 0; i < v; ++i) seeds[i] = i;
+  rng.shuffle(seeds);
+  std::vector<std::vector<float>> centers(k);
+  for (std::size_t c = 0; c < k; ++c) centers[c] = points[seeds[c]];
+
+  std::vector<int> assign(v, 0);
+  for (std::size_t iter = 0; iter < iterations; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < v; ++i) {
+      double best = -1e300;
+      int arg = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        double dot = 0.0;
+        for (std::size_t d = 0; d < dims; ++d)
+          dot += static_cast<double>(points[i][d]) * centers[c][d];
+        if (dot > best) {
+          best = dot;
+          arg = static_cast<int>(c);
+        }
+      }
+      if (assign[i] != arg) {
+        assign[i] = arg;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+    // Recompute centers.
+    std::vector<std::vector<double>> sums(k, std::vector<double>(dims, 0.0));
+    std::vector<std::size_t> sizes(k, 0);
+    for (std::size_t i = 0; i < v; ++i) {
+      for (std::size_t d = 0; d < dims; ++d)
+        sums[static_cast<std::size_t>(assign[i])][d] += points[i][d];
+      ++sizes[static_cast<std::size_t>(assign[i])];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (sizes[c] == 0) continue;
+      double norm = 0.0;
+      for (std::size_t d = 0; d < dims; ++d) norm += sums[c][d] * sums[c][d];
+      const double inv = norm > 0 ? 1.0 / std::sqrt(norm) : 0.0;
+      for (std::size_t d = 0; d < dims; ++d)
+        centers[c][d] = static_cast<float>(sums[c][d] * inv);
+    }
+  }
+
+  for (std::size_t i = 0; i < v; ++i)
+    result.assignment[embeddings.words()[i]] = assign[i];
+  return result;
+}
+
+}  // namespace graphner::embeddings

@@ -1,0 +1,73 @@
+// word2vec skip-gram with negative sampling (Mikolov et al. 2013).
+//
+// BANNER-ChemDNER uses word2vec vectors trained on unlabelled text as CRF
+// features. This is a from-scratch SGNS trainer: unigram^(3/4) negative
+// sampling table, linear learning-rate decay, frequent-word subsampling,
+// deterministic under a fixed seed (single-threaded SGD by design — the
+// corpus sizes here make hogwild unnecessary and determinism is worth more).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/text/sentence.hpp"
+#include "src/util/rng.hpp"
+
+namespace graphner::embeddings {
+
+struct Word2VecConfig {
+  std::size_t dimensions = 24;
+  std::size_t window = 4;
+  std::size_t negatives = 4;
+  std::size_t epochs = 3;
+  std::size_t min_count = 2;
+  double initial_lr = 0.05;
+  double subsample_threshold = 1e-3;
+  std::uint64_t seed = 7;
+};
+
+class Word2Vec {
+ public:
+  static Word2Vec train(const std::vector<text::Sentence>& sentences,
+                        const Word2VecConfig& config);
+
+  /// Input (center-word) vector; nullopt for OOV.
+  [[nodiscard]] std::optional<std::span<const float>> vector(const std::string& word) const;
+
+  [[nodiscard]] std::size_t dimensions() const noexcept { return dims_; }
+  [[nodiscard]] std::size_t vocabulary_size() const noexcept { return words_.size(); }
+  [[nodiscard]] const std::vector<std::string>& words() const noexcept { return words_; }
+
+  /// Cosine similarity between two words' vectors (0 if either is OOV).
+  [[nodiscard]] double similarity(const std::string& a, const std::string& b) const;
+
+ private:
+  std::size_t dims_ = 0;
+  std::vector<std::string> words_;
+  std::unordered_map<std::string, std::size_t> index_;
+  std::vector<float> input_;  ///< vocabulary x dims
+};
+
+/// Hard k-means over the (L2-normalized) embedding vectors; the resulting
+/// cluster ids are discretized into CRF features, mirroring how
+/// BANNER-ChemDNER buckets continuous vectors.
+struct EmbeddingClusters {
+  std::unordered_map<std::string, int> assignment;
+  std::size_t k = 0;
+
+  [[nodiscard]] int cluster(const std::string& word) const {
+    const auto it = assignment.find(word);
+    return it == assignment.end() ? -1 : it->second;
+  }
+};
+
+[[nodiscard]] EmbeddingClusters cluster_embeddings(const Word2Vec& embeddings,
+                                                   std::size_t k,
+                                                   std::uint64_t seed = 11,
+                                                   std::size_t iterations = 12);
+
+}  // namespace graphner::embeddings

@@ -1,0 +1,93 @@
+#include "src/eval/bc2gm_eval.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace graphner::eval {
+namespace {
+
+[[nodiscard]] bool spans_overlap(const text::CharSpan& a, const text::CharSpan& b) noexcept {
+  return a.first <= b.last && b.first <= a.last;
+}
+
+}  // namespace
+
+DetectionMap group_by_sentence(const std::vector<text::Annotation>& anns) {
+  DetectionMap map;
+  for (const auto& ann : anns) map[ann.sentence_id].push_back(ann);
+  return map;
+}
+
+EvalResult evaluate_bc2gm(const std::vector<text::Annotation>& detections,
+                          const std::vector<text::Annotation>& gold,
+                          const std::vector<text::Annotation>& alternatives) {
+  EvalResult result;
+
+  // Per sentence: primary spans and, per acceptable span (primary or
+  // alternative), the index of the primary it credits.
+  struct SentenceGold {
+    std::vector<text::CharSpan> primaries;
+    std::map<text::CharSpan, std::size_t> acceptable;  ///< span -> primary idx
+    std::vector<bool> consumed;
+  };
+  std::unordered_map<std::string, SentenceGold> by_sentence;
+
+  for (const auto& ann : gold) {
+    auto& sg = by_sentence[ann.sentence_id];
+    sg.acceptable.emplace(ann.span, sg.primaries.size());
+    sg.primaries.push_back(ann.span);
+  }
+  for (auto& [id, sg] : by_sentence) {
+    (void)id;
+    sg.consumed.assign(sg.primaries.size(), false);
+  }
+  for (const auto& alt : alternatives) {
+    const auto it = by_sentence.find(alt.sentence_id);
+    if (it == by_sentence.end()) continue;
+    auto& sg = it->second;
+    // Link the alternative to the primary mention it overlaps; ambiguous
+    // alternatives credit the first overlapping primary.
+    for (std::size_t p = 0; p < sg.primaries.size(); ++p) {
+      if (spans_overlap(alt.span, sg.primaries[p])) {
+        sg.acceptable.emplace(alt.span, p);
+        break;
+      }
+    }
+  }
+
+  std::size_t tp = 0;
+  for (const auto& det : detections) {
+    bool matched = false;
+    if (const auto it = by_sentence.find(det.sentence_id); it != by_sentence.end()) {
+      auto& sg = it->second;
+      const auto jt = sg.acceptable.find(det.span);
+      if (jt != sg.acceptable.end() && !sg.consumed[jt->second]) {
+        sg.consumed[jt->second] = true;
+        matched = true;
+      }
+    }
+    if (matched) {
+      ++tp;
+    } else {
+      result.false_positive_details.push_back({det.sentence_id, det.span, det.mention});
+    }
+  }
+
+  result.metrics.true_positives = tp;
+  result.metrics.false_positives = detections.size() - tp;
+  result.metrics.false_negatives = gold.size() - tp;
+
+  for (const auto& ann : gold) {
+    const auto& sg = by_sentence[ann.sentence_id];
+    // Report unconsumed primaries as FN details.
+    for (std::size_t p = 0; p < sg.primaries.size(); ++p) {
+      if (sg.primaries[p] == ann.span && !sg.consumed[p]) {
+        result.false_negative_details.push_back({ann.sentence_id, ann.span, ann.mention});
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace graphner::eval

@@ -1,0 +1,44 @@
+// The BioCreative II gene-mention evaluation protocol.
+//
+// Exact-match evaluation with alternative annotations (paper §III):
+// a detection is a true positive iff its whitespace-free character span
+// matches a primary gold mention or an acceptable alternative of one;
+// each primary mention can be credited at most once. Then
+//   FN = #primary - TP,   FP = #detections - TP.
+// Alternatives are linked to the primary they overlap (the real ALTGENE
+// file encodes the same relationship implicitly through offsets).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/eval/metrics.hpp"
+#include "src/text/annotation.hpp"
+
+namespace graphner::eval {
+
+struct ErrorDetail {
+  std::string sentence_id;
+  text::CharSpan span;
+  std::string mention;
+};
+
+struct EvalResult {
+  Metrics metrics;
+  std::vector<ErrorDetail> false_positive_details;
+  std::vector<ErrorDetail> false_negative_details;
+};
+
+/// Evaluate `detections` against `gold` (primary) and `alternatives`.
+[[nodiscard]] EvalResult evaluate_bc2gm(
+    const std::vector<text::Annotation>& detections,
+    const std::vector<text::Annotation>& gold,
+    const std::vector<text::Annotation>& alternatives);
+
+/// Per-sentence detection sets keyed by sentence id (used by sigf).
+using DetectionMap = std::unordered_map<std::string, std::vector<text::Annotation>>;
+
+[[nodiscard]] DetectionMap group_by_sentence(const std::vector<text::Annotation>& anns);
+
+}  // namespace graphner::eval

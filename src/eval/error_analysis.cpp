@@ -1,0 +1,72 @@
+#include "src/eval/error_analysis.hpp"
+
+#include <map>
+
+#include "src/util/strings.hpp"
+
+namespace graphner::eval {
+namespace {
+
+[[nodiscard]] std::string error_key(const ErrorDetail& e) {
+  return e.sentence_id + '|' + std::to_string(e.span.first) + '|' +
+         std::to_string(e.span.last);
+}
+
+}  // namespace
+
+ErrorCategorizer::ErrorCategorizer(const std::vector<std::string>& gene_tokens,
+                                   const std::vector<text::Annotation>& truth) {
+  for (const auto& tok : gene_tokens) gene_tokens_.insert(util::to_lower(tok));
+  for (const auto& ann : truth)
+    truth_keys_.insert(ann.sentence_id + '|' + std::to_string(ann.span.first) + '|' +
+                       std::to_string(ann.span.last));
+}
+
+CategorizedError ErrorCategorizer::categorize(const ErrorDetail& error) const {
+  CategorizedError out;
+  out.detail = error;
+  for (const auto& tok : util::split_whitespace(error.mention)) {
+    if (gene_tokens_.contains(util::to_lower(tok))) {
+      out.category = ErrorCategory::kGeneRelated;
+      break;
+    }
+  }
+  out.corpus_error = truth_keys_.contains(error_key(error));
+  return out;
+}
+
+std::vector<CategorizedError> ErrorCategorizer::categorize_all(
+    const std::vector<ErrorDetail>& errors) const {
+  std::vector<CategorizedError> out;
+  out.reserve(errors.size());
+  for (const auto& e : errors) out.push_back(categorize(e));
+  return out;
+}
+
+UpsetTable build_upset_table(const std::vector<CategorizedError>& fps_a,
+                             const std::vector<CategorizedError>& fps_b) {
+  std::map<std::string, std::pair<bool, bool>> membership;  // key -> (in A, in B)
+  std::map<std::string, ErrorCategory> category;
+  for (const auto& e : fps_a) {
+    const std::string key = error_key(e.detail);
+    membership[key].first = true;
+    category[key] = e.category;
+  }
+  for (const auto& e : fps_b) {
+    const std::string key = error_key(e.detail);
+    membership[key].second = true;
+    category[key] = e.category;
+  }
+  UpsetTable table;
+  for (const auto& [key, in] : membership) {
+    UpsetCell& cell = category[key] == ErrorCategory::kGeneRelated
+                          ? table.gene_related
+                          : table.spurious;
+    if (in.first && in.second) ++cell.both;
+    else if (in.first) ++cell.only_a;
+    else ++cell.only_b;
+  }
+  return table;
+}
+
+}  // namespace graphner::eval

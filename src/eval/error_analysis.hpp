@@ -1,0 +1,69 @@
+// Qualitative error analysis (paper §III-E, Figures 4 and 5).
+//
+// False positives / negatives are categorized as *gene-related* (the
+// mention shares tokens with the gene nomenclature: actual genes, gene
+// families, protein domains) or *spurious* (thematically unrelated, e.g.
+// "Ann Arbor"). FPs that exactly match the pristine pre-noise truth are
+// additionally flagged as *corpus errors* — correct detections counted as
+// errors only because the gold standard missed them.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/eval/bc2gm_eval.hpp"
+#include "src/text/annotation.hpp"
+
+namespace graphner::eval {
+
+enum class ErrorCategory { kGeneRelated, kSpurious };
+
+struct CategorizedError {
+  ErrorDetail detail;
+  ErrorCategory category = ErrorCategory::kSpurious;
+  bool corpus_error = false;  ///< detection matches the noise-free truth
+};
+
+class ErrorCategorizer {
+ public:
+  /// `gene_tokens`: lowercased tokens occurring in gene names (from the
+  /// corpus lexicon); `truth`: pristine annotations, may be empty.
+  ErrorCategorizer(const std::vector<std::string>& gene_tokens,
+                   const std::vector<text::Annotation>& truth);
+
+  [[nodiscard]] CategorizedError categorize(const ErrorDetail& error) const;
+
+  [[nodiscard]] std::vector<CategorizedError> categorize_all(
+      const std::vector<ErrorDetail>& errors) const;
+
+ private:
+  std::unordered_set<std::string> gene_tokens_;
+  std::unordered_set<std::string> truth_keys_;  ///< "sid|first|last"
+};
+
+/// UpSet-style intersection tabulation of two systems' false positives.
+struct UpsetCell {
+  std::size_t only_a = 0;
+  std::size_t only_b = 0;
+  std::size_t both = 0;
+};
+
+struct UpsetTable {
+  UpsetCell gene_related;
+  UpsetCell spurious;
+
+  [[nodiscard]] std::size_t total_a() const noexcept {
+    return gene_related.only_a + gene_related.both + spurious.only_a + spurious.both;
+  }
+  [[nodiscard]] std::size_t total_b() const noexcept {
+    return gene_related.only_b + gene_related.both + spurious.only_b + spurious.both;
+  }
+};
+
+/// Intersect FP sets of system A and system B, split by category.
+[[nodiscard]] UpsetTable build_upset_table(
+    const std::vector<CategorizedError>& fps_a,
+    const std::vector<CategorizedError>& fps_b);
+
+}  // namespace graphner::eval

@@ -1,0 +1,35 @@
+// Precision / recall / F-score counters.
+#pragma once
+
+#include <cstddef>
+
+#include "src/util/math.hpp"
+
+namespace graphner::eval {
+
+struct Metrics {
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+  std::size_t false_negatives = 0;
+
+  [[nodiscard]] double precision() const noexcept {
+    const std::size_t d = true_positives + false_positives;
+    return d == 0 ? 0.0 : static_cast<double>(true_positives) / static_cast<double>(d);
+  }
+  [[nodiscard]] double recall() const noexcept {
+    const std::size_t d = true_positives + false_negatives;
+    return d == 0 ? 0.0 : static_cast<double>(true_positives) / static_cast<double>(d);
+  }
+  [[nodiscard]] double f_score() const noexcept {
+    return util::f_score(precision(), recall());
+  }
+
+  Metrics& operator+=(const Metrics& other) noexcept {
+    true_positives += other.true_positives;
+    false_positives += other.false_positives;
+    false_negatives += other.false_negatives;
+    return *this;
+  }
+};
+
+}  // namespace graphner::eval

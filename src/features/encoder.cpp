@@ -1,0 +1,71 @@
+#include "src/features/encoder.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace graphner::features {
+namespace {
+
+void sort_unique(std::vector<crf::FeatureIndex::Id>& ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
+}  // namespace
+
+crf::EncodedSentence encode_for_training(const text::Sentence& sentence,
+                                         const FeatureExtractor& extractor,
+                                         crf::FeatureIndex& index,
+                                         const crf::StateSpace& space) {
+  assert(sentence.has_tags());
+  crf::EncodedSentence out;
+  out.features.reserve(sentence.size());
+  for (const auto& features : extractor.extract(sentence)) {
+    std::vector<crf::FeatureIndex::Id> ids;
+    ids.reserve(features.size());
+    for (const auto& name : features) ids.push_back(index.intern(name));
+    sort_unique(ids);
+    out.features.push_back(std::move(ids));
+  }
+  out.states = space.encode(sentence.tags);
+  return out;
+}
+
+crf::EncodedSentence encode_for_inference(const text::Sentence& sentence,
+                                          const FeatureExtractor& extractor,
+                                          const crf::FeatureIndex& index) {
+  crf::EncodedSentence out;
+  out.features.reserve(sentence.size());
+  for (const auto& features : extractor.extract(sentence)) {
+    std::vector<crf::FeatureIndex::Id> ids;
+    ids.reserve(features.size());
+    for (const auto& name : features)
+      if (const auto id = index.find(name)) ids.push_back(*id);
+    sort_unique(ids);
+    out.features.push_back(std::move(ids));
+  }
+  return out;
+}
+
+crf::Batch encode_batch_for_training(const std::vector<text::Sentence>& sentences,
+                                     const FeatureExtractor& extractor,
+                                     crf::FeatureIndex& index,
+                                     const crf::StateSpace& space) {
+  crf::Batch batch;
+  batch.reserve(sentences.size());
+  for (const auto& s : sentences)
+    if (s.size() > 0) batch.push_back(encode_for_training(s, extractor, index, space));
+  return batch;
+}
+
+crf::Batch encode_batch_for_inference(const std::vector<text::Sentence>& sentences,
+                                      const FeatureExtractor& extractor,
+                                      const crf::FeatureIndex& index) {
+  crf::Batch batch;
+  batch.reserve(sentences.size());
+  for (const auto& s : sentences)
+    if (s.size() > 0) batch.push_back(encode_for_inference(s, extractor, index));
+  return batch;
+}
+
+}  // namespace graphner::features

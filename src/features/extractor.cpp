@@ -1,0 +1,163 @@
+#include "src/features/extractor.hpp"
+
+#include <array>
+#include <cassert>
+
+#include "src/text/lemmatizer.hpp"
+#include "src/util/strings.hpp"
+
+namespace graphner::features {
+namespace {
+
+using util::to_lower;
+
+[[nodiscard]] std::string token_at(const text::Sentence& sentence, long long pos) {
+  if (pos < 0) return "<s>";
+  if (pos >= static_cast<long long>(sentence.size())) return "</s>";
+  return sentence.tokens[static_cast<std::size_t>(pos)];
+}
+
+[[nodiscard]] const char* length_bucket(std::size_t n) noexcept {
+  if (n == 1) return "1";
+  if (n == 2) return "2";
+  if (n <= 4) return "3-4";
+  if (n <= 6) return "5-6";
+  return "7+";
+}
+
+}  // namespace
+
+bool is_roman_numeral(const std::string& token) noexcept {
+  if (token.empty()) return false;
+  for (char c : token) {
+    switch (c) {
+      case 'I': case 'V': case 'X': case 'L': case 'C': case 'D': case 'M':
+        break;
+      default:
+        return false;
+    }
+  }
+  return token.size() <= 4;  // gene contexts rarely exceed short numerals
+}
+
+bool is_greek_letter(const std::string& token) noexcept {
+  static constexpr std::array<std::string_view, 12> kGreek = {
+      "alpha", "beta",  "gamma", "delta", "epsilon", "zeta",
+      "eta",   "theta", "kappa", "lambda", "sigma",  "omega"};
+  const std::string lowered = to_lower(token);
+  for (const auto& g : kGreek)
+    if (lowered == g) return true;
+  return false;
+}
+
+TokenFeatures FeatureExtractor::extract_at(const text::Sentence& sentence,
+                                           std::size_t position) const {
+  assert(position < sentence.size());
+  TokenFeatures out;
+  out.reserve(32);
+  const std::string& token = sentence.tokens[position];
+  const std::string lowered = to_lower(token);
+
+  if (config_.token_identity) {
+    out.push_back("W=" + token);
+    out.push_back("WL=" + lowered);
+  }
+  if (config_.lemmas) out.push_back("LEMMA=" + text::lemmatize(token));
+
+  if (config_.context) {
+    const auto w = static_cast<long long>(config_.context_window);
+    for (long long d = -w; d <= w; ++d) {
+      if (d == 0) continue;
+      out.push_back("C[" + std::to_string(d) + "]=" +
+                    to_lower(token_at(sentence, static_cast<long long>(position) + d)));
+    }
+  }
+  if (config_.token_bigrams) {
+    out.push_back("BG[-1]=" +
+                  to_lower(token_at(sentence, static_cast<long long>(position) - 1)) +
+                  "_" + lowered);
+    out.push_back("BG[+1]=" + lowered + "_" +
+                  to_lower(token_at(sentence, static_cast<long long>(position) + 1)));
+  }
+  if (config_.shapes) {
+    out.push_back("SHAPE=" + util::word_shape(token));
+    out.push_back("CSHAPE=" + util::compressed_shape(token));
+  }
+  if (config_.affixes) {
+    for (std::size_t n = 1; n <= config_.max_affix_length && n < lowered.size(); ++n) {
+      out.push_back("PRE" + std::to_string(n) + "=" + lowered.substr(0, n));
+      out.push_back("SUF" + std::to_string(n) + "=" + lowered.substr(lowered.size() - n));
+    }
+  }
+  if (config_.char_ngrams) {
+    const std::string padded = "^" + lowered + "$";
+    for (std::size_t n = 2; n <= 3; ++n) {
+      if (padded.size() < n) break;
+      for (std::size_t i = 0; i + n <= padded.size(); ++i)
+        out.push_back("CN" + std::to_string(n) + "=" + padded.substr(i, n));
+    }
+  }
+  if (config_.orthographic) {
+    if (util::is_all_caps(token)) out.emplace_back("ALLCAPS");
+    if (util::is_init_caps(token)) out.emplace_back("INITCAP");
+    if (util::is_all_digits(token)) out.emplace_back("ALLDIGITS");
+    if (util::has_digit(token) && util::has_letter(token)) out.emplace_back("ALPHANUM");
+    if (util::has_digit(token)) out.emplace_back("HASDIGIT");
+    if (token.find('-') != std::string::npos) out.emplace_back("HASDASH");
+    if (token.find('/') != std::string::npos) out.emplace_back("HASSLASH");
+    if (!util::has_letter(token) && !util::has_digit(token)) out.emplace_back("ISPUNCT");
+    if (token.size() == 1) out.emplace_back("SINGLECHAR");
+    if (is_roman_numeral(token)) out.emplace_back("ROMAN");
+    if (is_greek_letter(token)) out.emplace_back("GREEK");
+  }
+  if (config_.length_bucket)
+    out.push_back(std::string("LEN=") + length_bucket(token.size()));
+
+  if (config_.brown != nullptr) {
+    for (const std::size_t n : {4U, 6U, 10U}) {
+      const std::string prefix = config_.brown->path_prefix(lowered, n);
+      if (!prefix.empty())
+        out.push_back("BR" + std::to_string(n) + "=" + prefix);
+    }
+    // Context Brown paths link unseen symbols to seen ones via neighbours.
+    for (const long long d : {-1LL, 1LL}) {
+      const std::string ctx =
+          to_lower(token_at(sentence, static_cast<long long>(position) + d));
+      const std::string prefix = config_.brown->path_prefix(ctx, 6);
+      if (!prefix.empty())
+        out.push_back("BRC[" + std::to_string(d) + "]=" + prefix);
+    }
+  }
+  if (config_.embedding_clusters != nullptr) {
+    const int c = config_.embedding_clusters->cluster(lowered);
+    if (c >= 0) out.push_back("EMB=" + std::to_string(c));
+    for (const long long d : {-1LL, 1LL}) {
+      const std::string ctx =
+          to_lower(token_at(sentence, static_cast<long long>(position) + d));
+      const int cc = config_.embedding_clusters->cluster(ctx);
+      if (cc >= 0)
+        out.push_back("EMBC[" + std::to_string(d) + "]=" + std::to_string(cc));
+    }
+  }
+  return out;
+}
+
+std::vector<TokenFeatures> FeatureExtractor::extract(
+    const text::Sentence& sentence) const {
+  std::vector<TokenFeatures> out;
+  out.reserve(sentence.size());
+  for (std::size_t i = 0; i < sentence.size(); ++i) out.push_back(extract_at(sentence, i));
+
+  if (config_.pos_tagger != nullptr && sentence.size() > 0) {
+    const auto pos = config_.pos_tagger->tag(sentence.tokens);
+    for (std::size_t i = 0; i < sentence.size(); ++i) {
+      out[i].push_back("POS=" + pos[i]);
+      out[i].push_back("POS[-1]=" + (i > 0 ? pos[i - 1] : std::string("<s>")));
+      out[i].push_back("POS[+1]=" +
+                       (i + 1 < pos.size() ? pos[i + 1] : std::string("</s>")));
+    }
+  }
+  return out;
+}
+
+}  // namespace graphner::features

@@ -1,0 +1,70 @@
+// NER feature extraction.
+//
+// The BANNER profile covers the classic supervised feature templates:
+// token identity, lowercase, lemma, context window, token bigrams, word
+// shapes, prefixes/suffixes, character n-grams, orthographic predicates
+// (caps, digits, punctuation, Roman numerals, Greek letters) and a length
+// bucket. The ChemDNER profile adds Brown-cluster path prefixes and
+// word2vec k-means cluster ids, turning the same CRF into the
+// semi-supervised-features baseline of the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/embeddings/brown.hpp"
+#include "src/embeddings/word2vec.hpp"
+#include "src/postag/hmm_tagger.hpp"
+#include "src/text/sentence.hpp"
+
+namespace graphner::features {
+
+struct FeatureConfig {
+  bool token_identity = true;
+  bool lemmas = true;
+  bool context = true;
+  std::size_t context_window = 2;
+  bool token_bigrams = true;
+  bool shapes = true;
+  bool affixes = true;
+  std::size_t max_affix_length = 4;
+  bool char_ngrams = true;
+  bool orthographic = true;
+  bool length_bucket = true;
+  // ChemDNER extensions (non-owning pointers; nullptr disables the feature).
+  const embeddings::BrownClustering* brown = nullptr;
+  const embeddings::EmbeddingClusters* embedding_clusters = nullptr;
+  /// Optional HMM POS tagger (BANNER feeds POS features to its CRF). POS
+  /// features are produced by the whole-sentence extract() path, which
+  /// tags each sentence once; extract_at() alone does not include them.
+  const postag::HmmPosTagger* pos_tagger = nullptr;
+};
+
+/// Per-position string features ("W=tumor", "SUF2=or", ...).
+using TokenFeatures = std::vector<std::string>;
+
+class FeatureExtractor {
+ public:
+  explicit FeatureExtractor(FeatureConfig config) : config_(std::move(config)) {}
+
+  [[nodiscard]] const FeatureConfig& config() const noexcept { return config_; }
+
+  /// Extract features for every position of a sentence.
+  [[nodiscard]] std::vector<TokenFeatures> extract(const text::Sentence& sentence) const;
+
+  /// Features of a single position (exposed for the graph builder, which
+  /// represents a 3-gram occurrence by its center token's features).
+  [[nodiscard]] TokenFeatures extract_at(const text::Sentence& sentence,
+                                         std::size_t position) const;
+
+ private:
+  FeatureConfig config_;
+};
+
+/// True for token strings that look like Roman numerals (II, IV, ...).
+[[nodiscard]] bool is_roman_numeral(const std::string& token) noexcept;
+
+/// True for spelled Greek letters (alpha, beta, ...).
+[[nodiscard]] bool is_greek_letter(const std::string& token) noexcept;
+
+}  // namespace graphner::features

@@ -1,0 +1,66 @@
+#include "src/features/mi_selection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace graphner::features {
+
+std::vector<MiScore> feature_mutual_information(
+    const std::vector<text::Sentence>& labelled, const FeatureExtractor& extractor) {
+  // Joint counts: feature -> per-tag occurrence counts; plus tag marginals.
+  std::unordered_map<std::string, std::array<std::uint64_t, text::kNumTags>> joint;
+  std::array<std::uint64_t, text::kNumTags> tag_counts{};
+  std::uint64_t total = 0;
+
+  for (const auto& sentence : labelled) {
+    if (!sentence.has_tags()) continue;
+    const auto features = extractor.extract(sentence);
+    for (std::size_t i = 0; i < sentence.size(); ++i) {
+      const std::size_t t = text::tag_index(sentence.tags[i]);
+      ++tag_counts[t];
+      ++total;
+      for (const auto& name : features[i]) ++joint[name][t];
+    }
+  }
+  std::vector<MiScore> scores;
+  if (total == 0) return scores;
+  scores.reserve(joint.size());
+
+  const auto n = static_cast<double>(total);
+  for (const auto& [name, counts] : joint) {
+    std::uint64_t feature_total = 0;
+    for (const auto c : counts) feature_total += c;
+    const double pf = static_cast<double>(feature_total) / n;
+    double mi = 0.0;
+    for (std::size_t t = 0; t < text::kNumTags; ++t) {
+      const double pt = static_cast<double>(tag_counts[t]) / n;
+      if (pt <= 0.0) continue;
+      // Present-feature cell.
+      if (counts[t] > 0) {
+        const double pft = static_cast<double>(counts[t]) / n;
+        mi += pft * std::log(pft / (pf * pt));
+      }
+      // Absent-feature cell.
+      const double p_not_ft = (static_cast<double>(tag_counts[t]) - counts[t]) / n;
+      const double p_not_f = 1.0 - pf;
+      if (p_not_ft > 0.0 && p_not_f > 0.0)
+        mi += p_not_ft * std::log(p_not_ft / (p_not_f * pt));
+    }
+    scores.push_back({name, mi});
+  }
+  std::sort(scores.begin(), scores.end(), [](const MiScore& a, const MiScore& b) {
+    return a.mi != b.mi ? a.mi > b.mi : a.feature < b.feature;
+  });
+  return scores;
+}
+
+std::unordered_set<std::string> select_by_mi(const std::vector<MiScore>& scores,
+                                             double threshold) {
+  std::unordered_set<std::string> selected;
+  for (const auto& s : scores)
+    if (s.mi > threshold) selected.insert(s.feature);
+  return selected;
+}
+
+}  // namespace graphner::features

@@ -1,0 +1,32 @@
+// Mutual-information feature selection (Table III's "MI > threshold" rows).
+//
+// For every feature name appearing in a labelled corpus, computes the
+// mutual information between the binary feature indicator and the token's
+// tag, I(F; T) = sum_{f,t} p(f,t) log(p(f,t) / (p(f) p(t))), and keeps
+// features above a threshold. The selected set restricts the vertex
+// representation used in graph construction.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/features/extractor.hpp"
+#include "src/text/sentence.hpp"
+
+namespace graphner::features {
+
+struct MiScore {
+  std::string feature;
+  double mi = 0.0;
+};
+
+/// MI of every feature with the tag distribution, descending.
+[[nodiscard]] std::vector<MiScore> feature_mutual_information(
+    const std::vector<text::Sentence>& labelled, const FeatureExtractor& extractor);
+
+/// Features with MI strictly greater than `threshold`.
+[[nodiscard]] std::unordered_set<std::string> select_by_mi(
+    const std::vector<MiScore>& scores, double threshold);
+
+}  // namespace graphner::features

@@ -1,0 +1,62 @@
+#include "src/graph/graph_stats.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace graphner::graph {
+namespace {
+
+/// Union-find over vertex ids.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[b] = a;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+GraphStats compute_graph_stats(const KnnGraph& graph) {
+  GraphStats stats;
+  stats.vertices = graph.vertex_count();
+  stats.edges = graph.edge_count();
+  stats.influencees.assign(stats.vertices, 0);
+  stats.influence.assign(stats.vertices, 0.0);
+
+  DisjointSets components(stats.vertices);
+  for (std::size_t v = 0; v < stats.vertices; ++v) {
+    for (const auto& edge : graph.neighbours(static_cast<VertexId>(v))) {
+      ++stats.influencees[edge.target];
+      stats.influence[edge.target] += edge.weight;
+      components.unite(v, edge.target);
+    }
+  }
+  if (stats.vertices > 0)
+    stats.mean_out_degree =
+        static_cast<double>(stats.edges) / static_cast<double>(stats.vertices);
+
+  std::vector<std::size_t> component_size(stats.vertices, 0);
+  for (std::size_t v = 0; v < stats.vertices; ++v) ++component_size[components.find(v)];
+  for (const std::size_t size : component_size) {
+    if (size > 0) ++stats.weakly_connected_components;
+    stats.largest_component = std::max(stats.largest_component, size);
+  }
+  return stats;
+}
+
+}  // namespace graphner::graph

@@ -1,0 +1,27 @@
+// Graph statistics reported in the paper (§III-D and Fig. 3).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/graph/knn_graph.hpp"
+
+namespace graphner::graph {
+
+struct GraphStats {
+  std::size_t vertices = 0;
+  std::size_t edges = 0;
+  std::size_t weakly_connected_components = 0;
+  std::size_t largest_component = 0;
+  double mean_out_degree = 0.0;
+
+  /// |Influencees(v)|: number of vertices to which v is a nearest neighbour
+  /// (in-degree in the directed k-NN graph).
+  std::vector<std::size_t> influencees;
+  /// Influence(v) = sum of incoming edge weights.
+  std::vector<double> influence;
+};
+
+[[nodiscard]] GraphStats compute_graph_stats(const KnnGraph& graph);
+
+}  // namespace graphner::graph

@@ -1,0 +1,103 @@
+#include "src/graph/knn_graph.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "src/util/logging.hpp"
+#include "src/util/parallel.hpp"
+#include "src/util/stopwatch.hpp"
+#include "src/util/table.hpp"
+#include "src/util/top_k.hpp"
+
+namespace graphner::graph {
+
+KnnGraph::KnnGraph(std::size_t num_vertices, std::size_t k)
+    : k_(k), edges_(num_vertices) {}
+
+std::size_t KnnGraph::edge_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& e : edges_) n += e.size();
+  return n;
+}
+
+void KnnGraph::save(std::ostream& out) const {
+  out.precision(10);  // round-trip float weights exactly
+  out << vertex_count() << ' ' << k_ << '\n';
+  for (std::size_t v = 0; v < edges_.size(); ++v)
+    for (const auto& e : edges_[v]) out << v << ' ' << e.target << ' ' << e.weight << '\n';
+}
+
+KnnGraph KnnGraph::load(std::istream& in) {
+  std::size_t vertices = 0;
+  std::size_t k = 0;
+  in >> vertices >> k;
+  KnnGraph graph(vertices, k);
+  std::size_t src = 0;
+  Edge edge;
+  while (in >> src >> edge.target >> edge.weight)
+    graph.edges_.at(src).push_back(edge);
+  return graph;
+}
+
+KnnGraph build_knn_graph(const std::vector<SparseVector>& vectors,
+                         const KnnConfig& config) {
+  const std::size_t n = vectors.size();
+  KnnGraph graph(n, config.k);
+  util::Stopwatch watch;
+
+  // Inverted index: feature id -> (vertex, value) pairs, so the scoring
+  // loop accumulates dot products without touching the candidate's vector.
+  struct Posting {
+    VertexId vertex;
+    float value;
+  };
+  std::uint32_t max_feature = 0;
+  for (const auto& vec : vectors)
+    for (const auto& e : vec.entries()) max_feature = std::max(max_feature, e.index);
+  std::vector<std::vector<Posting>> postings(static_cast<std::size_t>(max_feature) + 1);
+  for (std::size_t v = 0; v < n; ++v)
+    for (const auto& e : vectors[v].entries())
+      postings[e.index].push_back({static_cast<VertexId>(v), e.value});
+
+  std::size_t skipped_features = 0;
+  for (auto& plist : postings)
+    if (plist.size() > config.max_posting_length) {
+      plist.clear();
+      plist.shrink_to_fit();
+      ++skipped_features;
+    }
+
+  // Each worker keeps a dense accumulator reused across its chunk; the
+  // `touched` list bounds the reset cost by the candidate count.
+  util::parallel_for_chunked(0, n, [&](std::size_t lo, std::size_t hi) {
+    std::vector<double> acc(n, 0.0);
+    std::vector<VertexId> touched;
+    for (std::size_t v = lo; v < hi; ++v) {
+      touched.clear();
+      for (const auto& e : vectors[v].entries()) {
+        for (const Posting& p : postings[e.index]) {
+          if (p.vertex == v) continue;
+          if (acc[p.vertex] == 0.0) touched.push_back(p.vertex);
+          acc[p.vertex] += static_cast<double>(e.value) * p.value;
+        }
+      }
+      util::TopK<VertexId> best(config.k);
+      for (const VertexId u : touched) {
+        if (acc[u] > config.min_similarity) best.push(acc[u], u);
+        acc[u] = 0.0;
+      }
+      std::vector<Edge> edges;
+      for (auto& [score, u] : best.take_sorted())
+        edges.push_back({u, static_cast<float>(score)});
+      graph.set_neighbours(static_cast<VertexId>(v), std::move(edges));
+    }
+  });
+
+  util::log_debug("knn graph: ", n, " vertices, ", graph.edge_count(), " edges, ",
+                 skipped_features, " high-df features skipped, ",
+                 util::TablePrinter::fmt(watch.seconds(), 2), "s");
+  return graph;
+}
+
+}  // namespace graphner::graph

@@ -1,0 +1,64 @@
+// Exact k-nearest-neighbour similarity graph.
+//
+// The paper keeps the K most cosine-similar vertices for each vertex,
+// which makes the graph directed with uniform out-degree K (§III-D). With
+// unit-norm PPMI vectors the cosine is a sparse dot product; candidates
+// are generated through an inverted index over feature ids so only vertex
+// pairs sharing at least one feature are scored. The scoring loop is the
+// O(V^2 F) hot spot the paper discusses — it is parallelized across
+// vertices (util::parallel_for_chunked).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "src/graph/sparse_vector.hpp"
+#include "src/graph/trigram.hpp"
+
+namespace graphner::graph {
+
+struct Edge {
+  VertexId target = 0;
+  float weight = 0.0F;
+};
+
+class KnnGraph {
+ public:
+  KnnGraph() = default;
+  KnnGraph(std::size_t num_vertices, std::size_t k);
+
+  [[nodiscard]] std::size_t vertex_count() const noexcept { return edges_.size(); }
+  [[nodiscard]] std::size_t k() const noexcept { return k_; }
+  [[nodiscard]] std::size_t edge_count() const noexcept;
+
+  [[nodiscard]] const std::vector<Edge>& neighbours(VertexId v) const {
+    return edges_.at(v);
+  }
+  void set_neighbours(VertexId v, std::vector<Edge> edges) {
+    edges_.at(v) = std::move(edges);
+  }
+
+  /// Text serialization: one line per edge "src dst weight".
+  void save(std::ostream& out) const;
+  static KnnGraph load(std::istream& in);
+
+ private:
+  std::size_t k_ = 0;
+  std::vector<std::vector<Edge>> edges_;
+};
+
+struct KnnConfig {
+  std::size_t k = 10;
+  /// Features whose posting list exceeds this length are skipped during
+  /// candidate generation (they connect everything to everything and would
+  /// make the scoring pass quadratic in practice).
+  std::size_t max_posting_length = 4000;
+  double min_similarity = 1e-4;
+};
+
+/// Build the exact k-NN graph over unit-normalized vectors.
+[[nodiscard]] KnnGraph build_knn_graph(const std::vector<SparseVector>& vectors,
+                                       const KnnConfig& config);
+
+}  // namespace graphner::graph

@@ -1,0 +1,53 @@
+#include "src/graph/sparse_vector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace graphner::graph {
+
+SparseVector::SparseVector(std::vector<SparseEntry> entries)
+    : entries_(std::move(entries)) {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const SparseEntry& a, const SparseEntry& b) { return a.index < b.index; });
+  recompute_norm();
+}
+
+void SparseVector::recompute_norm() noexcept {
+  double acc = 0.0;
+  for (const auto& e : entries_) acc += static_cast<double>(e.value) * e.value;
+  norm_ = std::sqrt(acc);
+}
+
+void SparseVector::normalize() noexcept {
+  if (norm_ <= 0.0) return;
+  const auto inv = static_cast<float>(1.0 / norm_);
+  for (auto& e : entries_) e.value *= inv;
+  norm_ = 1.0;
+}
+
+double SparseVector::dot(const SparseVector& other) const noexcept {
+  double acc = 0.0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < entries_.size() && j < other.entries_.size()) {
+    const auto a = entries_[i].index;
+    const auto b = other.entries_[j].index;
+    if (a == b) {
+      acc += static_cast<double>(entries_[i].value) * other.entries_[j].value;
+      ++i;
+      ++j;
+    } else if (a < b) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return acc;
+}
+
+double SparseVector::cosine(const SparseVector& other) const noexcept {
+  if (norm_ <= 0.0 || other.norm_ <= 0.0) return 0.0;
+  return dot(other) / (norm_ * other.norm_);
+}
+
+}  // namespace graphner::graph

@@ -1,0 +1,43 @@
+// Sorted sparse vectors with cosine similarity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace graphner::graph {
+
+struct SparseEntry {
+  std::uint32_t index = 0;
+  float value = 0.0F;
+};
+
+/// Immutable sorted-by-index sparse vector.
+class SparseVector {
+ public:
+  SparseVector() = default;
+  /// Entries must not contain duplicate indices; they get sorted here.
+  explicit SparseVector(std::vector<SparseEntry> entries);
+
+  [[nodiscard]] const std::vector<SparseEntry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t nnz() const noexcept { return entries_.size(); }
+  [[nodiscard]] double norm() const noexcept { return norm_; }
+
+  /// Scale all values so the L2 norm becomes 1 (no-op on the zero vector).
+  void normalize() noexcept;
+
+  /// Dot product via sorted merge.
+  [[nodiscard]] double dot(const SparseVector& other) const noexcept;
+
+  /// Cosine similarity; 0 if either vector is zero.
+  [[nodiscard]] double cosine(const SparseVector& other) const noexcept;
+
+ private:
+  void recompute_norm() noexcept;
+
+  std::vector<SparseEntry> entries_;
+  double norm_ = 0.0;
+};
+
+}  // namespace graphner::graph

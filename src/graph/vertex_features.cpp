@@ -1,0 +1,114 @@
+#include "src/graph/vertex_features.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+
+#include "src/text/lemmatizer.hpp"
+#include "src/util/logging.hpp"
+
+namespace graphner::graph {
+namespace {
+
+/// Lexical representation: lemmas at offsets -2..2 ("L[-2]=mutation", ...).
+std::vector<std::string> lexical_features(const text::Sentence& sentence,
+                                          std::size_t position) {
+  std::vector<std::string> out;
+  out.reserve(5);
+  for (long long d = -2; d <= 2; ++d) {
+    const long long p = static_cast<long long>(position) + d;
+    std::string lemma;
+    if (p < 0) lemma = "<s>";
+    else if (p >= static_cast<long long>(sentence.size())) lemma = "</s>";
+    else lemma = text::lemmatize(sentence.tokens[static_cast<std::size_t>(p)]);
+    out.push_back("L[" + std::to_string(d) + "]=" + std::move(lemma));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string representation_name(VertexRepresentation rep) {
+  switch (rep) {
+    case VertexRepresentation::kAllFeatures: return "All-features";
+    case VertexRepresentation::kLexical: return "Lexical-features";
+    case VertexRepresentation::kMiSelected: return "MI-selected";
+  }
+  return "?";
+}
+
+VertexVectors build_vertex_vectors(const TrigramVertices& vertices,
+                                   const std::vector<const text::Sentence*>& sentences,
+                                   const features::FeatureExtractor& extractor,
+                                   const VertexFeatureConfig& config) {
+  assert(sentences.size() == vertices.positions.size());
+  const std::size_t num_vertices = vertices.vertex_count();
+
+  // Pass 1: count (vertex, feature) cooccurrences over all token positions.
+  std::unordered_map<std::string, std::uint32_t> feature_ids;
+  std::vector<std::uint64_t> feature_counts;
+  std::vector<std::uint64_t> vertex_counts(num_vertices, 0);
+  // Per-vertex sparse counts gathered as (feature, count) maps.
+  std::vector<std::unordered_map<std::uint32_t, std::uint32_t>> vf(num_vertices);
+  std::uint64_t total = 0;
+
+  for (std::size_t s = 0; s < sentences.size(); ++s) {
+    const text::Sentence& sentence = *sentences[s];
+    for (std::size_t i = 0; i < sentence.size(); ++i) {
+      const VertexId v = vertices.positions[s][i];
+      std::vector<std::string> names;
+      if (config.representation == VertexRepresentation::kLexical) {
+        names = lexical_features(sentence, i);
+      } else {
+        names = extractor.extract_at(sentence, i);
+        if (config.representation == VertexRepresentation::kMiSelected) {
+          std::erase_if(names, [&](const std::string& n) {
+            return !config.selected_features.contains(n);
+          });
+        }
+      }
+      ++vertex_counts[v];
+      for (const auto& name : names) {
+        auto [it, inserted] =
+            feature_ids.emplace(name, static_cast<std::uint32_t>(feature_counts.size()));
+        if (inserted) feature_counts.push_back(0);
+        ++feature_counts[it->second];
+        ++vf[v][it->second];
+        ++total;
+      }
+    }
+  }
+
+  // Document-frequency cap: features present at nearly every position are
+  // stopword-like; drop them.
+  const auto df_cap = static_cast<std::uint64_t>(
+      config.max_document_frequency * static_cast<double>(std::max<std::uint64_t>(1, total)));
+
+  VertexVectors out;
+  out.feature_instance_count = feature_ids.size();
+  out.vectors.resize(num_vertices);
+  const auto n = static_cast<double>(std::max<std::uint64_t>(1, total));
+
+  for (std::size_t v = 0; v < num_vertices; ++v) {
+    std::vector<SparseEntry> entries;
+    entries.reserve(vf[v].size());
+    const double pv = static_cast<double>(vertex_counts[v]);
+    if (pv == 0) continue;
+    for (const auto& [f, c] : vf[v]) {
+      if (feature_counts[f] > df_cap) continue;
+      // PMI(v, f) = log( c(v,f) * N / (c(v) * c(f)) ); keep positive terms.
+      const double pmi = std::log(static_cast<double>(c) * n /
+                                  (pv * static_cast<double>(feature_counts[f])));
+      if (pmi > 0.0) entries.push_back({f, static_cast<float>(pmi)});
+    }
+    out.vectors[v] = SparseVector(std::move(entries));
+    out.vectors[v].normalize();
+  }
+
+  util::log_debug("vertex vectors: ", num_vertices, " vertices, ",
+                  feature_ids.size(), " feature instances (",
+                  representation_name(config.representation), ")");
+  return out;
+}
+
+}  // namespace graphner::graph

@@ -1,0 +1,50 @@
+// Vertex representations: PPMI feature vectors for 3-gram vertices.
+//
+// A vertex is represented by the pointwise mutual information between its
+// 3-gram and the feature instances observed at the 3-gram's occurrences
+// (paper §II-C). Three representations, matching Table III:
+//   * kAllFeatures — every BANNER feature of the center token,
+//   * kLexical     — lemmas in a window of length 5 around the center,
+//   * kMiSelected  — BANNER features whose tag MI exceeds a threshold.
+// Vectors use positive PMI and are L2-normalized so that k-NN dot products
+// equal cosine similarities.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/features/extractor.hpp"
+#include "src/graph/sparse_vector.hpp"
+#include "src/graph/trigram.hpp"
+#include "src/text/sentence.hpp"
+
+namespace graphner::graph {
+
+enum class VertexRepresentation { kAllFeatures, kLexical, kMiSelected };
+
+[[nodiscard]] std::string representation_name(VertexRepresentation rep);
+
+struct VertexFeatureConfig {
+  VertexRepresentation representation = VertexRepresentation::kAllFeatures;
+  /// Feature names kept when representation == kMiSelected.
+  std::unordered_set<std::string> selected_features;
+  /// Features occurring at more than this fraction of token positions are
+  /// dropped before building vectors (they carry no discriminative signal
+  /// and would blow up the k-NN inverted index).
+  double max_document_frequency = 0.2;
+};
+
+struct VertexVectors {
+  std::vector<SparseVector> vectors;  ///< one per vertex, unit L2 norm
+  std::size_t feature_instance_count = 0;
+};
+
+/// Build PPMI vectors for every vertex. `sentences` must iterate in the
+/// same order as `vertices.positions` (train sentences, then test).
+[[nodiscard]] VertexVectors build_vertex_vectors(
+    const TrigramVertices& vertices,
+    const std::vector<const text::Sentence*>& sentences,
+    const features::FeatureExtractor& extractor, const VertexFeatureConfig& config);
+
+}  // namespace graphner::graph

@@ -1,0 +1,49 @@
+#include "src/graphner/experiment.hpp"
+
+#include <cassert>
+
+namespace graphner::core {
+
+std::vector<text::Annotation> tags_to_annotations(
+    const std::vector<text::Sentence>& sentences,
+    const std::vector<std::vector<text::Tag>>& tags) {
+  assert(sentences.size() == tags.size());
+  std::vector<text::Annotation> out;
+  for (std::size_t i = 0; i < sentences.size(); ++i) {
+    text::Sentence tagged = sentences[i];
+    tagged.tags = tags[i];
+    if (!tagged.has_tags()) continue;
+    for (auto& ann : text::annotations_from_tags(tagged)) out.push_back(std::move(ann));
+  }
+  return out;
+}
+
+ExperimentOutput run_experiment(const corpus::LabelledCorpus& corpus,
+                                const GraphNerConfig& config) {
+  // Unlabelled text for embedding training: the test side's surface forms
+  // (labels never touched), mirroring the transductive setting.
+  std::vector<text::Sentence> unlabelled;
+  unlabelled.reserve(corpus.test.size());
+  for (const auto& s : corpus.test) {
+    text::Sentence stripped;
+    stripped.id = s.id;
+    stripped.tokens = s.tokens;
+    unlabelled.push_back(std::move(stripped));
+  }
+
+  const GraphNerModel model = GraphNerModel::train(corpus.train, unlabelled, config);
+  GraphNerModel::TestResult test = model.test(corpus.train, corpus.test);
+
+  ExperimentOutput out;
+  out.baseline_detections = tags_to_annotations(corpus.test, test.baseline_tags);
+  out.graphner_detections = tags_to_annotations(corpus.test, test.graphner_tags);
+  out.baseline = eval::evaluate_bc2gm(out.baseline_detections, corpus.test_gold,
+                                      corpus.test_alternatives);
+  out.graphner = eval::evaluate_bc2gm(out.graphner_detections, corpus.test_gold,
+                                      corpus.test_alternatives);
+  out.timings = test.timings;
+  out.stats = std::move(test.stats);
+  return out;
+}
+
+}  // namespace graphner::core

@@ -1,0 +1,34 @@
+// End-to-end experiment runner shared by the benches and examples:
+// corpus -> train -> transductive test -> BC2GM evaluation.
+#pragma once
+
+#include <vector>
+
+#include "src/corpus/corpus.hpp"
+#include "src/eval/bc2gm_eval.hpp"
+#include "src/graphner/pipeline.hpp"
+
+namespace graphner::core {
+
+/// Convert decoded tag sequences back to shared-task annotations.
+[[nodiscard]] std::vector<text::Annotation> tags_to_annotations(
+    const std::vector<text::Sentence>& sentences,
+    const std::vector<std::vector<text::Tag>>& tags);
+
+struct ExperimentOutput {
+  eval::EvalResult baseline;  ///< pure CRF (BANNER or BANNER-ChemDNER)
+  eval::EvalResult graphner;  ///< GraphNER on top of the same CRF
+  std::vector<text::Annotation> baseline_detections;
+  std::vector<text::Annotation> graphner_detections;
+  PipelineTimings timings;
+  GraphNerStats stats;
+};
+
+/// Train on corpus.train, run Algorithm 1 over the transductive split, and
+/// evaluate both the baseline CRF and GraphNER with the BC2GM protocol.
+/// The ChemDNER profile's embeddings are trained on the corpus text
+/// (train + test surface forms — unlabelled use only).
+[[nodiscard]] ExperimentOutput run_experiment(const corpus::LabelledCorpus& corpus,
+                                              const GraphNerConfig& config);
+
+}  // namespace graphner::core

@@ -1,0 +1,68 @@
+#include "src/graphner/inductive.hpp"
+
+#include <cassert>
+
+#include "src/util/logging.hpp"
+
+namespace graphner::core {
+namespace {
+
+/// Fraction of positions whose tag differs between two labelings.
+double label_change(const std::vector<std::vector<text::Tag>>& a,
+                    const std::vector<std::vector<text::Tag>>& b) {
+  assert(a.size() == b.size());
+  std::size_t changed = 0;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    assert(a[i].size() == b[i].size());
+    for (std::size_t j = 0; j < a[i].size(); ++j) {
+      changed += a[i][j] != b[i][j];
+      ++total;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(changed) / static_cast<double>(total);
+}
+
+}  // namespace
+
+InductiveResult run_inductive(const std::vector<text::Sentence>& labelled,
+                              const std::vector<text::Sentence>& test,
+                              const InductiveConfig& config) {
+  InductiveResult result;
+
+  // Round 0: the plain transductive pass.
+  {
+    const auto model = GraphNerModel::train(labelled, test, config.base);
+    const auto round = model.test(labelled, test);
+    result.baseline_tags = round.baseline_tags;
+    result.transductive_tags = round.graphner_tags;
+    result.tags = round.graphner_tags;
+    result.rounds_run = 1;
+  }
+  if (!config.self_train) return result;
+
+  for (std::size_t round = 1; round < config.max_rounds; ++round) {
+    // Expand the labelled set with the pseudo-labelled test sentences.
+    std::vector<text::Sentence> expanded = labelled;
+    expanded.reserve(labelled.size() + test.size());
+    for (std::size_t i = 0; i < test.size(); ++i) {
+      text::Sentence pseudo = test[i];
+      pseudo.tags = result.tags[i];
+      if (pseudo.has_tags()) expanded.push_back(std::move(pseudo));
+    }
+
+    const auto model = GraphNerModel::train(expanded, test, config.base);
+    const auto decoded = model.test(expanded, test);
+
+    const double change = label_change(decoded.graphner_tags, result.tags);
+    result.change_per_round.push_back(change);
+    result.tags = decoded.graphner_tags;
+    result.rounds_run = round + 1;
+    util::log_info("inductive round ", round, ": ",
+                   100.0 * change, "% of test tokens changed");
+    if (change < config.convergence_threshold) break;
+  }
+  return result;
+}
+
+}  // namespace graphner::core

@@ -1,0 +1,50 @@
+// Inductive GraphNER (the Subramanya et al. 2010 training regime).
+//
+// The paper runs GraphNER transductively — one train pass, one test pass.
+// It describes (and deliberately departs from) the inductive alternative:
+// treat the output of the final Viterbi decode as correct labels for the
+// unlabelled data, retrain the CRF on the expanded labelled set, and
+// iterate train/test "until convergence or the 10th iteration". This
+// module implements that loop as an extension so the two regimes can be
+// compared (bench/ablation_inductive).
+#pragma once
+
+#include <vector>
+
+#include "src/graphner/pipeline.hpp"
+
+namespace graphner::core {
+
+struct InductiveConfig {
+  GraphNerConfig base{};
+  std::size_t max_rounds = 10;
+  /// Stop when fewer than this fraction of test tokens change label
+  /// between consecutive rounds.
+  double convergence_threshold = 0.001;
+  /// Weight of pseudo-labelled sentences relative to gold ones is fixed at
+  /// 1 (as in the original recipe); set false to keep the first round's
+  /// transductive behaviour only (degenerates to GraphNerModel::test).
+  bool self_train = true;
+};
+
+struct InductiveResult {
+  /// Final GraphNER labels for the test sentences.
+  std::vector<std::vector<text::Tag>> tags;
+  /// Round-0 (purely transductive, the paper's setting) GraphNER labels.
+  std::vector<std::vector<text::Tag>> transductive_tags;
+  /// First-round pure-CRF labels (the supervised baseline).
+  std::vector<std::vector<text::Tag>> baseline_tags;
+  std::size_t rounds_run = 0;
+  /// Fraction of test tokens whose label changed, per round (round 1
+  /// compares against the initial transductive decode).
+  std::vector<double> change_per_round;
+};
+
+/// Run the iterative train/test loop. Each round trains a fresh CRF on the
+/// gold training data plus the test data pseudo-labelled by the previous
+/// round's decode, then runs Algorithm 1's test procedure.
+[[nodiscard]] InductiveResult run_inductive(
+    const std::vector<text::Sentence>& labelled,
+    const std::vector<text::Sentence>& test, const InductiveConfig& config);
+
+}  // namespace graphner::core

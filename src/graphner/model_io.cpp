@@ -1,0 +1,171 @@
+// GraphNerModel persistence (text format, versioned header).
+//
+// A saved model carries everything Algorithm 1 needs at test time: the
+// configuration, the ChemDNER embedding resources (Brown clusters +
+// word2vec k-means assignments), the frozen feature index, the CRF
+// weights, and the reference distributions. Loading reconstructs the
+// feature extractor over the restored resources, so a loaded model decodes
+// identically to the one that was saved (tests/test_model_io.cpp).
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "src/graphner/pipeline.hpp"
+#include "src/util/logging.hpp"
+
+namespace graphner::core {
+namespace {
+
+constexpr const char* kMagic = "graphner-model";
+constexpr int kVersion = 1;
+
+void expect_token(std::istream& in, const std::string& expected) {
+  std::string token;
+  in >> token;
+  if (token != expected)
+    throw std::runtime_error("model file: expected '" + expected + "', got '" +
+                             token + "'");
+}
+
+}  // namespace
+
+void GraphNerModel::save(std::ostream& out) const {
+  out.precision(17);
+  out << kMagic << ' ' << kVersion << '\n';
+
+  out << "config " << static_cast<int>(config_.profile) << ' ' << config_.crf_order
+      << ' ' << config_.alpha << '\n';
+  out << "propagation " << config_.propagation.mu << ' ' << config_.propagation.nu
+      << ' ' << config_.propagation.iterations << '\n';
+  out << "knn " << config_.knn.k << ' ' << config_.knn.max_posting_length << ' '
+      << config_.knn.min_similarity << '\n';
+  out << "vertex " << static_cast<int>(config_.vertex_features.representation) << ' '
+      << config_.vertex_features.max_document_frequency << ' '
+      << config_.vertex_features.selected_features.size() << '\n';
+  for (const auto& name : config_.vertex_features.selected_features)
+    out << name << '\n';
+
+  out << "brown " << (brown_ ? 1 : 0) << '\n';
+  if (brown_) brown_->save(out);
+
+  out << "embclusters " << (embedding_clusters_ ? 1 : 0) << '\n';
+  if (embedding_clusters_) {
+    out << embedding_clusters_->k << ' ' << embedding_clusters_->assignment.size()
+        << '\n';
+    for (const auto& [word, cluster] : embedding_clusters_->assignment)
+      out << word << ' ' << cluster << '\n';
+  }
+
+  out << "features " << index_->size() << '\n';
+  for (crf::FeatureIndex::Id id = 0; id < index_->size(); ++id)
+    out << index_->name(id) << '\n';
+
+  const auto weights = crf_->weights();
+  out << "weights " << weights.size() << '\n';
+  for (std::size_t i = 0; i < weights.size(); ++i)
+    out << weights[i] << ((i + 1) % 8 == 0 ? '\n' : ' ');
+  out << '\n';
+
+  out << "reference\n";
+  reference_->save(out);
+}
+
+GraphNerModel GraphNerModel::load(std::istream& in) {
+  expect_token(in, kMagic);
+  int version = 0;
+  in >> version;
+  if (version != kVersion)
+    throw std::runtime_error("model file: unsupported version " +
+                             std::to_string(version));
+
+  GraphNerModel model;
+  expect_token(in, "config");
+  int profile = 0;
+  in >> profile >> model.config_.crf_order >> model.config_.alpha;
+  model.config_.profile = static_cast<CrfProfile>(profile);
+  expect_token(in, "propagation");
+  in >> model.config_.propagation.mu >> model.config_.propagation.nu >>
+      model.config_.propagation.iterations;
+  expect_token(in, "knn");
+  in >> model.config_.knn.k >> model.config_.knn.max_posting_length >>
+      model.config_.knn.min_similarity;
+  expect_token(in, "vertex");
+  int representation = 0;
+  std::size_t selected_count = 0;
+  in >> representation >> model.config_.vertex_features.max_document_frequency >>
+      selected_count;
+  model.config_.vertex_features.representation =
+      static_cast<graph::VertexRepresentation>(representation);
+  for (std::size_t i = 0; i < selected_count; ++i) {
+    std::string name;
+    in >> name;
+    model.config_.vertex_features.selected_features.insert(std::move(name));
+  }
+
+  expect_token(in, "brown");
+  int has_brown = 0;
+  in >> has_brown;
+  if (has_brown != 0)
+    model.brown_ = std::make_unique<embeddings::BrownClustering>(
+        embeddings::BrownClustering::load(in));
+
+  expect_token(in, "embclusters");
+  int has_clusters = 0;
+  in >> has_clusters;
+  if (has_clusters != 0) {
+    model.embedding_clusters_ = std::make_unique<embeddings::EmbeddingClusters>();
+    std::size_t entries = 0;
+    in >> model.embedding_clusters_->k >> entries;
+    for (std::size_t i = 0; i < entries; ++i) {
+      std::string word;
+      int cluster = 0;
+      in >> word >> cluster;
+      model.embedding_clusters_->assignment[std::move(word)] = cluster;
+    }
+  }
+
+  // Extractor over the restored resources.
+  features::FeatureConfig feature_config;
+  if (model.config_.profile == CrfProfile::kBannerChemDner) {
+    feature_config.brown = model.brown_.get();
+    feature_config.embedding_clusters = model.embedding_clusters_.get();
+  }
+  model.extractor_ = std::make_unique<features::FeatureExtractor>(feature_config);
+
+  expect_token(in, "features");
+  std::size_t feature_count = 0;
+  in >> feature_count;
+  model.index_ = std::make_unique<crf::FeatureIndex>();
+  for (std::size_t i = 0; i < feature_count; ++i) {
+    std::string name;
+    in >> name;
+    model.index_->intern(name);  // ids are insertion-ordered, so they match
+  }
+  model.index_->freeze();
+
+  expect_token(in, "weights");
+  std::size_t weight_count = 0;
+  in >> weight_count;
+  const crf::StateSpace space = model.config_.crf_order == 2
+                                    ? crf::StateSpace::order2()
+                                    : crf::StateSpace::order1();
+  model.crf_ = std::make_unique<crf::LinearChainCrf>(space, model.index_->size());
+  if (weight_count != model.crf_->num_parameters())
+    throw std::runtime_error("model file: weight count mismatch");
+  std::vector<double> weights(weight_count);
+  for (auto& w : weights) in >> w;
+  model.crf_->set_weights(weights);
+
+  expect_token(in, "reference");
+  model.reference_ = std::make_unique<ReferenceDistributions>(
+      ReferenceDistributions::load(in));
+
+  if (!in) throw std::runtime_error("model file: truncated");
+  util::log_info("graphner: loaded ", profile_name(model.config_.profile),
+                 " model, ", model.index_->size(), " features, ",
+                 model.reference_->size(), " reference trigrams");
+  return model;
+}
+
+}  // namespace graphner::core

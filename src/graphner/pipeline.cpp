@@ -1,0 +1,277 @@
+#include "src/graphner/pipeline.hpp"
+
+#include <cassert>
+
+#include "src/crf/trainer.hpp"
+#include "src/features/encoder.hpp"
+#include "src/graph/vertex_features.hpp"
+#include "src/util/logging.hpp"
+#include "src/util/math.hpp"
+#include "src/util/parallel.hpp"
+#include "src/util/stopwatch.hpp"
+
+namespace graphner::core {
+
+using propagation::LabelDistribution;
+using text::kNumTags;
+
+namespace {
+
+[[nodiscard]] crf::StateSpace make_space(int order) {
+  return order == 2 ? crf::StateSpace::order2() : crf::StateSpace::order1();
+}
+
+[[nodiscard]] features::FeatureConfig make_feature_config(
+    CrfProfile profile, const embeddings::BrownClustering* brown,
+    const embeddings::EmbeddingClusters* clusters) {
+  features::FeatureConfig config;
+  if (profile == CrfProfile::kBannerChemDner) {
+    config.brown = brown;
+    config.embedding_clusters = clusters;
+  }
+  return config;
+}
+
+}  // namespace
+
+GraphNerModel GraphNerModel::train(const std::vector<text::Sentence>& labelled,
+                                   const std::vector<text::Sentence>& unlabelled_text,
+                                   const GraphNerConfig& config) {
+  GraphNerModel model;
+  model.config_ = config;
+
+  // Semi-supervised feature resources (ChemDNER profile only).
+  if (config.profile == CrfProfile::kBannerChemDner) {
+    std::vector<text::Sentence> embedding_text = labelled;
+    embedding_text.insert(embedding_text.end(), unlabelled_text.begin(),
+                          unlabelled_text.end());
+    embeddings::BrownConfig brown_config;
+    brown_config.num_clusters = config.brown_clusters;
+    model.brown_ = std::make_unique<embeddings::BrownClustering>(
+        embeddings::BrownClustering::train(embedding_text, brown_config));
+
+    embeddings::Word2VecConfig w2v_config;
+    w2v_config.seed = config.embedding_seed;
+    const auto w2v = embeddings::Word2Vec::train(embedding_text, w2v_config);
+    model.embedding_clusters_ = std::make_unique<embeddings::EmbeddingClusters>(
+        embeddings::cluster_embeddings(w2v, config.embedding_kmeans_clusters,
+                                       config.embedding_seed + 1));
+  }
+  model.extractor_ = std::make_unique<features::FeatureExtractor>(make_feature_config(
+      config.profile, model.brown_.get(), model.embedding_clusters_.get()));
+
+  // CRF_train(D_l)  — Algorithm 1, line 2.
+  util::Stopwatch train_watch;
+  const crf::StateSpace space = make_space(config.crf_order);
+  model.index_ = std::make_unique<crf::FeatureIndex>();
+  const crf::Batch batch = features::encode_batch_for_training(
+      labelled, *model.extractor_, *model.index_, space);
+  model.index_->freeze();
+  model.crf_ =
+      std::make_unique<crf::LinearChainCrf>(space, model.index_->size());
+  train_crf(*model.crf_, batch, config.train);
+  model.train_seconds_ = train_watch.seconds();
+
+  // Set_ReferenceDistributions(D_l)  — Algorithm 1, line 3.
+  util::Stopwatch ref_watch;
+  model.reference_ = std::make_unique<ReferenceDistributions>(
+      ReferenceDistributions::build(labelled));
+  model.reference_seconds_ = ref_watch.seconds();
+
+  util::log_info("graphner: trained ", profile_name(config.profile), " order-",
+                 config.crf_order, " CRF, ", model.index_->size(), " features, ",
+                 model.reference_->size(), " reference trigrams");
+  return model;
+}
+
+std::vector<std::vector<text::Tag>> GraphNerModel::decode_crf(
+    const std::vector<text::Sentence>& sentences) const {
+  std::vector<std::vector<text::Tag>> out(sentences.size());
+  util::parallel_for(0, sentences.size(), [&](std::size_t i) {
+    if (sentences[i].size() == 0) return;
+    const auto encoded =
+        features::encode_for_inference(sentences[i], *extractor_, *index_);
+    out[i] = crf_->viterbi(encoded);
+  });
+  return out;
+}
+
+GraphNerModel::TestContext GraphNerModel::prepare(
+    const std::vector<text::Sentence>& labelled,
+    const std::vector<text::Sentence>& test,
+    const std::vector<text::Sentence>& extra_unlabelled) const {
+  TestContext context;
+  context.labelled_sentence_count = labelled.size();
+  context.test_lengths.reserve(test.size());
+  for (const auto& s : test) context.test_lengths.push_back(s.size());
+  context.timings.crf_train_seconds = train_seconds_;
+  context.timings.reference_seconds = reference_seconds_;
+
+  // Sentence view: labelled, then test, then extra unlabelled — vertex
+  // extraction below follows the same order. Only the `test` block is
+  // decoded; everything contributes vertices and averaged posteriors.
+  std::vector<text::Sentence> unlabelled_side = test;
+  unlabelled_side.insert(unlabelled_side.end(), extra_unlabelled.begin(),
+                         extra_unlabelled.end());
+  std::vector<const text::Sentence*> all;
+  all.reserve(labelled.size() + unlabelled_side.size());
+  for (const auto& s : labelled) all.push_back(&s);
+  for (const auto& s : unlabelled_side) all.push_back(&s);
+
+  // ---- Line 5: CRF posteriors and transition probabilities over D_l u D_u.
+  util::Stopwatch inference_watch;
+  context.posteriors.resize(all.size());
+  context.baseline_tags.assign(test.size(), {});
+
+  struct InferenceAcc {
+    crf::TagTransitionMatrix counts{};
+  };
+  const InferenceAcc acc = util::parallel_reduce(
+      std::size_t{0}, all.size(), InferenceAcc{},
+      [&](InferenceAcc& local, std::size_t i) {
+        if (all[i]->size() == 0) return;
+        const auto encoded =
+            features::encode_for_inference(*all[i], *extractor_, *index_);
+        context.posteriors[i] = crf_->posteriors(encoded);
+        crf_->accumulate_tag_transition_expectations(encoded, local.counts);
+        if (i >= labelled.size() && i < labelled.size() + test.size())
+          context.baseline_tags[i - labelled.size()] = crf_->viterbi(encoded);
+      },
+      [](InferenceAcc& lhs, const InferenceAcc& rhs) {
+        for (std::size_t j = 0; j < lhs.counts.size(); ++j)
+          lhs.counts[j] += rhs.counts[j];
+      });
+  context.transitions = crf::transition_ratio_matrix(acc.counts);
+  context.timings.crf_inference_seconds = inference_watch.seconds();
+
+  // ---- Graph construction (vertices over D_l u D_u + PPMI k-NN graph).
+  util::Stopwatch graph_watch;
+  context.vertices = graph::build_trigram_vertices(labelled, unlabelled_side);
+  const graph::VertexVectors vectors = graph::build_vertex_vectors(
+      context.vertices, all, *extractor_, config_.vertex_features);
+  context.knn = graph::build_knn_graph(vectors.vectors, config_.knn);
+  context.timings.graph_construction_seconds = graph_watch.seconds();
+
+  // ---- Line 6: X <- Average(P_s, V).
+  const std::size_t num_vertices = context.vertices.vertex_count();
+  context.x_initial.assign(num_vertices, LabelDistribution{});
+  std::vector<double> occurrence_count(num_vertices, 0.0);
+  for (std::size_t s = 0; s < all.size(); ++s) {
+    for (std::size_t i = 0; i < all[s]->size(); ++i) {
+      const graph::VertexId v = context.vertices.positions[s][i];
+      for (std::size_t y = 0; y < kNumTags; ++y)
+        context.x_initial[v][y] += context.posteriors[s].tag_marginals[i][y];
+      occurrence_count[v] += 1.0;
+    }
+  }
+  for (std::size_t v = 0; v < num_vertices; ++v) {
+    if (occurrence_count[v] > 0.0)
+      for (auto& p : context.x_initial[v]) p /= occurrence_count[v];
+    else
+      context.x_initial[v] = propagation::uniform_distribution();
+  }
+
+  // Reference distributions aligned with the vertex set (V_l membership).
+  context.x_reference.assign(num_vertices, LabelDistribution{});
+  context.is_labelled.assign(num_vertices, false);
+  for (std::size_t v = 0; v < num_vertices; ++v) {
+    if (const auto* ref = reference_->find(context.vertices.trigrams[v])) {
+      context.x_reference[v] = *ref;
+      context.is_labelled[v] = true;
+      const double positive = (*ref)[text::tag_index(text::Tag::kB)] +
+                              (*ref)[text::tag_index(text::Tag::kI)];
+      if (positive > (*ref)[text::tag_index(text::Tag::kO)])
+        ++context.positive_vertices;
+    }
+  }
+  return context;
+}
+
+GraphNerModel::TestResult GraphNerModel::finish(
+    const TestContext& context, const propagation::PropagationConfig& prop_config,
+    double alpha) const {
+  TestResult result;
+  result.baseline_tags = context.baseline_tags;
+  result.timings = context.timings;
+
+  // ---- Line 7: X <- Propagate(X, X_ref, mu, nu, #iterations).
+  util::Stopwatch prop_watch;
+  const propagation::PropagationResult propagated =
+      propagation::propagate(context.knn, context.x_initial, context.x_reference,
+                             context.is_labelled, prop_config);
+  result.timings.propagation_seconds = prop_watch.seconds();
+
+  // ---- Lines 8-9: combine and decode.
+  util::Stopwatch combine_watch;
+  const std::size_t num_test = context.test_lengths.size();
+  result.graphner_tags.assign(num_test, {});
+  util::parallel_for(0, num_test, [&](std::size_t t) {
+    const std::size_t length = context.test_lengths[t];
+    if (length == 0) return;
+    const std::size_t s = context.labelled_sentence_count + t;
+    const crf::SentencePosteriors& posterior = context.posteriors[s];
+    std::vector<std::array<double, kNumTags>> beliefs(length);
+    for (std::size_t i = 0; i < length; ++i) {
+      const graph::VertexId v = context.vertices.positions[s][i];
+      for (std::size_t y = 0; y < kNumTags; ++y) {
+        beliefs[i][y] = alpha * posterior.tag_marginals[i][y] +
+                        (1.0 - alpha) * propagated.distributions[v][y];
+      }
+      util::normalize_inplace(beliefs[i]);
+    }
+    // Position-specific transition scores: the pairwise/marginal ratio of
+    // the CRF at each edge (the exact tree reparameterization at order 1).
+    // A single corpus-level matrix misprices rare transitions (it rewards
+    // B -> I between two adjacent single-token mentions), hence per-edge.
+    // The ratio is clamped: where the CRF is near-certain the raw ratio
+    // explodes to ~1/marginal, and mixed graph beliefs could ride that
+    // bonus along a path the CRF itself rules out. Within the clamp the
+    // node beliefs stay in charge, which is the point of Algorithm 1
+    // line 8.
+    constexpr double kMaxRatio = 5.0;
+    std::vector<crf::TagTransitionMatrix> edge_ratios(length);
+    edge_ratios[0].fill(1.0);
+    for (std::size_t i = 1; i < length; ++i) {
+      for (std::size_t a = 0; a < kNumTags; ++a) {
+        for (std::size_t b = 0; b < kNumTags; ++b) {
+          const double denom =
+              posterior.tag_marginals[i - 1][a] * posterior.tag_marginals[i][b];
+          const double ratio =
+              denom > 1e-12
+                  ? posterior.pairwise_marginals[i][a * kNumTags + b] / denom
+                  : 0.0;
+          edge_ratios[i][a * kNumTags + b] =
+              util::clamp(ratio, 1.0 / kMaxRatio, kMaxRatio);
+        }
+      }
+    }
+    result.graphner_tags[t] = crf::belief_viterbi(beliefs, edge_ratios);
+  });
+  result.timings.combine_decode_seconds = combine_watch.seconds();
+
+  // Stats for §III-D style reporting.
+  const std::size_t num_vertices = context.vertices.vertex_count();
+  result.stats.vertices = num_vertices;
+  result.stats.edges = context.knn.edge_count();
+  std::size_t labelled_count = 0;
+  for (const bool b : context.is_labelled) labelled_count += b ? 1 : 0;
+  result.stats.labelled_vertex_fraction =
+      num_vertices == 0 ? 0.0
+                        : static_cast<double>(labelled_count) /
+                              static_cast<double>(num_vertices);
+  result.stats.positive_vertex_fraction =
+      num_vertices == 0 ? 0.0
+                        : static_cast<double>(context.positive_vertices) /
+                              static_cast<double>(num_vertices);
+  result.stats.propagation_loss = propagated.loss_per_iteration;
+  return result;
+}
+
+GraphNerModel::TestResult GraphNerModel::test(
+    const std::vector<text::Sentence>& labelled,
+    const std::vector<text::Sentence>& test) const {
+  const TestContext context = prepare(labelled, test);
+  return finish(context, config_.propagation, config_.alpha);
+}
+
+}  // namespace graphner::core

@@ -1,0 +1,152 @@
+// The GraphNER pipeline (Algorithm 1).
+//
+//   TRAIN: train the base CRF on the labelled data and record the
+//   reference label distributions of every labelled 3-gram.
+//
+//   TEST (transductive): extract CRF posteriors and transition
+//   probabilities over labelled + unlabelled data, average posteriors per
+//   3-gram vertex, propagate on the similarity graph, mix the propagated
+//   distributions back into the CRF posteriors with coefficient alpha, and
+//   Viterbi-decode the mixed beliefs.
+//
+// The trained model also answers pure-CRF queries so the baseline rows of
+// every table come from the identical model instance.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/crf/belief_viterbi.hpp"
+#include "src/crf/feature_index.hpp"
+#include "src/crf/model.hpp"
+#include "src/embeddings/brown.hpp"
+#include "src/embeddings/word2vec.hpp"
+#include "src/features/extractor.hpp"
+#include "src/graph/graph_stats.hpp"
+#include "src/graph/trigram.hpp"
+#include "src/graphner/config.hpp"
+#include "src/graphner/reference.hpp"
+#include "src/text/sentence.hpp"
+
+namespace graphner::core {
+
+/// Wall-clock breakdown (Fig. 2 reports train+test cost of CRF vs GraphNER).
+struct PipelineTimings {
+  double crf_train_seconds = 0.0;
+  double reference_seconds = 0.0;
+  double crf_inference_seconds = 0.0;   ///< posteriors + baseline Viterbi
+  double graph_construction_seconds = 0.0;
+  double propagation_seconds = 0.0;
+  double combine_decode_seconds = 0.0;
+
+  [[nodiscard]] double baseline_total() const noexcept {
+    return crf_train_seconds + crf_inference_seconds;
+  }
+  [[nodiscard]] double graphner_total() const noexcept {
+    return baseline_total() + reference_seconds + graph_construction_seconds +
+           propagation_seconds + combine_decode_seconds;
+  }
+};
+
+struct GraphNerStats {
+  std::size_t vertices = 0;
+  std::size_t edges = 0;
+  double labelled_vertex_fraction = 0.0;
+  double positive_vertex_fraction = 0.0;
+  std::vector<double> propagation_loss;  ///< per iteration
+};
+
+class GraphNerModel {
+ public:
+  /// TRAIN procedure. `unlabelled_text` feeds the ChemDNER profile's Brown /
+  /// word2vec training (ignored for the plain BANNER profile); pass the
+  /// union of all raw text available (the paper trains embeddings on large
+  /// unlabelled corpora).
+  static GraphNerModel train(const std::vector<text::Sentence>& labelled,
+                             const std::vector<text::Sentence>& unlabelled_text,
+                             const GraphNerConfig& config);
+
+  GraphNerModel(GraphNerModel&&) noexcept = default;
+  GraphNerModel& operator=(GraphNerModel&&) noexcept = default;
+
+  /// Pure-CRF decode (the paper's baseline rows).
+  [[nodiscard]] std::vector<std::vector<text::Tag>> decode_crf(
+      const std::vector<text::Sentence>& sentences) const;
+
+  struct TestResult {
+    std::vector<std::vector<text::Tag>> baseline_tags;  ///< pure CRF
+    std::vector<std::vector<text::Tag>> graphner_tags;  ///< Algorithm 1
+    PipelineTimings timings;
+    GraphNerStats stats;
+  };
+
+  /// Everything in the TEST procedure that does not depend on the
+  /// propagation hyper-parameters (alpha, mu, nu, #iterations): CRF
+  /// posteriors + transition estimates + baseline decode, the 3-gram
+  /// vertex set, the PPMI k-NN graph, the averaged initial distributions
+  /// and the aligned reference distributions. Hyper-parameter sweeps
+  /// (Table IV cross-validation) prepare once and finish many times.
+  struct TestContext {
+    graph::TrigramVertices vertices;
+    graph::KnnGraph knn;
+    std::vector<crf::SentencePosteriors> posteriors;  ///< train then test
+    crf::TagTransitionMatrix transitions{};
+    std::vector<propagation::LabelDistribution> x_initial;
+    std::vector<propagation::LabelDistribution> x_reference;
+    std::vector<bool> is_labelled;
+    std::vector<std::vector<text::Tag>> baseline_tags;
+    std::size_t labelled_sentence_count = 0;
+    std::vector<std::size_t> test_lengths;
+    PipelineTimings timings;
+    std::size_t positive_vertices = 0;
+  };
+
+  /// `extra_unlabelled` (optional) joins the graph construction and the
+  /// posterior averaging but is never decoded — the paper's future-work
+  /// extension of feeding abundant unlabelled data into the graph.
+  [[nodiscard]] TestContext prepare(
+      const std::vector<text::Sentence>& labelled,
+      const std::vector<text::Sentence>& test,
+      const std::vector<text::Sentence>& extra_unlabelled = {}) const;
+
+  /// Lines 7-9 of Algorithm 1 under explicit hyper-parameters.
+  [[nodiscard]] TestResult finish(const TestContext& context,
+                                  const propagation::PropagationConfig& propagation,
+                                  double alpha) const;
+
+  /// TEST procedure over the transductive split with the model's own
+  /// configuration. `labelled` must be the training sentences (their
+  /// posteriors join the vertex averages, and the graph is built over both
+  /// sides, exactly as in the paper).
+  [[nodiscard]] TestResult test(const std::vector<text::Sentence>& labelled,
+                                const std::vector<text::Sentence>& test) const;
+
+  [[nodiscard]] const GraphNerConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const ReferenceDistributions& reference() const noexcept {
+    return *reference_;
+  }
+  [[nodiscard]] double train_seconds() const noexcept { return train_seconds_; }
+  [[nodiscard]] std::size_t feature_count() const noexcept { return index_->size(); }
+
+  /// Persist a trained model (text format) / restore it. A loaded model
+  /// tags and runs Algorithm 1 exactly like the one that was saved.
+  void save(std::ostream& out) const;
+  static GraphNerModel load(std::istream& in);
+
+ private:
+  GraphNerModel() = default;
+
+  GraphNerConfig config_{};
+  // unique_ptrs keep the model movable while FeatureExtractor holds
+  // stable pointers to the embedding resources.
+  std::unique_ptr<embeddings::BrownClustering> brown_;
+  std::unique_ptr<embeddings::EmbeddingClusters> embedding_clusters_;
+  std::unique_ptr<features::FeatureExtractor> extractor_;
+  std::unique_ptr<crf::FeatureIndex> index_;
+  std::unique_ptr<crf::LinearChainCrf> crf_;
+  std::unique_ptr<ReferenceDistributions> reference_;
+  double train_seconds_ = 0.0;
+  double reference_seconds_ = 0.0;
+};
+
+}  // namespace graphner::core

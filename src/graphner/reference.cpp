@@ -1,0 +1,90 @@
+#include "src/graphner/reference.hpp"
+
+#include <cassert>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "src/graph/trigram.hpp"
+
+namespace graphner::core {
+
+std::string ReferenceDistributions::key_of(const std::array<std::string, 3>& trigram) {
+  return trigram[0] + '\x1f' + trigram[1] + '\x1f' + trigram[2];
+}
+
+ReferenceDistributions ReferenceDistributions::build(
+    const std::vector<text::Sentence>& labelled) {
+  ReferenceDistributions out;
+  std::unordered_map<std::string, std::size_t> occurrences;
+  for (const auto& sentence : labelled) {
+    assert(sentence.has_tags());
+    for (std::size_t i = 0; i < sentence.size(); ++i) {
+      const std::string key = key_of(graph::trigram_at(sentence, i));
+      auto& dist = out.table_[key];
+      dist[text::tag_index(sentence.tags[i])] += 1.0;
+      ++occurrences[key];
+    }
+  }
+  for (auto& [key, dist] : out.table_) {
+    const auto n = static_cast<double>(occurrences[key]);
+    for (auto& p : dist) p /= n;
+  }
+  return out;
+}
+
+const propagation::LabelDistribution* ReferenceDistributions::find(
+    const std::array<std::string, 3>& trigram) const {
+  const auto it = table_.find(key_of(trigram));
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+void ReferenceDistributions::save(std::ostream& out) const {
+  out.precision(17);
+  out << table_.size() << '\n';
+  for (const auto& [key, dist] : table_) {
+    // The key joins the three tokens with \x1f; rewrite as tab-separated.
+    std::string printable = key;
+    for (char& c : printable)
+      if (c == '\x1f') c = '\t';
+    out << printable << '\t' << dist[0] << ' ' << dist[1] << ' ' << dist[2] << '\n';
+  }
+}
+
+ReferenceDistributions ReferenceDistributions::load(std::istream& in) {
+  ReferenceDistributions result;
+  std::size_t entries = 0;
+  in >> entries;
+  in.ignore();  // trailing newline
+  std::string line;
+  for (std::size_t i = 0; i < entries && std::getline(in, line); ++i) {
+    // layout: tok1 \t tok2 \t tok3 \t "b i o"
+    std::array<std::string, 4> fields;
+    std::size_t start = 0;
+    for (std::size_t f = 0; f < 3; ++f) {
+      const auto tab = line.find('\t', start);
+      if (tab == std::string::npos) break;
+      fields[f] = line.substr(start, tab - start);
+      start = tab + 1;
+    }
+    fields[3] = line.substr(start);
+    propagation::LabelDistribution dist{};
+    std::istringstream nums(fields[3]);
+    nums >> dist[0] >> dist[1] >> dist[2];
+    result.table_[fields[0] + '\x1f' + fields[1] + '\x1f' + fields[2]] = dist;
+  }
+  return result;
+}
+
+double ReferenceDistributions::positive_fraction() const {
+  if (table_.empty()) return 0.0;
+  std::size_t positive = 0;
+  for (const auto& [key, dist] : table_) {
+    const double pos = dist[text::tag_index(text::Tag::kB)] +
+                       dist[text::tag_index(text::Tag::kI)];
+    if (pos > dist[text::tag_index(text::Tag::kO)]) ++positive;
+  }
+  return static_cast<double>(positive) / static_cast<double>(table_.size());
+}
+
+}  // namespace graphner::core

@@ -1,0 +1,46 @@
+// Reference label distributions X_ref (Algorithm 1, line 3).
+//
+// Scans the labelled data and, for every 3-gram type occurring there,
+// averages the one-hot tag distribution of the centre token across its
+// occurrences. These distributions anchor labelled vertices during graph
+// propagation.
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/propagation/propagation.hpp"
+#include "src/text/sentence.hpp"
+
+namespace graphner::core {
+
+class ReferenceDistributions {
+ public:
+  /// Build from labelled sentences (tags required).
+  static ReferenceDistributions build(const std::vector<text::Sentence>& labelled);
+
+  /// X_ref for a trigram key; nullptr when the trigram is not in V_l.
+  [[nodiscard]] const propagation::LabelDistribution* find(
+      const std::array<std::string, 3>& trigram) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return table_.size(); }
+
+  /// Fraction of entries whose B+I mass exceeds the O mass ("positively
+  /// labelled vertices", §III-D).
+  [[nodiscard]] double positive_fraction() const;
+
+  /// Text serialization. Trigram keys are written tab-separated so the
+  /// internal separator never reaches the file format.
+  void save(std::ostream& out) const;
+  static ReferenceDistributions load(std::istream& in);
+
+ private:
+  static std::string key_of(const std::array<std::string, 3>& trigram);
+
+  std::unordered_map<std::string, propagation::LabelDistribution> table_;
+};
+
+}  // namespace graphner::core

@@ -1,0 +1,60 @@
+// Adam optimizer step over Param groups.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "src/neural/tensor.hpp"
+
+namespace graphner::neural {
+
+struct AdamConfig {
+  double lr = 0.003;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  double clip = 5.0;  ///< global gradient-norm clip; <= 0 disables
+};
+
+class Adam {
+ public:
+  explicit Adam(AdamConfig config) : config_(config) {}
+
+  /// Apply one update to every parameter, then zero the gradients.
+  void step(const std::vector<Param*>& params) {
+    ++t_;
+    if (config_.clip > 0.0) {
+      double norm_sq = 0.0;
+      for (const Param* p : params)
+        for (const float g : p->grad.data) norm_sq += static_cast<double>(g) * g;
+      const double norm = std::sqrt(norm_sq);
+      if (norm > config_.clip) {
+        const auto scale = static_cast<float>(config_.clip / norm);
+        for (Param* p : params)
+          for (float& g : p->grad.data) g *= scale;
+      }
+    }
+    const double bc1 = 1.0 - std::pow(config_.beta1, t_);
+    const double bc2 = 1.0 - std::pow(config_.beta2, t_);
+    for (Param* p : params) {
+      for (std::size_t i = 0; i < p->value.data.size(); ++i) {
+        const double g = p->grad.data[i];
+        p->m.data[i] = static_cast<float>(config_.beta1 * p->m.data[i] +
+                                          (1.0 - config_.beta1) * g);
+        p->v.data[i] = static_cast<float>(config_.beta2 * p->v.data[i] +
+                                          (1.0 - config_.beta2) * g * g);
+        const double mhat = p->m.data[i] / bc1;
+        const double vhat = p->v.data[i] / bc2;
+        p->value.data[i] -=
+            static_cast<float>(config_.lr * mhat / (std::sqrt(vhat) + config_.epsilon));
+        p->grad.data[i] = 0.0F;
+      }
+    }
+  }
+
+ private:
+  AdamConfig config_;
+  long t_ = 0;
+};
+
+}  // namespace graphner::neural

@@ -1,0 +1,86 @@
+#include "src/neural/lstm.hpp"
+
+#include <cassert>
+
+namespace graphner::neural {
+
+void LstmRunner::forward(const LstmCell& cell,
+                         const std::vector<std::vector<float>>& inputs) {
+  const std::size_t n = inputs.size();
+  const std::size_t H = cell.hidden_size;
+  x_ = inputs;
+  gates_.assign(n, std::vector<float>(4 * H, 0.0F));
+  c_.assign(n, std::vector<float>(H, 0.0F));
+  h_.assign(n, std::vector<float>(H, 0.0F));
+
+  std::vector<float> zero(H, 0.0F);
+  for (std::size_t t = 0; t < n; ++t) {
+    const float* h_prev = t == 0 ? zero.data() : h_[t - 1].data();
+    const float* c_prev = t == 0 ? zero.data() : c_[t - 1].data();
+    auto& gates = gates_[t];
+
+    // Pre-activations: Wx x + Wh h_prev + b.
+    for (std::size_t j = 0; j < 4 * H; ++j) gates[j] = cell.b.value.data[j];
+    matvec_accum(cell.wx.value, x_[t].data(), gates.data());
+    matvec_accum(cell.wh.value, h_prev, gates.data());
+
+    for (std::size_t j = 0; j < H; ++j) {
+      const float i = sigmoidf(gates[j]);
+      const float f = sigmoidf(gates[H + j]);
+      const float o = sigmoidf(gates[2 * H + j]);
+      const float g = tanhf_clamped(gates[3 * H + j]);
+      gates[j] = i;
+      gates[H + j] = f;
+      gates[2 * H + j] = o;
+      gates[3 * H + j] = g;
+      c_[t][j] = f * c_prev[j] + i * g;
+      h_[t][j] = o * tanhf_clamped(c_[t][j]);
+    }
+  }
+}
+
+void LstmRunner::backward(LstmCell& cell, const std::vector<std::vector<float>>& d_h,
+                          std::vector<std::vector<float>>& d_inputs) {
+  const std::size_t n = x_.size();
+  const std::size_t H = cell.hidden_size;
+  assert(d_h.size() == n);
+  d_inputs.assign(n, std::vector<float>(cell.input_size, 0.0F));
+  if (n == 0) return;
+
+  std::vector<float> zero(H, 0.0F);
+  std::vector<float> dc_next(H, 0.0F);   // dL/dc flowing from step t+1
+  std::vector<float> dh_next(H, 0.0F);   // dL/dh flowing from step t+1
+  std::vector<float> d_pre(4 * H, 0.0F);
+
+  for (std::size_t t = n; t-- > 0;) {
+    const float* c_prev = t == 0 ? zero.data() : c_[t - 1].data();
+    const float* h_prev = t == 0 ? zero.data() : h_[t - 1].data();
+    const auto& gates = gates_[t];
+
+    for (std::size_t j = 0; j < H; ++j) {
+      const float dh = d_h[t][j] + dh_next[j];
+      const float i = gates[j];
+      const float f = gates[H + j];
+      const float o = gates[2 * H + j];
+      const float g = gates[3 * H + j];
+      const float tc = tanhf_clamped(c_[t][j]);
+      const float dc = dh * o * (1.0F - tc * tc) + dc_next[j];
+
+      d_pre[j] = dc * g * i * (1.0F - i);                 // input gate
+      d_pre[H + j] = dc * c_prev[j] * f * (1.0F - f);     // forget gate
+      d_pre[2 * H + j] = dh * tc * o * (1.0F - o);        // output gate
+      d_pre[3 * H + j] = dc * i * (1.0F - g * g);         // candidate
+      dc_next[j] = dc * f;
+    }
+
+    // Parameter and input gradients.
+    for (std::size_t j = 0; j < 4 * H; ++j) cell.b.grad.data[j] += d_pre[j];
+    matvec_backward(cell.wx.value, x_[t].data(), d_pre.data(), cell.wx.grad,
+                    d_inputs[t].data());
+    std::fill(dh_next.begin(), dh_next.end(), 0.0F);
+    matvec_backward(cell.wh.value, h_prev, d_pre.data(), cell.wh.grad,
+                    t == 0 ? nullptr : dh_next.data());
+  }
+}
+
+}  // namespace graphner::neural

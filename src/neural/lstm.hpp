@@ -1,0 +1,65 @@
+// LSTM layer with explicit backpropagation through time.
+//
+// Gate layout in the stacked weight matrices is [input, forget, output,
+// candidate]. The runner caches per-step activations on the forward pass
+// so backward() can replay them exactly.
+#pragma once
+
+#include <vector>
+
+#include "src/neural/tensor.hpp"
+
+namespace graphner::neural {
+
+struct LstmCell {
+  std::size_t input_size = 0;
+  std::size_t hidden_size = 0;
+  Param wx;  ///< 4H x I
+  Param wh;  ///< 4H x H
+  Param b;   ///< 4H x 1
+
+  LstmCell() = default;
+  LstmCell(std::size_t input, std::size_t hidden)
+      : input_size(input),
+        hidden_size(hidden),
+        wx(4 * hidden, input),
+        wh(4 * hidden, hidden),
+        b(4 * hidden, 1) {}
+
+  void init(util::Rng& rng) {
+    wx.init(rng);
+    wh.init(rng);
+    // Forget-gate bias starts at 1 (standard trick for gradient flow).
+    for (std::size_t h = 0; h < hidden_size; ++h)
+      b.value.data[hidden_size + h] = 1.0F;
+  }
+
+  [[nodiscard]] std::vector<Param*> params() { return {&wx, &wh, &b}; }
+};
+
+/// Forward/backward over one direction of a sequence.
+class LstmRunner {
+ public:
+  /// inputs[t] must have cell.input_size entries. Returns hidden states
+  /// (outputs()[t], size hidden). Caches activations for backward().
+  void forward(const LstmCell& cell, const std::vector<std::vector<float>>& inputs);
+
+  [[nodiscard]] const std::vector<std::vector<float>>& outputs() const noexcept {
+    return h_;
+  }
+
+  /// d_h[t] = upstream gradient on the hidden output at step t. Accumulates
+  /// parameter gradients into `cell` and writes input gradients to d_inputs
+  /// (resized to match inputs).
+  void backward(LstmCell& cell, const std::vector<std::vector<float>>& d_h,
+                std::vector<std::vector<float>>& d_inputs);
+
+ private:
+  // Per-step caches.
+  std::vector<std::vector<float>> x_;
+  std::vector<std::vector<float>> gates_;  ///< post-activation [i f o g], 4H
+  std::vector<std::vector<float>> c_;      ///< cell states
+  std::vector<std::vector<float>> h_;      ///< hidden states
+};
+
+}  // namespace graphner::neural

@@ -1,0 +1,95 @@
+// Minimal dense linear-algebra helpers for the neural baselines.
+//
+// The bi-LSTM-CRF models are small (tens of thousands of parameters), so a
+// simple row-major float matrix with hand-rolled ops is the right tool —
+// no BLAS dependency, fully deterministic.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "src/util/rng.hpp"
+
+namespace graphner::neural {
+
+struct Matrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<float> data;
+
+  Matrix() = default;
+  Matrix(std::size_t r, std::size_t c) : rows(r), cols(c), data(r * c, 0.0F) {}
+
+  [[nodiscard]] float& at(std::size_t r, std::size_t c) {
+    assert(r < rows && c < cols);
+    return data[r * cols + c];
+  }
+  [[nodiscard]] float at(std::size_t r, std::size_t c) const {
+    assert(r < rows && c < cols);
+    return data[r * cols + c];
+  }
+  [[nodiscard]] float* row(std::size_t r) { return data.data() + r * cols; }
+  [[nodiscard]] const float* row(std::size_t r) const { return data.data() + r * cols; }
+
+  void zero() { std::fill(data.begin(), data.end(), 0.0F); }
+};
+
+/// A trainable parameter: value, gradient and Adam moments.
+struct Param {
+  Matrix value;
+  Matrix grad;
+  Matrix m;  ///< first moment
+  Matrix v;  ///< second moment
+
+  Param() = default;
+  Param(std::size_t rows, std::size_t cols)
+      : value(rows, cols), grad(rows, cols), m(rows, cols), v(rows, cols) {}
+
+  /// Glorot-uniform initialization.
+  void init(util::Rng& rng) {
+    const double limit =
+        std::sqrt(6.0 / static_cast<double>(value.rows + value.cols));
+    for (auto& x : value.data) x = static_cast<float>(rng.uniform(-limit, limit));
+  }
+};
+
+/// y += W x  (W: out x in, x: in, y: out).
+inline void matvec_accum(const Matrix& w, const float* x, float* y) {
+  for (std::size_t r = 0; r < w.rows; ++r) {
+    const float* wr = w.row(r);
+    float acc = 0.0F;
+    for (std::size_t c = 0; c < w.cols; ++c) acc += wr[c] * x[c];
+    y[r] += acc;
+  }
+}
+
+/// Backward of y += W x: accumulate dW += dy x^T and dx += W^T dy.
+inline void matvec_backward(const Matrix& w, const float* x, const float* dy,
+                            Matrix& dw, float* dx) {
+  for (std::size_t r = 0; r < w.rows; ++r) {
+    const float g = dy[r];
+    float* dwr = dw.row(r);
+    const float* wr = w.row(r);
+    for (std::size_t c = 0; c < w.cols; ++c) {
+      dwr[c] += g * x[c];
+      if (dx != nullptr) dx[c] += g * wr[c];
+    }
+  }
+}
+
+[[nodiscard]] inline float sigmoidf(float x) noexcept {
+  if (x > 12.0F) return 1.0F;
+  if (x < -12.0F) return 0.0F;
+  return 1.0F / (1.0F + std::exp(-x));
+}
+
+[[nodiscard]] inline float tanhf_clamped(float x) noexcept {
+  if (x > 12.0F) return 1.0F;
+  if (x < -12.0F) return -1.0F;
+  return std::tanh(x);
+}
+
+}  // namespace graphner::neural

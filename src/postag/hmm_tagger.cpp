@@ -1,0 +1,237 @@
+#include "src/postag/hmm_tagger.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "src/util/math.hpp"
+#include "src/util/strings.hpp"
+
+namespace graphner::postag {
+namespace {
+
+[[nodiscard]] std::string shape_class(const std::string& word) {
+  if (util::is_all_digits(word)) return "<num>";
+  if (!util::has_letter(word) && !util::has_digit(word)) return "<punct>";
+  if (util::is_all_caps(word)) return "<caps>";
+  if (util::has_digit(word)) return "<alnum>";
+  return "<word>";
+}
+
+}  // namespace
+
+std::size_t HmmPosTagger::tag_id(const std::string& tag) const {
+  const auto it = tag_index_.find(tag);
+  assert(it != tag_index_.end());
+  return it->second;
+}
+
+HmmPosTagger HmmPosTagger::train(const std::vector<text::Sentence>& sentences,
+                                 const std::vector<std::vector<std::string>>& pos,
+                                 const HmmConfig& config) {
+  assert(sentences.size() == pos.size());
+  HmmPosTagger model;
+  model.config_ = config;
+
+  // Tag inventory.
+  for (const auto& tags : pos)
+    for (const auto& tag : tags)
+      if (!model.tag_index_.contains(tag)) {
+        model.tag_index_.emplace(tag, model.tags_.size());
+        model.tags_.push_back(tag);
+      }
+  const std::size_t T = model.tags_.size();
+  if (T == 0) return model;
+
+  // Counts: transitions (with virtual start row T), emissions, suffixes.
+  std::vector<double> transition((T + 1) * T, 0.0);
+  std::unordered_map<std::string, std::vector<double>> emission;
+  std::unordered_map<std::string, std::vector<double>> suffix;
+  std::vector<double> tag_counts(T, 0.0);
+
+  for (std::size_t s = 0; s < sentences.size(); ++s) {
+    assert(sentences[s].size() == pos[s].size());
+    std::size_t prev = T;  // virtual start
+    for (std::size_t i = 0; i < sentences[s].size(); ++i) {
+      const std::size_t t = model.tag_id(pos[s][i]);
+      transition[prev * T + t] += 1.0;
+      prev = t;
+      tag_counts[t] += 1.0;
+
+      const std::string word = util::to_lower(sentences[s].tokens[i]);
+      auto [it, inserted] = emission.try_emplace(word, std::vector<double>(T, 0.0));
+      it->second[t] += 1.0;
+
+      // Suffix + shape statistics for the unknown-word back-off.
+      for (std::size_t n = 1; n <= config.max_suffix_length && n <= word.size(); ++n) {
+        const std::string suf = "~" + word.substr(word.size() - n);
+        auto [jt, _] = suffix.try_emplace(suf, std::vector<double>(T, 0.0));
+        jt->second[t] += 1.0;
+      }
+      auto [kt, _] = suffix.try_emplace(shape_class(word), std::vector<double>(T, 0.0));
+      kt->second[t] += 1.0;
+    }
+  }
+
+  // Normalize to log probabilities.
+  model.transition_log_.assign((T + 1) * T, 0.0);
+  for (std::size_t from = 0; from <= T; ++from) {
+    double row = 0.0;
+    for (std::size_t to = 0; to < T; ++to) row += transition[from * T + to];
+    for (std::size_t to = 0; to < T; ++to) {
+      model.transition_log_[from * T + to] =
+          std::log((transition[from * T + to] + config.transition_smoothing) /
+                   (row + config.transition_smoothing * static_cast<double>(T)));
+    }
+  }
+  auto normalize = [&](const std::vector<double>& counts) {
+    std::vector<double> out(T);
+    double total = 0.0;
+    for (const double c : counts) total += c;
+    for (std::size_t t = 0; t < T; ++t)
+      out[t] = std::log((counts[t] + config.emission_smoothing) /
+                        (total + config.emission_smoothing * static_cast<double>(T)));
+    return out;
+  };
+  for (const auto& [word, counts] : emission)
+    model.emission_log_.emplace(word, normalize(counts));
+  for (const auto& [suf, counts] : suffix)
+    model.suffix_log_.emplace(suf, normalize(counts));
+  model.open_class_log_ = normalize(tag_counts);
+  return model;
+}
+
+double HmmPosTagger::emission_log_prob(const std::string& word, std::size_t tag) const {
+  if (const auto it = emission_log_.find(word); it != emission_log_.end())
+    return it->second[tag];
+  // Unknown word: longest-suffix back-off, then shape class, then prior.
+  for (std::size_t n = std::min(config_.max_suffix_length, word.size()); n >= 1; --n) {
+    const auto it = suffix_log_.find("~" + word.substr(word.size() - n));
+    if (it != suffix_log_.end()) return it->second[tag];
+  }
+  if (const auto it = suffix_log_.find(shape_class(word)); it != suffix_log_.end())
+    return it->second[tag];
+  return open_class_log_.empty() ? 0.0 : open_class_log_[tag];
+}
+
+std::vector<std::string> HmmPosTagger::tag(
+    const std::vector<std::string>& tokens) const {
+  const std::size_t n = tokens.size();
+  const std::size_t T = tags_.size();
+  std::vector<std::string> out(n);
+  if (n == 0 || T == 0) return out;
+
+  std::vector<double> score(n * T, util::kNegInf);
+  std::vector<std::size_t> back(n * T, 0);
+  std::vector<std::string> lowered(n);
+  for (std::size_t i = 0; i < n; ++i) lowered[i] = util::to_lower(tokens[i]);
+
+  for (std::size_t t = 0; t < T; ++t)
+    score[t] = transition_log_[T * T + t] + emission_log_prob(lowered[0], t);
+  for (std::size_t i = 1; i < n; ++i) {
+    for (std::size_t t = 0; t < T; ++t) {
+      double best = util::kNegInf;
+      std::size_t arg = 0;
+      for (std::size_t p = 0; p < T; ++p) {
+        const double cand = score[(i - 1) * T + p] + transition_log_[p * T + t];
+        if (cand > best) {
+          best = cand;
+          arg = p;
+        }
+      }
+      score[i * T + t] = best + emission_log_prob(lowered[i], t);
+      back[i * T + t] = arg;
+    }
+  }
+  std::size_t cur = 0;
+  double best = util::kNegInf;
+  for (std::size_t t = 0; t < T; ++t)
+    if (score[(n - 1) * T + t] > best) {
+      best = score[(n - 1) * T + t];
+      cur = t;
+    }
+  for (std::size_t i = n; i-- > 0;) {
+    out[i] = tags_[cur];
+    cur = back[i * T + cur];
+  }
+  return out;
+}
+
+double HmmPosTagger::accuracy(
+    const std::vector<text::Sentence>& sentences,
+    const std::vector<std::vector<std::string>>& reference) const {
+  assert(sentences.size() == reference.size());
+  std::size_t correct = 0;
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < sentences.size(); ++s) {
+    const auto predicted = tag(sentences[s].tokens);
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+      correct += predicted[i] == reference[s][i];
+      ++total;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(total);
+}
+
+void HmmPosTagger::save(std::ostream& out) const {
+  out.precision(17);
+  const std::size_t T = tags_.size();
+  out << "hmm-pos 1\n" << T << ' ' << config_.max_suffix_length << '\n';
+  for (const auto& tag : tags_) out << tag << '\n';
+  for (const double v : transition_log_) out << v << ' ';
+  out << '\n' << emission_log_.size() << '\n';
+  for (const auto& [word, row] : emission_log_) {
+    out << word;
+    for (const double v : row) out << ' ' << v;
+    out << '\n';
+  }
+  out << suffix_log_.size() << '\n';
+  for (const auto& [suf, row] : suffix_log_) {
+    out << suf;
+    for (const double v : row) out << ' ' << v;
+    out << '\n';
+  }
+  for (const double v : open_class_log_) out << v << ' ';
+  out << '\n';
+}
+
+HmmPosTagger HmmPosTagger::load(std::istream& in) {
+  HmmPosTagger model;
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  if (magic != "hmm-pos" || version != 1) return model;
+  std::size_t T = 0;
+  in >> T >> model.config_.max_suffix_length;
+  model.tags_.resize(T);
+  for (std::size_t t = 0; t < T; ++t) {
+    in >> model.tags_[t];
+    model.tag_index_.emplace(model.tags_[t], t);
+  }
+  model.transition_log_.resize((T + 1) * T);
+  for (auto& v : model.transition_log_) in >> v;
+  std::size_t entries = 0;
+  in >> entries;
+  for (std::size_t e = 0; e < entries; ++e) {
+    std::string word;
+    in >> word;
+    std::vector<double> row(T);
+    for (auto& v : row) in >> v;
+    model.emission_log_.emplace(std::move(word), std::move(row));
+  }
+  in >> entries;
+  for (std::size_t e = 0; e < entries; ++e) {
+    std::string suf;
+    in >> suf;
+    std::vector<double> row(T);
+    for (auto& v : row) in >> v;
+    model.suffix_log_.emplace(std::move(suf), std::move(row));
+  }
+  model.open_class_log_.resize(T);
+  for (auto& v : model.open_class_log_) in >> v;
+  return model;
+}
+
+}  // namespace graphner::postag

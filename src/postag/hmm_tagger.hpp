@@ -1,0 +1,67 @@
+// Bigram HMM part-of-speech tagger.
+//
+// Generative model p(tags, words) = prod p(t_i | t_{i-1}) p(w_i | t_i),
+// add-k smoothed transitions, and an emission back-off for unknown words
+// built from 1-3 character suffix statistics plus word-shape classes
+// (digits, punctuation, capitalization) — the classic recipe (TnT-style)
+// at the scale this corpus needs. Decoding is Viterbi.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/text/sentence.hpp"
+
+namespace graphner::postag {
+
+struct HmmConfig {
+  double transition_smoothing = 0.1;  ///< add-k over tag bigrams
+  double emission_smoothing = 0.01;
+  std::size_t max_suffix_length = 3;
+};
+
+class HmmPosTagger {
+ public:
+  /// Train on sentences with their POS annotations (one tag per token).
+  static HmmPosTagger train(const std::vector<text::Sentence>& sentences,
+                            const std::vector<std::vector<std::string>>& pos,
+                            const HmmConfig& config = {});
+
+  /// Viterbi decode; always returns one tag per token.
+  [[nodiscard]] std::vector<std::string> tag(
+      const std::vector<std::string>& tokens) const;
+
+  [[nodiscard]] std::size_t tagset_size() const noexcept { return tags_.size(); }
+  [[nodiscard]] const std::vector<std::string>& tagset() const noexcept {
+    return tags_;
+  }
+
+  /// Token accuracy against reference annotations.
+  [[nodiscard]] double accuracy(
+      const std::vector<text::Sentence>& sentences,
+      const std::vector<std::vector<std::string>>& reference) const;
+
+  /// Text serialization.
+  void save(std::ostream& out) const;
+  static HmmPosTagger load(std::istream& in);
+
+ private:
+  [[nodiscard]] std::size_t tag_id(const std::string& tag) const;
+  [[nodiscard]] double emission_log_prob(const std::string& word,
+                                         std::size_t tag) const;
+
+  HmmConfig config_{};
+  std::vector<std::string> tags_;
+  std::unordered_map<std::string, std::size_t> tag_index_;
+  /// log p(t_j | t_i) with a virtual start state at index tags_.size().
+  std::vector<double> transition_log_;
+  /// word (lowercased) -> per-tag log emission probability.
+  std::unordered_map<std::string, std::vector<double>> emission_log_;
+  /// suffix -> per-tag log probability (unknown-word back-off).
+  std::unordered_map<std::string, std::vector<double>> suffix_log_;
+  std::vector<double> open_class_log_;  ///< last-resort unknown-word prior
+};
+
+}  // namespace graphner::postag

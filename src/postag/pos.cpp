@@ -1,0 +1,71 @@
+#include "src/postag/pos.hpp"
+
+#include <unordered_map>
+
+#include "src/util/strings.hpp"
+
+namespace graphner::postag {
+namespace {
+
+const std::unordered_map<std::string, const char*>& closed_class() {
+  static const std::unordered_map<std::string, const char*> kDict = {
+      {"the", kDeterminer}, {"a", kDeterminer},     {"an", kDeterminer},
+      {"this", kDeterminer}, {"these", kDeterminer}, {"all", kDeterminer},
+      {"both", kDeterminer}, {"several", kDeterminer}, {"most", kDeterminer},
+      {"of", kPreposition},  {"in", kPreposition},   {"with", kPreposition},
+      {"for", kPreposition}, {"by", kPreposition},   {"to", kPreposition},
+      {"from", kPreposition}, {"into", kPreposition}, {"between", kPreposition},
+      {"among", kPreposition}, {"during", kPreposition}, {"after", kPreposition},
+      {"before", kPreposition}, {"at", kPreposition}, {"on", kPreposition},
+      {"as", kPreposition},   {"according", kPreposition},
+      {"and", kConjunction}, {"or", kConjunction},   {"but", kConjunction},
+      {"we", kPronoun},      {"it", kPronoun},       {"that", kPronoun},
+      {"which", kPronoun},   {"their", kPronoun},    {"s", kPronoun},
+      {"was", kVerb},        {"were", kVerb},        {"is", kVerb},
+      {"are", kVerb},        {"be", kVerb},          {"been", kVerb},
+      {"has", kVerb},        {"have", kVerb},        {"had", kVerb},
+      {"may", kVerb},        {"can", kVerb},         {"could", kVerb},
+      {"not", kAdverb},      {"no", kAdverb},        {"also", kAdverb},
+      {"however", kAdverb},  {"further", kAdverb},   {"previously", kAdverb},
+      {"recently", kAdverb}, {"here", kAdverb},      {"often", kAdverb},
+  };
+  return kDict;
+}
+
+}  // namespace
+
+std::vector<std::string> assign_gold_pos(const std::vector<std::string>& tokens) {
+  std::vector<std::string> pos;
+  pos.reserve(tokens.size());
+  for (const auto& token : tokens) {
+    const std::string lowered = util::to_lower(token);
+    if (const auto it = closed_class().find(lowered); it != closed_class().end()) {
+      pos.emplace_back(it->second);
+      continue;
+    }
+    if (util::is_all_digits(token)) {
+      pos.emplace_back(kNumber);
+      continue;
+    }
+    if (!util::has_letter(token) && !util::has_digit(token)) {
+      pos.emplace_back(token == "%" ? kSymbol : kPunct);
+      continue;
+    }
+    // Derivational-suffix heuristics for open-class words.
+    if (util::ends_with(lowered, "ed") || util::ends_with(lowered, "ing")) {
+      pos.emplace_back(kVerb);
+      continue;
+    }
+    if (util::ends_with(lowered, "ant") || util::ends_with(lowered, "ent") ||
+        util::ends_with(lowered, "ive") || util::ends_with(lowered, "ous") ||
+        util::ends_with(lowered, "al") || util::ends_with(lowered, "ic") ||
+        util::ends_with(lowered, "able")) {
+      pos.emplace_back(kAdjective);
+      continue;
+    }
+    pos.emplace_back(kNoun);
+  }
+  return pos;
+}
+
+}  // namespace graphner::postag

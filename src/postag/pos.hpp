@@ -1,0 +1,38 @@
+// Part-of-speech substrate.
+//
+// The real BANNER feeds POS tags (from the Dragon-toolkit HMM tagger) to
+// its CRF as features. This module provides the equivalent: a coarse POS
+// inventory, a lexical gold-POS assigner for the synthetic corpora (the
+// generator's word banks know their word classes), and a bigram HMM tagger
+// trained on those annotations with suffix/shape emission back-off for
+// unknown words.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/text/sentence.hpp"
+
+namespace graphner::postag {
+
+/// Coarse POS inventory (Penn-style granularity is unnecessary here).
+inline constexpr const char* kNoun = "NOUN";
+inline constexpr const char* kVerb = "VERB";
+inline constexpr const char* kAdjective = "ADJ";
+inline constexpr const char* kAdverb = "ADV";
+inline constexpr const char* kDeterminer = "DET";
+inline constexpr const char* kPreposition = "ADP";
+inline constexpr const char* kConjunction = "CONJ";
+inline constexpr const char* kPronoun = "PRON";
+inline constexpr const char* kNumber = "NUM";
+inline constexpr const char* kPunct = "PUNCT";
+inline constexpr const char* kSymbol = "SYM";
+
+/// Deterministic lexical POS assignment for synthetic-corpus tokens:
+/// closed-class dictionary first, then shape rules (digits -> NUM,
+/// punctuation -> PUNCT, capitalized symbols -> NOUN), default NOUN.
+/// Serves as the gold standard the HMM trains against.
+[[nodiscard]] std::vector<std::string> assign_gold_pos(
+    const std::vector<std::string>& tokens);
+
+}  // namespace graphner::postag

@@ -1,0 +1,84 @@
+#include "src/propagation/propagation.hpp"
+
+#include <cassert>
+
+#include "src/util/parallel.hpp"
+
+namespace graphner::propagation {
+
+using text::kNumTags;
+
+double propagation_loss(const graph::KnnGraph& graph,
+                        const std::vector<LabelDistribution>& x,
+                        const std::vector<LabelDistribution>& reference,
+                        const std::vector<bool>& is_labelled,
+                        const PropagationConfig& config) {
+  const std::size_t n = x.size();
+  assert(reference.size() == n && is_labelled.size() == n);
+  const LabelDistribution u = uniform_distribution();
+
+  double seed_term = 0.0;
+  double smooth_term = 0.0;
+  double prior_term = 0.0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (is_labelled[v]) {
+      for (std::size_t y = 0; y < kNumTags; ++y) {
+        const double d = x[v][y] - reference[v][y];
+        seed_term += d * d;
+      }
+    }
+    for (const auto& edge : graph.neighbours(static_cast<graph::VertexId>(v))) {
+      for (std::size_t y = 0; y < kNumTags; ++y) {
+        const double d = x[v][y] - x[edge.target][y];
+        smooth_term += edge.weight * d * d;
+      }
+    }
+    for (std::size_t y = 0; y < kNumTags; ++y) {
+      const double d = x[v][y] - u[y];
+      prior_term += d * d;
+    }
+  }
+  return seed_term + config.mu * smooth_term + config.nu * prior_term;
+}
+
+PropagationResult propagate(const graph::KnnGraph& graph,
+                            const std::vector<LabelDistribution>& initial,
+                            const std::vector<LabelDistribution>& reference,
+                            const std::vector<bool>& is_labelled,
+                            const PropagationConfig& config) {
+  const std::size_t n = initial.size();
+  assert(graph.vertex_count() == n);
+  assert(reference.size() == n && is_labelled.size() == n);
+
+  PropagationResult result;
+  result.distributions = initial;
+  std::vector<LabelDistribution> next(n);
+  const double inv_y = 1.0 / static_cast<double>(kNumTags);
+
+  for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+    const auto& cur = result.distributions;
+    util::parallel_for_chunked(0, n, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t v = lo; v < hi; ++v) {
+        const double seed = is_labelled[v] ? 1.0 : 0.0;
+        LabelDistribution gamma{};
+        double weight_sum = 0.0;
+        for (const auto& edge : graph.neighbours(static_cast<graph::VertexId>(v))) {
+          weight_sum += edge.weight;
+          for (std::size_t y = 0; y < kNumTags; ++y)
+            gamma[y] += edge.weight * cur[edge.target][y];
+        }
+        const double kappa = seed + config.nu + config.mu * weight_sum;
+        for (std::size_t y = 0; y < kNumTags; ++y) {
+          gamma[y] = seed * reference[v][y] + config.mu * gamma[y] + config.nu * inv_y;
+          next[v][y] = kappa > 0.0 ? gamma[y] / kappa : cur[v][y];
+        }
+      }
+    });
+    result.distributions.swap(next);
+    result.loss_per_iteration.push_back(propagation_loss(
+        graph, result.distributions, reference, is_labelled, config));
+  }
+  return result;
+}
+
+}  // namespace graphner::propagation

@@ -1,0 +1,54 @@
+// Iterative graph propagation (paper §II-A, equations 1 and 2).
+//
+// Label distributions over {B, I, O} live on the 3-gram vertices. The loss
+//   C(X) =   sum_{u in V_l} ||X(u) - X_ref(u)||^2
+//          + mu * sum_u sum_{k in N(u)} w_uk ||X(u) - X(k)||^2
+//          + nu * sum_u ||X(u) - U||^2
+// is minimized coordinate-wise by the closed-form update of equation 2,
+// applied for a fixed number of iterations (a tuned hyper-parameter in the
+// paper, 2-3). Updates are Jacobi-style (computed from the previous
+// iterate) so sweeps are deterministic and parallelizable.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "src/graph/knn_graph.hpp"
+#include "src/text/tag.hpp"
+
+namespace graphner::propagation {
+
+using LabelDistribution = std::array<double, text::kNumTags>;
+
+[[nodiscard]] constexpr LabelDistribution uniform_distribution() noexcept {
+  LabelDistribution u{};
+  u.fill(1.0 / static_cast<double>(text::kNumTags));
+  return u;
+}
+
+struct PropagationConfig {
+  double mu = 1e-6;          ///< neighbour-agreement weight
+  double nu = 1e-6;          ///< uniform-prior weight
+  std::size_t iterations = 3;
+};
+
+struct PropagationResult {
+  std::vector<LabelDistribution> distributions;
+  /// Loss after each sweep (length == iterations); monotone non-increasing
+  /// in exact arithmetic for Gauss-Seidel, near-monotone for Jacobi.
+  std::vector<double> loss_per_iteration;
+};
+
+/// Equation 1. `is_labelled[v]` marks V_l membership (reference defined).
+[[nodiscard]] double propagation_loss(
+    const graph::KnnGraph& graph, const std::vector<LabelDistribution>& x,
+    const std::vector<LabelDistribution>& reference,
+    const std::vector<bool>& is_labelled, const PropagationConfig& config);
+
+/// Run `config.iterations` sweeps of equation 2 starting from `initial`.
+[[nodiscard]] PropagationResult propagate(
+    const graph::KnnGraph& graph, const std::vector<LabelDistribution>& initial,
+    const std::vector<LabelDistribution>& reference,
+    const std::vector<bool>& is_labelled, const PropagationConfig& config);
+
+}  // namespace graphner::propagation

@@ -1,0 +1,41 @@
+#include "src/stats/chi_square.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace graphner::stats {
+
+double chi_square_1df_p_value(double statistic) {
+  if (statistic <= 0.0) return 1.0;
+  // Chi-square(1) upper tail = erfc(sqrt(x / 2)).
+  return std::erfc(std::sqrt(statistic / 2.0));
+}
+
+ProportionTestResult proportion_test(std::size_t successes_a, std::size_t trials_a,
+                                     std::size_t successes_b, std::size_t trials_b) {
+  ProportionTestResult result;
+  if (trials_a == 0 || trials_b == 0) return result;
+
+  const double a = static_cast<double>(successes_a);
+  const double b = static_cast<double>(successes_b);
+  const double na = static_cast<double>(trials_a);
+  const double nb = static_cast<double>(trials_b);
+  const double pooled = (a + b) / (na + nb);
+  if (pooled <= 0.0 || pooled >= 1.0) return result;  // degenerate margins
+
+  const double expected_a = na * pooled;
+  const double expected_b = nb * pooled;
+  const double correction = 0.5;
+
+  auto cell = [&](double observed, double expected) {
+    const double d = std::max(0.0, std::abs(observed - expected) - correction);
+    return d * d / expected;
+  };
+  // 2x2 table: (success, failure) x (sample A, sample B).
+  result.chi_square = cell(a, expected_a) + cell(na - a, na - expected_a) +
+                      cell(b, expected_b) + cell(nb - b, nb - expected_b);
+  result.p_value = chi_square_1df_p_value(result.chi_square);
+  return result;
+}
+
+}  // namespace graphner::stats

@@ -1,0 +1,24 @@
+// Chi-square two-sample test for equality of proportions (paper §III-E).
+#pragma once
+
+#include <cstddef>
+
+namespace graphner::stats {
+
+struct ProportionTestResult {
+  double chi_square = 0.0;
+  double p_value = 1.0;
+};
+
+/// Two-sample test that successes_a/trials_a == successes_b/trials_b, with
+/// Yates continuity correction (matches R's prop.test default, which the
+/// paper used). Returns p = 1 when a margin is empty.
+[[nodiscard]] ProportionTestResult proportion_test(std::size_t successes_a,
+                                                   std::size_t trials_a,
+                                                   std::size_t successes_b,
+                                                   std::size_t trials_b);
+
+/// Upper tail of the chi-square distribution with 1 degree of freedom.
+[[nodiscard]] double chi_square_1df_p_value(double statistic);
+
+}  // namespace graphner::stats

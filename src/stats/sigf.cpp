@@ -1,0 +1,97 @@
+#include "src/stats/sigf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/util/rng.hpp"
+
+namespace graphner::stats {
+namespace {
+
+using eval::evaluate_bc2gm;
+
+double score(const eval::Metrics& m, Metric metric) {
+  switch (metric) {
+    case Metric::kPrecision: return m.precision();
+    case Metric::kRecall: return m.recall();
+    case Metric::kFScore: return m.f_score();
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+std::string metric_name(Metric metric) {
+  switch (metric) {
+    case Metric::kPrecision: return "Precision";
+    case Metric::kRecall: return "Recall";
+    case Metric::kFScore: return "F-score";
+  }
+  return "?";
+}
+
+SigfResult sigf_test(const std::vector<text::Annotation>& system_a,
+                     const std::vector<text::Annotation>& system_b,
+                     const std::vector<text::Annotation>& gold,
+                     const std::vector<text::Annotation>& alternatives,
+                     Metric metric, const SigfOptions& options) {
+  SigfResult result;
+  const double observed_a = score(evaluate_bc2gm(system_a, gold, alternatives).metrics, metric);
+  const double observed_b = score(evaluate_bc2gm(system_b, gold, alternatives).metrics, metric);
+  result.observed_difference = observed_a - observed_b;
+  const double threshold = std::abs(result.observed_difference);
+
+  // Sentence ids where the two systems' prediction sets differ; sentences
+  // with identical predictions cancel in every permutation, so only the
+  // differing ones need to be swapped (this is sigf's optimization too).
+  auto map_a = eval::group_by_sentence(system_a);
+  auto map_b = eval::group_by_sentence(system_b);
+  std::set<std::string> ids;
+  for (const auto& [id, _] : map_a) ids.insert(id);
+  for (const auto& [id, _] : map_b) ids.insert(id);
+
+  auto canonical = [](std::vector<text::Annotation> v) {
+    std::sort(v.begin(), v.end(), [](const auto& x, const auto& y) {
+      return x.span < y.span;
+    });
+    return v;
+  };
+  std::vector<std::string> differing;
+  std::vector<text::Annotation> common;  // identical predictions, never swapped
+  for (const auto& id : ids) {
+    auto a = canonical(map_a.count(id) ? map_a[id] : std::vector<text::Annotation>{});
+    auto b = canonical(map_b.count(id) ? map_b[id] : std::vector<text::Annotation>{});
+    if (a == b) {
+      common.insert(common.end(), a.begin(), a.end());
+    } else {
+      differing.push_back(id);
+    }
+  }
+
+  util::Rng rng(options.seed);
+  std::size_t at_least_as_extreme = 0;
+  std::vector<text::Annotation> pseudo_a;
+  std::vector<text::Annotation> pseudo_b;
+  for (std::size_t rep = 0; rep < options.repetitions; ++rep) {
+    pseudo_a = common;
+    pseudo_b = common;
+    for (const auto& id : differing) {
+      const bool swap = rng.flip(0.5);
+      const auto& from_a = map_a.count(id) ? map_a[id] : std::vector<text::Annotation>{};
+      const auto& from_b = map_b.count(id) ? map_b[id] : std::vector<text::Annotation>{};
+      auto& sink_a = swap ? pseudo_b : pseudo_a;
+      auto& sink_b = swap ? pseudo_a : pseudo_b;
+      sink_a.insert(sink_a.end(), from_a.begin(), from_a.end());
+      sink_b.insert(sink_b.end(), from_b.begin(), from_b.end());
+    }
+    const double sa = score(evaluate_bc2gm(pseudo_a, gold, alternatives).metrics, metric);
+    const double sb = score(evaluate_bc2gm(pseudo_b, gold, alternatives).metrics, metric);
+    if (std::abs(sa - sb) >= threshold - 1e-12) ++at_least_as_extreme;
+  }
+  result.p_value = static_cast<double>(at_least_as_extreme + 1) /
+                   static_cast<double>(options.repetitions + 1);
+  return result;
+}
+
+}  // namespace graphner::stats

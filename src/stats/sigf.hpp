@@ -1,0 +1,46 @@
+// Approximate-randomization significance testing (Yeh 2000; Padó's sigf).
+//
+// To test whether system A and system B differ in P / R / F beyond chance,
+// the test repeatedly builds pseudo-systems by swapping, per sentence and
+// with probability 1/2, the two systems' prediction sets, and measures how
+// often the pseudo-systems' score difference is at least as extreme as the
+// observed one. The add-one p-value estimate (n_ge + 1) / (reps + 1) keeps
+// the test exact-level.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/eval/bc2gm_eval.hpp"
+#include "src/text/annotation.hpp"
+
+namespace graphner::stats {
+
+enum class Metric { kPrecision, kRecall, kFScore };
+
+[[nodiscard]] std::string metric_name(Metric metric);
+
+struct SigfOptions {
+  std::size_t repetitions = 10000;
+  std::uint64_t seed = 1234;
+};
+
+struct SigfResult {
+  double observed_difference = 0.0;  ///< score(A) - score(B)
+  double p_value = 1.0;
+};
+
+/// Two-sided test of H0: A and B have the same `metric` on this test set.
+[[nodiscard]] SigfResult sigf_test(const std::vector<text::Annotation>& system_a,
+                                   const std::vector<text::Annotation>& system_b,
+                                   const std::vector<text::Annotation>& gold,
+                                   const std::vector<text::Annotation>& alternatives,
+                                   Metric metric, const SigfOptions& options = {});
+
+/// Bonferroni-corrected significance level for m hypotheses.
+[[nodiscard]] constexpr double bonferroni_alpha(double alpha, std::size_t m) noexcept {
+  return m == 0 ? alpha : alpha / static_cast<double>(m);
+}
+
+}  // namespace graphner::stats

@@ -1,0 +1,74 @@
+#include "src/text/annotation.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "src/text/bio.hpp"
+#include "src/util/strings.hpp"
+
+namespace graphner::text {
+
+std::string format_annotation(const Annotation& ann) {
+  std::ostringstream out;
+  out << ann.sentence_id << '|' << ann.span.first << ' ' << ann.span.last << '|'
+      << ann.mention;
+  return out.str();
+}
+
+std::optional<Annotation> parse_annotation(std::string_view line) {
+  const auto first_bar = line.find('|');
+  if (first_bar == std::string_view::npos) return std::nullopt;
+  const auto second_bar = line.find('|', first_bar + 1);
+  if (second_bar == std::string_view::npos) return std::nullopt;
+
+  Annotation ann;
+  ann.sentence_id = std::string(line.substr(0, first_bar));
+  const std::string_view span_text =
+      line.substr(first_bar + 1, second_bar - first_bar - 1);
+  ann.mention = std::string(line.substr(second_bar + 1));
+
+  std::istringstream span_in{std::string(span_text)};
+  long long first = -1;
+  long long last = -1;
+  span_in >> first >> last;
+  if (!span_in || first < 0 || last < first) return std::nullopt;
+  ann.span = CharSpan{static_cast<std::size_t>(first), static_cast<std::size_t>(last)};
+  return ann;
+}
+
+std::vector<Annotation> parse_annotations(std::istream& in) {
+  std::vector<Annotation> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty()) continue;
+    if (auto ann = parse_annotation(trimmed)) out.push_back(std::move(*ann));
+  }
+  return out;
+}
+
+void write_annotations(std::ostream& out, const std::vector<Annotation>& anns) {
+  for (const auto& ann : anns) out << format_annotation(ann) << '\n';
+}
+
+AnnotationIndex index_annotations(const std::vector<Annotation>& anns) {
+  AnnotationIndex index;
+  for (const auto& ann : anns) index[ann.sentence_id].push_back(ann.span);
+  return index;
+}
+
+std::vector<Annotation> annotations_from_tags(const Sentence& sentence) {
+  std::vector<Annotation> out;
+  if (!sentence.has_tags()) return out;
+  for (const auto& span : decode_bio(sentence.tags)) {
+    Annotation ann;
+    ann.sentence_id = sentence.id;
+    ann.span = sentence.to_char_span(span);
+    ann.mention = sentence.span_text(span);
+    out.push_back(std::move(ann));
+  }
+  return out;
+}
+
+}  // namespace graphner::text

@@ -1,0 +1,49 @@
+// BC2GM shared-task annotation format.
+//
+// An annotation line is  `<sentence-id>|<first> <last>|<mention text>`
+// where <first>/<last> are inclusive character offsets into the sentence
+// text **with all whitespace removed**. Primary (GENE.eval) and alternative
+// (ALTGENE.eval) annotations share the format.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/text/sentence.hpp"
+
+namespace graphner::text {
+
+/// One annotation: a char span in a named sentence plus the mention surface.
+struct Annotation {
+  std::string sentence_id;
+  CharSpan span;
+  std::string mention;
+
+  friend bool operator==(const Annotation&, const Annotation&) = default;
+};
+
+/// Serialize to the shared-task line format.
+[[nodiscard]] std::string format_annotation(const Annotation& ann);
+
+/// Parse one line; std::nullopt on malformed input.
+[[nodiscard]] std::optional<Annotation> parse_annotation(std::string_view line);
+
+/// Parse a whole annotation stream (skips blank / malformed lines).
+[[nodiscard]] std::vector<Annotation> parse_annotations(std::istream& in);
+
+/// Write annotations, one per line.
+void write_annotations(std::ostream& out, const std::vector<Annotation>& anns);
+
+/// Annotations grouped by sentence id for O(1) evaluation lookups.
+using AnnotationIndex = std::unordered_map<std::string, std::vector<CharSpan>>;
+
+[[nodiscard]] AnnotationIndex index_annotations(const std::vector<Annotation>& anns);
+
+/// Extract annotations for every tagged mention in a sentence.
+[[nodiscard]] std::vector<Annotation> annotations_from_tags(const Sentence& sentence);
+
+}  // namespace graphner::text

@@ -1,0 +1,65 @@
+#include "src/text/bio.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace graphner::text {
+
+std::vector<Tag> encode_bio(const std::vector<TokenSpan>& spans, std::size_t length) {
+  std::vector<Tag> tags(length, Tag::kO);
+  for (const auto& span : spans) {
+    assert(span.first <= span.last);
+    if (span.last >= length) continue;
+    // Skip spans that would overwrite an existing mention.
+    bool occupied = false;
+    for (std::size_t i = span.first; i <= span.last; ++i)
+      if (tags[i] != Tag::kO) occupied = true;
+    if (occupied) continue;
+    tags[span.first] = Tag::kB;
+    for (std::size_t i = span.first + 1; i <= span.last; ++i) tags[i] = Tag::kI;
+  }
+  return tags;
+}
+
+std::vector<TokenSpan> decode_bio(const std::vector<Tag>& tags) {
+  std::vector<TokenSpan> spans;
+  std::size_t start = 0;
+  bool open = false;
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    switch (tags[i]) {
+      case Tag::kB:
+        if (open) spans.push_back({start, i - 1});
+        start = i;
+        open = true;
+        break;
+      case Tag::kI:
+        if (!open) {  // stray I: treat as a mention start
+          start = i;
+          open = true;
+        }
+        break;
+      case Tag::kO:
+        if (open) spans.push_back({start, i - 1});
+        open = false;
+        break;
+    }
+  }
+  if (open) spans.push_back({start, tags.size() - 1});
+  return spans;
+}
+
+void repair_bio(std::vector<Tag>& tags) noexcept {
+  Tag prev = Tag::kO;
+  for (auto& tag : tags) {
+    if (tag == Tag::kI && prev == Tag::kO) tag = Tag::kB;
+    prev = tag;
+  }
+}
+
+std::size_t positive_token_count(const std::vector<Tag>& tags) noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(tags.begin(), tags.end(),
+                    [](Tag t) { return t != Tag::kO; }));
+}
+
+}  // namespace graphner::text

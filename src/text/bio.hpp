@@ -1,0 +1,26 @@
+// Conversion between mention spans and BIO tag sequences.
+#pragma once
+
+#include <vector>
+
+#include "src/text/sentence.hpp"
+#include "src/text/tag.hpp"
+
+namespace graphner::text {
+
+/// Encode non-overlapping spans into a BIO sequence of length `length`.
+/// Spans must be sorted and in range; overlapping spans keep the first.
+[[nodiscard]] std::vector<Tag> encode_bio(const std::vector<TokenSpan>& spans,
+                                          std::size_t length);
+
+/// Decode a BIO sequence into mention spans. A stray I (following O) starts
+/// a new mention, matching the tolerant behaviour of the BC2GM evaluator.
+[[nodiscard]] std::vector<TokenSpan> decode_bio(const std::vector<Tag>& tags);
+
+/// Repair illegal I-after-O transitions in place (I -> B).
+void repair_bio(std::vector<Tag>& tags) noexcept;
+
+/// Count tokens tagged B or I.
+[[nodiscard]] std::size_t positive_token_count(const std::vector<Tag>& tags) noexcept;
+
+}  // namespace graphner::text

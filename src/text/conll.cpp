@@ -1,0 +1,63 @@
+#include "src/text/conll.hpp"
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "src/util/strings.hpp"
+
+namespace graphner::text {
+
+void write_conll(std::ostream& out, const std::vector<Sentence>& sentences) {
+  for (const auto& sentence : sentences) {
+    out << "# id: " << sentence.id << '\n';
+    for (std::size_t i = 0; i < sentence.size(); ++i) {
+      const Tag tag = sentence.has_tags() ? sentence.tags[i] : Tag::kO;
+      out << sentence.tokens[i] << '\t' << tag_name(tag) << '\n';
+    }
+    out << '\n';
+  }
+}
+
+std::vector<Sentence> read_conll(std::istream& in) {
+  std::vector<Sentence> sentences;
+  Sentence current;
+  std::size_t anonymous = 0;
+  std::string line;
+
+  auto flush = [&] {
+    if (current.tokens.empty()) {
+      current = Sentence{};
+      return;
+    }
+    if (current.id.empty()) current.id = "conll-" + std::to_string(anonymous++);
+    sentences.push_back(std::move(current));
+    current = Sentence{};
+  };
+
+  while (std::getline(in, line)) {
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty()) {
+      flush();
+      continue;
+    }
+    if (util::starts_with(trimmed, "#")) {
+      const auto marker = trimmed.find("id:");
+      if (marker != std::string_view::npos)
+        current.id = std::string(util::trim(trimmed.substr(marker + 3)));
+      continue;
+    }
+    const auto tab = trimmed.find('\t');
+    if (tab == std::string_view::npos) {
+      current.tokens.emplace_back(trimmed);
+      current.tags.push_back(Tag::kO);
+    } else {
+      current.tokens.emplace_back(util::trim(trimmed.substr(0, tab)));
+      current.tags.push_back(parse_tag(util::trim(trimmed.substr(tab + 1))));
+    }
+  }
+  flush();
+  return sentences;
+}
+
+}  // namespace graphner::text

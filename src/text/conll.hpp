@@ -1,0 +1,24 @@
+// CoNLL-style column format for tagged sentences.
+//
+// The de-facto interchange format for sequence labelling: one token per
+// line as "token<TAB>tag", blank line between sentences, optional
+// "# id: <sentence-id>" comment before each sentence. Lets GraphNER's
+// predictions flow into standard NER tooling (conlleval etc.) and lets
+// external BIO-tagged data flow in.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "src/text/sentence.hpp"
+
+namespace graphner::text {
+
+/// Write sentences (tags optional; missing tags are written as O).
+void write_conll(std::ostream& out, const std::vector<Sentence>& sentences);
+
+/// Read sentences; unknown tag strings map to O. Sentences without an id
+/// comment get sequential ids "conll-<n>".
+[[nodiscard]] std::vector<Sentence> read_conll(std::istream& in);
+
+}  // namespace graphner::text

@@ -1,0 +1,83 @@
+#include "src/text/lemmatizer.hpp"
+
+#include "src/util/strings.hpp"
+
+namespace graphner::text {
+namespace {
+
+using util::ends_with;
+
+[[nodiscard]] bool is_vowel(char c) noexcept {
+  return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u';
+}
+
+/// Strip plural / verbal suffixes from an already-lowercased word.
+[[nodiscard]] std::string strip_suffix(std::string word) {
+  const std::size_t n = word.size();
+  // -ies -> -y  (studies -> study), guard length.
+  if (n > 4 && ends_with(word, "ies")) {
+    word.erase(n - 3);
+    word += 'y';
+    return word;
+  }
+  // -sses -> -ss (classes -> class)
+  if (n > 5 && ends_with(word, "sses")) {
+    word.erase(n - 2);
+    return word;
+  }
+  // -xes/-ches/-shes -> strip "es"
+  if (n > 4 && (ends_with(word, "xes") || ends_with(word, "ches") ||
+                ends_with(word, "shes") || ends_with(word, "zes"))) {
+    word.erase(word.size() - 2);
+    return word;
+  }
+  // -s (but not -ss, -us, -is) -> strip
+  if (n > 3 && word.back() == 's' && !ends_with(word, "ss") &&
+      !ends_with(word, "us") && !ends_with(word, "is")) {
+    word.pop_back();
+    return word;
+  }
+  // -ing with a vowel remaining (binding -> bind), restore 'e' heuristically
+  if (n > 5 && ends_with(word, "ing")) {
+    std::string stem = word.substr(0, n - 3);
+    bool has_vowel = false;
+    for (char c : stem)
+      if (is_vowel(c)) has_vowel = true;
+    if (has_vowel) {
+      // doubled final consonant (running -> run); 's' and 'l' stay doubled
+      // in the base form (express, crossing, controlling...).
+      if (stem.size() >= 2 && stem[stem.size() - 1] == stem[stem.size() - 2] &&
+          !is_vowel(stem.back()) && stem.back() != 's' && stem.back() != 'l')
+        stem.pop_back();
+      return stem;
+    }
+  }
+  // -ed (expressed -> express, mutated -> mutate)
+  if (n > 4 && ends_with(word, "ed")) {
+    std::string stem = word.substr(0, n - 2);
+    bool has_vowel = false;
+    for (char c : stem)
+      if (is_vowel(c)) has_vowel = true;
+    if (has_vowel) {
+      if (stem.size() >= 2 && stem[stem.size() - 1] == stem[stem.size() - 2] &&
+          !is_vowel(stem.back()) && stem.back() != 's' && stem.back() != 'l') {
+        stem.pop_back();          // stopped -> stop
+      } else if (!is_vowel(stem.back()) && stem.size() >= 2 &&
+                 is_vowel(stem[stem.size() - 2])) {
+        stem += 'e';              // mutated -> mutate
+      }
+      return stem;
+    }
+  }
+  return word;
+}
+
+}  // namespace
+
+std::string lemmatize(std::string_view token) {
+  std::string lowered = util::to_lower(token);
+  if (!util::has_letter(lowered) || lowered.size() <= 2) return lowered;
+  return strip_suffix(std::move(lowered));
+}
+
+}  // namespace graphner::text

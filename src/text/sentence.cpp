@@ -1,0 +1,47 @@
+#include "src/text/sentence.hpp"
+
+#include <cassert>
+
+namespace graphner::text {
+
+std::string Sentence::text() const {
+  std::string out;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += tokens[i];
+  }
+  return out;
+}
+
+std::size_t Sentence::char_offset(std::size_t token) const {
+  assert(token <= tokens.size());
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < token; ++i) offset += tokens[i].size();
+  return offset;
+}
+
+CharSpan Sentence::to_char_span(const TokenSpan& span) const {
+  assert(span.first <= span.last && span.last < tokens.size());
+  const std::size_t start = char_offset(span.first);
+  std::size_t end = start;
+  for (std::size_t i = span.first; i <= span.last; ++i) end += tokens[i].size();
+  return CharSpan{start, end - 1};
+}
+
+std::string Sentence::span_text(const TokenSpan& span) const {
+  assert(span.first <= span.last && span.last < tokens.size());
+  std::string out;
+  for (std::size_t i = span.first; i <= span.last; ++i) {
+    if (i > span.first) out += ' ';
+    out += tokens[i];
+  }
+  return out;
+}
+
+std::size_t Document::token_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& s : sentences) total += s.size();
+  return total;
+}
+
+}  // namespace graphner::text

@@ -1,0 +1,48 @@
+// BIO tag scheme for single-type (gene) mention detection.
+//
+// The paper's task tags each token Begin / Inside / Outside of a gene
+// mention; with one entity type the tag set is exactly {B, I, O}.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace graphner::text {
+
+enum class Tag : std::uint8_t { kB = 0, kI = 1, kO = 2 };
+
+inline constexpr std::size_t kNumTags = 3;
+
+[[nodiscard]] constexpr std::string_view tag_name(Tag tag) noexcept {
+  switch (tag) {
+    case Tag::kB: return "B";
+    case Tag::kI: return "I";
+    case Tag::kO: return "O";
+  }
+  return "?";
+}
+
+/// Parse "B"/"I"/"O"; anything else maps to O.
+[[nodiscard]] constexpr Tag parse_tag(std::string_view text) noexcept {
+  if (text == "B") return Tag::kB;
+  if (text == "I") return Tag::kI;
+  return Tag::kO;
+}
+
+[[nodiscard]] constexpr std::size_t tag_index(Tag tag) noexcept {
+  return static_cast<std::size_t>(tag);
+}
+
+[[nodiscard]] constexpr Tag tag_from_index(std::size_t idx) noexcept {
+  return static_cast<Tag>(idx);
+}
+
+inline constexpr std::array<Tag, kNumTags> kAllTags = {Tag::kB, Tag::kI, Tag::kO};
+
+/// True for the BIO constraint violation "I not preceded by B or I".
+[[nodiscard]] constexpr bool is_illegal_transition(Tag prev, Tag next) noexcept {
+  return next == Tag::kI && prev == Tag::kO;
+}
+
+}  // namespace graphner::text

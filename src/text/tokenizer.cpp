@@ -1,0 +1,98 @@
+#include "src/text/tokenizer.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace graphner::text {
+namespace {
+
+// Letters and digits share one class: gene symbols like "SH2B3" stay a
+// single token (matching the paper's tokenized example), while punctuation
+// still splits ("WT-1" -> [WT, -, 1]).
+enum class CharClass { kAlnum, kSymbol, kSpace };
+
+[[nodiscard]] CharClass classify(char c) noexcept {
+  const auto u = static_cast<unsigned char>(c);
+  if (std::isspace(u)) return CharClass::kSpace;
+  if (std::isalnum(u)) return CharClass::kAlnum;
+  return CharClass::kSymbol;
+}
+
+[[nodiscard]] bool is_abbreviation(std::string_view token) noexcept {
+  static constexpr std::array<std::string_view, 10> kAbbrev = {
+      "e.g", "i.e", "et al", "Fig", "fig", "Dr", "vs", "approx", "No", "cf"};
+  for (const auto& a : kAbbrev)
+    if (token == a) return true;
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::string> tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const CharClass cls = classify(text[i]);
+    if (cls == CharClass::kSpace) {
+      ++i;
+      continue;
+    }
+    if (cls == CharClass::kSymbol) {
+      tokens.emplace_back(1, text[i]);
+      ++i;
+      continue;
+    }
+    std::size_t j = i + 1;
+    while (j < text.size() && classify(text[j]) == cls) ++j;
+    tokens.emplace_back(text.substr(i, j - i));
+    i = j;
+  }
+  return tokens;
+}
+
+std::vector<std::string> split_sentences(std::string_view text) {
+  std::vector<std::string> sentences;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c != '.' && c != '!' && c != '?') continue;
+    // Look ahead: end of text, or whitespace followed by capital/digit.
+    const bool at_end = i + 1 >= text.size();
+    bool boundary = at_end;
+    if (!at_end && std::isspace(static_cast<unsigned char>(text[i + 1]))) {
+      std::size_t j = i + 1;
+      while (j < text.size() && std::isspace(static_cast<unsigned char>(text[j]))) ++j;
+      boundary = j >= text.size() ||
+                 std::isupper(static_cast<unsigned char>(text[j])) ||
+                 std::isdigit(static_cast<unsigned char>(text[j]));
+    }
+    if (!boundary || c != '.') {
+      if (!boundary) continue;
+    } else {
+      // Guard: don't split after known abbreviations or single initials.
+      std::size_t w = i;
+      while (w > start && !std::isspace(static_cast<unsigned char>(text[w - 1]))) --w;
+      const std::string_view last_word = text.substr(w, i - w);
+      if (is_abbreviation(last_word) ||
+          (last_word.size() == 1 &&
+           std::isupper(static_cast<unsigned char>(last_word[0]))))
+        continue;
+    }
+    const std::string_view chunk = text.substr(start, i - start + 1);
+    if (!chunk.empty()) {
+      // Trim leading whitespace.
+      std::size_t b = 0;
+      while (b < chunk.size() && std::isspace(static_cast<unsigned char>(chunk[b]))) ++b;
+      if (b < chunk.size()) sentences.emplace_back(chunk.substr(b));
+    }
+    start = i + 1;
+  }
+  if (start < text.size()) {
+    std::size_t b = start;
+    while (b < text.size() && std::isspace(static_cast<unsigned char>(text[b]))) ++b;
+    if (b < text.size()) sentences.emplace_back(text.substr(b));
+  }
+  return sentences;
+}
+
+}  // namespace graphner::text

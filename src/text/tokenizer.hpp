@@ -1,0 +1,25 @@
+// Biomedical tokenizer and sentence splitter.
+//
+// Contiguous alphanumeric runs stay single tokens (gene symbols like
+// "SH2B3", matching the paper's tokenized example) while each symbol
+// character becomes its own token, so "WT-1(a)" tokenizes as
+// [WT, -, 1, (, a, )]. This matters for the BC2GM evaluation protocol,
+// whose character offsets ignore whitespace but count every non-space
+// character.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace graphner::text {
+
+/// Tokenize one sentence of raw text.
+[[nodiscard]] std::vector<std::string> tokenize(std::string_view text);
+
+/// Split running text (e.g. a full-text article section) into sentences.
+/// Heuristic: sentence ends at . ! ? followed by whitespace + capital/digit,
+/// with guards for common abbreviations and single-letter initials.
+[[nodiscard]] std::vector<std::string> split_sentences(std::string_view text);
+
+}  // namespace graphner::text

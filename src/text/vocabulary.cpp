@@ -1,0 +1,35 @@
+#include "src/text/vocabulary.hpp"
+
+#include <algorithm>
+
+namespace graphner::text {
+
+Vocabulary::Id Vocabulary::add(std::string_view term, std::uint64_t count) {
+  total_ += count;
+  if (auto it = index_.find(std::string(term)); it != index_.end()) {
+    counts_[it->second] += count;
+    return it->second;
+  }
+  const Id id = static_cast<Id>(terms_.size());
+  terms_.emplace_back(term);
+  counts_.push_back(count);
+  index_.emplace(terms_.back(), id);
+  return id;
+}
+
+std::optional<Vocabulary::Id> Vocabulary::find(std::string_view term) const {
+  const auto it = index_.find(std::string(term));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<Vocabulary::Id> Vocabulary::frequent_terms(std::uint64_t min_count) const {
+  std::vector<Id> ids;
+  for (Id id = 0; id < terms_.size(); ++id)
+    if (counts_[id] >= min_count) ids.push_back(id);
+  std::sort(ids.begin(), ids.end(),
+            [this](Id a, Id b) { return counts_[a] > counts_[b]; });
+  return ids;
+}
+
+}  // namespace graphner::text

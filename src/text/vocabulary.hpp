@@ -1,0 +1,44 @@
+// String interning with frequency counts.
+//
+// Shared by the CRF feature index, the embedding trainers and the graph
+// builder; ids are dense and stable in insertion order.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace graphner::text {
+
+class Vocabulary {
+ public:
+  using Id = std::uint32_t;
+  static constexpr Id kUnknown = ~Id{0};
+
+  /// Intern `term`, bumping its count; returns its id.
+  Id add(std::string_view term, std::uint64_t count = 1);
+
+  /// Lookup without interning.
+  [[nodiscard]] std::optional<Id> find(std::string_view term) const;
+
+  /// Id -> surface form.
+  [[nodiscard]] const std::string& term(Id id) const { return terms_.at(id); }
+
+  [[nodiscard]] std::uint64_t count(Id id) const { return counts_.at(id); }
+  [[nodiscard]] std::uint64_t total_count() const noexcept { return total_; }
+  [[nodiscard]] std::size_t size() const noexcept { return terms_.size(); }
+
+  /// Ids of all terms with count >= min_count, ordered by descending count.
+  [[nodiscard]] std::vector<Id> frequent_terms(std::uint64_t min_count) const;
+
+ private:
+  std::unordered_map<std::string, Id> index_;
+  std::vector<std::string> terms_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace graphner::text

@@ -1,0 +1,79 @@
+#include "src/util/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace graphner::util {
+
+Cli::Cli(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+std::shared_ptr<bool> Cli::toggle(std::string name, std::string help) {
+  auto storage = std::make_shared<bool>(false);
+  Option opt;
+  opt.name = std::move(name);
+  opt.help = std::move(help);
+  opt.default_repr = "false";
+  opt.is_toggle = true;
+  opt.apply = [storage](const std::string&) {
+    *storage = true;
+    return true;
+  };
+  options_.push_back(std::move(opt));
+  return storage;
+}
+
+std::string Cli::usage() const {
+  std::ostringstream out;
+  out << program_ << " — " << description_ << "\n\nOptions:\n";
+  for (const auto& opt : options_) {
+    out << "  --" << opt.name;
+    if (!opt.is_toggle) out << " <value>";
+    out << "\n      " << opt.help << " (default: " << opt.default_repr << ")\n";
+  }
+  out << "  --help\n      show this message\n";
+  return out.str();
+}
+
+void Cli::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << usage();
+      std::exit(0);
+    }
+    if (arg.size() < 3 || arg.substr(0, 2) != "--") {
+      std::cerr << program_ << ": unexpected argument '" << arg << "'\n" << usage();
+      std::exit(2);
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_inline_value = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_inline_value = true;
+    }
+    Option* match = nullptr;
+    for (auto& opt : options_)
+      if (opt.name == name) { match = &opt; break; }
+    if (match == nullptr) {
+      std::cerr << program_ << ": unknown flag --" << name << "\n" << usage();
+      std::exit(2);
+    }
+    if (!match->is_toggle && !has_inline_value) {
+      if (i + 1 >= argc) {
+        std::cerr << program_ << ": flag --" << name << " expects a value\n";
+        std::exit(2);
+      }
+      value = argv[++i];
+    }
+    if (!match->apply(value)) {
+      std::cerr << program_ << ": bad value '" << value << "' for --" << name << "\n";
+      std::exit(2);
+    }
+  }
+}
+
+}  // namespace graphner::util

@@ -1,0 +1,52 @@
+// Tiny command-line flag parser for benches and examples.
+//
+//   util::Cli cli("table1_bc2gm", "Reproduce Table I");
+//   auto scale = cli.flag<double>("scale", 1.0, "corpus scale factor");
+//   auto seed  = cli.flag<std::uint64_t>("seed", 42, "rng seed");
+//   cli.parse(argc, argv);          // exits on --help / bad flag
+//   run(*scale, *seed);
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace graphner::util {
+
+class Cli {
+ public:
+  Cli(std::string program, std::string description);
+
+  /// Register --name <value>; returns a stable pointer filled in by parse().
+  template <typename T>
+  [[nodiscard]] std::shared_ptr<T> flag(std::string name, T default_value,
+                                        std::string help);
+
+  /// Register boolean --name (no value; presence sets true).
+  [[nodiscard]] std::shared_ptr<bool> toggle(std::string name, std::string help);
+
+  /// Parse argv. Prints usage and exits(0) on --help; exits(2) on bad input.
+  void parse(int argc, char** argv);
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  struct Option {
+    std::string name;
+    std::string help;
+    std::string default_repr;
+    bool is_toggle = false;
+    // Applies the raw text to the bound storage; returns false on parse error.
+    std::function<bool(const std::string&)> apply;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::vector<Option> options_;
+};
+
+}  // namespace graphner::util
+
+#include "src/util/cli_impl.hpp"

@@ -1,0 +1,50 @@
+// Template implementation of Cli::flag.
+#pragma once
+
+#include <sstream>
+
+namespace graphner::util {
+namespace cli_detail {
+
+template <typename T>
+bool parse_value(const std::string& text, T& out) {
+  std::istringstream in(text);
+  in >> out;
+  return static_cast<bool>(in) && in.eof();
+}
+
+inline bool parse_value(const std::string& text, std::string& out) {
+  out = text;
+  return true;
+}
+
+inline bool parse_value(const std::string& text, bool& out) {
+  if (text == "true" || text == "1") { out = true; return true; }
+  if (text == "false" || text == "0") { out = false; return true; }
+  return false;
+}
+
+template <typename T>
+std::string repr(const T& value) {
+  std::ostringstream out;
+  out << value;
+  return out.str();
+}
+
+}  // namespace cli_detail
+
+template <typename T>
+std::shared_ptr<T> Cli::flag(std::string name, T default_value, std::string help) {
+  auto storage = std::make_shared<T>(std::move(default_value));
+  Option opt;
+  opt.name = std::move(name);
+  opt.help = std::move(help);
+  opt.default_repr = cli_detail::repr(*storage);
+  opt.apply = [storage](const std::string& text) {
+    return cli_detail::parse_value(text, *storage);
+  };
+  options_.push_back(std::move(opt));
+  return storage;
+}
+
+}  // namespace graphner::util

@@ -1,0 +1,51 @@
+#include "src/util/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+#include <ostream>
+
+namespace graphner::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  assert(bins > 0);
+  assert(hi > lo);
+}
+
+void Histogram::add(double value) noexcept {
+  const double span = hi_ - lo_;
+  auto bin = static_cast<long long>((value - lo_) / span * static_cast<double>(counts_.size()));
+  bin = std::clamp<long long>(bin, 0, static_cast<long long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+  sum_ += value;
+  max_seen_ = std::max(max_seen_, value);
+}
+
+double Histogram::bin_lo(std::size_t bin) const noexcept {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t bin) const noexcept { return bin_lo(bin + 1); }
+
+double Histogram::mean() const noexcept {
+  return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+}
+
+void Histogram::print(std::ostream& out, const std::string& title,
+                      std::size_t width) const {
+  out << title << "  (n=" << total_ << ", mean=" << std::fixed
+      << std::setprecision(3) << mean() << ")\n";
+  std::size_t peak = 1;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::size_t bar =
+        counts_[b] == 0 ? 0 : std::max<std::size_t>(1, counts_[b] * width / peak);
+    out << '[' << std::setw(9) << std::setprecision(3) << bin_lo(b) << ", "
+        << std::setw(9) << bin_hi(b) << ") " << std::setw(8) << counts_[b] << ' '
+        << std::string(bar, '#') << '\n';
+  }
+}
+
+}  // namespace graphner::util

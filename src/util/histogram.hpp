@@ -1,0 +1,38 @@
+// Fixed-bin histogram + ASCII rendering, used for the Fig. 3 influence plots.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace graphner::util {
+
+class Histogram {
+ public:
+  /// Uniform bins over [lo, hi); values outside are clamped to edge bins.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value) noexcept;
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t bin) const noexcept;
+  [[nodiscard]] double bin_hi(std::size_t bin) const noexcept;
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double max_seen() const noexcept { return max_seen_; }
+
+  /// Horizontal bar chart, `width` characters for the largest bin.
+  void print(std::ostream& out, const std::string& title, std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  double sum_ = 0.0;
+  double max_seen_ = 0.0;
+};
+
+}  // namespace graphner::util

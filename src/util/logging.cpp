@@ -1,0 +1,55 @@
+#include "src/util/logging.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace graphner::util {
+namespace {
+
+LogLevel parse_level(const char* text) noexcept {
+  const std::string_view v = text == nullptr ? "" : text;
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "warn") return LogLevel::kWarn;
+  if (v == "error") return LogLevel::kError;
+  if (v == "off") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+std::atomic<LogLevel>& level_slot() noexcept {
+  static std::atomic<LogLevel> level{parse_level(std::getenv("GRAPHNER_LOG"))};
+  return level;
+}
+
+std::mutex& sink_mutex() noexcept {
+  static std::mutex m;
+  return m;
+}
+
+constexpr const char* level_tag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+
+}  // namespace
+
+LogLevel log_level() noexcept { return level_slot().load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) noexcept {
+  level_slot().store(level, std::memory_order_relaxed);
+}
+
+void log(LogLevel level, std::string_view message) {
+  if (level < log_level()) return;
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  std::cerr << "[graphner " << level_tag(level) << "] " << message << '\n';
+}
+
+}  // namespace graphner::util

@@ -1,0 +1,56 @@
+// Minimal leveled logging to stderr.
+//
+// Library code logs through these helpers instead of writing to std::cerr
+// directly so harnesses can silence progress chatter (GRAPHNER_LOG=warn).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace graphner::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Current threshold (default kInfo; override via GRAPHNER_LOG env var:
+/// debug|info|warn|error|off).
+[[nodiscard]] LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+/// Emit `message` at `level` if it passes the threshold. Thread-safe.
+void log(LogLevel level, std::string_view message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream out;
+  (out << ... << std::forward<Args>(args));
+  return out.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() <= LogLevel::kDebug)
+    log(LogLevel::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() <= LogLevel::kInfo)
+    log(LogLevel::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_level() <= LogLevel::kWarn)
+    log(LogLevel::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_error(Args&&... args) {
+  if (log_level() <= LogLevel::kError)
+    log(LogLevel::kError, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace graphner::util

@@ -1,0 +1,64 @@
+#include "src/util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace graphner::util {
+namespace {
+
+int default_thread_count() noexcept {
+  if (const char* env = std::getenv("GRAPHNER_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed >= 1) return parsed;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::atomic<int>& thread_count_slot() noexcept {
+  static std::atomic<int> count{default_thread_count()};
+  return count;
+}
+
+}  // namespace
+
+int num_threads() noexcept { return thread_count_slot().load(std::memory_order_relaxed); }
+
+void set_num_threads(int n) noexcept {
+  thread_count_slot().store(std::max(1, n), std::memory_order_relaxed);
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn) {
+  parallel_for_chunked(begin, end, [&fn](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+void parallel_for_chunked(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  const std::size_t n = end > begin ? end - begin : 0;
+  if (n == 0) return;
+  const auto workers = static_cast<std::size_t>(num_threads());
+  if (workers <= 1 || n < 2 * workers) {
+    fn(begin, end);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  const std::size_t chunk = (n + workers - 1) / workers;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t lo = begin + w * chunk;
+    const std::size_t hi = std::min(lo + chunk, end);
+    if (lo >= hi) break;
+    threads.emplace_back([&fn, lo, hi] { fn(lo, hi); });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace graphner::util

@@ -1,0 +1,38 @@
+// Implementation detail of parallel_reduce (template, must live in a header).
+#pragma once
+
+#include <thread>
+#include <vector>
+
+namespace graphner::util {
+
+template <typename Acc, typename Fn, typename Merge>
+Acc parallel_reduce(std::size_t begin, std::size_t end, Acc init, Fn&& fn,
+                    Merge&& merge) {
+  const std::size_t n = end > begin ? end - begin : 0;
+  const auto workers = static_cast<std::size_t>(num_threads());
+  if (n == 0) return init;
+  if (workers <= 1 || n < 2 * workers) {
+    Acc acc = std::move(init);
+    for (std::size_t i = begin; i < end; ++i) fn(acc, i);
+    return acc;
+  }
+  std::vector<Acc> partials(workers, init);
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  const std::size_t chunk = (n + workers - 1) / workers;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t lo = begin + w * chunk;
+    const std::size_t hi = lo + chunk < end ? lo + chunk : end;
+    if (lo >= hi) break;
+    threads.emplace_back([&, w, lo, hi] {
+      for (std::size_t i = lo; i < hi; ++i) fn(partials[w], i);
+    });
+  }
+  for (auto& t : threads) t.join();
+  Acc acc = std::move(init);
+  for (auto& p : partials) merge(acc, p);
+  return acc;
+}
+
+}  // namespace graphner::util

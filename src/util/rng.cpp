@@ -1,0 +1,72 @@
+#include "src/util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace graphner::util {
+
+std::uint64_t Rng::below(std::uint64_t n) noexcept {
+  assert(n > 0);
+  // Lemire's nearly-divisionless bounded draw with rejection for exactness.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::normal() noexcept {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  have_cached_normal_ = true;
+  return u * factor;
+}
+
+std::size_t Rng::zipf(std::size_t n, double skew) noexcept {
+  assert(n > 0);
+  // Inverse-CDF approximation: draw u, map through x^(1/(1-skew)) shape.
+  // Exact Zipf sampling is unnecessary here; we only need a long-tailed
+  // rank-frequency profile for synthetic text.
+  const double u = uniform();
+  const double x = std::pow(static_cast<double>(n), 1.0 - u);
+  auto idx = static_cast<std::size_t>(x) - 1;
+  if (skew > 1.0) {
+    // Sharpen the head slightly for higher skew values.
+    idx = static_cast<std::size_t>(static_cast<double>(idx) / skew);
+  }
+  return idx < n ? idx : n - 1;
+}
+
+std::size_t Rng::weighted(const std::vector<double>& weights) noexcept {
+  assert(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) total += w;
+  assert(total > 0.0);
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace graphner::util

@@ -1,0 +1,114 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components in the library (corpus synthesis, negative
+// sampling, randomization tests, ...) draw from Rng so that every experiment
+// is reproducible from a single 64-bit seed. The generator is xoshiro256**,
+// seeded through splitmix64 as recommended by its authors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace graphner::util {
+
+/// splitmix64 step; used for seeding and for cheap stateless hashing.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic 64-bit RNG (xoshiro256**). Cheap to copy; a copy continues
+/// the same stream, use `split()` to derive an independent stream.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9d2c5680u) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Derive an independent generator (for per-thread / per-component streams).
+  [[nodiscard]] Rng split() noexcept { return Rng{(*this)()}; }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  [[nodiscard]] std::uint64_t below(std::uint64_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli draw with success probability p.
+  [[nodiscard]] bool flip(double p) noexcept { return uniform() < p; }
+
+  /// Standard normal via Marsaglia polar method.
+  [[nodiscard]] double normal() noexcept;
+
+  /// Normal with given mean / stddev.
+  [[nodiscard]] double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  /// Zipf-like draw over [0, n): heavily favours small indices; used to give
+  /// synthetic vocabularies a natural frequency profile.
+  [[nodiscard]] std::size_t zipf(std::size_t n, double skew = 1.07) noexcept;
+
+  /// Index draw proportional to `weights` (non-negative, not all zero).
+  [[nodiscard]] std::size_t weighted(const std::vector<double>& weights) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename Container>
+  void shuffle(Container& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[below(i)]);
+    }
+  }
+
+  /// Uniformly pick an element of a non-empty container.
+  template <typename Container>
+  [[nodiscard]] const auto& pick(const Container& items) noexcept {
+    return items[below(items.size())];
+  }
+
+ private:
+  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace graphner::util

@@ -1,0 +1,37 @@
+// Console table rendering for the paper-style benchmark output.
+//
+// The bench binaries print rows in the same layout as the paper's tables;
+// TablePrinter handles column alignment and optional TSV export so results
+// can be diffed across runs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace graphner::util {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Append a row (must have the same arity as the header).
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with fixed precision.
+  [[nodiscard]] static std::string fmt(double value, int precision = 2);
+
+  /// Render as an aligned ASCII table.
+  void print(std::ostream& out, const std::string& title = "") const;
+
+  /// Render as tab-separated values (one header line + rows).
+  void print_tsv(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace graphner::util

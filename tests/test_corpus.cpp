@@ -1,0 +1,222 @@
+// Tests for the synthetic corpus generators and the noise model.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/corpus/corpus.hpp"
+#include "src/corpus/gene_lexicon.hpp"
+#include "src/corpus/generator.hpp"
+#include "src/corpus/noise.hpp"
+#include "src/corpus/templates.hpp"
+#include "src/text/bio.hpp"
+
+namespace graphner::corpus {
+namespace {
+
+TEST(GeneLexicon, GeneratesRequestedCount) {
+  util::Rng rng(1);
+  const auto lexicon = GeneLexicon::generate({50, 0.5}, rng);
+  EXPECT_EQ(lexicon.size(), 50U);
+  for (const auto& entity : lexicon.entities()) {
+    ASSERT_FALSE(entity.variants.empty());
+    for (const auto& variant : entity.variants) EXPECT_FALSE(variant.empty());
+  }
+}
+
+TEST(GeneLexicon, CanonicalNamesUnique) {
+  util::Rng rng(2);
+  const auto lexicon = GeneLexicon::generate({120, 0.6}, rng);
+  std::set<std::string> names;
+  for (const auto& entity : lexicon.entities()) {
+    std::string key;
+    for (const auto& tok : entity.variants[0]) key += tok + " ";
+    EXPECT_TRUE(names.insert(key).second) << "duplicate: " << key;
+  }
+}
+
+TEST(GeneLexicon, MessyFractionRespected) {
+  util::Rng rng(3);
+  const auto all_messy = GeneLexicon::generate({40, 1.0}, rng);
+  for (const auto& e : all_messy.entities()) EXPECT_TRUE(e.messy);
+  const auto none_messy = GeneLexicon::generate({40, 0.0}, rng);
+  for (const auto& e : none_messy.entities()) EXPECT_FALSE(e.messy);
+}
+
+TEST(GeneLexicon, HgncSymbolsWellFormed) {
+  util::Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const auto symbol = make_hgnc_symbol(rng);
+    EXPECT_GE(symbol.size(), 2U);
+    for (const char c : symbol)
+      EXPECT_TRUE((c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')) << symbol;
+  }
+}
+
+TEST(Templates, ParseRecognizesSlots) {
+  const auto tmpl = parse_template("<g> was <verb> in <disease> ( <acr> ) .");
+  std::size_t genes = 0;
+  std::size_t acronyms = 0;
+  std::size_t literals = 0;
+  for (const auto& slot : tmpl.slots) {
+    if (slot.kind == SlotKind::kGene) ++genes;
+    if (slot.kind == SlotKind::kAcronym) ++acronyms;
+    if (slot.kind == SlotKind::kLiteral) ++literals;
+  }
+  EXPECT_EQ(genes, 1U);
+  EXPECT_EQ(acronyms, 1U);
+  EXPECT_GE(literals, 5U);  // was, in, (, ), .
+  EXPECT_EQ(tmpl.gene_slots(), 1U);
+}
+
+TEST(Templates, BanksParse) {
+  EXPECT_GT(parse_bank(abstract_patterns()).size(), 30U);
+  EXPECT_GT(parse_bank(clinical_patterns()).size(), 30U);
+}
+
+TEST(NoiseModel, ZeroNoiseIsIdentity) {
+  util::Rng rng(5);
+  const std::vector<text::TokenSpan> truth = {{1, 3}, {6, 6}};
+  EXPECT_EQ(corrupt_spans(truth, 10, NoiseSpec{}, rng), truth);
+}
+
+TEST(NoiseModel, MissRateDropsMentions) {
+  util::Rng rng(6);
+  const std::vector<text::TokenSpan> truth = {{0, 0}};
+  std::size_t kept = 0;
+  constexpr int kTrials = 5000;
+  for (int i = 0; i < kTrials; ++i)
+    kept += corrupt_spans(truth, 4, NoiseSpec{0.3, 0.0, 0.0}, rng).size();
+  EXPECT_NEAR(static_cast<double>(kept) / kTrials, 0.7, 0.03);
+}
+
+TEST(NoiseModel, BoundaryErrorsStayLegal) {
+  util::Rng rng(7);
+  const std::vector<text::TokenSpan> truth = {{2, 4}};
+  for (int i = 0; i < 2000; ++i) {
+    const auto spans = corrupt_spans(truth, 8, NoiseSpec{0.0, 1.0, 0.0}, rng);
+    ASSERT_EQ(spans.size(), 1U);
+    EXPECT_LE(spans[0].first, spans[0].last);
+    EXPECT_LT(spans[0].last, 8U);
+    EXPECT_NE(spans[0], truth[0]);  // boundary_rate 1.0 always moves an edge
+  }
+}
+
+TEST(NoiseModel, SpuriousSpansAvoidRealMentions) {
+  util::Rng rng(8);
+  const std::vector<text::TokenSpan> truth = {{0, 2}};
+  for (int i = 0; i < 2000; ++i) {
+    const auto spans = corrupt_spans(truth, 6, NoiseSpec{0.0, 0.0, 1.0}, rng);
+    for (const auto& s : spans) {
+      if (s == truth[0]) continue;
+      EXPECT_GT(s.first, 2U) << "spurious span overlaps the real mention";
+    }
+  }
+}
+
+TEST(Generator, Deterministic) {
+  const auto a = generate_corpus(bc2gm_like_spec(0.1, 42));
+  const auto b = generate_corpus(bc2gm_like_spec(0.1, 42));
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (std::size_t i = 0; i < a.train.size(); ++i) {
+    EXPECT_EQ(a.train[i].tokens, b.train[i].tokens);
+    EXPECT_EQ(a.train[i].tags, b.train[i].tags);
+  }
+  EXPECT_EQ(a.test_gold.size(), b.test_gold.size());
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const auto a = generate_corpus(bc2gm_like_spec(0.1, 42));
+  const auto b = generate_corpus(bc2gm_like_spec(0.1, 43));
+  bool any_diff = false;
+  for (std::size_t i = 0; i < std::min(a.train.size(), b.train.size()); ++i)
+    if (a.train[i].tokens != b.train[i].tokens) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generator, SentenceCountsMatchSpec) {
+  const auto spec = bc2gm_like_spec(0.2, 1);
+  const auto corpus = generate_corpus(spec);
+  EXPECT_EQ(corpus.train.size(), spec.train_sentences);
+  EXPECT_EQ(corpus.test.size(), spec.test_sentences);
+}
+
+TEST(Generator, TagsAreValidBio) {
+  const auto corpus = generate_corpus(bc2gm_like_spec(0.2, 2));
+  for (const auto& side : {corpus.train, corpus.test}) {
+    for (const auto& s : side) {
+      ASSERT_TRUE(s.has_tags());
+      text::Tag prev = text::Tag::kO;
+      for (const auto t : s.tags) {
+        EXPECT_FALSE(text::is_illegal_transition(prev, t));
+        prev = t;
+      }
+    }
+  }
+}
+
+TEST(Generator, GoldAnnotationsMatchTags) {
+  const auto corpus = generate_corpus(bc2gm_like_spec(0.2, 3));
+  std::size_t from_tags = 0;
+  for (const auto& s : corpus.test) from_tags += text::decode_bio(s.tags).size();
+  EXPECT_EQ(corpus.test_gold.size(), from_tags);
+}
+
+TEST(Generator, AlternativesOnlyForBc2gm) {
+  EXPECT_FALSE(generate_corpus(bc2gm_like_spec(0.1, 4)).test_alternatives.empty());
+  EXPECT_TRUE(generate_corpus(aml_like_spec(0.1, 4)).test_alternatives.empty());
+}
+
+TEST(Generator, AmlHasLowerPositiveRateAndCleanerGold) {
+  const auto bc2gm = generate_corpus(bc2gm_like_spec(0.5, 5));
+  const auto aml = generate_corpus(aml_like_spec(0.5, 5));
+  const auto bc_stats = compute_stats(bc2gm);
+  const auto aml_stats = compute_stats(aml);
+  EXPECT_LT(aml_stats.test_positive_token_rate, bc_stats.test_positive_token_rate);
+}
+
+TEST(Generator, TruthAtLeastAsLargeAsGold) {
+  // Noise only deletes or perturbs mentions (spurious insertions are rare),
+  // so pristine truth should be about as large as the observed gold.
+  const auto corpus = generate_corpus(bc2gm_like_spec(0.5, 6));
+  EXPECT_GT(corpus.test_truth.size(), corpus.test_gold.size() * 9 / 10);
+}
+
+TEST(Generator, UnlabelledSharesLexicon) {
+  const auto spec = bc2gm_like_spec(0.1, 7);
+  const auto unlab = generate_unlabelled(spec, 50, 999);
+  EXPECT_EQ(unlab.size(), 50U);
+  for (const auto& s : unlab) {
+    EXPECT_FALSE(s.has_tags());
+    EXPECT_GT(s.size(), 0U);
+  }
+}
+
+TEST(Resplit, PreservesTotalSentences) {
+  const auto corpus = generate_corpus(bc2gm_like_spec(0.2, 8));
+  const auto re = resplit(corpus, 0.5, 1);
+  EXPECT_EQ(re.train.size() + re.test.size(), corpus.train.size() + corpus.test.size());
+  EXPECT_NEAR(static_cast<double>(re.train.size()) /
+                  static_cast<double>(re.train.size() + re.test.size()),
+              0.5, 0.01);
+}
+
+TEST(Resplit, GoldMatchesTestTags) {
+  const auto corpus = generate_corpus(bc2gm_like_spec(0.2, 9));
+  const auto re = resplit(corpus, 0.7, 2);
+  std::size_t from_tags = 0;
+  for (const auto& s : re.test) from_tags += text::decode_bio(s.tags).size();
+  EXPECT_EQ(re.test_gold.size(), from_tags);
+}
+
+TEST(CorpusStats, CountsAreConsistent) {
+  const auto corpus = generate_corpus(aml_like_spec(0.2, 10));
+  const auto stats = compute_stats(corpus);
+  EXPECT_EQ(stats.train_sentences, corpus.train.size());
+  EXPECT_EQ(stats.train_tokens, corpus.train_token_count());
+  EXPECT_GT(stats.test_mentions, 0U);
+  EXPECT_GT(stats.train_positive_token_rate, 0.0);
+  EXPECT_LT(stats.train_positive_token_rate, 0.5);
+}
+
+}  // namespace
+}  // namespace graphner::corpus

@@ -1,0 +1,322 @@
+// Unit and property tests for the linear-chain CRF, including brute-force
+// cross-checks of the partition function, marginals and Viterbi, and a
+// finite-difference gradient check.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "src/crf/belief_viterbi.hpp"
+#include "src/crf/model.hpp"
+#include "src/crf/state_space.hpp"
+#include "src/crf/trainer.hpp"
+#include "src/util/math.hpp"
+#include "src/util/rng.hpp"
+
+namespace graphner::crf {
+namespace {
+
+using text::kNumTags;
+using text::Tag;
+
+/// Enumerate all legal state paths of a sentence and return (logZ, best
+/// path score, best path, per-position tag marginals).
+struct BruteForce {
+  double log_z = util::kNegInf;
+  double best_score = util::kNegInf;
+  std::vector<StateId> best_path;
+  std::vector<std::array<double, kNumTags>> tag_marginals;
+};
+
+double path_score(const LinearChainCrf& model, const EncodedSentence& sentence,
+                  const std::vector<StateId>& states) {
+  std::vector<double> emit;
+  model.emission_scores(sentence, emit);
+  const std::size_t S = model.space().num_states();
+  const auto& space = model.space();
+
+  // Check legality.
+  bool legal = false;
+  for (const StateId s : space.start_states())
+    if (s == states[0]) legal = true;
+  if (!legal) return util::kNegInf;
+  double score =
+      model.weights()[model.start_base() + states[0]] + emit[states[0]];
+  for (std::size_t i = 1; i < states.size(); ++i) {
+    bool found = false;
+    for (const auto& t : space.transitions())
+      if (t.from == states[i - 1] && t.to == states[i]) found = true;
+    if (!found) return util::kNegInf;
+    score += model.weights()[model.transition_base() +
+                             space.transition_slot(states[i - 1], states[i])];
+    score += emit[i * S + states[i]];
+  }
+  return score;
+}
+
+BruteForce brute_force(const LinearChainCrf& model, const EncodedSentence& sentence) {
+  const std::size_t n = sentence.size();
+  const std::size_t S = model.space().num_states();
+  BruteForce out;
+  out.tag_marginals.assign(n, {});
+  std::vector<StateId> path(n, 0);
+  std::vector<double> path_weights;  // exp-normalized later
+
+  std::vector<std::vector<StateId>> all_paths;
+  std::function<void(std::size_t)> enumerate = [&](std::size_t pos) {
+    if (pos == n) {
+      const double score = path_score(model, sentence, path);
+      if (score == util::kNegInf) return;
+      out.log_z = util::log_add(out.log_z, score);
+      all_paths.push_back(path);
+      path_weights.push_back(score);
+      if (score > out.best_score) {
+        out.best_score = score;
+        out.best_path = path;
+      }
+      return;
+    }
+    for (std::size_t s = 0; s < S; ++s) {
+      path[pos] = static_cast<StateId>(s);
+      enumerate(pos + 1);
+    }
+  };
+  enumerate(0);
+
+  for (std::size_t p = 0; p < all_paths.size(); ++p) {
+    const double prob = std::exp(path_weights[p] - out.log_z);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto tag = model.space().tag_of(all_paths[p][i]);
+      out.tag_marginals[i][text::tag_index(tag)] += prob;
+    }
+  }
+  return out;
+}
+
+EncodedSentence make_random_sentence(std::size_t length, std::size_t num_features,
+                                     const StateSpace& space, util::Rng& rng) {
+  EncodedSentence s;
+  s.features.resize(length);
+  for (auto& feats : s.features) {
+    const std::size_t k = 1 + rng.below(4);
+    for (std::size_t j = 0; j < k; ++j)
+      feats.push_back(static_cast<FeatureIndex::Id>(rng.below(num_features)));
+    std::sort(feats.begin(), feats.end());
+    feats.erase(std::unique(feats.begin(), feats.end()), feats.end());
+  }
+  // Random legal tag sequence.
+  std::vector<Tag> tags(length);
+  Tag prev = Tag::kO;
+  for (auto& t : tags) {
+    do {
+      t = text::tag_from_index(rng.below(kNumTags));
+    } while (text::is_illegal_transition(prev, t));
+    prev = t;
+  }
+  s.states = space.encode(tags);
+  return s;
+}
+
+LinearChainCrf make_random_model(const StateSpace& space, std::size_t num_features,
+                                 util::Rng& rng) {
+  LinearChainCrf model(space, num_features);
+  std::vector<double> w(model.num_parameters());
+  for (auto& x : w) x = rng.normal(0.0, 0.5);
+  model.set_weights(w);
+  return model;
+}
+
+TEST(StateSpaceTest, Order1Shape) {
+  const auto space = StateSpace::order1();
+  EXPECT_EQ(space.num_states(), 3U);
+  EXPECT_EQ(space.start_states().size(), 2U);  // B, O (not I)
+  // 9 pairs minus the illegal O->I.
+  EXPECT_EQ(space.transitions().size(), 8U);
+}
+
+TEST(StateSpaceTest, Order2Shape) {
+  const auto space = StateSpace::order2();
+  EXPECT_EQ(space.num_states(), 9U);
+  EXPECT_EQ(space.start_states().size(), 2U);  // (O,B), (O,O)
+  for (const auto& t : space.transitions()) {
+    // (a,b) -> (c,d) requires b == c.
+    EXPECT_EQ(t.from % 3, t.to / 3);
+  }
+}
+
+TEST(StateSpaceTest, EncodeOrder2TracksPrevTag) {
+  const auto space = StateSpace::order2();
+  const std::vector<Tag> tags = {Tag::kB, Tag::kI, Tag::kO};
+  const auto states = space.encode(tags);
+  // prev=O,cur=B -> 2*3+0=6 ; prev=B,cur=I -> 0*3+1=1 ; prev=I,cur=O -> 1*3+2=5.
+  EXPECT_EQ(states, (std::vector<StateId>{6, 1, 5}));
+}
+
+class CrfBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrfBruteForce, PartitionMarginalsAndViterbiMatchEnumeration) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const auto space = GetParam() % 2 == 0 ? StateSpace::order1() : StateSpace::order2();
+  constexpr std::size_t kFeatures = 12;
+  const auto model = make_random_model(space, kFeatures, rng);
+  const auto sentence = make_random_sentence(4, kFeatures, space, rng);
+
+  const BruteForce expected = brute_force(model, sentence);
+  const SentencePosteriors posteriors = model.posteriors(sentence);
+  EXPECT_NEAR(posteriors.log_z, expected.log_z, 1e-8);
+  for (std::size_t i = 0; i < sentence.size(); ++i)
+    for (std::size_t t = 0; t < kNumTags; ++t)
+      EXPECT_NEAR(posteriors.tag_marginals[i][t], expected.tag_marginals[i][t], 1e-8);
+
+  const auto viterbi_tags = model.viterbi(sentence);
+  std::vector<Tag> expected_tags;
+  for (const StateId s : expected.best_path) expected_tags.push_back(space.tag_of(s));
+  EXPECT_EQ(viterbi_tags, expected_tags);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrfBruteForce, ::testing::Range(0, 10));
+
+TEST(CrfGradient, MatchesFiniteDifferences) {
+  util::Rng rng(99);
+  const auto space = StateSpace::order1();
+  constexpr std::size_t kFeatures = 8;
+  auto model = make_random_model(space, kFeatures, rng);
+  const auto sentence = make_random_sentence(5, kFeatures, space, rng);
+
+  std::vector<double> grad(model.num_parameters(), 0.0);
+  model.log_likelihood(sentence, grad);
+
+  std::vector<double> w(model.weights().begin(), model.weights().end());
+  const double eps = 1e-6;
+  for (std::size_t j = 0; j < w.size(); j += 7) {  // spot-check every 7th param
+    auto w_plus = w;
+    w_plus[j] += eps;
+    model.set_weights(w_plus);
+    const double f_plus = model.log_likelihood(sentence);
+    auto w_minus = w;
+    w_minus[j] -= eps;
+    model.set_weights(w_minus);
+    const double f_minus = model.log_likelihood(sentence);
+    const double numeric = (f_plus - f_minus) / (2 * eps);
+    EXPECT_NEAR(grad[j], numeric, 1e-4) << "param " << j;
+  }
+}
+
+TEST(CrfGradientOrder2, MatchesFiniteDifferences) {
+  util::Rng rng(7);
+  const auto space = StateSpace::order2();
+  constexpr std::size_t kFeatures = 6;
+  auto model = make_random_model(space, kFeatures, rng);
+  const auto sentence = make_random_sentence(4, kFeatures, space, rng);
+
+  std::vector<double> grad(model.num_parameters(), 0.0);
+  model.log_likelihood(sentence, grad);
+
+  std::vector<double> w(model.weights().begin(), model.weights().end());
+  const double eps = 1e-6;
+  for (std::size_t j = 0; j < w.size(); j += 11) {
+    auto w_plus = w;
+    w_plus[j] += eps;
+    model.set_weights(w_plus);
+    const double f_plus = model.log_likelihood(sentence);
+    auto w_minus = w;
+    w_minus[j] -= eps;
+    model.set_weights(w_minus);
+    const double f_minus = model.log_likelihood(sentence);
+    EXPECT_NEAR(grad[j], (f_plus - f_minus) / (2 * eps), 1e-4) << "param " << j;
+  }
+}
+
+TEST(CrfTraining, FitsSeparableToyData) {
+  // Feature 0 <=> tag B, feature 1 <=> tag I, feature 2 <=> tag O.
+  const auto space = StateSpace::order1();
+  Batch batch;
+  util::Rng rng(5);
+  for (int i = 0; i < 30; ++i) {
+    EncodedSentence s;
+    std::vector<Tag> tags;
+    const std::size_t len = 3 + rng.below(5);
+    Tag prev = Tag::kO;
+    for (std::size_t j = 0; j < len; ++j) {
+      Tag t;
+      do {
+        t = text::tag_from_index(rng.below(kNumTags));
+      } while (text::is_illegal_transition(prev, t));
+      prev = t;
+      tags.push_back(t);
+      s.features.push_back({static_cast<FeatureIndex::Id>(text::tag_index(t))});
+    }
+    s.states = space.encode(tags);
+    batch.push_back(std::move(s));
+  }
+  LinearChainCrf model(space, 3);
+  TrainOptions options;
+  options.lbfgs.max_iterations = 60;
+  const auto report = train_crf(model, batch, options);
+  EXPECT_LT(report.final_objective, 30.0);
+
+  for (const auto& sentence : batch) {
+    const auto decoded = model.viterbi(sentence);
+    for (std::size_t i = 0; i < sentence.size(); ++i)
+      EXPECT_EQ(text::tag_index(decoded[i]),
+                static_cast<std::size_t>(sentence.features[i][0]));
+  }
+}
+
+TEST(CrfPosteriors, RowsSumToOne) {
+  util::Rng rng(13);
+  const auto space = StateSpace::order2();
+  const auto model = make_random_model(space, 10, rng);
+  const auto sentence = make_random_sentence(8, 10, space, rng);
+  const auto posteriors = model.posteriors(sentence);
+  for (const auto& row : posteriors.tag_marginals) {
+    double sum = 0.0;
+    for (const double p : row) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(BeliefViterbi, PicksArgmaxWhenTransitionsUniform) {
+  TagTransitionMatrix uniform;
+  uniform.fill(1.0);
+  std::vector<std::array<double, kNumTags>> beliefs = {
+      {0.7, 0.1, 0.2}, {0.1, 0.8, 0.1}, {0.2, 0.1, 0.7}};
+  const auto tags = belief_viterbi(beliefs, uniform);
+  EXPECT_EQ(tags, (std::vector<Tag>{Tag::kB, Tag::kI, Tag::kO}));
+}
+
+TEST(BeliefViterbi, EnforcesBioConstraint) {
+  TagTransitionMatrix uniform;
+  uniform.fill(1.0);
+  // Highest belief would be I at position 0 and I after O — both illegal.
+  std::vector<std::array<double, kNumTags>> beliefs = {{0.2, 0.6, 0.2},
+                                                       {0.1, 0.1, 0.8},
+                                                       {0.1, 0.8, 0.1}};
+  const auto tags = belief_viterbi(beliefs, uniform);
+  EXPECT_NE(tags[0], Tag::kI);
+  for (std::size_t i = 1; i < tags.size(); ++i)
+    EXPECT_FALSE(text::is_illegal_transition(tags[i - 1], tags[i]));
+}
+
+TEST(BeliefViterbi, TransitionRatioMatrixProperties) {
+  TagTransitionMatrix counts{};
+  counts[text::tag_index(Tag::kO) * kNumTags + text::tag_index(Tag::kO)] = 80;
+  counts[text::tag_index(Tag::kO) * kNumTags + text::tag_index(Tag::kB)] = 10;
+  counts[text::tag_index(Tag::kB) * kNumTags + text::tag_index(Tag::kI)] = 5;
+  counts[text::tag_index(Tag::kI) * kNumTags + text::tag_index(Tag::kO)] = 5;
+  const auto ratio = transition_ratio_matrix(counts);
+  // B -> I is much more common than chance: ratio > 1.
+  EXPECT_GT(ratio[text::tag_index(Tag::kB) * kNumTags + text::tag_index(Tag::kI)], 1.0);
+  // O -> I never happens: ratio 0.
+  EXPECT_EQ(ratio[text::tag_index(Tag::kO) * kNumTags + text::tag_index(Tag::kI)], 0.0);
+}
+
+TEST(BeliefViterbi, EmptyInput) {
+  TagTransitionMatrix uniform;
+  uniform.fill(1.0);
+  EXPECT_TRUE(belief_viterbi({}, uniform).empty());
+}
+
+}  // namespace
+}  // namespace graphner::crf

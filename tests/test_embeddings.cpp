@@ -1,0 +1,146 @@
+// Tests for Brown clustering and word2vec.
+#include <gtest/gtest.h>
+
+#include "src/embeddings/brown.hpp"
+#include "src/embeddings/word2vec.hpp"
+#include "src/util/rng.hpp"
+
+namespace graphner::embeddings {
+namespace {
+
+/// Tiny synthetic corpus: two interchangeable word families that share
+/// contexts ("the <noun> was <adj>"), so distributional methods should
+/// group nouns with nouns and adjectives with adjectives.
+std::vector<text::Sentence> family_corpus(std::size_t repetitions) {
+  const std::vector<std::string> nouns = {"cat", "dog", "bird", "fish"};
+  const std::vector<std::string> adjs = {"big", "small", "fast", "slow"};
+  std::vector<text::Sentence> corpus;
+  util::Rng rng(17);
+  for (std::size_t i = 0; i < repetitions; ++i) {
+    text::Sentence s;
+    s.id = "s" + std::to_string(i);
+    s.tokens = {"the", nouns[rng.below(nouns.size())], "was",
+                adjs[rng.below(adjs.size())], "."};
+    corpus.push_back(std::move(s));
+  }
+  return corpus;
+}
+
+TEST(Brown, ClusterCountRespected) {
+  const auto corpus = family_corpus(300);
+  BrownConfig config;
+  config.num_clusters = 4;
+  config.min_count = 1;
+  const auto brown = BrownClustering::train(corpus, config);
+  EXPECT_EQ(brown.num_clusters(), 4U);
+  EXPECT_GT(brown.vocabulary_size(), 8U);
+}
+
+TEST(Brown, PathsAreBitStrings) {
+  const auto brown = BrownClustering::train(family_corpus(200), {4, 100, 1});
+  for (const auto& word : {"cat", "was", "big", "the"}) {
+    const auto path = brown.path(word);
+    ASSERT_FALSE(path.empty()) << word;
+    for (const char c : path) EXPECT_TRUE(c == '0' || c == '1');
+  }
+  EXPECT_TRUE(brown.path("notaword").empty());
+  EXPECT_EQ(brown.cluster("notaword"), -1);
+}
+
+TEST(Brown, PathPrefixTruncates) {
+  const auto brown = BrownClustering::train(family_corpus(200), {8, 100, 1});
+  const auto full = brown.path("cat");
+  const auto prefix = brown.path_prefix("cat", 2);
+  EXPECT_LE(prefix.size(), 2U);
+  EXPECT_EQ(full.substr(0, prefix.size()), prefix);
+}
+
+TEST(Brown, GroupsDistributionallySimilarWords) {
+  const auto brown = BrownClustering::train(family_corpus(500), {4, 100, 2});
+  // Nouns share contexts, so at least two nouns should share a cluster,
+  // and nouns should not all land with the adjectives.
+  int noun_cluster = brown.cluster("cat");
+  ASSERT_GE(noun_cluster, 0);
+  int same = 0;
+  for (const auto& w : {"dog", "bird", "fish"})
+    same += brown.cluster(w) == noun_cluster;
+  EXPECT_GE(same, 1);
+}
+
+TEST(Brown, Deterministic) {
+  const auto corpus = family_corpus(200);
+  const auto a = BrownClustering::train(corpus, {4, 100, 1});
+  const auto b = BrownClustering::train(corpus, {4, 100, 1});
+  for (const auto& w : {"cat", "dog", "was", "the", "big"})
+    EXPECT_EQ(a.path(w), b.path(w));
+}
+
+TEST(Brown, EmptyCorpus) {
+  const auto brown = BrownClustering::train({}, {4, 100, 1});
+  EXPECT_EQ(brown.num_clusters(), 0U);
+}
+
+TEST(Word2Vec, VocabularyAndVectors) {
+  const auto corpus = family_corpus(200);
+  Word2VecConfig config;
+  config.min_count = 1;
+  config.epochs = 2;
+  const auto model = Word2Vec::train(corpus, config);
+  EXPECT_GT(model.vocabulary_size(), 8U);
+  const auto vec = model.vector("cat");
+  ASSERT_TRUE(vec.has_value());
+  EXPECT_EQ(vec->size(), config.dimensions);
+  EXPECT_FALSE(model.vector("notaword").has_value());
+}
+
+TEST(Word2Vec, SimilarContextsYieldSimilarVectors) {
+  const auto corpus = family_corpus(600);
+  Word2VecConfig config;
+  config.min_count = 1;
+  config.epochs = 6;
+  config.dimensions = 16;
+  const auto model = Word2Vec::train(corpus, config);
+  // Same-family similarity should exceed cross-family similarity on average.
+  const double noun_noun = model.similarity("cat", "dog");
+  const double noun_adj = model.similarity("cat", "fast");
+  EXPECT_GT(noun_noun, noun_adj);
+}
+
+TEST(Word2Vec, Deterministic) {
+  const auto corpus = family_corpus(100);
+  Word2VecConfig config;
+  config.min_count = 1;
+  config.epochs = 1;
+  const auto a = Word2Vec::train(corpus, config);
+  const auto b = Word2Vec::train(corpus, config);
+  EXPECT_DOUBLE_EQ(a.similarity("cat", "dog"), b.similarity("cat", "dog"));
+}
+
+TEST(KMeans, AssignsEveryWord) {
+  const auto corpus = family_corpus(300);
+  Word2VecConfig config;
+  config.min_count = 1;
+  config.epochs = 3;
+  const auto model = Word2Vec::train(corpus, config);
+  const auto clusters = cluster_embeddings(model, 3);
+  EXPECT_EQ(clusters.k, 3U);
+  for (const auto& word : model.words()) {
+    const int c = clusters.cluster(word);
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, 3);
+  }
+  EXPECT_EQ(clusters.cluster("notaword"), -1);
+}
+
+TEST(KMeans, HandlesKLargerThanVocab) {
+  const auto corpus = family_corpus(50);
+  Word2VecConfig config;
+  config.min_count = 1;
+  config.epochs = 1;
+  const auto model = Word2Vec::train(corpus, config);
+  const auto clusters = cluster_embeddings(model, 1000);
+  EXPECT_EQ(clusters.k, model.vocabulary_size());
+}
+
+}  // namespace
+}  // namespace graphner::embeddings

@@ -1,0 +1,128 @@
+// Tests for the BC2GM evaluation protocol and the error analysis.
+#include <gtest/gtest.h>
+
+#include "src/eval/bc2gm_eval.hpp"
+#include "src/eval/error_analysis.hpp"
+
+namespace graphner::eval {
+namespace {
+
+using text::Annotation;
+using text::CharSpan;
+
+Annotation ann(const std::string& sid, std::size_t first, std::size_t last,
+               const std::string& mention = "m") {
+  return Annotation{sid, CharSpan{first, last}, mention};
+}
+
+TEST(Bc2gmEval, ExactMatchCounts) {
+  const std::vector<Annotation> gold = {ann("s1", 0, 3), ann("s1", 10, 14),
+                                        ann("s2", 5, 8)};
+  const std::vector<Annotation> detections = {ann("s1", 0, 3), ann("s2", 5, 8),
+                                              ann("s2", 20, 25)};
+  const auto result = evaluate_bc2gm(detections, gold, {});
+  EXPECT_EQ(result.metrics.true_positives, 2U);
+  EXPECT_EQ(result.metrics.false_positives, 1U);
+  EXPECT_EQ(result.metrics.false_negatives, 1U);
+  EXPECT_NEAR(result.metrics.precision(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(result.metrics.recall(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Bc2gmEval, AlternativeMatchesCreditPrimary) {
+  const std::vector<Annotation> gold = {ann("s1", 0, 10)};
+  // Alternative: shorter boundary variant overlapping the primary.
+  const std::vector<Annotation> alternatives = {ann("s1", 0, 7)};
+  const std::vector<Annotation> detections = {ann("s1", 0, 7)};
+  const auto result = evaluate_bc2gm(detections, gold, alternatives);
+  EXPECT_EQ(result.metrics.true_positives, 1U);
+  EXPECT_EQ(result.metrics.false_positives, 0U);
+  EXPECT_EQ(result.metrics.false_negatives, 0U);
+}
+
+TEST(Bc2gmEval, PrimaryConsumedOnlyOnce) {
+  const std::vector<Annotation> gold = {ann("s1", 0, 10)};
+  const std::vector<Annotation> alternatives = {ann("s1", 0, 7)};
+  // Detecting both the primary and its alternative: only one TP.
+  const std::vector<Annotation> detections = {ann("s1", 0, 10), ann("s1", 0, 7)};
+  const auto result = evaluate_bc2gm(detections, gold, alternatives);
+  EXPECT_EQ(result.metrics.true_positives, 1U);
+  EXPECT_EQ(result.metrics.false_positives, 1U);
+}
+
+TEST(Bc2gmEval, PartialOverlapIsNotAMatch) {
+  const std::vector<Annotation> gold = {ann("s1", 0, 10)};
+  const std::vector<Annotation> detections = {ann("s1", 0, 9)};
+  const auto result = evaluate_bc2gm(detections, gold, {});
+  EXPECT_EQ(result.metrics.true_positives, 0U);
+  EXPECT_EQ(result.metrics.false_positives, 1U);
+  EXPECT_EQ(result.metrics.false_negatives, 1U);
+}
+
+TEST(Bc2gmEval, WrongSentenceNoMatch) {
+  const auto result =
+      evaluate_bc2gm({ann("s2", 0, 3)}, {ann("s1", 0, 3)}, {});
+  EXPECT_EQ(result.metrics.true_positives, 0U);
+}
+
+TEST(Bc2gmEval, ErrorDetailsPopulated) {
+  const std::vector<Annotation> gold = {ann("s1", 0, 3, "FLT3")};
+  const std::vector<Annotation> detections = {ann("s1", 8, 10, "MRD")};
+  const auto result = evaluate_bc2gm(detections, gold, {});
+  ASSERT_EQ(result.false_positive_details.size(), 1U);
+  EXPECT_EQ(result.false_positive_details[0].mention, "MRD");
+  ASSERT_EQ(result.false_negative_details.size(), 1U);
+  EXPECT_EQ(result.false_negative_details[0].mention, "FLT3");
+}
+
+TEST(Bc2gmEval, EmptyInputs) {
+  const auto result = evaluate_bc2gm({}, {}, {});
+  EXPECT_EQ(result.metrics.true_positives, 0U);
+  EXPECT_EQ(result.metrics.precision(), 0.0);
+  EXPECT_EQ(result.metrics.f_score(), 0.0);
+}
+
+TEST(ErrorCategorizer, GeneRelatedVsSpurious) {
+  const ErrorCategorizer categorizer({"flt3", "kinase", "tumor"}, {});
+  const auto gene_err = categorizer.categorize({"s1", {0, 3}, "FLT3 kinase"});
+  EXPECT_EQ(gene_err.category, ErrorCategory::kGeneRelated);
+  const auto spurious = categorizer.categorize({"s1", {0, 3}, "Ann Arbor"});
+  EXPECT_EQ(spurious.category, ErrorCategory::kSpurious);
+}
+
+TEST(ErrorCategorizer, CorpusErrorFlag) {
+  const std::vector<Annotation> truth = {ann("s1", 5, 8, "GRK6")};
+  const ErrorCategorizer categorizer({"grk6"}, truth);
+  // Detection matches pristine truth: the FP is a gold-standard miss.
+  const auto err = categorizer.categorize({"s1", {5, 8}, "GRK6"});
+  EXPECT_TRUE(err.corpus_error);
+  const auto other = categorizer.categorize({"s1", {9, 12}, "GRK6"});
+  EXPECT_FALSE(other.corpus_error);
+}
+
+TEST(UpsetTable, IntersectionsSplitByCategory) {
+  const ErrorCategorizer categorizer({"gene"}, {});
+  const auto a = categorizer.categorize_all({
+      {"s1", {0, 3}, "gene x"},   // gene-related, shared with B
+      {"s1", {5, 8}, "Boston"},   // spurious, A only
+  });
+  const auto b = categorizer.categorize_all({
+      {"s1", {0, 3}, "gene x"},    // shared
+      {"s2", {0, 3}, "gene y"},    // gene-related, B only
+  });
+  const auto table = build_upset_table(a, b);
+  EXPECT_EQ(table.gene_related.both, 1U);
+  EXPECT_EQ(table.gene_related.only_b, 1U);
+  EXPECT_EQ(table.spurious.only_a, 1U);
+  EXPECT_EQ(table.total_a(), 2U);
+  EXPECT_EQ(table.total_b(), 2U);
+}
+
+TEST(GroupBySentence, GroupsCorrectly) {
+  const auto grouped = group_by_sentence(
+      {ann("a", 0, 1), ann("b", 0, 1), ann("a", 5, 6)});
+  EXPECT_EQ(grouped.at("a").size(), 2U);
+  EXPECT_EQ(grouped.at("b").size(), 1U);
+}
+
+}  // namespace
+}  // namespace graphner::eval

@@ -1,0 +1,164 @@
+// Tests for BANNER/ChemDNER feature extraction, encoding and MI selection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/features/encoder.hpp"
+#include "src/features/extractor.hpp"
+#include "src/features/mi_selection.hpp"
+
+namespace graphner::features {
+namespace {
+
+using text::Sentence;
+using text::Tag;
+
+Sentence make_sentence(std::vector<std::string> tokens, std::vector<Tag> tags = {}) {
+  Sentence s;
+  s.id = "t";
+  s.tokens = std::move(tokens);
+  s.tags = std::move(tags);
+  return s;
+}
+
+bool has_feature(const TokenFeatures& feats, const std::string& name) {
+  return std::find(feats.begin(), feats.end(), name) != feats.end();
+}
+
+TEST(Extractor, TokenIdentityAndContext) {
+  const FeatureExtractor extractor{FeatureConfig{}};
+  const auto s = make_sentence({"the", "FLT3", "gene"});
+  const auto feats = extractor.extract_at(s, 1);
+  EXPECT_TRUE(has_feature(feats, "W=FLT3"));
+  EXPECT_TRUE(has_feature(feats, "WL=flt3"));
+  EXPECT_TRUE(has_feature(feats, "C[-1]=the"));
+  EXPECT_TRUE(has_feature(feats, "C[1]=gene"));
+  EXPECT_TRUE(has_feature(feats, "C[-2]=<s>"));
+  EXPECT_TRUE(has_feature(feats, "C[2]=</s>"));
+}
+
+TEST(Extractor, OrthographicPredicates) {
+  const FeatureExtractor extractor{FeatureConfig{}};
+  const auto s = make_sentence({"FLT3", "-", "positive", "IV", "alpha"});
+  EXPECT_TRUE(has_feature(extractor.extract_at(s, 0), "ALLCAPS"));
+  EXPECT_TRUE(has_feature(extractor.extract_at(s, 0), "ALPHANUM"));
+  EXPECT_TRUE(has_feature(extractor.extract_at(s, 1), "ISPUNCT"));
+  EXPECT_TRUE(has_feature(extractor.extract_at(s, 1), "SINGLECHAR"));
+  EXPECT_TRUE(has_feature(extractor.extract_at(s, 3), "ROMAN"));
+  EXPECT_TRUE(has_feature(extractor.extract_at(s, 4), "GREEK"));
+  EXPECT_FALSE(has_feature(extractor.extract_at(s, 2), "ALLCAPS"));
+}
+
+TEST(Extractor, ShapesAndAffixes) {
+  const FeatureExtractor extractor{FeatureConfig{}};
+  const auto feats = extractor.extract_at(make_sentence({"Abc12"}), 0);
+  EXPECT_TRUE(has_feature(feats, "SHAPE=Aaa00"));
+  EXPECT_TRUE(has_feature(feats, "CSHAPE=Aa0"));
+  EXPECT_TRUE(has_feature(feats, "PRE2=ab"));
+  EXPECT_TRUE(has_feature(feats, "SUF2=12"));
+}
+
+TEST(Extractor, CharNgramsArePadded) {
+  const FeatureExtractor extractor{FeatureConfig{}};
+  const auto feats = extractor.extract_at(make_sentence({"ab"}), 0);
+  EXPECT_TRUE(has_feature(feats, "CN2=^a"));
+  EXPECT_TRUE(has_feature(feats, "CN2=b$"));
+  EXPECT_TRUE(has_feature(feats, "CN3=^ab"));
+}
+
+TEST(Extractor, DisabledGroupsProduceNothing) {
+  FeatureConfig config;
+  config.token_identity = false;
+  config.lemmas = false;
+  config.context = false;
+  config.token_bigrams = false;
+  config.shapes = false;
+  config.affixes = false;
+  config.char_ngrams = false;
+  config.orthographic = false;
+  config.length_bucket = false;
+  const FeatureExtractor extractor{config};
+  EXPECT_TRUE(extractor.extract_at(make_sentence({"FLT3"}), 0).empty());
+}
+
+TEST(Extractor, ChemDnerAddsEmbeddingFeatures) {
+  embeddings::EmbeddingClusters clusters;
+  clusters.k = 2;
+  clusters.assignment["flt3"] = 1;
+  FeatureConfig config;
+  config.embedding_clusters = &clusters;
+  const FeatureExtractor extractor{config};
+  const auto feats = extractor.extract_at(make_sentence({"FLT3"}), 0);
+  EXPECT_TRUE(has_feature(feats, "EMB=1"));
+}
+
+TEST(Encoder, TrainingInternsInferenceDrops) {
+  const FeatureExtractor extractor{FeatureConfig{}};
+  crf::FeatureIndex index;
+  const auto space = crf::StateSpace::order1();
+  const auto train_sentence =
+      make_sentence({"the", "gene"}, {Tag::kO, Tag::kB});
+  const auto encoded =
+      encode_for_training(train_sentence, extractor, index, space);
+  EXPECT_EQ(encoded.states.size(), 2U);
+  EXPECT_GT(index.size(), 0U);
+  index.freeze();
+
+  // Inference on a sentence with unseen tokens: unknown features dropped.
+  const auto test_sentence = make_sentence({"zzqqy", "gene"});
+  const auto test_encoded = encode_for_inference(test_sentence, extractor, index);
+  EXPECT_TRUE(test_encoded.states.empty());
+  // Every id must be in range.
+  for (const auto& feats : test_encoded.features)
+    for (const auto id : feats) EXPECT_LT(id, index.size());
+  // "gene" was seen: position 1 keeps some features; position 0 keeps fewer.
+  EXPECT_GT(test_encoded.features[1].size(), test_encoded.features[0].size());
+}
+
+TEST(Encoder, FeatureIdsSortedUnique) {
+  const FeatureExtractor extractor{FeatureConfig{}};
+  crf::FeatureIndex index;
+  const auto space = crf::StateSpace::order1();
+  const auto encoded = encode_for_training(
+      make_sentence({"aa", "aa", "aa"}, {Tag::kO, Tag::kO, Tag::kO}), extractor,
+      index, space);
+  for (const auto& feats : encoded.features) {
+    EXPECT_TRUE(std::is_sorted(feats.begin(), feats.end()));
+    EXPECT_EQ(std::adjacent_find(feats.begin(), feats.end()), feats.end());
+  }
+}
+
+TEST(MiSelection, DiscriminativeFeatureRanksHigh) {
+  // Token "genex" is always B; token "filler" always O.
+  std::vector<Sentence> corpus;
+  for (int i = 0; i < 40; ++i) {
+    corpus.push_back(make_sentence({"genex", "filler"}, {Tag::kB, Tag::kO}));
+    corpus.push_back(make_sentence({"filler", "genex"}, {Tag::kO, Tag::kB}));
+  }
+  FeatureConfig config;  // identity features only, to keep MI interpretable
+  config.context = false;
+  config.token_bigrams = false;
+  config.char_ngrams = false;
+  config.affixes = false;
+  const FeatureExtractor extractor{config};
+  const auto scores = feature_mutual_information(corpus, extractor);
+  ASSERT_FALSE(scores.empty());
+  // W=genex should have near-maximal MI; find its rank.
+  std::size_t rank = scores.size();
+  for (std::size_t i = 0; i < scores.size(); ++i)
+    if (scores[i].feature == "W=genex") rank = i;
+  EXPECT_LT(rank, 6U);
+
+  const auto selected = select_by_mi(scores, 0.01);
+  EXPECT_TRUE(selected.contains("W=genex"));
+}
+
+TEST(MiSelection, ThresholdFilters) {
+  const std::vector<MiScore> scores = {{"a", 0.5}, {"b", 0.01}, {"c", 0.0001}};
+  const auto selected = select_by_mi(scores, 0.005);
+  EXPECT_EQ(selected.size(), 2U);
+  EXPECT_FALSE(selected.contains("c"));
+}
+
+}  // namespace
+}  // namespace graphner::features

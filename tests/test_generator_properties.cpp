@@ -1,0 +1,152 @@
+// Statistical property tests of the corpus generator: the mechanisms the
+// GraphNER reproduction depends on (recurring unseen symbols, per-corpus
+// contrasts, document structure) must hold for any seed.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/corpus/generator.hpp"
+#include "src/corpus/wordlists.hpp"
+#include "src/text/bio.hpp"
+#include "src/util/strings.hpp"
+
+namespace graphner::corpus {
+namespace {
+
+std::set<std::string> mention_tokens(const std::vector<text::Sentence>& side) {
+  std::set<std::string> tokens;
+  for (const auto& s : side)
+    for (std::size_t i = 0; i < s.size(); ++i)
+      if (s.tags[i] != text::Tag::kO) tokens.insert(util::to_lower(s.tokens[i]));
+  return tokens;
+}
+
+class GeneratorProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorProperty, TestSideContainsUnseenGeneTokens) {
+  const auto corpus = generate_corpus(bc2gm_like_spec(0.4, GetParam()));
+  const auto train_tokens = mention_tokens(corpus.train);
+  const auto test_tokens = mention_tokens(corpus.test);
+  std::size_t unseen = 0;
+  for (const auto& tok : test_tokens) unseen += !train_tokens.contains(tok);
+  // Out-of-vocabulary gene material must exist (recall pressure).
+  EXPECT_GT(unseen, 3U);
+}
+
+TEST_P(GeneratorProperty, UnseenSymbolsRecur) {
+  // Corpus-level consistency requires that unseen test-side tokens appear
+  // multiple times; count recurrences of test-only ALLCAPS-ish tokens.
+  const auto corpus = generate_corpus(bc2gm_like_spec(0.4, GetParam()));
+  std::set<std::string> train_vocab;
+  for (const auto& s : corpus.train)
+    for (const auto& t : s.tokens) train_vocab.insert(util::to_lower(t));
+
+  std::map<std::string, std::size_t> unseen_counts;
+  for (const auto& s : corpus.test)
+    for (const auto& t : s.tokens) {
+      if (!util::is_all_caps(t)) continue;
+      if (!train_vocab.contains(util::to_lower(t)))
+        ++unseen_counts[util::to_lower(t)];
+    }
+  std::size_t recurring = 0;
+  for (const auto& [tok, count] : unseen_counts) recurring += count >= 3;
+  EXPECT_GT(recurring, 2U) << "unseen symbols must recur for averaging to work";
+}
+
+TEST_P(GeneratorProperty, AcronymsAreNeverAnnotated) {
+  // Tokens from the static acronym bank must always carry tag O.
+  const auto corpus = generate_corpus(bc2gm_like_spec(0.3, GetParam()));
+  std::set<std::string> acronym_bank;
+  for (const auto& a : acronyms()) acronym_bank.insert(std::string(a));
+  for (const auto& side : {corpus.train, corpus.test}) {
+    for (const auto& s : side) {
+      for (std::size_t i = 0; i < s.size(); ++i) {
+        if (!acronym_bank.contains(s.tokens[i])) continue;
+        EXPECT_EQ(s.tags[i], text::Tag::kO)
+            << s.tokens[i] << " annotated as gene in " << s.id;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorProperty,
+                         ::testing::Values(11, 22, 33, 44));
+
+TEST(GeneratorContrast, Bc2gmNoisierThanAml) {
+  // Compare observed gold to pristine truth on the test side: the BC2GM
+  // generator must disagree more often.
+  auto disagreement = [](const LabelledCorpus& corpus) {
+    std::set<std::string> gold_keys;
+    for (const auto& a : corpus.test_gold)
+      gold_keys.insert(a.sentence_id + '|' + std::to_string(a.span.first) + '|' +
+                       std::to_string(a.span.last));
+    std::size_t missing = 0;
+    for (const auto& a : corpus.test_truth) {
+      const auto key = a.sentence_id + '|' + std::to_string(a.span.first) + '|' +
+                       std::to_string(a.span.last);
+      missing += !gold_keys.contains(key);
+    }
+    return static_cast<double>(missing) /
+           static_cast<double>(std::max<std::size_t>(1, corpus.test_truth.size()));
+  };
+  const double bc2gm = disagreement(generate_corpus(bc2gm_like_spec(0.5, 3)));
+  const double aml = disagreement(generate_corpus(aml_like_spec(0.5, 3)));
+  EXPECT_GT(bc2gm, aml);
+  EXPECT_GT(bc2gm, 0.01);
+  EXPECT_LT(aml, 0.05);
+}
+
+TEST(GeneratorContrast, AmlUsesDocumentGroupedIds) {
+  const auto corpus = generate_corpus(aml_like_spec(0.3, 4));
+  std::set<std::string> docs;
+  for (const auto& s : corpus.train) {
+    EXPECT_NE(s.id.find("doc"), std::string::npos);
+    docs.insert(s.id.substr(0, s.id.find("-train")));
+  }
+  EXPECT_GT(docs.size(), 1U);  // multiple documents
+}
+
+TEST(GeneratorContrast, Bc2gmHasMoreMultiTokenMentions) {
+  const auto bc2gm = generate_corpus(bc2gm_like_spec(0.5, 5));
+  const auto aml = generate_corpus(aml_like_spec(0.5, 5));
+  auto multi_token_rate = [](const LabelledCorpus& corpus) {
+    std::size_t multi = 0;
+    std::size_t total = 0;
+    for (const auto& s : corpus.test) {
+      for (const auto& span : text::decode_bio(s.tags)) {
+        multi += span.length() > 1;
+        ++total;
+      }
+    }
+    return static_cast<double>(multi) / static_cast<double>(std::max<std::size_t>(1, total));
+  };
+  // Descriptive multi-word naming dominates BC2GM; HGNC symbols dominate AML.
+  EXPECT_GT(multi_token_rate(bc2gm), multi_token_rate(aml) + 0.1);
+}
+
+TEST(GeneratorContrast, ScaleGrowsEverything) {
+  const auto small = generate_corpus(bc2gm_like_spec(0.2, 6));
+  const auto large = generate_corpus(bc2gm_like_spec(0.4, 6));
+  EXPECT_EQ(large.train.size(), 2 * small.train.size());
+  EXPECT_GT(large.test_gold.size(), small.test_gold.size());
+}
+
+TEST(GeneratorContrast, AlternativesOverlapTheirPrimary) {
+  const auto corpus = generate_corpus(bc2gm_like_spec(0.3, 7));
+  const auto gold = text::index_annotations(corpus.test_gold);
+  std::size_t checked = 0;
+  for (const auto& alt : corpus.test_alternatives) {
+    const auto it = gold.find(alt.sentence_id);
+    ASSERT_NE(it, gold.end()) << "alternative without a gold sentence";
+    bool overlaps = false;
+    for (const auto& span : it->second)
+      if (alt.span.first <= span.last && span.first <= alt.span.last) overlaps = true;
+    EXPECT_TRUE(overlaps) << "alternative must be a boundary variant of a primary";
+    ++checked;
+  }
+  EXPECT_GT(checked, 10U);
+}
+
+}  // namespace
+}  // namespace graphner::corpus

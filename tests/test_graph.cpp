@@ -1,0 +1,222 @@
+// Tests for trigram vertices, PPMI vectors, k-NN graph and graph stats.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "src/features/extractor.hpp"
+#include "src/graph/graph_stats.hpp"
+#include "src/graph/knn_graph.hpp"
+#include "src/graph/sparse_vector.hpp"
+#include "src/graph/trigram.hpp"
+#include "src/graph/vertex_features.hpp"
+#include "src/util/rng.hpp"
+
+namespace graphner::graph {
+namespace {
+
+text::Sentence make_sentence(std::string id, std::vector<std::string> tokens) {
+  text::Sentence s;
+  s.id = std::move(id);
+  s.tokens = std::move(tokens);
+  return s;
+}
+
+TEST(Trigram, PaddingAndLowercasing) {
+  const auto s = make_sentence("a", {"The", "FLT3", "gene"});
+  EXPECT_EQ(trigram_at(s, 0), (std::array<std::string, 3>{"<s>", "the", "flt3"}));
+  EXPECT_EQ(trigram_at(s, 1), (std::array<std::string, 3>{"the", "flt3", "gene"}));
+  EXPECT_EQ(trigram_at(s, 2), (std::array<std::string, 3>{"flt3", "gene", "</s>"}));
+}
+
+TEST(Trigram, VerticesAreTypesPositionsAreTokens) {
+  const std::vector<text::Sentence> train = {
+      make_sentence("a", {"x", "y", "z"}), make_sentence("b", {"x", "y", "z"})};
+  const std::vector<text::Sentence> test = {make_sentence("c", {"x", "y", "w"})};
+  const auto vertices = build_trigram_vertices(train, test);
+  EXPECT_EQ(vertices.positions.size(), 3U);
+  EXPECT_EQ(vertices.token_count(), 9U);
+  // Sentences a and b are identical: same vertex ids at every position.
+  EXPECT_EQ(vertices.positions[0], vertices.positions[1]);
+  // Sentence c shares the first trigram type [<s> x y] with a.
+  EXPECT_EQ(vertices.positions[2][0], vertices.positions[0][0]);
+  EXPECT_LT(vertices.vertex_count(), 9U);
+  EXPECT_EQ(vertices.train_sentence_count, 2U);
+}
+
+TEST(SparseVectorTest, DotAndCosine) {
+  const SparseVector a({{0, 1.0F}, {2, 2.0F}});
+  const SparseVector b({{2, 3.0F}, {5, 1.0F}});
+  EXPECT_DOUBLE_EQ(a.dot(b), 6.0);
+  EXPECT_NEAR(a.cosine(b), 6.0 / (std::sqrt(5.0) * std::sqrt(10.0)), 1e-12);
+  const SparseVector zero;
+  EXPECT_EQ(zero.cosine(a), 0.0);
+}
+
+TEST(SparseVectorTest, NormalizeMakesUnit) {
+  SparseVector v({{1, 3.0F}, {4, 4.0F}});
+  v.normalize();
+  EXPECT_NEAR(v.norm(), 1.0, 1e-6);
+  EXPECT_NEAR(v.dot(v), 1.0, 1e-6);
+}
+
+TEST(SparseVectorTest, UnsortedInputGetsSorted) {
+  const SparseVector v({{5, 1.0F}, {1, 2.0F}, {3, 3.0F}});
+  EXPECT_EQ(v.entries()[0].index, 1U);
+  EXPECT_EQ(v.entries()[2].index, 5U);
+}
+
+std::vector<SparseVector> random_unit_vectors(std::size_t count, std::size_t dims,
+                                              std::size_t nnz, util::Rng& rng) {
+  std::vector<SparseVector> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::vector<SparseEntry> entries;
+    std::set<std::uint32_t> used;
+    while (entries.size() < nnz) {
+      const auto idx = static_cast<std::uint32_t>(rng.below(dims));
+      if (!used.insert(idx).second) continue;
+      entries.push_back({idx, static_cast<float>(rng.uniform(0.1, 1.0))});
+    }
+    SparseVector v(std::move(entries));
+    v.normalize();
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+class KnnVsBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KnnVsBruteForce, TopNeighboursMatch) {
+  util::Rng rng(GetParam());
+  const auto vectors = random_unit_vectors(60, 30, 6, rng);
+  KnnConfig config;
+  config.k = 5;
+  config.min_similarity = 1e-9;
+  const auto graph = build_knn_graph(vectors, config);
+
+  for (std::size_t v = 0; v < vectors.size(); ++v) {
+    // Brute-force top-5 cosine.
+    std::vector<std::pair<double, std::size_t>> sims;
+    for (std::size_t u = 0; u < vectors.size(); ++u) {
+      if (u == v) continue;
+      const double c = vectors[v].cosine(vectors[u]);
+      if (c > config.min_similarity) sims.emplace_back(c, u);
+    }
+    std::sort(sims.rbegin(), sims.rend());
+    const auto& edges = graph.neighbours(static_cast<VertexId>(v));
+    ASSERT_EQ(edges.size(), std::min<std::size_t>(5, sims.size()));
+    for (std::size_t j = 0; j < edges.size(); ++j)
+      EXPECT_NEAR(edges[j].weight, sims[j].first, 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KnnVsBruteForce, ::testing::Values(1, 2, 3));
+
+TEST(KnnGraph, SaveLoadRoundtrip) {
+  util::Rng rng(4);
+  const auto vectors = random_unit_vectors(20, 15, 4, rng);
+  const auto graph = build_knn_graph(vectors, {4, 1000, 1e-9});
+  std::stringstream buffer;
+  graph.save(buffer);
+  const auto loaded = KnnGraph::load(buffer);
+  ASSERT_EQ(loaded.vertex_count(), graph.vertex_count());
+  EXPECT_EQ(loaded.k(), graph.k());
+  for (std::size_t v = 0; v < graph.vertex_count(); ++v) {
+    const auto& a = graph.neighbours(static_cast<VertexId>(v));
+    const auto& b = loaded.neighbours(static_cast<VertexId>(v));
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      EXPECT_EQ(a[j].target, b[j].target);
+      EXPECT_FLOAT_EQ(a[j].weight, b[j].weight);
+    }
+  }
+}
+
+TEST(KnnGraph, HighDfFeaturesSkipped) {
+  // All vectors share feature 0; with max_posting_length 2 that feature is
+  // dropped, leaving everything disconnected.
+  std::vector<SparseVector> vectors;
+  for (int i = 0; i < 5; ++i) {
+    SparseVector v({{0, 1.0F}});
+    v.normalize();
+    vectors.push_back(std::move(v));
+  }
+  const auto graph = build_knn_graph(vectors, {3, 2, 1e-9});
+  EXPECT_EQ(graph.edge_count(), 0U);
+}
+
+TEST(VertexVectors, BuildsUnitVectors) {
+  const std::vector<text::Sentence> train = {
+      make_sentence("a", {"the", "flt3", "gene", "was", "mutated"}),
+      make_sentence("b", {"the", "npm1", "gene", "was", "mutated"})};
+  const std::vector<text::Sentence> test;
+  const auto vertices = build_trigram_vertices(train, test);
+  std::vector<const text::Sentence*> all = {&train[0], &train[1]};
+  const features::FeatureExtractor extractor{features::FeatureConfig{}};
+  const auto vectors =
+      build_vertex_vectors(vertices, all, extractor, VertexFeatureConfig{});
+  ASSERT_EQ(vectors.vectors.size(), vertices.vertex_count());
+  for (const auto& v : vectors.vectors)
+    if (v.nnz() > 0) { EXPECT_NEAR(v.norm(), 1.0, 1e-5); }
+}
+
+TEST(VertexVectors, SharedContextTrigramsAreSimilar) {
+  // [the flt3 gene] and [the npm1 gene] share context features; both should
+  // be far more similar to each other than to [was mutated </s>].
+  const std::vector<text::Sentence> train = {
+      make_sentence("a", {"the", "flt3", "gene", "was", "mutated"}),
+      make_sentence("b", {"the", "npm1", "gene", "was", "mutated"})};
+  const auto vertices = build_trigram_vertices(train, {});
+  std::vector<const text::Sentence*> all = {&train[0], &train[1]};
+  const features::FeatureExtractor extractor{features::FeatureConfig{}};
+  const auto vectors =
+      build_vertex_vectors(vertices, all, extractor, VertexFeatureConfig{});
+
+  const VertexId flt3 = vertices.positions[0][1];
+  const VertexId npm1 = vertices.positions[1][1];
+  const VertexId mutated = vertices.positions[0][4];
+  EXPECT_GT(vectors.vectors[flt3].cosine(vectors.vectors[npm1]),
+            vectors.vectors[flt3].cosine(vectors.vectors[mutated]));
+}
+
+TEST(VertexVectors, LexicalRepresentationIsSmaller) {
+  const std::vector<text::Sentence> train = {
+      make_sentence("a", {"the", "flt3", "gene", "was", "mutated"})};
+  const auto vertices = build_trigram_vertices(train, {});
+  std::vector<const text::Sentence*> all = {&train[0]};
+  const features::FeatureExtractor extractor{features::FeatureConfig{}};
+  VertexFeatureConfig lexical;
+  lexical.representation = VertexRepresentation::kLexical;
+  const auto lex = build_vertex_vectors(vertices, all, extractor, lexical);
+  const auto full =
+      build_vertex_vectors(vertices, all, extractor, VertexFeatureConfig{});
+  EXPECT_LT(lex.feature_instance_count, full.feature_instance_count);
+}
+
+TEST(GraphStats, InfluenceMatchesEdges) {
+  KnnGraph graph(3, 2);
+  graph.set_neighbours(0, {{1, 0.5F}, {2, 0.25F}});
+  graph.set_neighbours(1, {{2, 1.0F}});
+  graph.set_neighbours(2, {});
+  const auto stats = compute_graph_stats(graph);
+  EXPECT_EQ(stats.vertices, 3U);
+  EXPECT_EQ(stats.edges, 3U);
+  EXPECT_EQ(stats.influencees[2], 2U);
+  EXPECT_NEAR(stats.influence[2], 1.25, 1e-9);
+  EXPECT_EQ(stats.influencees[0], 0U);
+  EXPECT_EQ(stats.weakly_connected_components, 1U);
+  EXPECT_EQ(stats.largest_component, 3U);
+}
+
+TEST(GraphStats, DisconnectedComponentsCounted) {
+  KnnGraph graph(4, 1);
+  graph.set_neighbours(0, {{1, 1.0F}});
+  graph.set_neighbours(2, {{3, 1.0F}});
+  const auto stats = compute_graph_stats(graph);
+  EXPECT_EQ(stats.weakly_connected_components, 2U);
+  EXPECT_EQ(stats.largest_component, 2U);
+}
+
+}  // namespace
+}  // namespace graphner::graph

@@ -1,0 +1,143 @@
+// Integration tests: reference distributions, the GraphNER pipeline
+// (Algorithm 1) end to end, and the experiment runner.
+#include <gtest/gtest.h>
+
+#include "src/corpus/generator.hpp"
+#include "src/graphner/experiment.hpp"
+#include "src/graphner/pipeline.hpp"
+#include "src/graphner/reference.hpp"
+#include "src/text/bio.hpp"
+
+namespace graphner::core {
+namespace {
+
+using text::Tag;
+
+text::Sentence make_sentence(std::string id, std::vector<std::string> tokens,
+                             std::vector<Tag> tags) {
+  text::Sentence s;
+  s.id = std::move(id);
+  s.tokens = std::move(tokens);
+  s.tags = std::move(tags);
+  return s;
+}
+
+TEST(ReferenceDistributions, AveragesAcrossOccurrences) {
+  // Trigram [a x b] occurs twice: once tagged B, once O at the center.
+  const std::vector<text::Sentence> labelled = {
+      make_sentence("1", {"a", "x", "b"}, {Tag::kO, Tag::kB, Tag::kO}),
+      make_sentence("2", {"a", "x", "b"}, {Tag::kO, Tag::kO, Tag::kO}),
+  };
+  const auto reference = ReferenceDistributions::build(labelled);
+  const auto* dist = reference.find({"a", "x", "b"});
+  ASSERT_NE(dist, nullptr);
+  EXPECT_NEAR((*dist)[text::tag_index(Tag::kB)], 0.5, 1e-12);
+  EXPECT_NEAR((*dist)[text::tag_index(Tag::kO)], 0.5, 1e-12);
+  EXPECT_EQ(reference.find({"not", "in", "data"}), nullptr);
+}
+
+TEST(ReferenceDistributions, PositiveFraction) {
+  const std::vector<text::Sentence> labelled = {
+      make_sentence("1", {"a", "b"}, {Tag::kB, Tag::kO}),
+  };
+  const auto reference = ReferenceDistributions::build(labelled);
+  // Trigrams: [<s> a b] (B) and [a b </s>] (O): 50% positive.
+  EXPECT_EQ(reference.size(), 2U);
+  EXPECT_NEAR(reference.positive_fraction(), 0.5, 1e-12);
+}
+
+class PipelineEndToEnd : public ::testing::TestWithParam<CrfProfile> {};
+
+TEST_P(PipelineEndToEnd, ImprovesOrMatchesSanityBounds) {
+  const auto data = corpus::generate_corpus(corpus::bc2gm_like_spec(0.15, 42));
+  GraphNerConfig config;
+  config.profile = GetParam();
+  config.alpha = 0.3;
+  const auto out = run_experiment(data, config);
+
+  // Sanity bounds, not exact numbers: both systems must be clearly better
+  // than chance on this synthetic corpus.
+  EXPECT_GT(out.baseline.metrics.f_score(), 0.5);
+  EXPECT_GT(out.graphner.metrics.f_score(), 0.5);
+  EXPECT_GT(out.stats.vertices, 100U);
+  EXPECT_GT(out.stats.edges, out.stats.vertices);  // K > 1
+  EXPECT_GT(out.stats.labelled_vertex_fraction, 0.3);
+  EXPECT_LT(out.stats.positive_vertex_fraction, 0.5);
+  EXPECT_EQ(out.stats.propagation_loss.size(), config.propagation.iterations);
+  EXPECT_GT(out.timings.graphner_total(), out.timings.baseline_total());
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, PipelineEndToEnd,
+                         ::testing::Values(CrfProfile::kBanner,
+                                           CrfProfile::kBannerChemDner));
+
+TEST(Pipeline, DecodedTagsAreLegalBio) {
+  const auto data = corpus::generate_corpus(corpus::bc2gm_like_spec(0.1, 7));
+  GraphNerConfig config;
+  const auto model = GraphNerModel::train(data.train, {}, config);
+  const auto result = model.test(data.train, data.test);
+  ASSERT_EQ(result.graphner_tags.size(), data.test.size());
+  for (const auto& tags : result.graphner_tags) {
+    Tag prev = Tag::kO;
+    for (const Tag t : tags) {
+      EXPECT_FALSE(text::is_illegal_transition(prev, t));
+      prev = t;
+    }
+  }
+}
+
+TEST(Pipeline, Order1AlsoWorks) {
+  const auto data = corpus::generate_corpus(corpus::bc2gm_like_spec(0.1, 8));
+  GraphNerConfig config;
+  config.crf_order = 1;
+  const auto out = run_experiment(data, config);
+  EXPECT_GT(out.baseline.metrics.f_score(), 0.5);
+  EXPECT_GT(out.graphner.metrics.f_score(), 0.5);
+}
+
+TEST(Pipeline, DeterministicAcrossRuns) {
+  const auto data = corpus::generate_corpus(corpus::bc2gm_like_spec(0.1, 9));
+  GraphNerConfig config;
+  const auto a = run_experiment(data, config);
+  const auto b = run_experiment(data, config);
+  EXPECT_EQ(a.graphner.metrics.true_positives, b.graphner.metrics.true_positives);
+  EXPECT_EQ(a.baseline.metrics.false_positives, b.baseline.metrics.false_positives);
+}
+
+TEST(Pipeline, AlphaOneApproximatesBaselineForOrder1) {
+  // With alpha = 1 the combination step passes the CRF posteriors through,
+  // so GraphNER decodes the node marginals with the corpus-level
+  // pairwise/marginal ratio matrix. For an order-1 chain this is the exact
+  // tree reparameterization up to the corpus-averaging of the ratios, so
+  // the result should track the baseline Viterbi decode (the order-2 model
+  // has no such identity and is allowed to diverge more).
+  const auto data = corpus::generate_corpus(corpus::bc2gm_like_spec(0.15, 10));
+  GraphNerConfig config;
+  config.alpha = 1.0;
+  config.crf_order = 1;
+  const auto out = run_experiment(data, config);
+  EXPECT_NEAR(out.graphner.metrics.f_score(), out.baseline.metrics.f_score(), 0.1);
+}
+
+TEST(TagsToAnnotations, ConvertsSpans) {
+  const std::vector<text::Sentence> sentences = {
+      make_sentence("s", {"the", "FLT3", "gene"}, {})};
+  const std::vector<std::vector<Tag>> tags = {{Tag::kO, Tag::kB, Tag::kO}};
+  const auto anns = tags_to_annotations(sentences, tags);
+  ASSERT_EQ(anns.size(), 1U);
+  EXPECT_EQ(anns[0].mention, "FLT3");
+  EXPECT_EQ(anns[0].sentence_id, "s");
+}
+
+TEST(Experiment, TimingsArePopulated) {
+  const auto data = corpus::generate_corpus(corpus::aml_like_spec(0.1, 11));
+  GraphNerConfig config;
+  const auto out = run_experiment(data, config);
+  EXPECT_GT(out.timings.crf_train_seconds, 0.0);
+  EXPECT_GT(out.timings.crf_inference_seconds, 0.0);
+  EXPECT_GT(out.timings.graph_construction_seconds, 0.0);
+  EXPECT_GE(out.timings.propagation_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace graphner::core

@@ -1,0 +1,60 @@
+// Tests for the inductive (self-training) GraphNER extension.
+#include <gtest/gtest.h>
+
+#include "src/corpus/generator.hpp"
+#include "src/graphner/inductive.hpp"
+#include "src/text/bio.hpp"
+
+namespace graphner::core {
+namespace {
+
+TEST(Inductive, RoundZeroMatchesTransductive) {
+  const auto data = corpus::generate_corpus(corpus::bc2gm_like_spec(0.1, 42));
+  InductiveConfig config;
+  config.self_train = false;
+  const auto inductive = run_inductive(data.train, data.test, config);
+
+  const auto model = GraphNerModel::train(data.train, data.test, config.base);
+  const auto transductive = model.test(data.train, data.test);
+
+  EXPECT_EQ(inductive.rounds_run, 1U);
+  EXPECT_EQ(inductive.tags, transductive.graphner_tags);
+  EXPECT_EQ(inductive.transductive_tags, transductive.graphner_tags);
+  EXPECT_EQ(inductive.baseline_tags, transductive.baseline_tags);
+}
+
+TEST(Inductive, RespectsRoundBudget) {
+  const auto data = corpus::generate_corpus(corpus::bc2gm_like_spec(0.08, 7));
+  InductiveConfig config;
+  config.max_rounds = 2;
+  config.convergence_threshold = 0.0;  // never converge early
+  const auto result = run_inductive(data.train, data.test, config);
+  EXPECT_LE(result.rounds_run, 2U);
+  EXPECT_EQ(result.change_per_round.size(), result.rounds_run - 1);
+}
+
+TEST(Inductive, TagsStayLegalBioAcrossRounds) {
+  const auto data = corpus::generate_corpus(corpus::bc2gm_like_spec(0.08, 9));
+  InductiveConfig config;
+  config.max_rounds = 2;
+  const auto result = run_inductive(data.train, data.test, config);
+  for (const auto& tags : result.tags) {
+    text::Tag prev = text::Tag::kO;
+    for (const auto t : tags) {
+      EXPECT_FALSE(text::is_illegal_transition(prev, t));
+      prev = t;
+    }
+  }
+}
+
+TEST(Inductive, ConvergenceStopsTheLoop) {
+  const auto data = corpus::generate_corpus(corpus::bc2gm_like_spec(0.08, 11));
+  InductiveConfig config;
+  config.max_rounds = 5;
+  config.convergence_threshold = 1.0;  // any change counts as converged
+  const auto result = run_inductive(data.train, data.test, config);
+  EXPECT_LE(result.rounds_run, 2U);
+}
+
+}  // namespace
+}  // namespace graphner::core

@@ -1,0 +1,145 @@
+// Tests for the BioCreative-II on-disk corpus format (src/corpus/bc2gm_io).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "src/corpus/bc2gm_io.hpp"
+#include "src/corpus/generator.hpp"
+#include "src/text/bio.hpp"
+
+namespace graphner::corpus {
+namespace {
+
+namespace fs = std::filesystem;
+
+class Bc2gmIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("graphner_io_test_" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  fs::path dir_;
+};
+
+TEST_F(Bc2gmIoTest, RoundtripPreservesSentencesAndTags) {
+  const auto original = generate_corpus(bc2gm_like_spec(0.1, 42));
+  save_corpus(original, dir_);
+  const auto loaded = load_corpus(dir_);
+
+  ASSERT_EQ(loaded.train.size(), original.train.size());
+  ASSERT_EQ(loaded.test.size(), original.test.size());
+  for (std::size_t i = 0; i < original.train.size(); ++i) {
+    EXPECT_EQ(loaded.train[i].id, original.train[i].id);
+    EXPECT_EQ(loaded.train[i].tokens, original.train[i].tokens);
+    EXPECT_EQ(loaded.train[i].tags, original.train[i].tags) << "sentence " << i;
+  }
+  for (std::size_t i = 0; i < original.test.size(); ++i)
+    EXPECT_EQ(loaded.test[i].tags, original.test[i].tags);
+}
+
+TEST_F(Bc2gmIoTest, RoundtripPreservesAnnotationFiles) {
+  const auto original = generate_corpus(bc2gm_like_spec(0.1, 7));
+  save_corpus(original, dir_);
+  const auto loaded = load_corpus(dir_);
+  EXPECT_EQ(loaded.test_gold, original.test_gold);
+  EXPECT_EQ(loaded.test_alternatives, original.test_alternatives);
+  EXPECT_EQ(loaded.test_truth, original.test_truth);
+  EXPECT_EQ(loaded.gene_related_tokens, original.gene_related_tokens);
+}
+
+TEST_F(Bc2gmIoTest, MissingOptionalFilesAreFine) {
+  const auto original = generate_corpus(aml_like_spec(0.1, 8));
+  save_corpus(original, dir_);
+  fs::remove(dir_ / "TRUTH.eval");
+  const auto loaded = load_corpus(dir_);
+  EXPECT_TRUE(loaded.test_truth.empty());
+  EXPECT_EQ(loaded.test.size(), original.test.size());
+}
+
+TEST_F(Bc2gmIoTest, MissingCorpusThrows) {
+  EXPECT_THROW(load_corpus(dir_ / "nonexistent"), std::runtime_error);
+}
+
+TEST(TagsFromAnnotations, AlignsCharSpans) {
+  text::Sentence s;
+  s.tokens = {"the", "wilms", "tumor", "-", "1", "gene"};
+  // "wilms tumor - 1" spans non-space chars [3, 14].
+  const auto tags = tags_from_annotations(s, {{3, 14}});
+  EXPECT_EQ(tags[0], text::Tag::kO);
+  EXPECT_EQ(tags[1], text::Tag::kB);
+  EXPECT_EQ(tags[2], text::Tag::kI);
+  EXPECT_EQ(tags[3], text::Tag::kI);
+  EXPECT_EQ(tags[4], text::Tag::kI);
+  EXPECT_EQ(tags[5], text::Tag::kO);
+}
+
+TEST(TagsFromAnnotations, DropsMisalignedSpans) {
+  text::Sentence s;
+  s.tokens = {"abc", "def"};
+  // Span [1, 4] cuts through both tokens: dropped.
+  const auto tags = tags_from_annotations(s, {{1, 4}});
+  EXPECT_EQ(tags, (std::vector<text::Tag>{text::Tag::kO, text::Tag::kO}));
+}
+
+TEST(TagsFromAnnotations, EmptyAnnotationsAllO) {
+  text::Sentence s;
+  s.tokens = {"a", "b"};
+  const auto tags = tags_from_annotations(s, {});
+  EXPECT_EQ(text::positive_token_count(tags), 0U);
+}
+
+}  // namespace
+}  // namespace graphner::corpus
+
+// --- CoNLL column format ---
+#include "src/text/conll.hpp"
+
+namespace graphner::text {
+namespace {
+
+TEST(Conll, WriteReadRoundtrip) {
+  std::vector<Sentence> sentences;
+  Sentence a;
+  a.id = "s1";
+  a.tokens = {"the", "FLT3", "gene"};
+  a.tags = {Tag::kO, Tag::kB, Tag::kO};
+  Sentence b;
+  b.id = "s2";
+  b.tokens = {"wilms", "tumor", "-", "1"};
+  b.tags = {Tag::kB, Tag::kI, Tag::kI, Tag::kI};
+  sentences.push_back(a);
+  sentences.push_back(b);
+
+  std::stringstream buffer;
+  write_conll(buffer, sentences);
+  const auto loaded = read_conll(buffer);
+  ASSERT_EQ(loaded.size(), 2U);
+  EXPECT_EQ(loaded[0].id, "s1");
+  EXPECT_EQ(loaded[0].tokens, a.tokens);
+  EXPECT_EQ(loaded[0].tags, a.tags);
+  EXPECT_EQ(loaded[1].tags, b.tags);
+}
+
+TEST(Conll, ReadsAnonymousAndTagless) {
+  std::stringstream in("foo\nbar\tB\n\nbaz\tI\n");
+  const auto loaded = read_conll(in);
+  ASSERT_EQ(loaded.size(), 2U);
+  EXPECT_EQ(loaded[0].id, "conll-0");
+  EXPECT_EQ(loaded[0].tags[0], Tag::kO);  // missing tag column
+  EXPECT_EQ(loaded[0].tags[1], Tag::kB);
+  EXPECT_EQ(loaded[1].tokens[0], "baz");
+}
+
+TEST(Conll, UntaggedSentencesWriteO) {
+  Sentence s;
+  s.id = "x";
+  s.tokens = {"a"};
+  std::stringstream buffer;
+  write_conll(buffer, {s});
+  EXPECT_NE(buffer.str().find("a\tO"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace graphner::text

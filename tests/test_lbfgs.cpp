@@ -1,0 +1,79 @@
+// Tests for the L-BFGS minimizer on analytic objectives.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/crf/lbfgs.hpp"
+
+namespace graphner::crf {
+namespace {
+
+TEST(Lbfgs, MinimizesQuadratic) {
+  // f(x) = sum (x_i - i)^2, minimum at x_i = i.
+  std::vector<double> x(5, 0.0);
+  const auto result = lbfgs_minimize(x, [](std::span<const double> xs,
+                                           std::span<double> grad) {
+    double f = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double d = xs[i] - static_cast<double>(i);
+      f += d * d;
+      grad[i] = 2 * d;
+    }
+    return f;
+  });
+  EXPECT_TRUE(result.converged);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(x[i], static_cast<double>(i), 1e-4);
+}
+
+TEST(Lbfgs, MinimizesRosenbrock) {
+  std::vector<double> x = {-1.2, 1.0};
+  LbfgsOptions options;
+  options.max_iterations = 500;
+  options.gradient_tolerance = 1e-8;
+  const auto result = lbfgs_minimize(
+      x,
+      [](std::span<const double> xs, std::span<double> grad) {
+        const double a = xs[0];
+        const double b = xs[1];
+        const double f = 100 * (b - a * a) * (b - a * a) + (1 - a) * (1 - a);
+        grad[0] = -400 * a * (b - a * a) - 2 * (1 - a);
+        grad[1] = 200 * (b - a * a);
+        return f;
+      },
+      options);
+  EXPECT_LT(result.objective, 1e-6);
+  EXPECT_NEAR(x[0], 1.0, 1e-2);
+  EXPECT_NEAR(x[1], 1.0, 1e-2);
+}
+
+TEST(Lbfgs, HandlesAlreadyOptimalStart) {
+  std::vector<double> x = {0.0};
+  const auto result = lbfgs_minimize(x, [](std::span<const double> xs,
+                                           std::span<double> grad) {
+    grad[0] = 2 * xs[0];
+    return xs[0] * xs[0];
+  });
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations, 0U);
+}
+
+TEST(Lbfgs, RespectsIterationBudget) {
+  std::vector<double> x = {-1.2, 1.0};
+  LbfgsOptions options;
+  options.max_iterations = 3;
+  const auto result = lbfgs_minimize(
+      x,
+      [](std::span<const double> xs, std::span<double> grad) {
+        const double a = xs[0];
+        const double b = xs[1];
+        grad[0] = -400 * a * (b - a * a) - 2 * (1 - a);
+        grad[1] = 200 * (b - a * a);
+        return 100 * (b - a * a) * (b - a * a) + (1 - a) * (1 - a);
+      },
+      options);
+  EXPECT_LE(result.iterations, 3U);
+}
+
+}  // namespace
+}  // namespace graphner::crf

@@ -1,0 +1,97 @@
+// Coverage for smaller behaviours not exercised elsewhere: TSV export,
+// interval timers, histogram bin arithmetic, decode_crf, and resplit's
+// alternative-annotation carry-over.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "src/corpus/corpus.hpp"
+#include "src/corpus/generator.hpp"
+#include "src/graphner/pipeline.hpp"
+#include "src/util/histogram.hpp"
+#include "src/util/stopwatch.hpp"
+#include "src/util/table.hpp"
+
+namespace graphner {
+namespace {
+
+TEST(TablePrinterTsv, TabSeparatedOutput) {
+  util::TablePrinter table({"a", "b"});
+  table.add_row({"x", "y"});
+  std::ostringstream out;
+  table.print_tsv(out);
+  EXPECT_EQ(out.str(), "a\tb\nx\ty\n");
+}
+
+TEST(IntervalTimer, AccumulatesAcrossIntervals) {
+  util::IntervalTimer timer;
+  timer.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  timer.stop();
+  const double first = timer.seconds();
+  EXPECT_GT(first, 0.0);
+  timer.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  timer.stop();
+  EXPECT_GT(timer.seconds(), first);
+  timer.reset();
+  EXPECT_EQ(timer.seconds(), 0.0);
+}
+
+TEST(HistogramBins, EdgesAndMean) {
+  util::Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  h.add(2.0);
+  h.add(4.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(h.max_seen(), 4.0);
+}
+
+TEST(DecodeCrf, MatchesBaselineTagsFromTest) {
+  const auto data = corpus::generate_corpus(corpus::bc2gm_like_spec(0.08, 5));
+  core::GraphNerConfig config;
+  const auto model = core::GraphNerModel::train(data.train, {}, config);
+  const auto direct = model.decode_crf(data.test);
+  const auto via_test = model.test(data.train, data.test);
+  EXPECT_EQ(direct, via_test.baseline_tags);
+}
+
+TEST(Resplit, CarriesAlternativesForTestOriginSentences) {
+  const auto corpus = corpus::generate_corpus(corpus::bc2gm_like_spec(0.2, 6));
+  ASSERT_FALSE(corpus.test_alternatives.empty());
+  // Re-split with everything in the test side: all alternatives survive.
+  const auto re = corpus::resplit(corpus, 0.0, 1);
+  EXPECT_EQ(re.test_alternatives.size(), corpus.test_alternatives.size());
+  EXPECT_TRUE(re.train.empty());
+}
+
+TEST(Resplit, ExtremeFractionAllTrain) {
+  const auto corpus = corpus::generate_corpus(corpus::bc2gm_like_spec(0.1, 7));
+  const auto re = corpus::resplit(corpus, 1.0, 2);
+  EXPECT_TRUE(re.test.empty());
+  EXPECT_TRUE(re.test_gold.empty());
+}
+
+TEST(PipelineTimings, TotalsAreSums) {
+  core::PipelineTimings t;
+  t.crf_train_seconds = 1.0;
+  t.crf_inference_seconds = 2.0;
+  t.reference_seconds = 0.25;
+  t.graph_construction_seconds = 0.5;
+  t.propagation_seconds = 0.125;
+  t.combine_decode_seconds = 0.125;
+  EXPECT_DOUBLE_EQ(t.baseline_total(), 3.0);
+  EXPECT_DOUBLE_EQ(t.graphner_total(), 4.0);
+}
+
+TEST(ProfileNames, Stable) {
+  EXPECT_STREQ(core::profile_name(core::CrfProfile::kBanner), "BANNER");
+  EXPECT_STREQ(core::profile_name(core::CrfProfile::kBannerChemDner),
+               "BANNER-ChemDNER");
+}
+
+}  // namespace
+}  // namespace graphner

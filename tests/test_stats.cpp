@@ -1,0 +1,121 @@
+// Tests for sigf approximate randomization and the chi-square test.
+#include <gtest/gtest.h>
+
+#include "src/stats/chi_square.hpp"
+#include "src/stats/sigf.hpp"
+#include "src/util/rng.hpp"
+
+namespace graphner::stats {
+namespace {
+
+using text::Annotation;
+using text::CharSpan;
+
+Annotation ann(const std::string& sid, std::size_t first, std::size_t last) {
+  return Annotation{sid, CharSpan{first, last}, "m"};
+}
+
+TEST(Sigf, IdenticalSystemsNotSignificant) {
+  std::vector<Annotation> gold;
+  std::vector<Annotation> predictions;
+  for (int i = 0; i < 50; ++i) {
+    const std::string sid = "s" + std::to_string(i);
+    gold.push_back(ann(sid, 0, 4));
+    predictions.push_back(ann(sid, 0, 4));
+  }
+  const auto result = sigf_test(predictions, predictions, gold, {},
+                                Metric::kFScore, {500, 1});
+  EXPECT_EQ(result.observed_difference, 0.0);
+  EXPECT_GT(result.p_value, 0.9);
+}
+
+TEST(Sigf, ClearlyBetterSystemIsSignificant) {
+  util::Rng rng(7);
+  std::vector<Annotation> gold;
+  std::vector<Annotation> good;
+  std::vector<Annotation> bad;
+  for (int i = 0; i < 200; ++i) {
+    const std::string sid = "s" + std::to_string(i);
+    gold.push_back(ann(sid, 0, 4));
+    good.push_back(ann(sid, 0, 4));  // always right
+    // Bad system: right only 40% of the time, otherwise a wrong span.
+    bad.push_back(rng.flip(0.4) ? ann(sid, 0, 4) : ann(sid, 10, 14));
+  }
+  const auto result =
+      sigf_test(good, bad, gold, {}, Metric::kFScore, {2000, 2});
+  EXPECT_GT(result.observed_difference, 0.3);
+  EXPECT_LT(result.p_value, 0.01);
+}
+
+TEST(Sigf, SmallDifferenceNotSignificant) {
+  // Systems differ on exactly one of 100 sentences.
+  std::vector<Annotation> gold;
+  std::vector<Annotation> a;
+  std::vector<Annotation> b;
+  for (int i = 0; i < 100; ++i) {
+    const std::string sid = "s" + std::to_string(i);
+    gold.push_back(ann(sid, 0, 4));
+    a.push_back(ann(sid, 0, 4));
+    b.push_back(i == 0 ? ann(sid, 10, 12) : ann(sid, 0, 4));
+  }
+  const auto result = sigf_test(a, b, gold, {}, Metric::kFScore, {2000, 3});
+  EXPECT_GT(result.p_value, 0.4);  // one flip can never be significant
+}
+
+TEST(Sigf, DeterministicUnderSeed) {
+  std::vector<Annotation> gold;
+  std::vector<Annotation> a;
+  std::vector<Annotation> b;
+  util::Rng rng(5);
+  for (int i = 0; i < 60; ++i) {
+    const std::string sid = "s" + std::to_string(i);
+    gold.push_back(ann(sid, 0, 4));
+    a.push_back(rng.flip(0.8) ? ann(sid, 0, 4) : ann(sid, 9, 12));
+    b.push_back(rng.flip(0.6) ? ann(sid, 0, 4) : ann(sid, 9, 12));
+  }
+  const auto r1 = sigf_test(a, b, gold, {}, Metric::kPrecision, {500, 42});
+  const auto r2 = sigf_test(a, b, gold, {}, Metric::kPrecision, {500, 42});
+  EXPECT_EQ(r1.p_value, r2.p_value);
+}
+
+TEST(Sigf, MetricNames) {
+  EXPECT_EQ(metric_name(Metric::kPrecision), "Precision");
+  EXPECT_EQ(metric_name(Metric::kRecall), "Recall");
+  EXPECT_EQ(metric_name(Metric::kFScore), "F-score");
+}
+
+TEST(Bonferroni, DividesAlpha) {
+  EXPECT_NEAR(bonferroni_alpha(0.05, 8), 0.00625, 1e-12);
+  EXPECT_EQ(bonferroni_alpha(0.05, 0), 0.05);
+}
+
+TEST(ChiSquare, KnownValueMatchesYatesFormula) {
+  // Yates-corrected chi-square for the 2x2 table (30,70 / 10,90):
+  // N (|ad - bc| - N/2)^2 / (r1 r2 c1 c2)
+  //   = 200 * (|2700 - 700| - 100)^2 / (40 * 160 * 100 * 100) = 11.28125,
+  // matching R's prop.test(c(30, 10), c(100, 100)).
+  const auto result = proportion_test(30, 100, 10, 100);
+  EXPECT_NEAR(result.chi_square, 11.28125, 1e-9);
+  EXPECT_NEAR(result.p_value, 0.00078, 2e-4);
+}
+
+TEST(ChiSquare, EqualProportionsNotSignificant) {
+  const auto result = proportion_test(50, 100, 52, 100);
+  EXPECT_GT(result.p_value, 0.5);
+}
+
+TEST(ChiSquare, DegenerateInputs) {
+  EXPECT_EQ(proportion_test(0, 0, 5, 10).p_value, 1.0);
+  EXPECT_EQ(proportion_test(0, 10, 0, 10).p_value, 1.0);    // pooled p = 0
+  EXPECT_EQ(proportion_test(10, 10, 10, 10).p_value, 1.0);  // pooled p = 1
+}
+
+TEST(ChiSquare, PValueTailBehaviour) {
+  EXPECT_EQ(chi_square_1df_p_value(0.0), 1.0);
+  EXPECT_NEAR(chi_square_1df_p_value(3.841), 0.05, 1e-3);   // 95th percentile
+  EXPECT_NEAR(chi_square_1df_p_value(6.635), 0.01, 1e-3);   // 99th percentile
+  EXPECT_LT(chi_square_1df_p_value(30.0), 1e-7);
+}
+
+}  // namespace
+}  // namespace graphner::stats

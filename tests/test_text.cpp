@@ -1,0 +1,190 @@
+// Unit and property tests for src/text.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/text/annotation.hpp"
+#include "src/text/bio.hpp"
+#include "src/text/lemmatizer.hpp"
+#include "src/text/sentence.hpp"
+#include "src/text/tokenizer.hpp"
+#include "src/text/vocabulary.hpp"
+#include "src/util/rng.hpp"
+
+namespace graphner::text {
+namespace {
+
+TEST(TagTest, NamesAndParsing) {
+  EXPECT_EQ(tag_name(Tag::kB), "B");
+  EXPECT_EQ(parse_tag("I"), Tag::kI);
+  EXPECT_EQ(parse_tag("weird"), Tag::kO);
+  EXPECT_TRUE(is_illegal_transition(Tag::kO, Tag::kI));
+  EXPECT_FALSE(is_illegal_transition(Tag::kB, Tag::kI));
+  EXPECT_FALSE(is_illegal_transition(Tag::kI, Tag::kI));
+}
+
+TEST(TokenizerTest, SplitsLettersDigitsSymbols) {
+  const auto tokens = tokenize("WT-1(a) was 3.5%");
+  const std::vector<std::string> expected = {"WT", "-", "1", "(", "a",  ")",
+                                             "was", "3", ".", "5", "%"};
+  EXPECT_EQ(tokens, expected);
+}
+
+TEST(TokenizerTest, HandlesEmptyAndWhitespace) {
+  EXPECT_TRUE(tokenize("").empty());
+  EXPECT_TRUE(tokenize("   \t\n ").empty());
+}
+
+TEST(TokenizerTest, SentenceSplitting) {
+  const auto sentences = split_sentences(
+      "FLT3 was mutated. NPM1 was wild type. Fig. 3 shows the result.");
+  ASSERT_EQ(sentences.size(), 3U);
+  EXPECT_EQ(sentences[0], "FLT3 was mutated.");
+  // "Fig." must not split.
+  EXPECT_EQ(sentences[2], "Fig. 3 shows the result.");
+}
+
+TEST(SentenceTest, CharOffsetsIgnoreSpaces) {
+  Sentence s;
+  s.tokens = {"wilms", "tumor", "-", "1"};
+  EXPECT_EQ(s.char_offset(0), 0U);
+  EXPECT_EQ(s.char_offset(1), 5U);
+  EXPECT_EQ(s.char_offset(2), 10U);
+  EXPECT_EQ(s.char_offset(3), 11U);
+  const CharSpan span = s.to_char_span({0, 3});
+  EXPECT_EQ(span.first, 0U);
+  EXPECT_EQ(span.last, 11U);  // 12 non-space chars, inclusive end
+  EXPECT_EQ(s.span_text({1, 3}), "tumor - 1");
+}
+
+TEST(BioTest, EncodeDecodeRoundtrip) {
+  const std::vector<TokenSpan> spans = {{1, 3}, {5, 5}};
+  const auto tags = encode_bio(spans, 8);
+  EXPECT_EQ(tags[0], Tag::kO);
+  EXPECT_EQ(tags[1], Tag::kB);
+  EXPECT_EQ(tags[2], Tag::kI);
+  EXPECT_EQ(tags[3], Tag::kI);
+  EXPECT_EQ(tags[5], Tag::kB);
+  EXPECT_EQ(decode_bio(tags), spans);
+}
+
+TEST(BioTest, DecodeToleratesStrayI) {
+  const std::vector<Tag> tags = {Tag::kO, Tag::kI, Tag::kI, Tag::kO};
+  const auto spans = decode_bio(tags);
+  ASSERT_EQ(spans.size(), 1U);
+  EXPECT_EQ(spans[0], (TokenSpan{1, 2}));
+}
+
+TEST(BioTest, AdjacentMentions) {
+  const std::vector<Tag> tags = {Tag::kB, Tag::kB, Tag::kI};
+  const auto spans = decode_bio(tags);
+  ASSERT_EQ(spans.size(), 2U);
+  EXPECT_EQ(spans[0], (TokenSpan{0, 0}));
+  EXPECT_EQ(spans[1], (TokenSpan{1, 2}));
+}
+
+TEST(BioTest, RepairFixesIllegalI) {
+  std::vector<Tag> tags = {Tag::kO, Tag::kI, Tag::kI};
+  repair_bio(tags);
+  EXPECT_EQ(tags[1], Tag::kB);
+  EXPECT_EQ(tags[2], Tag::kI);
+}
+
+TEST(BioTest, OverlappingSpansKeepFirst) {
+  const auto tags = encode_bio({{0, 2}, {1, 3}}, 5);
+  const auto spans = decode_bio(tags);
+  ASSERT_EQ(spans.size(), 1U);
+  EXPECT_EQ(spans[0], (TokenSpan{0, 2}));
+}
+
+/// Property: encode-then-decode is the identity for random non-overlapping
+/// span sets.
+class BioRoundtrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BioRoundtrip, RandomSpans) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t length = 1 + rng.below(40);
+    std::vector<TokenSpan> spans;
+    std::size_t cursor = 0;
+    while (cursor < length) {
+      if (rng.flip(0.3)) {
+        const std::size_t len = 1 + rng.below(3);
+        const std::size_t last = std::min(length - 1, cursor + len - 1);
+        spans.push_back({cursor, last});
+        cursor = last + 2;  // gap so spans stay distinct after decode
+      } else {
+        ++cursor;
+      }
+    }
+    EXPECT_EQ(decode_bio(encode_bio(spans, length)), spans);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BioRoundtrip, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(AnnotationTest, FormatParseRoundtrip) {
+  const Annotation ann{"s-12", {3, 17}, "wilms tumor - 1"};
+  const auto parsed = parse_annotation(format_annotation(ann));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, ann);
+}
+
+TEST(AnnotationTest, RejectsMalformed) {
+  EXPECT_FALSE(parse_annotation("no bars here").has_value());
+  EXPECT_FALSE(parse_annotation("id|5|text").has_value());
+  EXPECT_FALSE(parse_annotation("id|9 3|bad order").has_value());
+}
+
+TEST(AnnotationTest, StreamRoundtrip) {
+  std::stringstream buffer;
+  const std::vector<Annotation> anns = {{"a", {0, 3}, "FLT3"}, {"b", {5, 8}, "NPM1"}};
+  write_annotations(buffer, anns);
+  EXPECT_EQ(parse_annotations(buffer), anns);
+}
+
+TEST(AnnotationTest, FromTags) {
+  Sentence s;
+  s.id = "x";
+  s.tokens = {"the", "FLT3", "gene"};
+  s.tags = {Tag::kO, Tag::kB, Tag::kO};
+  const auto anns = annotations_from_tags(s);
+  ASSERT_EQ(anns.size(), 1U);
+  EXPECT_EQ(anns[0].span.first, 3U);  // "the" = 3 chars
+  EXPECT_EQ(anns[0].span.last, 6U);
+  EXPECT_EQ(anns[0].mention, "FLT3");
+}
+
+TEST(LemmatizerTest, CommonInflections) {
+  EXPECT_EQ(lemmatize("mutations"), "mutation");
+  EXPECT_EQ(lemmatize("studies"), "study");
+  EXPECT_EQ(lemmatize("classes"), "class");
+  EXPECT_EQ(lemmatize("binding"), "bind");
+  EXPECT_EQ(lemmatize("mutated"), "mutate");
+  EXPECT_EQ(lemmatize("running"), "run");
+  EXPECT_EQ(lemmatize("Expressed"), "express");
+}
+
+TEST(LemmatizerTest, LeavesShortAndNonAlphaAlone) {
+  EXPECT_EQ(lemmatize("is"), "is");
+  EXPECT_EQ(lemmatize("123"), "123");
+  EXPECT_EQ(lemmatize("-"), "-");
+}
+
+TEST(VocabularyTest, InterningAndCounts) {
+  Vocabulary vocab;
+  const auto a = vocab.add("gene", 2);
+  const auto b = vocab.add("cell");
+  EXPECT_EQ(vocab.add("gene"), a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(vocab.count(a), 3U);
+  EXPECT_EQ(vocab.total_count(), 4U);
+  EXPECT_EQ(vocab.term(b), "cell");
+  EXPECT_FALSE(vocab.find("unknown").has_value());
+  const auto frequent = vocab.frequent_terms(2);
+  ASSERT_EQ(frequent.size(), 1U);
+  EXPECT_EQ(frequent[0], a);
+}
+
+}  // namespace
+}  // namespace graphner::text

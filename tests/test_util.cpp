@@ -1,0 +1,271 @@
+// Unit and property tests for src/util.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <sstream>
+
+#include "src/util/histogram.hpp"
+#include "src/util/math.hpp"
+#include "src/util/parallel.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/table.hpp"
+#include "src/util/top_k.hpp"
+
+namespace graphner::util {
+namespace {
+
+TEST(Rng, DeterministicUnderSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a() == b();
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(42);
+  std::array<int, 10> counts{};
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(10)];
+  for (const int c : counts) {
+    EXPECT_GT(c, kDraws / 10 * 0.9);
+    EXPECT_LT(c, kDraws / 10 * 1.1);
+  }
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.05);
+}
+
+TEST(Rng, ZipfFavorsSmallIndices) {
+  Rng rng(3);
+  std::size_t head = 0;
+  constexpr int kDraws = 10000;
+  for (int i = 0; i < kDraws; ++i)
+    if (rng.zipf(100) < 10) ++head;
+  EXPECT_GT(head, kDraws / 3);  // far more than the uniform 10%
+}
+
+TEST(Rng, WeightedRespectsWeights) {
+  Rng rng(9);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::array<int, 3> counts{};
+  for (int i = 0; i < 20000; ++i) ++counts[rng.weighted(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_GT(counts[2], counts[0] * 2);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(4);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(77);
+  Rng b = a.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a() == b();
+  EXPECT_LT(equal, 4);
+}
+
+TEST(MathTest, LogAddMatchesNaive) {
+  EXPECT_NEAR(log_add(std::log(2.0), std::log(3.0)), std::log(5.0), 1e-12);
+  EXPECT_EQ(log_add(kNegInf, 1.5), 1.5);
+  EXPECT_EQ(log_add(2.5, kNegInf), 2.5);
+}
+
+TEST(MathTest, LogSumExpStableForLargeInputs) {
+  const std::vector<double> xs = {1000.0, 1000.0};
+  EXPECT_NEAR(log_sum_exp(xs), 1000.0 + std::log(2.0), 1e-9);
+  const std::vector<double> empty;
+  EXPECT_EQ(log_sum_exp(empty), kNegInf);
+}
+
+TEST(MathTest, SoftmaxSumsToOne) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, -5.0};
+  softmax_inplace(xs);
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_GT(xs[2], xs[1]);
+}
+
+TEST(MathTest, NormalizeHandlesZeroVector) {
+  std::vector<double> xs = {0.0, 0.0, 0.0};
+  normalize_inplace(xs);
+  for (double x : xs) EXPECT_NEAR(x, 1.0 / 3.0, 1e-12);
+}
+
+TEST(MathTest, FScoreHarmonicMean) {
+  EXPECT_NEAR(f_score(1.0, 1.0), 1.0, 1e-12);
+  EXPECT_NEAR(f_score(0.5, 1.0), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(f_score(0.0, 0.0), 0.0);
+}
+
+TEST(MathTest, KahanSumAccurate) {
+  KahanSum sum;
+  for (int i = 0; i < 1000000; ++i) sum.add(0.1);
+  EXPECT_NEAR(sum.value(), 100000.0, 1e-6);
+}
+
+TEST(TopKTest, KeepsLargest) {
+  TopK<int> top(3);
+  for (int i = 0; i < 100; ++i) top.push(static_cast<double>(i % 37), i);
+  const auto sorted = top.take_sorted();
+  ASSERT_EQ(sorted.size(), 3U);
+  EXPECT_DOUBLE_EQ(sorted[0].first, 36.0);
+  EXPECT_DOUBLE_EQ(sorted[1].first, 36.0);
+  EXPECT_DOUBLE_EQ(sorted[2].first, 35.0);
+}
+
+TEST(TopKTest, MatchesFullSortOnRandomData) {
+  Rng rng(6);
+  std::vector<double> scores(200);
+  for (auto& s : scores) s = rng.uniform();
+  TopK<std::size_t> top(10);
+  for (std::size_t i = 0; i < scores.size(); ++i) top.push(scores[i], i);
+  auto expected = scores;
+  std::sort(expected.rbegin(), expected.rend());
+  const auto got = top.take_sorted();
+  ASSERT_EQ(got.size(), 10U);
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_DOUBLE_EQ(got[i].first, expected[i]);
+}
+
+TEST(TopKTest, ZeroCapacity) {
+  TopK<int> top(0);
+  top.push(1.0, 1);
+  EXPECT_EQ(top.take_sorted().size(), 0U);
+}
+
+TEST(StringsTest, SplitAndJoin) {
+  const auto parts = split("a|b||c", '|');
+  ASSERT_EQ(parts.size(), 4U);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(join({"x", "y", "z"}, ", "), "x, y, z");
+}
+
+TEST(StringsTest, SplitWhitespace) {
+  const auto parts = split_whitespace("  foo\tbar\nbaz  ");
+  ASSERT_EQ(parts.size(), 3U);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(StringsTest, CasePredicates) {
+  EXPECT_TRUE(is_all_caps("FLT3"));
+  EXPECT_FALSE(is_all_caps("Flt3"));
+  EXPECT_FALSE(is_all_caps("123"));  // needs at least one letter
+  EXPECT_TRUE(is_init_caps("Tumor"));
+  EXPECT_FALSE(is_init_caps("TUMOR"));
+  EXPECT_TRUE(is_all_digits("123"));
+  EXPECT_FALSE(is_all_digits("12a"));
+}
+
+TEST(StringsTest, Shapes) {
+  EXPECT_EQ(word_shape("Abc-12"), "Aaa_00");
+  EXPECT_EQ(compressed_shape("Abc-12"), "Aa_0");
+  EXPECT_EQ(compressed_shape("FLT3"), "A0");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringsTest, ReplaceAll) {
+  EXPECT_EQ(replace_all("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-3.0);   // clamps to first bin
+  h.add(100.0);  // clamps to last bin
+  EXPECT_EQ(h.count(0), 2U);
+  EXPECT_EQ(h.count(9), 2U);
+  EXPECT_EQ(h.total(), 4U);
+}
+
+TEST(TablePrinterTest, RendersAllRows) {
+  TablePrinter table({"a", "b"});
+  table.add_row({"1", "2"});
+  table.add_row({"3", "4"});
+  std::ostringstream out;
+  table.print(out, "title");
+  const std::string text = out.str();
+  EXPECT_NE(text.find("title"), std::string::npos);
+  EXPECT_NE(text.find("3"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2U);
+}
+
+TEST(ParallelTest, ParallelForCoversRange) {
+  std::vector<int> hits(1000, 0);
+  parallel_for(0, hits.size(), [&](std::size_t i) { hits[i] = 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
+}
+
+TEST(ParallelTest, ParallelReduceMatchesSerial) {
+  const auto total = parallel_reduce(
+      std::size_t{0}, std::size_t{1000}, 0LL,
+      [](long long& acc, std::size_t i) { acc += static_cast<long long>(i); },
+      [](long long& lhs, const long long& rhs) { lhs += rhs; });
+  EXPECT_EQ(total, 999LL * 1000 / 2);
+}
+
+TEST(ParallelTest, ThreadCountOverride) {
+  const int original = num_threads();
+  set_num_threads(3);
+  EXPECT_EQ(num_threads(), 3);
+  set_num_threads(0);  // clamped
+  EXPECT_EQ(num_threads(), 1);
+  set_num_threads(original);
+}
+
+}  // namespace
+}  // namespace graphner::util
