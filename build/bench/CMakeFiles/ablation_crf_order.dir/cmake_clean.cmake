@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_crf_order.dir/ablation_crf_order.cpp.o"
+  "CMakeFiles/ablation_crf_order.dir/ablation_crf_order.cpp.o.d"
+  "ablation_crf_order"
+  "ablation_crf_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_crf_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

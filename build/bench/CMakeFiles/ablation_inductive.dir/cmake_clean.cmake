@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_inductive.dir/ablation_inductive.cpp.o"
+  "CMakeFiles/ablation_inductive.dir/ablation_inductive.cpp.o.d"
+  "ablation_inductive"
+  "ablation_inductive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_inductive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

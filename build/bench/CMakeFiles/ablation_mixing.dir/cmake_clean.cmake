@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mixing.dir/ablation_mixing.cpp.o"
+  "CMakeFiles/ablation_mixing.dir/ablation_mixing.cpp.o.d"
+  "ablation_mixing"
+  "ablation_mixing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mixing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pos_features.dir/ablation_pos_features.cpp.o"
+  "CMakeFiles/ablation_pos_features.dir/ablation_pos_features.cpp.o.d"
+  "ablation_pos_features"
+  "ablation_pos_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pos_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_timing.dir/fig2_timing.cpp.o"
+  "CMakeFiles/fig2_timing.dir/fig2_timing.cpp.o.d"
+  "fig2_timing"
+  "fig2_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

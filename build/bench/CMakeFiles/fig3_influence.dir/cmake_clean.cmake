@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_influence.dir/fig3_influence.cpp.o"
+  "CMakeFiles/fig3_influence.dir/fig3_influence.cpp.o.d"
+  "fig3_influence"
+  "fig3_influence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_influence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

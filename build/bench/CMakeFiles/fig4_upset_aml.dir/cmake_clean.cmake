@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_upset_aml.dir/fig4_upset_aml.cpp.o"
+  "CMakeFiles/fig4_upset_aml.dir/fig4_upset_aml.cpp.o.d"
+  "fig4_upset_aml"
+  "fig4_upset_aml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_upset_aml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_upset_bc2gm.dir/fig5_upset_bc2gm.cpp.o"
+  "CMakeFiles/fig5_upset_bc2gm.dir/fig5_upset_bc2gm.cpp.o.d"
+  "fig5_upset_bc2gm"
+  "fig5_upset_bc2gm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_upset_bc2gm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5_upset_bc2gm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_bc2gm.dir/table1_bc2gm.cpp.o"
+  "CMakeFiles/table1_bc2gm.dir/table1_bc2gm.cpp.o.d"
+  "table1_bc2gm"
+  "table1_bc2gm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_bc2gm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_aml.dir/table2_aml.cpp.o"
+  "CMakeFiles/table2_aml.dir/table2_aml.cpp.o.d"
+  "table2_aml"
+  "table2_aml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_aml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

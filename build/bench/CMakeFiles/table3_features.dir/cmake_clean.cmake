@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_features.dir/table3_features.cpp.o"
+  "CMakeFiles/table3_features.dir/table3_features.cpp.o.d"
+  "table3_features"
+  "table3_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_significance.dir/table5_significance.cpp.o"
+  "CMakeFiles/table5_significance.dir/table5_significance.cpp.o.d"
+  "table5_significance"
+  "table5_significance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_significance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

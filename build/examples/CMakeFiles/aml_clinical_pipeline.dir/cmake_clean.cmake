@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aml_clinical_pipeline.dir/aml_clinical_pipeline.cpp.o"
+  "CMakeFiles/aml_clinical_pipeline.dir/aml_clinical_pipeline.cpp.o.d"
+  "aml_clinical_pipeline"
+  "aml_clinical_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aml_clinical_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

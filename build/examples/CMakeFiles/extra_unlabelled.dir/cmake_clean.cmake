@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_unlabelled.dir/extra_unlabelled.cpp.o"
+  "CMakeFiles/extra_unlabelled.dir/extra_unlabelled.cpp.o.d"
+  "extra_unlabelled"
+  "extra_unlabelled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_unlabelled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphner_tool.dir/graphner_tool.cpp.o"
+  "CMakeFiles/graphner_tool.dir/graphner_tool.cpp.o.d"
+  "graphner_tool"
+  "graphner_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphner_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/bc2gm_io.cpp" "src/CMakeFiles/graphner_corpus.dir/corpus/bc2gm_io.cpp.o" "gcc" "src/CMakeFiles/graphner_corpus.dir/corpus/bc2gm_io.cpp.o.d"
+  "/root/repo/src/corpus/corpus.cpp" "src/CMakeFiles/graphner_corpus.dir/corpus/corpus.cpp.o" "gcc" "src/CMakeFiles/graphner_corpus.dir/corpus/corpus.cpp.o.d"
+  "/root/repo/src/corpus/gene_lexicon.cpp" "src/CMakeFiles/graphner_corpus.dir/corpus/gene_lexicon.cpp.o" "gcc" "src/CMakeFiles/graphner_corpus.dir/corpus/gene_lexicon.cpp.o.d"
+  "/root/repo/src/corpus/generator.cpp" "src/CMakeFiles/graphner_corpus.dir/corpus/generator.cpp.o" "gcc" "src/CMakeFiles/graphner_corpus.dir/corpus/generator.cpp.o.d"
+  "/root/repo/src/corpus/noise.cpp" "src/CMakeFiles/graphner_corpus.dir/corpus/noise.cpp.o" "gcc" "src/CMakeFiles/graphner_corpus.dir/corpus/noise.cpp.o.d"
+  "/root/repo/src/corpus/templates.cpp" "src/CMakeFiles/graphner_corpus.dir/corpus/templates.cpp.o" "gcc" "src/CMakeFiles/graphner_corpus.dir/corpus/templates.cpp.o.d"
+  "/root/repo/src/corpus/wordlists.cpp" "src/CMakeFiles/graphner_corpus.dir/corpus/wordlists.cpp.o" "gcc" "src/CMakeFiles/graphner_corpus.dir/corpus/wordlists.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/graphner_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphner_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphner_corpus.dir/corpus/bc2gm_io.cpp.o"
+  "CMakeFiles/graphner_corpus.dir/corpus/bc2gm_io.cpp.o.d"
+  "CMakeFiles/graphner_corpus.dir/corpus/corpus.cpp.o"
+  "CMakeFiles/graphner_corpus.dir/corpus/corpus.cpp.o.d"
+  "CMakeFiles/graphner_corpus.dir/corpus/gene_lexicon.cpp.o"
+  "CMakeFiles/graphner_corpus.dir/corpus/gene_lexicon.cpp.o.d"
+  "CMakeFiles/graphner_corpus.dir/corpus/generator.cpp.o"
+  "CMakeFiles/graphner_corpus.dir/corpus/generator.cpp.o.d"
+  "CMakeFiles/graphner_corpus.dir/corpus/noise.cpp.o"
+  "CMakeFiles/graphner_corpus.dir/corpus/noise.cpp.o.d"
+  "CMakeFiles/graphner_corpus.dir/corpus/templates.cpp.o"
+  "CMakeFiles/graphner_corpus.dir/corpus/templates.cpp.o.d"
+  "CMakeFiles/graphner_corpus.dir/corpus/wordlists.cpp.o"
+  "CMakeFiles/graphner_corpus.dir/corpus/wordlists.cpp.o.d"
+  "libgraphner_corpus.a"
+  "libgraphner_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphner_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crf/belief_viterbi.cpp" "src/CMakeFiles/graphner_crf.dir/crf/belief_viterbi.cpp.o" "gcc" "src/CMakeFiles/graphner_crf.dir/crf/belief_viterbi.cpp.o.d"
+  "/root/repo/src/crf/feature_index.cpp" "src/CMakeFiles/graphner_crf.dir/crf/feature_index.cpp.o" "gcc" "src/CMakeFiles/graphner_crf.dir/crf/feature_index.cpp.o.d"
+  "/root/repo/src/crf/lbfgs.cpp" "src/CMakeFiles/graphner_crf.dir/crf/lbfgs.cpp.o" "gcc" "src/CMakeFiles/graphner_crf.dir/crf/lbfgs.cpp.o.d"
+  "/root/repo/src/crf/model.cpp" "src/CMakeFiles/graphner_crf.dir/crf/model.cpp.o" "gcc" "src/CMakeFiles/graphner_crf.dir/crf/model.cpp.o.d"
+  "/root/repo/src/crf/state_space.cpp" "src/CMakeFiles/graphner_crf.dir/crf/state_space.cpp.o" "gcc" "src/CMakeFiles/graphner_crf.dir/crf/state_space.cpp.o.d"
+  "/root/repo/src/crf/trainer.cpp" "src/CMakeFiles/graphner_crf.dir/crf/trainer.cpp.o" "gcc" "src/CMakeFiles/graphner_crf.dir/crf/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/graphner_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphner_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

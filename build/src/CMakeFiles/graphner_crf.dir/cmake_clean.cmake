@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphner_crf.dir/crf/belief_viterbi.cpp.o"
+  "CMakeFiles/graphner_crf.dir/crf/belief_viterbi.cpp.o.d"
+  "CMakeFiles/graphner_crf.dir/crf/feature_index.cpp.o"
+  "CMakeFiles/graphner_crf.dir/crf/feature_index.cpp.o.d"
+  "CMakeFiles/graphner_crf.dir/crf/lbfgs.cpp.o"
+  "CMakeFiles/graphner_crf.dir/crf/lbfgs.cpp.o.d"
+  "CMakeFiles/graphner_crf.dir/crf/model.cpp.o"
+  "CMakeFiles/graphner_crf.dir/crf/model.cpp.o.d"
+  "CMakeFiles/graphner_crf.dir/crf/state_space.cpp.o"
+  "CMakeFiles/graphner_crf.dir/crf/state_space.cpp.o.d"
+  "CMakeFiles/graphner_crf.dir/crf/trainer.cpp.o"
+  "CMakeFiles/graphner_crf.dir/crf/trainer.cpp.o.d"
+  "libgraphner_crf.a"
+  "libgraphner_crf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphner_crf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

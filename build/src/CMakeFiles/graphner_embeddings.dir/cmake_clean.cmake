@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphner_embeddings.dir/embeddings/brown.cpp.o"
+  "CMakeFiles/graphner_embeddings.dir/embeddings/brown.cpp.o.d"
+  "CMakeFiles/graphner_embeddings.dir/embeddings/word2vec.cpp.o"
+  "CMakeFiles/graphner_embeddings.dir/embeddings/word2vec.cpp.o.d"
+  "libgraphner_embeddings.a"
+  "libgraphner_embeddings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphner_embeddings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphner_eval.dir/eval/bc2gm_eval.cpp.o"
+  "CMakeFiles/graphner_eval.dir/eval/bc2gm_eval.cpp.o.d"
+  "CMakeFiles/graphner_eval.dir/eval/error_analysis.cpp.o"
+  "CMakeFiles/graphner_eval.dir/eval/error_analysis.cpp.o.d"
+  "libgraphner_eval.a"
+  "libgraphner_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphner_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

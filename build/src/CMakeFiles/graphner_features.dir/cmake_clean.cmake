@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphner_features.dir/features/encoder.cpp.o"
+  "CMakeFiles/graphner_features.dir/features/encoder.cpp.o.d"
+  "CMakeFiles/graphner_features.dir/features/extractor.cpp.o"
+  "CMakeFiles/graphner_features.dir/features/extractor.cpp.o.d"
+  "CMakeFiles/graphner_features.dir/features/mi_selection.cpp.o"
+  "CMakeFiles/graphner_features.dir/features/mi_selection.cpp.o.d"
+  "libgraphner_features.a"
+  "libgraphner_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphner_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

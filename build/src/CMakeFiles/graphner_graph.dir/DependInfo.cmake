@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/graph_stats.cpp" "src/CMakeFiles/graphner_graph.dir/graph/graph_stats.cpp.o" "gcc" "src/CMakeFiles/graphner_graph.dir/graph/graph_stats.cpp.o.d"
+  "/root/repo/src/graph/knn_graph.cpp" "src/CMakeFiles/graphner_graph.dir/graph/knn_graph.cpp.o" "gcc" "src/CMakeFiles/graphner_graph.dir/graph/knn_graph.cpp.o.d"
+  "/root/repo/src/graph/sparse_vector.cpp" "src/CMakeFiles/graphner_graph.dir/graph/sparse_vector.cpp.o" "gcc" "src/CMakeFiles/graphner_graph.dir/graph/sparse_vector.cpp.o.d"
+  "/root/repo/src/graph/trigram.cpp" "src/CMakeFiles/graphner_graph.dir/graph/trigram.cpp.o" "gcc" "src/CMakeFiles/graphner_graph.dir/graph/trigram.cpp.o.d"
+  "/root/repo/src/graph/vertex_features.cpp" "src/CMakeFiles/graphner_graph.dir/graph/vertex_features.cpp.o" "gcc" "src/CMakeFiles/graphner_graph.dir/graph/vertex_features.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/graphner_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphner_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphner_embeddings.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphner_crf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphner_postag.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphner_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphner_graph.dir/graph/graph_stats.cpp.o"
+  "CMakeFiles/graphner_graph.dir/graph/graph_stats.cpp.o.d"
+  "CMakeFiles/graphner_graph.dir/graph/knn_graph.cpp.o"
+  "CMakeFiles/graphner_graph.dir/graph/knn_graph.cpp.o.d"
+  "CMakeFiles/graphner_graph.dir/graph/sparse_vector.cpp.o"
+  "CMakeFiles/graphner_graph.dir/graph/sparse_vector.cpp.o.d"
+  "CMakeFiles/graphner_graph.dir/graph/trigram.cpp.o"
+  "CMakeFiles/graphner_graph.dir/graph/trigram.cpp.o.d"
+  "CMakeFiles/graphner_graph.dir/graph/vertex_features.cpp.o"
+  "CMakeFiles/graphner_graph.dir/graph/vertex_features.cpp.o.d"
+  "libgraphner_graph.a"
+  "libgraphner_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphner_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

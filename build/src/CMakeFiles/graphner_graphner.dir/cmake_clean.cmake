@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphner_graphner.dir/graphner/experiment.cpp.o"
+  "CMakeFiles/graphner_graphner.dir/graphner/experiment.cpp.o.d"
+  "CMakeFiles/graphner_graphner.dir/graphner/inductive.cpp.o"
+  "CMakeFiles/graphner_graphner.dir/graphner/inductive.cpp.o.d"
+  "CMakeFiles/graphner_graphner.dir/graphner/model_io.cpp.o"
+  "CMakeFiles/graphner_graphner.dir/graphner/model_io.cpp.o.d"
+  "CMakeFiles/graphner_graphner.dir/graphner/pipeline.cpp.o"
+  "CMakeFiles/graphner_graphner.dir/graphner/pipeline.cpp.o.d"
+  "CMakeFiles/graphner_graphner.dir/graphner/reference.cpp.o"
+  "CMakeFiles/graphner_graphner.dir/graphner/reference.cpp.o.d"
+  "libgraphner_graphner.a"
+  "libgraphner_graphner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphner_graphner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

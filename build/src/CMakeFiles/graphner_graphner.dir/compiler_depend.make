@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for graphner_graphner.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphner_neural.dir/neural/bilstm_crf.cpp.o"
+  "CMakeFiles/graphner_neural.dir/neural/bilstm_crf.cpp.o.d"
+  "CMakeFiles/graphner_neural.dir/neural/lstm.cpp.o"
+  "CMakeFiles/graphner_neural.dir/neural/lstm.cpp.o.d"
+  "libgraphner_neural.a"
+  "libgraphner_neural.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphner_neural.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphner_postag.dir/postag/hmm_tagger.cpp.o"
+  "CMakeFiles/graphner_postag.dir/postag/hmm_tagger.cpp.o.d"
+  "CMakeFiles/graphner_postag.dir/postag/pos.cpp.o"
+  "CMakeFiles/graphner_postag.dir/postag/pos.cpp.o.d"
+  "libgraphner_postag.a"
+  "libgraphner_postag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphner_postag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for graphner_postag.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphner_propagation.dir/propagation/propagation.cpp.o"
+  "CMakeFiles/graphner_propagation.dir/propagation/propagation.cpp.o.d"
+  "libgraphner_propagation.a"
+  "libgraphner_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphner_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/chi_square.cpp" "src/CMakeFiles/graphner_stats.dir/stats/chi_square.cpp.o" "gcc" "src/CMakeFiles/graphner_stats.dir/stats/chi_square.cpp.o.d"
+  "/root/repo/src/stats/sigf.cpp" "src/CMakeFiles/graphner_stats.dir/stats/sigf.cpp.o" "gcc" "src/CMakeFiles/graphner_stats.dir/stats/sigf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/graphner_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphner_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphner_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphner_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphner_stats.dir/stats/chi_square.cpp.o"
+  "CMakeFiles/graphner_stats.dir/stats/chi_square.cpp.o.d"
+  "CMakeFiles/graphner_stats.dir/stats/sigf.cpp.o"
+  "CMakeFiles/graphner_stats.dir/stats/sigf.cpp.o.d"
+  "libgraphner_stats.a"
+  "libgraphner_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphner_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/annotation.cpp" "src/CMakeFiles/graphner_text.dir/text/annotation.cpp.o" "gcc" "src/CMakeFiles/graphner_text.dir/text/annotation.cpp.o.d"
+  "/root/repo/src/text/bio.cpp" "src/CMakeFiles/graphner_text.dir/text/bio.cpp.o" "gcc" "src/CMakeFiles/graphner_text.dir/text/bio.cpp.o.d"
+  "/root/repo/src/text/conll.cpp" "src/CMakeFiles/graphner_text.dir/text/conll.cpp.o" "gcc" "src/CMakeFiles/graphner_text.dir/text/conll.cpp.o.d"
+  "/root/repo/src/text/lemmatizer.cpp" "src/CMakeFiles/graphner_text.dir/text/lemmatizer.cpp.o" "gcc" "src/CMakeFiles/graphner_text.dir/text/lemmatizer.cpp.o.d"
+  "/root/repo/src/text/sentence.cpp" "src/CMakeFiles/graphner_text.dir/text/sentence.cpp.o" "gcc" "src/CMakeFiles/graphner_text.dir/text/sentence.cpp.o.d"
+  "/root/repo/src/text/tokenizer.cpp" "src/CMakeFiles/graphner_text.dir/text/tokenizer.cpp.o" "gcc" "src/CMakeFiles/graphner_text.dir/text/tokenizer.cpp.o.d"
+  "/root/repo/src/text/vocabulary.cpp" "src/CMakeFiles/graphner_text.dir/text/vocabulary.cpp.o" "gcc" "src/CMakeFiles/graphner_text.dir/text/vocabulary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/graphner_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphner_text.dir/text/annotation.cpp.o"
+  "CMakeFiles/graphner_text.dir/text/annotation.cpp.o.d"
+  "CMakeFiles/graphner_text.dir/text/bio.cpp.o"
+  "CMakeFiles/graphner_text.dir/text/bio.cpp.o.d"
+  "CMakeFiles/graphner_text.dir/text/conll.cpp.o"
+  "CMakeFiles/graphner_text.dir/text/conll.cpp.o.d"
+  "CMakeFiles/graphner_text.dir/text/lemmatizer.cpp.o"
+  "CMakeFiles/graphner_text.dir/text/lemmatizer.cpp.o.d"
+  "CMakeFiles/graphner_text.dir/text/sentence.cpp.o"
+  "CMakeFiles/graphner_text.dir/text/sentence.cpp.o.d"
+  "CMakeFiles/graphner_text.dir/text/tokenizer.cpp.o"
+  "CMakeFiles/graphner_text.dir/text/tokenizer.cpp.o.d"
+  "CMakeFiles/graphner_text.dir/text/vocabulary.cpp.o"
+  "CMakeFiles/graphner_text.dir/text/vocabulary.cpp.o.d"
+  "libgraphner_text.a"
+  "libgraphner_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphner_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphner_util.dir/util/cli.cpp.o"
+  "CMakeFiles/graphner_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/graphner_util.dir/util/histogram.cpp.o"
+  "CMakeFiles/graphner_util.dir/util/histogram.cpp.o.d"
+  "CMakeFiles/graphner_util.dir/util/logging.cpp.o"
+  "CMakeFiles/graphner_util.dir/util/logging.cpp.o.d"
+  "CMakeFiles/graphner_util.dir/util/parallel.cpp.o"
+  "CMakeFiles/graphner_util.dir/util/parallel.cpp.o.d"
+  "CMakeFiles/graphner_util.dir/util/rng.cpp.o"
+  "CMakeFiles/graphner_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/graphner_util.dir/util/strings.cpp.o"
+  "CMakeFiles/graphner_util.dir/util/strings.cpp.o.d"
+  "CMakeFiles/graphner_util.dir/util/table.cpp.o"
+  "CMakeFiles/graphner_util.dir/util/table.cpp.o.d"
+  "libgraphner_util.a"
+  "libgraphner_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphner_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

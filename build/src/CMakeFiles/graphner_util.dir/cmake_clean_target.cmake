@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgraphner_util.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crf.dir/test_crf.cpp.o"
+  "CMakeFiles/test_crf.dir/test_crf.cpp.o.d"
+  "test_crf"
+  "test_crf.pdb"
+  "test_crf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_embeddings.dir/test_embeddings.cpp.o"
+  "CMakeFiles/test_embeddings.dir/test_embeddings.cpp.o.d"
+  "test_embeddings"
+  "test_embeddings.pdb"
+  "test_embeddings[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_embeddings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graphner.dir/test_graphner.cpp.o"
+  "CMakeFiles/test_graphner.dir/test_graphner.cpp.o.d"
+  "test_graphner"
+  "test_graphner.pdb"
+  "test_graphner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graphner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

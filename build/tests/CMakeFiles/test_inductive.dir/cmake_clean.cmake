@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inductive.dir/test_inductive.cpp.o"
+  "CMakeFiles/test_inductive.dir/test_inductive.cpp.o.d"
+  "test_inductive"
+  "test_inductive.pdb"
+  "test_inductive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inductive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_neural.dir/test_neural.cpp.o"
+  "CMakeFiles/test_neural.dir/test_neural.cpp.o.d"
+  "test_neural"
+  "test_neural.pdb"
+  "test_neural[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_neural.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

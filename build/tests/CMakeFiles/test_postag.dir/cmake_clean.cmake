@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_postag.dir/test_postag.cpp.o"
+  "CMakeFiles/test_postag.dir/test_postag.cpp.o.d"
+  "test_postag"
+  "test_postag.pdb"
+  "test_postag[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_postag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

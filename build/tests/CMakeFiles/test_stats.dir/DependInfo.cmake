@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/test_stats.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/graphner_graphner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphner_propagation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphner_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphner_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphner_crf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphner_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphner_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphner_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphner_neural.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphner_embeddings.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphner_postag.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphner_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphner_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
