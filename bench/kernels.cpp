@@ -44,8 +44,9 @@ void BM_ForwardBackward(benchmark::State& state) {
   constexpr std::size_t kFeatures = 5000;
   const auto model = random_model(space, kFeatures, rng);
   const auto sentence = random_sentence(25, kFeatures, rng);
+  crf::LinearChainCrf::Scratch scratch;  // reused, as in the serving loops
   for (auto _ : state) {
-    benchmark::DoNotOptimize(model.posteriors(sentence));
+    benchmark::DoNotOptimize(model.posteriors(sentence, scratch));
   }
   state.SetLabel("order " + std::to_string(state.range(0)));
 }
@@ -58,8 +59,9 @@ void BM_Viterbi(benchmark::State& state) {
   constexpr std::size_t kFeatures = 5000;
   const auto model = random_model(space, kFeatures, rng);
   const auto sentence = random_sentence(25, kFeatures, rng);
+  crf::LinearChainCrf::Scratch scratch;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(model.viterbi(sentence));
+    benchmark::DoNotOptimize(model.viterbi(sentence, scratch));
   }
   state.SetLabel("order " + std::to_string(state.range(0)));
 }
@@ -74,9 +76,10 @@ void BM_CrfGradient(benchmark::State& state) {
   std::vector<text::Tag> tags(25, text::Tag::kO);
   sentence.states = space.encode(tags);
   std::vector<double> grad(model.num_parameters());
+  crf::LinearChainCrf::Scratch scratch;
   for (auto _ : state) {
     std::fill(grad.begin(), grad.end(), 0.0);
-    benchmark::DoNotOptimize(model.log_likelihood(sentence, grad));
+    benchmark::DoNotOptimize(model.log_likelihood(sentence, grad, scratch));
   }
 }
 BENCHMARK(BM_CrfGradient);

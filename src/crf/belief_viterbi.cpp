@@ -1,9 +1,7 @@
 #include "src/crf/belief_viterbi.hpp"
 
+#include <algorithm>
 #include <cassert>
-#include <cmath>
-
-#include "src/util/math.hpp"
 
 namespace graphner::crf {
 
@@ -12,10 +10,6 @@ using text::Tag;
 
 namespace {
 constexpr double kEps = 1e-12;
-
-[[nodiscard]] double safe_log(double p) noexcept {
-  return std::log(p < kEps ? kEps : p);
-}
 }  // namespace
 
 TagTransitionMatrix normalize_transition_counts(const TagTransitionMatrix& counts) {
@@ -60,6 +54,15 @@ namespace {
 
 /// Shared Viterbi core; `transition_at(i)` yields the matrix for the edge
 /// between positions i-1 and i.
+///
+/// Max-product in the linear domain: scores are products of (floored)
+/// beliefs and transition entries, renormalized by the row maximum at every
+/// position so no logarithms are needed and products never overflow. A
+/// uniform per-row rescale preserves the argmax and the backpointers.
+/// Illegal configurations carry an exact score of 0; positive scores are
+/// floored well above the denormal range so a long run of low-probability
+/// (but legal) positions can never collapse to 0 and be mistaken for an
+/// illegal path.
 template <typename TransitionAt>
 std::vector<Tag> belief_viterbi_impl(
     const std::vector<std::array<double, kNumTags>>& beliefs,
@@ -68,35 +71,48 @@ std::vector<Tag> belief_viterbi_impl(
   std::vector<Tag> tags(n);
   if (n == 0) return tags;
 
+  constexpr double kScoreFloor = 1e-280;
   std::vector<std::array<double, kNumTags>> score(n);
   std::vector<std::array<std::size_t, kNumTags>> back(n);
 
   for (std::size_t t = 0; t < kNumTags; ++t) {
     const bool legal_start = text::tag_from_index(t) != Tag::kI;
-    score[0][t] = legal_start ? safe_log(beliefs[0][t]) : util::kNegInf;
+    score[0][t] = legal_start ? std::max(beliefs[0][t], kEps) : 0.0;
   }
   for (std::size_t i = 1; i < n; ++i) {
     const TagTransitionMatrix& transitions = transition_at(i);
+    double row_max = 0.0;
     for (std::size_t t = 0; t < kNumTags; ++t) {
-      double best = util::kNegInf;
+      double best = 0.0;
       std::size_t arg = 0;
       for (std::size_t p = 0; p < kNumTags; ++p) {
         if (text::is_illegal_transition(text::tag_from_index(p),
                                         text::tag_from_index(t)))
           continue;
-        const double cand = score[i - 1][p] + safe_log(transitions[p * kNumTags + t]);
+        const double cand =
+            score[i - 1][p] * std::max(transitions[p * kNumTags + t], kEps);
         if (cand > best) {
           best = cand;
           arg = p;
         }
       }
-      score[i][t] = best + safe_log(beliefs[i][t]);
+      const double v = best * std::max(beliefs[i][t], kEps);
+      score[i][t] = v;
       back[i][t] = arg;
+      row_max = std::max(row_max, v);
+    }
+    if (row_max > 0.0) {
+      const double inv = 1.0 / row_max;
+      for (std::size_t t = 0; t < kNumTags; ++t) {
+        double& v = score[i][t];
+        v *= inv;
+        if (v > 0.0 && v < kScoreFloor) v = kScoreFloor;
+      }
     }
   }
 
   std::size_t cur = 0;
-  double best = util::kNegInf;
+  double best = -1.0;
   for (std::size_t t = 0; t < kNumTags; ++t) {
     if (score[n - 1][t] > best) {
       best = score[n - 1][t];

@@ -4,12 +4,24 @@
 //   * emission weights  — one per (feature id, state): w_emit[f * S + s]
 //   * transition weights — one per legal (from, to) pair
 //   * start weights      — one per legal start state
-// Inference runs in log space throughout; sentences are short (tens of
-// tokens) and the state count is 3 or 9, so log-space costs are negligible
-// next to feature extraction.
+//
+// Forward-backward runs in the scaled linear domain (per-position scaling
+// constants, CRFsuite-style): emission scores are exponentiated once per
+// position after subtracting the row maximum, transition/start weights are
+// exponentiated once per set_weights(), and the O(n * |transitions|) inner
+// loops are plain multiply-adds over the StateSpace CSR tables. If a scaling
+// constant ever degenerates (all reachable states underflow at a position),
+// the affected sentence transparently falls back to the log-space
+// recurrences, so results match log-space inference to rounding error.
+// Viterbi is max-sum and stays in the log domain.
+//
+// All per-sentence buffers live in a caller-supplied Scratch so hot loops
+// (L-BFGS objective evaluations, corpus-wide posterior extraction) perform
+// zero per-sentence heap allocation once the scratch is warm.
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -32,14 +44,33 @@ struct SentencePosteriors {
 
 class LinearChainCrf {
  public:
+  /// Reusable per-worker lattice buffers. Treat as opaque: default-construct
+  /// one per worker thread, pass it to the inference entry points, and reuse
+  /// it across sentences of any length — buffers grow to the largest
+  /// sentence seen and are then recycled without further allocation.
+  struct Scratch {
+    std::vector<double> emit;   ///< n x S log-domain emission scores
+    std::vector<double> psi;    ///< n x S exp(emit - row max)
+    std::vector<double> alpha;  ///< n x S scaled forward (rows sum to 1)
+    std::vector<double> beta;   ///< n x S scaled backward
+    std::vector<double> scale;  ///< n per-position scale sums z_i
+    std::vector<double> node;   ///< n x S node marginals p(state at i)
+    std::vector<double> pair;   ///< n x T edge marginals, row 0 unused
+    std::vector<double> tmp;    ///< S inner-loop staging
+    std::vector<double> vscore; ///< n x S Viterbi scores (log domain)
+    std::vector<StateId> vback; ///< n x S Viterbi backpointers
+    double log_z = 0.0;
+  };
+
   LinearChainCrf(StateSpace space, std::size_t num_features);
 
   [[nodiscard]] const StateSpace& space() const noexcept { return space_; }
   [[nodiscard]] std::size_t num_features() const noexcept { return num_features_; }
   [[nodiscard]] std::size_t num_parameters() const noexcept { return weights_.size(); }
 
-  [[nodiscard]] std::span<double> weights() noexcept { return weights_; }
   [[nodiscard]] std::span<const double> weights() const noexcept { return weights_; }
+  /// Replace all weights; also refreshes the cached exponentiated
+  /// transition/start tables (the only supported way to mutate weights).
   void set_weights(std::span<const double> w);
 
   /// Emission lattice: out[i * S + s] = sum of active feature weights.
@@ -48,10 +79,14 @@ class LinearChainCrf {
 
   /// Conditional log-likelihood of the gold states; if `grad` is non-null,
   /// accumulates d(logL)/dw into it (same layout as weights()).
+  double log_likelihood(const EncodedSentence& sentence, std::span<double> grad,
+                        Scratch& scratch) const;
   double log_likelihood(const EncodedSentence& sentence,
                         std::span<double> grad = {}) const;
 
   /// Tag-level posterior marginals (states folded down to tags).
+  SentencePosteriors posteriors(const EncodedSentence& sentence,
+                                Scratch& scratch) const;
   [[nodiscard]] SentencePosteriors posteriors(const EncodedSentence& sentence) const;
 
   /// Expected tag-bigram counts E[count(t at i-1, t' at i)] summed over the
@@ -59,9 +94,15 @@ class LinearChainCrf {
   /// derive the tag-transition matrix GraphNER's final Viterbi consumes.
   void accumulate_tag_transition_expectations(
       const EncodedSentence& sentence,
+      std::array<double, text::kNumTags * text::kNumTags>& counts,
+      Scratch& scratch) const;
+  void accumulate_tag_transition_expectations(
+      const EncodedSentence& sentence,
       std::array<double, text::kNumTags * text::kNumTags>& counts) const;
 
   /// MAP decode to tags.
+  std::vector<text::Tag> viterbi(const EncodedSentence& sentence,
+                                 Scratch& scratch) const;
   [[nodiscard]] std::vector<text::Tag> viterbi(const EncodedSentence& sentence) const;
 
   // --- weight slot helpers (shared with the trainer) ---
@@ -76,18 +117,38 @@ class LinearChainCrf {
   }
 
  private:
-  struct Lattice {
-    std::vector<double> emit;     ///< n x S
-    std::vector<double> alpha;    ///< n x S, log forward
-    std::vector<double> beta;     ///< n x S, log backward
-    double log_z = 0.0;
-  };
-
-  void run_forward_backward(const EncodedSentence& sentence, Lattice& lat) const;
+  /// Scaled linear-domain forward-backward. Postcondition (shared with the
+  /// log-space fallback): sc.log_z, sc.node (n x S node marginals) and
+  /// sc.pair (n x |transitions()| edge marginals, row 0 unused) are filled;
+  /// everything else in the scratch is internal workspace.
+  void run_forward_backward(const EncodedSentence& sentence, Scratch& sc) const;
+  /// Log-space recurrences for sentences whose scaled lattice degenerates
+  /// (a position where the forward row underflows behind a constraint).
+  /// Fills node/pair directly from the log-domain lattice: the factored
+  /// scaled representation cannot express forward/backward masses whose
+  /// ratios exceed the double range even when their products (the
+  /// marginals) are ordinary probabilities.
+  void run_forward_backward_logspace(const EncodedSentence& sentence,
+                                     Scratch& sc) const;
+  /// Recompute exp(transition)/exp(start) caches after a weight change.
+  void rebuild_weight_caches();
 
   StateSpace space_;
   std::size_t num_features_;
   std::vector<double> weights_;  ///< [emission | transition | start]
+
+  // Weight-derived caches, rebuilt by set_weights(). exp() of a transition
+  // or start weight; per-edge copies follow the CSR edge order so the inner
+  // loops stream through them linearly.
+  std::vector<double> exp_trans_slot_;  ///< per transition slot
+  std::vector<double> exp_trans_in_;    ///< incoming CSR edge order
+  std::vector<double> exp_trans_out_;   ///< outgoing CSR edge order
+  std::vector<double> trans_in_;        ///< raw weights, incoming CSR order
+  std::vector<double> exp_start_;       ///< per state; 0 for illegal starts
+
+  // Space-derived lookup tables, built once in the constructor.
+  std::vector<std::uint8_t> state_tag_idx_;   ///< tag index per state
+  std::vector<std::uint8_t> slot_tag_pair_;   ///< tag_from * kNumTags + tag_to
 };
 
 }  // namespace graphner::crf

@@ -1,7 +1,5 @@
 #include "src/crf/state_space.hpp"
 
-#include <cassert>
-
 namespace graphner::crf {
 
 using text::Tag;
@@ -65,21 +63,29 @@ StateSpace StateSpace::order2() {
 
 void StateSpace::finalize() {
   const std::size_t n = num_states();
-  incoming_.assign(n, {});
-  outgoing_.assign(n, {});
+  const std::size_t e = transitions_.size();
   slot_.assign(n * n, -1);
-  for (std::size_t i = 0; i < transitions_.size(); ++i) {
+  in_offsets_.assign(n + 1, 0);
+  out_offsets_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < e; ++i) {
     const auto& t = transitions_[i];
-    incoming_[t.to].push_back(t.from);
-    outgoing_[t.from].push_back(t.to);
     slot_[t.from * n + t.to] = static_cast<std::int32_t>(i);
+    ++in_offsets_[t.to + 1];
+    ++out_offsets_[t.from + 1];
   }
-}
-
-std::size_t StateSpace::transition_slot(StateId from, StateId to) const {
-  const std::int32_t slot = slot_[from * num_states() + to];
-  assert(slot >= 0 && "illegal transition queried");
-  return static_cast<std::size_t>(slot);
+  for (std::size_t s = 0; s < n; ++s) {
+    in_offsets_[s + 1] += in_offsets_[s];
+    out_offsets_[s + 1] += out_offsets_[s];
+  }
+  in_edges_.resize(e);
+  out_edges_.resize(e);
+  std::vector<std::uint32_t> in_fill(in_offsets_.begin(), in_offsets_.end() - 1);
+  std::vector<std::uint32_t> out_fill(out_offsets_.begin(), out_offsets_.end() - 1);
+  for (std::size_t i = 0; i < e; ++i) {
+    const auto& t = transitions_[i];
+    in_edges_[in_fill[t.to]++] = {t.from, static_cast<std::uint16_t>(i)};
+    out_edges_[out_fill[t.from]++] = {t.to, static_cast<std::uint16_t>(i)};
+  }
 }
 
 std::vector<StateId> StateSpace::encode(const std::vector<Tag>& tags) const {

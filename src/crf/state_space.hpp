@@ -6,9 +6,16 @@
 // (a,b) -> (c,d) is legal iff b == c, so the chain over pair-states encodes
 // a second-order dependency while the inference code stays first-order.
 // Both spaces also bake in the BIO constraint (no I directly after O).
+//
+// The legal transition structure is exposed as two CSR tables built once in
+// finalize(): for each state, a contiguous run of (neighbour state,
+// transition slot) edges, indexed by an offsets array. The inference inner
+// loops walk these runs linearly — no jagged vector-of-vectors indirection
+// and no per-edge slot lookup.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/text/tag.hpp"
@@ -20,6 +27,13 @@ using StateId = std::uint16_t;
 struct Transition {
   StateId from = 0;
   StateId to = 0;
+};
+
+/// One CSR entry: the neighbouring state of an edge plus the index of its
+/// transition parameter (the edge's position in transitions()).
+struct CsrEdge {
+  StateId state = 0;
+  std::uint16_t slot = 0;
 };
 
 class StateSpace {
@@ -39,16 +53,38 @@ class StateSpace {
   [[nodiscard]] const std::vector<StateId>& start_states() const noexcept {
     return starts_;
   }
-  /// Incoming legal transitions per state (for forward passes).
-  [[nodiscard]] const std::vector<std::vector<StateId>>& incoming() const noexcept {
-    return incoming_;
+
+  // --- CSR transition tables (forward walks incoming, backward outgoing) ---
+
+  /// Incoming edges of `to`: contiguous (from state, slot) pairs.
+  [[nodiscard]] std::span<const CsrEdge> incoming_edges(StateId to) const noexcept {
+    return {in_edges_.data() + in_offsets_[to],
+            in_edges_.data() + in_offsets_[to + 1]};
   }
-  /// Outgoing legal transitions per state (for backward passes).
-  [[nodiscard]] const std::vector<std::vector<StateId>>& outgoing() const noexcept {
-    return outgoing_;
+  /// Outgoing edges of `from`: contiguous (to state, slot) pairs.
+  [[nodiscard]] std::span<const CsrEdge> outgoing_edges(StateId from) const noexcept {
+    return {out_edges_.data() + out_offsets_[from],
+            out_edges_.data() + out_offsets_[from + 1]};
   }
+  /// Whole incoming table; incoming_offsets()[s] .. [s+1] delimits state s.
+  /// Global edge indices into this table align with per-edge weight caches.
+  [[nodiscard]] const std::vector<CsrEdge>& incoming_edges() const noexcept {
+    return in_edges_;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& incoming_offsets() const noexcept {
+    return in_offsets_;
+  }
+  [[nodiscard]] const std::vector<CsrEdge>& outgoing_edges() const noexcept {
+    return out_edges_;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& outgoing_offsets() const noexcept {
+    return out_offsets_;
+  }
+
   /// Dense transition-parameter slot for (from, to); one weight per legal pair.
-  [[nodiscard]] std::size_t transition_slot(StateId from, StateId to) const;
+  [[nodiscard]] std::size_t transition_slot(StateId from, StateId to) const noexcept {
+    return static_cast<std::size_t>(slot_[from * num_states() + to]);
+  }
 
   /// Map a gold tag sequence to the state sequence this space uses.
   [[nodiscard]] std::vector<StateId> encode(const std::vector<text::Tag>& tags) const;
@@ -58,9 +94,13 @@ class StateSpace {
   std::vector<text::Tag> state_tag_;
   std::vector<Transition> transitions_;
   std::vector<StateId> starts_;
-  std::vector<std::vector<StateId>> incoming_;
-  std::vector<std::vector<StateId>> outgoing_;
   std::vector<std::int32_t> slot_;  ///< num_states^2 lookup, -1 = illegal
+
+  // CSR adjacency, built once in finalize().
+  std::vector<std::uint32_t> in_offsets_;   ///< num_states + 1
+  std::vector<CsrEdge> in_edges_;           ///< grouped by to-state
+  std::vector<std::uint32_t> out_offsets_;  ///< num_states + 1
+  std::vector<CsrEdge> out_edges_;          ///< grouped by from-state
 
   void finalize();
 };

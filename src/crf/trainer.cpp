@@ -18,6 +18,9 @@ TrainReport train_crf(LinearChainCrf& model, const Batch& batch,
   struct Partial {
     double neg_log_likelihood = 0.0;
     std::vector<double> grad;
+    /// Lattice buffers reused across every sentence this worker scores, so
+    /// L-BFGS objective evaluations do no per-sentence heap allocation.
+    LinearChainCrf::Scratch scratch;
   };
 
   // Negative regularized conditional log-likelihood and its gradient.
@@ -31,7 +34,8 @@ TrainReport train_crf(LinearChainCrf& model, const Batch& batch,
         std::size_t{0}, batch.size(), std::move(init),
         [&](Partial& acc, std::size_t i) {
           // log_likelihood adds d(logL)/dw; we negate at the end.
-          acc.neg_log_likelihood -= model.log_likelihood(batch[i], acc.grad);
+          acc.neg_log_likelihood -=
+              model.log_likelihood(batch[i], acc.grad, acc.scratch);
         },
         [](Partial& lhs, const Partial& rhs) {
           lhs.neg_log_likelihood += rhs.neg_log_likelihood;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <istream>
 #include <ostream>
+#include <stdexcept>
+#include <string>
 
 #include "src/util/logging.hpp"
 #include "src/util/parallel.hpp"
@@ -31,12 +33,30 @@ void KnnGraph::save(std::ostream& out) const {
 KnnGraph KnnGraph::load(std::istream& in) {
   std::size_t vertices = 0;
   std::size_t k = 0;
-  in >> vertices >> k;
+  if (!(in >> vertices >> k))
+    throw std::runtime_error("knn graph: malformed header (expected `vertices k`)");
   KnnGraph graph(vertices, k);
   std::size_t src = 0;
+  std::size_t record = 0;
   Edge edge;
-  while (in >> src >> edge.target >> edge.weight)
-    graph.edges_.at(src).push_back(edge);
+  while (in >> src) {
+    if (!(in >> edge.target >> edge.weight))
+      throw std::runtime_error("knn graph: truncated or malformed edge record " +
+                               std::to_string(record));
+    if (src >= vertices || edge.target >= vertices)
+      throw std::runtime_error("knn graph: edge record " + std::to_string(record) +
+                               " references vertex out of range (" +
+                               std::to_string(src) + " -> " +
+                               std::to_string(edge.target) + ", vertices=" +
+                               std::to_string(vertices) + ")");
+    graph.edges_[src].push_back(edge);
+    ++record;
+  }
+  // The loop may stop either at a clean end-of-stream or on a token that is
+  // not a vertex id (e.g. text garbage); only the former is a valid file.
+  if (!in.eof())
+    throw std::runtime_error("knn graph: unparseable data after edge record " +
+                             std::to_string(record));
   return graph;
 }
 

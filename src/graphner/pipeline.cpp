@@ -87,11 +87,14 @@ GraphNerModel GraphNerModel::train(const std::vector<text::Sentence>& labelled,
 std::vector<std::vector<text::Tag>> GraphNerModel::decode_crf(
     const std::vector<text::Sentence>& sentences) const {
   std::vector<std::vector<text::Tag>> out(sentences.size());
-  util::parallel_for(0, sentences.size(), [&](std::size_t i) {
-    if (sentences[i].size() == 0) return;
-    const auto encoded =
-        features::encode_for_inference(sentences[i], *extractor_, *index_);
-    out[i] = crf_->viterbi(encoded);
+  util::parallel_for_chunked(0, sentences.size(), [&](std::size_t lo, std::size_t hi) {
+    crf::LinearChainCrf::Scratch scratch;  // reused across the worker's chunk
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (sentences[i].size() == 0) continue;
+      const auto encoded =
+          features::encode_for_inference(sentences[i], *extractor_, *index_);
+      out[i] = crf_->viterbi(encoded, scratch);
+    }
   });
   return out;
 }
@@ -125,6 +128,7 @@ GraphNerModel::TestContext GraphNerModel::prepare(
 
   struct InferenceAcc {
     crf::TagTransitionMatrix counts{};
+    crf::LinearChainCrf::Scratch scratch;  // per-worker reusable lattice
   };
   const InferenceAcc acc = util::parallel_reduce(
       std::size_t{0}, all.size(), InferenceAcc{},
@@ -132,10 +136,16 @@ GraphNerModel::TestContext GraphNerModel::prepare(
         if (all[i]->size() == 0) return;
         const auto encoded =
             features::encode_for_inference(*all[i], *extractor_, *index_);
-        context.posteriors[i] = crf_->posteriors(encoded);
-        crf_->accumulate_tag_transition_expectations(encoded, local.counts);
+        context.posteriors[i] = crf_->posteriors(encoded, local.scratch);
+        // The pairwise tag marginals are the per-edge transition
+        // expectations, so summing them gives the expected bigram counts
+        // without a second forward-backward pass.
+        for (std::size_t p = 1; p < context.posteriors[i].pairwise_marginals.size(); ++p)
+          for (std::size_t j = 0; j < local.counts.size(); ++j)
+            local.counts[j] += context.posteriors[i].pairwise_marginals[p][j];
         if (i >= labelled.size() && i < labelled.size() + test.size())
-          context.baseline_tags[i - labelled.size()] = crf_->viterbi(encoded);
+          context.baseline_tags[i - labelled.size()] =
+              crf_->viterbi(encoded, local.scratch);
       },
       [](InferenceAcc& lhs, const InferenceAcc& rhs) {
         for (std::size_t j = 0; j < lhs.counts.size(); ++j)

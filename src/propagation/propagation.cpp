@@ -17,28 +17,38 @@ double propagation_loss(const graph::KnnGraph& graph,
   assert(reference.size() == n && is_labelled.size() == n);
   const LabelDistribution u = uniform_distribution();
 
-  double seed_term = 0.0;
-  double smooth_term = 0.0;
-  double prior_term = 0.0;
-  for (std::size_t v = 0; v < n; ++v) {
-    if (is_labelled[v]) {
-      for (std::size_t y = 0; y < kNumTags; ++y) {
-        const double d = x[v][y] - reference[v][y];
-        seed_term += d * d;
-      }
-    }
-    for (const auto& edge : graph.neighbours(static_cast<graph::VertexId>(v))) {
-      for (std::size_t y = 0; y < kNumTags; ++y) {
-        const double d = x[v][y] - x[edge.target][y];
-        smooth_term += edge.weight * d * d;
-      }
-    }
-    for (std::size_t y = 0; y < kNumTags; ++y) {
-      const double d = x[v][y] - u[y];
-      prior_term += d * d;
-    }
-  }
-  return seed_term + config.mu * smooth_term + config.nu * prior_term;
+  // Each term only reads x, so the sum splits cleanly across workers.
+  struct Terms {
+    double seed = 0.0;
+    double smooth = 0.0;
+    double prior = 0.0;
+  };
+  const Terms total = util::parallel_reduce(
+      std::size_t{0}, n, Terms{},
+      [&](Terms& acc, std::size_t v) {
+        if (is_labelled[v]) {
+          for (std::size_t y = 0; y < kNumTags; ++y) {
+            const double d = x[v][y] - reference[v][y];
+            acc.seed += d * d;
+          }
+        }
+        for (const auto& edge : graph.neighbours(static_cast<graph::VertexId>(v))) {
+          for (std::size_t y = 0; y < kNumTags; ++y) {
+            const double d = x[v][y] - x[edge.target][y];
+            acc.smooth += edge.weight * d * d;
+          }
+        }
+        for (std::size_t y = 0; y < kNumTags; ++y) {
+          const double d = x[v][y] - u[y];
+          acc.prior += d * d;
+        }
+      },
+      [](Terms& lhs, const Terms& rhs) {
+        lhs.seed += rhs.seed;
+        lhs.smooth += rhs.smooth;
+        lhs.prior += rhs.prior;
+      });
+  return total.seed + config.mu * total.smooth + config.nu * total.prior;
 }
 
 PropagationResult propagate(const graph::KnnGraph& graph,
@@ -75,8 +85,12 @@ PropagationResult propagate(const graph::KnnGraph& graph,
       }
     });
     result.distributions.swap(next);
-    result.loss_per_iteration.push_back(propagation_loss(
-        graph, result.distributions, reference, is_labelled, config));
+    const bool monitor =
+        config.loss_every > 0 && ((iter + 1) % config.loss_every == 0 ||
+                                  iter + 1 == config.iterations);
+    if (monitor)
+      result.loss_per_iteration.push_back(propagation_loss(
+          graph, result.distributions, reference, is_labelled, config));
   }
   return result;
 }

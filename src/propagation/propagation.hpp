@@ -30,12 +30,18 @@ struct PropagationConfig {
   double mu = 1e-6;          ///< neighbour-agreement weight
   double nu = 1e-6;          ///< uniform-prior weight
   std::size_t iterations = 3;
+  /// Evaluate the loss after every `loss_every`-th sweep (and always after
+  /// the final one). The loss is diagnostic only — it costs a full pass over
+  /// the graph's edges — so monitoring can be thinned out or, with 0,
+  /// disabled entirely.
+  std::size_t loss_every = 1;
 };
 
 struct PropagationResult {
   std::vector<LabelDistribution> distributions;
-  /// Loss after each sweep (length == iterations); monotone non-increasing
-  /// in exact arithmetic for Gauss-Seidel, near-monotone for Jacobi.
+  /// Loss after each monitored sweep (every `loss_every`-th and the final
+  /// one; empty when loss_every == 0). Monotone non-increasing in exact
+  /// arithmetic for Gauss-Seidel, near-monotone for Jacobi.
   std::vector<double> loss_per_iteration;
 };
 

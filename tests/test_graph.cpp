@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 
 #include "src/features/extractor.hpp"
 #include "src/graph/graph_stats.hpp"
@@ -131,6 +132,42 @@ TEST(KnnGraph, SaveLoadRoundtrip) {
       EXPECT_FLOAT_EQ(a[j].weight, b[j].weight);
     }
   }
+}
+
+TEST(KnnGraph, LoadRejectsMalformedHeader) {
+  std::stringstream buffer("not-a-number 4\n");
+  EXPECT_THROW(KnnGraph::load(buffer), std::runtime_error);
+  std::stringstream empty;
+  EXPECT_THROW(KnnGraph::load(empty), std::runtime_error);
+}
+
+TEST(KnnGraph, LoadRejectsOutOfRangeVertices) {
+  // Source beyond the declared vertex count.
+  std::stringstream bad_src("3 2\n0 1 0.5\n7 0 0.25\n");
+  EXPECT_THROW(KnnGraph::load(bad_src), std::runtime_error);
+  // Target beyond the declared vertex count.
+  std::stringstream bad_target("3 2\n0 1 0.5\n1 9 0.25\n");
+  EXPECT_THROW(KnnGraph::load(bad_target), std::runtime_error);
+}
+
+TEST(KnnGraph, LoadRejectsTruncatedOrGarbageRecords) {
+  // Record cut off mid-way: source present, target/weight missing.
+  std::stringstream truncated("3 2\n0 1 0.5\n1\n");
+  EXPECT_THROW(KnnGraph::load(truncated), std::runtime_error);
+  // Weight field missing from the final record.
+  std::stringstream no_weight("3 2\n0 1 0.5\n1 2\n");
+  EXPECT_THROW(KnnGraph::load(no_weight), std::runtime_error);
+  // Non-numeric trailing line must not be silently ignored.
+  std::stringstream garbage("3 2\n0 1 0.5\ncorrupt trailing line\n");
+  EXPECT_THROW(KnnGraph::load(garbage), std::runtime_error);
+}
+
+TEST(KnnGraph, LoadAcceptsEdgelessGraph) {
+  std::stringstream buffer("4 2\n");
+  const auto graph = KnnGraph::load(buffer);
+  EXPECT_EQ(graph.vertex_count(), 4U);
+  EXPECT_EQ(graph.k(), 2U);
+  EXPECT_EQ(graph.edge_count(), 0U);
 }
 
 TEST(KnnGraph, HighDfFeaturesSkipped) {

@@ -127,6 +127,48 @@ TEST(Propagation, ZeroIterationsIsIdentity) {
   EXPECT_TRUE(result.loss_per_iteration.empty());
 }
 
+TEST(Propagation, LossEveryThinsMonitoring) {
+  const auto graph = chain_graph(6);
+  std::vector<LabelDistribution> x(6, uniform_distribution());
+  std::vector<LabelDistribution> ref(6, uniform_distribution());
+  std::vector<bool> labelled(6, false);
+  labelled[0] = true;
+  ref[0] = dist(1, 0, 0);
+
+  PropagationConfig config{0.3, 0.05, 8};
+  config.loss_every = 3;
+  // 8 sweeps, monitored after sweeps 3, 6 and (always) the final 8th.
+  const auto thinned = propagate(graph, x, ref, labelled, config);
+  ASSERT_EQ(thinned.loss_per_iteration.size(), 3U);
+
+  // The thinned series must be a subsequence of the per-sweep series.
+  config.loss_every = 1;
+  const auto full = propagate(graph, x, ref, labelled, config);
+  ASSERT_EQ(full.loss_per_iteration.size(), 8U);
+  EXPECT_EQ(thinned.distributions, full.distributions);
+  EXPECT_DOUBLE_EQ(thinned.loss_per_iteration[0], full.loss_per_iteration[2]);
+  EXPECT_DOUBLE_EQ(thinned.loss_per_iteration[1], full.loss_per_iteration[5]);
+  EXPECT_DOUBLE_EQ(thinned.loss_per_iteration[2], full.loss_per_iteration[7]);
+}
+
+TEST(Propagation, LossEveryZeroDisablesMonitoring) {
+  const auto graph = chain_graph(5);
+  std::vector<LabelDistribution> x(5, uniform_distribution());
+  std::vector<LabelDistribution> ref(5, uniform_distribution());
+  std::vector<bool> labelled(5, false);
+  labelled[2] = true;
+  ref[2] = dist(0, 1, 0);
+
+  PropagationConfig config{0.3, 0.05, 4};
+  config.loss_every = 0;
+  const auto result = propagate(graph, x, ref, labelled, config);
+  EXPECT_TRUE(result.loss_per_iteration.empty());
+
+  config.loss_every = 1;
+  const auto monitored = propagate(graph, x, ref, labelled, config);
+  EXPECT_EQ(result.distributions, monitored.distributions);
+}
+
 /// Property sweep: for random graphs and hyper-parameters, the closed-form
 /// update (eq. 2) never increases the loss when applied as a full sweep
 /// more than a tiny numerical tolerance.
