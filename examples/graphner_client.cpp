@@ -1,0 +1,115 @@
+// Line-protocol client for graphner_serve.
+//
+//   graphner_client --port 8765 --input sents.txt --concurrency 4
+//       tag a file (one space-tokenized sentence per line); responses are
+//       printed to stdout in input order regardless of concurrency
+//   graphner_client --port 8765 --metrics
+//       fetch the server's metrics JSON
+//
+// With --concurrency N the lines are striped over N connections, each of
+// which pipelines a window of requests — that is what drives the server's
+// micro-batcher from a single client process.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "src/serve/socket_server.hpp"
+#include "src/util/cli.hpp"
+
+namespace {
+
+using namespace graphner;
+
+constexpr std::size_t kPipelineWindow = 64;
+
+std::vector<std::string> read_lines(std::istream& in) {
+  std::vector<std::string> out;
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli("graphner_client", "tagging client for graphner_serve");
+  auto host = cli.flag<std::string>("host", "127.0.0.1", "server host");
+  auto port = cli.flag<std::uint16_t>("port", 8765, "server port");
+  auto input = cli.flag<std::string>("input", "-", "sentence file ('-' = stdin)");
+  auto concurrency = cli.flag<std::size_t>("concurrency", 1, "parallel connections");
+  auto retries = cli.flag<int>("retries", 20, "connect retries (100 ms apart)");
+  auto metrics = cli.toggle("metrics", "fetch the server metrics JSON and exit");
+  cli.parse(argc, argv);
+
+  try {
+    if (*metrics) {
+      serve::ClientConnection connection;
+      connection.connect(*host, *port, *retries);
+      connection.send_line("#METRICS");
+      std::string line;
+      if (!connection.recv_line(line))
+        throw std::runtime_error("server closed before answering #METRICS");
+      std::cout << line << '\n';
+      return 0;
+    }
+
+    std::vector<std::string> lines;
+    if (*input == "-") {
+      lines = read_lines(std::cin);
+    } else {
+      std::ifstream file(*input);
+      if (!file) throw std::runtime_error("cannot read " + *input);
+      lines = read_lines(file);
+    }
+
+    const std::size_t connections = std::max<std::size_t>(1, *concurrency);
+    std::vector<std::string> responses(lines.size());
+    std::vector<std::thread> threads;
+    std::vector<std::string> errors(connections);
+    threads.reserve(connections);
+
+    for (std::size_t c = 0; c < connections; ++c) {
+      threads.emplace_back([&, c] {
+        try {
+          serve::ClientConnection connection;
+          connection.connect(*host, *port, *retries);
+          // This connection owns lines c, c + connections, c + 2*connections...
+          std::vector<std::size_t> mine;
+          for (std::size_t i = c; i < lines.size(); i += connections)
+            mine.push_back(i);
+          // Pipelined windows: write up to kPipelineWindow requests ahead,
+          // then read their responses (bounded so neither socket buffer
+          // can fill up in both directions at once).
+          for (std::size_t begin = 0; begin < mine.size();
+               begin += kPipelineWindow) {
+            const std::size_t end =
+                std::min(begin + kPipelineWindow, mine.size());
+            for (std::size_t k = begin; k < end; ++k)
+              connection.send_line("line" + std::to_string(mine[k]) + "\t" +
+                                   lines[mine[k]]);
+            for (std::size_t k = begin; k < end; ++k) {
+              std::string response;
+              if (!connection.recv_line(response))
+                throw std::runtime_error("connection closed mid-stream");
+              responses[mine[k]] = std::move(response);
+            }
+          }
+        } catch (const std::exception& e) {
+          errors[c] = e.what();
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    for (const auto& error : errors)
+      if (!error.empty()) throw std::runtime_error(error);
+
+    for (const auto& response : responses) std::cout << response << '\n';
+  } catch (const std::exception& e) {
+    std::cerr << "graphner_client: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Always-on tagging server over a trained GraphNerModel.
+//
+//   graphner_serve --dir corpus/ --save-model m.gnm          train + serve
+//   graphner_serve --load-model m.gnm --port 8765            serve a saved model
+//   graphner_serve --load-model m.gnm --offline sents.txt    no server: tag the
+//       file (one space-tokenized sentence per line) and print the exact
+//       response lines a client would see — the CI smoke test diffs this
+//       against graphner_client output to prove online == offline.
+//
+// SIGINT/SIGTERM trigger a graceful stop: the listener closes, queued
+// requests drain, and the final metrics JSON is printed to stderr.
+#include <atomic>
+#include <csignal>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "src/corpus/bc2gm_io.hpp"
+#include "src/graphner/pipeline.hpp"
+#include "src/serve/protocol.hpp"
+#include "src/serve/socket_server.hpp"
+#include "src/util/cli.hpp"
+
+namespace {
+
+using namespace graphner;
+
+std::atomic<int> g_signal{0};
+
+void handle_signal(int sig) { g_signal.store(sig); }
+
+core::GraphNerModel obtain_model(const std::string& load_path,
+                                 const std::string& corpus_dir,
+                                 const std::string& profile) {
+  if (!load_path.empty()) {
+    std::ifstream in(load_path);
+    if (!in) throw std::runtime_error("cannot read model " + load_path);
+    return core::GraphNerModel::load(in);
+  }
+  const auto data = corpus::load_corpus(corpus_dir);
+  core::GraphNerConfig config;
+  config.profile = (profile == "chemdner") ? core::CrfProfile::kBannerChemDner
+                                           : core::CrfProfile::kBanner;
+  std::vector<text::Sentence> unlabelled;
+  for (const auto& s : data.test) {
+    text::Sentence stripped;
+    stripped.id = s.id;
+    stripped.tokens = s.tokens;
+    unlabelled.push_back(std::move(stripped));
+  }
+  return core::GraphNerModel::train(data.train, unlabelled, config);
+}
+
+/// One sentence per line, whitespace-tokenized; ids are line<N> to match
+/// graphner_client's numbering.
+std::vector<text::Sentence> read_sentence_lines(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::vector<text::Sentence> out;
+  std::string line;
+  std::size_t index = 0;
+  while (std::getline(in, line)) {
+    text::Sentence sentence;
+    sentence.id = "line" + std::to_string(index++);
+    std::istringstream tokens(line);
+    std::string token;
+    while (tokens >> token) sentence.tokens.push_back(std::move(token));
+    out.push_back(std::move(sentence));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli("graphner_serve", "concurrent batched tagging server");
+  auto dir = cli.flag<std::string>("dir", "corpus_out", "corpus directory (training)");
+  auto profile = cli.flag<std::string>("profile", "banner", "banner | chemdner");
+  auto load_model = cli.flag<std::string>("load-model", "", "serve a saved model");
+  auto save_model = cli.flag<std::string>("save-model", "", "persist after training");
+  auto offline = cli.flag<std::string>(
+      "offline", "", "tag this sentence file offline and exit (no server)");
+  auto port = cli.flag<std::uint16_t>("port", 8765, "TCP port (0 = ephemeral)");
+  auto workers = cli.flag<std::size_t>("workers", 0, "decode workers (0 = cores)");
+  auto max_batch = cli.flag<std::size_t>("max-batch", 32, "micro-batch cap");
+  auto max_queue = cli.flag<std::size_t>("max-queue", 1024, "queue depth bound");
+  auto delay_us = cli.flag<long>("delay-us", 2000, "max batch-formation delay");
+  cli.parse(argc, argv);
+
+  try {
+    const auto model = obtain_model(*load_model, *dir, *profile);
+    if (!save_model->empty()) {
+      std::ofstream out(*save_model);
+      model.save(out);
+      std::cerr << "saved model to " << *save_model << '\n';
+    }
+
+    if (!offline->empty()) {
+      // Offline reference pass: same format as the server's TSV responses.
+      const auto sentences = read_sentence_lines(*offline);
+      const auto tags = model.decode_crf(sentences);
+      for (std::size_t i = 0; i < sentences.size(); ++i) {
+        serve::Request request;
+        request.id = sentences[i].id;
+        serve::TagResponse response;
+        response.tags = tags[i];
+        std::cout << serve::format_response(request, response) << '\n';
+      }
+      return 0;
+    }
+
+    serve::ServiceConfig service_config;
+    service_config.workers = *workers;
+    service_config.batching.max_batch = *max_batch;
+    service_config.batching.max_queue_depth = *max_queue;
+    service_config.batching.max_delay = std::chrono::microseconds(*delay_us);
+    serve::TaggingService service(model, service_config);
+
+    serve::SocketServerConfig socket_config;
+    socket_config.port = *port;
+    serve::SocketServer server(service, socket_config);
+    server.start();
+    std::cerr << "graphner_serve: ready on port " << server.port()
+              << " (Ctrl-C for graceful stop + metrics)\n";
+
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    while (g_signal.load() == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    std::cerr << "graphner_serve: stopping (signal " << g_signal.load() << ")\n";
+    server.stop();
+    service.stop();
+    std::cerr << service.metrics_json() << '\n';
+  } catch (const std::exception& e) {
+    std::cerr << "graphner_serve: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

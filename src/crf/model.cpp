@@ -70,7 +70,11 @@ namespace {
 // -O2 leaves the emission accumulation scalar, and the build targets baseline
 // x86-64, so opt this one hot loop into the vectorizer and emit an AVX2 clone
 // picked by ifunc dispatch at load time (plain build everywhere else).
-#if defined(__GNUC__) && !defined(__clang__) && defined(__x86_64__)
+// Skipped under sanitizers: ifunc resolvers run at relocation time, before
+// __tsan_init, and an instrumented resolver touches thread state that does
+// not exist yet — every binary linking this TU would segfault pre-main.
+#if defined(__GNUC__) && !defined(__clang__) && defined(__x86_64__) && \
+    !defined(__SANITIZE_THREAD__) && !defined(__SANITIZE_ADDRESS__)
 #define GRAPHNER_VECTOR_KERNEL \
   __attribute__((optimize("tree-vectorize"), target_clones("default", "avx2")))
 #else

@@ -47,6 +47,26 @@ crf::EncodedSentence encode_for_inference(const text::Sentence& sentence,
   return out;
 }
 
+const crf::EncodedSentence& encode_for_inference(const text::Sentence& sentence,
+                                                 const FeatureExtractor& extractor,
+                                                 const crf::FeatureIndex& index,
+                                                 EncodeScratch& scratch) {
+  extractor.extract_into(sentence, scratch.features);
+  auto& rows = scratch.encoded.features;
+  if (rows.size() > sentence.size()) rows.resize(sentence.size());
+  rows.reserve(sentence.size());
+  while (rows.size() < sentence.size()) rows.emplace_back();
+  for (std::size_t i = 0; i < sentence.size(); ++i) {
+    rows[i].clear();
+    rows[i].reserve(scratch.features[i].size());
+    for (const auto& name : scratch.features[i])
+      if (const auto id = index.find(name)) rows[i].push_back(*id);
+    sort_unique(rows[i]);
+  }
+  scratch.encoded.states.clear();
+  return scratch.encoded;
+}
+
 crf::Batch encode_batch_for_training(const std::vector<text::Sentence>& sentences,
                                      const FeatureExtractor& extractor,
                                      crf::FeatureIndex& index,

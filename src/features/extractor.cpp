@@ -52,8 +52,16 @@ bool is_greek_letter(const std::string& token) noexcept {
 
 TokenFeatures FeatureExtractor::extract_at(const text::Sentence& sentence,
                                            std::size_t position) const {
-  assert(position < sentence.size());
   TokenFeatures out;
+  extract_at_into(sentence, position, out);
+  return out;
+}
+
+void FeatureExtractor::extract_at_into(const text::Sentence& sentence,
+                                       std::size_t position,
+                                       TokenFeatures& out) const {
+  assert(position < sentence.size());
+  out.clear();
   out.reserve(32);
   const std::string& token = sentence.tokens[position];
   const std::string lowered = to_lower(token);
@@ -139,14 +147,24 @@ TokenFeatures FeatureExtractor::extract_at(const text::Sentence& sentence,
         out.push_back("EMBC[" + std::to_string(d) + "]=" + std::to_string(cc));
     }
   }
-  return out;
 }
 
 std::vector<TokenFeatures> FeatureExtractor::extract(
     const text::Sentence& sentence) const {
   std::vector<TokenFeatures> out;
+  extract_into(sentence, out);
+  return out;
+}
+
+void FeatureExtractor::extract_into(const text::Sentence& sentence,
+                                    std::vector<TokenFeatures>& out) const {
+  // Shrink-then-fill keeps the inner vectors' string capacity alive across
+  // calls, which is what the serving workers reuse per batch.
+  if (out.size() > sentence.size()) out.resize(sentence.size());
   out.reserve(sentence.size());
-  for (std::size_t i = 0; i < sentence.size(); ++i) out.push_back(extract_at(sentence, i));
+  while (out.size() < sentence.size()) out.emplace_back();
+  for (std::size_t i = 0; i < sentence.size(); ++i)
+    extract_at_into(sentence, i, out[i]);
 
   if (config_.pos_tagger != nullptr && sentence.size() > 0) {
     const auto pos = config_.pos_tagger->tag(sentence.tokens);
@@ -157,7 +175,6 @@ std::vector<TokenFeatures> FeatureExtractor::extract(
                        (i + 1 < pos.size() ? pos[i + 1] : std::string("</s>")));
     }
   }
-  return out;
 }
 
 }  // namespace graphner::features

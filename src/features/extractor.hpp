@@ -52,12 +52,22 @@ class FeatureExtractor {
   /// Extract features for every position of a sentence.
   [[nodiscard]] std::vector<TokenFeatures> extract(const text::Sentence& sentence) const;
 
+  /// In-place variant for hot tagging paths (the serving workers): `out` is
+  /// resized to the sentence and refilled, keeping the outer and inner
+  /// vector capacity alive across calls. Thread-safe: extraction only reads
+  /// the config and the (immutable) embedding resources.
+  void extract_into(const text::Sentence& sentence,
+                    std::vector<TokenFeatures>& out) const;
+
   /// Features of a single position (exposed for the graph builder, which
   /// represents a 3-gram occurrence by its center token's features).
   [[nodiscard]] TokenFeatures extract_at(const text::Sentence& sentence,
                                          std::size_t position) const;
 
  private:
+  void extract_at_into(const text::Sentence& sentence, std::size_t position,
+                       TokenFeatures& out) const;
+
   FeatureConfig config_;
 };
 

@@ -6,6 +6,7 @@
 // weights, and the reference distributions. Loading reconstructs the
 // feature extractor over the restored resources, so a loaded model decodes
 // identically to the one that was saved (tests/test_model_io.cpp).
+#include <cctype>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
@@ -18,7 +19,10 @@ namespace graphner::core {
 namespace {
 
 constexpr const char* kMagic = "graphner-model";
-constexpr int kVersion = 1;
+// v2 appends an "end" sentinel so truncation after the last section and
+// trailing garbage are both detectable (a v1 reader stopped at whatever the
+// reference table claimed and silently ignored anything that followed).
+constexpr int kVersion = 2;
 
 void expect_token(std::istream& in, const std::string& expected) {
   std::string token;
@@ -69,15 +73,18 @@ void GraphNerModel::save(std::ostream& out) const {
 
   out << "reference\n";
   reference_->save(out);
+  out << "end\n";
 }
 
 GraphNerModel GraphNerModel::load(std::istream& in) {
   expect_token(in, kMagic);
   int version = 0;
-  in >> version;
+  if (!(in >> version))
+    throw std::runtime_error("model file: missing version number");
   if (version != kVersion)
     throw std::runtime_error("model file: unsupported version " +
-                             std::to_string(version));
+                             std::to_string(version) + " (this build reads version " +
+                             std::to_string(kVersion) + ")");
 
   GraphNerModel model;
   expect_token(in, "config");
@@ -162,6 +169,15 @@ GraphNerModel GraphNerModel::load(std::istream& in) {
       ReferenceDistributions::load(in));
 
   if (!in) throw std::runtime_error("model file: truncated");
+  expect_token(in, "end");
+  // Anything after the sentinel means the file is not what save() wrote —
+  // most likely a corrupted download or two models concatenated.
+  char c = 0;
+  while (in.get(c)) {
+    if (!std::isspace(static_cast<unsigned char>(c)))
+      throw std::runtime_error(
+          "model file: trailing garbage after the end marker");
+  }
   util::log_info("graphner: loaded ", profile_name(model.config_.profile),
                  " model, ", model.index_->size(), " features, ",
                  model.reference_->size(), " reference trigrams");

@@ -89,14 +89,20 @@ std::vector<std::vector<text::Tag>> GraphNerModel::decode_crf(
   std::vector<std::vector<text::Tag>> out(sentences.size());
   util::parallel_for_chunked(0, sentences.size(), [&](std::size_t lo, std::size_t hi) {
     crf::LinearChainCrf::Scratch scratch;  // reused across the worker's chunk
-    for (std::size_t i = lo; i < hi; ++i) {
-      if (sentences[i].size() == 0) continue;
-      const auto encoded =
-          features::encode_for_inference(sentences[i], *extractor_, *index_);
-      out[i] = crf_->viterbi(encoded, scratch);
-    }
+    features::EncodeScratch encode;
+    for (std::size_t i = lo; i < hi; ++i)
+      out[i] = decode_one(sentences[i], scratch, encode);
   });
   return out;
+}
+
+std::vector<text::Tag> GraphNerModel::decode_one(
+    const text::Sentence& sentence, crf::LinearChainCrf::Scratch& scratch,
+    features::EncodeScratch& encode) const {
+  if (sentence.size() == 0) return {};
+  const crf::EncodedSentence& encoded =
+      features::encode_for_inference(sentence, *extractor_, *index_, encode);
+  return crf_->viterbi(encoded, scratch);
 }
 
 GraphNerModel::TestContext GraphNerModel::prepare(

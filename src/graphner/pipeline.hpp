@@ -21,6 +21,7 @@
 #include "src/crf/model.hpp"
 #include "src/embeddings/brown.hpp"
 #include "src/embeddings/word2vec.hpp"
+#include "src/features/encoder.hpp"
 #include "src/features/extractor.hpp"
 #include "src/graph/graph_stats.hpp"
 #include "src/graph/trigram.hpp"
@@ -72,6 +73,15 @@ class GraphNerModel {
   /// Pure-CRF decode (the paper's baseline rows).
   [[nodiscard]] std::vector<std::vector<text::Tag>> decode_crf(
       const std::vector<text::Sentence>& sentences) const;
+
+  /// Single-sentence pure-CRF decode for the serving runtime: const and
+  /// safe to call concurrently from many threads over one shared model
+  /// (feature extraction, index lookup and Viterbi only read immutable
+  /// state). `scratch` and `encode` are per-caller warm buffers — a worker
+  /// that reuses them decodes with zero per-sentence lattice allocation.
+  [[nodiscard]] std::vector<text::Tag> decode_one(
+      const text::Sentence& sentence, crf::LinearChainCrf::Scratch& scratch,
+      features::EncodeScratch& encode) const;
 
   struct TestResult {
     std::vector<std::vector<text::Tag>> baseline_tags;  ///< pure CRF

@@ -1,0 +1,125 @@
+#include "src/serve/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace graphner::serve {
+namespace {
+
+// log10(1 + us): 0 maps to 0, ~100 s maps to 8. 256 bins over [0, 8)
+// give ~7% relative resolution everywhere in that range.
+constexpr double kLogLo = 0.0;
+constexpr double kLogHi = 8.0;
+constexpr std::size_t kLogBins = 256;
+
+[[nodiscard]] double to_log(double us) noexcept {
+  return std::log10(1.0 + std::max(0.0, us));
+}
+
+[[nodiscard]] double from_log(double log_value) noexcept {
+  return std::pow(10.0, log_value) - 1.0;
+}
+
+void append_latency_json(std::ostringstream& out, const char* name,
+                         const LatencyHistogram& latency) {
+  out << '"' << name << "\":{\"count\":" << latency.total()
+      << ",\"mean_us\":" << latency.mean_us()
+      << ",\"p50_us\":" << latency.quantile_us(0.50)
+      << ",\"p95_us\":" << latency.quantile_us(0.95)
+      << ",\"p99_us\":" << latency.quantile_us(0.99)
+      << ",\"max_us\":" << latency.max_us() << '}';
+}
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() : histogram_(kLogLo, kLogHi, kLogBins) {}
+
+void LatencyHistogram::record_us(double us) noexcept {
+  histogram_.add(to_log(us));
+  sum_us_ += std::max(0.0, us);
+}
+
+double LatencyHistogram::mean_us() const noexcept {
+  return histogram_.total() == 0
+             ? 0.0
+             : sum_us_ / static_cast<double>(histogram_.total());
+}
+
+double LatencyHistogram::max_us() const noexcept {
+  return histogram_.total() == 0 ? 0.0 : from_log(histogram_.max_seen());
+}
+
+double LatencyHistogram::quantile_us(double q) const noexcept {
+  return histogram_.total() == 0 ? 0.0 : from_log(histogram_.quantile(q));
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream out;
+  out << "{\"submitted\":" << submitted
+      << ",\"completed\":" << completed
+      << ",\"errors\":" << errors
+      << ",\"rejected_overload\":" << rejected_overload
+      << ",\"rejected_shutdown\":" << rejected_shutdown
+      << ",\"batches\":" << batches
+      << ",\"coalesced\":" << coalesced << ',';
+  append_latency_json(out, "queue_wait", queue_wait);
+  out << ',';
+  append_latency_json(out, "decode", decode);
+  out << ",\"batch_size\":{\"count\":" << batch_size.total()
+      << ",\"mean\":" << batch_size.mean()
+      << ",\"p50\":" << batch_size.quantile(0.50)
+      << ",\"max\":" << batch_size.max_seen() << "}}";
+  return out.str();
+}
+
+ServiceMetrics::ServiceMetrics(std::size_t workers) {
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    workers_.push_back(std::make_unique<WorkerMetrics>());
+}
+
+void ServiceMetrics::on_rejected(Status status) noexcept {
+  if (status == Status::kOverloaded)
+    rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+  else if (status == Status::kShutdown)
+    rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServiceMetrics::on_batch(std::size_t worker, std::size_t batch_size) {
+  WorkerMetrics& slot = *workers_.at(worker);
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  ++slot.batches;
+  slot.batch_size.add(static_cast<double>(batch_size));
+}
+
+void ServiceMetrics::on_completed(std::size_t worker, double queue_us,
+                                  double decode_us, bool error, bool coalesced) {
+  WorkerMetrics& slot = *workers_.at(worker);
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  ++slot.completed;
+  if (error) ++slot.errors;
+  if (coalesced) ++slot.coalesced;
+  slot.queue_wait.record_us(queue_us);
+  slot.decode.record_us(decode_us);
+}
+
+MetricsSnapshot ServiceMetrics::snapshot() const {
+  MetricsSnapshot out;
+  out.submitted = submitted_.load(std::memory_order_relaxed);
+  out.rejected_overload = rejected_overload_.load(std::memory_order_relaxed);
+  out.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
+  for (const auto& slot : workers_) {
+    std::lock_guard<std::mutex> lock(slot->mutex);
+    out.completed += slot->completed;
+    out.errors += slot->errors;
+    out.batches += slot->batches;
+    out.coalesced += slot->coalesced;
+    out.queue_wait.merge(slot->queue_wait);
+    out.decode.merge(slot->decode);
+    out.batch_size.merge(slot->batch_size);
+  }
+  return out;
+}
+
+}  // namespace graphner::serve

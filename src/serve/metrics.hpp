@@ -1,0 +1,104 @@
+// Serving metrics: throughput counters + latency/batch-size histograms.
+//
+// Latencies are recorded as log10(1 + microseconds) into a fixed-bin
+// util::Histogram, which gives near-constant *relative* resolution from
+// 1 us to ~100 s out of 256 uniform bins; quantiles are mapped back to
+// microseconds at report time. Aggregation follows the ownership rule the
+// histogram layer was built for: every decode worker writes only its own
+// WorkerMetrics slot (guarded by that slot's uncontended mutex so a
+// concurrent snapshot is race-free under TSAN), and snapshot() combines
+// the slots with Histogram::merge — no shared hot-path counters except
+// the front-door admission atomics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/serve/types.hpp"
+#include "src/util/histogram.hpp"
+
+namespace graphner::serve {
+
+/// util::Histogram over log10(1 + us) with report-time inversion.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void record_us(double us) noexcept;
+  void merge(const LatencyHistogram& other) {
+    histogram_.merge(other.histogram_);
+    sum_us_ += other.sum_us_;
+  }
+
+  [[nodiscard]] std::size_t total() const noexcept { return histogram_.total(); }
+  [[nodiscard]] double mean_us() const noexcept;
+  [[nodiscard]] double max_us() const noexcept;
+  /// Quantile in microseconds (inverse of the log transform).
+  [[nodiscard]] double quantile_us(double q) const noexcept;
+
+ private:
+  util::Histogram histogram_;
+  double sum_us_ = 0.0;  ///< arithmetic mean support (mean of logs is not it)
+};
+
+/// Point-in-time aggregate across all workers. Copyable, detached from the
+/// live service.
+struct MetricsSnapshot {
+  std::uint64_t submitted = 0;          ///< admission attempts
+  std::uint64_t rejected_overload = 0;  ///< queue-full rejections
+  std::uint64_t rejected_shutdown = 0;  ///< submitted after stop()
+  std::uint64_t completed = 0;          ///< responses produced by workers
+  std::uint64_t errors = 0;             ///< decode exceptions
+  std::uint64_t batches = 0;            ///< micro-batches decoded
+  std::uint64_t coalesced = 0;          ///< duplicates served by a shared decode
+
+  LatencyHistogram queue_wait;  ///< enqueue -> batch dequeue
+  LatencyHistogram decode;      ///< feature extraction + Viterbi
+  util::Histogram batch_size{0.0, 256.0, 256};
+
+  [[nodiscard]] double mean_batch_size() const noexcept {
+    return batch_size.mean();
+  }
+  /// One-line JSON object (counters + latency quantiles + batch shape).
+  [[nodiscard]] std::string to_json() const;
+};
+
+class ServiceMetrics {
+ public:
+  explicit ServiceMetrics(std::size_t workers);
+
+  // Front door (any thread).
+  void on_submitted() noexcept { submitted_.fetch_add(1, std::memory_order_relaxed); }
+  void on_rejected(Status status) noexcept;
+
+  // Worker side; `worker` must be < workers passed at construction and each
+  // worker id must be used by exactly one thread.
+  void on_batch(std::size_t worker, std::size_t batch_size);
+  void on_completed(std::size_t worker, double queue_us, double decode_us,
+                    bool error, bool coalesced = false);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  struct WorkerMetrics {
+    mutable std::mutex mutex;  ///< worker vs. snapshot; never worker vs. worker
+    std::uint64_t completed = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t coalesced = 0;
+    LatencyHistogram queue_wait;
+    LatencyHistogram decode;
+    util::Histogram batch_size{0.0, 256.0, 256};
+  };
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> rejected_overload_{0};
+  std::atomic<std::uint64_t> rejected_shutdown_{0};
+  std::vector<std::unique_ptr<WorkerMetrics>> workers_;
+};
+
+}  // namespace graphner::serve

@@ -1,0 +1,237 @@
+#include "src/serve/protocol.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "src/util/strings.hpp"
+
+namespace graphner::serve {
+namespace {
+
+// --- shape-specific JSON reader -------------------------------------------
+
+struct JsonCursor {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])))
+      ++pos;
+  }
+  [[nodiscard]] bool consume(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  [[nodiscard]] bool peek_is(char c) {
+    skip_ws();
+    return pos < text.size() && text[pos] == c;
+  }
+};
+
+[[nodiscard]] bool parse_json_string(JsonCursor& cur, std::string& out) {
+  if (!cur.consume('"')) return false;
+  out.clear();
+  while (cur.pos < cur.text.size()) {
+    const char c = cur.text[cur.pos++];
+    if (c == '"') return true;
+    if (c == '\\') {
+      if (cur.pos >= cur.text.size()) return false;
+      const char esc = cur.text[cur.pos++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        default: return false;  // \uXXXX not needed for token text
+      }
+    } else {
+      out.push_back(c);
+    }
+  }
+  return false;  // unterminated
+}
+
+[[nodiscard]] bool parse_json_request(const std::string& line, Request& out,
+                                      std::string& error) {
+  JsonCursor cur{line};
+  if (!cur.consume('{')) {
+    error = "expected '{'";
+    return false;
+  }
+  bool first = true;
+  while (!cur.peek_is('}')) {
+    if (!first && !cur.consume(',')) {
+      error = "expected ',' between members";
+      return false;
+    }
+    first = false;
+    std::string key;
+    if (!parse_json_string(cur, key)) {
+      error = "expected string key";
+      return false;
+    }
+    if (!cur.consume(':')) {
+      error = "expected ':' after key";
+      return false;
+    }
+    if (key == "id") {
+      if (!parse_json_string(cur, out.id)) {
+        error = "\"id\" must be a string";
+        return false;
+      }
+    } else if (key == "tokens") {
+      if (!cur.consume('[')) {
+        error = "\"tokens\" must be an array";
+        return false;
+      }
+      out.tokens.clear();
+      while (!cur.peek_is(']')) {
+        if (!out.tokens.empty() && !cur.consume(',')) {
+          error = "expected ',' between tokens";
+          return false;
+        }
+        std::string token;
+        if (!parse_json_string(cur, token)) {
+          error = "tokens must be strings";
+          return false;
+        }
+        out.tokens.push_back(std::move(token));
+      }
+      (void)cur.consume(']');
+    } else {
+      error = "unknown key \"" + key + "\"";
+      return false;
+    }
+  }
+  (void)cur.consume('}');
+  cur.skip_ws();
+  if (cur.pos != line.size()) {
+    error = "trailing characters after '}'";
+    return false;
+  }
+  out.json = true;
+  if (out.id.empty()) out.id = "-";
+  return true;
+}
+
+// --------------------------------------------------------------------------
+
+[[nodiscard]] std::vector<std::string> split_tokens(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream stream(text);
+  std::string token;
+  while (stream >> token) out.push_back(std::move(token));
+  return out;
+}
+
+/// Tabs/newlines inside an id or error would corrupt the TSV framing.
+[[nodiscard]] std::string sanitize_tsv(const std::string& text) {
+  std::string out = text;
+  for (char& c : out)
+    if (c == '\t' || c == '\n' || c == '\r') c = ' ';
+  return out;
+}
+
+}  // namespace
+
+ParsedLine parse_request_line(const std::string& line) {
+  ParsedLine out;
+  const std::string trimmed{util::trim(line)};
+  if (trimmed.empty()) {
+    out.kind = LineKind::kEmpty;
+    return out;
+  }
+  if (trimmed == "#METRICS") {
+    out.kind = LineKind::kMetrics;
+    return out;
+  }
+  if (trimmed == "#QUIT") {
+    out.kind = LineKind::kQuit;
+    return out;
+  }
+  if (trimmed.front() == '{') {
+    if (parse_json_request(trimmed, out.request, out.error))
+      out.kind = LineKind::kRequest;
+    else
+      out.kind = LineKind::kMalformed;
+    return out;
+  }
+  const std::size_t tab = line.find('\t');
+  if (tab == std::string::npos) {
+    out.request.id = "-";
+    out.request.tokens = split_tokens(trimmed);
+  } else {
+    out.request.id = std::string{util::trim(line.substr(0, tab))};
+    if (out.request.id.empty()) out.request.id = "-";
+    out.request.tokens = split_tokens(line.substr(tab + 1));
+  }
+  out.kind = LineKind::kRequest;
+  return out;
+}
+
+std::string format_response(const Request& request, const TagResponse& response) {
+  std::ostringstream out;
+  if (request.json) {
+    out << "{\"id\":\"" << json_escape(request.id) << "\",\"status\":\"";
+    for (const char c : status_name(response.status))
+      out << static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    out << '"';
+    if (response.ok()) {
+      out << ",\"tags\":[";
+      for (std::size_t i = 0; i < response.tags.size(); ++i)
+        out << (i > 0 ? "," : "") << '"' << text::tag_name(response.tags[i]) << '"';
+      out << ']';
+    } else {
+      out << ",\"error\":\"" << json_escape(response.error) << '"';
+    }
+    out << '}';
+    return out.str();
+  }
+  out << sanitize_tsv(request.id) << '\t' << status_name(response.status) << '\t';
+  if (response.ok()) {
+    for (std::size_t i = 0; i < response.tags.size(); ++i)
+      out << (i > 0 ? " " : "") << text::tag_name(response.tags[i]);
+  } else {
+    out << sanitize_tsv(response.error);
+  }
+  return out.str();
+}
+
+std::string format_parse_error(const std::string& error) {
+  return "-\tERROR\tmalformed request: " + sanitize_tsv(error);
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace graphner::serve

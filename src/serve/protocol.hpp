@@ -1,0 +1,58 @@
+// Line-delimited wire protocol of the socket server (no external deps).
+//
+// Each request is one line, in either flavour; the response mirrors the
+// flavour of the request:
+//
+//   TSV:   <id> '\t' <token> (' ' <token>)*
+//      ->  <id> '\t' <STATUS> '\t' <tag> (' ' <tag>)*
+//   JSON:  {"id": "...", "tokens": ["...", ...]}
+//      ->  {"id":"...","status":"ok","tags":["B","I","O"]}
+//
+// A line with no tab and not starting with '{' is treated as bare
+// space-separated tokens with id "-" (netcat-friendly). Control lines:
+// "#METRICS" answers one JSON metrics line, "#QUIT" closes the
+// connection. Non-OK statuses put the error detail where the tags would
+// go. The JSON reader handles exactly this shape (string escapes
+// included) — it is a protocol parser, not a general JSON library.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/serve/types.hpp"
+
+namespace graphner::serve {
+
+struct Request {
+  std::string id;
+  std::vector<std::string> tokens;
+  bool json = false;  ///< respond in the request's flavour
+};
+
+enum class LineKind {
+  kRequest,    ///< `request` is filled
+  kMetrics,    ///< "#METRICS"
+  kQuit,       ///< "#QUIT"
+  kEmpty,      ///< blank line — ignore
+  kMalformed,  ///< `error` is filled
+};
+
+struct ParsedLine {
+  LineKind kind = LineKind::kMalformed;
+  Request request;
+  std::string error;
+};
+
+[[nodiscard]] ParsedLine parse_request_line(const std::string& line);
+
+/// One response line (no trailing newline), in the request's flavour.
+[[nodiscard]] std::string format_response(const Request& request,
+                                          const TagResponse& response);
+
+/// Error reply for a line that failed to parse.
+[[nodiscard]] std::string format_parse_error(const std::string& error);
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+[[nodiscard]] std::string json_escape(const std::string& text);
+
+}  // namespace graphner::serve

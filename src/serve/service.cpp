@@ -1,0 +1,147 @@
+#include "src/serve/service.hpp"
+
+#include <chrono>
+#include <exception>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "src/util/logging.hpp"
+
+namespace graphner::serve {
+namespace {
+
+[[nodiscard]] std::size_t resolve_workers(std::size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+[[nodiscard]] double us_between(std::chrono::steady_clock::time_point from,
+                                std::chrono::steady_clock::time_point to) noexcept {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+}  // namespace
+
+TaggingService::TaggingService(const core::GraphNerModel& model,
+                               ServiceConfig config)
+    : model_(model),
+      queue_(config.batching),
+      metrics_(resolve_workers(config.workers)) {
+  const std::size_t n = resolve_workers(config.workers);
+  workers_.reserve(n);
+  for (std::size_t w = 0; w < n; ++w)
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  util::log_info("serve: started ", n, " workers, max_batch ",
+                 config.batching.max_batch, ", queue depth ",
+                 config.batching.max_queue_depth, ", batch delay ",
+                 config.batching.max_delay.count(), " us");
+}
+
+TaggingService::~TaggingService() { stop(); }
+
+std::future<TagResponse> TaggingService::submit(text::Sentence sentence) {
+  PendingRequest request;
+  request.sentence = std::move(sentence);
+  request.enqueued_at = std::chrono::steady_clock::now();
+  std::future<TagResponse> future = request.promise.get_future();
+
+  metrics_.on_submitted();
+  // push() consumes the request only when it is accepted; on rejection the
+  // promise is still ours to resolve with the structured status.
+  switch (queue_.push(std::move(request))) {
+    case BatchQueue::PushResult::kAccepted:
+      break;
+    case BatchQueue::PushResult::kOverloaded: {
+      TagResponse response;
+      response.status = Status::kOverloaded;
+      response.error = "queue full (depth " +
+                       std::to_string(queue_.policy().max_queue_depth) +
+                       "), retry later";
+      metrics_.on_rejected(response.status);
+      request.promise.set_value(std::move(response));
+      break;
+    }
+    case BatchQueue::PushResult::kShutdown: {
+      TagResponse response;
+      response.status = Status::kShutdown;
+      response.error = "service is stopping";
+      metrics_.on_rejected(response.status);
+      request.promise.set_value(std::move(response));
+      break;
+    }
+  }
+  return future;
+}
+
+TagResponse TaggingService::tag(text::Sentence sentence) {
+  return submit(std::move(sentence)).get();
+}
+
+void TaggingService::stop() {
+  if (stopped_.exchange(true)) return;
+  queue_.shutdown();  // workers drain the remaining batches, then exit
+  for (auto& worker : workers_)
+    if (worker.joinable()) worker.join();
+}
+
+void TaggingService::worker_loop(std::size_t worker_id) {
+  crf::LinearChainCrf::Scratch scratch;  // warm lattice, grows once
+  features::EncodeScratch encode;        // warm feature/id buffers
+  std::vector<PendingRequest> batch;
+  // Within-batch coalescing state: token-sequence key -> (tags, decode_us)
+  // of the first occurrence. Decode is deterministic over an immutable
+  // model, so duplicates get byte-identical tags without re-decoding.
+  std::unordered_map<std::string, std::pair<std::vector<text::Tag>, double>>
+      decoded;
+  std::string key;
+  const bool coalesce = queue_.policy().coalesce_duplicates;
+
+  while (queue_.pop_batch(batch)) {
+    const auto dequeued_at = std::chrono::steady_clock::now();
+    metrics_.on_batch(worker_id, batch.size());
+    decoded.clear();
+    for (auto& request : batch) {
+      TagResponse response;
+      response.queue_us = us_between(request.enqueued_at, dequeued_at);
+      response.batch_size = batch.size();
+
+      const bool try_coalesce = coalesce && batch.size() > 1;
+      if (try_coalesce) {
+        key.clear();
+        for (const auto& token : request.sentence.tokens) {
+          key += token;
+          key += '\x1f';  // unit separator: never produced by tokenization
+        }
+        if (const auto hit = decoded.find(key); hit != decoded.end()) {
+          response.tags = hit->second.first;       // shared decode's tags
+          response.decode_us = hit->second.second; // ...and its cost
+          response.coalesced = true;
+          metrics_.on_completed(worker_id, response.queue_us,
+                                response.decode_us, /*error=*/false,
+                                /*coalesced=*/true);
+          request.promise.set_value(std::move(response));
+          continue;
+        }
+      }
+
+      const auto decode_start = std::chrono::steady_clock::now();
+      try {
+        response.tags = model_.decode_one(request.sentence, scratch, encode);
+      } catch (const std::exception& e) {
+        response.status = Status::kError;
+        response.error = e.what();
+      }
+      response.decode_us =
+          us_between(decode_start, std::chrono::steady_clock::now());
+      if (try_coalesce && response.status == Status::kOk)
+        decoded.emplace(key, std::make_pair(response.tags, response.decode_us));
+      metrics_.on_completed(worker_id, response.queue_us, response.decode_us,
+                            response.status == Status::kError);
+      request.promise.set_value(std::move(response));
+    }
+  }
+}
+
+}  // namespace graphner::serve

@@ -1,0 +1,77 @@
+// TaggingService: an always-on concurrent tagger over one shared model.
+//
+// A fixed pool of decode workers drains the BatchQueue; each worker owns a
+// warm CRF lattice Scratch and a reusable feature-encode buffer, so the
+// steady state decodes with zero per-sentence lattice allocation (the PR-1
+// kernels' contract, now held across requests instead of across a corpus
+// pass). The model is borrowed const — GraphNerModel::decode_one is
+// thread-safe over immutable state, so any number of workers share one
+// model with no copies and no locks on the decode path.
+//
+// Lifecycle: the constructor starts the workers; stop() (or the
+// destructor) closes admission, drains every queued request, and joins.
+// Requests rejected at admission (queue full, after stop) resolve their
+// future immediately with a structured non-OK response — submit() never
+// blocks and never drops a promise.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/graphner/pipeline.hpp"
+#include "src/serve/metrics.hpp"
+#include "src/serve/request_queue.hpp"
+#include "src/serve/types.hpp"
+
+namespace graphner::serve {
+
+struct ServiceConfig {
+  std::size_t workers = 0;  ///< 0 = hardware concurrency
+  BatchPolicy batching;
+};
+
+class TaggingService {
+ public:
+  /// `model` is borrowed and must outlive the service.
+  explicit TaggingService(const core::GraphNerModel& model,
+                          ServiceConfig config = {});
+  ~TaggingService();
+
+  TaggingService(const TaggingService&) = delete;
+  TaggingService& operator=(const TaggingService&) = delete;
+
+  /// Enqueue one sentence. Always returns a future that will be fulfilled:
+  /// with tags on success, or immediately with kOverloaded / kShutdown.
+  [[nodiscard]] std::future<TagResponse> submit(text::Sentence sentence);
+
+  /// Synchronous convenience: submit + wait.
+  [[nodiscard]] TagResponse tag(text::Sentence sentence);
+
+  /// Graceful stop: reject new work, decode everything already queued,
+  /// join the workers. Idempotent; also run by the destructor.
+  void stop();
+
+  [[nodiscard]] MetricsSnapshot metrics() const { return metrics_.snapshot(); }
+  [[nodiscard]] std::string metrics_json() const {
+    return metrics_.snapshot().to_json();
+  }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return workers_.size();
+  }
+
+ private:
+  void worker_loop(std::size_t worker_id);
+
+  const core::GraphNerModel& model_;
+  BatchQueue queue_;
+  ServiceMetrics metrics_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace graphner::serve

@@ -1,0 +1,277 @@
+#include "src/serve/socket_server.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <stdexcept>
+#include <utility>
+
+#include "src/serve/protocol.hpp"
+#include "src/util/logging.hpp"
+
+namespace graphner::serve {
+namespace {
+
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("send failed: " + std::string(strerror(errno)));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+/// Pop one complete line out of `buffer`, if present.
+[[nodiscard]] bool take_line(std::string& buffer, std::string& line) {
+  const std::size_t nl = buffer.find('\n');
+  if (nl == std::string::npos) return false;
+  line.assign(buffer, 0, nl);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  buffer.erase(0, nl + 1);
+  return true;
+}
+
+}  // namespace
+
+SocketServer::SocketServer(TaggingService& service, SocketServerConfig config)
+    : service_(service), config_(config) {}
+
+SocketServer::~SocketServer() { stop(); }
+
+void SocketServer::start() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0)
+    throw std::runtime_error("socket(): " + std::string(strerror(errno)));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(config_.port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const std::string reason = strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("bind(port " + std::to_string(config_.port) +
+                             "): " + reason);
+  }
+  if (::listen(fd, config_.backlog) < 0) {
+    const std::string reason = strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("listen(): " + reason);
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  bound_port_ = ntohs(addr.sin_port);
+  listen_fd_.store(fd, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  util::log_info("serve: listening on port ", bound_port_);
+}
+
+void SocketServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int listener = listen_fd_.load(std::memory_order_acquire);
+    if (listener < 0) break;  // stop() already closed it
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by stop()
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    auto connection = std::make_unique<Connection>();
+    connection->fd = fd;
+    connections_.push_back(std::move(connection));
+    const std::size_t slot = connections_.size() - 1;
+    connections_.back()->thread =
+        std::thread([this, slot] { handle_connection(slot); });
+  }
+}
+
+void SocketServer::handle_connection(std::size_t slot) {
+  int fd = -1;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    fd = connections_[slot]->fd;
+  }
+
+  std::string buffer;
+  std::string line;
+  char chunk[4096];
+  // Requests submitted but not yet answered, in arrival order.
+  std::deque<std::pair<Request, std::future<TagResponse>>> in_flight;
+  bool quit = false;
+
+  try {
+    while (!quit) {
+      // Drain buffered complete lines first: submitting them all before
+      // waiting on any future is what lets one connection fill a batch.
+      bool want_metrics = false;
+      while (!quit && take_line(buffer, line)) {
+        ParsedLine parsed = parse_request_line(line);
+        switch (parsed.kind) {
+          case LineKind::kRequest: {
+            text::Sentence sentence;
+            sentence.id = parsed.request.id;
+            sentence.tokens = std::move(parsed.request.tokens);
+            in_flight.emplace_back(std::move(parsed.request),
+                                   service_.submit(std::move(sentence)));
+            break;
+          }
+          case LineKind::kMetrics:
+            want_metrics = true;
+            break;
+          case LineKind::kQuit:
+            quit = true;
+            break;
+          case LineKind::kEmpty:
+            break;
+          case LineKind::kMalformed:
+            send_all(fd, format_parse_error(parsed.error) + "\n");
+            break;
+        }
+        if (want_metrics) break;  // answer metrics after pending requests
+      }
+
+      // Answer everything submitted so far, in order.
+      while (!in_flight.empty()) {
+        auto& [request, future] = in_flight.front();
+        send_all(fd, format_response(request, future.get()) + "\n");
+        in_flight.pop_front();
+      }
+      if (want_metrics) send_all(fd, service_.metrics_json() + "\n");
+      if (quit) break;
+      // A "#METRICS" may have left complete lines buffered — handle them
+      // before blocking on the socket again.
+      if (buffer.find('\n') != std::string::npos) continue;
+
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (n == 0) break;  // peer closed
+      if (buffer.size() + static_cast<std::size_t>(n) > config_.max_line_bytes) {
+        send_all(fd, format_parse_error("line exceeds " +
+                                        std::to_string(config_.max_line_bytes) +
+                                        " bytes") +
+                         "\n");
+        break;
+      }
+      buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+  } catch (const std::exception& e) {
+    util::log_debug("serve: connection dropped: ", e.what());
+  }
+
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  connections_[slot]->fd = -1;  // stop() must not shutdown a recycled fd
+}
+
+void SocketServer::stop() {
+  if (stopping_.exchange(true)) return;
+  const int listener = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (listener >= 0) {
+    ::shutdown(listener, SHUT_RDWR);  // wakes the blocked accept()
+    ::close(listener);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (auto& connection : connections_)
+      if (connection->fd >= 0) ::shutdown(connection->fd, SHUT_RDWR);
+  }
+  for (auto& connection : connections_)
+    if (connection->thread.joinable()) connection->thread.join();
+}
+
+// --- ClientConnection ------------------------------------------------------
+
+void ClientConnection::connect(const std::string& host, std::uint16_t port,
+                               int retries, int retry_delay_ms) {
+  close();
+  for (int attempt = 0;; ++attempt) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+      throw std::runtime_error("socket(): " + std::string(strerror(errno)));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      // Not a dotted quad — resolve the name.
+      addrinfo hints{};
+      hints.ai_family = AF_INET;
+      hints.ai_socktype = SOCK_STREAM;
+      addrinfo* results = nullptr;
+      if (::getaddrinfo(host.c_str(), nullptr, &hints, &results) != 0 ||
+          results == nullptr) {
+        ::close(fd);
+        throw std::runtime_error("cannot resolve host " + host);
+      }
+      addr.sin_addr =
+          reinterpret_cast<sockaddr_in*>(results->ai_addr)->sin_addr;
+      ::freeaddrinfo(results);
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      fd_ = fd;
+      return;
+    }
+    const std::string reason = strerror(errno);
+    ::close(fd);
+    if (attempt >= retries)
+      throw std::runtime_error("connect(" + host + ":" + std::to_string(port) +
+                               "): " + reason);
+    std::this_thread::sleep_for(std::chrono::milliseconds(retry_delay_ms));
+  }
+}
+
+void ClientConnection::send_line(const std::string& line) {
+  if (fd_ < 0) throw std::runtime_error("not connected");
+  send_all(fd_, line + "\n");
+}
+
+bool ClientConnection::recv_line(std::string& line) {
+  if (fd_ < 0) return false;
+  while (!take_line(buffer_, line)) {
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+void ClientConnection::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+}  // namespace graphner::serve

@@ -1,0 +1,100 @@
+// Blocking TCP front-end for TaggingService (POSIX sockets, no deps).
+//
+// One accept thread hands each connection to its own handler thread. A
+// handler reads line-delimited requests (src/serve/protocol.hpp) and
+// *pipelines* them: every complete line already buffered is submitted to
+// the service before the handler waits on the first future, so a client
+// that writes requests back-to-back exercises the micro-batcher even over
+// a single connection. Responses are written in request order.
+//
+// stop() closes the listener and shuts down live connections, then joins
+// every thread; in-flight requests still get their responses because the
+// service drains on its own stop().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/serve/service.hpp"
+
+namespace graphner::serve {
+
+struct SocketServerConfig {
+  std::uint16_t port = 0;  ///< 0 = ephemeral; see port() after start()
+  int backlog = 64;
+  std::size_t max_line_bytes = 1 << 20;  ///< oversized lines get an error reply
+};
+
+class SocketServer {
+ public:
+  SocketServer(TaggingService& service, SocketServerConfig config = {});
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Bind + listen on 0.0.0.0:<port> and spawn the accept thread.
+  /// Throws std::runtime_error if the socket cannot be set up.
+  void start();
+
+  /// The bound port (useful with port = 0). Valid after start().
+  [[nodiscard]] std::uint16_t port() const noexcept { return bound_port_; }
+
+  /// Close the listener, disconnect clients, join all threads. Idempotent.
+  void stop();
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+  };
+
+  void accept_loop();
+  void handle_connection(std::size_t slot);
+
+  TaggingService& service_;
+  SocketServerConfig config_;
+  /// Written by start()/stop(), read by the accept thread — atomic so the
+  /// shutdown handshake (stop() swaps in -1, then closes) is race-free.
+  std::atomic<int> listen_fd_{-1};
+  std::uint16_t bound_port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+/// Minimal blocking client used by graphner_client, the load generator and
+/// the tests: connect, send one line, read one line.
+class ClientConnection {
+ public:
+  ClientConnection() = default;
+  ~ClientConnection() { close(); }
+  ClientConnection(const ClientConnection&) = delete;
+  ClientConnection& operator=(const ClientConnection&) = delete;
+
+  /// Connect to host:port; retries `retries` times `retry_delay_ms` apart
+  /// (a just-started server may not be listening yet). Throws on failure.
+  void connect(const std::string& host, std::uint16_t port, int retries = 0,
+               int retry_delay_ms = 100);
+
+  /// Send `line` + '\n'. Throws on a broken connection.
+  void send_line(const std::string& line);
+
+  /// Read the next '\n'-terminated line (stripped). False on EOF.
+  [[nodiscard]] bool recv_line(std::string& line);
+
+  void close() noexcept;
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace graphner::serve

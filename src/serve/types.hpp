@@ -1,0 +1,49 @@
+// Shared request/response vocabulary of the serving runtime.
+//
+// A tagging request is one tokenized sentence; the response carries either
+// the BIO tags or a structured rejection (overload / shutdown / error) plus
+// the per-request timing the metrics layer aggregates. Responses travel
+// through std::future so the in-process API, the socket server and the
+// load generator all consume the same type.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/text/tag.hpp"
+
+namespace graphner::serve {
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kOverloaded = 1,  ///< bounded queue was full — retry later (backpressure)
+  kShutdown = 2,    ///< service is stopping and no longer accepts work
+  kError = 3,       ///< decode threw; `error` holds the reason
+};
+
+[[nodiscard]] constexpr std::string_view status_name(Status status) noexcept {
+  switch (status) {
+    case Status::kOk: return "OK";
+    case Status::kOverloaded: return "OVERLOADED";
+    case Status::kShutdown: return "SHUTDOWN";
+    case Status::kError: return "ERROR";
+  }
+  return "?";
+}
+
+struct TagResponse {
+  Status status = Status::kOk;
+  std::vector<text::Tag> tags;  ///< one per token when status == kOk
+  std::string error;            ///< human-readable detail for non-OK statuses
+  double queue_us = 0.0;        ///< time spent waiting in the batch queue
+  double decode_us = 0.0;       ///< feature extraction + Viterbi
+  std::size_t batch_size = 0;   ///< size of the micro-batch it rode in
+  bool coalesced = false;       ///< served by a duplicate's decode in-batch
+
+  [[nodiscard]] bool ok() const noexcept { return status == Status::kOk; }
+};
+
+}  // namespace graphner::serve

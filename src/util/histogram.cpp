@@ -4,6 +4,7 @@
 #include <cassert>
 #include <iomanip>
 #include <ostream>
+#include <stdexcept>
 
 namespace graphner::util {
 
@@ -21,6 +22,35 @@ void Histogram::add(double value) noexcept {
   ++total_;
   sum_ += value;
   max_seen_ = std::max(max_seen_, value);
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.lo_ != lo_ || other.hi_ != hi_ || other.counts_.size() != counts_.size())
+    throw std::invalid_argument("Histogram::merge: bin layout mismatch");
+  for (std::size_t b = 0; b < counts_.size(); ++b) counts_[b] += other.counts_[b];
+  total_ += other.total_;
+  sum_ += other.sum_;
+  max_seen_ = std::max(max_seen_, other.max_seen_);
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return lo_;
+  const double target = std::clamp(q, 0.0, 1.0) * static_cast<double>(total_);
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const double next = cumulative + static_cast<double>(counts_[b]);
+    if (next >= target) {
+      const double fraction =
+          counts_[b] == 0 ? 0.0
+                          : std::clamp((target - cumulative) /
+                                           static_cast<double>(counts_[b]),
+                                       0.0, 1.0);
+      return bin_lo(b) + fraction * (bin_hi(b) - bin_lo(b));
+    }
+    cumulative = next;
+  }
+  return hi_;
 }
 
 double Histogram::bin_lo(std::size_t bin) const noexcept {

@@ -1,4 +1,5 @@
-// Fixed-bin histogram + ASCII rendering, used for the Fig. 3 influence plots.
+// Fixed-bin histogram + ASCII rendering, used for the Fig. 3 influence plots
+// and the serving-runtime latency metrics (src/serve/metrics.hpp).
 #pragma once
 
 #include <cstddef>
@@ -15,9 +16,24 @@ class Histogram {
 
   void add(double value) noexcept;
 
+  /// Fold another histogram with the identical [lo, hi) x bins layout into
+  /// this one. Throws std::invalid_argument on a layout mismatch. This is
+  /// how per-worker serving histograms are combined at report time: each
+  /// worker owns its histogram exclusively, so merging copies needs no
+  /// locking inside the histogram itself.
+  void merge(const Histogram& other);
+
+  /// q-quantile (q clamped to [0, 1]) with linear interpolation inside the
+  /// containing bin; returns lo() when the histogram is empty. Values that
+  /// were clamped into the edge bins report as edge-bin positions, so keep
+  /// the range wide enough for the tail you care about.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
   [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
   [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
   [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
   [[nodiscard]] double bin_lo(std::size_t bin) const noexcept;
   [[nodiscard]] double bin_hi(std::size_t bin) const noexcept;
   [[nodiscard]] double mean() const noexcept;

@@ -54,14 +54,67 @@ TEST(ModelIo, RejectsGarbage) {
   EXPECT_THROW(GraphNerModel::load(buffer), std::runtime_error);
 }
 
-TEST(ModelIo, RejectsTruncated) {
-  const auto data = corpus::generate_corpus(corpus::bc2gm_like_spec(0.05, 3));
-  const auto model = GraphNerModel::train(data.train, {}, GraphNerConfig{});
-  std::stringstream buffer;
-  model.save(buffer);
-  const std::string text = buffer.str();
-  std::stringstream truncated(text.substr(0, text.size() / 2));
-  EXPECT_THROW(GraphNerModel::load(truncated), std::runtime_error);
+class ModelIoMalformed : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const auto data = corpus::generate_corpus(corpus::bc2gm_like_spec(0.05, 3));
+    const auto model = GraphNerModel::train(data.train, {}, GraphNerConfig{});
+    std::stringstream buffer;
+    model.save(buffer);
+    saved_ = new std::string(buffer.str());
+  }
+  static void TearDownTestSuite() { delete saved_; }
+
+  static void expect_load_error(const std::string& text,
+                                const std::string& message_fragment) {
+    std::stringstream in(text);
+    try {
+      GraphNerModel::load(in);
+      FAIL() << "expected load to throw (" << message_fragment << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(message_fragment), std::string::npos)
+          << e.what();
+    }
+  }
+
+  static const std::string* saved_;
+};
+
+const std::string* ModelIoMalformed::saved_ = nullptr;
+
+TEST_F(ModelIoMalformed, RejectsTruncated) {
+  expect_load_error(saved_->substr(0, saved_->size() / 2), "model file");
+}
+
+TEST_F(ModelIoMalformed, RejectsTruncationJustBeforeEndSentinel) {
+  const std::size_t end = saved_->rfind("end");
+  ASSERT_NE(end, std::string::npos);
+  expect_load_error(saved_->substr(0, end), "expected 'end'");
+}
+
+TEST_F(ModelIoMalformed, RejectsVersionMismatch) {
+  // The header is "graphner-model <version>"; force a future version.
+  const std::size_t space = saved_->find(' ');
+  ASSERT_NE(space, std::string::npos);
+  const std::size_t newline = saved_->find('\n');
+  std::string bumped = *saved_;
+  bumped.replace(space + 1, newline - space - 1, "99");
+  expect_load_error(bumped, "unsupported version 99");
+}
+
+TEST_F(ModelIoMalformed, RejectsMissingVersion) {
+  expect_load_error("graphner-model x\n", "version");
+}
+
+TEST_F(ModelIoMalformed, RejectsTrailingGarbage) {
+  expect_load_error(*saved_ + "leftover bytes\n", "trailing garbage");
+  // A second concatenated model is also trailing garbage.
+  expect_load_error(*saved_ + *saved_, "trailing garbage");
+}
+
+TEST_F(ModelIoMalformed, TrailingWhitespaceIsFine) {
+  std::stringstream in(*saved_ + "\n   \n");
+  EXPECT_NO_THROW(GraphNerModel::load(in));
 }
 
 }  // namespace

@@ -1,0 +1,323 @@
+// Serving runtime tests: concurrent correctness (byte-identical to offline
+// decode), micro-batching, backpressure, graceful shutdown, the wire
+// protocol, and the socket server end to end. The concurrency tests are
+// the ones the CI ThreadSanitizer job exercises.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "src/corpus/generator.hpp"
+#include "src/serve/protocol.hpp"
+#include "src/serve/service.hpp"
+#include "src/serve/socket_server.hpp"
+
+namespace graphner::serve {
+namespace {
+
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const auto data = corpus::generate_corpus(corpus::bc2gm_like_spec(0.08, 7));
+    model_ = new core::GraphNerModel(
+        core::GraphNerModel::train(data.train, {}, core::GraphNerConfig{}));
+    sentences_ = new std::vector<text::Sentence>();
+    for (const auto& s : data.test) {
+      text::Sentence stripped;
+      stripped.id = s.id;
+      stripped.tokens = s.tokens;
+      sentences_->push_back(std::move(stripped));
+    }
+    expected_ = new std::vector<std::vector<text::Tag>>(
+        model_->decode_crf(*sentences_));
+  }
+
+  static void TearDownTestSuite() {
+    delete expected_;
+    delete sentences_;
+    delete model_;
+  }
+
+  static const core::GraphNerModel* model_;
+  static std::vector<text::Sentence>* sentences_;
+  static std::vector<std::vector<text::Tag>>* expected_;
+};
+
+const core::GraphNerModel* ServeTest::model_ = nullptr;
+std::vector<text::Sentence>* ServeTest::sentences_ = nullptr;
+std::vector<std::vector<text::Tag>>* ServeTest::expected_ = nullptr;
+
+TEST_F(ServeTest, EightClientThreadsMatchSequentialDecode) {
+  ServiceConfig config;
+  config.workers = 4;
+  config.batching.max_batch = 8;
+  config.batching.max_delay = std::chrono::microseconds(500);
+  TaggingService service(*model_, config);
+
+  constexpr std::size_t kClients = 8;
+  const std::size_t n = sentences_->size();
+  std::vector<std::vector<text::Tag>> results(n);
+  std::vector<std::thread> clients;
+  std::atomic<std::size_t> failures{0};
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      // Client c owns indices c, c + kClients, ... — disjoint result slots,
+      // so no synchronisation is needed on `results`.
+      for (std::size_t i = c; i < n; i += kClients) {
+        auto response = service.tag((*sentences_)[i]);
+        if (!response.ok()) {
+          ++failures;
+          continue;
+        }
+        results[i] = std::move(response.tags);
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+
+  EXPECT_EQ(failures.load(), 0U);
+  // Byte-identical to the sequential offline decode, element by element.
+  ASSERT_EQ(results.size(), expected_->size());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(results[i], (*expected_)[i]) << i;
+
+  const auto snapshot = service.metrics();
+  EXPECT_EQ(snapshot.submitted, n);
+  EXPECT_EQ(snapshot.completed, n);
+  EXPECT_EQ(snapshot.errors, 0U);
+  EXPECT_EQ(snapshot.rejected_overload, 0U);
+  EXPECT_EQ(snapshot.queue_wait.total(), n);
+  EXPECT_EQ(snapshot.decode.total(), n);
+  EXPECT_GE(snapshot.batches, 1U);
+  EXPECT_EQ(static_cast<std::uint64_t>(snapshot.batch_size.total()),
+            snapshot.batches);
+}
+
+TEST_F(ServeTest, MicroBatchingCoalescesBurstTraffic) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.batching.max_batch = 16;
+  config.batching.max_delay = std::chrono::microseconds(5000);
+  TaggingService service(*model_, config);
+
+  constexpr std::size_t kBurst = 64;
+  std::vector<std::future<TagResponse>> futures;
+  futures.reserve(kBurst);
+  for (std::size_t i = 0; i < kBurst; ++i)
+    futures.push_back(service.submit((*sentences_)[i % sentences_->size()]));
+  std::size_t max_batch_seen = 0;
+  for (auto& future : futures) {
+    const auto response = future.get();
+    EXPECT_TRUE(response.ok());
+    max_batch_seen = std::max(max_batch_seen, response.batch_size);
+  }
+  const auto snapshot = service.metrics();
+  // A burst of 64 against one worker cannot have been 64 singleton batches.
+  EXPECT_LT(snapshot.batches, kBurst);
+  EXPECT_GT(max_batch_seen, 1U);
+  EXPECT_LE(max_batch_seen, config.batching.max_batch);
+}
+
+TEST_F(ServeTest, CoalescesDuplicateRequestsWithinBatch) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.batching.max_batch = 16;
+  config.batching.max_delay = std::chrono::microseconds(5000);
+  TaggingService service(*model_, config);
+
+  // A burst where every request is the same sentence: one micro-batch
+  // should decode it once and fan the result out to the duplicates.
+  constexpr std::size_t kBurst = 48;
+  const auto& sentence = (*sentences_)[0];
+  std::vector<std::future<TagResponse>> futures;
+  futures.reserve(kBurst);
+  for (std::size_t i = 0; i < kBurst; ++i)
+    futures.push_back(service.submit(sentence));
+  std::size_t coalesced = 0;
+  for (auto& future : futures) {
+    const auto response = future.get();
+    EXPECT_TRUE(response.ok());
+    EXPECT_EQ(response.tags, (*expected_)[0]);  // identical to offline decode
+    if (response.coalesced) ++coalesced;
+  }
+  const auto snapshot = service.metrics();
+  EXPECT_GT(coalesced, 0U);
+  EXPECT_EQ(snapshot.coalesced, coalesced);
+  EXPECT_EQ(snapshot.completed, kBurst);
+  // Per-request metrics are still recorded for coalesced responses.
+  EXPECT_EQ(snapshot.decode.total(), kBurst);
+
+  // With coalescing off, no request reports a shared decode.
+  ServiceConfig plain = config;
+  plain.batching.coalesce_duplicates = false;
+  TaggingService plain_service(*model_, plain);
+  std::vector<std::future<TagResponse>> plain_futures;
+  for (std::size_t i = 0; i < 8; ++i)
+    plain_futures.push_back(plain_service.submit(sentence));
+  for (auto& future : plain_futures) EXPECT_FALSE(future.get().coalesced);
+  EXPECT_EQ(plain_service.metrics().coalesced, 0U);
+}
+
+TEST_F(ServeTest, BoundedQueueRejectsWithStructuredOverload) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.batching.max_batch = 1;
+  config.batching.max_queue_depth = 2;
+  TaggingService service(*model_, config);
+
+  constexpr std::size_t kFlood = 256;
+  std::vector<std::future<TagResponse>> futures;
+  futures.reserve(kFlood);
+  for (std::size_t i = 0; i < kFlood; ++i)
+    futures.push_back(service.submit((*sentences_)[i % sentences_->size()]));
+  std::size_t ok = 0;
+  std::size_t overloaded = 0;
+  for (auto& future : futures) {
+    const auto response = future.get();
+    if (response.ok()) ++ok;
+    if (response.status == Status::kOverloaded) {
+      ++overloaded;
+      EXPECT_FALSE(response.error.empty());
+      EXPECT_TRUE(response.tags.empty());
+    }
+  }
+  // Pushing is orders of magnitude faster than decoding, so a depth-2
+  // queue must have turned most of the flood away — and every future
+  // resolved (nothing blocked forever waiting for room).
+  EXPECT_GT(overloaded, 0U);
+  EXPECT_EQ(ok + overloaded, kFlood);
+  EXPECT_EQ(service.metrics().rejected_overload, overloaded);
+}
+
+TEST_F(ServeTest, GracefulStopDrainsQueuedWorkAndRejectsNewWork) {
+  ServiceConfig config;
+  config.workers = 2;
+  config.batching.max_batch = 4;
+  TaggingService service(*model_, config);
+
+  std::vector<std::future<TagResponse>> futures;
+  for (std::size_t i = 0; i < 32; ++i)
+    futures.push_back(service.submit((*sentences_)[i % sentences_->size()]));
+  service.stop();
+
+  for (auto& future : futures) EXPECT_TRUE(future.get().ok());  // drained
+
+  const auto rejected = service.submit((*sentences_)[0]).get();
+  EXPECT_EQ(rejected.status, Status::kShutdown);
+  EXPECT_EQ(service.metrics().rejected_shutdown, 1U);
+}
+
+TEST_F(ServeTest, EmptySentenceTagsToEmpty) {
+  TaggingService service(*model_, {});
+  const auto response = service.tag(text::Sentence{});
+  EXPECT_TRUE(response.ok());
+  EXPECT_TRUE(response.tags.empty());
+}
+
+TEST_F(ServeTest, SocketServerRoundTripsAgainstOfflineDecode) {
+  ServiceConfig config;
+  config.workers = 2;
+  TaggingService service(*model_, config);
+  SocketServer server(service, {});  // port 0 = ephemeral
+  server.start();
+
+  ClientConnection connection;
+  connection.connect("127.0.0.1", server.port());
+  const std::size_t n = std::min<std::size_t>(20, sentences_->size());
+  // Pipeline all requests, then read all responses: exercises the
+  // read-ahead submit path in the connection handler.
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string line = "s" + std::to_string(i);
+    line += '\t';
+    for (std::size_t t = 0; t < (*sentences_)[i].size(); ++t) {
+      if (t > 0) line += ' ';
+      line += (*sentences_)[i].tokens[t];
+    }
+    connection.send_line(line);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string response;
+    ASSERT_TRUE(connection.recv_line(response));
+    std::string expected_line = "s" + std::to_string(i) + "\tOK\t";
+    for (std::size_t t = 0; t < (*expected_)[i].size(); ++t) {
+      if (t > 0) expected_line += ' ';
+      expected_line += text::tag_name((*expected_)[i][t]);
+    }
+    EXPECT_EQ(response, expected_line);
+  }
+
+  // JSON flavour round-trip on the same connection.
+  connection.send_line("{\"id\": \"j1\", \"tokens\": [\"the\", \"BRCA1\", \"gene\"]}");
+  std::string json_response;
+  ASSERT_TRUE(connection.recv_line(json_response));
+  EXPECT_EQ(json_response.rfind("{\"id\":\"j1\",\"status\":\"ok\",\"tags\":[", 0), 0U)
+      << json_response;
+
+  connection.send_line("#METRICS");
+  std::string metrics_line;
+  ASSERT_TRUE(connection.recv_line(metrics_line));
+  EXPECT_EQ(metrics_line.front(), '{');
+  EXPECT_NE(metrics_line.find("\"completed\":"), std::string::npos);
+
+  connection.send_line("#QUIT");
+  std::string eof_line;
+  EXPECT_FALSE(connection.recv_line(eof_line));
+  server.stop();
+  service.stop();
+}
+
+TEST(ServeProtocol, ParsesTsvJsonAndControlLines) {
+  auto tsv = parse_request_line("req-1\tthe BRCA1 gene");
+  ASSERT_EQ(tsv.kind, LineKind::kRequest);
+  EXPECT_EQ(tsv.request.id, "req-1");
+  EXPECT_EQ(tsv.request.tokens,
+            (std::vector<std::string>{"the", "BRCA1", "gene"}));
+  EXPECT_FALSE(tsv.request.json);
+
+  auto bare = parse_request_line("p53 binds DNA");
+  ASSERT_EQ(bare.kind, LineKind::kRequest);
+  EXPECT_EQ(bare.request.id, "-");
+  EXPECT_EQ(bare.request.tokens.size(), 3U);
+
+  auto json = parse_request_line(
+      "{\"id\": \"a b\", \"tokens\": [\"x\", \"quo\\\"te\"]}");
+  ASSERT_EQ(json.kind, LineKind::kRequest);
+  EXPECT_TRUE(json.request.json);
+  EXPECT_EQ(json.request.id, "a b");
+  EXPECT_EQ(json.request.tokens, (std::vector<std::string>{"x", "quo\"te"}));
+
+  EXPECT_EQ(parse_request_line("#METRICS").kind, LineKind::kMetrics);
+  EXPECT_EQ(parse_request_line("  #QUIT ").kind, LineKind::kQuit);
+  EXPECT_EQ(parse_request_line("   ").kind, LineKind::kEmpty);
+  EXPECT_EQ(parse_request_line("{\"id\": 17}").kind, LineKind::kMalformed);
+  EXPECT_EQ(parse_request_line("{\"tokens\": [\"x\"]} trailing").kind,
+            LineKind::kMalformed);
+}
+
+TEST(ServeProtocol, FormatsBothFlavoursAndSanitizes) {
+  Request tsv_request;
+  tsv_request.id = "id\twith\ttabs";
+  TagResponse ok;
+  ok.tags = {text::Tag::kB, text::Tag::kI, text::Tag::kO};
+  EXPECT_EQ(format_response(tsv_request, ok), "id with tabs\tOK\tB I O");
+
+  TagResponse overloaded;
+  overloaded.status = Status::kOverloaded;
+  overloaded.error = "queue full";
+  Request plain;
+  plain.id = "r9";
+  EXPECT_EQ(format_response(plain, overloaded), "r9\tOVERLOADED\tqueue full");
+
+  Request json_request;
+  json_request.id = "q\"1";
+  json_request.json = true;
+  EXPECT_EQ(format_response(json_request, ok),
+            "{\"id\":\"q\\\"1\",\"status\":\"ok\",\"tags\":[\"B\",\"I\",\"O\"]}");
+  EXPECT_EQ(format_response(json_request, overloaded),
+            "{\"id\":\"q\\\"1\",\"status\":\"overloaded\","
+            "\"error\":\"queue full\"}");
+}
+
+}  // namespace
+}  // namespace graphner::serve

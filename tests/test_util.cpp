@@ -232,6 +232,51 @@ TEST(HistogramTest, BinningAndClamping) {
   EXPECT_EQ(h.total(), 4U);
 }
 
+TEST(HistogramTest, MergeCombinesCountsSumAndMax) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(0.0, 10.0, 10);
+  a.add(1.5);
+  a.add(2.5);
+  b.add(2.5);
+  b.add(8.5);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 4U);
+  EXPECT_EQ(a.count(1), 1U);
+  EXPECT_EQ(a.count(2), 2U);
+  EXPECT_EQ(a.count(8), 1U);
+  EXPECT_DOUBLE_EQ(a.mean(), (1.5 + 2.5 + 2.5 + 8.5) / 4.0);
+  EXPECT_DOUBLE_EQ(a.max_seen(), 8.5);
+  EXPECT_EQ(b.total(), 2U);  // merge source untouched
+
+  Histogram narrower(0.0, 5.0, 10);
+  EXPECT_THROW(a.merge(narrower), std::invalid_argument);
+  Histogram rebinned(0.0, 10.0, 20);
+  EXPECT_THROW(a.merge(rebinned), std::invalid_argument);
+}
+
+TEST(HistogramTest, QuantilesInterpolateWithinBins) {
+  Histogram h(0.0, 100.0, 100);  // unit bins: value v lands in bin floor(v)
+  for (int v = 0; v < 100; ++v) h.add(v + 0.5);
+  // With 100 uniform samples the q-quantile sits at ~100q.
+  EXPECT_NEAR(h.quantile(0.50), 50.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.95), 95.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+
+  Histogram empty(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);  // lo() when empty
+
+  // Merged per-worker histograms report the pooled quantile (the serving
+  // metrics path: each worker records separately, report time merges).
+  Histogram low(0.0, 100.0, 100);
+  Histogram high(0.0, 100.0, 100);
+  for (int v = 0; v < 50; ++v) low.add(v + 0.5);
+  for (int v = 50; v < 100; ++v) high.add(v + 0.5);
+  low.merge(high);
+  EXPECT_NEAR(low.quantile(0.95), h.quantile(0.95), 1e-9);
+}
+
 TEST(TablePrinterTest, RendersAllRows) {
   TablePrinter table({"a", "b"});
   table.add_row({"1", "2"});
