@@ -28,8 +28,11 @@ eval::Metrics run_crf(const corpus::LabelledCorpus& data,
 
   std::vector<std::vector<text::Tag>> tags;
   tags.reserve(data.test.size());
+  crf::LinearChainCrf::Scratch scratch;
+  features::EncodeScratch encode;
   for (const auto& s : data.test)
-    tags.push_back(model.viterbi(features::encode_for_inference(s, extractor, index)));
+    tags.push_back(model.viterbi(
+        features::encode_for_inference(s, extractor, index, encode), scratch));
   const auto anns = core::tags_to_annotations(data.test, tags);
   return eval::evaluate_bc2gm(anns, data.test_gold, data.test_alternatives).metrics;
 }

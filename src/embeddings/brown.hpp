@@ -9,10 +9,22 @@
 // merged down to one while recording the merge tree, which yields a binary
 // path (bit string) per cluster.
 //
-// Clustering cost is O(V * C^3) with the straightforward merge-cost
-// evaluation used here, so the vocabulary is capped to the most frequent
-// `max_vocabulary` words; rarer words map to the cluster of a same-shape
-// frequent word when possible, else to a catch-all rare cluster.
+// The trainer keeps the cluster-bigram statistics in a recycled
+// (C+1) x (C+1) slot window — C persistent cluster slots plus one slot
+// reused for each inserted word — so memory is O(C^2) regardless of the
+// vocabulary, and it caches the per-pair AMI terms in a table that is
+// refreshed incrementally (only the rows/columns whose counts changed
+// since the last merge). The candidate scans run under
+// util::parallel_reduce. The greedy merge sequence is bit-for-bit the one
+// the original dense-matrix implementation produced; that implementation
+// is frozen in brown_reference.{hpp,cpp} and the equivalence is enforced
+// by tests/test_train_kernels.cpp.
+//
+// Training cost is O(V * C^2) merge-loss term evaluations over an
+// L1-resident window; the vocabulary cap exists to bound the number of
+// greedy insertions, not memory. Rarer words map to the cluster of a
+// same-shape frequent word when possible, else to a catch-all rare
+// cluster.
 #pragma once
 
 #include <cstdint>
@@ -34,7 +46,7 @@ struct BrownConfig {
 class BrownClustering {
  public:
   /// Cluster the token stream of `sentences` (sentence boundaries break
-  /// bigrams). Deterministic.
+  /// bigrams). Deterministic, and independent of the thread count.
   static BrownClustering train(const std::vector<text::Sentence>& sentences,
                                const BrownConfig& config);
 
@@ -52,9 +64,16 @@ class BrownClustering {
 
   /// Text serialization (cluster paths + word assignments).
   void save(std::ostream& out) const;
+
+  /// Restore from `save` output. Throws std::runtime_error on malformed
+  /// input: bad header, truncated tables, non-bit-string paths,
+  /// out-of-range cluster ids, duplicate words.
   static BrownClustering load(std::istream& in);
 
  private:
+  friend BrownClustering train_brown_reference(
+      const std::vector<text::Sentence>& sentences, const BrownConfig& config);
+
   std::unordered_map<std::string, int> word_cluster_;
   std::vector<std::string> paths_;  ///< per cluster id
 };

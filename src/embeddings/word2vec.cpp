@@ -1,9 +1,20 @@
 #include "src/embeddings/word2vec.hpp"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+
+#if defined(__SSE2__) && !defined(__SANITIZE_THREAD__)
+#include <emmintrin.h>
+#endif
 
 #include "src/util/logging.hpp"
+#include "src/util/parallel.hpp"
 #include "src/util/strings.hpp"
 
 namespace graphner::embeddings {
@@ -15,6 +26,236 @@ constexpr std::size_t kNegativeTableSize = 1 << 17;
   if (x > 8.0F) return 1.0F;
   if (x < -8.0F) return 0.0F;
   return 1.0F / (1.0F + std::exp(-x));
+}
+
+// ---------------------------------------------------------------------------
+// Hogwild helpers (threads > 1 only; the serial path never calls these).
+
+// The Hogwild workers read and write the shared embedding tables without
+// synchronization — racy by design (Niu et al. 2011), and a lost update is
+// just a slightly stale gradient. Under TSAN those accesses must be tagged
+// as intentional: route them through relaxed atomic_ref so the tool sees
+// synchronization-free atomics instead of data races, and stay scalar (the
+// same reason crf/model.cpp gates its vector kernel off under sanitizers).
+// Normal builds use plain loads and SSE2 — guaranteed on the x86-64
+// baseline this repo targets — because the scalar loops are chained float
+// adds that -O2 cannot reassociate.
+#if defined(__SANITIZE_THREAD__)
+[[nodiscard]] inline float hw_load(const float* p) noexcept {
+  return std::atomic_ref<float>(*const_cast<float*>(p)).load(std::memory_order_relaxed);
+}
+inline void hw_store(float* p, float v) noexcept {
+  std::atomic_ref<float>(*p).store(v, std::memory_order_relaxed);
+}
+
+/// score = private . shared  (shared side read through atomic_ref).
+[[nodiscard]] inline float hw_dot(const float* priv, const float* shared_vec,
+                                  std::size_t n) noexcept {
+  float s0 = 0.0F;
+  float s1 = 0.0F;
+  float s2 = 0.0F;
+  float s3 = 0.0F;
+  std::size_t d = 0;
+  for (; d + 4 <= n; d += 4) {
+    s0 += priv[d] * hw_load(shared_vec + d);
+    s1 += priv[d + 1] * hw_load(shared_vec + d + 1);
+    s2 += priv[d + 2] * hw_load(shared_vec + d + 2);
+    s3 += priv[d + 3] * hw_load(shared_vec + d + 3);
+  }
+  for (; d < n; ++d) s0 += priv[d] * hw_load(shared_vec + d);
+  return (s0 + s1) + (s2 + s3);
+}
+
+/// grad += g * vo ; vo += g * priv   (vo shared, grad/priv private).
+inline void hw_update(float* vo, float* grad, const float* priv, float g,
+                      std::size_t n) noexcept {
+  for (std::size_t d = 0; d < n; ++d) {
+    const float od = hw_load(vo + d);
+    grad[d] += g * od;
+    hw_store(vo + d, od + g * priv[d]);
+  }
+}
+
+/// priv += grad ; shared = priv   (write the private center row back).
+inline void hw_writeback(float* shared_vec, float* priv, const float* grad,
+                         std::size_t n) noexcept {
+  for (std::size_t d = 0; d < n; ++d) {
+    priv[d] += grad[d];
+    hw_store(shared_vec + d, priv[d]);
+  }
+}
+#else
+[[nodiscard]] inline float hw_load(const float* p) noexcept { return *p; }
+inline void hw_store(float* p, float v) noexcept { *p = v; }
+
+[[nodiscard]] inline float hw_dot(const float* priv, const float* shared_vec,
+                                  std::size_t n) noexcept {
+#if defined(__SSE2__)
+  __m128 acc0 = _mm_setzero_ps();
+  __m128 acc1 = _mm_setzero_ps();
+  std::size_t d = 0;
+  for (; d + 8 <= n; d += 8) {
+    acc0 = _mm_add_ps(acc0, _mm_mul_ps(_mm_loadu_ps(priv + d),
+                                       _mm_loadu_ps(shared_vec + d)));
+    acc1 = _mm_add_ps(acc1, _mm_mul_ps(_mm_loadu_ps(priv + d + 4),
+                                       _mm_loadu_ps(shared_vec + d + 4)));
+  }
+  for (; d + 4 <= n; d += 4)
+    acc0 = _mm_add_ps(acc0, _mm_mul_ps(_mm_loadu_ps(priv + d),
+                                       _mm_loadu_ps(shared_vec + d)));
+  __m128 acc = _mm_add_ps(acc0, acc1);
+  acc = _mm_add_ps(acc, _mm_movehl_ps(acc, acc));
+  acc = _mm_add_ss(acc, _mm_shuffle_ps(acc, acc, 0x55));
+  float sum = _mm_cvtss_f32(acc);
+  for (; d < n; ++d) sum += priv[d] * shared_vec[d];
+  return sum;
+#else
+  float s0 = 0.0F;
+  float s1 = 0.0F;
+  float s2 = 0.0F;
+  float s3 = 0.0F;
+  std::size_t d = 0;
+  for (; d + 4 <= n; d += 4) {
+    s0 += priv[d] * shared_vec[d];
+    s1 += priv[d + 1] * shared_vec[d + 1];
+    s2 += priv[d + 2] * shared_vec[d + 2];
+    s3 += priv[d + 3] * shared_vec[d + 3];
+  }
+  for (; d < n; ++d) s0 += priv[d] * shared_vec[d];
+  return (s0 + s1) + (s2 + s3);
+#endif
+}
+
+inline void hw_update(float* vo, float* grad, const float* priv, float g,
+                      std::size_t n) noexcept {
+#if defined(__SSE2__)
+  const __m128 vg = _mm_set1_ps(g);
+  std::size_t d = 0;
+  for (; d + 4 <= n; d += 4) {
+    const __m128 od = _mm_loadu_ps(vo + d);
+    _mm_storeu_ps(grad + d,
+                  _mm_add_ps(_mm_loadu_ps(grad + d), _mm_mul_ps(vg, od)));
+    _mm_storeu_ps(vo + d,
+                  _mm_add_ps(od, _mm_mul_ps(vg, _mm_loadu_ps(priv + d))));
+  }
+  for (; d < n; ++d) {
+    const float od = vo[d];
+    grad[d] += g * od;
+    vo[d] = od + g * priv[d];
+  }
+#else
+  for (std::size_t d = 0; d < n; ++d) {
+    const float od = vo[d];
+    grad[d] += g * od;
+    vo[d] = od + g * priv[d];
+  }
+#endif
+}
+
+inline void hw_writeback(float* shared_vec, float* priv, const float* grad,
+                         std::size_t n) noexcept {
+  for (std::size_t d = 0; d < n; ++d) {
+    priv[d] += grad[d];
+    shared_vec[d] = priv[d];
+  }
+}
+#endif
+
+/// Precomputed logistic function over [-8, 8] (word2vec.c's expTable):
+/// replaces an expf call per training sample with a table lookup.
+class SigmoidLut {
+ public:
+  SigmoidLut() noexcept {
+    for (std::size_t i = 0; i <= kSize; ++i) {
+      const float x = -kRange + 2.0F * kRange * static_cast<float>(i) / kSize;
+      table_[i] = 1.0F / (1.0F + std::exp(-x));
+    }
+  }
+  [[nodiscard]] float operator()(float x) const noexcept {
+    if (x >= kRange) return 1.0F;
+    if (x <= -kRange) return 0.0F;
+    return table_[static_cast<std::size_t>((x + kRange) * (kSize / (2.0F * kRange)))];
+  }
+
+ private:
+  static constexpr std::size_t kSize = 4096;
+  static constexpr float kRange = 8.0F;
+  std::array<float, kSize + 1> table_{};
+};
+
+const SigmoidLut& sigmoid_lut() {
+  static const SigmoidLut lut;
+  return lut;
+}
+
+struct HogwildShared {
+  const std::vector<std::vector<std::size_t>>& encoded;
+  const std::vector<std::size_t>& neg_table;
+  const std::vector<float>& keep_prob;  ///< per word; >= 1 means never drop
+  const Word2VecConfig& config;
+  std::vector<float>& input;
+  std::vector<float>& output;
+};
+
+/// One Hogwild worker: all epochs over its contiguous sentence shard,
+/// learning rate decayed over the shard's own token budget (the word2vec.c
+/// scheme, minus the shared progress counter — a per-shard clock decays at
+/// the same rate when shards are token-balanced).
+///
+/// The center row is staged in a private buffer for the duration of a
+/// token: loaded from the shared table once, read race-free by every dot
+/// against the negatives, and flushed back after each context pair so
+/// concurrent readers of the same word still see fresh values.
+void hogwild_worker(const HogwildShared& shared, std::size_t shard_begin,
+                    std::size_t shard_end, std::uint64_t shard_tokens,
+                    util::Rng rng) {
+  const Word2VecConfig& config = shared.config;
+  const std::size_t dims = config.dimensions;
+  const SigmoidLut& lut = sigmoid_lut();
+  std::vector<float> grad_center(dims);
+  std::vector<float> vc_local(dims);
+  std::uint64_t processed = 0;
+  const std::uint64_t budget = std::max<std::uint64_t>(1, config.epochs * shard_tokens);
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    for (std::size_t s = shard_begin; s < shard_end; ++s) {
+      const auto& ids = shared.encoded[s];
+      for (std::size_t pos = 0; pos < ids.size(); ++pos) {
+        ++processed;
+        const std::size_t center = ids[pos];
+        const float keep = shared.keep_prob[center];
+        if (keep < 1.0F && !rng.flip(keep)) continue;
+        const float lr = static_cast<float>(
+            config.initial_lr *
+            std::max(0.05, 1.0 - static_cast<double>(processed) /
+                               static_cast<double>(budget)));
+        const std::size_t window = 1 + rng.below(config.window);
+        const std::size_t lo = pos >= window ? pos - window : 0;
+        const std::size_t hi = std::min(ids.size(), pos + window + 1);
+        float* vc = shared.input.data() + center * dims;
+        for (std::size_t d = 0; d < dims; ++d) vc_local[d] = hw_load(vc + d);
+        for (std::size_t ctx = lo; ctx < hi; ++ctx) {
+          if (ctx == pos) continue;
+          std::fill(grad_center.begin(), grad_center.end(), 0.0F);
+          for (std::size_t neg = 0; neg <= config.negatives; ++neg) {
+            std::size_t target;
+            float label;
+            if (neg == 0) {
+              target = ids[ctx];
+              label = 1.0F;
+            } else {
+              target = shared.neg_table[rng.below(kNegativeTableSize)];
+              if (target == ids[ctx]) continue;
+              label = 0.0F;
+            }
+            float* vo = shared.output.data() + target * dims;
+            const float g = (label - lut(hw_dot(vc_local.data(), vo, dims))) * lr;
+            hw_update(vo, grad_center.data(), vc_local.data(), g, dims);
+          }
+          hw_writeback(vc, vc_local.data(), grad_center.data(), dims);
+        }
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -44,7 +285,10 @@ Word2Vec Word2Vec::train(const std::vector<text::Sentence>& sentences,
     model.words_.push_back(vocab[i].first);
   }
   const std::size_t v = vocab.size();
-  if (v == 0 || total_tokens == 0) return model;
+  if (v == 0 || total_tokens == 0) {
+    model.rebuild_norms();
+    return model;
+  }
 
   // Negative-sampling table over unigram^(3/4).
   std::vector<std::size_t> neg_table(kNegativeTableSize);
@@ -81,64 +325,120 @@ Word2Vec Word2Vec::train(const std::vector<text::Sentence>& sentences,
   }
 
   const std::size_t dims = config.dimensions;
-  std::vector<float> grad_center(dims);
-  std::uint64_t processed = 0;
-  const std::uint64_t budget =
-      std::max<std::uint64_t>(1, config.epochs * total_tokens);
+  const std::size_t threads = std::max<std::size_t>(1, std::min(config.threads, encoded.size()));
 
-  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
-    for (const auto& ids : encoded) {
-      for (std::size_t pos = 0; pos < ids.size(); ++pos) {
-        ++processed;
-        const std::size_t center = ids[pos];
-        // Subsample very frequent words.
-        const double freq = static_cast<double>(vocab[center].second) /
-                            static_cast<double>(total_tokens);
-        if (freq > config.subsample_threshold) {
-          const double keep =
-              std::sqrt(config.subsample_threshold / freq) +
-              config.subsample_threshold / freq;
-          if (!rng.flip(std::min(1.0, keep))) continue;
-        }
-        const float lr = static_cast<float>(
-            config.initial_lr *
-            std::max(0.05, 1.0 - static_cast<double>(processed) /
-                               static_cast<double>(budget)));
-        const std::size_t window = 1 + rng.below(config.window);
-        const std::size_t lo = pos >= window ? pos - window : 0;
-        const std::size_t hi = std::min(ids.size(), pos + window + 1);
-        float* vc = model.input_.data() + center * dims;
-        for (std::size_t ctx = lo; ctx < hi; ++ctx) {
-          if (ctx == pos) continue;
-          std::fill(grad_center.begin(), grad_center.end(), 0.0F);
-          for (std::size_t neg = 0; neg <= config.negatives; ++neg) {
-            std::size_t target;
-            float label;
-            if (neg == 0) {
-              target = ids[ctx];
-              label = 1.0F;
-            } else {
-              target = neg_table[rng.below(kNegativeTableSize)];
-              if (target == ids[ctx]) continue;
-              label = 0.0F;
-            }
-            float* vo = output.data() + target * dims;
-            float score = 0.0F;
-            for (std::size_t d = 0; d < dims; ++d) score += vc[d] * vo[d];
-            const float g = (label - sigmoid(score)) * lr;
-            for (std::size_t d = 0; d < dims; ++d) {
-              grad_center[d] += g * vo[d];
-              vo[d] += g * vc[d];
-            }
+  if (threads == 1) {
+    // Serial trajectory — bitwise-locked by the golden test in
+    // tests/test_train_kernels.cpp; `rng` continues the stream that
+    // initialized the input table. Do not "optimize" this loop.
+    std::vector<float> grad_center(dims);
+    std::uint64_t processed = 0;
+    const std::uint64_t budget =
+        std::max<std::uint64_t>(1, config.epochs * total_tokens);
+
+    for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+      for (const auto& ids : encoded) {
+        for (std::size_t pos = 0; pos < ids.size(); ++pos) {
+          ++processed;
+          const std::size_t center = ids[pos];
+          // Subsample very frequent words.
+          const double freq = static_cast<double>(vocab[center].second) /
+                              static_cast<double>(total_tokens);
+          if (freq > config.subsample_threshold) {
+            const double keep =
+                std::sqrt(config.subsample_threshold / freq) +
+                config.subsample_threshold / freq;
+            if (!rng.flip(std::min(1.0, keep))) continue;
           }
-          for (std::size_t d = 0; d < dims; ++d) vc[d] += grad_center[d];
+          const float lr = static_cast<float>(
+              config.initial_lr *
+              std::max(0.05, 1.0 - static_cast<double>(processed) /
+                                 static_cast<double>(budget)));
+          const std::size_t window = 1 + rng.below(config.window);
+          const std::size_t lo = pos >= window ? pos - window : 0;
+          const std::size_t hi = std::min(ids.size(), pos + window + 1);
+          float* vc = model.input_.data() + center * dims;
+          for (std::size_t ctx = lo; ctx < hi; ++ctx) {
+            if (ctx == pos) continue;
+            std::fill(grad_center.begin(), grad_center.end(), 0.0F);
+            for (std::size_t neg = 0; neg <= config.negatives; ++neg) {
+              std::size_t target;
+              float label;
+              if (neg == 0) {
+                target = ids[ctx];
+                label = 1.0F;
+              } else {
+                target = neg_table[rng.below(kNegativeTableSize)];
+                if (target == ids[ctx]) continue;
+                label = 0.0F;
+              }
+              float* vo = output.data() + target * dims;
+              float score = 0.0F;
+              for (std::size_t d = 0; d < dims; ++d) score += vc[d] * vo[d];
+              const float g = (label - sigmoid(score)) * lr;
+              for (std::size_t d = 0; d < dims; ++d) {
+                grad_center[d] += g * vo[d];
+                vo[d] += g * vc[d];
+              }
+            }
+            for (std::size_t d = 0; d < dims; ++d) vc[d] += grad_center[d];
+          }
         }
       }
     }
+  } else {
+    // Hogwild: contiguous token-balanced shards, one worker each, lock-free
+    // updates on the shared tables.
+    std::vector<float> keep_prob(v, 2.0F);  // >= 1: never subsampled
+    for (std::size_t i = 0; i < v; ++i) {
+      const double freq = static_cast<double>(vocab[i].second) /
+                          static_cast<double>(total_tokens);
+      if (freq > config.subsample_threshold)
+        keep_prob[i] = static_cast<float>(std::min(
+            1.0, std::sqrt(config.subsample_threshold / freq) +
+                     config.subsample_threshold / freq));
+    }
+
+    std::vector<std::uint64_t> token_prefix(encoded.size() + 1, 0);
+    for (std::size_t s = 0; s < encoded.size(); ++s)
+      token_prefix[s + 1] = token_prefix[s] + encoded[s].size();
+    const std::uint64_t encoded_tokens = token_prefix.back();
+
+    const HogwildShared shared{encoded, neg_table, keep_prob,
+                               config,  model.input_, output};
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    std::size_t begin = 0;
+    for (std::size_t t = 0; t < threads; ++t) {
+      // Shard boundary: first sentence at or past the t+1-th token slice.
+      const std::uint64_t target = encoded_tokens * (t + 1) / threads;
+      std::size_t end = t + 1 == threads ? encoded.size() : begin;
+      while (end < encoded.size() && token_prefix[end] < target) ++end;
+      const std::uint64_t shard_tokens = token_prefix[end] - token_prefix[begin];
+      util::Rng worker_rng(config.seed ^ (0x9e3779b97f4a7c15ULL * (t + 1)));
+      if (begin < end)
+        pool.emplace_back(hogwild_worker, std::cref(shared), begin, end,
+                          shard_tokens, worker_rng);
+      begin = end;
+    }
+    for (auto& worker : pool) worker.join();
   }
+
   util::log_debug("word2vec: ", v, " words x ", dims, " dims, ",
-                  config.epochs, " epochs");
+                  config.epochs, " epochs, ", threads, " threads");
+  model.rebuild_norms();
   return model;
+}
+
+void Word2Vec::rebuild_norms() {
+  norms_.assign(words_.size(), 0.0);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    const float* row = input_.data() + i * dims_;
+    double acc = 0.0;
+    for (std::size_t d = 0; d < dims_; ++d)
+      acc += static_cast<double>(row[d]) * row[d];
+    norms_[i] = std::sqrt(acc);
+  }
 }
 
 std::optional<std::span<const float>> Word2Vec::vector(const std::string& word) const {
@@ -148,19 +448,74 @@ std::optional<std::span<const float>> Word2Vec::vector(const std::string& word) 
 }
 
 double Word2Vec::similarity(const std::string& a, const std::string& b) const {
-  const auto va = vector(a);
-  const auto vb = vector(b);
-  if (!va || !vb) return 0.0;
+  const auto ia = index_.find(util::to_lower(a));
+  const auto ib = index_.find(util::to_lower(b));
+  if (ia == index_.end() || ib == index_.end()) return 0.0;
+  const float* va = input_.data() + ia->second * dims_;
+  const float* vb = input_.data() + ib->second * dims_;
   double dot = 0.0;
-  double na = 0.0;
-  double nb = 0.0;
-  for (std::size_t d = 0; d < dims_; ++d) {
-    dot += static_cast<double>((*va)[d]) * (*vb)[d];
-    na += static_cast<double>((*va)[d]) * (*va)[d];
-    nb += static_cast<double>((*vb)[d]) * (*vb)[d];
+  for (std::size_t d = 0; d < dims_; ++d)
+    dot += static_cast<double>(va[d]) * vb[d];
+  const double denom = norms_[ia->second] * norms_[ib->second];
+  return denom == 0.0 ? 0.0 : dot / denom;
+}
+
+void Word2Vec::save(std::ostream& out) const {
+  const auto old_precision = out.precision(9);  // float max_digits10
+  out << "word2vec " << words_.size() << ' ' << dims_ << '\n';
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    out << words_[i];
+    const float* row = input_.data() + i * dims_;
+    for (std::size_t d = 0; d < dims_; ++d) out << ' ' << row[d];
+    out << '\n';
   }
-  if (na == 0.0 || nb == 0.0) return 0.0;
-  return dot / std::sqrt(na * nb);
+  out << "end\n";
+  out.precision(old_precision);
+}
+
+Word2Vec Word2Vec::load(std::istream& in) {
+  Word2Vec model;
+  std::string magic;
+  if (!(in >> magic) || magic != "word2vec")
+    throw std::runtime_error("word2vec: bad magic (expected `word2vec`, got '" +
+                             magic + "')");
+  std::size_t v = 0;
+  std::size_t dims = 0;
+  if (!(in >> v >> dims))
+    throw std::runtime_error("word2vec: malformed header (expected `words dims`)");
+  if (v > 0 && dims == 0)
+    throw std::runtime_error("word2vec: header claims " + std::to_string(v) +
+                             " words with zero dimensions");
+  model.dims_ = dims;
+  model.input_.resize(v * dims);
+  model.words_.reserve(v);
+  for (std::size_t i = 0; i < v; ++i) {
+    std::string word;
+    if (!(in >> word))
+      throw std::runtime_error("word2vec: truncated vector table (read " +
+                               std::to_string(i) + " of " + std::to_string(v) +
+                               " rows)");
+    if (!model.index_.emplace(word, i).second)
+      throw std::runtime_error("word2vec: duplicate word entry '" + word + "'");
+    model.words_.push_back(std::move(word));
+    float* row = model.input_.data() + i * dims;
+    for (std::size_t d = 0; d < dims; ++d) {
+      if (!(in >> row[d]))
+        throw std::runtime_error("word2vec: truncated vector for word '" +
+                                 model.words_.back() + "' (component " +
+                                 std::to_string(d) + " of " +
+                                 std::to_string(dims) + ")");
+      if (!std::isfinite(row[d]))
+        throw std::runtime_error("word2vec: non-finite component in vector for '" +
+                                 model.words_.back() + "'");
+    }
+  }
+  std::string sentinel;
+  if (!(in >> sentinel) || sentinel != "end")
+    throw std::runtime_error("word2vec: missing end sentinel after " +
+                             std::to_string(v) + " rows");
+  model.rebuild_norms();
+  return model;
 }
 
 EmbeddingClusters cluster_embeddings(const Word2Vec& embeddings, std::size_t k,
@@ -172,59 +527,69 @@ EmbeddingClusters cluster_embeddings(const Word2Vec& embeddings, std::size_t k,
   k = std::min(k, v);
   result.k = k;
 
-  // L2-normalized copies so k-means approximates spherical clustering.
-  std::vector<std::vector<float>> points(v, std::vector<float>(dims, 0.0F));
+  // L2-normalized flat copies so k-means approximates spherical clustering
+  // (contiguous rows — the assignment loop streams points x centers).
+  std::vector<float> points(v * dims, 0.0F);
   for (std::size_t i = 0; i < v; ++i) {
     const auto vec = embeddings.vector(embeddings.words()[i]);
     double norm = 0.0;
     for (std::size_t d = 0; d < dims; ++d) norm += static_cast<double>((*vec)[d]) * (*vec)[d];
     const float inv = norm > 0 ? static_cast<float>(1.0 / std::sqrt(norm)) : 0.0F;
-    for (std::size_t d = 0; d < dims; ++d) points[i][d] = (*vec)[d] * inv;
+    for (std::size_t d = 0; d < dims; ++d) points[i * dims + d] = (*vec)[d] * inv;
   }
 
   util::Rng rng(seed);
   std::vector<std::size_t> seeds(v);
   for (std::size_t i = 0; i < v; ++i) seeds[i] = i;
   rng.shuffle(seeds);
-  std::vector<std::vector<float>> centers(k);
-  for (std::size_t c = 0; c < k; ++c) centers[c] = points[seeds[c]];
+  std::vector<float> centers(k * dims);
+  for (std::size_t c = 0; c < k; ++c)
+    std::copy_n(points.data() + seeds[c] * dims, dims, centers.data() + c * dims);
 
   std::vector<int> assign(v, 0);
   for (std::size_t iter = 0; iter < iterations; ++iter) {
-    bool changed = false;
-    for (std::size_t i = 0; i < v; ++i) {
-      double best = -1e300;
-      int arg = 0;
-      for (std::size_t c = 0; c < k; ++c) {
-        double dot = 0.0;
-        for (std::size_t d = 0; d < dims; ++d)
-          dot += static_cast<double>(points[i][d]) * centers[c][d];
-        if (dot > best) {
-          best = dot;
-          arg = static_cast<int>(c);
+    // Assignment is a pure function of (points, centers) per point, so the
+    // parallel sweep is deterministic and thread-count independent.
+    std::atomic<bool> changed{false};
+    util::parallel_for_chunked(0, v, [&](std::size_t chunk_begin, std::size_t chunk_end) {
+      bool local_changed = false;
+      for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+        const float* point = points.data() + i * dims;
+        double best = -1e300;
+        int arg = 0;
+        for (std::size_t c = 0; c < k; ++c) {
+          const float* center = centers.data() + c * dims;
+          double dot = 0.0;
+          for (std::size_t d = 0; d < dims; ++d)
+            dot += static_cast<double>(point[d]) * center[d];
+          if (dot > best) {
+            best = dot;
+            arg = static_cast<int>(c);
+          }
+        }
+        if (assign[i] != arg) {
+          assign[i] = arg;
+          local_changed = true;
         }
       }
-      if (assign[i] != arg) {
-        assign[i] = arg;
-        changed = true;
-      }
-    }
-    if (!changed) break;
-    // Recompute centers.
-    std::vector<std::vector<double>> sums(k, std::vector<double>(dims, 0.0));
+      if (local_changed) changed.store(true, std::memory_order_relaxed);
+    });
+    if (!changed.load(std::memory_order_relaxed)) break;
+    // Recompute centers (serial: O(v * dims), negligible vs assignment).
+    std::vector<double> sums(k * dims, 0.0);
     std::vector<std::size_t> sizes(k, 0);
     for (std::size_t i = 0; i < v; ++i) {
-      for (std::size_t d = 0; d < dims; ++d)
-        sums[static_cast<std::size_t>(assign[i])][d] += points[i][d];
-      ++sizes[static_cast<std::size_t>(assign[i])];
+      const auto c = static_cast<std::size_t>(assign[i]);
+      for (std::size_t d = 0; d < dims; ++d) sums[c * dims + d] += points[i * dims + d];
+      ++sizes[c];
     }
     for (std::size_t c = 0; c < k; ++c) {
       if (sizes[c] == 0) continue;
       double norm = 0.0;
-      for (std::size_t d = 0; d < dims; ++d) norm += sums[c][d] * sums[c][d];
+      for (std::size_t d = 0; d < dims; ++d) norm += sums[c * dims + d] * sums[c * dims + d];
       const double inv = norm > 0 ? 1.0 / std::sqrt(norm) : 0.0;
       for (std::size_t d = 0; d < dims; ++d)
-        centers[c][d] = static_cast<float>(sums[c][d] * inv);
+        centers[c * dims + d] = static_cast<float>(sums[c * dims + d] * inv);
     }
   }
 

@@ -2,12 +2,22 @@
 //
 // BANNER-ChemDNER uses word2vec vectors trained on unlabelled text as CRF
 // features. This is a from-scratch SGNS trainer: unigram^(3/4) negative
-// sampling table, linear learning-rate decay, frequent-word subsampling,
-// deterministic under a fixed seed (single-threaded SGD by design — the
-// corpus sizes here make hogwild unnecessary and determinism is worth more).
+// sampling table, linear learning-rate decay, frequent-word subsampling.
+//
+// Threading follows the original word2vec.c Hogwild design: with
+// `threads > 1` the encoded sentences are sharded across a worker pool
+// doing lock-free SGD on the shared embedding tables (updates may race and
+// occasionally lose — benign for SGD, but the trajectory is not
+// reproducible run-to-run). `threads = 1` (the default and the test path)
+// runs the exact serial loop the trainer has always had, deterministic
+// under a fixed seed and bitwise-locked by a golden test. The Hogwild path
+// additionally uses a sigmoid lookup table, precomputed subsampling
+// keep-probabilities, and dependency-broken dot products — optimizations
+// the serial path cannot take without changing its trajectory.
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <optional>
 #include <span>
 #include <string>
@@ -28,6 +38,9 @@ struct Word2VecConfig {
   double initial_lr = 0.05;
   double subsample_threshold = 1e-3;
   std::uint64_t seed = 7;
+  /// SGD worker count. 1 = deterministic serial trajectory (default);
+  /// > 1 = Hogwild lock-free sharded SGD (not bitwise reproducible).
+  std::size_t threads = 1;
 };
 
 class Word2Vec {
@@ -43,18 +56,32 @@ class Word2Vec {
   [[nodiscard]] const std::vector<std::string>& words() const noexcept { return words_; }
 
   /// Cosine similarity between two words' vectors (0 if either is OOV).
+  /// Uses per-word L2 norms cached at train/load time.
   [[nodiscard]] double similarity(const std::string& a, const std::string& b) const;
 
+  /// Text serialization (vocabulary + input vectors).
+  void save(std::ostream& out) const;
+
+  /// Restore from `save` output. Throws std::runtime_error on malformed
+  /// input: bad magic/header, truncated vector rows, non-finite values,
+  /// duplicate words, missing end sentinel.
+  static Word2Vec load(std::istream& in);
+
  private:
+  void rebuild_norms();
+
   std::size_t dims_ = 0;
   std::vector<std::string> words_;
   std::unordered_map<std::string, std::size_t> index_;
-  std::vector<float> input_;  ///< vocabulary x dims
+  std::vector<float> input_;   ///< vocabulary x dims
+  std::vector<double> norms_;  ///< per-word L2 norm of input_ row
 };
 
 /// Hard k-means over the (L2-normalized) embedding vectors; the resulting
 /// cluster ids are discretized into CRF features, mirroring how
-/// BANNER-ChemDNER buckets continuous vectors.
+/// BANNER-ChemDNER buckets continuous vectors. The assignment step runs
+/// under util::parallel_for_chunked; results are deterministic and
+/// independent of the thread count.
 struct EmbeddingClusters {
   std::unordered_map<std::string, int> assignment;
   std::size_t k = 0;

@@ -41,6 +41,11 @@ struct GraphNerConfig {
   std::size_t brown_clusters = 48;
   std::size_t embedding_kmeans_clusters = 40;
   std::uint64_t embedding_seed = 7;
+  /// word2vec SGD workers. 1 (default) keeps the deterministic serial
+  /// trajectory; > 1 enables Hogwild sharded SGD, which is faster but not
+  /// bitwise reproducible (see DESIGN.md §6). Brown clustering and k-means
+  /// are thread-count independent and follow the global util::num_threads.
+  std::size_t embedding_threads = 1;
 };
 
 }  // namespace graphner::core

@@ -47,15 +47,22 @@ GraphNerModel GraphNerModel::train(const std::vector<text::Sentence>& labelled,
                           unlabelled_text.end());
     embeddings::BrownConfig brown_config;
     brown_config.num_clusters = config.brown_clusters;
+    util::Stopwatch brown_watch;
     model.brown_ = std::make_unique<embeddings::BrownClustering>(
         embeddings::BrownClustering::train(embedding_text, brown_config));
+    model.training_timings_.brown_seconds = brown_watch.seconds();
 
     embeddings::Word2VecConfig w2v_config;
     w2v_config.seed = config.embedding_seed;
+    w2v_config.threads = config.embedding_threads;
+    util::Stopwatch w2v_watch;
     const auto w2v = embeddings::Word2Vec::train(embedding_text, w2v_config);
+    model.training_timings_.word2vec_seconds = w2v_watch.seconds();
+    util::Stopwatch kmeans_watch;
     model.embedding_clusters_ = std::make_unique<embeddings::EmbeddingClusters>(
         embeddings::cluster_embeddings(w2v, config.embedding_kmeans_clusters,
                                        config.embedding_seed + 1));
+    model.training_timings_.kmeans_seconds = kmeans_watch.seconds();
   }
   model.extractor_ = std::make_unique<features::FeatureExtractor>(make_feature_config(
       config.profile, model.brown_.get(), model.embedding_clusters_.get()));
@@ -64,12 +71,16 @@ GraphNerModel GraphNerModel::train(const std::vector<text::Sentence>& labelled,
   util::Stopwatch train_watch;
   const crf::StateSpace space = make_space(config.crf_order);
   model.index_ = std::make_unique<crf::FeatureIndex>();
+  util::Stopwatch encode_watch;
   const crf::Batch batch = features::encode_batch_for_training(
       labelled, *model.extractor_, *model.index_, space);
   model.index_->freeze();
+  model.training_timings_.encode_seconds = encode_watch.seconds();
   model.crf_ =
       std::make_unique<crf::LinearChainCrf>(space, model.index_->size());
+  util::Stopwatch crf_watch;
   train_crf(*model.crf_, batch, config.train);
+  model.training_timings_.crf_train_seconds = crf_watch.seconds();
   model.train_seconds_ = train_watch.seconds();
 
   // Set_ReferenceDistributions(D_l)  — Algorithm 1, line 3.
@@ -77,6 +88,7 @@ GraphNerModel GraphNerModel::train(const std::vector<text::Sentence>& labelled,
   model.reference_ = std::make_unique<ReferenceDistributions>(
       ReferenceDistributions::build(labelled));
   model.reference_seconds_ = ref_watch.seconds();
+  model.training_timings_.reference_seconds = model.reference_seconds_;
 
   util::log_info("graphner: trained ", profile_name(config.profile), " order-",
                  config.crf_order, " CRF, ", model.index_->size(), " features, ",
@@ -134,14 +146,15 @@ GraphNerModel::TestContext GraphNerModel::prepare(
 
   struct InferenceAcc {
     crf::TagTransitionMatrix counts{};
-    crf::LinearChainCrf::Scratch scratch;  // per-worker reusable lattice
+    crf::LinearChainCrf::Scratch scratch;    // per-worker reusable lattice
+    features::EncodeScratch encode;          // per-worker encode buffers
   };
   const InferenceAcc acc = util::parallel_reduce(
       std::size_t{0}, all.size(), InferenceAcc{},
       [&](InferenceAcc& local, std::size_t i) {
         if (all[i]->size() == 0) return;
-        const auto encoded =
-            features::encode_for_inference(*all[i], *extractor_, *index_);
+        const crf::EncodedSentence& encoded = features::encode_for_inference(
+            *all[i], *extractor_, *index_, local.encode);
         context.posteriors[i] = crf_->posteriors(encoded, local.scratch);
         // The pairwise tag marginals are the per-edge transition
         // expectations, so summing them gives the expected bigram counts

@@ -49,6 +49,23 @@ struct PipelineTimings {
   }
 };
 
+/// Wall-clock breakdown of the TRAIN procedure (embedding phases matter:
+/// at paper scale Brown + word2vec dominate, which is what the windowed /
+/// Hogwild training kernels attack — see DESIGN.md §6).
+struct TrainingTimings {
+  double brown_seconds = 0.0;
+  double word2vec_seconds = 0.0;
+  double kmeans_seconds = 0.0;
+  double encode_seconds = 0.0;     ///< feature extraction + batch encoding
+  double crf_train_seconds = 0.0;  ///< L-BFGS optimization only
+  double reference_seconds = 0.0;
+
+  [[nodiscard]] double total() const noexcept {
+    return brown_seconds + word2vec_seconds + kmeans_seconds + encode_seconds +
+           crf_train_seconds + reference_seconds;
+  }
+};
+
 struct GraphNerStats {
   std::size_t vertices = 0;
   std::size_t edges = 0;
@@ -136,6 +153,10 @@ class GraphNerModel {
     return *reference_;
   }
   [[nodiscard]] double train_seconds() const noexcept { return train_seconds_; }
+  /// Per-phase TRAIN wall-clock (zeroed on a load()ed model).
+  [[nodiscard]] const TrainingTimings& training_timings() const noexcept {
+    return training_timings_;
+  }
   [[nodiscard]] std::size_t feature_count() const noexcept { return index_->size(); }
 
   /// Persist a trained model (text format) / restore it. A loaded model
@@ -157,6 +178,7 @@ class GraphNerModel {
   std::unique_ptr<ReferenceDistributions> reference_;
   double train_seconds_ = 0.0;
   double reference_seconds_ = 0.0;
+  TrainingTimings training_timings_{};
 };
 
 }  // namespace graphner::core
