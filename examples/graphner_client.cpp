@@ -9,6 +9,13 @@
 // With --concurrency N the lines are striped over N connections, each of
 // which pipelines a window of requests — that is what drives the server's
 // micro-batcher from a single client process.
+//
+// The client is fault-tolerant: connects retry with capped exponential
+// backoff and jitter, and with --reconnect > 0 a connection that drops
+// mid-stream (server restart, injected socket faults) is re-established
+// and the unanswered tail of the current window is resent — responses
+// arrive in order per connection, so everything already answered stays
+// answered exactly once.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -18,6 +25,7 @@
 
 #include "src/serve/socket_server.hpp"
 #include "src/util/cli.hpp"
+#include "src/util/fault.hpp"
 
 namespace {
 
@@ -40,14 +48,23 @@ int main(int argc, char** argv) {
   auto port = cli.flag<std::uint16_t>("port", 8765, "server port");
   auto input = cli.flag<std::string>("input", "-", "sentence file ('-' = stdin)");
   auto concurrency = cli.flag<std::size_t>("concurrency", 1, "parallel connections");
-  auto retries = cli.flag<int>("retries", 20, "connect retries (100 ms apart)");
+  auto retries = cli.flag<int>("retries", 20,
+                               "connect attempts (exponential backoff from 100 ms)");
+  auto reconnect = cli.flag<int>(
+      "reconnect", 0, "reconnects allowed per connection when it drops mid-stream");
+  auto deadline_ms = cli.flag<long>(
+      "deadline-ms", 0, "per-request deadline sent as the '@<ms>' id suffix");
   auto metrics = cli.toggle("metrics", "fetch the server metrics JSON and exit");
   cli.parse(argc, argv);
+
+  util::BackoffPolicy connect_policy;
+  connect_policy.initial = std::chrono::milliseconds(100);
+  connect_policy.max_retries = *retries;
 
   try {
     if (*metrics) {
       serve::ClientConnection connection;
-      connection.connect(*host, *port, *retries);
+      connection.connect(*host, *port, connect_policy);
       connection.send_line("#METRICS");
       std::string line;
       if (!connection.recv_line(line))
@@ -75,7 +92,10 @@ int main(int argc, char** argv) {
       threads.emplace_back([&, c] {
         try {
           serve::ClientConnection connection;
-          connection.connect(*host, *port, *retries);
+          connection.connect(*host, *port, connect_policy);
+          int reconnects_left = *reconnect;
+          const std::string suffix =
+              *deadline_ms > 0 ? "@" + std::to_string(*deadline_ms) : "";
           // This connection owns lines c, c + connections, c + 2*connections...
           std::vector<std::size_t> mine;
           for (std::size_t i = c; i < lines.size(); i += connections)
@@ -87,14 +107,27 @@ int main(int argc, char** argv) {
                begin += kPipelineWindow) {
             const std::size_t end =
                 std::min(begin + kPipelineWindow, mine.size());
-            for (std::size_t k = begin; k < end; ++k)
-              connection.send_line("line" + std::to_string(mine[k]) + "\t" +
-                                   lines[mine[k]]);
-            for (std::size_t k = begin; k < end; ++k) {
-              std::string response;
-              if (!connection.recv_line(response))
-                throw std::runtime_error("connection closed mid-stream");
-              responses[mine[k]] = std::move(response);
+            // `done` counts responses received for this window; on a drop,
+            // reconnect and resend only the unanswered tail (per-connection
+            // responses are ordered, so [begin, done) is settled).
+            std::size_t done = begin;
+            while (done < end) {
+              try {
+                for (std::size_t k = done; k < end; ++k)
+                  connection.send_line("line" + std::to_string(mine[k]) +
+                                       suffix + "\t" + lines[mine[k]]);
+                while (done < end) {
+                  std::string response;
+                  if (!connection.recv_line(response))
+                    throw std::runtime_error("connection closed mid-stream");
+                  responses[mine[done]] = std::move(response);
+                  ++done;
+                }
+              } catch (const std::exception&) {
+                if (reconnects_left <= 0) throw;
+                --reconnects_left;
+                connection.connect(*host, *port, connect_policy);
+              }
             }
           }
         } catch (const std::exception& e) {

@@ -22,6 +22,7 @@
 #include "src/serve/protocol.hpp"
 #include "src/serve/socket_server.hpp"
 #include "src/util/cli.hpp"
+#include "src/util/fault.hpp"
 
 namespace {
 
@@ -33,16 +34,14 @@ void handle_signal(int sig) { g_signal.store(sig); }
 
 core::GraphNerModel obtain_model(const std::string& load_path,
                                  const std::string& corpus_dir,
-                                 const std::string& profile) {
-  if (!load_path.empty()) {
-    std::ifstream in(load_path);
-    if (!in) throw std::runtime_error("cannot read model " + load_path);
-    return core::GraphNerModel::load(in);
-  }
+                                 const std::string& profile,
+                                 const std::string& checkpoint_dir) {
+  if (!load_path.empty()) return core::GraphNerModel::load_file(load_path);
   const auto data = corpus::load_corpus(corpus_dir);
   core::GraphNerConfig config;
   config.profile = (profile == "chemdner") ? core::CrfProfile::kBannerChemDner
                                            : core::CrfProfile::kBanner;
+  config.checkpoint_dir = checkpoint_dir;
   std::vector<text::Sentence> unlabelled;
   for (const auto& s : data.test) {
     text::Sentence stripped;
@@ -87,13 +86,25 @@ int main(int argc, char** argv) {
   auto max_batch = cli.flag<std::size_t>("max-batch", 32, "micro-batch cap");
   auto max_queue = cli.flag<std::size_t>("max-queue", 1024, "queue depth bound");
   auto delay_us = cli.flag<long>("delay-us", 2000, "max batch-formation delay");
+  auto checkpoint_dir = cli.flag<std::string>(
+      "checkpoint-dir", "",
+      "crash-safe per-phase training checkpoints; rerun to resume");
+  auto deadline_ms = cli.flag<long>(
+      "default-deadline-ms", 0,
+      "shed requests queued longer than this (0 = no default deadline)");
+  auto blend = cli.toggle(
+      "blend", "decode with the GraphNER posterior blend (degradable)");
+  auto degrade_high = cli.flag<std::size_t>(
+      "degrade-high", 0,
+      "queue depth that switches blend decode to plain Viterbi (0 = never)");
+  auto degrade_low = cli.flag<std::size_t>(
+      "degrade-low", 0, "queue depth that restores blend decode");
   cli.parse(argc, argv);
 
   try {
-    const auto model = obtain_model(*load_model, *dir, *profile);
+    const auto model = obtain_model(*load_model, *dir, *profile, *checkpoint_dir);
     if (!save_model->empty()) {
-      std::ofstream out(*save_model);
-      model.save(out);
+      model.save_file(*save_model);  // atomic: tmp + fsync + rename
       std::cerr << "saved model to " << *save_model << '\n';
     }
 
@@ -116,6 +127,10 @@ int main(int argc, char** argv) {
     service_config.batching.max_batch = *max_batch;
     service_config.batching.max_queue_depth = *max_queue;
     service_config.batching.max_delay = std::chrono::microseconds(*delay_us);
+    service_config.default_deadline = std::chrono::milliseconds(*deadline_ms);
+    service_config.blend_decode = *blend;
+    service_config.degrade.high_watermark = *degrade_high;
+    service_config.degrade.low_watermark = *degrade_low;
     serve::TaggingService service(model, service_config);
 
     serve::SocketServerConfig socket_config;
@@ -134,6 +149,9 @@ int main(int argc, char** argv) {
     server.stop();
     service.stop();
     std::cerr << service.metrics_json() << '\n';
+    // Chaos post-mortem: which injected fault points actually fired.
+    const std::string faults = util::FaultInjector::instance().summary();
+    if (!faults.empty()) std::cerr << "injected faults:\n" << faults;
   } catch (const std::exception& e) {
     std::cerr << "graphner_serve: " << e.what() << '\n';
     return 1;

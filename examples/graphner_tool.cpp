@@ -58,6 +58,9 @@ int cmd_tag(int argc, char** argv) {
                                           "persist the trained model here");
   auto load_model = cli.flag<std::string>(
       "load-model", "", "reuse a saved model instead of training");
+  auto checkpoint_dir = cli.flag<std::string>(
+      "checkpoint-dir", "",
+      "crash-safe per-phase training checkpoints; rerun to resume");
   cli.parse(argc, argv);
 
   const auto data = corpus::load_corpus(*dir);
@@ -67,16 +70,13 @@ int cmd_tag(int argc, char** argv) {
   config.alpha = *alpha;
   config.propagation = {*mu, *nu, *iterations};
   config.crf_order = *order;
+  config.checkpoint_dir = *checkpoint_dir;
 
   // Obtain a model: load a saved one (its stored configuration wins) or
   // train fresh on train.in/train.eval.
   auto make_model = [&]() -> core::GraphNerModel {
-    if (!load_model->empty()) {
-      std::ifstream model_in(*load_model);
-      if (!model_in)
-        throw std::runtime_error("cannot read model " + *load_model);
-      return core::GraphNerModel::load(model_in);
-    }
+    if (!load_model->empty())
+      return core::GraphNerModel::load_file(*load_model);
     std::vector<text::Sentence> unlabelled;
     for (const auto& s : data.test) {
       text::Sentence stripped;
@@ -88,8 +88,7 @@ int cmd_tag(int argc, char** argv) {
   };
   const auto model = make_model();
   if (!save_model->empty()) {
-    std::ofstream model_out(*save_model);
-    model.save(model_out);
+    model.save_file(*save_model);  // atomic: tmp + fsync + rename
     std::cout << "saved model to " << *save_model << '\n';
   }
 

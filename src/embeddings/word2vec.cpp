@@ -598,4 +598,33 @@ EmbeddingClusters cluster_embeddings(const Word2Vec& embeddings, std::size_t k,
   return result;
 }
 
+void EmbeddingClusters::save(std::ostream& out) const {
+  out << "embclusters " << k << ' ' << assignment.size() << '\n';
+  std::vector<std::pair<std::string, int>> entries(assignment.begin(),
+                                                   assignment.end());
+  std::sort(entries.begin(), entries.end());
+  for (const auto& [word, cluster] : entries) out << word << ' ' << cluster << '\n';
+}
+
+EmbeddingClusters EmbeddingClusters::load(std::istream& in) {
+  std::string magic;
+  if (!(in >> magic) || magic != "embclusters")
+    throw std::runtime_error(
+        "embclusters: bad magic (expected `embclusters`, got '" + magic + "')");
+  EmbeddingClusters result;
+  std::size_t entries = 0;
+  if (!(in >> result.k >> entries))
+    throw std::runtime_error("embclusters: missing header counts");
+  for (std::size_t i = 0; i < entries; ++i) {
+    std::string word;
+    int cluster = 0;
+    if (!(in >> word >> cluster))
+      throw std::runtime_error("embclusters: truncated table (read " +
+                               std::to_string(i) + " of " +
+                               std::to_string(entries) + " rows)");
+    result.assignment[std::move(word)] = cluster;
+  }
+  return result;
+}
+
 }  // namespace graphner::embeddings

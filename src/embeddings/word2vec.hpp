@@ -90,6 +90,12 @@ struct EmbeddingClusters {
     const auto it = assignment.find(word);
     return it == assignment.end() ? -1 : it->second;
   }
+
+  /// Canonical (word-sorted) serialization: the bytes are a function of
+  /// the model only, never of unordered_map iteration order — checkpoint
+  /// resume relies on save→load→save being byte-identical.
+  void save(std::ostream& out) const;
+  static EmbeddingClusters load(std::istream& in);
 };
 
 [[nodiscard]] EmbeddingClusters cluster_embeddings(const Word2Vec& embeddings,

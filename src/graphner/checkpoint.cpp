@@ -1,0 +1,170 @@
+#include "src/graphner/checkpoint.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <ios>
+#include <sstream>
+
+#include "src/util/fault.hpp"
+#include "src/util/logging.hpp"
+
+namespace graphner::core {
+namespace {
+
+constexpr const char* kManifestMagic = "graphner-checkpoint";
+constexpr int kManifestVersion = 1;
+
+[[nodiscard]] std::string manifest_path(const std::string& dir) {
+  return dir + "/MANIFEST";
+}
+
+// --- fingerprint -----------------------------------------------------------
+
+struct Fnv1a {
+  std::uint64_t state = 0xcbf29ce484222325ULL;
+
+  void mix(const void* data, std::size_t size) noexcept {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      state ^= bytes[i];
+      state *= 0x100000001b3ULL;
+    }
+  }
+  void mix(const std::string& text) {
+    mix(text.data(), text.size());
+    mix_byte(0x1f);  // separator: "ab","c" and "a","bc" must differ
+  }
+  template <typename T>
+  void mix_scalar(T value) {
+    mix(&value, sizeof value);
+  }
+  void mix_byte(unsigned char b) { mix(&b, 1); }
+};
+
+void mix_sentences(Fnv1a& hash, const std::vector<text::Sentence>& sentences) {
+  hash.mix_scalar(sentences.size());
+  for (const auto& sentence : sentences) {
+    for (const auto& token : sentence.tokens) hash.mix(token);
+    for (const auto tag : sentence.tags)
+      hash.mix_byte(static_cast<unsigned char>(tag));
+    hash.mix_byte(0x1e);  // sentence boundary
+  }
+}
+
+}  // namespace
+
+std::uint64_t training_fingerprint(const GraphNerConfig& config,
+                                   const std::vector<text::Sentence>& labelled,
+                                   const std::vector<text::Sentence>& unlabelled) {
+  Fnv1a hash;
+  // Only knobs that change the trained parameters participate; alpha and
+  // the graph/propagation settings are test-time and may vary freely
+  // across a resume.
+  hash.mix_scalar(static_cast<int>(config.profile));
+  hash.mix_scalar(config.crf_order);
+  hash.mix_scalar(config.brown_clusters);
+  hash.mix_scalar(config.embedding_kmeans_clusters);
+  hash.mix_scalar(config.embedding_seed);
+  hash.mix_scalar(config.embedding_threads);
+  hash.mix_scalar(config.train.l2_sigma);
+  hash.mix_scalar(config.train.lbfgs.history);
+  hash.mix_scalar(config.train.lbfgs.max_iterations);
+  hash.mix_scalar(config.train.lbfgs.gradient_tolerance);
+  mix_sentences(hash, labelled);
+  mix_sentences(hash, unlabelled);
+  return hash.state;
+}
+
+TrainCheckpoint TrainCheckpoint::open(const std::string& dir,
+                                      std::uint64_t fingerprint) {
+  TrainCheckpoint checkpoint;
+  checkpoint.dir_ = dir;
+  checkpoint.fingerprint_ = fingerprint;
+  std::filesystem::create_directories(dir);
+
+  std::ifstream in(manifest_path(dir));
+  if (!in) return checkpoint;  // fresh directory
+
+  std::string magic;
+  int version = 0;
+  std::string key;
+  std::uint64_t stored = 0;
+  if (!(in >> magic >> version) || magic != kManifestMagic ||
+      version != kManifestVersion || !(in >> key >> std::hex >> stored) ||
+      key != "fingerprint") {
+    util::log_warn("checkpoint: malformed manifest in ", dir,
+                   " — ignoring prior state");
+    return checkpoint;
+  }
+  if (stored != fingerprint) {
+    util::log_warn("checkpoint: fingerprint mismatch in ", dir,
+                   " (different corpus or config) — ignoring prior state");
+    return checkpoint;
+  }
+  while (in >> key) {
+    if (key != "done") {
+      util::log_warn("checkpoint: unexpected manifest entry '", key,
+                     "' — ignoring prior state");
+      checkpoint.done_.clear();
+      return checkpoint;
+    }
+    std::string phase;
+    if (!(in >> phase)) break;
+    checkpoint.done_.push_back(std::move(phase));
+  }
+  if (!checkpoint.done_.empty())
+    util::log_info("checkpoint: resuming from ", dir, " (",
+                   checkpoint.done_.size(), " phase(s) already complete, last: ",
+                   checkpoint.done_.back(), ")");
+  return checkpoint;
+}
+
+bool TrainCheckpoint::completed(const std::string& phase) const {
+  return std::find(done_.begin(), done_.end(), phase) != done_.end();
+}
+
+std::string TrainCheckpoint::artifact_path(const std::string& phase) const {
+  return dir_ + "/" + phase + ".ckpt";
+}
+
+bool TrainCheckpoint::restore(const std::string& phase,
+                              const std::function<void(std::istream&)>& reader) {
+  if (!enabled() || !completed(phase)) return false;
+  std::ifstream in(artifact_path(phase));
+  if (!in) {
+    // The manifest promises a complete artifact (it is written second);
+    // an unreadable one means outside interference — recompute the phase.
+    util::log_warn("checkpoint: listed artifact ", artifact_path(phase),
+                   " unreadable — recomputing phase ", phase);
+    done_.erase(std::remove(done_.begin(), done_.end(), phase), done_.end());
+    return false;
+  }
+  reader(in);
+  util::log_info("checkpoint: restored phase ", phase, " from ",
+                 artifact_path(phase));
+  return true;
+}
+
+void TrainCheckpoint::commit(const std::string& phase,
+                             const std::function<void(std::ostream&)>& writer) {
+  if (!enabled()) return;
+  util::atomic_save(artifact_path(phase), writer);
+  if (!completed(phase)) done_.push_back(phase);
+  write_manifest();
+  util::log_info("checkpoint: committed phase ", phase);
+  // Chaos seam: simulate the process dying right after this phase became
+  // durable — the next run must resume from here.
+  if (util::fault_fires("train.crash." + phase))
+    throw util::FaultInjectedError("train.crash." + phase);
+}
+
+void TrainCheckpoint::write_manifest() const {
+  util::atomic_save(manifest_path(dir_), [this](std::ostream& out) {
+    out << kManifestMagic << ' ' << kManifestVersion << '\n';
+    out << "fingerprint " << std::hex << fingerprint_ << std::dec << '\n';
+    for (const auto& phase : done_) out << "done " << phase << '\n';
+  });
+}
+
+}  // namespace graphner::core

@@ -1,0 +1,79 @@
+// Crash-safe training checkpoints (DESIGN.md §8).
+//
+// GraphNerModel::train is a sequence of expensive phases (brown →
+// word2vec → encode → crf). With a checkpoint directory configured, each
+// completed phase commits an artifact file plus a MANIFEST, both written
+// with util::atomic_save, in that order: a crash between the two leaves
+// an unlisted artifact that resume silently overwrites, so the manifest
+// only ever names complete artifacts. A re-run with the same inputs
+// restores every committed phase and recomputes from the first missing
+// one; because every serialization in the pipeline is canonical (sorted
+// tables, precision-17 doubles), the resumed run's final model is
+// byte-identical to an uninterrupted run's.
+//
+// The MANIFEST carries a fingerprint of the training inputs (config knobs
+// that change the trajectory + the corpus itself). A stale directory —
+// different corpus, different hyper-parameters — fingerprint-mismatches
+// and is ignored wholesale rather than half-resumed into a franken-model.
+//
+// Each commit ends with the "train.crash.<phase>" fault point, which
+// throws FaultInjectedError right after the phase becomes durable — the
+// seam the kill-and-resume chaos test drives.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/graphner/config.hpp"
+#include "src/text/sentence.hpp"
+
+namespace graphner::core {
+
+class TrainCheckpoint {
+ public:
+  /// Disabled: restore() always misses, commit() is a no-op.
+  TrainCheckpoint() = default;
+
+  /// Open (and create if needed) a checkpoint directory. Reads the
+  /// MANIFEST when present; on a fingerprint mismatch or a malformed
+  /// manifest the directory's prior state is ignored (logged) and the
+  /// next commit starts a fresh manifest.
+  static TrainCheckpoint open(const std::string& dir, std::uint64_t fingerprint);
+
+  [[nodiscard]] bool enabled() const noexcept { return !dir_.empty(); }
+  [[nodiscard]] bool completed(const std::string& phase) const;
+  [[nodiscard]] std::string artifact_path(const std::string& phase) const;
+
+  /// Restore a committed phase: hands the artifact stream to `reader` and
+  /// returns true. Returns false — without calling `reader` — when the
+  /// phase is not committed (or the artifact is unreadable, which demotes
+  /// the phase to not-done so the caller recomputes it).
+  [[nodiscard]] bool restore(const std::string& phase,
+                             const std::function<void(std::istream&)>& reader);
+
+  /// Commit a phase: atomically write its artifact via `writer`, then the
+  /// updated MANIFEST. No-op when disabled. Fires "train.crash.<phase>"
+  /// after the phase is durable.
+  void commit(const std::string& phase,
+              const std::function<void(std::ostream&)>& writer);
+
+ private:
+  void write_manifest() const;
+
+  std::string dir_;
+  std::uint64_t fingerprint_ = 0;
+  std::vector<std::string> done_;  ///< commit order
+};
+
+/// Fingerprint of everything that determines the training trajectory: the
+/// trajectory-relevant GraphNerConfig knobs and the full corpus (tokens +
+/// tags). FNV-1a over a canonical byte stream — cheap next to any
+/// training phase.
+[[nodiscard]] std::uint64_t training_fingerprint(
+    const GraphNerConfig& config, const std::vector<text::Sentence>& labelled,
+    const std::vector<text::Sentence>& unlabelled);
+
+}  // namespace graphner::core

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "src/crf/trainer.hpp"
 #include "src/graph/knn_graph.hpp"
@@ -46,6 +47,13 @@ struct GraphNerConfig {
   /// bitwise reproducible (see DESIGN.md §6). Brown clustering and k-means
   /// are thread-count independent and follow the global util::num_threads.
   std::size_t embedding_threads = 1;
+
+  /// Crash-safe training checkpoints (DESIGN.md §8). Non-empty: train()
+  /// writes an atomic per-phase artifact (brown → word2vec → encode → crf)
+  /// plus a MANIFEST into this directory after each phase completes, and a
+  /// re-run with the same inputs resumes from the last complete phase.
+  /// Empty (default): no checkpoint I/O at all.
+  std::string checkpoint_dir;
 };
 
 }  // namespace graphner::core

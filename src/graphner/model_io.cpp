@@ -6,13 +6,18 @@
 // weights, and the reference distributions. Loading reconstructs the
 // feature extractor over the restored resources, so a loaded model decodes
 // identically to the one that was saved (tests/test_model_io.cpp).
+#include <algorithm>
 #include <cctype>
+#include <fstream>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/graphner/pipeline.hpp"
+#include "src/util/fault.hpp"
 #include "src/util/logging.hpp"
 
 namespace graphner::core {
@@ -57,7 +62,15 @@ void GraphNerModel::save(std::ostream& out) const {
   if (embedding_clusters_) {
     out << embedding_clusters_->k << ' ' << embedding_clusters_->assignment.size()
         << '\n';
-    for (const auto& [word, cluster] : embedding_clusters_->assignment)
+    // Sorted, like every other table: the serialization is a function of
+    // the model, not of unordered_map iteration order, so two equal models
+    // (e.g. an interrupted-and-resumed training run vs an uninterrupted
+    // one) produce byte-identical files.
+    std::vector<std::pair<std::string, int>> entries(
+        embedding_clusters_->assignment.begin(),
+        embedding_clusters_->assignment.end());
+    std::sort(entries.begin(), entries.end());
+    for (const auto& [word, cluster] : entries)
       out << word << ' ' << cluster << '\n';
   }
 
@@ -182,6 +195,16 @@ GraphNerModel GraphNerModel::load(std::istream& in) {
                  " model, ", model.index_->size(), " features, ",
                  model.reference_->size(), " reference trigrams");
   return model;
+}
+
+void GraphNerModel::save_file(const std::string& path) const {
+  util::atomic_save(path, [this](std::ostream& out) { save(out); });
+}
+
+GraphNerModel GraphNerModel::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read model " + path);
+  return load(in);
 }
 
 }  // namespace graphner::core

@@ -1,10 +1,14 @@
 #include "src/graphner/pipeline.hpp"
 
 #include <cassert>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
 
 #include "src/crf/trainer.hpp"
 #include "src/features/encoder.hpp"
 #include "src/graph/vertex_features.hpp"
+#include "src/graphner/checkpoint.hpp"
 #include "src/util/logging.hpp"
 #include "src/util/math.hpp"
 #include "src/util/parallel.hpp"
@@ -32,6 +36,36 @@ namespace {
   return config;
 }
 
+// Position-specific transition scores: the pairwise/marginal ratio of the
+// CRF at each edge (the exact tree reparameterization at order 1). A single
+// corpus-level matrix misprices rare transitions (it rewards B -> I between
+// two adjacent single-token mentions), hence per-edge. The ratio is
+// clamped: where the CRF is near-certain the raw ratio explodes to
+// ~1/marginal, and mixed beliefs could ride that bonus along a path the
+// CRF itself rules out. Within the clamp the node beliefs stay in charge,
+// which is the point of Algorithm 1 line 8.
+[[nodiscard]] std::vector<crf::TagTransitionMatrix> clamped_edge_ratios(
+    const crf::SentencePosteriors& posterior, std::size_t length) {
+  constexpr double kMaxRatio = 5.0;
+  std::vector<crf::TagTransitionMatrix> edge_ratios(length);
+  edge_ratios[0].fill(1.0);
+  for (std::size_t i = 1; i < length; ++i) {
+    for (std::size_t a = 0; a < kNumTags; ++a) {
+      for (std::size_t b = 0; b < kNumTags; ++b) {
+        const double denom =
+            posterior.tag_marginals[i - 1][a] * posterior.tag_marginals[i][b];
+        const double ratio =
+            denom > 1e-12
+                ? posterior.pairwise_marginals[i][a * kNumTags + b] / denom
+                : 0.0;
+        edge_ratios[i][a * kNumTags + b] =
+            util::clamp(ratio, 1.0 / kMaxRatio, kMaxRatio);
+      }
+    }
+  }
+  return edge_ratios;
+}
+
 }  // namespace
 
 GraphNerModel GraphNerModel::train(const std::vector<text::Sentence>& labelled,
@@ -40,29 +74,58 @@ GraphNerModel GraphNerModel::train(const std::vector<text::Sentence>& labelled,
   GraphNerModel model;
   model.config_ = config;
 
+  // Crash-safe phase checkpoints (no-op when checkpoint_dir is empty):
+  // every completed phase is restored instead of recomputed, and every
+  // serialization involved is canonical, so a resumed run's final model is
+  // byte-identical to an uninterrupted one's.
+  TrainCheckpoint checkpoint;
+  if (!config.checkpoint_dir.empty())
+    checkpoint = TrainCheckpoint::open(
+        config.checkpoint_dir,
+        training_fingerprint(config, labelled, unlabelled_text));
+
   // Semi-supervised feature resources (ChemDNER profile only).
   if (config.profile == CrfProfile::kBannerChemDner) {
     std::vector<text::Sentence> embedding_text = labelled;
     embedding_text.insert(embedding_text.end(), unlabelled_text.begin(),
                           unlabelled_text.end());
-    embeddings::BrownConfig brown_config;
-    brown_config.num_clusters = config.brown_clusters;
-    util::Stopwatch brown_watch;
-    model.brown_ = std::make_unique<embeddings::BrownClustering>(
-        embeddings::BrownClustering::train(embedding_text, brown_config));
-    model.training_timings_.brown_seconds = brown_watch.seconds();
 
-    embeddings::Word2VecConfig w2v_config;
-    w2v_config.seed = config.embedding_seed;
-    w2v_config.threads = config.embedding_threads;
-    util::Stopwatch w2v_watch;
-    const auto w2v = embeddings::Word2Vec::train(embedding_text, w2v_config);
-    model.training_timings_.word2vec_seconds = w2v_watch.seconds();
-    util::Stopwatch kmeans_watch;
-    model.embedding_clusters_ = std::make_unique<embeddings::EmbeddingClusters>(
-        embeddings::cluster_embeddings(w2v, config.embedding_kmeans_clusters,
-                                       config.embedding_seed + 1));
-    model.training_timings_.kmeans_seconds = kmeans_watch.seconds();
+    if (!checkpoint.restore("brown", [&](std::istream& in) {
+          model.brown_ = std::make_unique<embeddings::BrownClustering>(
+              embeddings::BrownClustering::load(in));
+        })) {
+      embeddings::BrownConfig brown_config;
+      brown_config.num_clusters = config.brown_clusters;
+      util::Stopwatch brown_watch;
+      model.brown_ = std::make_unique<embeddings::BrownClustering>(
+          embeddings::BrownClustering::train(embedding_text, brown_config));
+      model.training_timings_.brown_seconds = brown_watch.seconds();
+      checkpoint.commit("brown",
+                        [&](std::ostream& out) { model.brown_->save(out); });
+    }
+
+    // One phase for word2vec + k-means: the durable product is the cluster
+    // table; the SGD trajectory itself is never needed again.
+    if (!checkpoint.restore("word2vec", [&](std::istream& in) {
+          model.embedding_clusters_ =
+              std::make_unique<embeddings::EmbeddingClusters>(
+                  embeddings::EmbeddingClusters::load(in));
+        })) {
+      embeddings::Word2VecConfig w2v_config;
+      w2v_config.seed = config.embedding_seed;
+      w2v_config.threads = config.embedding_threads;
+      util::Stopwatch w2v_watch;
+      const auto w2v = embeddings::Word2Vec::train(embedding_text, w2v_config);
+      model.training_timings_.word2vec_seconds = w2v_watch.seconds();
+      util::Stopwatch kmeans_watch;
+      model.embedding_clusters_ = std::make_unique<embeddings::EmbeddingClusters>(
+          embeddings::cluster_embeddings(w2v, config.embedding_kmeans_clusters,
+                                         config.embedding_seed + 1));
+      model.training_timings_.kmeans_seconds = kmeans_watch.seconds();
+      checkpoint.commit("word2vec", [&](std::ostream& out) {
+        model.embedding_clusters_->save(out);
+      });
+    }
   }
   model.extractor_ = std::make_unique<features::FeatureExtractor>(make_feature_config(
       config.profile, model.brown_.get(), model.embedding_clusters_.get()));
@@ -71,16 +134,67 @@ GraphNerModel GraphNerModel::train(const std::vector<text::Sentence>& labelled,
   util::Stopwatch train_watch;
   const crf::StateSpace space = make_space(config.crf_order);
   model.index_ = std::make_unique<crf::FeatureIndex>();
-  util::Stopwatch encode_watch;
-  const crf::Batch batch = features::encode_batch_for_training(
-      labelled, *model.extractor_, *model.index_, space);
-  model.index_->freeze();
-  model.training_timings_.encode_seconds = encode_watch.seconds();
-  model.crf_ =
-      std::make_unique<crf::LinearChainCrf>(space, model.index_->size());
-  util::Stopwatch crf_watch;
-  train_crf(*model.crf_, batch, config.train);
-  model.training_timings_.crf_train_seconds = crf_watch.seconds();
+  // The encode artifact is the frozen feature-name table in id order.
+  // Interning the names restores identical ids; together with the crf
+  // artifact it reproduces the trained CRF without touching the corpus.
+  const bool have_encode = checkpoint.restore("encode", [&](std::istream& in) {
+    std::size_t count = 0;
+    in >> count;
+    std::string name;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!(in >> name))
+        throw std::runtime_error("checkpoint: truncated encode artifact");
+      model.index_->intern(name);
+    }
+  });
+
+  bool restored_crf = false;
+  if (have_encode && checkpoint.completed("crf")) {
+    restored_crf = checkpoint.restore("crf", [&](std::istream& in) {
+      model.index_->freeze();
+      model.crf_ =
+          std::make_unique<crf::LinearChainCrf>(space, model.index_->size());
+      std::size_t count = 0;
+      in >> count;
+      if (count != model.crf_->num_parameters())
+        throw std::runtime_error("checkpoint: crf artifact weight count " +
+                                 std::to_string(count) + " != " +
+                                 std::to_string(model.crf_->num_parameters()));
+      std::vector<double> weights(count);
+      for (auto& w : weights)
+        if (!(in >> w))
+          throw std::runtime_error("checkpoint: truncated crf artifact");
+      model.crf_->set_weights(weights);
+    });
+  }
+  if (!restored_crf) {
+    // Re-encoding against a restored (still unfrozen) index is a pure
+    // lookup: the fingerprint pins the corpus, so no new names appear.
+    util::Stopwatch encode_watch;
+    const crf::Batch batch = features::encode_batch_for_training(
+        labelled, *model.extractor_, *model.index_, space);
+    model.index_->freeze();
+    model.training_timings_.encode_seconds = encode_watch.seconds();
+    if (!have_encode)
+      checkpoint.commit("encode", [&](std::ostream& out) {
+        out << model.index_->size() << '\n';
+        for (crf::FeatureIndex::Id id = 0; id < model.index_->size(); ++id)
+          out << model.index_->name(id) << '\n';
+      });
+    model.crf_ =
+        std::make_unique<crf::LinearChainCrf>(space, model.index_->size());
+    util::Stopwatch crf_watch;
+    train_crf(*model.crf_, batch, config.train);
+    model.training_timings_.crf_train_seconds = crf_watch.seconds();
+    checkpoint.commit("crf", [&](std::ostream& out) {
+      const auto weights = model.crf_->weights();
+      out.precision(17);
+      out << weights.size() << '\n';
+      for (std::size_t i = 0; i < weights.size(); ++i)
+        out << weights[i] << ((i + 1) % 8 == 0 ? '\n' : ' ');
+      out << '\n';
+    });
+  }
   model.train_seconds_ = train_watch.seconds();
 
   // Set_ReferenceDistributions(D_l)  — Algorithm 1, line 3.
@@ -115,6 +229,31 @@ std::vector<text::Tag> GraphNerModel::decode_one(
   const crf::EncodedSentence& encoded =
       features::encode_for_inference(sentence, *extractor_, *index_, encode);
   return crf_->viterbi(encoded, scratch);
+}
+
+std::vector<text::Tag> GraphNerModel::decode_one_blended(
+    const text::Sentence& sentence, crf::LinearChainCrf::Scratch& scratch,
+    features::EncodeScratch& encode) const {
+  const std::size_t length = sentence.size();
+  if (length == 0) return {};
+  const crf::EncodedSentence& encoded =
+      features::encode_for_inference(sentence, *extractor_, *index_, encode);
+  const crf::SentencePosteriors posterior = crf_->posteriors(encoded, scratch);
+
+  // Algorithm 1 line 8 with X_ref in place of the propagated distributions:
+  // positions whose 3-gram was seen labelled get the corpus-level anchor,
+  // the rest keep the pure CRF posterior.
+  std::vector<std::array<double, kNumTags>> beliefs(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    const auto* ref = reference_->find(graph::trigram_at(sentence, i));
+    for (std::size_t y = 0; y < kNumTags; ++y) {
+      beliefs[i][y] = ref ? config_.alpha * posterior.tag_marginals[i][y] +
+                                (1.0 - config_.alpha) * (*ref)[y]
+                          : posterior.tag_marginals[i][y];
+    }
+    util::normalize_inplace(beliefs[i]);
+  }
+  return crf::belief_viterbi(beliefs, clamped_edge_ratios(posterior, length));
 }
 
 GraphNerModel::TestContext GraphNerModel::prepare(
@@ -248,33 +387,8 @@ GraphNerModel::TestResult GraphNerModel::finish(
       }
       util::normalize_inplace(beliefs[i]);
     }
-    // Position-specific transition scores: the pairwise/marginal ratio of
-    // the CRF at each edge (the exact tree reparameterization at order 1).
-    // A single corpus-level matrix misprices rare transitions (it rewards
-    // B -> I between two adjacent single-token mentions), hence per-edge.
-    // The ratio is clamped: where the CRF is near-certain the raw ratio
-    // explodes to ~1/marginal, and mixed graph beliefs could ride that
-    // bonus along a path the CRF itself rules out. Within the clamp the
-    // node beliefs stay in charge, which is the point of Algorithm 1
-    // line 8.
-    constexpr double kMaxRatio = 5.0;
-    std::vector<crf::TagTransitionMatrix> edge_ratios(length);
-    edge_ratios[0].fill(1.0);
-    for (std::size_t i = 1; i < length; ++i) {
-      for (std::size_t a = 0; a < kNumTags; ++a) {
-        for (std::size_t b = 0; b < kNumTags; ++b) {
-          const double denom =
-              posterior.tag_marginals[i - 1][a] * posterior.tag_marginals[i][b];
-          const double ratio =
-              denom > 1e-12
-                  ? posterior.pairwise_marginals[i][a * kNumTags + b] / denom
-                  : 0.0;
-          edge_ratios[i][a * kNumTags + b] =
-              util::clamp(ratio, 1.0 / kMaxRatio, kMaxRatio);
-        }
-      }
-    }
-    result.graphner_tags[t] = crf::belief_viterbi(beliefs, edge_ratios);
+    result.graphner_tags[t] =
+        crf::belief_viterbi(beliefs, clamped_edge_ratios(posterior, length));
   });
   result.timings.combine_decode_seconds = combine_watch.seconds();
 

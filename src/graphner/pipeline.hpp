@@ -100,6 +100,19 @@ class GraphNerModel {
       const text::Sentence& sentence, crf::LinearChainCrf::Scratch& scratch,
       features::EncodeScratch& encode) const;
 
+  /// Single-sentence GraphNER posterior-blend decode: CRF posteriors are
+  /// mixed (coefficient alpha, as in Algorithm 1 line 8) with the model's
+  /// reference distributions at every position whose 3-gram occurs in the
+  /// labelled data, and the mix is decoded with belief Viterbi over the
+  /// CRF's per-edge transition ratios. This is the inductive, graph-free
+  /// approximation of the transductive TEST procedure — the corpus-level
+  /// signal without a corpus in hand — and the quality tier the serving
+  /// runtime degrades *from* under overload (plain decode_one is the
+  /// fallback). Same thread-safety contract as decode_one.
+  [[nodiscard]] std::vector<text::Tag> decode_one_blended(
+      const text::Sentence& sentence, crf::LinearChainCrf::Scratch& scratch,
+      features::EncodeScratch& encode) const;
+
   struct TestResult {
     std::vector<std::vector<text::Tag>> baseline_tags;  ///< pure CRF
     std::vector<std::vector<text::Tag>> graphner_tags;  ///< Algorithm 1
@@ -160,9 +173,16 @@ class GraphNerModel {
   [[nodiscard]] std::size_t feature_count() const noexcept { return index_->size(); }
 
   /// Persist a trained model (text format) / restore it. A loaded model
-  /// tags and runs Algorithm 1 exactly like the one that was saved.
+  /// tags and runs Algorithm 1 exactly like the one that was saved. The
+  /// serialization is canonical: equal models produce byte-identical
+  /// output (every unordered table is written sorted).
   void save(std::ostream& out) const;
   static GraphNerModel load(std::istream& in);
+
+  /// save() to `path` crash-safely (tmp + fsync + rename): a crash
+  /// mid-save leaves the previous complete file, never a torn one.
+  void save_file(const std::string& path) const;
+  static GraphNerModel load_file(const std::string& path);
 
  private:
   GraphNerModel() = default;

@@ -1,9 +1,11 @@
 #include "src/graphner/reference.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <vector>
 
 #include "src/graph/trigram.hpp"
 
@@ -42,9 +44,18 @@ const propagation::LabelDistribution* ReferenceDistributions::find(
 void ReferenceDistributions::save(std::ostream& out) const {
   out.precision(17);
   out << table_.size() << '\n';
-  for (const auto& [key, dist] : table_) {
+  // Sorted keys: the serialization is a function of the table's content,
+  // not of unordered_map iteration order — byte-identical files for equal
+  // tables (checkpoint resume verifies final models with cmp).
+  std::vector<const std::string*> keys;
+  keys.reserve(table_.size());
+  for (const auto& [key, dist] : table_) keys.push_back(&key);
+  std::sort(keys.begin(), keys.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  for (const std::string* key : keys) {
+    const auto& dist = table_.at(*key);
     // The key joins the three tokens with \x1f; rewrite as tab-separated.
-    std::string printable = key;
+    std::string printable = *key;
     for (char& c : printable)
       if (c == '\x1f') c = '\t';
     out << printable << '\t' << dist[0] << ' ' << dist[1] << ' ' << dist[2] << '\n';

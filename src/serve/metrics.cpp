@@ -62,7 +62,9 @@ std::string MetricsSnapshot::to_json() const {
       << ",\"rejected_overload\":" << rejected_overload
       << ",\"rejected_shutdown\":" << rejected_shutdown
       << ",\"batches\":" << batches
-      << ",\"coalesced\":" << coalesced << ',';
+      << ",\"coalesced\":" << coalesced
+      << ",\"deadline_expired\":" << deadline_expired
+      << ",\"degraded\":" << degraded << ',';
   append_latency_json(out, "queue_wait", queue_wait);
   out << ',';
   append_latency_json(out, "decode", decode);
@@ -94,14 +96,25 @@ void ServiceMetrics::on_batch(std::size_t worker, std::size_t batch_size) {
 }
 
 void ServiceMetrics::on_completed(std::size_t worker, double queue_us,
-                                  double decode_us, bool error, bool coalesced) {
+                                  double decode_us, bool error, bool coalesced,
+                                  bool degraded) {
   WorkerMetrics& slot = *workers_.at(worker);
   std::lock_guard<std::mutex> lock(slot.mutex);
   ++slot.completed;
   if (error) ++slot.errors;
   if (coalesced) ++slot.coalesced;
+  if (degraded) ++slot.degraded;
   slot.queue_wait.record_us(queue_us);
   slot.decode.record_us(decode_us);
+}
+
+void ServiceMetrics::on_expired(std::size_t worker, double queue_us) {
+  WorkerMetrics& slot = *workers_.at(worker);
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  ++slot.deadline_expired;
+  // The wait is still real signal: expiries cluster exactly when queue
+  // waits blow out, which is what the histogram is for.
+  slot.queue_wait.record_us(queue_us);
 }
 
 MetricsSnapshot ServiceMetrics::snapshot() const {
@@ -115,6 +128,8 @@ MetricsSnapshot ServiceMetrics::snapshot() const {
     out.errors += slot->errors;
     out.batches += slot->batches;
     out.coalesced += slot->coalesced;
+    out.deadline_expired += slot->deadline_expired;
+    out.degraded += slot->degraded;
     out.queue_wait.merge(slot->queue_wait);
     out.decode.merge(slot->decode);
     out.batch_size.merge(slot->batch_size);

@@ -55,6 +55,8 @@ struct MetricsSnapshot {
   std::uint64_t errors = 0;             ///< decode exceptions
   std::uint64_t batches = 0;            ///< micro-batches decoded
   std::uint64_t coalesced = 0;          ///< duplicates served by a shared decode
+  std::uint64_t deadline_expired = 0;   ///< shed before decode (deadline passed)
+  std::uint64_t degraded = 0;           ///< answered by the degraded decode path
 
   LatencyHistogram queue_wait;  ///< enqueue -> batch dequeue
   LatencyHistogram decode;      ///< feature extraction + Viterbi
@@ -79,7 +81,9 @@ class ServiceMetrics {
   // worker id must be used by exactly one thread.
   void on_batch(std::size_t worker, std::size_t batch_size);
   void on_completed(std::size_t worker, double queue_us, double decode_us,
-                    bool error, bool coalesced = false);
+                    bool error, bool coalesced = false, bool degraded = false);
+  /// A queued request whose deadline passed before decode (shed by `worker`).
+  void on_expired(std::size_t worker, double queue_us);
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
@@ -90,6 +94,8 @@ class ServiceMetrics {
     std::uint64_t errors = 0;
     std::uint64_t batches = 0;
     std::uint64_t coalesced = 0;
+    std::uint64_t deadline_expired = 0;
+    std::uint64_t degraded = 0;
     LatencyHistogram queue_wait;
     LatencyHistogram decode;
     util::Histogram batch_size{0.0, 256.0, 256};

@@ -89,6 +89,21 @@ struct JsonCursor {
         error = "\"id\" must be a string";
         return false;
       }
+    } else if (key == "deadline_ms") {
+      cur.skip_ws();
+      std::size_t digits = 0;
+      long value = 0;
+      while (cur.pos < cur.text.size() &&
+             std::isdigit(static_cast<unsigned char>(cur.text[cur.pos]))) {
+        value = value * 10 + (cur.text[cur.pos] - '0');
+        ++cur.pos;
+        ++digits;
+      }
+      if (digits == 0) {
+        error = "\"deadline_ms\" must be a non-negative integer";
+        return false;
+      }
+      out.deadline_ms = value;
     } else if (key == "tokens") {
       if (!cur.consume('[')) {
         error = "\"tokens\" must be an array";
@@ -142,6 +157,22 @@ struct JsonCursor {
   return out;
 }
 
+/// Split an optional '@<ms>' deadline suffix off a TSV id. Only a
+/// non-empty all-digit suffix counts, so ids that legitimately contain
+/// '@' (emails, handles) still round-trip unchanged.
+void split_deadline_suffix(std::string& id, long& deadline_ms) {
+  const std::size_t at = id.find_last_of('@');
+  if (at == std::string::npos || at + 1 >= id.size()) return;
+  long value = 0;
+  for (std::size_t i = at + 1; i < id.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(id[i]))) return;
+    value = value * 10 + (id[i] - '0');
+  }
+  deadline_ms = value;
+  id.resize(at);
+  if (id.empty()) id = "-";
+}
+
 }  // namespace
 
 ParsedLine parse_request_line(const std::string& line) {
@@ -172,6 +203,7 @@ ParsedLine parse_request_line(const std::string& line) {
     out.request.tokens = split_tokens(trimmed);
   } else {
     out.request.id = std::string{util::trim(line.substr(0, tab))};
+    split_deadline_suffix(out.request.id, out.request.deadline_ms);
     if (out.request.id.empty()) out.request.id = "-";
     out.request.tokens = split_tokens(line.substr(tab + 1));
   }
@@ -186,6 +218,7 @@ std::string format_response(const Request& request, const TagResponse& response)
     for (const char c : status_name(response.status))
       out << static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
     out << '"';
+    if (response.degraded) out << ",\"degraded\":true";
     if (response.ok()) {
       out << ",\"tags\":[";
       for (std::size_t i = 0; i < response.tags.size(); ++i)
@@ -197,7 +230,8 @@ std::string format_response(const Request& request, const TagResponse& response)
     out << '}';
     return out.str();
   }
-  out << sanitize_tsv(request.id) << '\t' << status_name(response.status) << '\t';
+  out << sanitize_tsv(request.id) << '\t' << status_name(response.status)
+      << (response.degraded ? "*" : "") << '\t';
   if (response.ok()) {
     for (std::size_t i = 0; i < response.tags.size(); ++i)
       out << (i > 0 ? " " : "") << text::tag_name(response.tags[i]);
@@ -209,6 +243,32 @@ std::string format_response(const Request& request, const TagResponse& response)
 
 std::string format_parse_error(const std::string& error) {
   return "-\tERROR\tmalformed request: " + sanitize_tsv(error);
+}
+
+std::string response_status(const std::string& line) {
+  std::string status;
+  if (!line.empty() && line.front() == '{') {
+    static constexpr std::string_view kKey = "\"status\":\"";
+    const std::size_t at = line.find(kKey);
+    if (at == std::string::npos) return {};
+    for (std::size_t i = at + kKey.size(); i < line.size() && line[i] != '"'; ++i)
+      status.push_back(
+          static_cast<char>(std::toupper(static_cast<unsigned char>(line[i]))));
+    return status;
+  }
+  const std::size_t first = line.find('\t');
+  if (first == std::string::npos) return {};
+  const std::size_t second = line.find('\t', first + 1);
+  status = line.substr(first + 1, second == std::string::npos
+                                      ? std::string::npos
+                                      : second - first - 1);
+  if (!status.empty() && status.back() == '*') status.pop_back();  // degraded
+  return status;
+}
+
+bool response_retryable(const std::string& line) {
+  const std::string status = response_status(line);
+  return status == "OVERLOADED" || status == "DEADLINE_EXCEEDED";
 }
 
 std::string json_escape(const std::string& text) {

@@ -3,9 +3,9 @@
 // Each request is one line, in either flavour; the response mirrors the
 // flavour of the request:
 //
-//   TSV:   <id> '\t' <token> (' ' <token>)*
+//   TSV:   <id>['@'<deadline_ms>] '\t' <token> (' ' <token>)*
 //      ->  <id> '\t' <STATUS> '\t' <tag> (' ' <tag>)*
-//   JSON:  {"id": "...", "tokens": ["...", ...]}
+//   JSON:  {"id": "...", "tokens": ["...", ...], "deadline_ms": 50}
 //      ->  {"id":"...","status":"ok","tags":["B","I","O"]}
 //
 // A line with no tab and not starting with '{' is treated as bare
@@ -14,6 +14,13 @@
 // connection. Non-OK statuses put the error detail where the tags would
 // go. The JSON reader handles exactly this shape (string escapes
 // included) — it is a protocol parser, not a general JSON library.
+//
+// Fault-tolerance fields: the optional per-request deadline (an '@'
+// suffix on the TSV id, a "deadline_ms" member in JSON) bounds how long
+// the request may wait before the service sheds it with status
+// DEADLINE_EXCEEDED. Responses decoded in degraded mode (plain Viterbi
+// fallback under overload) carry "OK*" as the TSV status and
+// "degraded":true in JSON — same tags shape, lower decode tier.
 #pragma once
 
 #include <string>
@@ -27,6 +34,8 @@ struct Request {
   std::string id;
   std::vector<std::string> tokens;
   bool json = false;  ///< respond in the request's flavour
+  /// Per-request deadline in milliseconds; 0 = use the service default.
+  long deadline_ms = 0;
 };
 
 enum class LineKind {
@@ -51,6 +60,15 @@ struct ParsedLine {
 
 /// Error reply for a line that failed to parse.
 [[nodiscard]] std::string format_parse_error(const std::string& error);
+
+/// The status carried by a response line in either flavour ("OK",
+/// "OVERLOADED", ... — the degraded marker is stripped, JSON statuses are
+/// upper-cased). Empty when the line is not a well-formed response.
+[[nodiscard]] std::string response_status(const std::string& line);
+
+/// True when a response line carries a retryable status (OVERLOADED /
+/// DEADLINE_EXCEEDED) — the client-side mirror of status_retryable().
+[[nodiscard]] bool response_retryable(const std::string& line);
 
 /// Minimal JSON string escaping (quotes, backslash, control chars).
 [[nodiscard]] std::string json_escape(const std::string& text);

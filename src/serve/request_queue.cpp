@@ -2,9 +2,14 @@
 
 #include <algorithm>
 
+#include "src/util/fault.hpp"
+
 namespace graphner::serve {
 
 BatchQueue::PushResult BatchQueue::push(PendingRequest&& request) {
+  // Chaos hook: a slow producer (queue.push stall) widens the race windows
+  // the shutdown/overload tests probe.
+  util::fault_stall_point("queue.push");
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (shutdown_) return PushResult::kShutdown;

@@ -39,11 +39,20 @@ struct BatchPolicy {
 };
 
 /// One queued request: the sentence, the promise the decode worker
-/// fulfills, and the enqueue timestamp (queue-wait metrics).
+/// fulfills, the enqueue timestamp (queue-wait metrics), and the deadline
+/// after which the worker sheds it without decoding.
 struct PendingRequest {
   text::Sentence sentence;
   std::promise<TagResponse> promise;
   std::chrono::steady_clock::time_point enqueued_at;
+  /// max() = no deadline. Carried through the queue so expiry is checked
+  /// where it matters: right before the (expensive) decode.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+
+  [[nodiscard]] bool expired(std::chrono::steady_clock::time_point now) const noexcept {
+    return now > deadline;
+  }
 };
 
 class BatchQueue {

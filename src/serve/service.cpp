@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "src/util/fault.hpp"
 #include "src/util/logging.hpp"
 
 namespace graphner::serve {
@@ -27,8 +28,12 @@ namespace {
 TaggingService::TaggingService(const core::GraphNerModel& model,
                                ServiceConfig config)
     : model_(model),
+      config_(config),
       queue_(config.batching),
       metrics_(resolve_workers(config.workers)) {
+  // A degrade policy with low > high would flap; clamp to a sane hysteresis.
+  if (config_.degrade.low_watermark > config_.degrade.high_watermark)
+    config_.degrade.low_watermark = config_.degrade.high_watermark;
   const std::size_t n = resolve_workers(config.workers);
   workers_.reserve(n);
   for (std::size_t w = 0; w < n; ++w)
@@ -36,15 +41,20 @@ TaggingService::TaggingService(const core::GraphNerModel& model,
   util::log_info("serve: started ", n, " workers, max_batch ",
                  config.batching.max_batch, ", queue depth ",
                  config.batching.max_queue_depth, ", batch delay ",
-                 config.batching.max_delay.count(), " us");
+                 config.batching.max_delay.count(), " us",
+                 config_.blend_decode ? ", blend decode" : "",
+                 config_.degrade.high_watermark > 0 ? ", degradable" : "");
 }
 
 TaggingService::~TaggingService() { stop(); }
 
-std::future<TagResponse> TaggingService::submit(text::Sentence sentence) {
+std::future<TagResponse> TaggingService::submit(text::Sentence sentence,
+                                                std::chrono::milliseconds deadline) {
   PendingRequest request;
   request.sentence = std::move(sentence);
   request.enqueued_at = std::chrono::steady_clock::now();
+  if (deadline.count() <= 0) deadline = config_.default_deadline;
+  if (deadline.count() > 0) request.deadline = request.enqueued_at + deadline;
   std::future<TagResponse> future = request.promise.get_future();
 
   metrics_.on_submitted();
@@ -86,6 +96,26 @@ void TaggingService::stop() {
     if (worker.joinable()) worker.join();
 }
 
+bool TaggingService::update_degraded_mode() {
+  if (config_.degrade.high_watermark == 0) return false;
+  const std::size_t depth = queue_.depth();
+  bool degraded = degraded_.load(std::memory_order_relaxed);
+  if (!degraded && depth >= config_.degrade.high_watermark) {
+    degraded = true;
+    degraded_.store(true, std::memory_order_relaxed);
+    util::log_info("serve: queue depth ", depth, " >= high-water ",
+                   config_.degrade.high_watermark,
+                   " — degrading to plain Viterbi");
+  } else if (degraded && depth <= config_.degrade.low_watermark) {
+    degraded = false;
+    degraded_.store(false, std::memory_order_relaxed);
+    util::log_info("serve: queue depth ", depth, " <= low-water ",
+                   config_.degrade.low_watermark,
+                   " — recovered to blend decode");
+  }
+  return degraded;
+}
+
 void TaggingService::worker_loop(std::size_t worker_id) {
   crf::LinearChainCrf::Scratch scratch;  // warm lattice, grows once
   features::EncodeScratch encode;        // warm feature/id buffers
@@ -99,13 +129,36 @@ void TaggingService::worker_loop(std::size_t worker_id) {
   const bool coalesce = queue_.policy().coalesce_duplicates;
 
   while (queue_.pop_batch(batch)) {
+    // Chaos hook: a stalled worker — the queue backs up, deadlines expire,
+    // degradation trips. The batch it stalls on must still fully resolve.
+    util::fault_stall_point("worker.stall");
     const auto dequeued_at = std::chrono::steady_clock::now();
     metrics_.on_batch(worker_id, batch.size());
+    // Decode mode is fixed per batch: every response in it reports the
+    // same degraded flag, and the coalescing cache (cleared here) never
+    // mixes tags from two different decode paths.
+    const bool degraded = update_degraded_mode();
+    const bool blend = config_.blend_decode && !degraded;
     decoded.clear();
     for (auto& request : batch) {
       TagResponse response;
       response.queue_us = us_between(request.enqueued_at, dequeued_at);
       response.batch_size = batch.size();
+      response.degraded = config_.blend_decode && degraded;
+
+      // Deadline shedding *before* decode (and before the encode that
+      // feeds it): a request nobody is waiting for anymore must not spend
+      // worker time, only answer with the structured status.
+      if (request.expired(std::chrono::steady_clock::now())) {
+        response.status = Status::kDeadlineExceeded;
+        response.error = "deadline exceeded after " +
+                         std::to_string(static_cast<long>(response.queue_us)) +
+                         " us in queue";
+        response.degraded = false;
+        metrics_.on_expired(worker_id, response.queue_us);
+        request.promise.set_value(std::move(response));
+        continue;
+      }
 
       const bool try_coalesce = coalesce && batch.size() > 1;
       if (try_coalesce) {
@@ -120,7 +173,7 @@ void TaggingService::worker_loop(std::size_t worker_id) {
           response.coalesced = true;
           metrics_.on_completed(worker_id, response.queue_us,
                                 response.decode_us, /*error=*/false,
-                                /*coalesced=*/true);
+                                /*coalesced=*/true, response.degraded);
           request.promise.set_value(std::move(response));
           continue;
         }
@@ -128,7 +181,11 @@ void TaggingService::worker_loop(std::size_t worker_id) {
 
       const auto decode_start = std::chrono::steady_clock::now();
       try {
-        response.tags = model_.decode_one(request.sentence, scratch, encode);
+        response.tags = blend
+                            ? model_.decode_one_blended(request.sentence,
+                                                        scratch, encode)
+                            : model_.decode_one(request.sentence, scratch,
+                                                encode);
       } catch (const std::exception& e) {
         response.status = Status::kError;
         response.error = e.what();
@@ -138,7 +195,8 @@ void TaggingService::worker_loop(std::size_t worker_id) {
       if (try_coalesce && response.status == Status::kOk)
         decoded.emplace(key, std::make_pair(response.tags, response.decode_us));
       metrics_.on_completed(worker_id, response.queue_us, response.decode_us,
-                            response.status == Status::kError);
+                            response.status == Status::kError,
+                            /*coalesced=*/false, response.degraded);
       request.promise.set_value(std::move(response));
     }
   }

@@ -29,9 +29,29 @@
 
 namespace graphner::serve {
 
+/// Hysteretic load-shedding of decode *quality*: past the high-water mark
+/// the service falls back from the GraphNER posterior-blend decode to the
+/// plain CRF Viterbi (roughly the cost of one forward pass instead of
+/// forward-backward + belief Viterbi) and marks responses degraded; it
+/// recovers only once depth falls to the low-water mark, so the mode
+/// cannot flap at the threshold.
+struct DegradePolicy {
+  std::size_t high_watermark = 0;  ///< queue depth that enters degraded mode; 0 disables
+  std::size_t low_watermark = 0;   ///< depth at (or below) which it recovers
+};
+
 struct ServiceConfig {
   std::size_t workers = 0;  ///< 0 = hardware concurrency
   BatchPolicy batching;
+  /// Deadline applied to requests that do not carry their own (0 = none).
+  /// Expired requests are shed before decode with Status::kDeadlineExceeded.
+  std::chrono::milliseconds default_deadline{0};
+  /// Serve the GraphNER posterior-blend decode (reference-anchored mix of
+  /// CRF posteriors, decoded with belief Viterbi) instead of the plain CRF
+  /// Viterbi. This is the path DegradePolicy falls back *from*; with it
+  /// off, degradation has nothing cheaper to switch to and is inert.
+  bool blend_decode = false;
+  DegradePolicy degrade;
 };
 
 class TaggingService {
@@ -45,11 +65,19 @@ class TaggingService {
   TaggingService& operator=(const TaggingService&) = delete;
 
   /// Enqueue one sentence. Always returns a future that will be fulfilled:
-  /// with tags on success, or immediately with kOverloaded / kShutdown.
-  [[nodiscard]] std::future<TagResponse> submit(text::Sentence sentence);
+  /// with tags on success, or with a terminal non-OK status (kOverloaded /
+  /// kShutdown immediately, kDeadlineExceeded if the deadline passes while
+  /// queued). `deadline` <= 0 uses the config default; > 0 overrides it.
+  [[nodiscard]] std::future<TagResponse> submit(
+      text::Sentence sentence, std::chrono::milliseconds deadline = {});
 
   /// Synchronous convenience: submit + wait.
   [[nodiscard]] TagResponse tag(text::Sentence sentence);
+
+  /// True while the service is answering with the plain-Viterbi fallback.
+  [[nodiscard]] bool degraded() const noexcept {
+    return degraded_.load(std::memory_order_relaxed);
+  }
 
   /// Graceful stop: reject new work, decode everything already queued,
   /// join the workers. Idempotent; also run by the destructor.
@@ -66,12 +94,17 @@ class TaggingService {
 
  private:
   void worker_loop(std::size_t worker_id);
+  /// Re-evaluate the degradation hysteresis against the current queue
+  /// depth; returns the mode the caller's batch should decode under.
+  bool update_degraded_mode();
 
   const core::GraphNerModel& model_;
+  ServiceConfig config_;
   BatchQueue queue_;
   ServiceMetrics metrics_;
   std::vector<std::thread> workers_;
   std::atomic<bool> stopped_{false};
+  std::atomic<bool> degraded_{false};
 };
 
 }  // namespace graphner::serve

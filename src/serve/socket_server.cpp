@@ -15,12 +15,17 @@
 #include <utility>
 
 #include "src/serve/protocol.hpp"
+#include "src/util/fault.hpp"
 #include "src/util/logging.hpp"
 
 namespace graphner::serve {
 namespace {
 
 void send_all(int fd, const std::string& data) {
+  // Chaos hook: a peer that vanished mid-write. The handler treats it like
+  // any real send failure — drop the connection, never the process.
+  if (util::fault_fires("socket.write"))
+    throw util::FaultInjectedError("socket.write on fd " + std::to_string(fd));
   std::size_t sent = 0;
   while (sent < data.size()) {
     const ssize_t n =
@@ -89,6 +94,12 @@ void SocketServer::accept_loop() {
       if (errno == EINTR) continue;
       break;  // listener closed by stop()
     }
+    // Chaos hook: a transient accept-side failure (ECONNABORTED and kin).
+    // The connection is lost; the accept loop must keep serving.
+    if (util::fault_fires("socket.accept")) {
+      ::close(fd);
+      continue;
+    }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
     std::lock_guard<std::mutex> lock(connections_mutex_);
@@ -131,8 +142,9 @@ void SocketServer::handle_connection(std::size_t slot) {
             text::Sentence sentence;
             sentence.id = parsed.request.id;
             sentence.tokens = std::move(parsed.request.tokens);
+            const std::chrono::milliseconds deadline{parsed.request.deadline_ms};
             in_flight.emplace_back(std::move(parsed.request),
-                                   service_.submit(std::move(sentence)));
+                                   service_.submit(std::move(sentence), deadline));
             break;
           }
           case LineKind::kMetrics:
@@ -162,6 +174,9 @@ void SocketServer::handle_connection(std::size_t slot) {
       // before blocking on the socket again.
       if (buffer.find('\n') != std::string::npos) continue;
 
+      // Chaos hook: a read error mid-connection; the handler drops the
+      // connection cleanly (in-flight futures above already resolved).
+      if (util::fault_fires("socket.read")) break;
       const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
       if (n < 0) {
         if (errno == EINTR) continue;
@@ -206,9 +221,10 @@ void SocketServer::stop() {
 // --- ClientConnection ------------------------------------------------------
 
 void ClientConnection::connect(const std::string& host, std::uint16_t port,
-                               int retries, int retry_delay_ms) {
+                               const util::BackoffPolicy& backoff) {
   close();
-  for (int attempt = 0;; ++attempt) {
+  util::Backoff retry(backoff);
+  for (;;) {
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0)
       throw std::runtime_error("socket(): " + std::string(strerror(errno)));
@@ -225,6 +241,7 @@ void ClientConnection::connect(const std::string& host, std::uint16_t port,
       if (::getaddrinfo(host.c_str(), nullptr, &hints, &results) != 0 ||
           results == nullptr) {
         ::close(fd);
+        // Resolution failures are not transient server slowness — no retry.
         throw std::runtime_error("cannot resolve host " + host);
       }
       addr.sin_addr =
@@ -239,10 +256,30 @@ void ClientConnection::connect(const std::string& host, std::uint16_t port,
     }
     const std::string reason = strerror(errno);
     ::close(fd);
-    if (attempt >= retries)
-      throw std::runtime_error("connect(" + host + ":" + std::to_string(port) +
-                               "): " + reason);
-    std::this_thread::sleep_for(std::chrono::milliseconds(retry_delay_ms));
+    if (!retry.can_retry())
+      throw ConnectRetriesExhausted(host + ":" + std::to_string(port),
+                                    retry.attempts() + 1, reason);
+    retry.sleep();  // capped exponential with jitter
+  }
+}
+
+void ClientConnection::connect(const std::string& host, std::uint16_t port,
+                               int retries, int initial_delay_ms) {
+  util::BackoffPolicy policy;
+  policy.max_retries = retries;
+  policy.initial = std::chrono::milliseconds(initial_delay_ms);
+  connect(host, port, policy);
+}
+
+bool ClientConnection::request_with_retry(const std::string& line,
+                                          std::string& response,
+                                          const util::BackoffPolicy& backoff) {
+  util::Backoff retry(backoff);
+  for (;;) {
+    send_line(line);
+    if (!recv_line(response)) return false;
+    if (!response_retryable(response) || !retry.can_retry()) return true;
+    retry.sleep();
   }
 }
 

@@ -16,11 +16,13 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/serve/service.hpp"
+#include "src/util/fault.hpp"
 
 namespace graphner::serve {
 
@@ -69,6 +71,23 @@ class SocketServer {
   std::vector<std::unique_ptr<Connection>> connections_;
 };
 
+/// connect() gave up: every retry failed. Distinct from transient
+/// connection errors so callers can tell "the server never came up" from
+/// "the connection dropped mid-stream".
+class ConnectRetriesExhausted : public std::runtime_error {
+ public:
+  ConnectRetriesExhausted(const std::string& endpoint, int attempts,
+                          const std::string& last_error)
+      : std::runtime_error("connect(" + endpoint + "): gave up after " +
+                           std::to_string(attempts) + " attempt(s), last error: " +
+                           last_error),
+        attempts_(attempts) {}
+  [[nodiscard]] int attempts() const noexcept { return attempts_; }
+
+ private:
+  int attempts_;
+};
+
 /// Minimal blocking client used by graphner_client, the load generator and
 /// the tests: connect, send one line, read one line.
 class ClientConnection {
@@ -78,16 +97,33 @@ class ClientConnection {
   ClientConnection(const ClientConnection&) = delete;
   ClientConnection& operator=(const ClientConnection&) = delete;
 
-  /// Connect to host:port; retries `retries` times `retry_delay_ms` apart
-  /// (a just-started server may not be listening yet). Throws on failure.
-  void connect(const std::string& host, std::uint16_t port, int retries = 0,
-               int retry_delay_ms = 100);
+  /// Connect to host:port; on failure retries up to `backoff.max_retries`
+  /// times with capped exponential backoff and jitter (a just-started
+  /// server may not be listening yet; a loaded one decorrelates its
+  /// reconnect stampede). Throws ConnectRetriesExhausted after the last
+  /// attempt; other errors (e.g. unresolvable host) throw immediately.
+  void connect(const std::string& host, std::uint16_t port,
+               const util::BackoffPolicy& backoff = {});
+
+  /// Back-compat convenience: `retries` attempts starting at
+  /// `initial_delay_ms` (exponential, jittered, capped at 2 s).
+  void connect(const std::string& host, std::uint16_t port, int retries,
+               int initial_delay_ms = 100);
 
   /// Send `line` + '\n'. Throws on a broken connection.
   void send_line(const std::string& line);
 
   /// Read the next '\n'-terminated line (stripped). False on EOF.
   [[nodiscard]] bool recv_line(std::string& line);
+
+  /// Send one request line and wait for its response; while the response
+  /// status is retryable (OVERLOADED / DEADLINE_EXCEEDED), back off and
+  /// resend, up to `backoff.max_retries` times. Returns false if the
+  /// connection closed; on true, `response` holds the final response line
+  /// (which may still carry a retryable status if retries ran out).
+  [[nodiscard]] bool request_with_retry(const std::string& line,
+                                        std::string& response,
+                                        const util::BackoffPolicy& backoff = {});
 
   void close() noexcept;
   [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }

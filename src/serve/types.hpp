@@ -22,6 +22,9 @@ enum class Status : std::uint8_t {
   kOverloaded = 1,  ///< bounded queue was full — retry later (backpressure)
   kShutdown = 2,    ///< service is stopping and no longer accepts work
   kError = 3,       ///< decode threw; `error` holds the reason
+  /// The request's deadline passed before a worker reached it; it was shed
+  /// without being decoded. Retryable (with backoff) like kOverloaded.
+  kDeadlineExceeded = 4,
 };
 
 [[nodiscard]] constexpr std::string_view status_name(Status status) noexcept {
@@ -30,8 +33,15 @@ enum class Status : std::uint8_t {
     case Status::kOverloaded: return "OVERLOADED";
     case Status::kShutdown: return "SHUTDOWN";
     case Status::kError: return "ERROR";
+    case Status::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
   }
   return "?";
+}
+
+/// Statuses a client may retry after backoff: transient load conditions,
+/// not permanent failures.
+[[nodiscard]] constexpr bool status_retryable(Status status) noexcept {
+  return status == Status::kOverloaded || status == Status::kDeadlineExceeded;
 }
 
 struct TagResponse {
@@ -42,6 +52,9 @@ struct TagResponse {
   double decode_us = 0.0;       ///< feature extraction + Viterbi
   std::size_t batch_size = 0;   ///< size of the micro-batch it rode in
   bool coalesced = false;       ///< served by a duplicate's decode in-batch
+  /// The service was in degraded mode and answered with the plain CRF
+  /// Viterbi decode instead of the GraphNER posterior-blend decode.
+  bool degraded = false;
 
   [[nodiscard]] bool ok() const noexcept { return status == Status::kOk; }
 };

@@ -1,0 +1,209 @@
+#include "src/util/fault.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "src/util/rng.hpp"
+#include "src/util/strings.hpp"
+
+namespace graphner::util {
+namespace {
+
+/// FNV-1a over the point name: stable across runs and platforms, so the
+/// (seed, point, n) -> decision mapping is too.
+[[nodiscard]] std::uint64_t hash_name(std::string_view name) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Deterministic uniform [0, 1) draw for call #n at a point.
+[[nodiscard]] double decision_draw(std::uint64_t seed, std::uint64_t point_hash,
+                                   std::uint64_t n) noexcept {
+  std::uint64_t state = seed ^ point_hash ^ (n * 0x9e3779b97f4a7c15ULL);
+  const std::uint64_t bits = splitmix64(state);
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::configure(const std::string& spec, std::uint64_t seed) {
+  std::unordered_map<std::string, std::unique_ptr<Point>> points;
+  for (const auto& entry : split(spec, ',')) {
+    const std::string_view item = trim(entry);
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos || eq == 0)
+      throw std::invalid_argument("fault spec entry '" + std::string(item) +
+                                  "': expected point=prob[:stall_ms][:max_fires]");
+    auto point = std::make_unique<Point>();
+    const std::string name{trim(item.substr(0, eq))};
+    const auto fields = split(std::string(item.substr(eq + 1)), ':');
+    if (fields.empty() || fields.size() > 3)
+      throw std::invalid_argument("fault spec entry '" + std::string(item) +
+                                  "': expected 1-3 ':'-separated values");
+    try {
+      point->probability = std::stod(fields[0]);
+      if (fields.size() > 1)
+        point->stall = std::chrono::milliseconds(std::stol(fields[1]));
+      if (fields.size() > 2) point->max_fires = std::stoull(fields[2]);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("fault spec entry '" + std::string(item) +
+                                  "': non-numeric value");
+    }
+    if (point->probability < 0.0 || point->probability > 1.0)
+      throw std::invalid_argument("fault point '" + name +
+                                  "': probability must be in [0, 1]");
+    points[name] = std::move(point);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  points_ = std::move(points);
+  seed_ = seed;
+  enabled_.store(!points_.empty(), std::memory_order_relaxed);
+}
+
+void FaultInjector::configure_from_env() {
+  const char* spec = std::getenv("GRAPHNER_FAULTS");
+  if (spec == nullptr || *spec == '\0') return;
+  const char* seed_text = std::getenv("GRAPHNER_FAULT_SEED");
+  std::uint64_t seed = 1;
+  if (seed_text != nullptr && *seed_text != '\0') seed = std::strtoull(seed_text, nullptr, 10);
+  configure(spec, seed);
+}
+
+void FaultInjector::disable() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  points_.clear();
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+bool FaultInjector::should_fire(std::string_view point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(std::string(point));
+  if (it == points_.end()) return false;
+  Point& p = *it->second;
+  const std::uint64_t n = p.calls.fetch_add(1, std::memory_order_relaxed);
+  if (p.fires.load(std::memory_order_relaxed) >= p.max_fires) return false;
+  const bool fire = decision_draw(seed_, hash_name(point), n) < p.probability;
+  if (fire) p.fires.fetch_add(1, std::memory_order_relaxed);
+  return fire;
+}
+
+bool FaultInjector::maybe_stall(std::string_view point) {
+  std::chrono::milliseconds stall{0};
+  {
+    // should_fire locks too; fetch the stall first so the sleep itself
+    // happens outside the registry lock.
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = points_.find(std::string(point));
+    if (it == points_.end()) return false;
+    stall = it->second->stall;
+  }
+  if (!should_fire(point)) return false;
+  if (stall.count() > 0) std::this_thread::sleep_for(stall);
+  return true;
+}
+
+std::chrono::milliseconds FaultInjector::stall_of(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(std::string(point));
+  return it == points_.end() ? std::chrono::milliseconds{0} : it->second->stall;
+}
+
+FaultInjector::PointStats FaultInjector::stats(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(std::string(point));
+  if (it == points_.end()) return {};
+  return {it->second->calls.load(std::memory_order_relaxed),
+          it->second->fires.load(std::memory_order_relaxed)};
+}
+
+std::string FaultInjector::summary() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  for (const auto& [name, point] : points_)
+    out << name << ' ' << point->fires.load(std::memory_order_relaxed) << '/'
+        << point->calls.load(std::memory_order_relaxed) << '\n';
+  return out.str();
+}
+
+// --- Backoff ---------------------------------------------------------------
+
+Backoff::Backoff(BackoffPolicy policy, std::uint64_t seed)
+    : policy_(policy), rng_state_(seed) {}
+
+std::chrono::milliseconds Backoff::next_delay() {
+  if (!can_retry()) throw std::logic_error("Backoff: retries exhausted");
+  double delay = static_cast<double>(policy_.initial.count());
+  for (int i = 0; i < attempts_; ++i) delay *= policy_.multiplier;
+  delay = std::min(delay, static_cast<double>(policy_.max.count()));
+  const double draw =
+      static_cast<double>(splitmix64(rng_state_) >> 11) * 0x1.0p-53;
+  delay *= 1.0 + policy_.jitter * (2.0 * draw - 1.0);
+  ++attempts_;
+  return std::chrono::milliseconds(
+      std::max<long long>(0, static_cast<long long>(delay)));
+}
+
+void Backoff::sleep() { std::this_thread::sleep_for(next_delay()); }
+
+// --- Crash-safe writes -----------------------------------------------------
+
+namespace {
+
+void fsync_path(const std::string& path, int open_flags) {
+  const int fd = ::open(path.c_str(), open_flags);
+  if (fd < 0) return;  // fsync is best-effort on exotic filesystems
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+void atomic_save(const std::string& path,
+                 const std::function<void(std::ostream&)>& writer) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+      throw std::runtime_error("atomic_save: cannot open " + tmp +
+                               " for writing");
+    writer(out);
+    out.flush();
+    if (!out) throw std::runtime_error("atomic_save: write failed for " + tmp);
+  }
+
+  // Chaos hook: a crash mid-write leaves a torn tmp and never reaches the
+  // rename — the destination keeps its previous complete content.
+  if (fault_fires("checkpoint.truncate")) {
+    if (::truncate(tmp.c_str(), 0) != 0) { /* tmp already torn enough */ }
+    throw FaultInjectedError("checkpoint.truncate while writing " + path);
+  }
+
+  fsync_path(tmp, O_WRONLY);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw std::runtime_error("atomic_save: rename " + tmp + " -> " + path +
+                             ": " + std::strerror(errno));
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  fsync_path(dir, O_RDONLY);
+}
+
+}  // namespace graphner::util

@@ -1,0 +1,174 @@
+// Fault-tolerance utilities: deterministic fault injection, capped
+// exponential backoff with jitter, and crash-safe (atomic) file writes.
+//
+// FaultInjector is the chaos-testing backbone: production code is
+// sprinkled with *named fault points* (socket.read, worker.stall,
+// checkpoint.truncate, ...) that are compiled in always and cost one
+// relaxed atomic load when no faults are configured. Enabling a point —
+// programmatically or via the GRAPHNER_FAULTS environment variable —
+// makes the nth call at that point fire deterministically from a seed, so
+// a chaos run is reproducible bit-for-bit regardless of thread
+// interleaving: the decision for call #n depends only on (seed, point, n),
+// never on which thread happened to get there first.
+//
+// Backoff implements the retry discipline every client of an overloaded
+// or faulty service needs: exponentially growing delays, capped, with
+// multiplicative jitter so a thundering herd of retriers decorrelates.
+//
+// atomic_save is the torn-write guard: write to <path>.tmp, flush, fsync,
+// rename over the destination, fsync the directory. A crash at any point
+// leaves either the old complete file or the new complete file — never a
+// prefix. The checkpoint.truncate fault point simulates exactly the torn
+// write the pattern prevents, for tests.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace graphner::util {
+
+/// Thrown by code paths that fail because an injected fault fired (so
+/// tests and callers can tell injected failures from organic ones).
+class FaultInjectedError : public std::runtime_error {
+ public:
+  explicit FaultInjectedError(const std::string& what)
+      : std::runtime_error("injected fault: " + what) {}
+};
+
+/// Process-wide registry of named fault points. Thread-safe; deterministic
+/// given (seed, point name, per-point call index).
+class FaultInjector {
+ public:
+  struct PointStats {
+    std::uint64_t calls = 0;  ///< times the point was evaluated
+    std::uint64_t fires = 0;  ///< times it fired
+  };
+
+  [[nodiscard]] static FaultInjector& instance();
+
+  /// Configure from a spec string:
+  ///   point=probability[:stall_ms][:max_fires] (',' separated)
+  /// e.g. "socket.read=0.05,worker.stall=0.1:20,train.crash.crf=1:0:1".
+  /// probability in [0,1]; stall_ms sleeps when the point fires (for stall
+  /// points); max_fires caps total fires (default unlimited). Replaces any
+  /// previous configuration. Throws std::invalid_argument on a bad spec.
+  void configure(const std::string& spec, std::uint64_t seed = 1);
+
+  /// Read GRAPHNER_FAULTS / GRAPHNER_FAULT_SEED; no-op when unset. Called
+  /// once at static-init time via instance(), so binaries pick chaos
+  /// configuration up without code changes.
+  void configure_from_env();
+
+  /// Drop every configured point; enabled() becomes false. Tests use this
+  /// to isolate themselves from each other.
+  void disable();
+
+  /// Fast gate for the hot path: one relaxed atomic load.
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Should the named point fire now? Advances the point's call counter.
+  /// Always false for unconfigured points.
+  [[nodiscard]] bool should_fire(std::string_view point);
+
+  /// If the point fires, sleep its configured stall and return true.
+  bool maybe_stall(std::string_view point);
+
+  /// The stall configured for a point (0 when none).
+  [[nodiscard]] std::chrono::milliseconds stall_of(std::string_view point) const;
+
+  [[nodiscard]] PointStats stats(std::string_view point) const;
+  /// "point fires/calls" per configured point, one per line (chaos-run
+  /// post-mortems; empty when nothing is configured).
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  struct Point {
+    double probability = 0.0;
+    std::chrono::milliseconds stall{0};
+    std::uint64_t max_fires = ~0ULL;
+    std::atomic<std::uint64_t> calls{0};
+    std::atomic<std::uint64_t> fires{0};
+  };
+
+  FaultInjector() { configure_from_env(); }
+
+  mutable std::mutex mutex_;  ///< guards points_ shape (reads + reconfigure)
+  std::unordered_map<std::string, std::unique_ptr<Point>> points_;
+  std::uint64_t seed_ = 1;
+  std::atomic<bool> enabled_{false};
+};
+
+/// One-liner for fail points: true iff injection is on and `point` fires.
+[[nodiscard]] inline bool fault_fires(std::string_view point) {
+  FaultInjector& injector = FaultInjector::instance();
+  return injector.enabled() && injector.should_fire(point);
+}
+
+/// One-liner for stall points: sleeps when the point fires.
+inline void fault_stall_point(std::string_view point) {
+  FaultInjector& injector = FaultInjector::instance();
+  if (injector.enabled()) injector.maybe_stall(point);
+}
+
+// --- Backoff ---------------------------------------------------------------
+
+struct BackoffPolicy {
+  std::chrono::milliseconds initial{50};
+  std::chrono::milliseconds max{2000};
+  double multiplier = 2.0;
+  /// Each delay is scaled by a uniform factor in [1 - jitter, 1 + jitter].
+  double jitter = 0.2;
+  int max_retries = 5;
+};
+
+/// Capped exponential backoff with deterministic jitter. Not thread-safe;
+/// one instance per retry loop.
+class Backoff {
+ public:
+  explicit Backoff(BackoffPolicy policy = {}, std::uint64_t seed = 0x5eedULL);
+
+  /// True while another retry is allowed (attempts() < max_retries).
+  [[nodiscard]] bool can_retry() const noexcept {
+    return attempts_ < policy_.max_retries;
+  }
+  [[nodiscard]] int attempts() const noexcept { return attempts_; }
+
+  /// The next delay (advances the attempt counter). Callers must check
+  /// can_retry() first; calling when exhausted throws std::logic_error.
+  [[nodiscard]] std::chrono::milliseconds next_delay();
+
+  /// next_delay() + sleep.
+  void sleep();
+
+  void reset() noexcept { attempts_ = 0; }
+
+ private:
+  BackoffPolicy policy_;
+  std::uint64_t rng_state_;
+  int attempts_ = 0;
+};
+
+// --- Crash-safe writes -----------------------------------------------------
+
+/// Atomically (re)write `path`: the writer streams into `<path>.tmp`, the
+/// data is fsync'd, and the tmp is renamed over `path` (with a directory
+/// fsync so the rename is durable). On any failure the destination is
+/// untouched. The "checkpoint.truncate" fault point simulates a crash that
+/// tore the write: the tmp file is truncated and FaultInjectedError is
+/// thrown — the destination must still hold its previous complete content.
+void atomic_save(const std::string& path,
+                 const std::function<void(std::ostream&)>& writer);
+
+}  // namespace graphner::util

@@ -1,0 +1,332 @@
+// Fault-tolerance layer tests: deterministic fault injection, backoff
+// discipline, crash-safe atomic writes, and the training checkpoint
+// subsystem — including the kill-and-resume byte-identity guarantee the
+// CI chaos job also drives end to end.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "src/corpus/generator.hpp"
+#include "src/graphner/checkpoint.hpp"
+#include "src/graphner/pipeline.hpp"
+#include "src/util/fault.hpp"
+
+namespace graphner {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Every test starts and ends with injection off: the injector is a
+/// process-wide singleton, so leaking a configured point would leak chaos
+/// into unrelated tests.
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { util::FaultInjector::instance().disable(); }
+  void TearDown() override { util::FaultInjector::instance().disable(); }
+
+  /// Fresh scratch directory under the test temp dir.
+  [[nodiscard]] static std::string scratch_dir(const std::string& name) {
+    const fs::path dir = fs::path(::testing::TempDir()) / ("fault_" + name);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir.string();
+  }
+
+  [[nodiscard]] static std::string slurp(const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+  }
+};
+
+TEST_F(FaultTest, DisabledInjectorNeverFires) {
+  auto& injector = util::FaultInjector::instance();
+  EXPECT_FALSE(injector.enabled());
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(util::fault_fires("socket.read"));
+  EXPECT_EQ(injector.stats("socket.read").calls, 0U);
+}
+
+TEST_F(FaultTest, ProbabilityEndpointsAreExact) {
+  auto& injector = util::FaultInjector::instance();
+  injector.configure("never=0,always=1", 9);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(util::fault_fires("never"));
+    EXPECT_TRUE(util::fault_fires("always"));
+    EXPECT_FALSE(util::fault_fires("unconfigured.point"));
+  }
+  EXPECT_EQ(injector.stats("always").fires, 200U);
+  EXPECT_EQ(injector.stats("never").fires, 0U);
+}
+
+TEST_F(FaultTest, FirePatternIsDeterministicInSeedAndCallIndex) {
+  auto& injector = util::FaultInjector::instance();
+  constexpr int kCalls = 500;
+
+  auto pattern = [&](std::uint64_t seed) {
+    injector.configure("p=0.3", seed);
+    std::vector<bool> fired(kCalls);
+    for (int i = 0; i < kCalls; ++i) fired[i] = util::fault_fires("p");
+    return fired;
+  };
+  const auto first = pattern(42);
+  const auto second = pattern(42);
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first, pattern(43));  // astronomically unlikely to collide
+
+  // The fraction tracks the probability loosely (it is a hash, not a
+  // coin, but it must not be degenerate).
+  const auto fires = static_cast<double>(
+      std::count(first.begin(), first.end(), true));
+  EXPECT_GT(fires / kCalls, 0.15);
+  EXPECT_LT(fires / kCalls, 0.45);
+}
+
+TEST_F(FaultTest, TotalFiresIsThreadScheduleIndependent) {
+  auto& injector = util::FaultInjector::instance();
+  constexpr int kCalls = 800;
+  injector.configure("p=0.25", 7);
+  for (int i = 0; i < kCalls; ++i) (void)util::fault_fires("p");
+  const auto serial_fires = injector.stats("p").fires;
+
+  // Same total number of calls from 8 threads: the decision for call #n
+  // depends only on (seed, point, n), so the total fire count must match
+  // the serial run no matter how the threads interleave.
+  injector.configure("p=0.25", 7);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < kCalls / 8; ++i) (void)util::fault_fires("p");
+    });
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(injector.stats("p").fires, serial_fires);
+  EXPECT_EQ(injector.stats("p").calls, static_cast<std::uint64_t>(kCalls));
+}
+
+TEST_F(FaultTest, MaxFiresCapsAndStallSleeps) {
+  auto& injector = util::FaultInjector::instance();
+  injector.configure("capped=1:0:3,stall=1:30", 1);
+  int fires = 0;
+  for (int i = 0; i < 10; ++i) fires += util::fault_fires("capped") ? 1 : 0;
+  EXPECT_EQ(fires, 3);
+
+  EXPECT_EQ(injector.stall_of("stall"), std::chrono::milliseconds(30));
+  const auto start = std::chrono::steady_clock::now();
+  util::fault_stall_point("stall");
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(25));
+
+  EXPECT_NE(injector.summary().find("capped 3/10"), std::string::npos)
+      << injector.summary();
+}
+
+TEST_F(FaultTest, MalformedSpecsThrow) {
+  auto& injector = util::FaultInjector::instance();
+  EXPECT_THROW(injector.configure("=0.5"), std::invalid_argument);
+  EXPECT_THROW(injector.configure("p"), std::invalid_argument);
+  EXPECT_THROW(injector.configure("p=1.5"), std::invalid_argument);
+  EXPECT_THROW(injector.configure("p=-0.1"), std::invalid_argument);
+  EXPECT_THROW(injector.configure("p=x"), std::invalid_argument);
+  EXPECT_FALSE(injector.enabled());  // failed configure leaves it off
+}
+
+TEST_F(FaultTest, BackoffGrowsExponentiallyWithCapAndJitter) {
+  util::BackoffPolicy policy;
+  policy.initial = std::chrono::milliseconds(100);
+  policy.max = std::chrono::milliseconds(450);
+  policy.multiplier = 2.0;
+  policy.jitter = 0.2;
+  policy.max_retries = 4;
+  util::Backoff backoff(policy);
+
+  // Nominal delays 100, 200, 400, 800->450; each within +/-20% (and the
+  // cap applies to the nominal delay, so the last is 450 +/- 20%).
+  const double nominal[] = {100.0, 200.0, 400.0, 450.0};
+  for (const double n : nominal) {
+    ASSERT_TRUE(backoff.can_retry());
+    const auto delay = static_cast<double>(backoff.next_delay().count());
+    EXPECT_GE(delay, n * 0.79) << n;
+    EXPECT_LE(delay, n * 1.21) << n;
+  }
+  EXPECT_FALSE(backoff.can_retry());
+  EXPECT_EQ(backoff.attempts(), 4);
+  EXPECT_THROW((void)backoff.next_delay(), std::logic_error);
+  backoff.reset();
+  EXPECT_TRUE(backoff.can_retry());
+}
+
+TEST_F(FaultTest, AtomicSaveWritesAndReplacesWholeFiles) {
+  const std::string dir = scratch_dir("atomic");
+  const std::string path = dir + "/data.txt";
+
+  util::atomic_save(path, [](std::ostream& out) { out << "first\n"; });
+  EXPECT_EQ(slurp(path), "first\n");
+  util::atomic_save(path, [](std::ostream& out) { out << "second\n"; });
+  EXPECT_EQ(slurp(path), "second\n");
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+TEST_F(FaultTest, TornWriteLeavesPreviousFileIntact) {
+  const std::string dir = scratch_dir("torn");
+  const std::string path = dir + "/data.txt";
+  util::atomic_save(path, [](std::ostream& out) { out << "intact\n"; });
+
+  util::FaultInjector::instance().configure("checkpoint.truncate=1", 3);
+  EXPECT_THROW(
+      util::atomic_save(path, [](std::ostream& out) { out << "torn!\n"; }),
+      util::FaultInjectedError);
+  util::FaultInjector::instance().disable();
+  // The destination still holds the previous complete content.
+  EXPECT_EQ(slurp(path), "intact\n");
+}
+
+TEST_F(FaultTest, CheckpointCommitRestoreAcrossReopen) {
+  const std::string dir = scratch_dir("ckpt");
+  auto checkpoint = core::TrainCheckpoint::open(dir, 0xabcdULL);
+  EXPECT_TRUE(checkpoint.enabled());
+  EXPECT_FALSE(checkpoint.completed("brown"));
+  EXPECT_FALSE(checkpoint.restore("brown", [](std::istream&) { FAIL(); }));
+
+  checkpoint.commit("brown", [](std::ostream& out) { out << "payload 17\n"; });
+  EXPECT_TRUE(checkpoint.completed("brown"));
+
+  // A new open with the same fingerprint sees the committed phase.
+  auto reopened = core::TrainCheckpoint::open(dir, 0xabcdULL);
+  std::string payload;
+  int value = 0;
+  EXPECT_TRUE(reopened.restore("brown", [&](std::istream& in) {
+    in >> payload >> value;
+  }));
+  EXPECT_EQ(payload, "payload");
+  EXPECT_EQ(value, 17);
+  EXPECT_FALSE(reopened.completed("crf"));
+}
+
+TEST_F(FaultTest, FingerprintMismatchIgnoresPriorState) {
+  const std::string dir = scratch_dir("stale");
+  auto checkpoint = core::TrainCheckpoint::open(dir, 1);
+  checkpoint.commit("brown", [](std::ostream& out) { out << "old\n"; });
+
+  // Different corpus/config: the stale phase must not be resumed into.
+  auto other = core::TrainCheckpoint::open(dir, 2);
+  EXPECT_FALSE(other.completed("brown"));
+  EXPECT_FALSE(other.restore("brown", [](std::istream&) { FAIL(); }));
+}
+
+TEST_F(FaultTest, DisabledCheckpointIsInert) {
+  core::TrainCheckpoint checkpoint;  // no directory
+  EXPECT_FALSE(checkpoint.enabled());
+  bool wrote = false;
+  checkpoint.commit("brown", [&](std::ostream&) { wrote = true; });
+  EXPECT_FALSE(wrote);
+  EXPECT_FALSE(checkpoint.restore("brown", [](std::istream&) { FAIL(); }));
+}
+
+TEST_F(FaultTest, TrainingFingerprintSeparatesCorpusAndConfig) {
+  const auto data = corpus::generate_corpus(corpus::bc2gm_like_spec(0.02, 5));
+  core::GraphNerConfig config;
+  const auto base = core::training_fingerprint(config, data.train, {});
+  EXPECT_EQ(base, core::training_fingerprint(config, data.train, {}));
+
+  core::GraphNerConfig other_config = config;
+  other_config.crf_order = 1;
+  EXPECT_NE(base, core::training_fingerprint(other_config, data.train, {}));
+
+  auto mutated = data.train;
+  mutated[0].tokens[0] += "x";
+  EXPECT_NE(base, core::training_fingerprint(config, mutated, {}));
+  // Test-time knobs may vary freely across a resume.
+  core::GraphNerConfig test_time = config;
+  test_time.alpha = 0.9;
+  EXPECT_EQ(base, core::training_fingerprint(test_time, data.train, {}));
+}
+
+/// The tentpole guarantee: a training run killed right after any phase
+/// commits, then rerun against the same checkpoint directory, produces a
+/// byte-identical final model to an uninterrupted run.
+TEST_F(FaultTest, KilledAndResumedTrainingIsByteIdentical) {
+  const auto data = corpus::generate_corpus(corpus::bc2gm_like_spec(0.05, 11));
+  std::vector<text::Sentence> unlabelled;
+  for (const auto& s : data.test) {
+    text::Sentence stripped;
+    stripped.id = s.id;
+    stripped.tokens = s.tokens;
+    unlabelled.push_back(std::move(stripped));
+  }
+  core::GraphNerConfig config;
+  config.profile = core::CrfProfile::kBannerChemDner;  // all four phases
+
+  auto serialize = [](const core::GraphNerModel& model) {
+    std::ostringstream out;
+    model.save(out);
+    return out.str();
+  };
+  const std::string uninterrupted =
+      serialize(core::GraphNerModel::train(data.train, unlabelled, config));
+
+  config.checkpoint_dir = scratch_dir("resume");
+  util::FaultInjector::instance().configure("train.crash.word2vec=1", 1);
+  EXPECT_THROW(core::GraphNerModel::train(data.train, unlabelled, config),
+               util::FaultInjectedError);
+  util::FaultInjector::instance().disable();
+  // brown + word2vec are durable; the rerun resumes after them.
+  EXPECT_TRUE(fs::exists(config.checkpoint_dir + "/brown.ckpt"));
+  EXPECT_TRUE(fs::exists(config.checkpoint_dir + "/word2vec.ckpt"));
+  EXPECT_FALSE(fs::exists(config.checkpoint_dir + "/crf.ckpt"));
+
+  const std::string resumed =
+      serialize(core::GraphNerModel::train(data.train, unlabelled, config));
+  EXPECT_EQ(resumed, uninterrupted);
+
+  // A third run restores every phase (no recompute) — still identical.
+  const std::string restored =
+      serialize(core::GraphNerModel::train(data.train, unlabelled, config));
+  EXPECT_EQ(restored, uninterrupted);
+}
+
+TEST_F(FaultTest, ModelSerializationIsCanonicalAcrossSaveLoadSave) {
+  const auto data = corpus::generate_corpus(corpus::bc2gm_like_spec(0.05, 11));
+  core::GraphNerConfig config;
+  config.profile = core::CrfProfile::kBannerChemDner;
+  const auto model = core::GraphNerModel::train(data.train, {}, config);
+
+  std::ostringstream first;
+  model.save(first);
+  std::istringstream in(first.str());
+  const auto reloaded = core::GraphNerModel::load(in);
+  std::ostringstream second;
+  reloaded.save(second);
+  // Sorted tables + precision-17 doubles: the round trip is a fixed point.
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST_F(FaultTest, SaveFileIsAtomicUnderTornWriteFault) {
+  const auto data = corpus::generate_corpus(corpus::bc2gm_like_spec(0.03, 13));
+  const auto model =
+      core::GraphNerModel::train(data.train, {}, core::GraphNerConfig{});
+  const std::string path = scratch_dir("model") + "/model.gnm";
+
+  model.save_file(path);
+  const std::string saved = slurp(path);
+  EXPECT_FALSE(saved.empty());
+
+  util::FaultInjector::instance().configure("checkpoint.truncate=1", 2);
+  EXPECT_THROW(model.save_file(path), util::FaultInjectedError);
+  util::FaultInjector::instance().disable();
+  EXPECT_EQ(slurp(path), saved);  // old complete file, never a prefix
+
+  const auto reloaded = core::GraphNerModel::load_file(path);
+  std::ostringstream out;
+  reloaded.save(out);
+  EXPECT_EQ(out.str(), saved);
+}
+
+}  // namespace
+}  // namespace graphner

@@ -1,18 +1,22 @@
 // Serving runtime tests: concurrent correctness (byte-identical to offline
 // decode), micro-batching, backpressure, graceful shutdown, the wire
-// protocol, and the socket server end to end. The concurrency tests are
+// protocol, the socket server end to end, and the fault-tolerance layer
+// (deadlines, degradation, injected faults). The concurrency tests are
 // the ones the CI ThreadSanitizer job exercises.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <thread>
 #include <vector>
 
 #include "src/corpus/generator.hpp"
 #include "src/serve/protocol.hpp"
+#include "src/serve/request_queue.hpp"
 #include "src/serve/service.hpp"
 #include "src/serve/socket_server.hpp"
+#include "src/util/fault.hpp"
 
 namespace graphner::serve {
 namespace {
@@ -265,6 +269,406 @@ TEST_F(ServeTest, SocketServerRoundTripsAgainstOfflineDecode) {
   EXPECT_FALSE(connection.recv_line(eof_line));
   server.stop();
   service.stop();
+}
+
+// --- Fault tolerance: deadlines, degradation, chaos --------------------------
+
+/// Scopes chaos to one test: the FaultInjector is a process-wide singleton,
+/// so every test that configures it must leave it disabled for the next.
+struct FaultGuard {
+  FaultGuard() { util::FaultInjector::instance().disable(); }
+  ~FaultGuard() { util::FaultInjector::instance().disable(); }
+};
+
+TEST_F(ServeTest, DeadlinedRequestsAreShedBeforeDecode) {
+  FaultGuard guard;
+  // Every batch stalls 60 ms — far past the 20 ms request deadlines, so
+  // each request has expired by the time its worker reaches it.
+  util::FaultInjector::instance().configure("worker.stall=1:60", 1);
+  ServiceConfig config;
+  config.workers = 1;
+  config.batching.max_batch = 4;
+  config.batching.max_delay = std::chrono::microseconds(1000);
+  TaggingService service(*model_, config);
+
+  constexpr std::size_t kN = 8;
+  std::vector<std::future<TagResponse>> futures;
+  futures.reserve(kN);
+  for (std::size_t i = 0; i < kN; ++i)
+    futures.push_back(service.submit((*sentences_)[i % sentences_->size()],
+                                     std::chrono::milliseconds(20)));
+  for (auto& future : futures) {
+    const auto response = future.get();
+    EXPECT_EQ(response.status, Status::kDeadlineExceeded);
+    EXPECT_TRUE(response.tags.empty());
+    EXPECT_FALSE(response.error.empty());
+    EXPECT_FALSE(response.degraded);
+  }
+  const auto snapshot = service.metrics();
+  EXPECT_EQ(snapshot.deadline_expired, kN);
+  EXPECT_EQ(snapshot.completed, 0U);  // nothing wasted worker time on decode
+  EXPECT_EQ(snapshot.submitted, kN);
+}
+
+TEST_F(ServeTest, DegradedModeFallsBackToPlainViterbiAndRecovers) {
+  FaultGuard guard;
+  // A slow worker (5 ms per batch) lets the queue build past the high-water
+  // mark, then drain back to the low-water mark — both transitions of the
+  // hysteresis happen within one flood.
+  util::FaultInjector::instance().configure("worker.stall=1:5", 1);
+  ServiceConfig config;
+  config.workers = 1;
+  config.batching.max_batch = 1;  // one request per batch: depth falls by 1 each
+  config.batching.max_delay = std::chrono::microseconds(100);
+  config.blend_decode = true;
+  config.degrade.high_watermark = 4;
+  config.degrade.low_watermark = 0;
+  TaggingService service(*model_, config);
+
+  const auto& sentence = (*sentences_)[0];
+  crf::LinearChainCrf::Scratch scratch;
+  features::EncodeScratch encode;
+  const auto blended = model_->decode_one_blended(sentence, scratch, encode);
+  const auto& plain = (*expected_)[0];
+
+  constexpr std::size_t kFlood = 24;
+  std::vector<std::future<TagResponse>> futures;
+  futures.reserve(kFlood);
+  for (std::size_t i = 0; i < kFlood; ++i)
+    futures.push_back(service.submit(sentence));
+  std::size_t degraded_count = 0;
+  for (auto& future : futures) {
+    const auto response = future.get();
+    ASSERT_TRUE(response.ok());
+    if (response.degraded) {
+      ++degraded_count;
+      EXPECT_EQ(response.tags, plain);  // the cheap tier: plain CRF Viterbi
+    } else {
+      EXPECT_EQ(response.tags, blended);  // full quality: posterior blend
+    }
+  }
+  // The flood tripped degradation, but not every response was degraded:
+  // the last batch sees an empty queue and recovers before decoding.
+  EXPECT_GT(degraded_count, 0U);
+  EXPECT_LT(degraded_count, kFlood);
+  EXPECT_EQ(service.metrics().degraded, degraded_count);
+  EXPECT_FALSE(service.degraded());
+
+  // Post-flood traffic is full quality again.
+  const auto after = service.tag(sentence);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after.degraded);
+  EXPECT_EQ(after.tags, blended);
+}
+
+TEST_F(ServeTest, PushRacingShutdownResolvesEveryFuture) {
+  FaultGuard guard;
+  // Half the pushes stall 1 ms inside push(), widening the submit/stop race.
+  util::FaultInjector::instance().configure("queue.push=0.5:1", 7);
+  ServiceConfig config;
+  config.workers = 2;
+  config.batching.max_batch = 8;
+  TaggingService service(*model_, config);
+
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kPerProducer = 32;
+  std::vector<std::vector<std::future<TagResponse>>> futures(kProducers);
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    futures[p].reserve(kPerProducer);
+    producers.emplace_back([&, p] {
+      for (std::size_t i = 0; i < kPerProducer; ++i)
+        futures[p].push_back(
+            service.submit((*sentences_)[(p + i) % sentences_->size()]));
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  service.stop();  // races the producers mid-flood
+  for (auto& producer : producers) producer.join();
+
+  // Every single future resolves with a terminal status — nothing hangs,
+  // nothing loses its promise, regardless of where stop() landed.
+  std::size_t ok = 0, shutdown = 0, overloaded = 0;
+  for (auto& per_producer : futures) {
+    for (auto& future : per_producer) {
+      switch (future.get().status) {
+        case Status::kOk: ++ok; break;
+        case Status::kShutdown: ++shutdown; break;
+        case Status::kOverloaded: ++overloaded; break;
+        default: FAIL() << "unexpected status";
+      }
+    }
+  }
+  EXPECT_EQ(ok + shutdown + overloaded, kProducers * kPerProducer);
+  const auto snapshot = service.metrics();
+  EXPECT_EQ(snapshot.submitted, kProducers * kPerProducer);
+  EXPECT_EQ(snapshot.completed, ok);
+  EXPECT_EQ(snapshot.rejected_shutdown, shutdown);
+  EXPECT_EQ(snapshot.rejected_overload, overloaded);
+}
+
+TEST_F(ServeTest, OverloadFloodWithDeadlinesResolvesAllRequests) {
+  FaultGuard guard;
+  // Stalled workers + a tiny queue: accepted requests outlive their 1 ms
+  // deadline while waiting, the rest bounce off the full queue.
+  util::FaultInjector::instance().configure("worker.stall=1:10", 3);
+  ServiceConfig config;
+  config.workers = 1;
+  config.batching.max_batch = 2;
+  config.batching.max_queue_depth = 4;
+  config.batching.max_delay = std::chrono::microseconds(500);
+  TaggingService service(*model_, config);
+
+  constexpr std::size_t kFlood = 64;
+  std::vector<std::future<TagResponse>> futures;
+  futures.reserve(kFlood);
+  for (std::size_t i = 0; i < kFlood; ++i)
+    futures.push_back(service.submit((*sentences_)[i % sentences_->size()],
+                                     std::chrono::milliseconds(1)));
+  std::size_t ok = 0, overloaded = 0, expired = 0;
+  for (auto& future : futures) {
+    const auto response = future.get();
+    switch (response.status) {
+      case Status::kOk: ++ok; break;
+      case Status::kOverloaded: ++overloaded; break;
+      case Status::kDeadlineExceeded: ++expired; break;
+      default: FAIL() << "unexpected status";
+    }
+    // Retryability is exactly the transient statuses.
+    EXPECT_EQ(status_retryable(response.status),
+              response.status == Status::kOverloaded ||
+                  response.status == Status::kDeadlineExceeded);
+  }
+  EXPECT_EQ(ok + overloaded + expired, kFlood);
+  EXPECT_GT(overloaded, 0U);
+  EXPECT_GT(expired, 0U);
+  const auto snapshot = service.metrics();
+  EXPECT_EQ(snapshot.submitted, kFlood);
+  EXPECT_EQ(snapshot.completed, ok);
+  EXPECT_EQ(snapshot.rejected_overload, overloaded);
+  EXPECT_EQ(snapshot.deadline_expired, expired);
+}
+
+TEST_F(ServeTest, AbandonedFuturesDoNotBlockDrainOrStop) {
+  FaultGuard guard;
+  util::FaultInjector::instance().configure("worker.stall=1:5:2", 5);
+  ServiceConfig config;
+  config.workers = 1;
+  config.batching.max_batch = 4;
+  TaggingService service(*model_, config);
+
+  // Callers that give up still must not wedge the pipeline: drop every
+  // future immediately and stop. Workers set promises nobody waits on.
+  constexpr std::size_t kN = 16;
+  for (std::size_t i = 0; i < kN; ++i) {
+    auto abandoned = service.submit((*sentences_)[i % sentences_->size()]);
+    (void)abandoned;  // destroyed here, before the response exists
+  }
+  service.stop();
+  const auto snapshot = service.metrics();
+  EXPECT_EQ(snapshot.submitted, kN);
+  EXPECT_EQ(snapshot.completed + snapshot.rejected_overload +
+                snapshot.rejected_shutdown + snapshot.deadline_expired,
+            kN);
+}
+
+TEST(ServeQueue, ShutdownRaceLosesNoAcceptedRequest) {
+  FaultGuard guard;
+  // A third of the pushes stall inside push() so shutdown() lands between
+  // admissions; every accepted request must still come out of pop_batch.
+  util::FaultInjector::instance().configure("queue.push=0.3:1", 11);
+  BatchPolicy policy;
+  policy.max_batch = 4;
+  policy.max_delay = std::chrono::microseconds(200);
+  BatchQueue queue(policy);
+
+  std::atomic<std::size_t> accepted{0};
+  std::atomic<std::size_t> rejected{0};
+  std::atomic<std::size_t> popped{0};
+  std::thread consumer([&] {
+    std::vector<PendingRequest> batch;
+    while (queue.pop_batch(batch)) popped += batch.size();
+  });
+
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kPerProducer = 64;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        PendingRequest request;
+        request.enqueued_at = std::chrono::steady_clock::now();
+        if (queue.push(std::move(request)) == BatchQueue::PushResult::kAccepted)
+          ++accepted;
+        else
+          ++rejected;
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  queue.shutdown();
+  for (auto& producer : producers) producer.join();
+  consumer.join();  // pop_batch returns false only once fully drained
+
+  EXPECT_EQ(accepted + rejected, kProducers * kPerProducer);
+  EXPECT_EQ(popped, accepted);  // drained exactly the admitted requests
+  EXPECT_EQ(queue.depth(), 0U);
+}
+
+TEST_F(ServeTest, ConnectRetriesExhaustedAfterBackoff) {
+  TaggingService service(*model_, {});
+  // Grab an ephemeral port that briefly had a listener, then free it: a
+  // connect() there gets ECONNREFUSED, the retryable condition.
+  std::uint16_t dead_port = 0;
+  {
+    SocketServer server(service, {});
+    server.start();
+    dead_port = server.port();
+    server.stop();
+  }
+  util::BackoffPolicy policy;
+  policy.initial = std::chrono::milliseconds(1);
+  policy.max = std::chrono::milliseconds(4);
+  policy.max_retries = 2;
+  ClientConnection connection;
+  try {
+    connection.connect("127.0.0.1", dead_port, policy);
+    FAIL() << "connect to a dead port must exhaust its retries";
+  } catch (const ConnectRetriesExhausted& e) {
+    EXPECT_EQ(e.attempts(), 3);  // initial try + 2 retries
+    EXPECT_NE(std::string(e.what()).find("gave up after 3 attempt(s)"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_FALSE(connection.connected());
+  service.stop();
+}
+
+TEST_F(ServeTest, RequestWithRetryRecoversFromDeadlineExceeded) {
+  FaultGuard guard;
+  // Exactly the first batch stalls 80 ms; with a 30 ms default deadline the
+  // first attempt comes back DEADLINE_EXCEEDED and the retry succeeds.
+  util::FaultInjector::instance().configure("worker.stall=1:80:1", 1);
+  ServiceConfig config;
+  config.workers = 1;
+  config.default_deadline = std::chrono::milliseconds(30);
+  TaggingService service(*model_, config);
+  SocketServer server(service, {});
+  server.start();
+
+  ClientConnection connection;
+  connection.connect("127.0.0.1", server.port());
+  util::BackoffPolicy policy;
+  policy.initial = std::chrono::milliseconds(1);
+  policy.max_retries = 3;
+  std::string response;
+  ASSERT_TRUE(connection.request_with_retry("r1\tthe BRCA1 gene", response,
+                                            policy));
+  EXPECT_EQ(response_status(response), "OK") << response;
+  EXPECT_GE(service.metrics().deadline_expired, 1U);  // attempt 1 was shed
+  server.stop();
+  service.stop();
+}
+
+TEST_F(ServeTest, ServerSurvivesInjectedSocketFaults) {
+  FaultGuard guard;
+  // Connection 1 dies at accept, connection 2 at its first read; the
+  // server process must outlive both and serve connection 3 normally.
+  util::FaultInjector::instance().configure(
+      "socket.accept=1:0:1,socket.read=1:0:1", 9);
+  ServiceConfig config;
+  config.workers = 1;
+  TaggingService service(*model_, config);
+  SocketServer server(service, {});
+  server.start();
+
+  const std::string request = "r1\tp53 binds DNA";
+  std::string response;
+  bool answered = false;
+  int attempts = 0;
+  for (; attempts < 6 && !answered; ++attempts) {
+    try {
+      ClientConnection connection;
+      connection.connect("127.0.0.1", server.port());
+      connection.send_line(request);
+      answered = connection.recv_line(response);
+    } catch (const std::exception&) {
+      // dropped mid-send — reconnect and resend (nothing was answered)
+    }
+  }
+  ASSERT_TRUE(answered);
+  EXPECT_GT(attempts, 1);  // at least one connection was actually killed
+  EXPECT_EQ(response_status(response), "OK") << response;
+  EXPECT_EQ(util::FaultInjector::instance().stats("socket.accept").fires, 1U);
+  EXPECT_EQ(util::FaultInjector::instance().stats("socket.read").fires, 1U);
+  server.stop();
+  service.stop();
+}
+
+TEST(ServeProtocol, ParsesDeadlineSuffixAndJsonDeadline) {
+  auto tsv = parse_request_line("r1@250\tthe BRCA1 gene");
+  ASSERT_EQ(tsv.kind, LineKind::kRequest);
+  EXPECT_EQ(tsv.request.id, "r1");
+  EXPECT_EQ(tsv.request.deadline_ms, 250);
+
+  // Ids that legitimately contain '@' (emails, handles) round-trip whole:
+  // only a non-empty all-digit suffix is a deadline.
+  auto email = parse_request_line("user@host.com\tp53 binds DNA");
+  ASSERT_EQ(email.kind, LineKind::kRequest);
+  EXPECT_EQ(email.request.id, "user@host.com");
+  EXPECT_EQ(email.request.deadline_ms, 0);
+
+  auto mixed = parse_request_line("x@12y\tp53");
+  ASSERT_EQ(mixed.kind, LineKind::kRequest);
+  EXPECT_EQ(mixed.request.id, "x@12y");
+  EXPECT_EQ(mixed.request.deadline_ms, 0);
+
+  // Bare '@<ms>' — deadline with no id of its own.
+  auto bare = parse_request_line("@77\tp53");
+  ASSERT_EQ(bare.kind, LineKind::kRequest);
+  EXPECT_EQ(bare.request.id, "-");
+  EXPECT_EQ(bare.request.deadline_ms, 77);
+
+  auto json = parse_request_line(
+      "{\"id\": \"j\", \"tokens\": [\"a\"], \"deadline_ms\": 50}");
+  ASSERT_EQ(json.kind, LineKind::kRequest);
+  EXPECT_EQ(json.request.deadline_ms, 50);
+
+  EXPECT_EQ(parse_request_line(
+                "{\"tokens\": [\"a\"], \"deadline_ms\": \"soon\"}").kind,
+            LineKind::kMalformed);
+}
+
+TEST(ServeProtocol, FormatsDegradedResponsesAndClassifiesRetryable) {
+  Request request;
+  request.id = "d1";
+  TagResponse degraded;
+  degraded.tags = {text::Tag::kB, text::Tag::kI, text::Tag::kO};
+  degraded.degraded = true;
+  // TSV: the status gains a '*'; tags are unchanged in shape.
+  EXPECT_EQ(format_response(request, degraded), "d1\tOK*\tB I O");
+  EXPECT_EQ(response_status("d1\tOK*\tB I O"), "OK");  // marker stripped
+
+  Request json_request = request;
+  json_request.json = true;
+  const std::string json_line = format_response(json_request, degraded);
+  EXPECT_EQ(json_line,
+            "{\"id\":\"d1\",\"status\":\"ok\",\"degraded\":true,"
+            "\"tags\":[\"B\",\"I\",\"O\"]}");
+  EXPECT_EQ(response_status(json_line), "OK");
+
+  TagResponse expired;
+  expired.status = Status::kDeadlineExceeded;
+  expired.error = "deadline exceeded after 1200 us in queue";
+  const std::string expired_line = format_response(request, expired);
+  EXPECT_EQ(response_status(expired_line), "DEADLINE_EXCEEDED");
+  EXPECT_TRUE(response_retryable(expired_line));
+  EXPECT_TRUE(response_retryable("r\tOVERLOADED\tqueue full"));
+  EXPECT_FALSE(response_retryable("r\tOK\tB I O"));
+  EXPECT_FALSE(response_retryable("r\tERROR\tboom"));
+  EXPECT_FALSE(response_retryable("not a response line"));
 }
 
 TEST(ServeProtocol, ParsesTsvJsonAndControlLines) {
