@@ -55,6 +55,9 @@ int main(int argc, char** argv) {
   auto deadline_ms = cli.flag<long>(
       "deadline-ms", 0, "per-request deadline sent as the '@<ms>' id suffix");
   auto metrics = cli.toggle("metrics", "fetch the server metrics JSON and exit");
+  auto metrics_format = cli.flag<std::string>(
+      "metrics-format", "",
+      "with --metrics: json | tsv | prom (empty = legacy service JSON)");
   cli.parse(argc, argv);
 
   util::BackoffPolicy connect_policy;
@@ -63,13 +66,33 @@ int main(int argc, char** argv) {
 
   try {
     if (*metrics) {
+      // Single-line flavours (legacy / JSON) answer with exactly one line;
+      // the multi-line flavours end with a terminator line (#END for TSV,
+      // "# EOF" for Prometheus) which we print too, so output is diffable
+      // against what the wire carried.
+      std::string command = "#METRICS";
+      std::string terminator;
+      if (*metrics_format == "json") {
+        command = "#METRICS JSON";
+      } else if (*metrics_format == "tsv") {
+        command = "#METRICS TSV";
+        terminator = "#END";
+      } else if (*metrics_format == "prom") {
+        command = "#METRICS PROM";
+        terminator = "# EOF";
+      } else if (!metrics_format->empty()) {
+        throw std::runtime_error("unknown --metrics-format '" + *metrics_format +
+                                 "' (expected json, tsv or prom)");
+      }
       serve::ClientConnection connection;
       connection.connect(*host, *port, connect_policy);
-      connection.send_line("#METRICS");
+      connection.send_line(command);
       std::string line;
-      if (!connection.recv_line(line))
-        throw std::runtime_error("server closed before answering #METRICS");
-      std::cout << line << '\n';
+      do {
+        if (!connection.recv_line(line))
+          throw std::runtime_error("server closed before answering " + command);
+        std::cout << line << '\n';
+      } while (!terminator.empty() && line != terminator);
       return 0;
     }
 

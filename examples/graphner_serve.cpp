@@ -19,6 +19,7 @@
 
 #include "src/corpus/bc2gm_io.hpp"
 #include "src/graphner/pipeline.hpp"
+#include "src/obs/export.hpp"
 #include "src/serve/protocol.hpp"
 #include "src/serve/socket_server.hpp"
 #include "src/util/cli.hpp"
@@ -99,6 +100,9 @@ int main(int argc, char** argv) {
       "queue depth that switches blend decode to plain Viterbi (0 = never)");
   auto degrade_low = cli.flag<std::size_t>(
       "degrade-low", 0, "queue depth that restores blend decode");
+  auto metrics_every = cli.flag<long>(
+      "metrics-dump-every", 0,
+      "dump the Prometheus metrics snapshot to stderr every N seconds (0 = off)");
   cli.parse(argc, argv);
 
   try {
@@ -142,8 +146,19 @@ int main(int argc, char** argv) {
 
     std::signal(SIGINT, handle_signal);
     std::signal(SIGTERM, handle_signal);
-    while (g_signal.load() == 0)
+    // In-process periodic scrape: the same snapshot the METRICS protocol
+    // command serves, dumped to stderr so an operator (or a log shipper)
+    // gets time series without connecting a client.
+    auto last_dump = std::chrono::steady_clock::now();
+    const std::chrono::seconds dump_period(*metrics_every > 0 ? *metrics_every : 0);
+    while (g_signal.load() == 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      if (dump_period.count() > 0 &&
+          std::chrono::steady_clock::now() - last_dump >= dump_period) {
+        last_dump = std::chrono::steady_clock::now();
+        std::cerr << obs::export_prometheus(service.observability_snapshot());
+      }
+    }
 
     std::cerr << "graphner_serve: stopping (signal " << g_signal.load() << ")\n";
     server.stop();

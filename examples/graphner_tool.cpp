@@ -18,6 +18,7 @@
 #include "src/corpus/bc2gm_io.hpp"
 #include "src/corpus/generator.hpp"
 #include "src/graphner/experiment.hpp"
+#include "src/obs/export.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/table.hpp"
 
@@ -61,6 +62,9 @@ int cmd_tag(int argc, char** argv) {
   auto checkpoint_dir = cli.flag<std::string>(
       "checkpoint-dir", "",
       "crash-safe per-phase training checkpoints; rerun to resume");
+  auto metrics_json = cli.flag<std::string>(
+      "metrics-json", "",
+      "after the run, write the metric registry + trace spans here as JSON");
   cli.parse(argc, argv);
 
   const auto data = corpus::load_corpus(*dir);
@@ -122,6 +126,16 @@ int cmd_tag(int argc, char** argv) {
   row(core::profile_name(config.profile), out.baseline.metrics);
   row("GraphNER", out.graphner.metrics);
   table.print(std::cout, "Evaluation on " + *dir + "/GENE.eval");
+
+  if (!metrics_json->empty()) {
+    // Everything the run recorded: the global registry (training phases,
+    // L-BFGS, propagation, graph, checkpoints) plus the drained spans.
+    std::ofstream file(*metrics_json);
+    file << "{\"metrics\":" << obs::export_json(obs::Registry::global().snapshot())
+         << ",\"spans\":" << obs::export_spans_json(obs::Trace::global().drain())
+         << "}\n";
+    std::cout << "wrote metrics JSON to " << *metrics_json << '\n';
+  }
   return 0;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <deque>
 
+#include "src/obs/registry.hpp"
 #include "src/util/logging.hpp"
 #include "src/util/math.hpp"
 
@@ -56,6 +57,15 @@ LbfgsResult lbfgs_minimize(std::vector<double>& x, const Objective& objective,
 
   LbfgsResult result;
   result.objective = f;
+
+  // Live optimization telemetry: resolved once (lookup takes the registry
+  // mutex), updated once per iteration — a scrape mid-train sees the
+  // current objective and gradient norm.
+  obs::Registry& registry = obs::Registry::global();
+  obs::Counter& iteration_counter = registry.counter("crf.lbfgs.iterations");
+  obs::Gauge& objective_gauge = registry.gauge("crf.lbfgs.objective");
+  obs::Gauge& gradient_gauge = registry.gauge("crf.lbfgs.gradient_norm");
+  objective_gauge.set(f);
 
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     const double gnorm = util::norm(grad);
@@ -124,6 +134,9 @@ LbfgsResult lbfgs_minimize(std::vector<double>& x, const Objective& objective,
     f = new_f;
     result.iterations = iter + 1;
     result.objective = f;
+    iteration_counter.inc();
+    objective_gauge.set(f);
+    gradient_gauge.set(util::norm(grad));
   }
   return result;
 }

@@ -3,9 +3,9 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/obs/span.hpp"
 #include "src/util/logging.hpp"
 #include "src/util/parallel.hpp"
-#include "src/util/stopwatch.hpp"
 
 namespace graphner::crf {
 
@@ -51,15 +51,18 @@ TrainReport train_crf(LinearChainCrf& model, const Batch& batch,
     return objective_value;
   };
 
-  util::Stopwatch watch;
+  obs::ScopedSpan span("crf.optimize");
+  span.attr("sentences", static_cast<std::uint64_t>(batch.size()));
   std::vector<double> x(model.weights().begin(), model.weights().end());
   const LbfgsResult result = lbfgs_minimize(x, objective, options.lbfgs);
   model.set_weights(x);
+  span.attr("iterations", static_cast<std::uint64_t>(result.iterations));
+  span.attr("objective", result.objective);
 
   if (options.verbose) {
     util::log_info("crf: trained on ", batch.size(), " sentences, ",
                    result.iterations, " L-BFGS iterations, objective ",
-                   result.objective, ", ", watch.seconds(), "s");
+                   result.objective, ", ", span.seconds(), "s");
   }
   return TrainReport{result.objective, result.iterations, result.converged};
 }

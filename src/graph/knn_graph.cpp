@@ -6,10 +6,9 @@
 #include <stdexcept>
 #include <string>
 
-#include "src/util/logging.hpp"
+#include "src/obs/registry.hpp"
+#include "src/obs/span.hpp"
 #include "src/util/parallel.hpp"
-#include "src/util/stopwatch.hpp"
-#include "src/util/table.hpp"
 #include "src/util/top_k.hpp"
 
 namespace graphner::graph {
@@ -64,7 +63,7 @@ KnnGraph build_knn_graph(const std::vector<SparseVector>& vectors,
                          const KnnConfig& config) {
   const std::size_t n = vectors.size();
   KnnGraph graph(n, config.k);
-  util::Stopwatch watch;
+  obs::ScopedSpan span("graph.knn_build");
 
   // Inverted index: feature id -> (vertex, value) pairs, so the scoring
   // loop accumulates dot products without touching the candidate's vector.
@@ -114,9 +113,13 @@ KnnGraph build_knn_graph(const std::vector<SparseVector>& vectors,
     }
   });
 
-  util::log_debug("knn graph: ", n, " vertices, ", graph.edge_count(), " edges, ",
-                 skipped_features, " high-df features skipped, ",
-                 util::TablePrinter::fmt(watch.seconds(), 2), "s");
+  span.attr("vertices", static_cast<std::uint64_t>(n));
+  span.attr("edges", static_cast<std::uint64_t>(graph.edge_count()));
+  span.attr("skipped_features", static_cast<std::uint64_t>(skipped_features));
+  obs::Registry& registry = obs::Registry::global();
+  registry.gauge("graph.knn.vertices").set(static_cast<double>(n));
+  registry.gauge("graph.knn.edges").set(static_cast<double>(graph.edge_count()));
+  registry.counter("graph.knn.builds").inc();
   return graph;
 }
 

@@ -6,6 +6,7 @@
 #include <ios>
 #include <sstream>
 
+#include "src/obs/registry.hpp"
 #include "src/util/fault.hpp"
 #include "src/util/logging.hpp"
 
@@ -141,6 +142,7 @@ bool TrainCheckpoint::restore(const std::string& phase,
     return false;
   }
   reader(in);
+  obs::Registry::global().counter("checkpoint.restores").inc();
   util::log_info("checkpoint: restored phase ", phase, " from ",
                  artifact_path(phase));
   return true;
@@ -152,6 +154,7 @@ void TrainCheckpoint::commit(const std::string& phase,
   util::atomic_save(artifact_path(phase), writer);
   if (!completed(phase)) done_.push_back(phase);
   write_manifest();
+  obs::Registry::global().counter("checkpoint.commits").inc();
   util::log_info("checkpoint: committed phase ", phase);
   // Chaos seam: simulate the process dying right after this phase became
   // durable — the next run must resume from here.

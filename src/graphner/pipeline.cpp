@@ -9,10 +9,10 @@
 #include "src/features/encoder.hpp"
 #include "src/graph/vertex_features.hpp"
 #include "src/graphner/checkpoint.hpp"
+#include "src/obs/registry.hpp"
 #include "src/util/logging.hpp"
 #include "src/util/math.hpp"
 #include "src/util/parallel.hpp"
-#include "src/util/stopwatch.hpp"
 
 namespace graphner::core {
 
@@ -68,11 +68,29 @@ namespace {
 
 }  // namespace
 
+TrainingTimings training_timings_from_spans(const obs::SpanCapture& capture) {
+  TrainingTimings timings;
+  timings.brown_seconds = capture.total_seconds("train.brown");
+  timings.word2vec_seconds = capture.total_seconds("train.word2vec");
+  timings.kmeans_seconds = capture.total_seconds("train.kmeans");
+  timings.encode_seconds = capture.total_seconds("train.encode");
+  timings.crf_train_seconds = capture.total_seconds("train.crf");
+  timings.reference_seconds = capture.total_seconds("train.reference");
+  return timings;
+}
+
 GraphNerModel GraphNerModel::train(const std::vector<text::Sentence>& labelled,
                                    const std::vector<text::Sentence>& unlabelled_text,
                                    const GraphNerConfig& config) {
   GraphNerModel model;
   model.config_ = config;
+
+  // Every phase below times itself with a trace span; the capture mirrors
+  // the spans closed on this thread so the legacy TrainingTimings view can
+  // be materialized from the trace at the end (phases that were restored
+  // from a checkpoint open no span and report 0).
+  obs::SpanCapture trace;
+  obs::ScopedSpan train_span("train");
 
   // Crash-safe phase checkpoints (no-op when checkpoint_dir is empty):
   // every completed phase is restored instead of recomputed, and every
@@ -96,10 +114,11 @@ GraphNerModel GraphNerModel::train(const std::vector<text::Sentence>& labelled,
         })) {
       embeddings::BrownConfig brown_config;
       brown_config.num_clusters = config.brown_clusters;
-      util::Stopwatch brown_watch;
+      obs::ScopedSpan span("train.brown");
+      span.attr("sentences", static_cast<std::uint64_t>(embedding_text.size()));
       model.brown_ = std::make_unique<embeddings::BrownClustering>(
           embeddings::BrownClustering::train(embedding_text, brown_config));
-      model.training_timings_.brown_seconds = brown_watch.seconds();
+      span.close();
       checkpoint.commit("brown",
                         [&](std::ostream& out) { model.brown_->save(out); });
     }
@@ -114,14 +133,14 @@ GraphNerModel GraphNerModel::train(const std::vector<text::Sentence>& labelled,
       embeddings::Word2VecConfig w2v_config;
       w2v_config.seed = config.embedding_seed;
       w2v_config.threads = config.embedding_threads;
-      util::Stopwatch w2v_watch;
+      obs::ScopedSpan w2v_span("train.word2vec");
       const auto w2v = embeddings::Word2Vec::train(embedding_text, w2v_config);
-      model.training_timings_.word2vec_seconds = w2v_watch.seconds();
-      util::Stopwatch kmeans_watch;
+      w2v_span.close();
+      obs::ScopedSpan kmeans_span("train.kmeans");
       model.embedding_clusters_ = std::make_unique<embeddings::EmbeddingClusters>(
           embeddings::cluster_embeddings(w2v, config.embedding_kmeans_clusters,
                                          config.embedding_seed + 1));
-      model.training_timings_.kmeans_seconds = kmeans_watch.seconds();
+      kmeans_span.close();
       checkpoint.commit("word2vec", [&](std::ostream& out) {
         model.embedding_clusters_->save(out);
       });
@@ -130,8 +149,10 @@ GraphNerModel GraphNerModel::train(const std::vector<text::Sentence>& labelled,
   model.extractor_ = std::make_unique<features::FeatureExtractor>(make_feature_config(
       config.profile, model.brown_.get(), model.embedding_clusters_.get()));
 
-  // CRF_train(D_l)  — Algorithm 1, line 2.
-  util::Stopwatch train_watch;
+  // CRF_train(D_l)  — Algorithm 1, line 2. The umbrella span covers
+  // encode + optimization (and the checkpoint restore/commit around them);
+  // its children "train.encode" / "train.crf" carry the phase splits.
+  obs::ScopedSpan crf_total_span("train.crf_total");
   const crf::StateSpace space = make_space(config.crf_order);
   model.index_ = std::make_unique<crf::FeatureIndex>();
   // The encode artifact is the frozen feature-name table in id order.
@@ -170,11 +191,12 @@ GraphNerModel GraphNerModel::train(const std::vector<text::Sentence>& labelled,
   if (!restored_crf) {
     // Re-encoding against a restored (still unfrozen) index is a pure
     // lookup: the fingerprint pins the corpus, so no new names appear.
-    util::Stopwatch encode_watch;
+    obs::ScopedSpan encode_span("train.encode");
     const crf::Batch batch = features::encode_batch_for_training(
         labelled, *model.extractor_, *model.index_, space);
     model.index_->freeze();
-    model.training_timings_.encode_seconds = encode_watch.seconds();
+    encode_span.attr("features", static_cast<std::uint64_t>(model.index_->size()));
+    encode_span.close();
     if (!have_encode)
       checkpoint.commit("encode", [&](std::ostream& out) {
         out << model.index_->size() << '\n';
@@ -183,9 +205,10 @@ GraphNerModel GraphNerModel::train(const std::vector<text::Sentence>& labelled,
       });
     model.crf_ =
         std::make_unique<crf::LinearChainCrf>(space, model.index_->size());
-    util::Stopwatch crf_watch;
-    train_crf(*model.crf_, batch, config.train);
-    model.training_timings_.crf_train_seconds = crf_watch.seconds();
+    {
+      obs::ScopedSpan crf_span("train.crf");
+      train_crf(*model.crf_, batch, config.train);
+    }
     checkpoint.commit("crf", [&](std::ostream& out) {
       const auto weights = model.crf_->weights();
       out.precision(17);
@@ -195,14 +218,24 @@ GraphNerModel GraphNerModel::train(const std::vector<text::Sentence>& labelled,
       out << '\n';
     });
   }
-  model.train_seconds_ = train_watch.seconds();
+  model.train_seconds_ = crf_total_span.close();
 
   // Set_ReferenceDistributions(D_l)  — Algorithm 1, line 3.
-  util::Stopwatch ref_watch;
-  model.reference_ = std::make_unique<ReferenceDistributions>(
-      ReferenceDistributions::build(labelled));
-  model.reference_seconds_ = ref_watch.seconds();
-  model.training_timings_.reference_seconds = model.reference_seconds_;
+  {
+    obs::ScopedSpan ref_span("train.reference");
+    model.reference_ = std::make_unique<ReferenceDistributions>(
+        ReferenceDistributions::build(labelled));
+    model.reference_seconds_ = ref_span.close();
+  }
+  model.training_timings_ = training_timings_from_spans(trace);
+
+  train_span.attr("features", static_cast<std::uint64_t>(model.index_->size()));
+  train_span.attr("reference_trigrams",
+                  static_cast<std::uint64_t>(model.reference_->size()));
+  train_span.close();
+  obs::Registry::global().counter("train.runs").inc();
+  obs::Registry::global().gauge("train.features").set(
+      static_cast<double>(model.index_->size()));
 
   util::log_info("graphner: trained ", profile_name(config.profile), " order-",
                  config.crf_order, " CRF, ", model.index_->size(), " features, ",
@@ -279,7 +312,8 @@ GraphNerModel::TestContext GraphNerModel::prepare(
   for (const auto& s : unlabelled_side) all.push_back(&s);
 
   // ---- Line 5: CRF posteriors and transition probabilities over D_l u D_u.
-  util::Stopwatch inference_watch;
+  obs::ScopedSpan inference_span("test.crf_inference");
+  inference_span.attr("sentences", static_cast<std::uint64_t>(all.size()));
   context.posteriors.resize(all.size());
   context.baseline_tags.assign(test.size(), {});
 
@@ -310,15 +344,15 @@ GraphNerModel::TestContext GraphNerModel::prepare(
           lhs.counts[j] += rhs.counts[j];
       });
   context.transitions = crf::transition_ratio_matrix(acc.counts);
-  context.timings.crf_inference_seconds = inference_watch.seconds();
+  context.timings.crf_inference_seconds = inference_span.close();
 
   // ---- Graph construction (vertices over D_l u D_u + PPMI k-NN graph).
-  util::Stopwatch graph_watch;
+  obs::ScopedSpan graph_span("test.graph_construction");
   context.vertices = graph::build_trigram_vertices(labelled, unlabelled_side);
   const graph::VertexVectors vectors = graph::build_vertex_vectors(
       context.vertices, all, *extractor_, config_.vertex_features);
   context.knn = graph::build_knn_graph(vectors.vectors, config_.knn);
-  context.timings.graph_construction_seconds = graph_watch.seconds();
+  context.timings.graph_construction_seconds = graph_span.close();
 
   // ---- Line 6: X <- Average(P_s, V).
   const std::size_t num_vertices = context.vertices.vertex_count();
@@ -363,14 +397,14 @@ GraphNerModel::TestResult GraphNerModel::finish(
   result.timings = context.timings;
 
   // ---- Line 7: X <- Propagate(X, X_ref, mu, nu, #iterations).
-  util::Stopwatch prop_watch;
+  obs::ScopedSpan prop_span("test.propagation");
   const propagation::PropagationResult propagated =
       propagation::propagate(context.knn, context.x_initial, context.x_reference,
                              context.is_labelled, prop_config);
-  result.timings.propagation_seconds = prop_watch.seconds();
+  result.timings.propagation_seconds = prop_span.close();
 
   // ---- Lines 8-9: combine and decode.
-  util::Stopwatch combine_watch;
+  obs::ScopedSpan combine_span("test.combine_decode");
   const std::size_t num_test = context.test_lengths.size();
   result.graphner_tags.assign(num_test, {});
   util::parallel_for(0, num_test, [&](std::size_t t) {
@@ -390,7 +424,7 @@ GraphNerModel::TestResult GraphNerModel::finish(
     result.graphner_tags[t] =
         crf::belief_viterbi(beliefs, clamped_edge_ratios(posterior, length));
   });
-  result.timings.combine_decode_seconds = combine_watch.seconds();
+  result.timings.combine_decode_seconds = combine_span.close();
 
   // Stats for §III-D style reporting.
   const std::size_t num_vertices = context.vertices.vertex_count();

@@ -27,6 +27,7 @@
 #include "src/graph/trigram.hpp"
 #include "src/graphner/config.hpp"
 #include "src/graphner/reference.hpp"
+#include "src/obs/span.hpp"
 #include "src/text/sentence.hpp"
 
 namespace graphner::core {
@@ -52,6 +53,12 @@ struct PipelineTimings {
 /// Wall-clock breakdown of the TRAIN procedure (embedding phases matter:
 /// at paper scale Brown + word2vec dominate, which is what the windowed /
 /// Hogwild training kernels attack — see DESIGN.md §6).
+///
+/// Deprecated as a measurement mechanism: the phases are now timed by
+/// obs trace spans ("train.brown", "train.word2vec", ...) and this struct
+/// is a thin adapter materialized from them (training_timings_from_spans)
+/// so existing benches keep their typed view. New consumers should read
+/// the spans / the obs registry instead.
 struct TrainingTimings {
   double brown_seconds = 0.0;
   double word2vec_seconds = 0.0;
@@ -65,6 +72,13 @@ struct TrainingTimings {
            crf_train_seconds + reference_seconds;
   }
 };
+
+/// Materialize the legacy TrainingTimings view from the spans a
+/// SpanCapture mirrored while GraphNerModel::train ran: each field is the
+/// summed duration of the phase's "train.<phase>" spans (0.0 for phases
+/// that did not run — skipped profiles, checkpoint-restored work).
+[[nodiscard]] TrainingTimings training_timings_from_spans(
+    const obs::SpanCapture& capture);
 
 struct GraphNerStats {
   std::size_t vertices = 0;

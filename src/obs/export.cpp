@@ -1,0 +1,213 @@
+#include "src/obs/export.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace graphner::obs {
+namespace {
+
+[[nodiscard]] std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] std::string format_double(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.10g", value);
+  return buffer;
+}
+
+/// "name" or "name{k=v,k2=v2}" — the flat key used by the JSON and TSV
+/// flavours (labels stay structured only in the Prometheus format).
+[[nodiscard]] std::string flat_name(const std::string& name,
+                                    const Labels& labels) {
+  if (labels.empty()) return name;
+  std::string out = name + "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += labels[i].key + "=" + labels[i].value;
+  }
+  out += '}';
+  return out;
+}
+
+[[nodiscard]] std::string prometheus_labels(const Labels& labels) {
+  if (labels.empty()) return {};
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += prometheus_name(labels[i].key).substr(9);  // strip "graphner_"
+    out += "=\"" + prometheus_escape(labels[i].value) + '"';
+  }
+  out += '}';
+  return out;
+}
+
+struct HistogramStats {
+  std::size_t count;
+  double mean, p50, p95, p99, max;
+};
+
+[[nodiscard]] HistogramStats stats_of(const Histogram::Snapshot& h) {
+  return {h.count(),       h.mean(),        h.quantile(0.50),
+          h.quantile(0.95), h.quantile(0.99), h.max()};
+}
+
+}  // namespace
+
+std::string export_json(const RegistrySnapshot& snapshot) {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const auto& c = snapshot.counters[i];
+    out << (i > 0 ? "," : "") << '"'
+        << json_escape(flat_name(c.name, c.labels)) << "\":" << c.value;
+  }
+  out << "},\"gauges\":{";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const auto& g = snapshot.gauges[i];
+    out << (i > 0 ? "," : "") << '"'
+        << json_escape(flat_name(g.name, g.labels))
+        << "\":" << format_double(g.value);
+  }
+  out << "},\"histograms\":{";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& h = snapshot.histograms[i];
+    const HistogramStats s = stats_of(h.data);
+    out << (i > 0 ? "," : "") << '"'
+        << json_escape(flat_name(h.name, h.labels)) << "\":{\"count\":"
+        << s.count << ",\"mean\":" << format_double(s.mean)
+        << ",\"p50\":" << format_double(s.p50)
+        << ",\"p95\":" << format_double(s.p95)
+        << ",\"p99\":" << format_double(s.p99)
+        << ",\"max\":" << format_double(s.max) << '}';
+  }
+  out << "}}";
+  return out.str();
+}
+
+std::string export_tsv(const RegistrySnapshot& snapshot) {
+  std::ostringstream out;
+  bool first = true;
+  auto line = [&](const std::string& name, const std::string& value) {
+    if (!first) out << '\n';
+    first = false;
+    out << name << '\t' << value;
+  };
+  for (const auto& c : snapshot.counters)
+    line(flat_name(c.name, c.labels), std::to_string(c.value));
+  for (const auto& g : snapshot.gauges)
+    line(flat_name(g.name, g.labels), format_double(g.value));
+  for (const auto& h : snapshot.histograms) {
+    const std::string name = flat_name(h.name, h.labels);
+    const HistogramStats s = stats_of(h.data);
+    line(name + ".count", std::to_string(s.count));
+    line(name + ".mean", format_double(s.mean));
+    line(name + ".p50", format_double(s.p50));
+    line(name + ".p95", format_double(s.p95));
+    line(name + ".p99", format_double(s.p99));
+    line(name + ".max", format_double(s.max));
+  }
+  return out.str();
+}
+
+std::string export_prometheus(const RegistrySnapshot& snapshot) {
+  std::ostringstream out;
+  for (const auto& c : snapshot.counters) {
+    const std::string name = prometheus_name(c.name);
+    out << "# TYPE " << name << " counter\n"
+        << name << prometheus_labels(c.labels) << ' ' << c.value << '\n';
+  }
+  for (const auto& g : snapshot.gauges) {
+    const std::string name = prometheus_name(g.name);
+    out << "# TYPE " << name << " gauge\n"
+        << name << prometheus_labels(g.labels) << ' ' << format_double(g.value)
+        << '\n';
+  }
+  for (const auto& h : snapshot.histograms) {
+    const std::string name = prometheus_name(h.name);
+    const HistogramStats s = stats_of(h.data);
+    out << "# TYPE " << name << " summary\n";
+    // Quantile series share the instrument's labels plus "quantile".
+    auto series = [&](const char* q, double value) {
+      Labels labels = h.labels;
+      labels.push_back({"quantile", q});
+      out << name << prometheus_labels(labels) << ' ' << format_double(value)
+          << '\n';
+    };
+    series("0.5", s.p50);
+    series("0.95", s.p95);
+    series("0.99", s.p99);
+    out << name << "_sum" << prometheus_labels(h.labels) << ' '
+        << format_double(h.data.sum) << '\n'
+        << name << "_count" << prometheus_labels(h.labels) << ' ' << s.count
+        << '\n';
+  }
+  return out.str();
+}
+
+std::string export_spans_json(const std::vector<SpanRecord>& spans) {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const auto& span = spans[i];
+    out << (i > 0 ? "," : "") << "{\"name\":\"" << json_escape(span.name)
+        << "\",\"id\":" << span.span_id << ",\"parent\":" << span.parent_id
+        << ",\"depth\":" << span.depth
+        << ",\"start_s\":" << format_double(span.start_seconds)
+        << ",\"dur_s\":" << format_double(span.duration_seconds)
+        << ",\"attrs\":{";
+    for (std::size_t a = 0; a < span.attrs.size(); ++a)
+      out << (a > 0 ? "," : "") << '"' << json_escape(span.attrs[a].key)
+          << "\":\"" << json_escape(span.attrs[a].value) << '"';
+    out << "}}";
+  }
+  out << ']';
+  return out.str();
+}
+
+std::string prometheus_escape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "graphner_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                    c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace graphner::obs

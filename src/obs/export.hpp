@@ -1,0 +1,54 @@
+// Exporters over RegistrySnapshot / SpanRecord (DESIGN.md §9).
+//
+// Three text formats, all dependency-free:
+//
+//   JSON       one line: {"counters":{...},"gauges":{...},"histograms":
+//              {...}} — the format serve's #METRICS JSON answers and
+//              graphner_tool --metrics-json writes. Histograms export as
+//              {"count","mean","p50","p95","p99","max"} in the raw
+//              domain (microseconds for latency histograms).
+//   TSV        one "<name>\t<value>" line per counter/gauge; histograms
+//              flattened to "<name>.count", "<name>.mean", "<name>.p50",
+//              "<name>.p95", "<name>.p99", "<name>.max". Labelled
+//              instruments render the labels into the name as
+//              name{k=v,...}. Grep/awk-friendly: the CI conservation
+//              check parses this flavour.
+//   Prometheus exposition text format. Names are sanitized ('.' and any
+//              other non-[a-zA-Z0-9_] byte become '_') and prefixed
+//              "graphner_"; label values are escaped per the Prometheus
+//              spec (backslash, double-quote, newline). Histograms
+//              export as summaries (quantile series + _sum + _count).
+//
+// Spans export as a JSON array (export_spans_json) — drained from the
+// per-thread rings by whoever scrapes, so a scrape is also what frees
+// ring space.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/obs/registry.hpp"
+#include "src/obs/span.hpp"
+
+namespace graphner::obs {
+
+/// One-line JSON object over the whole snapshot.
+[[nodiscard]] std::string export_json(const RegistrySnapshot& snapshot);
+
+/// Multi-line "name\tvalue" dump (no trailing newline on the last line).
+[[nodiscard]] std::string export_tsv(const RegistrySnapshot& snapshot);
+
+/// Prometheus exposition text format (each sample line '\n'-terminated).
+[[nodiscard]] std::string export_prometheus(const RegistrySnapshot& snapshot);
+
+/// JSON array of span records: [{"name":...,"start_s":...,"dur_s":...,
+/// "depth":...,"parent":...,"attrs":{...}}, ...].
+[[nodiscard]] std::string export_spans_json(const std::vector<SpanRecord>& spans);
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+[[nodiscard]] std::string prometheus_escape(const std::string& value);
+
+/// "graphner_" + name with every non-[a-zA-Z0-9_:] byte replaced by '_'.
+[[nodiscard]] std::string prometheus_name(const std::string& name);
+
+}  // namespace graphner::obs

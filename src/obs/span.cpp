@@ -1,0 +1,203 @@
+#include "src/obs/span.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "src/util/logging.hpp"
+
+namespace graphner::obs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Single process-wide epoch so span start times are comparable across
+/// threads within one run.
+[[nodiscard]] Clock::time_point trace_epoch() noexcept {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+[[nodiscard]] double since_epoch_seconds() noexcept {
+  return std::chrono::duration<double>(Clock::now() - trace_epoch()).count();
+}
+
+std::atomic<std::uint64_t> g_next_span_id{1};
+
+/// Per-thread span state: the open-span stack (nesting) and the active
+/// SpanCapture stack (train-style local materialization).
+struct ThreadSpanState {
+  std::vector<std::uint64_t> open_ids;
+  std::vector<SpanCapture*> captures;
+};
+
+ThreadSpanState& thread_state() {
+  thread_local ThreadSpanState state;
+  return state;
+}
+
+[[nodiscard]] std::string format_seconds(double seconds) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.3fs", seconds);
+  return buffer;
+}
+
+}  // namespace
+
+// --- Trace ------------------------------------------------------------------
+
+/// Fixed-capacity overwrite-oldest ring. The owner thread appends; drain
+/// (any thread) empties. One mutex per ring: owner vs. drainer only, so
+/// the lock is uncontended in steady state.
+struct Trace::Ring {
+  explicit Ring(std::size_t cap) : capacity(cap) { records.reserve(cap); }
+
+  std::mutex mutex;
+  std::vector<SpanRecord> records;  ///< [head, size) oldest → newest, wrapped
+  std::size_t capacity;
+  std::size_t head = 0;  ///< index of the oldest record once wrapped
+  std::uint64_t dropped = 0;
+
+  void push(SpanRecord&& record) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (records.size() < capacity) {
+      records.push_back(std::move(record));
+    } else {
+      records[head] = std::move(record);
+      head = (head + 1) % capacity;
+      ++dropped;
+    }
+  }
+
+  void drain_into(std::vector<SpanRecord>& out) {
+    std::lock_guard<std::mutex> lock(mutex);
+    for (std::size_t i = 0; i < records.size(); ++i)
+      out.push_back(std::move(records[(head + i) % records.size()]));
+    records.clear();
+    head = 0;
+  }
+};
+
+Trace& Trace::global() {
+  static Trace trace;
+  return trace;
+}
+
+Trace::Ring& Trace::ring_for_this_thread() {
+  thread_local std::shared_ptr<Ring> ring = [this] {
+    auto created =
+        std::make_shared<Ring>(ring_capacity_.load(std::memory_order_relaxed));
+    std::lock_guard<std::mutex> lock(rings_mutex_);
+    rings_.push_back(created);
+    return created;
+  }();
+  return *ring;
+}
+
+void Trace::record(SpanRecord&& record) {
+  ring_for_this_thread().push(std::move(record));
+}
+
+std::vector<SpanRecord> Trace::drain() {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lock(rings_mutex_);
+    rings = rings_;
+  }
+  std::vector<SpanRecord> out;
+  for (const auto& ring : rings) ring->drain_into(out);
+  return out;
+}
+
+std::uint64_t Trace::dropped() const noexcept {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lock(rings_mutex_);
+    rings = rings_;
+  }
+  std::uint64_t total = 0;
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->mutex);
+    total += ring->dropped;
+  }
+  return total;
+}
+
+void Trace::set_ring_capacity(std::size_t capacity) noexcept {
+  ring_capacity_.store(capacity == 0 ? 1 : capacity,
+                       std::memory_order_relaxed);
+}
+
+// --- ScopedSpan -------------------------------------------------------------
+
+ScopedSpan::ScopedSpan(std::string_view name) {
+  ThreadSpanState& state = thread_state();
+  record_.name.assign(name);
+  record_.span_id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  record_.parent_id = state.open_ids.empty() ? 0 : state.open_ids.back();
+  record_.depth = static_cast<std::uint32_t>(state.open_ids.size());
+  record_.start_seconds = since_epoch_seconds();
+  start_monotonic_ = record_.start_seconds;
+  state.open_ids.push_back(record_.span_id);
+  util::log_debug("span open  ", record_.name);
+}
+
+ScopedSpan::~ScopedSpan() { close(); }
+
+void ScopedSpan::attr(std::string_view key, std::string_view value) {
+  if (!closed_) record_.attrs.push_back({std::string(key), std::string(value)});
+}
+
+void ScopedSpan::attr(std::string_view key, double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.6g", value);
+  attr(key, std::string_view(buffer));
+}
+
+void ScopedSpan::attr(std::string_view key, std::uint64_t value) {
+  attr(key, std::string_view(std::to_string(value)));
+}
+
+double ScopedSpan::seconds() const noexcept {
+  return closed_ ? record_.duration_seconds
+                 : since_epoch_seconds() - start_monotonic_;
+}
+
+double ScopedSpan::close() noexcept {
+  if (closed_) return record_.duration_seconds;
+  closed_ = true;
+  record_.duration_seconds = since_epoch_seconds() - start_monotonic_;
+
+  ThreadSpanState& state = thread_state();
+  // Spans close in inverse open order (they are scoped), so the top of
+  // the stack is this span. Defensive pop-if-found keeps a mismatched
+  // close from corrupting the stack.
+  if (!state.open_ids.empty() && state.open_ids.back() == record_.span_id)
+    state.open_ids.pop_back();
+
+  util::log_debug("span close ", record_.name, ' ',
+                  format_seconds(record_.duration_seconds));
+  const double duration = record_.duration_seconds;
+  for (SpanCapture* capture : state.captures)
+    capture->records_.push_back(record_);
+  Trace::global().record(std::move(record_));
+  return duration;
+}
+
+// --- SpanCapture ------------------------------------------------------------
+
+SpanCapture::SpanCapture() { thread_state().captures.push_back(this); }
+
+SpanCapture::~SpanCapture() {
+  auto& captures = thread_state().captures;
+  if (!captures.empty() && captures.back() == this) captures.pop_back();
+}
+
+double SpanCapture::total_seconds(std::string_view name) const noexcept {
+  double total = 0.0;
+  for (const auto& record : records_)
+    if (record.name == name) total += record.duration_seconds;
+  return total;
+}
+
+}  // namespace graphner::obs

@@ -1,7 +1,10 @@
 #include "src/propagation/propagation.hpp"
 
 #include <cassert>
+#include <cmath>
 
+#include "src/obs/registry.hpp"
+#include "src/obs/span.hpp"
 #include "src/util/parallel.hpp"
 
 namespace graphner::propagation {
@@ -65,6 +68,15 @@ PropagationResult propagate(const graph::KnnGraph& graph,
   std::vector<LabelDistribution> next(n);
   const double inv_y = 1.0 / static_cast<double>(kNumTags);
 
+  obs::ScopedSpan span("propagation");
+  span.attr("vertices", static_cast<std::uint64_t>(n));
+  span.attr("iterations", static_cast<std::uint64_t>(config.iterations));
+  obs::Registry& registry = obs::Registry::global();
+  obs::Counter& iteration_counter = registry.counter("propagation.iterations");
+  obs::Gauge& residual_gauge = registry.gauge("propagation.residual");
+  obs::Gauge& loss_gauge = registry.gauge("propagation.loss");
+
+  double last_residual = 0.0;
   for (std::size_t iter = 0; iter < config.iterations; ++iter) {
     const auto& cur = result.distributions;
     util::parallel_for_chunked(0, n, [&](std::size_t lo, std::size_t hi) {
@@ -84,14 +96,30 @@ PropagationResult propagate(const graph::KnnGraph& graph,
         }
       }
     });
+    // Sup-norm update residual: how far this sweep still moved the
+    // distributions. A cheap O(n) pass next to the O(n * k) sweep, and the
+    // live convergence signal the loss (O(n * k), gated by loss_every)
+    // is too expensive to provide every iteration.
+    double residual = 0.0;
+    for (std::size_t v = 0; v < n; ++v)
+      for (std::size_t y = 0; y < kNumTags; ++y)
+        residual = std::max(residual,
+                            std::abs(next[v][y] - result.distributions[v][y]));
+    residual_gauge.set(residual);
+    last_residual = residual;
+    iteration_counter.inc();
+
     result.distributions.swap(next);
     const bool monitor =
         config.loss_every > 0 && ((iter + 1) % config.loss_every == 0 ||
                                   iter + 1 == config.iterations);
-    if (monitor)
+    if (monitor) {
       result.loss_per_iteration.push_back(propagation_loss(
           graph, result.distributions, reference, is_labelled, config));
+      loss_gauge.set(result.loss_per_iteration.back());
+    }
   }
+  span.attr("final_residual", last_residual);
   return result;
 }
 

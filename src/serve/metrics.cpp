@@ -2,17 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
-#include <sstream>
+
+#include "src/obs/export.hpp"
 
 namespace graphner::serve {
 namespace {
 
-// log10(1 + us): 0 maps to 0, ~100 s maps to 8. 256 bins over [0, 8)
-// give ~7% relative resolution everywhere in that range.
-constexpr double kLogLo = 0.0;
-constexpr double kLogHi = 8.0;
-constexpr std::size_t kLogBins = 256;
-
+// The bin transform of obs::latency_us_spec(): log10(1 + us), so 0 maps
+// to 0 and ~100 s maps to 8 with ~7% relative resolution from 256 bins.
 [[nodiscard]] double to_log(double us) noexcept {
   return std::log10(1.0 + std::max(0.0, us));
 }
@@ -21,19 +18,18 @@ constexpr std::size_t kLogBins = 256;
   return std::pow(10.0, log_value) - 1.0;
 }
 
-void append_latency_json(std::ostringstream& out, const char* name,
-                         const LatencyHistogram& latency) {
-  out << '"' << name << "\":{\"count\":" << latency.total()
-      << ",\"mean_us\":" << latency.mean_us()
-      << ",\"p50_us\":" << latency.quantile_us(0.50)
-      << ",\"p95_us\":" << latency.quantile_us(0.95)
-      << ",\"p99_us\":" << latency.quantile_us(0.99)
-      << ",\"max_us\":" << latency.max_us() << '}';
+[[nodiscard]] constexpr obs::HistogramSpec batch_size_spec() noexcept {
+  return obs::HistogramSpec{0.0, 256.0, 256, obs::Scale::kLinear};
 }
 
 }  // namespace
 
-LatencyHistogram::LatencyHistogram() : histogram_(kLogLo, kLogHi, kLogBins) {}
+LatencyHistogram::LatencyHistogram()
+    : histogram_(obs::latency_us_spec().lo, obs::latency_us_spec().hi,
+                 obs::latency_us_spec().bins) {}
+
+LatencyHistogram::LatencyHistogram(const obs::Histogram::Snapshot& snapshot)
+    : histogram_(snapshot.buckets), sum_us_(snapshot.sum) {}
 
 void LatencyHistogram::record_us(double us) noexcept {
   histogram_.add(to_log(us));
@@ -54,85 +50,71 @@ double LatencyHistogram::quantile_us(double q) const noexcept {
   return histogram_.total() == 0 ? 0.0 : from_log(histogram_.quantile(q));
 }
 
-std::string MetricsSnapshot::to_json() const {
-  std::ostringstream out;
-  out << "{\"submitted\":" << submitted
-      << ",\"completed\":" << completed
-      << ",\"errors\":" << errors
-      << ",\"rejected_overload\":" << rejected_overload
-      << ",\"rejected_shutdown\":" << rejected_shutdown
-      << ",\"batches\":" << batches
-      << ",\"coalesced\":" << coalesced
-      << ",\"deadline_expired\":" << deadline_expired
-      << ",\"degraded\":" << degraded << ',';
-  append_latency_json(out, "queue_wait", queue_wait);
-  out << ',';
-  append_latency_json(out, "decode", decode);
-  out << ",\"batch_size\":{\"count\":" << batch_size.total()
-      << ",\"mean\":" << batch_size.mean()
-      << ",\"p50\":" << batch_size.quantile(0.50)
-      << ",\"max\":" << batch_size.max_seen() << "}}";
-  return out.str();
-}
+std::string MetricsSnapshot::to_json() const { return obs::export_json(raw); }
 
-ServiceMetrics::ServiceMetrics(std::size_t workers) {
-  workers_.reserve(workers);
-  for (std::size_t i = 0; i < workers; ++i)
-    workers_.push_back(std::make_unique<WorkerMetrics>());
-}
+ServiceMetrics::ServiceMetrics()
+    : submitted_(registry_.counter("submitted")),
+      rejected_overload_(registry_.counter("rejected_overload")),
+      rejected_shutdown_(registry_.counter("rejected_shutdown")),
+      completed_(registry_.counter("completed")),
+      errors_(registry_.counter("errors")),
+      batches_(registry_.counter("batches")),
+      coalesced_(registry_.counter("coalesced")),
+      deadline_expired_(registry_.counter("deadline_expired")),
+      degraded_(registry_.counter("degraded")),
+      queue_depth_(registry_.gauge("queue_depth")),
+      queue_wait_(registry_.histogram("queue_wait_us", obs::latency_us_spec())),
+      decode_(registry_.histogram("decode_us", obs::latency_us_spec())),
+      batch_size_(registry_.histogram("batch_size", batch_size_spec())) {}
 
 void ServiceMetrics::on_rejected(Status status) noexcept {
   if (status == Status::kOverloaded)
-    rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+    rejected_overload_.inc();
   else if (status == Status::kShutdown)
-    rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+    rejected_shutdown_.inc();
 }
 
-void ServiceMetrics::on_batch(std::size_t worker, std::size_t batch_size) {
-  WorkerMetrics& slot = *workers_.at(worker);
-  std::lock_guard<std::mutex> lock(slot.mutex);
-  ++slot.batches;
-  slot.batch_size.add(static_cast<double>(batch_size));
+void ServiceMetrics::on_batch(std::size_t batch_size) noexcept {
+  batches_.inc();
+  batch_size_.record(static_cast<double>(batch_size));
 }
 
-void ServiceMetrics::on_completed(std::size_t worker, double queue_us,
-                                  double decode_us, bool error, bool coalesced,
-                                  bool degraded) {
-  WorkerMetrics& slot = *workers_.at(worker);
-  std::lock_guard<std::mutex> lock(slot.mutex);
-  ++slot.completed;
-  if (error) ++slot.errors;
-  if (coalesced) ++slot.coalesced;
-  if (degraded) ++slot.degraded;
-  slot.queue_wait.record_us(queue_us);
-  slot.decode.record_us(decode_us);
+void ServiceMetrics::on_completed(double queue_us, double decode_us, bool error,
+                                  bool coalesced, bool degraded) noexcept {
+  completed_.inc();
+  if (error) errors_.inc();
+  if (coalesced) coalesced_.inc();
+  if (degraded) degraded_.inc();
+  queue_wait_.record(queue_us);
+  decode_.record(decode_us);
 }
 
-void ServiceMetrics::on_expired(std::size_t worker, double queue_us) {
-  WorkerMetrics& slot = *workers_.at(worker);
-  std::lock_guard<std::mutex> lock(slot.mutex);
-  ++slot.deadline_expired;
+void ServiceMetrics::on_expired(double queue_us) noexcept {
+  deadline_expired_.inc();
   // The wait is still real signal: expiries cluster exactly when queue
   // waits blow out, which is what the histogram is for.
-  slot.queue_wait.record_us(queue_us);
+  queue_wait_.record(queue_us);
 }
 
 MetricsSnapshot ServiceMetrics::snapshot() const {
   MetricsSnapshot out;
-  out.submitted = submitted_.load(std::memory_order_relaxed);
-  out.rejected_overload = rejected_overload_.load(std::memory_order_relaxed);
-  out.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
-  for (const auto& slot : workers_) {
-    std::lock_guard<std::mutex> lock(slot->mutex);
-    out.completed += slot->completed;
-    out.errors += slot->errors;
-    out.batches += slot->batches;
-    out.coalesced += slot->coalesced;
-    out.deadline_expired += slot->deadline_expired;
-    out.degraded += slot->degraded;
-    out.queue_wait.merge(slot->queue_wait);
-    out.decode.merge(slot->decode);
-    out.batch_size.merge(slot->batch_size);
+  out.raw = registry_.snapshot();
+  out.submitted = out.raw.counter_value("submitted");
+  out.rejected_overload = out.raw.counter_value("rejected_overload");
+  out.rejected_shutdown = out.raw.counter_value("rejected_shutdown");
+  out.completed = out.raw.counter_value("completed");
+  out.errors = out.raw.counter_value("errors");
+  out.batches = out.raw.counter_value("batches");
+  out.coalesced = out.raw.counter_value("coalesced");
+  out.deadline_expired = out.raw.counter_value("deadline_expired");
+  out.degraded = out.raw.counter_value("degraded");
+  for (const auto& h : out.raw.histograms) {
+    if (h.name == "queue_wait_us")
+      out.queue_wait = LatencyHistogram(h.data);
+    else if (h.name == "decode_us")
+      out.decode = LatencyHistogram(h.data);
+    else if (h.name == "batch_size")
+      out.batch_size = h.data.buckets;
   }
   return out;
 }

@@ -1,23 +1,26 @@
-// Serving metrics: throughput counters + latency/batch-size histograms.
+// Serving metrics, redesigned onto the obs metric registry.
 //
-// Latencies are recorded as log10(1 + microseconds) into a fixed-bin
-// util::Histogram, which gives near-constant *relative* resolution from
-// 1 us to ~100 s out of 256 uniform bins; quantiles are mapped back to
-// microseconds at report time. Aggregation follows the ownership rule the
-// histogram layer was built for: every decode worker writes only its own
-// WorkerMetrics slot (guarded by that slot's uncontended mutex so a
-// concurrent snapshot is race-free under TSAN), and snapshot() combines
-// the slots with Histogram::merge — no shared hot-path counters except
-// the front-door admission atomics.
+// ServiceMetrics owns a *private* obs::Registry (not Registry::global():
+// every TaggingService — and every unit test — gets isolated counts) and
+// resolves its instruments once at construction: sharded counters for the
+// admission/outcome tallies, a gauge for queue depth, and histograms for
+// queue-wait/decode latency (log10(1+us) bins, quantiles inverted back to
+// microseconds at report time) and batch size. The per-worker slot +
+// mutex plumbing the old implementation carried is gone — the registry's
+// sharding gives the same uncontended-write discipline for free, and the
+// worker id disappears from the observer API.
+//
+// MetricsSnapshot keeps its pre-registry shape (typed counter fields,
+// LatencyHistogram accessors, mean_batch_size()) so service callers and
+// tests are untouched; it is now materialized as a typed view over the
+// registry snapshot it carries, and to_json() delegates to the shared
+// obs JSON exporter.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
-#include <memory>
-#include <mutex>
 #include <string>
-#include <vector>
 
+#include "src/obs/registry.hpp"
 #include "src/serve/types.hpp"
 #include "src/util/histogram.hpp"
 
@@ -27,6 +30,9 @@ namespace graphner::serve {
 class LatencyHistogram {
  public:
   LatencyHistogram();
+  /// Typed view over an obs histogram snapshot recorded with
+  /// obs::latency_us_spec() (bin-domain buckets + raw-microsecond sum).
+  explicit LatencyHistogram(const obs::Histogram::Snapshot& snapshot);
 
   void record_us(double us) noexcept;
   void merge(const LatencyHistogram& other) {
@@ -45,8 +51,8 @@ class LatencyHistogram {
   double sum_us_ = 0.0;  ///< arithmetic mean support (mean of logs is not it)
 };
 
-/// Point-in-time aggregate across all workers. Copyable, detached from the
-/// live service.
+/// Point-in-time typed view over the service registry. Copyable, detached
+/// from the live service.
 struct MetricsSnapshot {
   std::uint64_t submitted = 0;          ///< admission attempts
   std::uint64_t rejected_overload = 0;  ///< queue-full rejections
@@ -62,49 +68,57 @@ struct MetricsSnapshot {
   LatencyHistogram decode;      ///< feature extraction + Viterbi
   util::Histogram batch_size{0.0, 256.0, 256};
 
+  /// The registry snapshot this view was materialized from.
+  obs::RegistrySnapshot raw;
+
   [[nodiscard]] double mean_batch_size() const noexcept {
     return batch_size.mean();
   }
-  /// One-line JSON object (counters + latency quantiles + batch shape).
+  /// One-line JSON via the shared obs exporter:
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}.
   [[nodiscard]] std::string to_json() const;
 };
 
 class ServiceMetrics {
  public:
-  explicit ServiceMetrics(std::size_t workers);
+  ServiceMetrics();
+  ServiceMetrics(const ServiceMetrics&) = delete;
+  ServiceMetrics& operator=(const ServiceMetrics&) = delete;
 
-  // Front door (any thread).
-  void on_submitted() noexcept { submitted_.fetch_add(1, std::memory_order_relaxed); }
+  // Observer hooks (any thread; a counter bump is one uncontended RMW).
+  void on_submitted() noexcept { submitted_.inc(); }
   void on_rejected(Status status) noexcept;
-
-  // Worker side; `worker` must be < workers passed at construction and each
-  // worker id must be used by exactly one thread.
-  void on_batch(std::size_t worker, std::size_t batch_size);
-  void on_completed(std::size_t worker, double queue_us, double decode_us,
-                    bool error, bool coalesced = false, bool degraded = false);
-  /// A queued request whose deadline passed before decode (shed by `worker`).
-  void on_expired(std::size_t worker, double queue_us);
+  void on_batch(std::size_t batch_size) noexcept;
+  void on_completed(double queue_us, double decode_us, bool error,
+                    bool coalesced = false, bool degraded = false) noexcept;
+  /// A queued request whose deadline passed before decode.
+  void on_expired(double queue_us) noexcept;
+  /// Gauges are observations, not state — settable through a const ref so
+  /// scrape paths can refresh the depth right before snapshotting.
+  void set_queue_depth(std::size_t depth) const noexcept {
+    queue_depth_.set(static_cast<double>(depth));
+  }
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
+  [[nodiscard]] const obs::Registry& registry() const noexcept {
+    return registry_;
+  }
 
  private:
-  struct WorkerMetrics {
-    mutable std::mutex mutex;  ///< worker vs. snapshot; never worker vs. worker
-    std::uint64_t completed = 0;
-    std::uint64_t errors = 0;
-    std::uint64_t batches = 0;
-    std::uint64_t coalesced = 0;
-    std::uint64_t deadline_expired = 0;
-    std::uint64_t degraded = 0;
-    LatencyHistogram queue_wait;
-    LatencyHistogram decode;
-    util::Histogram batch_size{0.0, 256.0, 256};
-  };
-
-  std::atomic<std::uint64_t> submitted_{0};
-  std::atomic<std::uint64_t> rejected_overload_{0};
-  std::atomic<std::uint64_t> rejected_shutdown_{0};
-  std::vector<std::unique_ptr<WorkerMetrics>> workers_;
+  obs::Registry registry_;  ///< must precede the instrument references
+  obs::Counter& submitted_;
+  obs::Counter& rejected_overload_;
+  obs::Counter& rejected_shutdown_;
+  obs::Counter& completed_;
+  obs::Counter& errors_;
+  obs::Counter& batches_;
+  obs::Counter& coalesced_;
+  obs::Counter& deadline_expired_;
+  obs::Counter& degraded_;
+  obs::Gauge& queue_depth_;
+  obs::Histogram& queue_wait_;
+  obs::Histogram& decode_;
+  obs::Histogram& batch_size_;
 };
 
 }  // namespace graphner::serve

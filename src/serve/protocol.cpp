@@ -182,7 +182,22 @@ ParsedLine parse_request_line(const std::string& line) {
     out.kind = LineKind::kEmpty;
     return out;
   }
-  if (trimmed == "#METRICS") {
+  if (trimmed == "#METRICS" || trimmed.rfind("#METRICS ", 0) == 0) {
+    const std::string flavour{util::trim(trimmed.substr(8))};
+    if (flavour.empty())
+      out.metrics_flavour = MetricsFlavour::kLegacy;
+    else if (flavour == "JSON")
+      out.metrics_flavour = MetricsFlavour::kJson;
+    else if (flavour == "TSV")
+      out.metrics_flavour = MetricsFlavour::kTsv;
+    else if (flavour == "PROM")
+      out.metrics_flavour = MetricsFlavour::kProm;
+    else {
+      out.kind = LineKind::kMalformed;
+      out.error = "unknown METRICS flavour \"" + flavour +
+                  "\" (expected JSON, TSV or PROM)";
+      return out;
+    }
     out.kind = LineKind::kMetrics;
     return out;
   }

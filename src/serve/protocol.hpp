@@ -10,10 +10,17 @@
 //
 // A line with no tab and not starting with '{' is treated as bare
 // space-separated tokens with id "-" (netcat-friendly). Control lines:
-// "#METRICS" answers one JSON metrics line, "#QUIT" closes the
-// connection. Non-OK statuses put the error detail where the tags would
-// go. The JSON reader handles exactly this shape (string escapes
-// included) — it is a protocol parser, not a general JSON library.
+// "#QUIT" closes the connection; "#METRICS" scrapes the server:
+//
+//   #METRICS        one JSON line of the service's own metrics (legacy)
+//   #METRICS JSON   one JSON line of the full observability snapshot
+//                   (serve.* + process-global + fault.* counters)
+//   #METRICS TSV    same snapshot as "name<TAB>value" lines, then "#END"
+//   #METRICS PROM   same snapshot in Prometheus text format, then "# EOF"
+//
+// Non-OK statuses put the error detail where the tags would go. The JSON
+// reader handles exactly this shape (string escapes included) — it is a
+// protocol parser, not a general JSON library.
 //
 // Fault-tolerance fields: the optional per-request deadline (an '@'
 // suffix on the TSV id, a "deadline_ms" member in JSON) bounds how long
@@ -40,15 +47,24 @@ struct Request {
 
 enum class LineKind {
   kRequest,    ///< `request` is filled
-  kMetrics,    ///< "#METRICS"
+  kMetrics,    ///< "#METRICS [JSON|TSV|PROM]" — `metrics_flavour` is filled
   kQuit,       ///< "#QUIT"
   kEmpty,      ///< blank line — ignore
   kMalformed,  ///< `error` is filled
 };
 
+/// Which serialization a "#METRICS" control line asked for.
+enum class MetricsFlavour {
+  kLegacy,  ///< bare "#METRICS": the service's own metrics, one JSON line
+  kJson,    ///< full observability snapshot, one JSON line
+  kTsv,     ///< full snapshot as name<TAB>value lines, terminated "#END"
+  kProm,    ///< full snapshot as Prometheus text, terminated "# EOF"
+};
+
 struct ParsedLine {
   LineKind kind = LineKind::kMalformed;
   Request request;
+  MetricsFlavour metrics_flavour = MetricsFlavour::kLegacy;
   std::string error;
 };
 

@@ -29,8 +29,7 @@ TaggingService::TaggingService(const core::GraphNerModel& model,
                                ServiceConfig config)
     : model_(model),
       config_(config),
-      queue_(config.batching),
-      metrics_(resolve_workers(config.workers)) {
+      queue_(config.batching) {
   // A degrade policy with low > high would flap; clamp to a sane hysteresis.
   if (config_.degrade.low_watermark > config_.degrade.high_watermark)
     config_.degrade.low_watermark = config_.degrade.high_watermark;
@@ -116,7 +115,21 @@ bool TaggingService::update_degraded_mode() {
   return degraded;
 }
 
-void TaggingService::worker_loop(std::size_t worker_id) {
+obs::RegistrySnapshot TaggingService::observability_snapshot() const {
+  metrics_.set_queue_depth(queue_.depth());  // fresh depth at scrape time
+  obs::RegistrySnapshot out;
+  out.append(metrics_.registry().snapshot(), "serve.");
+  out.append(obs::Registry::global().snapshot());
+  // Fault points live below obs in the layering, so their fire counts are
+  // pulled into the snapshot at scrape time rather than pushed on fire.
+  for (const auto& [name, stats] : util::FaultInjector::instance().all_stats()) {
+    out.counters.push_back({"fault." + name + ".calls", {}, stats.calls});
+    out.counters.push_back({"fault." + name + ".fires", {}, stats.fires});
+  }
+  return out;
+}
+
+void TaggingService::worker_loop([[maybe_unused]] std::size_t worker_id) {
   crf::LinearChainCrf::Scratch scratch;  // warm lattice, grows once
   features::EncodeScratch encode;        // warm feature/id buffers
   std::vector<PendingRequest> batch;
@@ -133,7 +146,10 @@ void TaggingService::worker_loop(std::size_t worker_id) {
     // degradation trips. The batch it stalls on must still fully resolve.
     util::fault_stall_point("worker.stall");
     const auto dequeued_at = std::chrono::steady_clock::now();
-    metrics_.on_batch(worker_id, batch.size());
+    metrics_.on_batch(batch.size());
+    // Refreshed once per batch, not per submit: depth() takes the queue
+    // mutex, and batch granularity is plenty for a load gauge.
+    metrics_.set_queue_depth(queue_.depth());
     // Decode mode is fixed per batch: every response in it reports the
     // same degraded flag, and the coalescing cache (cleared here) never
     // mixes tags from two different decode paths.
@@ -155,7 +171,7 @@ void TaggingService::worker_loop(std::size_t worker_id) {
                          std::to_string(static_cast<long>(response.queue_us)) +
                          " us in queue";
         response.degraded = false;
-        metrics_.on_expired(worker_id, response.queue_us);
+        metrics_.on_expired(response.queue_us);
         request.promise.set_value(std::move(response));
         continue;
       }
@@ -171,9 +187,9 @@ void TaggingService::worker_loop(std::size_t worker_id) {
           response.tags = hit->second.first;       // shared decode's tags
           response.decode_us = hit->second.second; // ...and its cost
           response.coalesced = true;
-          metrics_.on_completed(worker_id, response.queue_us,
-                                response.decode_us, /*error=*/false,
-                                /*coalesced=*/true, response.degraded);
+          metrics_.on_completed(response.queue_us, response.decode_us,
+                                /*error=*/false, /*coalesced=*/true,
+                                response.degraded);
           request.promise.set_value(std::move(response));
           continue;
         }
@@ -194,7 +210,7 @@ void TaggingService::worker_loop(std::size_t worker_id) {
           us_between(decode_start, std::chrono::steady_clock::now());
       if (try_coalesce && response.status == Status::kOk)
         decoded.emplace(key, std::make_pair(response.tags, response.decode_us));
-      metrics_.on_completed(worker_id, response.queue_us, response.decode_us,
+      metrics_.on_completed(response.queue_us, response.decode_us,
                             response.status == Status::kError,
                             /*coalesced=*/false, response.degraded);
       request.promise.set_value(std::move(response));

@@ -87,6 +87,13 @@ class TaggingService {
   [[nodiscard]] std::string metrics_json() const {
     return metrics_.snapshot().to_json();
   }
+  /// Everything a scrape should see, merged into one snapshot: this
+  /// service's registry (names prefixed "serve."), the process-global
+  /// registry (training/propagation/checkpoint instruments), and the
+  /// fault-injector fire counts as "fault.<point>.{calls,fires}". Feed it
+  /// to the obs exporters — this is what the protocol METRICS flavours
+  /// and --metrics-dump-every serialize.
+  [[nodiscard]] obs::RegistrySnapshot observability_snapshot() const;
   [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
   [[nodiscard]] std::size_t worker_count() const noexcept {
     return workers_.size();

@@ -14,6 +14,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/obs/export.hpp"
 #include "src/serve/protocol.hpp"
 #include "src/util/fault.hpp"
 #include "src/util/logging.hpp"
@@ -36,6 +37,25 @@ void send_all(int fd, const std::string& data) {
     }
     sent += static_cast<std::size_t>(n);
   }
+}
+
+/// The response body for one "#METRICS [flavour]" control line. The
+/// multi-line flavours end with a terminator line so a client reading a
+/// stream knows where the dump stops.
+[[nodiscard]] std::string metrics_reply(const TaggingService& service,
+                                        MetricsFlavour flavour) {
+  switch (flavour) {
+    case MetricsFlavour::kLegacy:
+      return service.metrics_json() + "\n";
+    case MetricsFlavour::kJson:
+      return obs::export_json(service.observability_snapshot()) + "\n";
+    case MetricsFlavour::kTsv:
+      return obs::export_tsv(service.observability_snapshot()) + "\n#END\n";
+    case MetricsFlavour::kProm:
+      return obs::export_prometheus(service.observability_snapshot()) +
+             "# EOF\n";
+  }
+  return "\n";
 }
 
 /// Pop one complete line out of `buffer`, if present.
@@ -135,6 +155,7 @@ void SocketServer::handle_connection(std::size_t slot) {
       // Drain buffered complete lines first: submitting them all before
       // waiting on any future is what lets one connection fill a batch.
       bool want_metrics = false;
+      MetricsFlavour metrics_flavour = MetricsFlavour::kLegacy;
       while (!quit && take_line(buffer, line)) {
         ParsedLine parsed = parse_request_line(line);
         switch (parsed.kind) {
@@ -149,6 +170,7 @@ void SocketServer::handle_connection(std::size_t slot) {
           }
           case LineKind::kMetrics:
             want_metrics = true;
+            metrics_flavour = parsed.metrics_flavour;
             break;
           case LineKind::kQuit:
             quit = true;
@@ -168,7 +190,7 @@ void SocketServer::handle_connection(std::size_t slot) {
         send_all(fd, format_response(request, future.get()) + "\n");
         in_flight.pop_front();
       }
-      if (want_metrics) send_all(fd, service_.metrics_json() + "\n");
+      if (want_metrics) send_all(fd, metrics_reply(service_, metrics_flavour));
       if (quit) break;
       // A "#METRICS" may have left complete lines buffered — handle them
       // before blocking on the socket again.

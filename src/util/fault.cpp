@@ -135,6 +135,22 @@ FaultInjector::PointStats FaultInjector::stats(std::string_view point) const {
           it->second->fires.load(std::memory_order_relaxed)};
 }
 
+std::vector<std::pair<std::string, FaultInjector::PointStats>>
+FaultInjector::all_stats() const {
+  std::vector<std::pair<std::string, PointStats>> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(points_.size());
+    for (const auto& [name, point] : points_)
+      out.emplace_back(name,
+                       PointStats{point->calls.load(std::memory_order_relaxed),
+                                  point->fires.load(std::memory_order_relaxed)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
 std::string FaultInjector::summary() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream out;

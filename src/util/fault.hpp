@@ -33,6 +33,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace graphner::util {
@@ -89,6 +90,10 @@ class FaultInjector {
   [[nodiscard]] std::chrono::milliseconds stall_of(std::string_view point) const;
 
   [[nodiscard]] PointStats stats(std::string_view point) const;
+  /// Every configured point with its stats, sorted by name. Metric scrapes
+  /// pull these into "fault.<point>.fires"/".calls" counters at export
+  /// time (util can't push into the metric registry — obs sits above it).
+  [[nodiscard]] std::vector<std::pair<std::string, PointStats>> all_stats() const;
   /// "point fires/calls" per configured point, one per line (chaos-run
   /// post-mortems; empty when nothing is configured).
   [[nodiscard]] std::string summary() const;

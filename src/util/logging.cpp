@@ -38,6 +38,15 @@ constexpr const char* level_tag(LogLevel level) noexcept {
   }
 }
 
+void stderr_sink(LogLevel level, std::string_view message) {
+  std::cerr << "[graphner " << level_tag(level) << "] " << message << '\n';
+}
+
+LogSink& sink_slot() noexcept {
+  static LogSink sink = stderr_sink;
+  return sink;
+}
+
 }  // namespace
 
 LogLevel log_level() noexcept { return level_slot().load(std::memory_order_relaxed); }
@@ -46,10 +55,15 @@ void set_log_level(LogLevel level) noexcept {
   level_slot().store(level, std::memory_order_relaxed);
 }
 
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  sink_slot() = sink ? std::move(sink) : LogSink(stderr_sink);
+}
+
 void log(LogLevel level, std::string_view message) {
   if (level < log_level()) return;
   std::lock_guard<std::mutex> lock(sink_mutex());
-  std::cerr << "[graphner " << level_tag(level) << "] " << message << '\n';
+  sink_slot()(level, message);
 }
 
 }  // namespace graphner::util

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <map>
 #include <thread>
 #include <vector>
 
@@ -697,6 +698,110 @@ TEST(ServeProtocol, ParsesTsvJsonAndControlLines) {
   EXPECT_EQ(parse_request_line("{\"id\": 17}").kind, LineKind::kMalformed);
   EXPECT_EQ(parse_request_line("{\"tokens\": [\"x\"]} trailing").kind,
             LineKind::kMalformed);
+}
+
+TEST(ServeProtocol, ParsesMetricsFlavours) {
+  const auto legacy = parse_request_line("#METRICS");
+  ASSERT_EQ(legacy.kind, LineKind::kMetrics);
+  EXPECT_EQ(legacy.metrics_flavour, MetricsFlavour::kLegacy);
+
+  const auto json = parse_request_line("#METRICS JSON");
+  ASSERT_EQ(json.kind, LineKind::kMetrics);
+  EXPECT_EQ(json.metrics_flavour, MetricsFlavour::kJson);
+
+  const auto tsv = parse_request_line("  #METRICS TSV  ");
+  ASSERT_EQ(tsv.kind, LineKind::kMetrics);
+  EXPECT_EQ(tsv.metrics_flavour, MetricsFlavour::kTsv);
+
+  const auto prom = parse_request_line("#METRICS PROM");
+  ASSERT_EQ(prom.kind, LineKind::kMetrics);
+  EXPECT_EQ(prom.metrics_flavour, MetricsFlavour::kProm);
+
+  const auto bad = parse_request_line("#METRICS XML");
+  EXPECT_EQ(bad.kind, LineKind::kMalformed);
+  EXPECT_NE(bad.error.find("XML"), std::string::npos);
+}
+
+TEST_F(ServeTest, MetricsScrapeFlavoursConserveCountsOverSocket) {
+  ServiceConfig config;
+  config.workers = 2;
+  TaggingService service(*model_, config);
+  SocketServer server(service, {});  // port 0 = ephemeral
+  server.start();
+
+  ClientConnection connection;
+  connection.connect("127.0.0.1", server.port());
+  const std::size_t n = std::min<std::size_t>(16, sentences_->size());
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string line = "s" + std::to_string(i) + '\t';
+    for (std::size_t t = 0; t < (*sentences_)[i].size(); ++t) {
+      if (t > 0) line += ' ';
+      line += (*sentences_)[i].tokens[t];
+    }
+    connection.send_line(line);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string response;
+    ASSERT_TRUE(connection.recv_line(response));
+  }
+
+  // TSV flavour: name<TAB>value lines until "#END". The CI chaos smoke
+  // asserts the same conservation law with awk over this exact format.
+  connection.send_line("#METRICS TSV");
+  std::map<std::string, std::string> tsv;
+  std::string line;
+  while (true) {
+    ASSERT_TRUE(connection.recv_line(line));
+    if (line == "#END") break;
+    const auto tab = line.find('\t');
+    ASSERT_NE(tab, std::string::npos) << line;
+    tsv[line.substr(0, tab)] = line.substr(tab + 1);
+  }
+  auto tsv_count = [&](const std::string& name) -> std::uint64_t {
+    const auto it = tsv.find(name);
+    return it == tsv.end() ? 0 : std::stoull(it->second);
+  };
+  EXPECT_EQ(tsv_count("serve.submitted"), n);
+  EXPECT_EQ(tsv_count("serve.errors"), 0U);
+  // Conservation: every submitted request is accounted for exactly once.
+  EXPECT_EQ(tsv_count("serve.submitted"),
+            tsv_count("serve.completed") + tsv_count("serve.rejected_overload") +
+                tsv_count("serve.rejected_shutdown") +
+                tsv_count("serve.deadline_expired"));
+  EXPECT_EQ(tsv.count("serve.queue_wait_us.p50"), 1U);
+  EXPECT_EQ(tsv.count("serve.queue_depth"), 1U);
+
+  // JSON flavour: one line, same snapshot, serve.* names inside.
+  connection.send_line("#METRICS JSON");
+  std::string json_line;
+  ASSERT_TRUE(connection.recv_line(json_line));
+  EXPECT_EQ(json_line.front(), '{');
+  EXPECT_NE(json_line.find("\"serve.submitted\":" + std::to_string(n)),
+            std::string::npos)
+      << json_line;
+  EXPECT_NE(json_line.find("\"serve.completed\":" + std::to_string(n)),
+            std::string::npos)
+      << json_line;
+
+  // Prometheus flavour: typed series until "# EOF".
+  connection.send_line("#METRICS PROM");
+  bool saw_type = false;
+  bool saw_submitted = false;
+  while (true) {
+    ASSERT_TRUE(connection.recv_line(line));
+    if (line == "# EOF") break;
+    if (line == "# TYPE graphner_serve_submitted counter") saw_type = true;
+    if (line == "graphner_serve_submitted " + std::to_string(n))
+      saw_submitted = true;
+  }
+  EXPECT_TRUE(saw_type);
+  EXPECT_TRUE(saw_submitted);
+
+  connection.send_line("#QUIT");
+  std::string eof_line;
+  EXPECT_FALSE(connection.recv_line(eof_line));
+  server.stop();
+  service.stop();
 }
 
 TEST(ServeProtocol, FormatsBothFlavoursAndSanitizes) {
