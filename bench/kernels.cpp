@@ -5,6 +5,10 @@
 // sparse cosine, exact k-NN construction, and one propagation sweep.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
 #include "src/crf/model.hpp"
 #include "src/graph/knn_graph.hpp"
 #include "src/graph/sparse_vector.hpp"
@@ -37,17 +41,51 @@ crf::LinearChainCrf random_model(const crf::StateSpace& space,
   return model;
 }
 
+/// A pool of sentences with spread-out lengths, cycled through the timed
+/// loop so the latency distribution reflects real per-sentence variance
+/// rather than one cached working set.
+std::vector<crf::EncodedSentence> sentence_pool(std::size_t count,
+                                                std::size_t num_features,
+                                                util::Rng& rng) {
+  std::vector<crf::EncodedSentence> pool;
+  pool.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    pool.push_back(random_sentence(5 + (i * 7) % 41, num_features, rng));
+  return pool;
+}
+
+/// The serving SLO cares about tail latency, not the mean the default
+/// throughput report shows — attach per-sentence p50/p90/p99 counters.
+void record_percentiles(benchmark::State& state, std::vector<double>& samples_us) {
+  if (samples_us.empty()) return;
+  std::sort(samples_us.begin(), samples_us.end());
+  const auto pct = [&](double q) {
+    return samples_us[static_cast<std::size_t>(q * (samples_us.size() - 1))];
+  };
+  state.counters["p50_us"] = pct(0.50);
+  state.counters["p90_us"] = pct(0.90);
+  state.counters["p99_us"] = pct(0.99);
+}
+
 void BM_ForwardBackward(benchmark::State& state) {
   util::Rng rng(1);
   const auto space = state.range(0) == 2 ? crf::StateSpace::order2()
                                          : crf::StateSpace::order1();
   constexpr std::size_t kFeatures = 5000;
   const auto model = random_model(space, kFeatures, rng);
-  const auto sentence = random_sentence(25, kFeatures, rng);
+  const auto pool = sentence_pool(64, kFeatures, rng);
   crf::LinearChainCrf::Scratch scratch;  // reused, as in the serving loops
+  std::vector<double> samples_us;
+  std::size_t next = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(model.posteriors(sentence, scratch));
+    const auto begin = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(model.posteriors(pool[next], scratch));
+    samples_us.push_back(std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() - begin)
+                             .count());
+    next = (next + 1) % pool.size();
   }
+  record_percentiles(state, samples_us);
   state.SetLabel("order " + std::to_string(state.range(0)));
 }
 BENCHMARK(BM_ForwardBackward)->Arg(1)->Arg(2);
@@ -58,14 +96,82 @@ void BM_Viterbi(benchmark::State& state) {
                                          : crf::StateSpace::order1();
   constexpr std::size_t kFeatures = 5000;
   const auto model = random_model(space, kFeatures, rng);
-  const auto sentence = random_sentence(25, kFeatures, rng);
+  const auto pool = sentence_pool(64, kFeatures, rng);
   crf::LinearChainCrf::Scratch scratch;
+  std::vector<double> samples_us;
+  std::size_t next = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(model.viterbi(sentence, scratch));
+    const auto begin = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(model.viterbi(pool[next], scratch));
+    samples_us.push_back(std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() - begin)
+                             .count());
+    next = (next + 1) % pool.size();
   }
+  record_percentiles(state, samples_us);
   state.SetLabel("order " + std::to_string(state.range(0)));
 }
 BENCHMARK(BM_Viterbi)->Arg(1)->Arg(2);
+
+/// Pruned/quantized decode variants: Args are {beam, quantized?} on the
+/// order-2 space (where pruning actually pays — 9 states vs 3).
+crf::DecodeOptions pruned_options(benchmark::State& state,
+                                  crf::LinearChainCrf& model) {
+  crf::DecodeOptions options;
+  options.beam = static_cast<std::size_t>(state.range(0));
+  options.posterior_threshold = 1e-3;
+  if (state.range(1)) {
+    options.quantization = crf::Quantization::kInt16;
+    model.prepare_quantization(crf::Quantization::kInt16);
+  }
+  state.SetLabel("beam " + std::to_string(state.range(0)) +
+                 (state.range(1) ? " int16" : " float"));
+  return options;
+}
+
+void BM_ViterbiPruned(benchmark::State& state) {
+  util::Rng rng(2);  // same seed as BM_Viterbi: directly comparable numbers
+  const auto space = crf::StateSpace::order2();
+  constexpr std::size_t kFeatures = 5000;
+  auto model = random_model(space, kFeatures, rng);
+  const auto pool = sentence_pool(64, kFeatures, rng);
+  const auto options = pruned_options(state, model);
+  crf::LinearChainCrf::Scratch scratch;
+  std::vector<double> samples_us;
+  std::size_t next = 0;
+  for (auto _ : state) {
+    const auto begin = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(model.viterbi(pool[next], scratch, options));
+    samples_us.push_back(std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() - begin)
+                             .count());
+    next = (next + 1) % pool.size();
+  }
+  record_percentiles(state, samples_us);
+}
+BENCHMARK(BM_ViterbiPruned)->Args({16, 0})->Args({8, 0})->Args({4, 0})->Args({4, 1});
+
+void BM_ForwardBackwardPruned(benchmark::State& state) {
+  util::Rng rng(1);  // same seed as BM_ForwardBackward
+  const auto space = crf::StateSpace::order2();
+  constexpr std::size_t kFeatures = 5000;
+  auto model = random_model(space, kFeatures, rng);
+  const auto pool = sentence_pool(64, kFeatures, rng);
+  const auto options = pruned_options(state, model);
+  crf::LinearChainCrf::Scratch scratch;
+  std::vector<double> samples_us;
+  std::size_t next = 0;
+  for (auto _ : state) {
+    const auto begin = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(model.posteriors(pool[next], scratch, options));
+    samples_us.push_back(std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() - begin)
+                             .count());
+    next = (next + 1) % pool.size();
+  }
+  record_percentiles(state, samples_us);
+}
+BENCHMARK(BM_ForwardBackwardPruned)->Args({16, 0})->Args({8, 0})->Args({4, 0})->Args({4, 1});
 
 void BM_CrfGradient(benchmark::State& state) {
   util::Rng rng(3);

@@ -85,6 +85,28 @@ const std::string& pick_acronym(GeneratorState& state, bool is_test) {
   return state.acronym_pool[state.rng.zipf(state.shared_acronym_count)];
 }
 
+/// A measurement-shaped token from the long tail real abstracts carry:
+/// decimals, p-values, ranges, fold-changes, kilodalton masses, raw counts.
+/// Near-unique across a corpus, so each draw contributes fresh identity /
+/// affix / char-n-gram features exactly the way real numeric text does.
+std::string make_measurement(util::Rng& rng) {
+  switch (rng.below(6)) {
+    case 0:  // decimal measurement: "3.7", "41.2"
+      return std::to_string(1 + rng.below(99)) + "." + std::to_string(rng.below(10));
+    case 1:  // p-value: "0.003", "0.048"
+      return "0.0" + std::to_string(1 + rng.below(99));
+    case 2:  // range: "10-20"
+      return std::to_string(1 + rng.below(89)) + "-" +
+             std::to_string(10 + rng.below(90));
+    case 3:  // fold change: "12-fold"
+      return std::to_string(2 + rng.below(98)) + "-fold";
+    case 4:  // molecular mass: "38-kDa"
+      return std::to_string(10 + rng.below(190)) + "-kDa";
+    default:  // raw count: "1240"
+      return std::to_string(100 + rng.below(9900));
+  }
+}
+
 Realized realize(GeneratorState& state, const Template& tmpl, bool is_test) {
   Realized out;
   auto& rng = state.rng;
@@ -130,9 +152,41 @@ Realized realize(GeneratorState& state, const Template& tmpl, bool is_test) {
         out.tokens.emplace_back(rng.pick(background_words()));
         break;
       case SlotKind::kNumber:
-        out.tokens.push_back(std::to_string(1 + rng.below(99)));
+        if (state.spec->numeric_richness > 0.0 &&
+            rng.flip(state.spec->numeric_richness))
+          out.tokens.push_back(make_measurement(rng));
+        else
+          out.tokens.push_back(std::to_string(1 + rng.below(99)));
         break;
     }
+  }
+  return out;
+}
+
+/// Realize one full sentence: a base clause, optionally spliced with up to
+/// two further clauses (", and <clause>" style). Mention spans from later
+/// clauses are offset into the combined token stream.
+Realized realize_sentence(GeneratorState& state, bool is_test) {
+  auto& rng = state.rng;
+  auto pick = [&]() -> const Template& {
+    return state.bank[rng.below(state.bank.size())];
+  };
+  Realized out = realize(state, pick(), is_test);
+  if (state.spec->compound_clause_rate <= 0.0) return out;
+  static constexpr std::string_view kConnectives[] = {"and", "whereas", "while",
+                                                      "although", "but"};
+  for (int extra = 0;
+       extra < 2 && rng.flip(state.spec->compound_clause_rate); ++extra) {
+    if (!out.tokens.empty() && out.tokens.back() == ".") out.tokens.pop_back();
+    out.tokens.emplace_back(",");
+    out.tokens.emplace_back(kConnectives[rng.below(std::size(kConnectives))]);
+    const Realized next = realize(state, pick(), is_test);
+    const std::size_t base = out.tokens.size();
+    for (const auto& tok : next.tokens) out.tokens.push_back(tok);
+    for (const auto& span : next.mentions)
+      out.mentions.push_back({span.first + base, span.last + base});
+    for (const std::size_t entity : next.mention_entities)
+      out.mention_entities.push_back(entity);
   }
   return out;
 }
@@ -224,8 +278,7 @@ LabelledCorpus generate_corpus(const CorpusSpec& spec) {
   auto make_side = [&](std::size_t count, bool is_test,
                        std::vector<text::Sentence>& sink) {
     for (std::size_t i = 0; i < count; ++i) {
-      const Template& tmpl = state.bank[state.rng.below(state.bank.size())];
-      Realized realized = realize(state, tmpl, is_test);
+      Realized realized = realize_sentence(state, is_test);
 
       text::Sentence sentence;
       sentence.id = make_sentence_id(spec, is_test ? "test" : "train", i);
@@ -282,8 +335,7 @@ std::vector<text::Sentence> generate_unlabelled(const CorpusSpec& spec,
   std::vector<text::Sentence> out;
   out.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    const Template& tmpl = state.bank[state.rng.below(state.bank.size())];
-    Realized realized = realize(state, tmpl, /*is_test=*/true);
+    Realized realized = realize_sentence(state, /*is_test=*/true);
     text::Sentence sentence;
     sentence.id = spec.name + "-unlab-" + std::to_string(i);
     sentence.tokens = std::move(realized.tokens);

@@ -41,6 +41,15 @@ struct CorpusSpec {
   bool alternatives = true;        ///< emit ALTGENE boundary variants
   bool clinical_register = false;  ///< use the AML/full-text template bank
   std::size_t sentences_per_document = 0;  ///< 0 = one sentence per document
+  /// Abstract-realism controls. The template bank alone yields short
+  /// (~10-token) sentences over a compact vocabulary — plenty for the graph
+  /// experiments, but real BC2GM abstract sentences average ~25 tokens
+  /// (they stack clauses) and carry a long tail of near-unique measurement
+  /// tokens, which is what pushes emission scoring memory-bound at
+  /// deployment feature counts. Both default off, so corpora generated
+  /// without them are byte-identical to before these knobs existed.
+  double compound_clause_rate = 0.0;  ///< chance of splicing in a further clause (max two)
+  double numeric_richness = 0.0;      ///< chance a number slot draws a measurement token
   std::uint64_t seed = 42;
 };
 

@@ -1,0 +1,702 @@
+// Pruned and quantized CRF decode kernels (DESIGN.md §10).
+//
+// Two independent levers, composable per decode call:
+//
+//   * Quantization attacks the emission pass — the decode-time cost of
+//     these lattices is dominated by streaming per-feature emission rows.
+//     Float mode runs the unchanged vectorized exact kernel (identical
+//     scores, identical summation order); int16/int8 modes run a dense
+//     vectorized pass over a quantized table (one calibrated float scale
+//     per feature row, float accumulator) whose rows are 4x/8x smaller
+//     than the double table — the speedup is the saved memory traffic.
+//
+//   * Pruning attacks the recurrences, fused into the forward pass itself
+//     rather than run as a pre-pass: at each position the recurrence only
+//     extends the previous position's survivors, then keeps the `beam`
+//     best states by *actual* forward score (Viterbi) or forward mass
+//     (forward-backward), with `posterior_threshold` cutting states whose
+//     score falls below threshold x the position's best. Because ranking
+//     uses the true recurrence values — transition history included — a
+//     narrow beam tracks exact decode far more faithfully than any
+//     order-0 emission proxy. Survivors are recorded per position; the
+//     backward pass and the marginal products then touch survivors only,
+//     with lattices pre-zeroed so pruned entries contribute nothing.
+//
+// The position's best state always survives its own cut, and every state
+// has outgoing edges, so pruning cannot strand a position. The remaining
+// degeneracies — a scaled-lattice underflow, a state space too large for
+// the uint32 survivor masks — transparently rerun the whole sentence on
+// the exact kernels and count a fallback.
+//
+// Exactness: default options never reach this file — the public entry
+// points dispatch straight to the unchanged exact kernels, so beam=inf /
+// threshold=0 / float stays bit-identical by construction. A forced pruned
+// float decode that keeps every state (beam >= S, threshold 0) is *also*
+// bit-identical: the emission pass is the exact kernel, psi rows use the
+// same full-row maxima, and skipping states the exact recurrence scores
+// as zero / -inf drops only exact zeros from the same summation order
+// (golden-tested).
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+#include "src/crf/model.hpp"
+#include "src/obs/registry.hpp"
+#include "src/util/math.hpp"
+
+namespace graphner::crf {
+
+using text::kNumTags;
+using util::kNegInf;
+
+namespace {
+
+/// Survivor-set bound: states must fit the uint32 masks. Both shipped state
+/// spaces (3 and 9 states) fit with room for experimentation.
+constexpr std::size_t kMaxStates = 32;
+
+// Same vectorization pragma story as the exact emission kernel in model.cpp:
+// -O2 leaves the accumulation scalar and the build targets baseline x86-64,
+// so opt this loop into the vectorizer with an AVX2 ifunc clone. Skipped
+// under sanitizers (instrumented ifunc resolvers run before __tsan_init).
+#if defined(__GNUC__) && !defined(__clang__) && defined(__x86_64__) && \
+    !defined(__SANITIZE_THREAD__) && !defined(__SANITIZE_ADDRESS__)
+#define GRAPHNER_QUANT_KERNEL \
+  __attribute__((optimize("tree-vectorize"), target_clones("default", "avx2")))
+#else
+#define GRAPHNER_QUANT_KERNEL
+#endif
+
+/// Dense quantized emission: out[i * S + s] = sum_f scale[f] * q[f * S + s].
+/// Same shape as accumulate_emission, with the int rows widened through a
+/// float accumulator (drift is bounded by the per-row scales; see
+/// quantize_table).
+template <std::size_t S, typename Int>
+GRAPHNER_QUANT_KERNEL void accumulate_emission_quant(const EncodedSentence& sentence,
+                                                     const Int* table,
+                                                     const float* scale,
+                                                     double* out) {
+  const std::size_t n = sentence.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    float acc[S] = {};
+    for (const FeatureIndex::Id f : sentence.features[i]) {
+      const Int* row = table + static_cast<std::size_t>(f) * S;
+      const float fs = scale[static_cast<std::size_t>(f)];
+      for (std::size_t s = 0; s < S; ++s)
+        acc[s] += fs * static_cast<float>(row[s]);
+    }
+    double* row = out + i * S;
+    for (std::size_t s = 0; s < S; ++s) row[s] = static_cast<double>(acc[s]);
+  }
+}
+
+#if defined(__GNUC__) && !defined(__clang__) && defined(__x86_64__) && \
+    !defined(__SANITIZE_THREAD__) && !defined(__SANITIZE_ADDRESS__)
+#define GRAPHNER_QUANT_AVX2 1
+#endif
+
+#if GRAPHNER_QUANT_AVX2
+// Hand-scheduled AVX2 order-2 (S = 9) kernels: the autovectorizer splits the
+// int -> float widening into 128-bit halves, which costs more µops than the
+// double kernel it is supposed to undercut. One vpmovsx + vcvtdq2ps + vfmadd
+// covers states 0..7 per feature row (the 9th rides a scalar FMA chain), so
+// the quantized path matches the exact kernel's µop count while loading
+// 4x/8x fewer bytes — the whole point of the narrow tables. Guarded by a
+// plain runtime CPU check (no ifunc, so no sanitizer resolver hazards);
+// per-state sums visit features in the same order as the generic kernel,
+// FMA rounding aside.
+__attribute__((target("avx2,fma"))) void emission_quant_avx2_s9(
+    const EncodedSentence& sentence, const std::int16_t* table,
+    const float* scale, double* out) {
+  const std::size_t n = sentence.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    __m256 acc = _mm256_setzero_ps();
+    float acc8 = 0.0f;
+    for (const FeatureIndex::Id f : sentence.features[i]) {
+      const std::int16_t* row = table + static_cast<std::size_t>(f) * 9;
+      const float fs = scale[static_cast<std::size_t>(f)];
+      const __m256 v = _mm256_cvtepi32_ps(_mm256_cvtepi16_epi32(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(row))));
+      acc = _mm256_fmadd_ps(v, _mm256_set1_ps(fs), acc);
+      acc8 += fs * static_cast<float>(row[8]);
+    }
+    double* o = out + i * 9;
+    _mm256_storeu_pd(o, _mm256_cvtps_pd(_mm256_castps256_ps128(acc)));
+    _mm256_storeu_pd(o + 4, _mm256_cvtps_pd(_mm256_extractf128_ps(acc, 1)));
+    o[8] = static_cast<double>(acc8);
+  }
+}
+
+__attribute__((target("avx2,fma"))) void emission_quant_avx2_s9(
+    const EncodedSentence& sentence, const std::int8_t* table,
+    const float* scale, double* out) {
+  const std::size_t n = sentence.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    __m256 acc = _mm256_setzero_ps();
+    float acc8 = 0.0f;
+    for (const FeatureIndex::Id f : sentence.features[i]) {
+      const std::int8_t* row = table + static_cast<std::size_t>(f) * 9;
+      const float fs = scale[static_cast<std::size_t>(f)];
+      const __m256 v = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(row))));
+      acc = _mm256_fmadd_ps(v, _mm256_set1_ps(fs), acc);
+      acc8 += fs * static_cast<float>(row[8]);
+    }
+    double* o = out + i * 9;
+    _mm256_storeu_pd(o, _mm256_cvtps_pd(_mm256_castps256_ps128(acc)));
+    _mm256_storeu_pd(o + 4, _mm256_cvtps_pd(_mm256_extractf128_ps(acc, 1)));
+    o[8] = static_cast<double>(acc8);
+  }
+}
+#endif  // GRAPHNER_QUANT_AVX2
+
+template <typename Int>
+void emission_quant_dispatch(const EncodedSentence& sentence, std::size_t S,
+                             const Int* table, const float* scale, double* out) {
+#if GRAPHNER_QUANT_AVX2
+  static const bool have_avx2 = __builtin_cpu_supports("avx2") != 0 &&
+                                __builtin_cpu_supports("fma") != 0;
+  if (S == 9 && have_avx2) {
+    emission_quant_avx2_s9(sentence, table, scale, out);
+    return;
+  }
+#endif
+  switch (S) {
+    case 3:
+      accumulate_emission_quant<3>(sentence, table, scale, out);
+      return;
+    case 9:
+      accumulate_emission_quant<9>(sentence, table, scale, out);
+      return;
+    default:
+      break;
+  }
+  const std::size_t n = sentence.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    double* row = out + i * S;
+    std::fill(row, row + S, 0.0);
+    for (const FeatureIndex::Id f : sentence.features[i]) {
+      const Int* w = table + static_cast<std::size_t>(f) * S;
+      const double fs = scale[static_cast<std::size_t>(f)];
+      for (std::size_t s = 0; s < S; ++s)
+        row[s] += fs * static_cast<double>(w[s]);
+    }
+  }
+}
+
+/// Beam cap over candidate (state, value) pairs held in ascending state
+/// order. Selection marks winners (or losers, whichever needs fewer
+/// extraction scans — c <= 32, so a uint32 bitmask) and compacts once,
+/// preserving the ascending order the kernels rely on for deterministic
+/// summation. Ties go to the lower state, matching the exact kernels'
+/// first-best scan direction. `arg` (nullable) is a parallel payload array
+/// compacted alongside — the Viterbi path carries backpointers through.
+/// (A branchless O(c^2) rank-select variant measured slower here: its
+/// serial flag-accumulation chain costs more than these scans mispredict.)
+inline std::size_t beam_cap(StateId* cand, double* val, StateId* arg,
+                            std::size_t c, std::size_t beam) {
+  if (c <= beam) return c;
+  std::uint32_t drop = 0;
+  if (c - beam <= beam) {
+    for (std::size_t r = c - beam; r-- > 0;) {
+      std::size_t worst = 0;
+      double wv = std::numeric_limits<double>::infinity();
+      for (std::size_t j = 0; j < c; ++j)
+        if (!((drop >> j) & 1u) && val[j] < wv) {
+          wv = val[j];
+          worst = j;
+        }
+      drop |= 1u << worst;
+    }
+  } else {
+    std::uint32_t keep = 0;
+    for (std::size_t r = beam; r-- > 0;) {
+      std::size_t bestj = 0;
+      double bv = -std::numeric_limits<double>::infinity();
+      for (std::size_t j = 0; j < c; ++j)
+        if (!((keep >> j) & 1u) && val[j] > bv) {
+          bv = val[j];
+          bestj = j;
+        }
+      keep |= 1u << bestj;
+    }
+    drop = ~keep;
+  }
+  std::size_t k = 0;
+  for (std::size_t j = 0; j < c; ++j) {
+    if ((drop >> j) & 1u) continue;
+    cand[k] = cand[j];
+    val[k] = val[j];
+    if (arg != nullptr) arg[k] = arg[j];
+    ++k;
+  }
+  return k;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Decode-table maintenance
+// ---------------------------------------------------------------------------
+
+void LinearChainCrf::rebuild_decode_tables() {
+  // Reachability masks are space-derived (cheap enough to rebuild alongside
+  // the weight caches): bit p of in_mask_[s] says a legal p -> s edge exists.
+  const std::size_t S = space_.num_states();
+  if (S <= kMaxStates) {
+    in_mask_.assign(S, 0);
+    const auto& in_off = space_.incoming_offsets();
+    const auto& in_edges = space_.incoming_edges();
+    for (std::size_t s = 0; s < S; ++s)
+      for (std::uint32_t e = in_off[s]; e < in_off[s + 1]; ++e)
+        in_mask_[s] |= 1u << in_edges[e].state;
+    start_mask_ = 0;
+    for (const StateId s : space_.start_states()) start_mask_ |= 1u << s;
+  }
+  // Prepared quantized tables track the live weights.
+  if (!quant16_.empty()) prepare_quantization(Quantization::kInt16);
+  if (!quant8_.empty()) prepare_quantization(Quantization::kInt8);
+}
+
+namespace {
+
+/// Quantize one weight table: per-feature-row absmax scale, symmetric
+/// round-to-nearest. Returns the max absolute reconstruction error.
+template <typename Int>
+double quantize_table(const double* weights, std::size_t num_features,
+                      std::size_t num_states, std::vector<Int>& q,
+                      std::vector<float>& scale) {
+  constexpr double kMaxQ = static_cast<double>(std::numeric_limits<Int>::max());
+  q.resize(num_features * num_states);
+  scale.resize(num_features);
+  double drift = 0.0;
+  for (std::size_t f = 0; f < num_features; ++f) {
+    const double* w = weights + f * num_states;
+    double absmax = 0.0;
+    for (std::size_t s = 0; s < num_states; ++s)
+      absmax = std::max(absmax, std::abs(w[s]));
+    const double sc = absmax > 0.0 ? absmax / kMaxQ : 1.0;
+    scale[f] = static_cast<float>(sc);
+    Int* row = q.data() + f * num_states;
+    for (std::size_t s = 0; s < num_states; ++s) {
+      const double v = std::nearbyint(w[s] / sc);
+      row[s] = static_cast<Int>(std::clamp(v, -kMaxQ, kMaxQ));
+      drift = std::max(
+          drift, std::abs(w[s] - static_cast<double>(scale[f]) *
+                                     static_cast<double>(row[s])));
+    }
+  }
+  return drift;
+}
+
+}  // namespace
+
+void LinearChainCrf::prepare_quantization(Quantization mode) {
+  const std::size_t S = space_.num_states();
+  switch (mode) {
+    case Quantization::kFloat:
+      quant16_.clear();
+      quant16_.shrink_to_fit();
+      quant_scale16_.clear();
+      quant8_.clear();
+      quant8_.shrink_to_fit();
+      quant_scale8_.clear();
+      quant_drift_ = 0.0;
+      return;
+    case Quantization::kInt16:
+      quant_drift_ =
+          quantize_table(weights_.data(), num_features_, S, quant16_, quant_scale16_);
+      break;
+    case Quantization::kInt8:
+      quant_drift_ =
+          quantize_table(weights_.data(), num_features_, S, quant8_, quant_scale8_);
+      break;
+  }
+  obs::Registry::global().gauge("decode.quant_drift").set(quant_drift_);
+}
+
+void LinearChainCrf::set_decode_options(const DecodeOptions& options) {
+  decode_options_ = options;
+  // Build the table the options will decode with; an already-prepared table
+  // for the *other* width is left alone so per-call overrides keep working.
+  if (options.quantization != Quantization::kFloat &&
+      !quantization_ready(options.quantization))
+    prepare_quantization(options.quantization);
+}
+
+// ---------------------------------------------------------------------------
+// Dense emission (exact or quantized)
+// ---------------------------------------------------------------------------
+
+void LinearChainCrf::emission_scores(const EncodedSentence& sentence,
+                                     Quantization quantization,
+                                     std::vector<double>& out) const {
+  switch (quantization) {
+    case Quantization::kFloat:
+      // The unchanged exact kernel: same scores, same summation order, so a
+      // prune that keeps every state stays bit-identical to exact decode.
+      emission_scores(sentence, out);
+      return;
+    case Quantization::kInt16:
+      out.resize(sentence.size() * space_.num_states());
+      emission_quant_dispatch(sentence, space_.num_states(), quant16_.data(),
+                              quant_scale16_.data(), out.data());
+      return;
+    case Quantization::kInt8:
+      out.resize(sentence.size() * space_.num_states());
+      emission_quant_dispatch(sentence, space_.num_states(), quant8_.data(),
+                              quant_scale8_.data(), out.data());
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pruned forward-backward
+// ---------------------------------------------------------------------------
+
+void LinearChainCrf::run_forward_backward_pruned(const EncodedSentence& sentence,
+                                                 const DecodeOptions& options,
+                                                 Scratch& sc) const {
+  const std::size_t n = sentence.size();
+  const std::size_t S = space_.num_states();
+  assert(n > 0);
+
+  if (S > kMaxStates) {  // exotic space: exact fallback
+    sc.prune.fallback = true;
+    run_forward_backward(sentence, sc);
+    return;
+  }
+  emission_scores(sentence, options.quantization, sc.emit);
+
+  // Zero lattices so pruned entries contribute exactly nothing: the inner
+  // loops can then walk full CSR edge runs branch-free (pruned neighbours
+  // add 0.0) and node/pair products vanish on their own. The assigns are
+  // O(n*S) memsets — noise next to the feature loops.
+  sc.psi.assign(n * S, 0.0);
+  sc.alpha.assign(n * S, 0.0);
+  sc.beta.assign(n * S, 0.0);
+  sc.scale.resize(n);
+  sc.tmp.resize(S);
+
+  const std::size_t beam =
+      options.beam == 0 ? S : std::min<std::size_t>(options.beam, S);
+  const double threshold = options.posterior_threshold;
+  sc.active.resize(n * beam);
+  sc.active_off.resize(n + 1);
+  sc.active_off[0] = 0;
+  sc.prune = {};
+  sc.prune.total_states = n * S;
+  StateId* act_out = sc.active.data();
+  std::uint32_t pos = 0;
+
+  const auto& in_off = space_.incoming_offsets();
+  const CsrEdge* in_edges = space_.incoming_edges().data();
+  const double* exp_in = exp_trans_in_.data();
+
+  // Forward pass with pruning fused in. Per position: extend the previous
+  // survivors through the CSR edges (exactly the exact recurrence, but only
+  // for states reachable from a survivor), then keep the `beam` largest
+  // masses above threshold x the row's best. The per-position sums z_i are
+  // taken over the survivors *after* the cut, so alpha rows still sum to 1
+  // and the mass of pruned states is what log Z underestimates by.
+  StateId cand[kMaxStates];
+  double val[kMaxStates];
+  bool ok = true;
+  std::uint32_t prev_mask = 0;
+  double log_z = 0.0;
+  for (std::size_t i = 0; i < n && ok; ++i) {
+    const double* e = sc.emit.data() + i * S;
+    // Full-row max, matching the exact kernel: psi stays bounded in (0, 1]
+    // and the forced all-active float decode stays bit-identical.
+    double m = e[0];
+    for (std::size_t s = 1; s < S; ++s) m = std::max(m, e[s]);
+    log_z += m;
+
+    double* p = sc.psi.data() + i * S;
+    double* a = sc.alpha.data() + i * S;
+    const double* prev = a - S;  // unused when i == 0
+    std::size_t c = 0;
+    double vmax = 0.0;
+    for (std::size_t s = 0; s < S; ++s) {
+      double acc;
+      if (i == 0) {
+        if (!((start_mask_ >> s) & 1u)) continue;
+        acc = exp_start_[s];
+      } else {
+        if ((in_mask_[s] & prev_mask) == 0) continue;
+        acc = 0.0;
+        for (std::uint32_t ed = in_off[s]; ed < in_off[s + 1]; ++ed)
+          acc += prev[in_edges[ed].state] * exp_in[ed];
+      }
+      const double psi_s = std::exp(e[s] - m);
+      p[s] = psi_s;
+      const double v = acc * psi_s;
+      cand[c] = static_cast<StateId>(s);
+      val[c] = v;
+      vmax = std::max(vmax, v);
+      ++c;
+    }
+
+    // Threshold cut (linear domain: v is a mass), then beam cap. The row's
+    // best always survives, so the cut cannot empty a position.
+    if (threshold > 0.0) {
+      const double cut = vmax * threshold;
+      std::size_t k = 0;
+      for (std::size_t j = 0; j < c; ++j) {
+        if (val[j] < cut) continue;
+        cand[k] = cand[j];
+        val[k] = val[j];
+        ++k;
+      }
+      c = k;
+    }
+    c = beam_cap(cand, val, nullptr, c, beam);
+
+    double z = 0.0;
+    for (std::size_t j = 0; j < c; ++j) z += val[j];
+    sc.scale[i] = z;
+    if (z > 0.0 && std::isfinite(z)) {
+      const double inv = 1.0 / z;
+      std::uint32_t mask = 0;
+      for (std::size_t j = 0; j < c; ++j) {
+        a[cand[j]] = val[j] * inv;
+        mask |= 1u << cand[j];
+        act_out[pos + j] = cand[j];
+      }
+      pos += static_cast<std::uint32_t>(c);
+      prev_mask = mask;
+      sc.active_off[i + 1] = pos;
+      log_z += std::log(z);
+    } else {
+      ok = false;
+    }
+  }
+  if (!ok) {
+    // Same degeneracy contract as the exact scaled kernel: rerun the exact
+    // recurrence (with its log-space safety net underneath) over the
+    // emission lattice already in sc.emit — keeping whatever quantization
+    // the caller asked for and not paying for the features twice.
+    sc.prune.fallback = true;
+    forward_backward_from_emit(sentence, sc);
+    return;
+  }
+  sc.log_z = log_z;
+  sc.prune.active_states = pos;
+
+  // Backward pass over the recorded survivors. psi and beta are 0 at pruned
+  // states, so staging over all S keeps the edge loops branch-free while
+  // pruned successors contribute nothing.
+  const StateId* act = sc.active.data();
+  const std::uint32_t* off = sc.active_off.data();
+  const auto& out_off = space_.outgoing_offsets();
+  const CsrEdge* out_edges = space_.outgoing_edges().data();
+  const double* exp_out = exp_trans_out_.data();
+  double* tmp = sc.tmp.data();
+  for (std::uint32_t j = off[n - 1]; j < off[n]; ++j)
+    sc.beta[(n - 1) * S + act[j]] = 1.0;
+  for (std::size_t i = n - 1; i-- > 0;) {
+    const double* next_b = sc.beta.data() + (i + 1) * S;
+    const double* next_p = sc.psi.data() + (i + 1) * S;
+    double* cur = sc.beta.data() + i * S;
+    const double invz = 1.0 / sc.scale[i + 1];
+    for (std::size_t s = 0; s < S; ++s) tmp[s] = next_p[s] * next_b[s] * invz;
+    for (std::uint32_t j = off[i]; j < off[i + 1]; ++j) {
+      const StateId s = act[j];
+      double acc = 0.0;
+      for (std::uint32_t e = out_off[s]; e < out_off[s + 1]; ++e)
+        acc += exp_out[e] * tmp[out_edges[e].state];
+      cur[s] = acc;
+    }
+  }
+
+  sc.node.resize(n * S);
+  for (std::size_t i = 0; i < n * S; ++i) sc.node[i] = sc.alpha[i] * sc.beta[i];
+
+  const auto& transitions = space_.transitions();
+  const std::size_t num_trans = transitions.size();
+  sc.pair.resize(n * num_trans);
+  for (std::size_t i = 1; i < n; ++i) {
+    const double* pa = sc.alpha.data() + (i - 1) * S;
+    const double* pb = sc.beta.data() + i * S;
+    const double* pp = sc.psi.data() + i * S;
+    const double invz = 1.0 / sc.scale[i];
+    double* pw = sc.pair.data() + i * num_trans;
+    for (std::size_t s = 0; s < S; ++s) tmp[s] = pp[s] * pb[s] * invz;
+    for (std::size_t t = 0; t < num_trans; ++t)
+      pw[t] = pa[transitions[t].from] * exp_trans_slot_[t] * tmp[transitions[t].to];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pruned Viterbi
+// ---------------------------------------------------------------------------
+
+std::vector<text::Tag> LinearChainCrf::viterbi_pruned(const EncodedSentence& sentence,
+                                                      const DecodeOptions& options,
+                                                      Scratch& sc) const {
+  const std::size_t n = sentence.size();
+  const std::size_t S = space_.num_states();
+  assert(n > 0);
+
+  if (S > kMaxStates) {
+    sc.prune.fallback = true;
+    return viterbi_exact(sentence, sc);
+  }
+  emission_scores(sentence, options.quantization, sc.emit);
+
+  const double* start = weights_.data() + start_base();
+  const std::size_t beam =
+      options.beam == 0 ? S : std::min<std::size_t>(options.beam, S);
+  const double log_thresh = options.posterior_threshold > 0.0
+                                ? std::log(options.posterior_threshold)
+                                : kNegInf;
+
+  // Beam search with compact survivor storage: no n x S lattice is written
+  // at all. Survivor states land in sc.active; sc.vback holds, for each
+  // survivor, its best predecessor *state*; path scores live in stack rows.
+  sc.active.resize(n * beam);
+  sc.vback.resize(n * beam);
+  sc.active_off.resize(n + 1);
+  sc.active_off[0] = 0;
+  sc.prune = {};
+  sc.prune.total_states = n * S;
+  StateId* act = sc.active.data();
+  StateId* par = sc.vback.data();
+  std::uint32_t* off = sc.active_off.data();
+
+  const auto& in_off = space_.incoming_offsets();
+  const CsrEdge* in_edges = space_.incoming_edges().data();
+  const double* trans_in = trans_in_.data();
+
+  // Each position keeps the `beam` best states by true path score, with the
+  // threshold dropping states more than -ln(threshold) behind the
+  // position's best (a path-mass ratio, matching the FB cut). The
+  // relaxation *gathers* like the exact kernel — per reachable state, a max
+  // chain over its incoming edges that lives entirely in registers —
+  // because a scatter through a staging array serializes on
+  // store-to-load-forwarded cmovs and loses to the exact kernel outright.
+  // prev_val[] is dense by state, kNegInf at pruned states, so the chain
+  // needs no per-edge membership test: pruned predecessors propose -inf and
+  // never win. The winning edge is tracked in the same chain (register
+  // cmov) and rides through selection as a parallel payload.
+  StateId cand[kMaxStates];
+  double val[kMaxStates];
+  StateId parg[kMaxStates];
+  double prev_val[kMaxStates];
+  std::size_t c = 0;
+  std::uint32_t pos = 0;
+  std::uint32_t prev_mask = 0;
+  double vmax = kNegInf;
+  for (std::size_t s = 0; s < S; ++s) {
+    if (!((start_mask_ >> s) & 1u)) continue;
+    cand[c] = static_cast<StateId>(s);
+    val[c] = start[s] + sc.emit[s];
+    parg[c] = 0;  // position 0 has no predecessor; never read back
+    vmax = std::max(vmax, val[c]);
+    ++c;
+  }
+  for (std::size_t i = 0;; ++i) {
+    if (log_thresh != kNegInf) {
+      const double cut = vmax + log_thresh;  // the best always survives
+      std::size_t k = 0;
+      for (std::size_t j = 0; j < c; ++j) {
+        if (val[j] < cut) continue;
+        cand[k] = cand[j];
+        val[k] = val[j];
+        parg[k] = parg[j];
+        ++k;
+      }
+      c = k;
+    }
+    c = beam_cap(cand, val, parg, c, beam);
+
+    for (std::size_t j = 0; j < c; ++j) {
+      act[pos + j] = cand[j];
+      par[pos + j] = parg[j];  // dummy zeros at i == 0, never read back
+    }
+    pos += static_cast<std::uint32_t>(c);
+    off[i + 1] = pos;
+    if (i + 1 == n) break;
+
+    for (std::size_t s = 0; s < S; ++s) prev_val[s] = kNegInf;
+    std::uint32_t mask = 0;
+    for (std::size_t j = 0; j < c; ++j) {
+      prev_val[cand[j]] = val[j];
+      mask |= 1u << cand[j];
+    }
+    prev_mask = mask;
+
+    const double* e = sc.emit.data() + (i + 1) * S;
+    c = 0;
+    vmax = kNegInf;
+    for (std::size_t s = 0; s < S; ++s) {
+      if ((in_mask_[s] & prev_mask) == 0) continue;  // no surviving predecessor
+      double best = kNegInf;
+      StateId arg = 0;
+      for (std::uint32_t ed = in_off[s]; ed < in_off[s + 1]; ++ed) {
+        const StateId p = in_edges[ed].state;
+        const double v = prev_val[p] + trans_in[ed];
+        const bool better = v > best;  // first-best ties keep the earliest
+        best = better ? v : best;      // CSR edge, like the exact kernel
+        arg = better ? p : arg;
+      }
+      cand[c] = static_cast<StateId>(s);
+      val[c] = best + e[s];
+      parg[c] = arg;
+      vmax = std::max(vmax, val[c]);
+      ++c;
+    }
+    if (c == 0) {
+      // Unreachable in the shipped spaces (every state has outgoing edges);
+      // guards exotic spaces with dead-end states. sc.emit is already
+      // filled, so rerun just the exact recurrence.
+      sc.prune.fallback = true;
+      return viterbi_from_emit(sentence, sc);
+    }
+  }
+  sc.prune.active_states = pos;
+
+  // val[] still holds the final position's survivor scores, aligned with
+  // act[off[n-1]..off[n]); first-best ties go to the lower state, matching
+  // the exact kernel's termination scan. The backtrace follows predecessor
+  // states, locating each within the previous survivor list (a scan over at
+  // most `beam` entries, once per position).
+  std::size_t jbest = 0;
+  for (std::size_t j = 1; j < c; ++j)
+    if (val[j] > val[jbest]) jbest = j;
+  std::vector<text::Tag> tags(n);
+  std::size_t j = jbest;
+  for (std::size_t i = n; i-- > 0;) {
+    tags[i] = space_.tag_of(act[off[i] + j]);
+    if (i == 0) break;
+    const StateId p = par[off[i] + j];
+    j = 0;
+    while (act[off[i - 1] + j] != p) ++j;  // p is always a survivor there
+  }
+  return tags;
+}
+
+// ---------------------------------------------------------------------------
+// Instrumentation
+// ---------------------------------------------------------------------------
+
+void LinearChainCrf::publish_prune_stats(const Scratch& sc) const {
+  // Resolved once: registry lookup takes a mutex, the instruments don't.
+  auto& reg = obs::Registry::global();
+  static obs::Counter& sentences = reg.counter("decode.pruned_sentences");
+  static obs::Counter& fallbacks = reg.counter("decode.beam_fallbacks");
+  static obs::Gauge& fraction = reg.gauge("decode.active_state_fraction");
+  sentences.inc();
+  if (sc.prune.fallback)
+    fallbacks.inc();
+  else
+    fraction.set(sc.prune.active_fraction());
+}
+
+}  // namespace graphner::crf

@@ -243,6 +243,22 @@ GraphNerModel GraphNerModel::train(const std::vector<text::Sentence>& labelled,
   return model;
 }
 
+void GraphNerModel::set_decode_options(const crf::DecodeOptions& options) {
+  crf_->set_decode_options(options);
+  // Mirror the active configuration into gauges so a #METRICS scrape (or
+  // the tool's --metrics-json dump) always shows what decodes are running
+  // under. beam 0 means unlimited, matching the wire/CLI convention.
+  auto& reg = obs::Registry::global();
+  reg.gauge("decode.config.beam").set(static_cast<double>(options.beam));
+  reg.gauge("decode.config.posterior_threshold").set(options.posterior_threshold);
+  reg.gauge("decode.config.quantized")
+      .set(static_cast<double>(options.quantization));
+}
+
+const crf::DecodeOptions& GraphNerModel::decode_options() const noexcept {
+  return crf_->decode_options();
+}
+
 std::vector<std::vector<text::Tag>> GraphNerModel::decode_crf(
     const std::vector<text::Sentence>& sentences) const {
   std::vector<std::vector<text::Tag>> out(sentences.size());
@@ -258,20 +274,33 @@ std::vector<std::vector<text::Tag>> GraphNerModel::decode_crf(
 std::vector<text::Tag> GraphNerModel::decode_one(
     const text::Sentence& sentence, crf::LinearChainCrf::Scratch& scratch,
     features::EncodeScratch& encode) const {
+  return decode_one(sentence, scratch, encode, crf_->decode_options());
+}
+
+std::vector<text::Tag> GraphNerModel::decode_one(
+    const text::Sentence& sentence, crf::LinearChainCrf::Scratch& scratch,
+    features::EncodeScratch& encode, const crf::DecodeOptions& options) const {
   if (sentence.size() == 0) return {};
   const crf::EncodedSentence& encoded =
       features::encode_for_inference(sentence, *extractor_, *index_, encode);
-  return crf_->viterbi(encoded, scratch);
+  return crf_->viterbi(encoded, scratch, options);
 }
 
 std::vector<text::Tag> GraphNerModel::decode_one_blended(
     const text::Sentence& sentence, crf::LinearChainCrf::Scratch& scratch,
     features::EncodeScratch& encode) const {
+  return decode_one_blended(sentence, scratch, encode, crf_->decode_options());
+}
+
+std::vector<text::Tag> GraphNerModel::decode_one_blended(
+    const text::Sentence& sentence, crf::LinearChainCrf::Scratch& scratch,
+    features::EncodeScratch& encode, const crf::DecodeOptions& options) const {
   const std::size_t length = sentence.size();
   if (length == 0) return {};
   const crf::EncodedSentence& encoded =
       features::encode_for_inference(sentence, *extractor_, *index_, encode);
-  const crf::SentencePosteriors posterior = crf_->posteriors(encoded, scratch);
+  const crf::SentencePosteriors posterior =
+      crf_->posteriors(encoded, scratch, options);
 
   // Algorithm 1 line 8 with X_ref in place of the propagated distributions:
   // positions whose 3-gram was seen labelled get the corpus-level anchor,

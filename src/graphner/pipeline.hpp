@@ -101,6 +101,15 @@ class GraphNerModel {
   GraphNerModel(GraphNerModel&&) noexcept = default;
   GraphNerModel& operator=(GraphNerModel&&) noexcept = default;
 
+  /// Default decode options (pruning + quantization, DESIGN.md §10) for
+  /// every decode / posterior entry point below, including the pipeline's
+  /// corpus-wide posterior passes. Forwards to the CRF (building quantized
+  /// tables eagerly) and publishes the decode.config.* gauges. Configure
+  /// before sharing the model across threads — not safe against concurrent
+  /// decodes, like set_weights.
+  void set_decode_options(const crf::DecodeOptions& options);
+  [[nodiscard]] const crf::DecodeOptions& decode_options() const noexcept;
+
   /// Pure-CRF decode (the paper's baseline rows).
   [[nodiscard]] std::vector<std::vector<text::Tag>> decode_crf(
       const std::vector<text::Sentence>& sentences) const;
@@ -113,6 +122,11 @@ class GraphNerModel {
   [[nodiscard]] std::vector<text::Tag> decode_one(
       const text::Sentence& sentence, crf::LinearChainCrf::Scratch& scratch,
       features::EncodeScratch& encode) const;
+  /// Same, decoding under explicit options instead of the model default
+  /// (per-request wire overrides in the serving runtime).
+  [[nodiscard]] std::vector<text::Tag> decode_one(
+      const text::Sentence& sentence, crf::LinearChainCrf::Scratch& scratch,
+      features::EncodeScratch& encode, const crf::DecodeOptions& options) const;
 
   /// Single-sentence GraphNER posterior-blend decode: CRF posteriors are
   /// mixed (coefficient alpha, as in Algorithm 1 line 8) with the model's
@@ -126,6 +140,9 @@ class GraphNerModel {
   [[nodiscard]] std::vector<text::Tag> decode_one_blended(
       const text::Sentence& sentence, crf::LinearChainCrf::Scratch& scratch,
       features::EncodeScratch& encode) const;
+  [[nodiscard]] std::vector<text::Tag> decode_one_blended(
+      const text::Sentence& sentence, crf::LinearChainCrf::Scratch& scratch,
+      features::EncodeScratch& encode, const crf::DecodeOptions& options) const;
 
   struct TestResult {
     std::vector<std::vector<text::Tag>> baseline_tags;  ///< pure CRF
@@ -192,11 +209,16 @@ class GraphNerModel {
   /// output (every unordered table is written sorted).
   void save(std::ostream& out) const;
   static GraphNerModel load(std::istream& in);
+  /// load() then set_decode_options(): quantized tables are built once at
+  /// load time, before the model is shared with any worker.
+  static GraphNerModel load(std::istream& in, const crf::DecodeOptions& options);
 
   /// save() to `path` crash-safely (tmp + fsync + rename): a crash
   /// mid-save leaves the previous complete file, never a torn one.
   void save_file(const std::string& path) const;
   static GraphNerModel load_file(const std::string& path);
+  static GraphNerModel load_file(const std::string& path,
+                                 const crf::DecodeOptions& options);
 
  private:
   GraphNerModel() = default;

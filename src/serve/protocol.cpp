@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cstdio>
 #include <sstream>
+#include <stdexcept>
 
 #include "src/util/strings.hpp"
 
@@ -157,6 +158,49 @@ struct JsonCursor {
   return out;
 }
 
+/// Parse the key=value words of a "#DECODE" line. Returns false (with
+/// `error` filled) on anything unrecognized — silently ignoring a typo
+/// would leave the connection decoding under the wrong options.
+[[nodiscard]] bool parse_decode_args(const std::string& args,
+                                     std::optional<crf::DecodeOptions>& out,
+                                     std::string& error) {
+  if (args.empty() || args == "off" || args == "reset") {
+    out.reset();
+    return true;
+  }
+  crf::DecodeOptions options;
+  for (const std::string& word : split_tokens(args)) {
+    const std::size_t eq = word.find('=');
+    if (eq == std::string::npos) {
+      error = "expected key=value, got \"" + word + "\"";
+      return false;
+    }
+    const std::string key = word.substr(0, eq);
+    const std::string value = word.substr(eq + 1);
+    try {
+      if (key == "beam") {
+        options.beam = value == "inf" ? 0 : std::stoul(value);
+      } else if (key == "threshold") {
+        options.posterior_threshold = std::stod(value);
+        if (options.posterior_threshold < 0.0 ||
+            options.posterior_threshold >= 1.0)
+          throw std::invalid_argument("threshold must be in [0, 1)");
+      } else if (key == "quantized") {
+        options.quantization = crf::parse_quantization(value);
+      } else {
+        error = "unknown DECODE key \"" + key +
+                "\" (expected beam, threshold or quantized)";
+        return false;
+      }
+    } catch (const std::exception&) {
+      error = "bad DECODE value \"" + word + "\"";
+      return false;
+    }
+  }
+  out = options;
+  return true;
+}
+
 /// Split an optional '@<ms>' deadline suffix off a TSV id. Only a
 /// non-empty all-digit suffix counts, so ids that legitimately contain
 /// '@' (emails, handles) still round-trip unchanged.
@@ -199,6 +243,14 @@ ParsedLine parse_request_line(const std::string& line) {
       return out;
     }
     out.kind = LineKind::kMetrics;
+    return out;
+  }
+  if (trimmed == "#DECODE" || trimmed.rfind("#DECODE ", 0) == 0) {
+    const std::string args{util::trim(trimmed.substr(7))};
+    if (parse_decode_args(args, out.decode, out.error))
+      out.kind = LineKind::kDecode;
+    else
+      out.kind = LineKind::kMalformed;
     return out;
   }
   if (trimmed == "#QUIT") {

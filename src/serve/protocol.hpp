@@ -18,6 +18,20 @@
 //   #METRICS TSV    same snapshot as "name<TAB>value" lines, then "#END"
 //   #METRICS PROM   same snapshot in Prometheus text format, then "# EOF"
 //
+// "#DECODE" selects the decode options (DESIGN.md §10) for every later
+// request on the connection:
+//
+//   #DECODE beam=4 threshold=0.001 quantized=int16
+//   #DECODE off
+//
+// Any subset of beam= (0 or inf = unlimited), threshold= and quantized=
+// (off | int16 | int8) may appear; omitted knobs keep their exact
+// defaults. "#DECODE off" (or a bare "#DECODE") drops the connection
+// override and returns to the server's configured options. Well-formed
+// lines produce no reply — pipelined clients keep their 1:1
+// request/response accounting — while malformed ones answer with the
+// usual parse-error line.
+//
 // Non-OK statuses put the error detail where the tags would go. The JSON
 // reader handles exactly this shape (string escapes included) — it is a
 // protocol parser, not a general JSON library.
@@ -30,9 +44,11 @@
 // "degraded":true in JSON — same tags shape, lower decode tier.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "src/crf/decode_options.hpp"
 #include "src/serve/types.hpp"
 
 namespace graphner::serve {
@@ -48,6 +64,7 @@ struct Request {
 enum class LineKind {
   kRequest,    ///< `request` is filled
   kMetrics,    ///< "#METRICS [JSON|TSV|PROM]" — `metrics_flavour` is filled
+  kDecode,     ///< "#DECODE ..." — `decode` is filled (nullopt = reset)
   kQuit,       ///< "#QUIT"
   kEmpty,      ///< blank line — ignore
   kMalformed,  ///< `error` is filled
@@ -65,6 +82,9 @@ struct ParsedLine {
   LineKind kind = LineKind::kMalformed;
   Request request;
   MetricsFlavour metrics_flavour = MetricsFlavour::kLegacy;
+  /// For kDecode: the connection's new decode override, or nullopt for
+  /// "#DECODE off" (drop the override, use the server default).
+  std::optional<crf::DecodeOptions> decode;
   std::string error;
 };
 

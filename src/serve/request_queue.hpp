@@ -18,8 +18,10 @@
 #include <deque>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <vector>
 
+#include "src/crf/decode_options.hpp"
 #include "src/serve/types.hpp"
 #include "src/text/sentence.hpp"
 
@@ -49,6 +51,9 @@ struct PendingRequest {
   /// where it matters: right before the (expensive) decode.
   std::chrono::steady_clock::time_point deadline =
       std::chrono::steady_clock::time_point::max();
+  /// Per-request decode options (pruning / quantization); nullopt decodes
+  /// under the service default. Set by the wire's "#DECODE" control line.
+  std::optional<crf::DecodeOptions> decode;
 
   [[nodiscard]] bool expired(std::chrono::steady_clock::time_point now) const noexcept {
     return now > deadline;

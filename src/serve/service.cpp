@@ -29,6 +29,7 @@ TaggingService::TaggingService(const core::GraphNerModel& model,
                                ServiceConfig config)
     : model_(model),
       config_(config),
+      decode_default_(config.decode ? *config.decode : model.decode_options()),
       queue_(config.batching) {
   // A degrade policy with low > high would flap; clamp to a sane hysteresis.
   if (config_.degrade.low_watermark > config_.degrade.high_watermark)
@@ -42,15 +43,20 @@ TaggingService::TaggingService(const core::GraphNerModel& model,
                  config.batching.max_queue_depth, ", batch delay ",
                  config.batching.max_delay.count(), " us",
                  config_.blend_decode ? ", blend decode" : "",
-                 config_.degrade.high_watermark > 0 ? ", degradable" : "");
+                 config_.degrade.high_watermark > 0 ? ", degradable" : "",
+                 decode_default_.exact()
+                     ? std::string{}
+                     : ", decode " + decode_default_.to_string());
 }
 
 TaggingService::~TaggingService() { stop(); }
 
-std::future<TagResponse> TaggingService::submit(text::Sentence sentence,
-                                                std::chrono::milliseconds deadline) {
+std::future<TagResponse> TaggingService::submit(
+    text::Sentence sentence, std::chrono::milliseconds deadline,
+    std::optional<crf::DecodeOptions> decode) {
   PendingRequest request;
   request.sentence = std::move(sentence);
+  request.decode = decode;
   request.enqueued_at = std::chrono::steady_clock::now();
   if (deadline.count() <= 0) deadline = config_.default_deadline;
   if (deadline.count() > 0) request.deadline = request.enqueued_at + deadline;
@@ -176,6 +182,9 @@ void TaggingService::worker_loop([[maybe_unused]] std::size_t worker_id) {
         continue;
       }
 
+      const crf::DecodeOptions& opts =
+          request.decode ? *request.decode : decode_default_;
+
       const bool try_coalesce = coalesce && batch.size() > 1;
       if (try_coalesce) {
         key.clear();
@@ -183,6 +192,9 @@ void TaggingService::worker_loop([[maybe_unused]] std::size_t worker_id) {
           key += token;
           key += '\x1f';  // unit separator: never produced by tokenization
         }
+        // Two requests only share a decode when they share its options:
+        // a pruned answer must never be fanned out to an exact request.
+        if (request.decode) key += opts.to_string();
         if (const auto hit = decoded.find(key); hit != decoded.end()) {
           response.tags = hit->second.first;       // shared decode's tags
           response.decode_us = hit->second.second; // ...and its cost
@@ -199,9 +211,9 @@ void TaggingService::worker_loop([[maybe_unused]] std::size_t worker_id) {
       try {
         response.tags = blend
                             ? model_.decode_one_blended(request.sentence,
-                                                        scratch, encode)
+                                                        scratch, encode, opts)
                             : model_.decode_one(request.sentence, scratch,
-                                                encode);
+                                                encode, opts);
       } catch (const std::exception& e) {
         response.status = Status::kError;
         response.error = e.what();

@@ -18,6 +18,7 @@
 #include <atomic>
 #include <cstddef>
 #include <future>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -52,6 +53,11 @@ struct ServiceConfig {
   /// off, degradation has nothing cheaper to switch to and is inert.
   bool blend_decode = false;
   DegradePolicy degrade;
+  /// Default decode options (pruning / quantization, DESIGN.md §10) for
+  /// requests that carry none; nullopt inherits whatever the model was
+  /// configured with (GraphNerModel::set_decode_options / load-time
+  /// quantization).
+  std::optional<crf::DecodeOptions> decode;
 };
 
 class TaggingService {
@@ -68,8 +74,16 @@ class TaggingService {
   /// with tags on success, or with a terminal non-OK status (kOverloaded /
   /// kShutdown immediately, kDeadlineExceeded if the deadline passes while
   /// queued). `deadline` <= 0 uses the config default; > 0 overrides it.
+  /// `decode`, when set, overrides the service's decode options for this
+  /// request only (the wire's "#DECODE" control line).
   [[nodiscard]] std::future<TagResponse> submit(
-      text::Sentence sentence, std::chrono::milliseconds deadline = {});
+      text::Sentence sentence, std::chrono::milliseconds deadline = {},
+      std::optional<crf::DecodeOptions> decode = std::nullopt);
+
+  /// The options requests decode under when they carry no override.
+  [[nodiscard]] const crf::DecodeOptions& default_decode_options() const noexcept {
+    return decode_default_;
+  }
 
   /// Synchronous convenience: submit + wait.
   [[nodiscard]] TagResponse tag(text::Sentence sentence);
@@ -107,6 +121,7 @@ class TaggingService {
 
   const core::GraphNerModel& model_;
   ServiceConfig config_;
+  crf::DecodeOptions decode_default_;  ///< config_.decode or the model's own
   BatchQueue queue_;
   ServiceMetrics metrics_;
   std::vector<std::thread> workers_;

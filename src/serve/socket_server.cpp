@@ -148,6 +148,9 @@ void SocketServer::handle_connection(std::size_t slot) {
   char chunk[4096];
   // Requests submitted but not yet answered, in arrival order.
   std::deque<std::pair<Request, std::future<TagResponse>>> in_flight;
+  // Connection-scoped decode override, set by "#DECODE" lines; nullopt
+  // decodes under the service default.
+  std::optional<crf::DecodeOptions> conn_decode;
   bool quit = false;
 
   try {
@@ -164,13 +167,19 @@ void SocketServer::handle_connection(std::size_t slot) {
             sentence.id = parsed.request.id;
             sentence.tokens = std::move(parsed.request.tokens);
             const std::chrono::milliseconds deadline{parsed.request.deadline_ms};
-            in_flight.emplace_back(std::move(parsed.request),
-                                   service_.submit(std::move(sentence), deadline));
+            in_flight.emplace_back(
+                std::move(parsed.request),
+                service_.submit(std::move(sentence), deadline, conn_decode));
             break;
           }
           case LineKind::kMetrics:
             want_metrics = true;
             metrics_flavour = parsed.metrics_flavour;
+            break;
+          case LineKind::kDecode:
+            // Applies to every later request on this connection; no reply,
+            // so pipelined clients keep 1:1 request/response accounting.
+            conn_decode = parsed.decode;
             break;
           case LineKind::kQuit:
             quit = true;

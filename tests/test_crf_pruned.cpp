@@ -1,0 +1,447 @@
+// Pruned / quantized decode kernels (src/crf/pruned.cpp, DESIGN.md §10).
+//
+// Contract under test:
+//   * exact options (and the default) stay bit-identical to the scaled
+//     kernels — the pruned layer must be invisible until asked for;
+//   * a forced all-active float prune (beam >= S, threshold 0) is also
+//     bit-identical: the fused beam search evaluates the same operands in
+//     the same order and merely declines to drop anything;
+//   * finite beams diverge boundedly: returned paths are legal, their path
+//     scores are monotone in the beam width and never exceed the exact
+//     optimum, and pruned log Z never exceeds the exact log Z;
+//   * quantized emission tables round-trip within the advertised drift;
+//   * degenerate lattices fall back to the exact kernels transparently;
+//   * scratches may be reused across lengths and shared-model decodes may
+//     run concurrently (one scratch per thread).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "src/crf/decode_options.hpp"
+#include "src/crf/model.hpp"
+#include "src/crf/state_space.hpp"
+#include "src/text/tag.hpp"
+#include "src/util/math.hpp"
+#include "src/util/rng.hpp"
+
+namespace graphner::crf {
+namespace {
+
+using text::kNumTags;
+using text::Tag;
+
+EncodedSentence random_sentence(std::size_t length, std::size_t num_features,
+                                util::Rng& rng) {
+  EncodedSentence s;
+  s.features.resize(length);
+  for (auto& feats : s.features) {
+    for (int j = 0; j < 12; ++j)
+      feats.push_back(static_cast<FeatureIndex::Id>(rng.below(num_features)));
+    std::sort(feats.begin(), feats.end());
+    feats.erase(std::unique(feats.begin(), feats.end()), feats.end());
+  }
+  return s;
+}
+
+DecodeOptions make_options(std::size_t beam, double threshold,
+                           Quantization quant) {
+  DecodeOptions o;
+  o.beam = beam;
+  o.posterior_threshold = threshold;
+  o.quantization = quant;
+  return o;
+}
+
+/// True when the decoded state path starts at a legal start state and every
+/// consecutive pair is a legal transition (slot_ holds -1 for illegal pairs,
+/// which transition_slot surfaces as an out-of-range index).
+bool legal_path(const StateSpace& space, const std::vector<StateId>& states) {
+  const auto& starts = space.start_states();
+  if (std::find(starts.begin(), starts.end(), states[0]) == starts.end())
+    return false;
+  for (std::size_t i = 1; i < states.size(); ++i)
+    if (space.transition_slot(states[i - 1], states[i]) >=
+        space.transitions().size())
+      return false;
+  return true;
+}
+
+/// Log-domain score of a specific tag path under the model's raw weights
+/// (start + emissions + transitions); the yardstick for bounded divergence.
+double path_score(const LinearChainCrf& model, const EncodedSentence& s,
+                  const std::vector<Tag>& tags) {
+  const StateSpace& space = model.space();
+  const std::vector<StateId> states = space.encode(tags);
+  const auto w = model.weights();
+  double score = w[model.start_base() + states[0]];
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    for (const FeatureIndex::Id f : s.features[i])
+      score += w[model.emission_slot(f, states[i])];
+    if (i > 0)
+      score += w[model.transition_base() +
+                 space.transition_slot(states[i - 1], states[i])];
+  }
+  return score;
+}
+
+LinearChainCrf random_model(const StateSpace& space, std::size_t num_features,
+                            double stddev, std::uint64_t seed) {
+  LinearChainCrf model(space, num_features);
+  util::Rng rng(seed);
+  std::vector<double> w(model.num_parameters());
+  for (auto& x : w) x = rng.normal(0.0, stddev);
+  model.set_weights(w);
+  return model;
+}
+
+void expect_posteriors_bit_identical(const SentencePosteriors& a,
+                                     const SentencePosteriors& b) {
+  EXPECT_DOUBLE_EQ(a.log_z, b.log_z);
+  ASSERT_EQ(a.tag_marginals.size(), b.tag_marginals.size());
+  for (std::size_t i = 0; i < a.tag_marginals.size(); ++i)
+    for (std::size_t t = 0; t < kNumTags; ++t)
+      EXPECT_DOUBLE_EQ(a.tag_marginals[i][t], b.tag_marginals[i][t])
+          << "position " << i << " tag " << t;
+  for (std::size_t i = 1; i < a.pairwise_marginals.size(); ++i)
+    for (std::size_t p = 0; p < kNumTags * kNumTags; ++p)
+      EXPECT_DOUBLE_EQ(a.pairwise_marginals[i][p], b.pairwise_marginals[i][p])
+          << "position " << i << " pair " << p;
+}
+
+TEST(PrunedExact, DefaultOptionsAreExactAndBitIdentical) {
+  for (const auto& space : {StateSpace::order1(), StateSpace::order2()}) {
+    SCOPED_TRACE("order " + std::to_string(space.order()));
+    const auto model = random_model(space, 300, 0.5, 31);
+    EXPECT_TRUE(model.decode_options().exact());
+
+    util::Rng rng(32);
+    LinearChainCrf::Scratch sa, sb;
+    for (const std::size_t length : {1UL, 2UL, 17UL, 48UL}) {
+      const auto sentence = random_sentence(length, 300, rng);
+      // Explicit exact options against the two-argument default entry point.
+      expect_posteriors_bit_identical(
+          model.posteriors(sentence, sa, DecodeOptions{}),
+          model.posteriors(sentence, sb));
+      EXPECT_EQ(model.viterbi(sentence, sa, DecodeOptions{}),
+                model.viterbi(sentence, sb));
+    }
+  }
+}
+
+TEST(PrunedExact, AllActiveFloatPruneBitIdentical) {
+  // beam >= S with threshold 0 runs the full pruned machinery without
+  // dropping anything: same operands, same order, bit-identical outputs —
+  // the golden equivalence the bench's beam=inf row relies on.
+  for (const auto& space : {StateSpace::order1(), StateSpace::order2()}) {
+    SCOPED_TRACE("order " + std::to_string(space.order()));
+    const auto model = random_model(space, 300, 0.5, 33);
+    const auto all_active = make_options(16, 0.0, Quantization::kFloat);
+
+    util::Rng rng(34);
+    LinearChainCrf::Scratch pruned, exact;
+    for (const std::size_t length : {1UL, 2UL, 17UL, 48UL}) {
+      SCOPED_TRACE("length " + std::to_string(length));
+      const auto sentence = random_sentence(length, 300, rng);
+
+      expect_posteriors_bit_identical(
+          model.posteriors(sentence, pruned, all_active),
+          model.posteriors(sentence, exact));
+      EXPECT_FALSE(pruned.prune.fallback);
+      // "All active" means every *reachable* state: position 0 activates
+      // only legal start states, so the fraction dips below 1 for short
+      // sentences but nothing reachable is ever dropped.
+      EXPECT_GT(pruned.prune.active_fraction(), 0.0);
+      EXPECT_LE(pruned.prune.active_fraction(), 1.0);
+
+      EXPECT_EQ(model.viterbi(sentence, pruned, all_active),
+                model.viterbi(sentence, exact));
+      EXPECT_FALSE(pruned.prune.fallback);
+    }
+  }
+}
+
+TEST(PrunedBeam, PathScoresBoundedByExact) {
+  // Bounded divergence: every beam returns a *legal* path whose score never
+  // exceeds the exact optimum (the exact path is the global max), and a
+  // beam covering all states recovers the exact score. Intermediate beams
+  // are not asserted monotone — survivor sets need not nest across widths —
+  // only bounded.
+  const auto space = StateSpace::order2();
+  const auto model = random_model(space, 300, 0.5, 35);
+  util::Rng rng(36);
+  LinearChainCrf::Scratch sc;
+
+  for (int rep = 0; rep < 20; ++rep) {
+    const auto sentence = random_sentence(1 + rng.below(40), 300, rng);
+    const double exact_score =
+        path_score(model, sentence, model.viterbi(sentence, sc));
+
+    for (const std::size_t beam : {1UL, 2UL, 4UL, 8UL, 9UL}) {
+      SCOPED_TRACE("beam " + std::to_string(beam));
+      const auto tags = model.viterbi(
+          sentence, sc, make_options(beam, 0.0, Quantization::kFloat));
+      ASSERT_EQ(tags.size(), sentence.size());
+      ASSERT_TRUE(legal_path(space, space.encode(tags)));
+      const double score = path_score(model, sentence, tags);
+      EXPECT_LE(score, exact_score + 1e-9);
+      EXPECT_FALSE(sc.prune.fallback);
+      EXPECT_LE(sc.prune.active_states, sentence.size() * beam);
+      EXPECT_LE(sc.prune.active_fraction(), 1.0);
+      if (beam >= space.num_states())  // all active: exact path recovered
+        EXPECT_NEAR(score, exact_score, 1e-9);
+    }
+  }
+}
+
+TEST(PrunedBeam, ForwardBackwardLogZNeverExceedsExact) {
+  // Pruning removes path mass, so the survivor partition function is a lower
+  // bound; rows of the folded marginals still sum to 1 by construction.
+  const auto space = StateSpace::order2();
+  const auto model = random_model(space, 300, 0.5, 37);
+  util::Rng rng(38);
+  LinearChainCrf::Scratch sc;
+
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto sentence = random_sentence(2 + rng.below(30), 300, rng);
+    const double exact_log_z = model.posteriors(sentence, sc).log_z;
+    for (const std::size_t beam : {2UL, 4UL, 8UL}) {
+      SCOPED_TRACE("beam " + std::to_string(beam));
+      const auto post = model.posteriors(
+          sentence, sc, make_options(beam, 1e-4, Quantization::kFloat));
+      EXPECT_FALSE(sc.prune.fallback);
+      EXPECT_LE(post.log_z, exact_log_z + 1e-9);
+      for (const auto& row : post.tag_marginals) {
+        double sum = 0.0;
+        for (const double v : row) sum += v;
+        EXPECT_NEAR(sum, 1.0, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(PrunedThreshold, AggressiveCutStaysLegal) {
+  // A threshold near 1 keeps only states within a whisker of the per-row
+  // best; the best itself always survives, so decode still returns a legal
+  // path and never needs the dead-end fallback in the shipped spaces.
+  for (const auto& space : {StateSpace::order1(), StateSpace::order2()}) {
+    SCOPED_TRACE("order " + std::to_string(space.order()));
+    const auto model = random_model(space, 300, 1.0, 39);
+    util::Rng rng(40);
+    LinearChainCrf::Scratch sc;
+    const auto harsh = make_options(0, 0.99, Quantization::kFloat);
+
+    for (int rep = 0; rep < 10; ++rep) {
+      const auto sentence = random_sentence(1 + rng.below(30), 300, rng);
+      const auto tags = model.viterbi(sentence, sc, harsh);
+      ASSERT_EQ(tags.size(), sentence.size());
+      ASSERT_TRUE(legal_path(space, space.encode(tags)));
+      EXPECT_FALSE(sc.prune.fallback);
+      EXPECT_LE(path_score(model, sentence, tags),
+                path_score(model, sentence, model.viterbi(sentence, sc)) + 1e-9);
+    }
+  }
+}
+
+TEST(PrunedQuant, RoundTripWithinAdvertisedDrift) {
+  const auto space = StateSpace::order2();
+  auto model = random_model(space, 400, 0.7, 41);
+  const auto w = model.weights();
+  double absmax = 0.0;
+  for (std::size_t j = 0; j < model.transition_base(); ++j)
+    absmax = std::max(absmax, std::abs(w[j]));
+
+  util::Rng rng(42);
+  std::vector<double> exact, quant;
+  for (const auto [mode, levels] :
+       {std::pair{Quantization::kInt16, 32767.0},
+        std::pair{Quantization::kInt8, 127.0}}) {
+    SCOPED_TRACE(quantization_name(mode));
+    model.prepare_quantization(mode);
+    ASSERT_TRUE(model.quantization_ready(mode));
+    // Rounding to the nearest level loses at most half a step of the
+    // per-feature-row scale; the drift accessor reports the table-wide max.
+    const double drift = model.quantization_drift();
+    EXPECT_GT(drift, 0.0);
+    EXPECT_LE(drift, absmax / (2.0 * levels) * (1.0 + 1e-6));
+
+    for (int rep = 0; rep < 5; ++rep) {
+      const auto sentence = random_sentence(1 + rng.below(20), 400, rng);
+      model.emission_scores(sentence, exact);
+      model.emission_scores(sentence, mode, quant);
+      ASSERT_EQ(exact.size(), quant.size());
+      for (std::size_t i = 0; i < sentence.size(); ++i) {
+        // Each active feature contributes at most `drift` of error (plus
+        // vanishing float accumulator rounding).
+        const double bound =
+            static_cast<double>(sentence.features[i].size()) * drift + 1e-4;
+        for (std::size_t s = 0; s < space.num_states(); ++s)
+          EXPECT_NEAR(quant[i * 9 + s], exact[i * 9 + s], bound)
+              << "position " << i << " state " << s;
+      }
+    }
+  }
+
+  // The float "mode" is the exact kernel itself.
+  const auto sentence = random_sentence(7, 400, rng);
+  model.emission_scores(sentence, exact);
+  model.emission_scores(sentence, Quantization::kFloat, quant);
+  for (std::size_t j = 0; j < exact.size(); ++j)
+    EXPECT_DOUBLE_EQ(quant[j], exact[j]);
+}
+
+TEST(PrunedQuant, UnpreparedTableDowngradesToFloat) {
+  const auto space = StateSpace::order2();
+  auto model = random_model(space, 300, 0.5, 43);
+  EXPECT_FALSE(model.quantization_ready(Quantization::kInt8));
+
+  util::Rng rng(44);
+  const auto sentence = random_sentence(12, 300, rng);
+  LinearChainCrf::Scratch sc;
+  // Asking for an unprepared table must not crash or change results: the
+  // decode silently runs in float.
+  EXPECT_EQ(model.viterbi(sentence, sc, make_options(0, 0.0, Quantization::kInt8)),
+            model.viterbi(sentence, sc));
+
+  model.prepare_quantization(Quantization::kInt8);
+  EXPECT_TRUE(model.quantization_ready(Quantization::kInt8));
+  // set_weights() rebuilds (not drops) prepared tables.
+  std::vector<double> w(model.weights().begin(), model.weights().end());
+  w[0] += 1.0;
+  model.set_weights(w);
+  EXPECT_TRUE(model.quantization_ready(Quantization::kInt8));
+
+  model.prepare_quantization(Quantization::kFloat);  // drops the tables
+  EXPECT_FALSE(model.quantization_ready(Quantization::kInt8));
+}
+
+TEST(PrunedFallback, DegenerateScaleFallsBackToExact) {
+  // The ScaledFallback construction from test_crf_scaled: position 4 forces
+  // tag O, position 5 forces tag I, O -> I is illegal, so every surviving
+  // forward mass underflows at position 5 and the pruned forward pass must
+  // hand the sentence to the exact kernel (whose own log-space net then
+  // fires). Outputs must match the exact path bit for bit.
+  for (const auto& space : {StateSpace::order1(), StateSpace::order2()}) {
+    SCOPED_TRACE("order " + std::to_string(space.order()));
+    LinearChainCrf model(space, 16);
+    std::vector<double> w(model.num_parameters(), 0.0);
+    for (StateId s = 0; s < space.num_states(); ++s) {
+      if (space.tag_of(s) == Tag::kO) w[model.emission_slot(0, s)] = 800.0;
+      if (space.tag_of(s) == Tag::kI) w[model.emission_slot(1, s)] = 800.0;
+    }
+    model.set_weights(w);
+
+    EncodedSentence sentence;
+    sentence.features.resize(8);
+    for (std::size_t i = 0; i < 8; ++i)
+      sentence.features[i] = {static_cast<FeatureIndex::Id>(i + 2)};
+    sentence.features[4] = {0};
+    sentence.features[5] = {1};
+
+    // Beam S-1 keeps the pruned forward pass engaged (a beam >= S is
+    // normalized away to the dense path) while pruning too little to
+    // matter before the degenerate position.
+    const auto narrow =
+        make_options(space.num_states() - 1, 0.0, Quantization::kFloat);
+    LinearChainCrf::Scratch pruned, exact;
+    const auto post = model.posteriors(sentence, pruned, narrow);
+    EXPECT_TRUE(pruned.prune.fallback);
+    ASSERT_TRUE(std::isfinite(post.log_z));
+    expect_posteriors_bit_identical(post, model.posteriors(sentence, exact));
+    // Viterbi works in the log domain, so it never hits the scale
+    // degeneracy; the beam can legitimately resolve the tie between the
+    // two 800-scoring paths differently from the exact kernel. Assert
+    // optimality, not tag identity.
+    const auto pruned_tags = model.viterbi(sentence, pruned, narrow);
+    const auto exact_tags = model.viterbi(sentence, exact);
+    EXPECT_TRUE(legal_path(space, space.encode(pruned_tags)));
+    EXPECT_DOUBLE_EQ(path_score(model, sentence, pruned_tags),
+                     path_score(model, sentence, exact_tags));
+  }
+}
+
+TEST(PrunedScratch, ReuseAcrossLengthsMatchesFresh) {
+  const auto space = StateSpace::order2();
+  auto model = random_model(space, 200, 0.4, 45);
+  model.prepare_quantization(Quantization::kInt16);
+  const auto options = make_options(4, 1e-3, Quantization::kInt16);
+
+  util::Rng rng(46);
+  LinearChainCrf::Scratch warm;
+  for (const std::size_t length : {50UL, 3UL, 27UL, 1UL, 64UL, 2UL}) {
+    SCOPED_TRACE("length " + std::to_string(length));
+    const auto sentence = random_sentence(length, 200, rng);
+    LinearChainCrf::Scratch fresh;
+    const auto a = model.posteriors(sentence, warm, options);
+    const auto b = model.posteriors(sentence, fresh, options);
+    expect_posteriors_bit_identical(a, b);
+    EXPECT_EQ(model.viterbi(sentence, warm, options),
+              model.viterbi(sentence, fresh, options));
+  }
+}
+
+TEST(PrunedConcurrent, SharedModelDistinctScratches) {
+  // One immutable model, one scratch per thread: pruned + quantized decode
+  // has no shared mutable state beyond the obs instruments (atomics).
+  const auto space = StateSpace::order2();
+  auto model = random_model(space, 300, 0.5, 47);
+  model.prepare_quantization(Quantization::kInt8);
+  const auto options = make_options(4, 1e-4, Quantization::kInt8);
+
+  util::Rng rng(48);
+  std::vector<EncodedSentence> pool;
+  for (int i = 0; i < 40; ++i)
+    pool.push_back(random_sentence(1 + rng.below(30), 300, rng));
+
+  std::vector<std::vector<Tag>> expected;
+  LinearChainCrf::Scratch sc;
+  for (const auto& s : pool) expected.push_back(model.viterbi(s, sc, options));
+
+  constexpr int kThreads = 4;
+  std::vector<std::vector<std::vector<Tag>>> got(kThreads);
+  {
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t)
+      workers.emplace_back([&, t] {
+        LinearChainCrf::Scratch local;
+        for (const auto& s : pool)
+          got[t].push_back(model.viterbi(s, local, options));
+      });
+    for (auto& th : workers) th.join();
+  }
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(got[t], expected);
+}
+
+TEST(PrunedOptions, PredicatesAndParsing) {
+  DecodeOptions o;
+  EXPECT_TRUE(o.exact());
+  EXPECT_FALSE(o.prunes());
+  o.beam = 8;
+  EXPECT_FALSE(o.exact());
+  EXPECT_TRUE(o.prunes());
+  o = DecodeOptions{};
+  o.posterior_threshold = 1e-3;
+  EXPECT_TRUE(o.prunes());
+  o = DecodeOptions{};
+  o.quantization = Quantization::kInt8;
+  EXPECT_FALSE(o.exact());
+  EXPECT_FALSE(o.prunes());  // quantized-but-unpruned has its own fast path
+
+  EXPECT_EQ(parse_quantization(""), Quantization::kFloat);
+  EXPECT_EQ(parse_quantization("off"), Quantization::kFloat);
+  EXPECT_EQ(parse_quantization("float"), Quantization::kFloat);
+  EXPECT_EQ(parse_quantization("int16"), Quantization::kInt16);
+  EXPECT_EQ(parse_quantization("int8"), Quantization::kInt8);
+  EXPECT_THROW(parse_quantization("int4"), std::invalid_argument);
+
+  const auto s = make_options(4, 1e-3, Quantization::kInt16).to_string();
+  EXPECT_NE(s.find("beam=4"), std::string::npos);
+  EXPECT_NE(s.find("int16"), std::string::npos);
+  EXPECT_NE(DecodeOptions{}.to_string().find("beam=inf"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace graphner::crf
