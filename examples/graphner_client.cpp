@@ -5,6 +5,9 @@
 //       printed to stdout in input order regardless of concurrency
 //   graphner_client --port 8765 --metrics
 //       fetch the server's metrics JSON
+//   graphner_client --port 8765 --admin "kill 1"
+//       send a "#REPLICA <cmd>" admin line (graphner_router only) and
+//       print the reply up to its #END terminator
 //
 // With --concurrency N the lines are striped over N connections, each of
 // which pipelines a window of requests — that is what drives the server's
@@ -55,6 +58,9 @@ int main(int argc, char** argv) {
   auto deadline_ms = cli.flag<long>(
       "deadline-ms", 0, "per-request deadline sent as the '@<ms>' id suffix");
   auto metrics = cli.toggle("metrics", "fetch the server metrics JSON and exit");
+  auto admin = cli.flag<std::string>(
+      "admin", "",
+      "send '#REPLICA <cmd>' (kill/revive/swap/status) and print the reply");
   auto metrics_format = cli.flag<std::string>(
       "metrics-format", "",
       "with --metrics: json | tsv | prom (empty = legacy service JSON)");
@@ -86,6 +92,22 @@ int main(int argc, char** argv) {
   connect_policy.max_retries = *retries;
 
   try {
+    if (!admin->empty()) {
+      // Admin replies are multi-line, terminated by "#END" (same framing
+      // as "#METRICS TSV"); print everything including the terminator.
+      serve::ClientConnection connection;
+      connection.connect(*host, *port, connect_policy);
+      connection.send_line("#REPLICA " + *admin);
+      std::string line;
+      do {
+        if (!connection.recv_line(line))
+          throw std::runtime_error("server closed before answering #REPLICA " +
+                                   *admin);
+        std::cout << line << '\n';
+      } while (line != "#END");
+      return 0;
+    }
+
     if (*metrics) {
       // Single-line flavours (legacy / JSON) answer with exactly one line;
       // the multi-line flavours end with a terminator line (#END for TSV,

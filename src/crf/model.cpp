@@ -18,6 +18,7 @@ LinearChainCrf::LinearChainCrf(StateSpace space, std::size_t num_features)
   const std::size_t total = num_features_ * space_.num_states() +
                             space_.transitions().size() + space_.num_states();
   weights_.assign(total, 0.0);
+  wspan_ = weights_;
 
   const std::size_t S = space_.num_states();
   state_tag_idx_.resize(S);
@@ -35,14 +36,27 @@ LinearChainCrf::LinearChainCrf(StateSpace space, std::size_t num_features)
 }
 
 void LinearChainCrf::set_weights(std::span<const double> w) {
-  assert(w.size() == weights_.size());
+  assert(w.size() == wspan_.size());
+  // A borrowed table is read-only; copying onto it would write through an
+  // mmap of the model file. Re-own storage before mutating.
+  if (weights_borrowed()) weights_.resize(w.size());
   std::copy(w.begin(), w.end(), weights_.begin());
+  wspan_ = weights_;
+  rebuild_weight_caches();
+}
+
+void LinearChainCrf::set_weights_view(std::span<const double> w) {
+  assert(w.size() == num_features_ * space_.num_states() +
+                         space_.transitions().size() + space_.num_states());
+  weights_.clear();
+  weights_.shrink_to_fit();  // the point: no heap copy of the table
+  wspan_ = w;
   rebuild_weight_caches();
 }
 
 void LinearChainCrf::rebuild_weight_caches() {
-  const double* trans = weights_.data() + transition_base();
-  const double* start = weights_.data() + start_base();
+  const double* trans = wspan_.data() + transition_base();
+  const double* start = wspan_.data() + start_base();
   const std::size_t num_trans = space_.transitions().size();
 
   exp_trans_slot_.resize(num_trans);
@@ -116,10 +130,10 @@ void LinearChainCrf::emission_scores(const EncodedSentence& sentence,
   out.resize(n * S);
   switch (S) {
     case 3:  // order-1 state space
-      accumulate_emission<3>(sentence, weights_.data(), out.data());
+      accumulate_emission<3>(sentence, wspan_.data(), out.data());
       return;
     case 9:  // order-2 state space
-      accumulate_emission<9>(sentence, weights_.data(), out.data());
+      accumulate_emission<9>(sentence, wspan_.data(), out.data());
       return;
     default:
       break;
@@ -128,7 +142,7 @@ void LinearChainCrf::emission_scores(const EncodedSentence& sentence,
   for (std::size_t i = 0; i < n; ++i) {
     double* row = out.data() + i * S;
     for (const FeatureIndex::Id f : sentence.features[i]) {
-      const double* w = weights_.data() + static_cast<std::size_t>(f) * S;
+      const double* w = wspan_.data() + static_cast<std::size_t>(f) * S;
       for (std::size_t s = 0; s < S; ++s) row[s] += w[s];
     }
   }
@@ -267,8 +281,8 @@ void LinearChainCrf::run_forward_backward_logspace(const EncodedSentence& senten
   std::vector<double> la(n * S, kNegInf);
   std::vector<double> lb(n * S, kNegInf);
 
-  const double* trans = weights_.data() + transition_base();
-  const double* start = weights_.data() + start_base();
+  const double* trans = wspan_.data() + transition_base();
+  const double* start = wspan_.data() + start_base();
   const auto& in_off = space_.incoming_offsets();
   const CsrEdge* in_edges = space_.incoming_edges().data();
   const double* trans_in = trans_in_.data();
@@ -338,8 +352,8 @@ double LinearChainCrf::log_likelihood(const EncodedSentence& sentence,
   run_forward_backward(sentence, sc);
 
   // Gold-path score.
-  const double* trans = weights_.data() + transition_base();
-  const double* start = weights_.data() + start_base();
+  const double* trans = wspan_.data() + transition_base();
+  const double* start = wspan_.data() + start_base();
   double gold = start[sentence.states[0]] + sc.emit[sentence.states[0]];
   for (std::size_t i = 1; i < n; ++i) {
     gold += trans[space_.transition_slot(sentence.states[i - 1], sentence.states[i])];
@@ -347,7 +361,7 @@ double LinearChainCrf::log_likelihood(const EncodedSentence& sentence,
   }
   const double log_likelihood = gold - sc.log_z;
   if (grad.empty()) return log_likelihood;
-  assert(grad.size() == weights_.size());
+  assert(grad.size() == wspan_.size());
 
   // Observed counts.
   for (std::size_t i = 0; i < n; ++i) {
@@ -495,7 +509,7 @@ std::vector<text::Tag> LinearChainCrf::viterbi_from_emit(
   const std::size_t n = sentence.size();
   const std::size_t S = space_.num_states();
 
-  const double* start = weights_.data() + start_base();
+  const double* start = wspan_.data() + start_base();
 
   sc.vscore.assign(n * S, kNegInf);
   sc.vback.assign(n * S, 0);

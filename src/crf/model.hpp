@@ -73,12 +73,25 @@ class LinearChainCrf {
 
   [[nodiscard]] const StateSpace& space() const noexcept { return space_; }
   [[nodiscard]] std::size_t num_features() const noexcept { return num_features_; }
-  [[nodiscard]] std::size_t num_parameters() const noexcept { return weights_.size(); }
+  [[nodiscard]] std::size_t num_parameters() const noexcept { return wspan_.size(); }
 
-  [[nodiscard]] std::span<const double> weights() const noexcept { return weights_; }
-  /// Replace all weights; also refreshes the cached exponentiated
-  /// transition/start tables (the only supported way to mutate weights).
+  [[nodiscard]] std::span<const double> weights() const noexcept { return wspan_; }
+  /// Replace all weights (copied into owned storage); also refreshes the
+  /// cached exponentiated transition/start tables. Together with
+  /// set_weights_view, the only supported ways to mutate weights.
   void set_weights(std::span<const double> w);
+  /// Borrow the weight table from caller-owned storage — typically a
+  /// read-only mmap of a model file — instead of copying it onto the heap:
+  /// every replica of a model then shares one page-cache copy of the
+  /// (dominant) emission table. The caller guarantees `w` outlives the CRF
+  /// (GraphNerModel keeps the mapping alive). Derived caches (exponentiated
+  /// transitions, quantized tables) are rebuilt into owned storage as usual.
+  void set_weights_view(std::span<const double> w);
+  /// True when the weight table is a borrowed view (set_weights_view)
+  /// rather than heap storage.
+  [[nodiscard]] bool weights_borrowed() const noexcept {
+    return wspan_.data() != weights_.data();
+  }
 
   /// Emission lattice: out[i * S + s] = sum of active feature weights.
   void emission_scores(const EncodedSentence& sentence,
@@ -222,7 +235,10 @@ class LinearChainCrf {
 
   StateSpace space_;
   std::size_t num_features_;
-  std::vector<double> weights_;  ///< [emission | transition | start]
+  std::vector<double> weights_;  ///< [emission | transition | start] (owned)
+  /// The active weight table: `weights_` after set_weights, caller-owned
+  /// storage after set_weights_view. Every reader goes through this span.
+  std::span<const double> wspan_;
 
   // Weight-derived caches, rebuilt by set_weights(). exp() of a transition
   // or start weight; per-edge copies follow the CSR edge order so the inner

@@ -311,11 +311,11 @@ void LinearChainCrf::prepare_quantization(Quantization mode) {
       return;
     case Quantization::kInt16:
       quant_drift_ =
-          quantize_table(weights_.data(), num_features_, S, quant16_, quant_scale16_);
+          quantize_table(wspan_.data(), num_features_, S, quant16_, quant_scale16_);
       break;
     case Quantization::kInt8:
       quant_drift_ =
-          quantize_table(weights_.data(), num_features_, S, quant8_, quant_scale8_);
+          quantize_table(wspan_.data(), num_features_, S, quant8_, quant_scale8_);
       break;
   }
   obs::Registry::global().gauge("decode.quant_drift").set(quant_drift_);
@@ -550,7 +550,7 @@ std::vector<text::Tag> LinearChainCrf::viterbi_pruned(const EncodedSentence& sen
   }
   emission_scores(sentence, options.quantization, sc.emit);
 
-  const double* start = weights_.data() + start_base();
+  const double* start = wspan_.data() + start_base();
   const std::size_t beam =
       options.beam == 0 ? S : std::min<std::size_t>(options.beam, S);
   const double log_thresh = options.posterior_threshold > 0.0

@@ -1,0 +1,98 @@
+// On-disk layout of the zero-copy mmap model format (DESIGN.md §11).
+//
+// The file is a fixed 64-byte header, a section table, then the section
+// payloads, each aligned to kAlign so an mmap'd pointer into any section
+// can be used directly as typed data (the "weights" section is read in
+// place as doubles — no parse, no heap copy). Everything is little-endian
+// and the header carries an endian tag so a big-endian reader fails with a
+// clear message instead of decoding garbage.
+//
+//   +--------------------+  offset 0
+//   | Header (64 B)      |  magic, version, endian tag, section count,
+//   |                    |  payload fingerprint, total file size
+//   +--------------------+  offset 64
+//   | SectionEntry[n]    |  name, offset, size, alignment (48 B each)
+//   +--------------------+
+//   | ...pad to 64...    |
+//   +--------------------+  aligned
+//   | "meta"   payload   |  text metadata: the same sections save() writes,
+//   |                    |  minus the weight table (model_io.cpp save_head)
+//   +--------------------+  aligned
+//   | "weights" payload  |  raw double[count] — mapped, never copied
+//   +--------------------+
+//
+// The header's payload_fingerprint (FNV-1a over every payload in table
+// order) makes truncation *and* bit-rot detectable before any byte is
+// trusted; file_size makes trailing garbage detectable, mirroring the text
+// format's "end" sentinel checks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace graphner::core::model_format {
+
+/// First 8 bytes of the file. Distinct from the text format's
+/// "graphner-model" first bytes so load_auto_file can sniff the format.
+inline constexpr char kMagic[8] = {'G', 'N', 'E', 'R', 'M', 'M', 'A', 'P'};
+inline constexpr std::uint32_t kVersion = 1;
+/// Written as the literal 0x01020304 by the saving machine; reads back
+/// permuted on a machine of the other byte order.
+inline constexpr std::uint32_t kEndianTag = 0x01020304u;
+/// Every section payload starts at a multiple of this (cache line; also a
+/// multiple of alignof(double), which is what the weights section needs).
+inline constexpr std::uint64_t kAlign = 64;
+
+inline constexpr std::string_view kSectionMeta = "meta";
+inline constexpr std::string_view kSectionWeights = "weights";
+
+struct Header {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t endian_tag;
+  std::uint32_t section_count;
+  std::uint32_t reserved;
+  std::uint64_t payload_fingerprint;  ///< FNV-1a over payloads, table order
+  std::uint64_t file_size;            ///< total bytes, incl. header + pad
+  char pad[24];
+};
+static_assert(sizeof(Header) == 64, "header must stay 64 bytes");
+
+struct SectionEntry {
+  char name[16];  ///< NUL-padded
+  std::uint64_t offset;
+  std::uint64_t size;
+  std::uint64_t align;  ///< alignment this section was written with
+  std::uint64_t reserved;
+
+  [[nodiscard]] std::string_view name_view() const {
+    const std::size_t len = ::strnlen(name, sizeof(name));
+    return {name, len};
+  }
+};
+static_assert(sizeof(SectionEntry) == 48, "section entry must stay 48 bytes");
+
+/// 64-bit FNV-1a; incremental (seed the next call with the previous
+/// result) so the header fingerprint chains over all payloads.
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnvPrime = 0x00000100000001b3ull;
+
+[[nodiscard]] inline std::uint64_t fnv1a(const void* data, std::size_t size,
+                                         std::uint64_t seed = kFnvOffsetBasis) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+[[nodiscard]] inline std::uint64_t align_up(std::uint64_t offset,
+                                            std::uint64_t align) {
+  return (offset + align - 1) / align * align;
+}
+
+}  // namespace graphner::core::model_format

@@ -42,7 +42,23 @@ void expect_token(std::istream& in, const std::string& expected) {
 void GraphNerModel::save(std::ostream& out) const {
   out.precision(17);
   out << kMagic << ' ' << kVersion << '\n';
+  save_head(out);
 
+  const auto weights = crf_->weights();
+  out << "weights " << weights.size() << '\n';
+  for (std::size_t i = 0; i < weights.size(); ++i)
+    out << weights[i] << ((i + 1) % 8 == 0 ? '\n' : ' ');
+  out << '\n';
+
+  out << "reference\n";
+  reference_->save(out);
+  out << "end\n";
+}
+
+// Everything between the magic line and the weights. Shared with the mmap
+// format's "meta" section, which stores these same text sections but keeps
+// the weight doubles raw (model_mmap.cpp).
+void GraphNerModel::save_head(std::ostream& out) const {
   out << "config " << static_cast<int>(config_.profile) << ' ' << config_.crf_order
       << ' ' << config_.alpha << '\n';
   out << "propagation " << config_.propagation.mu << ' ' << config_.propagation.nu
@@ -77,16 +93,6 @@ void GraphNerModel::save(std::ostream& out) const {
   out << "features " << index_->size() << '\n';
   for (crf::FeatureIndex::Id id = 0; id < index_->size(); ++id)
     out << index_->name(id) << '\n';
-
-  const auto weights = crf_->weights();
-  out << "weights " << weights.size() << '\n';
-  for (std::size_t i = 0; i < weights.size(); ++i)
-    out << weights[i] << ((i + 1) % 8 == 0 ? '\n' : ' ');
-  out << '\n';
-
-  out << "reference\n";
-  reference_->save(out);
-  out << "end\n";
 }
 
 GraphNerModel GraphNerModel::load(std::istream& in) {
@@ -100,6 +106,43 @@ GraphNerModel GraphNerModel::load(std::istream& in) {
                              std::to_string(kVersion) + ")");
 
   GraphNerModel model;
+  load_head(in, model);
+
+  expect_token(in, "weights");
+  std::size_t weight_count = 0;
+  in >> weight_count;
+  if (weight_count != model.crf_->num_parameters())
+    throw std::runtime_error("model file: weight count mismatch");
+  std::vector<double> weights(weight_count);
+  for (auto& w : weights) in >> w;
+  model.crf_->set_weights(weights);
+
+  expect_token(in, "reference");
+  model.reference_ = std::make_unique<ReferenceDistributions>(
+      ReferenceDistributions::load(in));
+
+  if (!in) throw std::runtime_error("model file: truncated");
+  expect_token(in, "end");
+  // Anything after the sentinel means the file is not what save() wrote —
+  // most likely a corrupted download or two models concatenated.
+  char c = 0;
+  while (in.get(c)) {
+    if (!std::isspace(static_cast<unsigned char>(c)))
+      throw std::runtime_error(
+          "model file: trailing garbage after the end marker");
+  }
+  model.compute_fingerprint();
+  util::log_info("graphner: loaded ", profile_name(model.config_.profile),
+                 " model, ", model.index_->size(), " features, ",
+                 model.reference_->size(), " reference trigrams");
+  return model;
+}
+
+// Parses what save_head wrote and rebuilds everything that hangs off it:
+// the embedding resources, the feature extractor over them, the frozen
+// feature index, and a zero-weight CRF sized to match (the caller supplies
+// the weights — parsed text here, an mmap'd view in model_mmap.cpp).
+void GraphNerModel::load_head(std::istream& in, GraphNerModel& model) {
   expect_token(in, "config");
   int profile = 0;
   in >> profile >> model.config_.crf_order >> model.config_.alpha;
@@ -164,37 +207,10 @@ GraphNerModel GraphNerModel::load(std::istream& in) {
   }
   model.index_->freeze();
 
-  expect_token(in, "weights");
-  std::size_t weight_count = 0;
-  in >> weight_count;
   const crf::StateSpace space = model.config_.crf_order == 2
                                     ? crf::StateSpace::order2()
                                     : crf::StateSpace::order1();
   model.crf_ = std::make_unique<crf::LinearChainCrf>(space, model.index_->size());
-  if (weight_count != model.crf_->num_parameters())
-    throw std::runtime_error("model file: weight count mismatch");
-  std::vector<double> weights(weight_count);
-  for (auto& w : weights) in >> w;
-  model.crf_->set_weights(weights);
-
-  expect_token(in, "reference");
-  model.reference_ = std::make_unique<ReferenceDistributions>(
-      ReferenceDistributions::load(in));
-
-  if (!in) throw std::runtime_error("model file: truncated");
-  expect_token(in, "end");
-  // Anything after the sentinel means the file is not what save() wrote —
-  // most likely a corrupted download or two models concatenated.
-  char c = 0;
-  while (in.get(c)) {
-    if (!std::isspace(static_cast<unsigned char>(c)))
-      throw std::runtime_error(
-          "model file: trailing garbage after the end marker");
-  }
-  util::log_info("graphner: loaded ", profile_name(model.config_.profile),
-                 " model, ", model.index_->size(), " features, ",
-                 model.reference_->size(), " reference trigrams");
-  return model;
 }
 
 GraphNerModel GraphNerModel::load(std::istream& in,

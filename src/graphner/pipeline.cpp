@@ -237,6 +237,7 @@ GraphNerModel GraphNerModel::train(const std::vector<text::Sentence>& labelled,
   obs::Registry::global().gauge("train.features").set(
       static_cast<double>(model.index_->size()));
 
+  model.compute_fingerprint();
   util::log_info("graphner: trained ", profile_name(config.profile), " order-",
                  config.crf_order, " CRF, ", model.index_->size(), " features, ",
                  model.reference_->size(), " reference trigrams");

@@ -13,7 +13,9 @@
 // every table come from the identical model instance.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/crf/belief_viterbi.hpp"
@@ -220,8 +222,54 @@ class GraphNerModel {
   static GraphNerModel load_file(const std::string& path,
                                  const crf::DecodeOptions& options);
 
+  // --- zero-copy mmap model format (DESIGN.md §11) ---
+
+  /// Write the binary mmap format: a fixed header, a section table, and
+  /// 64-byte-aligned fingerprinted sections ("meta" = the text metadata,
+  /// "weights" = the raw weight doubles). Written crash-safely like
+  /// save_file. A model saved this way round-trips byte-identically
+  /// through the text format (save() output is unchanged).
+  void save_mmap_file(const std::string& path) const;
+  /// Map `path` read-only and build a model whose CRF weight table is a
+  /// *view into the mapping* — no heap copy, so N replicas (threads or
+  /// processes) mapping the same file share one page-cache copy of the
+  /// weights, and cold-start skips parsing the dominant weight text.
+  /// The mapping lives as long as the model. Throws std::runtime_error
+  /// with distinct messages for truncation, bad magic, version or byte-
+  /// order mismatch, misaligned or out-of-bounds sections, fingerprint
+  /// mismatch and trailing garbage.
+  static GraphNerModel load_mmap_file(const std::string& path);
+  static GraphNerModel load_mmap_file(const std::string& path,
+                                      const crf::DecodeOptions& options);
+  /// Sniff the on-disk magic and dispatch to load_mmap_file or load_file.
+  static GraphNerModel load_auto_file(const std::string& path);
+
+  /// Identity of the decode-relevant parameters (FNV-1a over the weight
+  /// table, parameter count and feature count): equal models agree across
+  /// the text and mmap formats, different weights disagree. Cache keys in
+  /// the serving tier carry this so a hot-swap can never serve stale tags.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept { return fingerprint_; }
+  /// True when the CRF weight table is a borrowed view into an mmap'd
+  /// model file (load_mmap_file) rather than heap storage.
+  [[nodiscard]] bool weights_mapped() const noexcept;
+  /// The mapped file region backing this model; {nullptr, 0} when the
+  /// model was not mmap-loaded. Test/diagnostic introspection.
+  [[nodiscard]] std::pair<const void*, std::size_t> mapped_region() const noexcept {
+    return {map_base_, map_size_};
+  }
+
  private:
   GraphNerModel() = default;
+
+  /// The text sections shared by both formats: everything between the
+  /// magic line and the weights (config .. feature names). load_head
+  /// leaves the stream positioned at the "weights" token (text format) or
+  /// the "reference" token (mmap meta section).
+  void save_head(std::ostream& out) const;
+  static void load_head(std::istream& in, GraphNerModel& model);
+  /// Recompute fingerprint_ from the CRF weights + shape (call after the
+  /// weights are final).
+  void compute_fingerprint();
 
   GraphNerConfig config_{};
   // unique_ptrs keep the model movable while FeatureExtractor holds
@@ -235,6 +283,12 @@ class GraphNerModel {
   double train_seconds_ = 0.0;
   double reference_seconds_ = 0.0;
   TrainingTimings training_timings_{};
+  std::uint64_t fingerprint_ = 0;
+  // mmap-loaded models keep their file mapping alive here (the deleter
+  // munmaps); the CRF weight span points into [map_base_, map_base_ + map_size_).
+  std::shared_ptr<void> mapping_;
+  const void* map_base_ = nullptr;
+  std::size_t map_size_ = 0;
 };
 
 }  // namespace graphner::core

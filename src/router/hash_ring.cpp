@@ -1,0 +1,57 @@
+#include "src/router/hash_ring.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "src/graphner/model_format.hpp"
+
+namespace graphner::router {
+namespace {
+
+[[nodiscard]] std::uint64_t hash_key(std::string_view key) {
+  return core::model_format::fnv1a(key.data(), key.size());
+}
+
+}  // namespace
+
+HashRing::HashRing(std::size_t replicas, std::size_t vnodes)
+    : replicas_(replicas == 0 ? 1 : replicas) {
+  points_.reserve(replicas_ * vnodes);
+  for (std::size_t r = 0; r < replicas_; ++r) {
+    for (std::size_t v = 0; v < vnodes; ++v) {
+      const std::string label =
+          "replica:" + std::to_string(r) + ":" + std::to_string(v);
+      points_.emplace_back(hash_key(label), r);
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+std::vector<std::size_t> HashRing::order(std::string_view key) const {
+  std::vector<std::size_t> out;
+  out.reserve(replicas_);
+  std::vector<bool> seen(replicas_, false);
+  const std::uint64_t h = hash_key(key);
+  const auto start = std::upper_bound(
+      points_.begin(), points_.end(),
+      std::make_pair(h, std::numeric_limits<std::size_t>::max()));
+  // Walk the ring once (wrapping); every replica appears because every
+  // replica owns at least one point.
+  const std::size_t n = points_.size();
+  const std::size_t first = static_cast<std::size_t>(start - points_.begin());
+  for (std::size_t step = 0; step < n && out.size() < replicas_; ++step) {
+    const std::size_t replica = points_[(first + step) % n].second;
+    if (!seen[replica]) {
+      seen[replica] = true;
+      out.push_back(replica);
+    }
+  }
+  return out;
+}
+
+std::size_t HashRing::owner(std::string_view key) const {
+  return order(key).front();
+}
+
+}  // namespace graphner::router

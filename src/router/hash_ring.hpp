@@ -1,0 +1,42 @@
+// Consistent-hash ring over replica indices (DESIGN.md §11).
+//
+// Each replica owns `vnodes` pseudo-random points on a 64-bit ring; a key
+// routes to the replica owning the first point clockwise of the key's
+// hash. Virtual nodes smooth the load split (with one point per replica a
+// 2-replica ring can be arbitrarily lopsided), and consistency is the
+// property the router actually wants: repeats of the same normalized
+// sentence pin to the same replica (warm coalescing cache, shared decode),
+// and killing one replica only remaps the keys that replica owned.
+//
+// order() returns the *failover order*: the owner first, then each
+// distinct replica in ring order after it. The router walks this list when
+// a replica is down or answers SHUTDOWN mid-kill.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace graphner::router {
+
+class HashRing {
+ public:
+  explicit HashRing(std::size_t replicas, std::size_t vnodes = 64);
+
+  [[nodiscard]] std::size_t replica_count() const noexcept { return replicas_; }
+
+  /// All `replica_count()` indices, owner first, in ring order from the
+  /// key's hash — the order failover walks.
+  [[nodiscard]] std::vector<std::size_t> order(std::string_view key) const;
+
+  /// Just the owner (order(key).front()).
+  [[nodiscard]] std::size_t owner(std::string_view key) const;
+
+ private:
+  std::size_t replicas_;
+  /// (point hash, replica) sorted by hash.
+  std::vector<std::pair<std::uint64_t, std::size_t>> points_;
+};
+
+}  // namespace graphner::router

@@ -1,0 +1,133 @@
+#include "src/router/lru_cache.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/graphner/model_format.hpp"
+
+namespace graphner::router {
+
+ShardedLruCache::ShardedLruCache(LruCacheConfig config, obs::Registry& registry)
+    : capacity_(std::max<std::size_t>(1, config.capacity)),
+      per_shard_capacity_(std::max<std::size_t>(
+          1, capacity_ / std::max<std::size_t>(1, config.shards))),
+      hits_(registry.counter("cache.hits")),
+      misses_(registry.counter("cache.misses")),
+      evictions_(registry.counter("cache.evictions")),
+      invalidated_(registry.counter("cache.invalidated")),
+      bytes_gauge_(registry.gauge("cache.bytes")),
+      entries_gauge_(registry.gauge("cache.entries")) {
+  const std::size_t shard_count = std::max<std::size_t>(1, config.shards);
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+ShardedLruCache::Shard& ShardedLruCache::shard_for(const std::string& key) {
+  const std::uint64_t h = core::model_format::fnv1a(key.data(), key.size());
+  return *shards_[h % shards_.size()];
+}
+
+std::size_t ShardedLruCache::entry_bytes(const Entry& entry) noexcept {
+  // Accounting, not malloc truth: key bytes twice (list node + index key)
+  // plus the tag payload. Close enough to bound memory and to make the
+  // cache.bytes gauge move honestly with the working set.
+  return 2 * entry.key.size() + entry.tags.size() * sizeof(text::Tag) +
+         sizeof(Entry);
+}
+
+std::optional<std::vector<text::Tag>> ShardedLruCache::get(
+    const std::string& key) {
+  Shard& shard = shard_for(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      hits_.inc();
+      return it->second->tags;
+    }
+  }
+  misses_.inc();
+  return std::nullopt;
+}
+
+void ShardedLruCache::put(const std::string& key, std::vector<text::Tag> tags,
+                          std::uint64_t fingerprint) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (const auto it = shard.index.find(key); it != shard.index.end()) {
+    // Refresh in place (e.g. the same sentence raced two misses).
+    total_bytes_ -= entry_bytes(*it->second);
+    it->second->tags = std::move(tags);
+    it->second->fingerprint = fingerprint;
+    total_bytes_ += entry_bytes(*it->second);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    refresh_gauges();
+    return;
+  }
+  shard.lru.push_front(Entry{key, std::move(tags), fingerprint});
+  shard.index.emplace(key, shard.lru.begin());
+  total_entries_ += 1;
+  total_bytes_ += entry_bytes(shard.lru.front());
+  while (shard.lru.size() > per_shard_capacity_) evict_tail(shard);
+  refresh_gauges();
+}
+
+void ShardedLruCache::evict_tail(Shard& shard) {
+  const Entry& victim = shard.lru.back();
+  total_bytes_ -= entry_bytes(victim);
+  total_entries_ -= 1;
+  evictions_.inc();
+  shard.index.erase(victim.key);
+  shard.lru.pop_back();
+}
+
+std::size_t ShardedLruCache::invalidate_fingerprint(std::uint64_t fingerprint) {
+  std::size_t dropped = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (it->fingerprint == fingerprint) {
+        total_bytes_ -= entry_bytes(*it);
+        total_entries_ -= 1;
+        shard->index.erase(it->key);
+        it = shard->lru.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  invalidated_.inc(dropped);
+  refresh_gauges();
+  return dropped;
+}
+
+void ShardedLruCache::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const Entry& entry : shard->lru) {
+      total_bytes_ -= entry_bytes(entry);
+      total_entries_ -= 1;
+    }
+    shard->index.clear();
+    shard->lru.clear();
+  }
+  refresh_gauges();
+}
+
+std::size_t ShardedLruCache::size() const {
+  return total_entries_.load(std::memory_order_relaxed);
+}
+
+std::size_t ShardedLruCache::bytes() const {
+  return total_bytes_.load(std::memory_order_relaxed);
+}
+
+void ShardedLruCache::refresh_gauges() {
+  bytes_gauge_.set(static_cast<double>(bytes()));
+  entries_gauge_.set(static_cast<double>(size()));
+}
+
+}  // namespace graphner::router

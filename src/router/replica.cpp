@@ -1,0 +1,153 @@
+#include "src/router/replica.hpp"
+
+#include <utility>
+
+#include "src/util/logging.hpp"
+
+namespace graphner::router {
+
+void merge_snapshot(obs::RegistrySnapshot& into,
+                    const obs::RegistrySnapshot& from) {
+  for (const auto& counter : from.counters) {
+    bool merged = false;
+    for (auto& existing : into.counters) {
+      if (existing.name == counter.name && existing.labels == counter.labels) {
+        existing.value += counter.value;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) into.counters.push_back(counter);
+  }
+  for (const auto& gauge : from.gauges) {
+    bool replaced = false;
+    for (auto& existing : into.gauges) {
+      if (existing.name == gauge.name && existing.labels == gauge.labels) {
+        existing.value = gauge.value;  // newer observation wins
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) into.gauges.push_back(gauge);
+  }
+  for (const auto& histogram : from.histograms) {
+    bool merged = false;
+    for (auto& existing : into.histograms) {
+      if (existing.name == histogram.name &&
+          existing.labels == histogram.labels) {
+        existing.data.merge(histogram.data);
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) into.histograms.push_back(histogram);
+  }
+}
+
+InProcessReplica::InProcessReplica(
+    std::shared_ptr<const core::GraphNerModel> model,
+    serve::ServiceConfig config)
+    : config_(config), model_(std::move(model)) {
+  service_ = std::make_shared<serve::TaggingService>(*model_, config_);
+  healthy_ = true;
+}
+
+InProcessReplica::~InProcessReplica() { stop(); }
+
+ReplicaSubmission InProcessReplica::submit(
+    text::Sentence sentence, std::chrono::milliseconds deadline,
+    std::optional<crf::DecodeOptions> decode) {
+  std::shared_ptr<serve::TaggingService> service;
+  std::uint64_t fingerprint = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!healthy_ || !service_) return {};
+    service = service_;
+    fingerprint = model_->fingerprint();
+  }
+  // Submitted outside the lock: submit() never blocks, but a concurrent
+  // kill() may stop the service first — then the future resolves with
+  // SHUTDOWN and the router fails over to a sibling.
+  ReplicaSubmission out;
+  out.future = service->submit(std::move(sentence), deadline, std::move(decode));
+  out.fingerprint = fingerprint;
+  out.accepted = true;
+  return out;
+}
+
+bool InProcessReplica::healthy() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return healthy_;
+}
+
+std::uint64_t InProcessReplica::fingerprint() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return model_ ? model_->fingerprint() : 0;
+}
+
+void InProcessReplica::retire_service() {
+  std::shared_ptr<serve::TaggingService> old;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    old = std::move(service_);
+    service_ = nullptr;
+    healthy_ = false;
+  }
+  if (!old) return;
+  old->stop();  // graceful: drains queued work, every future resolves
+  const obs::RegistrySnapshot terminal = old->metrics().raw;
+  std::lock_guard<std::mutex> lock(mutex_);
+  merge_snapshot(retired_, terminal);
+}
+
+void InProcessReplica::kill() { retire_service(); }
+
+void InProcessReplica::revive() {
+  std::shared_ptr<const core::GraphNerModel> model;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_ || healthy_) return;
+    model = model_;
+  }
+  auto service = std::make_shared<serve::TaggingService>(*model, config_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  service_ = std::move(service);
+  healthy_ = true;
+}
+
+void InProcessReplica::swap_model(
+    std::shared_ptr<const core::GraphNerModel> model) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) return;
+  }
+  retire_service();  // queued requests finish under the old model
+  auto service = std::make_shared<serve::TaggingService>(*model, config_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  model_ = std::move(model);
+  service_ = std::move(service);
+  healthy_ = true;
+}
+
+obs::RegistrySnapshot InProcessReplica::metrics_snapshot() const {
+  std::shared_ptr<serve::TaggingService> service;
+  obs::RegistrySnapshot out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out = retired_;
+    service = service_;
+  }
+  if (service) merge_snapshot(out, service->metrics().raw);
+  return out;
+}
+
+void InProcessReplica::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  retire_service();
+}
+
+}  // namespace graphner::router

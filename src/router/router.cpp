@@ -1,0 +1,269 @@
+#include "src/router/router.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <future>
+#include <sstream>
+#include <utility>
+
+#include "src/obs/export.hpp"
+#include "src/serve/protocol.hpp"
+#include "src/util/logging.hpp"
+
+namespace graphner::router {
+namespace {
+
+[[nodiscard]] std::future<serve::TagResponse> ready_response(
+    serve::TagResponse response) {
+  std::promise<serve::TagResponse> promise;
+  promise.set_value(std::move(response));
+  return promise.get_future();
+}
+
+[[nodiscard]] std::string fingerprint_hex(std::uint64_t fingerprint) {
+  char buffer[19];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return buffer;
+}
+
+/// The full cache identity: base (sentence key + options) + generation.
+[[nodiscard]] std::string cache_key(const std::string& base_key,
+                                    std::uint64_t fingerprint) {
+  return base_key + '\x1e' + fingerprint_hex(fingerprint);
+}
+
+}  // namespace
+
+Router::Router(std::shared_ptr<const core::GraphNerModel> model,
+               RouterConfig config)
+    : config_(config),
+      cache_(config.cache, registry_),
+      ring_(std::max<std::size_t>(1, config.replicas), config.vnodes),
+      requests_(registry_.counter("router.requests")),
+      failovers_(registry_.counter("router.failovers")),
+      unavailable_(registry_.counter("router.unavailable")),
+      swaps_(registry_.counter("router.swaps")),
+      cache_misses_(registry_.counter("cache.misses")) {
+  const std::size_t n = std::max<std::size_t>(1, config.replicas);
+  replicas_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    replicas_.push_back(
+        std::make_unique<InProcessReplica>(model, config.replica_service));
+  registry_.gauge("router.replicas").set(static_cast<double>(n));
+  registry_.gauge("router.cache_enabled")
+      .set(config.cache_enabled ? 1.0 : 0.0);
+  util::log_info("router: ", n, " replica(s), cache ",
+                 config.cache_enabled
+                     ? "on (" + std::to_string(cache_.capacity()) + " entries)"
+                     : "off",
+                 ", model fingerprint ", fingerprint_hex(model->fingerprint()));
+}
+
+Router::~Router() { stop(); }
+
+std::future<serve::TagResponse> Router::submit(
+    text::Sentence sentence, std::chrono::milliseconds deadline,
+    std::optional<crf::DecodeOptions> decode) {
+  requests_.inc();
+  const std::string skey = serve::sentence_key(sentence.tokens);
+  std::vector<std::size_t> order = ring_.order(skey);
+
+  std::string base_key = skey;
+  base_key += '\x1e';
+  if (decode) base_key += decode->to_string();
+
+  // Cache lookup under the generation the owner would decode with. Every
+  // request lands in exactly one of cache.{hits,misses} — that is the
+  // conservation law CI checks — so the disabled/unroutable paths count a
+  // miss explicitly instead of skipping the ledger.
+  bool counted = false;
+  if (config_.cache_enabled) {
+    for (const std::size_t idx : order) {
+      if (!replicas_[idx]->healthy()) continue;
+      counted = true;
+      if (auto hit = cache_.get(cache_key(base_key, replicas_[idx]->fingerprint()))) {
+        serve::TagResponse response;
+        response.tags = std::move(*hit);
+        response.coalesced = true;  // served by a previous request's decode
+        return ready_response(std::move(response));
+      }
+      break;
+    }
+  }
+  if (!counted) cache_misses_.inc();
+
+  // Submit to the owner (first healthy on the ring) *now* — pipelining
+  // depends on submit never blocking — and defer the wait/failover/cache
+  // tail to the future's get().
+  ReplicaSubmission primary;
+  std::size_t used = order.size();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const std::size_t idx = order[i];
+    if (!replicas_[idx]->healthy()) continue;
+    primary = replicas_[idx]->submit(sentence, deadline, decode);
+    if (primary.accepted) {
+      used = idx;
+      break;
+    }
+  }
+  if (used == order.size()) {
+    unavailable_.inc();
+    serve::TagResponse response;
+    response.status = serve::Status::kUnavailable;
+    response.error = "no healthy replica";
+    return ready_response(std::move(response));
+  }
+
+  return std::async(
+      std::launch::deferred,
+      [this, primary = std::move(primary), used, order = std::move(order),
+       sentence = std::move(sentence), deadline, decode = std::move(decode),
+       base_key = std::move(base_key)]() mutable {
+        return resolve(std::move(primary), used, std::move(order),
+                       std::move(sentence), deadline, std::move(decode),
+                       std::move(base_key));
+      });
+}
+
+serve::TagResponse Router::resolve(ReplicaSubmission primary, std::size_t used,
+                                   std::vector<std::size_t> order,
+                                   text::Sentence sentence,
+                                   std::chrono::milliseconds deadline,
+                                   std::optional<crf::DecodeOptions> decode,
+                                   std::string base_key) {
+  serve::TagResponse response = primary.future.get();
+  std::uint64_t fingerprint = primary.fingerprint;
+
+  if (needs_failover(response.status)) {
+    // The owner died under the request (kill mid-flood answers queued work
+    // but rejects the rest with SHUTDOWN). Walk the ring-order siblings;
+    // back off between rounds in case every sibling is mid-revive.
+    util::Backoff retry(config_.failover_backoff);
+    std::size_t last_failed = used;
+    for (;;) {
+      bool attempted = false;
+      for (const std::size_t idx : order) {
+        if (idx == last_failed) continue;
+        if (!replicas_[idx]->healthy()) continue;
+        ReplicaSubmission retry_sub =
+            replicas_[idx]->submit(sentence, deadline, decode);
+        if (!retry_sub.accepted) continue;
+        failovers_.inc();
+        attempted = true;
+        response = retry_sub.future.get();
+        fingerprint = retry_sub.fingerprint;
+        last_failed = idx;
+        break;
+      }
+      if (attempted && !needs_failover(response.status)) break;
+      if (!retry.can_retry()) break;
+      retry.sleep();
+    }
+    if (needs_failover(response.status)) {
+      // Replica-local SHUTDOWN must not leak to the client as "server is
+      // stopping" — the tier is alive, this request just lost the race.
+      response.status = serve::Status::kUnavailable;
+      response.tags.clear();
+      response.error = "no replica could answer (down or draining); retry";
+    }
+  }
+
+  if (config_.cache_enabled && response.ok() && !response.degraded)
+    cache_.put(cache_key(base_key, fingerprint), response.tags, fingerprint);
+  return response;
+}
+
+obs::RegistrySnapshot Router::observability_snapshot() const {
+  obs::RegistrySnapshot out;
+  out.append(registry_.snapshot());  // router.* + cache.*
+  for (std::size_t i = 0; i < replicas_.size(); ++i)
+    out.append(replicas_[i]->metrics_snapshot(),
+               "replica." + std::to_string(i) + ".");
+  out.append(obs::Registry::global().snapshot());
+  for (const auto& [name, stats] : util::FaultInjector::instance().all_stats()) {
+    out.counters.push_back({"fault." + name + ".calls", {}, stats.calls});
+    out.counters.push_back({"fault." + name + ".fires", {}, stats.fires});
+  }
+  return out;
+}
+
+std::string Router::metrics_json() const {
+  return obs::export_json(observability_snapshot());
+}
+
+std::string Router::admin(const std::string& command) {
+  std::istringstream in(command);
+  std::string verb;
+  in >> verb;
+
+  if (verb == "status") {
+    std::ostringstream out;
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+      const obs::RegistrySnapshot snapshot = replicas_[i]->metrics_snapshot();
+      out << i << '\t' << (replicas_[i]->healthy() ? "healthy" : "down")
+          << "\tfingerprint=" << fingerprint_hex(replicas_[i]->fingerprint())
+          << "\tsubmitted=" << snapshot.counter_value("submitted")
+          << "\tcompleted=" << snapshot.counter_value("completed") << '\n';
+    }
+    out << "cache\t" << (config_.cache_enabled ? "on" : "off") << "\tentries="
+        << cache_.size() << "\tbytes=" << cache_.bytes() << '\n';
+    return out.str();
+  }
+
+  std::size_t index = 0;
+  if (verb == "kill" || verb == "revive" || verb == "swap") {
+    if (!(in >> index) || index >= replicas_.size())
+      return "ERROR #REPLICA " + verb + " needs a replica index in [0, " +
+             std::to_string(replicas_.size()) + ")\n";
+  }
+
+  if (verb == "kill") {
+    replicas_[index]->kill();
+    return "OK killed replica " + std::to_string(index) + "\n";
+  }
+  if (verb == "revive") {
+    replicas_[index]->revive();
+    return "OK revived replica " + std::to_string(index) + "\n";
+  }
+  if (verb == "swap") {
+    std::string path;
+    if (!(in >> path)) return "ERROR #REPLICA swap needs a model path\n";
+    const std::uint64_t old_fingerprint = replicas_[index]->fingerprint();
+    std::shared_ptr<const core::GraphNerModel> model;
+    try {
+      model = std::make_shared<core::GraphNerModel>(
+          core::GraphNerModel::load_auto_file(path));
+    } catch (const std::exception& e) {
+      return "ERROR swap failed: " + std::string(e.what()) + "\n";
+    }
+    replicas_[index]->swap_model(model);
+    swaps_.inc();
+    // A cache generation nobody serves anymore can only produce stale
+    // tags on a fingerprint collision after a swap-back; drop it. A
+    // generation some *other* replica still runs stays valid.
+    bool generation_live = false;
+    for (const auto& replica : replicas_)
+      if (replica->healthy() && replica->fingerprint() == old_fingerprint)
+        generation_live = true;
+    std::size_t invalidated = 0;
+    if (!generation_live && old_fingerprint != model->fingerprint())
+      invalidated = cache_.invalidate_fingerprint(old_fingerprint);
+    return "OK swapped replica " + std::to_string(index) + " to " + path +
+           " (fingerprint " + fingerprint_hex(model->fingerprint()) +
+           ", invalidated " + std::to_string(invalidated) +
+           " cache entries)\n";
+  }
+
+  return "ERROR unknown #REPLICA command \"" + verb +
+         "\" (expected kill, revive, swap or status)\n";
+}
+
+void Router::stop() {
+  std::lock_guard<std::mutex> lock(stop_mutex_);
+  if (stopped_) return;
+  stopped_ = true;
+  for (auto& replica : replicas_) replica->stop();
+}
+
+}  // namespace graphner::router

@@ -1,0 +1,128 @@
+// Router: the sharded multi-replica serving tier (DESIGN.md §11).
+//
+// A Router is a TagService over N ReplicaHandles, so SocketServer fronts
+// it exactly like a single TaggingService. Per request:
+//
+//   1. consistent-hash the normalized sentence key onto the replica ring
+//      (repeats pin to a warm replica and its coalescing cache);
+//   2. consult the cross-request decode cache (sentence key + decode
+//      options + model fingerprint) — a hit answers in O(1) with no
+//      replica touched;
+//   3. on a miss, submit to the owner replica (skipping unhealthy ones)
+//      and return a lazily-evaluated future that, when waited on,
+//      fails over to ring-order siblings with util::Backoff if the
+//      replica died mid-request, and inserts OK responses into the cache.
+//
+// Administration rides the wire as "#REPLICA kill|revive|swap|status"
+// (TagService::admin): kill/revive drive the chaos drill, swap hot-swaps
+// one replica's model from a file (text or mmap format, auto-sniffed) and
+// invalidates the cache generation no replica serves anymore.
+//
+// Metrics: router.* and cache.* from the router's own registry, each
+// replica's counters under "replica.<i>." (monotone across kill/revive),
+// plus the process-global registry and fault counters — one scrape shows
+// the whole tier. Conservation laws CI asserts after a drain:
+//
+//   router.requests == cache.hits + cache.misses
+//   sum_i replica.<i>.submitted ==
+//       cache.misses - router.unavailable + router.failovers
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/graphner/pipeline.hpp"
+#include "src/obs/registry.hpp"
+#include "src/router/hash_ring.hpp"
+#include "src/router/lru_cache.hpp"
+#include "src/router/replica.hpp"
+#include "src/serve/tag_service.hpp"
+#include "src/util/fault.hpp"
+
+namespace graphner::router {
+
+struct RouterConfig {
+  std::size_t replicas = 2;
+  /// Worker pool / batching / deadline configuration of every replica.
+  serve::ServiceConfig replica_service;
+  bool cache_enabled = true;
+  LruCacheConfig cache;
+  /// Virtual nodes per replica on the consistent-hash ring.
+  std::size_t vnodes = 64;
+  /// Backoff between failover attempts once the whole ring has been
+  /// walked without an answer (a replica may be mid-revive).
+  util::BackoffPolicy failover_backoff{std::chrono::milliseconds(10),
+                                       std::chrono::milliseconds(200),
+                                       2.0,
+                                       0.2,
+                                       3};
+};
+
+class Router : public serve::TagService {
+ public:
+  /// All replicas start on `model`. The model is shared, not copied —
+  /// with an mmap-loaded model the replicas share one page-cache copy of
+  /// the weights.
+  Router(std::shared_ptr<const core::GraphNerModel> model, RouterConfig config);
+  ~Router() override;
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  [[nodiscard]] std::future<serve::TagResponse> submit(
+      text::Sentence sentence, std::chrono::milliseconds deadline = {},
+      std::optional<crf::DecodeOptions> decode = std::nullopt) override;
+
+  [[nodiscard]] obs::RegistrySnapshot observability_snapshot() const override;
+  [[nodiscard]] std::string metrics_json() const override;
+
+  /// "#REPLICA kill <i> | revive <i> | swap <i> <model-path> | status".
+  [[nodiscard]] std::string admin(const std::string& command) override;
+
+  [[nodiscard]] std::size_t replica_count() const noexcept {
+    return replicas_.size();
+  }
+  [[nodiscard]] ReplicaHandle& replica(std::size_t i) { return *replicas_[i]; }
+  [[nodiscard]] ShardedLruCache& cache() noexcept { return cache_; }
+
+  /// Drain and join every replica. Idempotent; also run by the destructor.
+  void stop();
+
+ private:
+  /// The synchronous tail of a request: wait on the primary submission,
+  /// fail over to siblings if the replica died, cache OK responses.
+  [[nodiscard]] serve::TagResponse resolve(ReplicaSubmission primary,
+                                           std::size_t used,
+                                           std::vector<std::size_t> order,
+                                           text::Sentence sentence,
+                                           std::chrono::milliseconds deadline,
+                                           std::optional<crf::DecodeOptions> decode,
+                                           std::string base_key);
+
+  [[nodiscard]] static bool needs_failover(serve::Status status) noexcept {
+    // A killed/draining replica answers SHUTDOWN; UNAVAILABLE means a
+    // mid-swap reject. Both are replica-local conditions a sibling can
+    // absorb. OVERLOADED/DEADLINE_EXCEEDED are load signals that must
+    // reach the client's own backoff instead of multiplying load here.
+    return status == serve::Status::kShutdown ||
+           status == serve::Status::kUnavailable;
+  }
+
+  RouterConfig config_;
+  obs::Registry registry_;
+  ShardedLruCache cache_;
+  std::vector<std::unique_ptr<ReplicaHandle>> replicas_;
+  HashRing ring_;
+  obs::Counter& requests_;
+  obs::Counter& failovers_;
+  obs::Counter& unavailable_;
+  obs::Counter& swaps_;
+  obs::Counter& cache_misses_;  ///< same instrument the cache counts into
+  bool stopped_ = false;
+  std::mutex stop_mutex_;
+};
+
+}  // namespace graphner::router

@@ -253,29 +253,80 @@ ParsedLine parse_request_line(const std::string& line) {
       out.kind = LineKind::kMalformed;
     return out;
   }
+  if (trimmed == "#REPLICA" || trimmed.rfind("#REPLICA ", 0) == 0) {
+    out.admin = std::string{util::trim(trimmed.substr(8))};
+    if (out.admin.empty()) {
+      out.kind = LineKind::kMalformed;
+      out.error = "#REPLICA needs a command (kill/revive/swap/status)";
+    } else {
+      out.kind = LineKind::kAdmin;
+    }
+    return out;
+  }
   if (trimmed == "#QUIT") {
     out.kind = LineKind::kQuit;
     return out;
   }
   if (trimmed.front() == '{') {
-    if (parse_json_request(trimmed, out.request, out.error))
-      out.kind = LineKind::kRequest;
-    else
+    if (!parse_json_request(trimmed, out.request, out.error)) {
       out.kind = LineKind::kMalformed;
-    return out;
-  }
-  const std::size_t tab = line.find('\t');
-  if (tab == std::string::npos) {
-    out.request.id = "-";
-    out.request.tokens = split_tokens(trimmed);
+      return out;
+    }
+    out.kind = LineKind::kRequest;
   } else {
-    out.request.id = std::string{util::trim(line.substr(0, tab))};
-    split_deadline_suffix(out.request.id, out.request.deadline_ms);
-    if (out.request.id.empty()) out.request.id = "-";
-    out.request.tokens = split_tokens(line.substr(tab + 1));
+    const std::size_t tab = line.find('\t');
+    if (tab == std::string::npos) {
+      out.request.id = "-";
+      out.request.tokens = split_tokens(trimmed);
+    } else {
+      out.request.id = std::string{util::trim(line.substr(0, tab))};
+      split_deadline_suffix(out.request.id, out.request.deadline_ms);
+      if (out.request.id.empty()) out.request.id = "-";
+      out.request.tokens = split_tokens(line.substr(tab + 1));
+    }
+    out.kind = LineKind::kRequest;
   }
-  out.kind = LineKind::kRequest;
+  // Both flavours converge on the same canonical token text here, so
+  // everything keyed on the sentence downstream (coalescing, the router
+  // cache) sees one spelling per sentence regardless of transport.
+  normalize_tokens(out.request.tokens);
   return out;
+}
+
+std::string normalize_token(std::string token) {
+  static constexpr std::string_view kBom = "\xEF\xBB\xBF";
+  if (token.rfind(kBom, 0) == 0) token.erase(0, kBom.size());
+  std::string out;
+  out.reserve(token.size());
+  for (const char c : token) {
+    const bool ws = c == ' ' || c == '\t' || c == '\r' || c == '\n' ||
+                    c == '\v' || c == '\f';
+    if (ws) {
+      if (!out.empty() && out.back() != ' ') out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  if (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+void normalize_tokens(std::vector<std::string>& tokens) {
+  std::size_t kept = 0;
+  for (std::string& token : tokens) {
+    std::string normalized = normalize_token(std::move(token));
+    if (!normalized.empty()) tokens[kept++] = std::move(normalized);
+  }
+  tokens.resize(kept);
+}
+
+std::string sentence_key(const std::vector<std::string>& tokens) {
+  std::string key;
+  for (const auto& token : tokens) {
+    key += token;
+    key += '\x1f';  // unit separator: never produced by tokenization
+  }
+  return key;
 }
 
 std::string format_response(const Request& request, const TagResponse& response) {
@@ -335,7 +386,8 @@ std::string response_status(const std::string& line) {
 
 bool response_retryable(const std::string& line) {
   const std::string status = response_status(line);
-  return status == "OVERLOADED" || status == "DEADLINE_EXCEEDED";
+  return status == "OVERLOADED" || status == "DEADLINE_EXCEEDED" ||
+         status == "UNAVAILABLE";
 }
 
 std::string json_escape(const std::string& text) {

@@ -65,6 +65,7 @@ enum class LineKind {
   kRequest,    ///< `request` is filled
   kMetrics,    ///< "#METRICS [JSON|TSV|PROM]" — `metrics_flavour` is filled
   kDecode,     ///< "#DECODE ..." — `decode` is filled (nullopt = reset)
+  kAdmin,      ///< "#REPLICA ..." — `admin` holds the command words
   kQuit,       ///< "#QUIT"
   kEmpty,      ///< blank line — ignore
   kMalformed,  ///< `error` is filled
@@ -85,10 +86,33 @@ struct ParsedLine {
   /// For kDecode: the connection's new decode override, or nullopt for
   /// "#DECODE off" (drop the override, use the server default).
   std::optional<crf::DecodeOptions> decode;
+  /// For kAdmin: the words after "#REPLICA" (e.g. "kill 1", "status"),
+  /// interpreted by the serving tier (TagService::admin). The reply is
+  /// free-form lines terminated by "#END".
+  std::string admin;
   std::string error;
 };
 
 [[nodiscard]] ParsedLine parse_request_line(const std::string& line);
+
+/// Canonical sentence-text normalization, applied once at protocol
+/// ingestion so the TSV and JSON flavours agree byte-for-byte on what a
+/// sentence *is*: strips a UTF-8 BOM, maps embedded whitespace (tab, CR,
+/// LF, vertical tab, form feed) to spaces, trims, collapses internal runs
+/// to a single space. Returns empty when nothing survives (the token is
+/// dropped). Both the micro-batcher's duplicate coalescing and the
+/// router's cross-request cache key on the normalized form, so the same
+/// sentence submitted via either flavour hits the same entry.
+[[nodiscard]] std::string normalize_token(std::string token);
+
+/// normalize_token over every token, dropping the ones that normalize to
+/// nothing (e.g. a JSON token that was only whitespace).
+void normalize_tokens(std::vector<std::string>& tokens);
+
+/// The canonical key for a normalized token sequence: tokens joined with
+/// the unit separator '\x1f' (never produced by tokenization). This is
+/// the coalescing key and the sentence part of the router cache key.
+[[nodiscard]] std::string sentence_key(const std::vector<std::string>& tokens);
 
 /// One response line (no trailing newline), in the request's flavour.
 [[nodiscard]] std::string format_response(const Request& request,

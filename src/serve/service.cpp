@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "src/serve/protocol.hpp"
 #include "src/util/fault.hpp"
 #include "src/util/logging.hpp"
 
@@ -187,11 +188,10 @@ void TaggingService::worker_loop([[maybe_unused]] std::size_t worker_id) {
 
       const bool try_coalesce = coalesce && batch.size() > 1;
       if (try_coalesce) {
-        key.clear();
-        for (const auto& token : request.sentence.tokens) {
-          key += token;
-          key += '\x1f';  // unit separator: never produced by tokenization
-        }
+        // The canonical '\x1f'-joined key the protocol layer also uses for
+        // the router's cross-request cache (tokens are normalized at
+        // ingestion, so both layers key the same spelling).
+        key = sentence_key(request.sentence.tokens);
         // Two requests only share a decode when they share its options:
         // a pruned answer must never be fanned out to an exact request.
         if (request.decode) key += opts.to_string();

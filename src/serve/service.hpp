@@ -26,6 +26,7 @@
 #include "src/graphner/pipeline.hpp"
 #include "src/serve/metrics.hpp"
 #include "src/serve/request_queue.hpp"
+#include "src/serve/tag_service.hpp"
 #include "src/serve/types.hpp"
 
 namespace graphner::serve {
@@ -60,12 +61,12 @@ struct ServiceConfig {
   std::optional<crf::DecodeOptions> decode;
 };
 
-class TaggingService {
+class TaggingService : public TagService {
  public:
   /// `model` is borrowed and must outlive the service.
   explicit TaggingService(const core::GraphNerModel& model,
                           ServiceConfig config = {});
-  ~TaggingService();
+  ~TaggingService() override;
 
   TaggingService(const TaggingService&) = delete;
   TaggingService& operator=(const TaggingService&) = delete;
@@ -78,7 +79,7 @@ class TaggingService {
   /// request only (the wire's "#DECODE" control line).
   [[nodiscard]] std::future<TagResponse> submit(
       text::Sentence sentence, std::chrono::milliseconds deadline = {},
-      std::optional<crf::DecodeOptions> decode = std::nullopt);
+      std::optional<crf::DecodeOptions> decode = std::nullopt) override;
 
   /// The options requests decode under when they carry no override.
   [[nodiscard]] const crf::DecodeOptions& default_decode_options() const noexcept {
@@ -98,7 +99,7 @@ class TaggingService {
   void stop();
 
   [[nodiscard]] MetricsSnapshot metrics() const { return metrics_.snapshot(); }
-  [[nodiscard]] std::string metrics_json() const {
+  [[nodiscard]] std::string metrics_json() const override {
     return metrics_.snapshot().to_json();
   }
   /// Everything a scrape should see, merged into one snapshot: this
@@ -107,7 +108,7 @@ class TaggingService {
   /// fault-injector fire counts as "fault.<point>.{calls,fires}". Feed it
   /// to the obs exporters — this is what the protocol METRICS flavours
   /// and --metrics-dump-every serialize.
-  [[nodiscard]] obs::RegistrySnapshot observability_snapshot() const;
+  [[nodiscard]] obs::RegistrySnapshot observability_snapshot() const override;
   [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
   [[nodiscard]] std::size_t worker_count() const noexcept {
     return workers_.size();

@@ -42,7 +42,7 @@ void send_all(int fd, const std::string& data) {
 /// The response body for one "#METRICS [flavour]" control line. The
 /// multi-line flavours end with a terminator line so a client reading a
 /// stream knows where the dump stops.
-[[nodiscard]] std::string metrics_reply(const TaggingService& service,
+[[nodiscard]] std::string metrics_reply(const TagService& service,
                                         MetricsFlavour flavour) {
   switch (flavour) {
     case MetricsFlavour::kLegacy:
@@ -70,7 +70,7 @@ void send_all(int fd, const std::string& data) {
 
 }  // namespace
 
-SocketServer::SocketServer(TaggingService& service, SocketServerConfig config)
+SocketServer::SocketServer(TagService& service, SocketServerConfig config)
     : service_(service), config_(config) {}
 
 SocketServer::~SocketServer() { stop(); }
@@ -159,6 +159,8 @@ void SocketServer::handle_connection(std::size_t slot) {
       // waiting on any future is what lets one connection fill a batch.
       bool want_metrics = false;
       MetricsFlavour metrics_flavour = MetricsFlavour::kLegacy;
+      bool want_admin = false;
+      std::string admin_command;
       while (!quit && take_line(buffer, line)) {
         ParsedLine parsed = parse_request_line(line);
         switch (parsed.kind) {
@@ -181,6 +183,10 @@ void SocketServer::handle_connection(std::size_t slot) {
             // so pipelined clients keep 1:1 request/response accounting.
             conn_decode = parsed.decode;
             break;
+          case LineKind::kAdmin:
+            want_admin = true;
+            admin_command = std::move(parsed.admin);
+            break;
           case LineKind::kQuit:
             quit = true;
             break;
@@ -190,7 +196,8 @@ void SocketServer::handle_connection(std::size_t slot) {
             send_all(fd, format_parse_error(parsed.error) + "\n");
             break;
         }
-        if (want_metrics) break;  // answer metrics after pending requests
+        // Answer control lines after the requests already pipelined.
+        if (want_metrics || want_admin) break;
       }
 
       // Answer everything submitted so far, in order.
@@ -200,9 +207,14 @@ void SocketServer::handle_connection(std::size_t slot) {
         in_flight.pop_front();
       }
       if (want_metrics) send_all(fd, metrics_reply(service_, metrics_flavour));
+      if (want_admin) {
+        std::string reply = service_.admin(admin_command);
+        if (!reply.empty() && reply.back() != '\n') reply += '\n';
+        send_all(fd, reply + "#END\n");
+      }
       if (quit) break;
-      // A "#METRICS" may have left complete lines buffered — handle them
-      // before blocking on the socket again.
+      // A "#METRICS" / "#REPLICA" may have left complete lines buffered —
+      // handle them before blocking on the socket again.
       if (buffer.find('\n') != std::string::npos) continue;
 
       // Chaos hook: a read error mid-connection; the handler drops the
@@ -305,11 +317,28 @@ void ClientConnection::connect(const std::string& host, std::uint16_t port,
 bool ClientConnection::request_with_retry(const std::string& line,
                                           std::string& response,
                                           const util::BackoffPolicy& backoff) {
+  // The request's own deadline bounds the whole retry loop: resending an
+  // '@50' request 200 ms after the first send can only be shed as
+  // DEADLINE_EXCEEDED again, so once the budget has elapsed the last
+  // response is final and the rest of the backoff schedule is skipped.
+  long deadline_ms = 0;
+  {
+    const ParsedLine parsed = parse_request_line(line);
+    if (parsed.kind == LineKind::kRequest)
+      deadline_ms = parsed.request.deadline_ms;
+  }
+  const auto give_up_at =
+      deadline_ms > 0
+          ? std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(deadline_ms)
+          : std::chrono::steady_clock::time_point::max();
   util::Backoff retry(backoff);
   for (;;) {
     send_line(line);
     if (!recv_line(response)) return false;
-    if (!response_retryable(response) || !retry.can_retry()) return true;
+    if (!response_retryable(response) || !retry.can_retry() ||
+        std::chrono::steady_clock::now() >= give_up_at)
+      return true;
     retry.sleep();
   }
 }

@@ -1,4 +1,6 @@
-// Blocking TCP front-end for TaggingService (POSIX sockets, no deps).
+// Blocking TCP front-end for any TagService (POSIX sockets, no deps):
+// the same server fronts a single TaggingService or a multi-replica
+// Router — it only speaks the submit/metrics/admin interface.
 //
 // One accept thread hands each connection to its own handler thread. A
 // handler reads line-delimited requests (src/serve/protocol.hpp) and
@@ -34,7 +36,7 @@ struct SocketServerConfig {
 
 class SocketServer {
  public:
-  SocketServer(TaggingService& service, SocketServerConfig config = {});
+  SocketServer(TagService& service, SocketServerConfig config = {});
   ~SocketServer();
 
   SocketServer(const SocketServer&) = delete;
@@ -59,7 +61,7 @@ class SocketServer {
   void accept_loop();
   void handle_connection(std::size_t slot);
 
-  TaggingService& service_;
+  TagService& service_;
   SocketServerConfig config_;
   /// Written by start()/stop(), read by the accept thread — atomic so the
   /// shutdown handshake (stop() swaps in -1, then closes) is race-free.
@@ -117,10 +119,15 @@ class ClientConnection {
   [[nodiscard]] bool recv_line(std::string& line);
 
   /// Send one request line and wait for its response; while the response
-  /// status is retryable (OVERLOADED / DEADLINE_EXCEEDED), back off and
-  /// resend, up to `backoff.max_retries` times. Returns false if the
-  /// connection closed; on true, `response` holds the final response line
-  /// (which may still carry a retryable status if retries ran out).
+  /// status is retryable (OVERLOADED / DEADLINE_EXCEEDED / UNAVAILABLE),
+  /// back off and resend, up to `backoff.max_retries` times. Retrying is
+  /// additionally bounded by the request's own '@<ms>' (or JSON
+  /// "deadline_ms") deadline: once that budget has elapsed, the next
+  /// resend could only be shed as DEADLINE_EXCEEDED again, so the last
+  /// response is returned instead of burning the rest of the backoff
+  /// schedule. Returns false if the connection closed; on true,
+  /// `response` holds the final response line (which may still carry a
+  /// retryable status if retries — or the deadline — ran out).
   [[nodiscard]] bool request_with_retry(const std::string& line,
                                         std::string& response,
                                         const util::BackoffPolicy& backoff = {});

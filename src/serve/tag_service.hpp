@@ -1,0 +1,49 @@
+// The submit-side contract of the serving tier.
+//
+// SocketServer speaks to this interface, so the same TCP front-end serves
+// either a single TaggingService (one worker pool over one model — the PR
+// 2/4 server) or a Router (N replicas, cross-request cache, failover —
+// DESIGN.md §11) without knowing which it got. Everything the wire needs
+// is here: request submission, the two metrics serializations, and the
+// "#REPLICA" admin surface.
+#pragma once
+
+#include <chrono>
+#include <future>
+#include <optional>
+#include <string>
+
+#include "src/crf/decode_options.hpp"
+#include "src/obs/registry.hpp"
+#include "src/serve/types.hpp"
+#include "src/text/sentence.hpp"
+
+namespace graphner::serve {
+
+class TagService {
+ public:
+  virtual ~TagService() = default;
+
+  /// Enqueue one sentence. Must always return a future that will be
+  /// fulfilled — with tags, or with a structured non-OK status — and must
+  /// never block the caller on decode (pipelining depends on it).
+  [[nodiscard]] virtual std::future<TagResponse> submit(
+      text::Sentence sentence, std::chrono::milliseconds deadline = {},
+      std::optional<crf::DecodeOptions> decode = std::nullopt) = 0;
+
+  /// The full scrape the "#METRICS JSON|TSV|PROM" flavours serialize.
+  [[nodiscard]] virtual obs::RegistrySnapshot observability_snapshot() const = 0;
+
+  /// The legacy bare-"#METRICS" one-line JSON body.
+  [[nodiscard]] virtual std::string metrics_json() const = 0;
+
+  /// Handle a "#REPLICA <command>" admin line and return the reply body
+  /// (free-form lines; the server terminates it with "#END"). The base
+  /// implementation rejects everything — only the router tier has
+  /// replicas to administer.
+  [[nodiscard]] virtual std::string admin(const std::string& command) {
+    return "ERROR no replica tier (single-service server): " + command + "\n";
+  }
+};
+
+}  // namespace graphner::serve

@@ -25,6 +25,10 @@ enum class Status : std::uint8_t {
   /// The request's deadline passed before a worker reached it; it was shed
   /// without being decoded. Retryable (with backoff) like kOverloaded.
   kDeadlineExceeded = 4,
+  /// No replica could take the request (all siblings down or draining).
+  /// Emitted by the router tier, never by a single TaggingService; a
+  /// retry may land after a hot-swap revives a replica.
+  kUnavailable = 5,
 };
 
 [[nodiscard]] constexpr std::string_view status_name(Status status) noexcept {
@@ -34,6 +38,7 @@ enum class Status : std::uint8_t {
     case Status::kShutdown: return "SHUTDOWN";
     case Status::kError: return "ERROR";
     case Status::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case Status::kUnavailable: return "UNAVAILABLE";
   }
   return "?";
 }
@@ -41,7 +46,8 @@ enum class Status : std::uint8_t {
 /// Statuses a client may retry after backoff: transient load conditions,
 /// not permanent failures.
 [[nodiscard]] constexpr bool status_retryable(Status status) noexcept {
-  return status == Status::kOverloaded || status == Status::kDeadlineExceeded;
+  return status == Status::kOverloaded || status == Status::kDeadlineExceeded ||
+         status == Status::kUnavailable;
 }
 
 struct TagResponse {

@@ -2,9 +2,12 @@
 // identically to the model that was saved, for both profiles.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <fstream>
 #include <sstream>
 
 #include "src/corpus/generator.hpp"
+#include "src/graphner/model_format.hpp"
 #include "src/graphner/pipeline.hpp"
 
 namespace graphner::core {
@@ -115,6 +118,202 @@ TEST_F(ModelIoMalformed, RejectsTrailingGarbage) {
 TEST_F(ModelIoMalformed, TrailingWhitespaceIsFine) {
   std::stringstream in(*saved_ + "\n   \n");
   EXPECT_NO_THROW(GraphNerModel::load(in));
+}
+
+// --- zero-copy mmap format -------------------------------------------------
+
+class ModelIoMmap : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data_ = new corpus::LabelledCorpus(
+        corpus::generate_corpus(corpus::bc2gm_like_spec(0.05, 3)));
+    model_ = new GraphNerModel(
+        GraphNerModel::train(data_->train, {}, GraphNerConfig{}));
+    path_ = new std::string(::testing::TempDir() + "model_io_mmap.gmm");
+    model_->save_mmap_file(*path_);
+    std::ifstream in(*path_, std::ios::binary);
+    ASSERT_TRUE(in);
+    bytes_ = new std::string(std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>());
+  }
+  static void TearDownTestSuite() {
+    delete bytes_;
+    delete path_;
+    delete model_;
+    delete data_;
+  }
+
+  /// Write `bytes` to a scratch file and expect load_mmap_file to reject
+  /// it with a message containing `fragment` — one test per distinct
+  /// corruption, one distinct message per rejection.
+  static void expect_mmap_error(const std::string& bytes,
+                                const std::string& fragment) {
+    const std::string path = ::testing::TempDir() + "model_io_corrupt.gmm";
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    try {
+      GraphNerModel::load_mmap_file(path);
+      FAIL() << "expected mmap load to throw (" << fragment << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+          << e.what();
+    }
+  }
+
+  static const corpus::LabelledCorpus* data_;
+  static const GraphNerModel* model_;
+  static const std::string* path_;
+  static const std::string* bytes_;
+};
+
+const corpus::LabelledCorpus* ModelIoMmap::data_ = nullptr;
+const GraphNerModel* ModelIoMmap::model_ = nullptr;
+const std::string* ModelIoMmap::path_ = nullptr;
+const std::string* ModelIoMmap::bytes_ = nullptr;
+
+TEST_F(ModelIoMmap, RoundTripsDecodeFingerprintAndGoldenText) {
+  const auto restored = GraphNerModel::load_mmap_file(*path_);
+  EXPECT_TRUE(restored.weights_mapped());
+  EXPECT_FALSE(model_->weights_mapped());
+  EXPECT_EQ(restored.feature_count(), model_->feature_count());
+  EXPECT_EQ(restored.fingerprint(), model_->fingerprint());
+  EXPECT_NE(restored.fingerprint(), 0U);
+  EXPECT_EQ(restored.decode_crf(data_->test), model_->decode_crf(data_->test));
+
+  // Golden check: the mmap round trip must re-serialize to exactly the
+  // bytes the text format writes — the two formats carry one model.
+  std::stringstream text_original, text_restored;
+  model_->save(text_original);
+  restored.save(text_restored);
+  EXPECT_EQ(text_original.str(), text_restored.str());
+}
+
+TEST_F(ModelIoMmap, TextLoadFingerprintsIdenticallyToMmap) {
+  std::stringstream buffer;
+  model_->save(buffer);
+  const auto via_text = GraphNerModel::load(buffer);
+  const auto via_mmap = GraphNerModel::load_mmap_file(*path_);
+  EXPECT_EQ(via_text.fingerprint(), via_mmap.fingerprint());
+}
+
+TEST_F(ModelIoMmap, AutoLoaderSniffsBothFormats) {
+  const auto mmap_loaded = GraphNerModel::load_auto_file(*path_);
+  EXPECT_TRUE(mmap_loaded.weights_mapped());
+
+  const std::string text_path = ::testing::TempDir() + "model_io_text.gnm";
+  model_->save_file(text_path);
+  const auto text_loaded = GraphNerModel::load_auto_file(text_path);
+  EXPECT_FALSE(text_loaded.weights_mapped());
+  EXPECT_EQ(text_loaded.fingerprint(), mmap_loaded.fingerprint());
+}
+
+TEST_F(ModelIoMmap, TwoMappingsOfOneFileShareTheFileNoHeapCopies) {
+  // Both replicas borrow their weights straight out of a read-only
+  // file-backed mapping of the same bytes (same file size mapped): the
+  // kernel backs both with one page-cache copy, nothing is copied to
+  // either heap.
+  const auto a = GraphNerModel::load_mmap_file(*path_);
+  const auto b = GraphNerModel::load_mmap_file(*path_);
+  ASSERT_TRUE(a.weights_mapped());
+  ASSERT_TRUE(b.weights_mapped());
+  const auto [a_base, a_size] = a.mapped_region();
+  const auto [b_base, b_size] = b.mapped_region();
+  EXPECT_NE(a_base, nullptr);
+  EXPECT_NE(b_base, nullptr);
+  EXPECT_EQ(a_size, bytes_->size());
+  EXPECT_EQ(b_size, bytes_->size());
+  EXPECT_EQ(a.decode_crf(data_->test), b.decode_crf(data_->test));
+}
+
+TEST_F(ModelIoMmap, RejectsTruncatedHeader) {
+  expect_mmap_error(bytes_->substr(0, 32), "truncated header");
+}
+
+TEST_F(ModelIoMmap, RejectsBadMagic) {
+  std::string corrupt = *bytes_;
+  corrupt[0] = 'X';
+  expect_mmap_error(corrupt, "bad magic");
+}
+
+TEST_F(ModelIoMmap, RejectsByteOrderMismatch) {
+  std::string corrupt = *bytes_;
+  // endian_tag occupies header bytes [12, 16); reverse it.
+  std::swap(corrupt[12], corrupt[15]);
+  std::swap(corrupt[13], corrupt[14]);
+  expect_mmap_error(corrupt, "byte-order mismatch");
+}
+
+TEST_F(ModelIoMmap, RejectsVersionMismatch) {
+  std::string corrupt = *bytes_;
+  const std::uint32_t future = 99;
+  std::memcpy(&corrupt[8], &future, sizeof(future));  // header.version
+  expect_mmap_error(corrupt, "unsupported version 99");
+}
+
+TEST_F(ModelIoMmap, RejectsTruncatedPayload) {
+  expect_mmap_error(bytes_->substr(0, bytes_->size() - 8), "truncated (");
+}
+
+TEST_F(ModelIoMmap, RejectsTrailingGarbage) {
+  expect_mmap_error(*bytes_ + "leftover", "trailing garbage");
+}
+
+TEST_F(ModelIoMmap, RejectsSectionTableOutOfBounds) {
+  std::string corrupt = *bytes_;
+  const std::uint32_t absurd = 1u << 24;
+  std::memcpy(&corrupt[16], &absurd, sizeof(absurd));  // header.section_count
+  expect_mmap_error(corrupt, "section table out of bounds");
+}
+
+TEST_F(ModelIoMmap, RejectsMisalignedSection) {
+  std::string corrupt = *bytes_;
+  // section[0].offset lives 16 bytes into the first SectionEntry.
+  const std::size_t offset_field = sizeof(model_format::Header) + 16;
+  std::uint64_t offset = 0;
+  std::memcpy(&offset, &corrupt[offset_field], sizeof(offset));
+  offset += 1;  // no longer a multiple of the recorded 64-byte alignment
+  std::memcpy(&corrupt[offset_field], &offset, sizeof(offset));
+  expect_mmap_error(corrupt, "misaligned section 'meta'");
+}
+
+TEST_F(ModelIoMmap, RejectsMissingRequiredSection) {
+  std::string corrupt = *bytes_;
+  // Rename "meta" in the section table; payload bytes are untouched, so
+  // the fingerprint still matches and the section check itself fires.
+  const std::size_t name_field = sizeof(model_format::Header);
+  std::memcpy(&corrupt[name_field], "mete", 4);
+  expect_mmap_error(corrupt, "missing required section");
+}
+
+TEST_F(ModelIoMmap, RejectsPayloadCorruption) {
+  std::string corrupt = *bytes_;
+  corrupt[corrupt.size() - 1] ^= 0x01;  // one bit in the last weight
+  expect_mmap_error(corrupt, "payload fingerprint mismatch");
+}
+
+TEST_F(ModelIoMmap, RejectsRaggedWeightsSection) {
+  // Shrink the weights section by one byte and re-fingerprint so the
+  // not-a-multiple-of-8 check is what fires, not the corruption check.
+  std::string corrupt = *bytes_;
+  const std::size_t section0 = sizeof(model_format::Header);
+  const std::size_t section1 = section0 + sizeof(model_format::SectionEntry);
+  std::uint64_t meta_off = 0, meta_size = 0, w_off = 0, w_size = 0;
+  std::memcpy(&meta_off, &corrupt[section0 + 16], 8);
+  std::memcpy(&meta_size, &corrupt[section0 + 24], 8);
+  std::memcpy(&w_off, &corrupt[section1 + 16], 8);
+  std::memcpy(&w_size, &corrupt[section1 + 24], 8);
+  w_size -= 1;
+  corrupt.resize(corrupt.size() - 1);
+  std::memcpy(&corrupt[section1 + 24], &w_size, 8);
+  const std::uint64_t file_size = corrupt.size();
+  std::memcpy(&corrupt[32], &file_size, 8);  // header.file_size
+  const std::uint64_t fingerprint = model_format::fnv1a(
+      corrupt.data() + w_off, w_size,
+      model_format::fnv1a(corrupt.data() + meta_off, meta_size));
+  std::memcpy(&corrupt[24], &fingerprint, 8);  // header.payload_fingerprint
+  expect_mmap_error(corrupt, "not a multiple of 8");
 }
 
 }  // namespace

@@ -1,0 +1,462 @@
+// Router-tier tests: consistent-hash ring, sharded LRU decode cache,
+// replica lifecycle (kill/revive/hot-swap), failover, the cache/request
+// conservation laws, and end-to-end byte identity against the offline
+// decode. The multi-threaded stress tests here are part of the CI
+// ThreadSanitizer job (suite names match its "Router" filter).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/corpus/generator.hpp"
+#include "src/router/hash_ring.hpp"
+#include "src/router/lru_cache.hpp"
+#include "src/router/router.hpp"
+#include "src/serve/protocol.hpp"
+#include "src/serve/socket_server.hpp"
+
+namespace graphner::router {
+namespace {
+
+// --- consistent-hash ring --------------------------------------------------
+
+TEST(RouterHashRing, OwnerIsDeterministicAndOrderIsAPermutation) {
+  const HashRing ring(4, 64);
+  for (const std::string key : {"p53\x1f", "BRCA1\x1fgene\x1f", "", "x"}) {
+    const auto order = ring.order(key);
+    ASSERT_EQ(order.size(), 4U);
+    EXPECT_EQ(order.front(), ring.owner(key));
+    EXPECT_EQ(std::set<std::size_t>(order.begin(), order.end()),
+              (std::set<std::size_t>{0, 1, 2, 3}));
+    EXPECT_EQ(order, ring.order(key));  // same key, same walk
+  }
+}
+
+TEST(RouterHashRing, VirtualNodesSpreadKeysOverAllReplicas) {
+  const HashRing ring(4, 64);
+  std::map<std::size_t, std::size_t> owners;
+  for (int i = 0; i < 4000; ++i)
+    ++owners[ring.owner("sentence-" + std::to_string(i))];
+  ASSERT_EQ(owners.size(), 4U);  // nobody starved
+  for (const auto& [replica, count] : owners)
+    EXPECT_GT(count, 4000U / 16) << "replica " << replica << " is starved";
+}
+
+TEST(RouterHashRing, SingleReplicaOwnsEverything) {
+  const HashRing ring(1, 8);
+  EXPECT_EQ(ring.owner("anything"), 0U);
+  EXPECT_EQ(ring.order("anything"), std::vector<std::size_t>{0});
+}
+
+// --- sharded LRU cache -----------------------------------------------------
+
+std::vector<text::Tag> tags_of(std::initializer_list<text::Tag> tags) {
+  return tags;
+}
+
+TEST(RouterLruCache, CountsHitsAndMissesAndEvictsInLruOrder) {
+  obs::Registry registry;
+  // One shard makes the global LRU order exact.
+  ShardedLruCache cache({.capacity = 3, .shards = 1}, registry);
+  const auto tag = tags_of({text::Tag::kB});
+
+  EXPECT_FALSE(cache.get("a"));  // miss
+  cache.put("a", tag, 1);
+  cache.put("b", tag, 1);
+  cache.put("c", tag, 1);
+  EXPECT_TRUE(cache.get("a"));  // refreshes "a" to the front
+  cache.put("d", tag, 1);       // evicts "b", the least recent
+  EXPECT_FALSE(cache.get("b"));
+  EXPECT_TRUE(cache.get("a"));
+  EXPECT_TRUE(cache.get("c"));
+  EXPECT_TRUE(cache.get("d"));
+  EXPECT_EQ(cache.size(), 3U);
+
+  const auto snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counter_value("cache.hits"), 4U);
+  EXPECT_EQ(snapshot.counter_value("cache.misses"), 2U);
+  EXPECT_EQ(snapshot.counter_value("cache.evictions"), 1U);
+}
+
+TEST(RouterLruCache, PutRefreshesExistingKeyInsteadOfDuplicating) {
+  obs::Registry registry;
+  ShardedLruCache cache({.capacity = 2, .shards = 1}, registry);
+  cache.put("a", tags_of({text::Tag::kB}), 1);
+  cache.put("a", tags_of({text::Tag::kI}), 2);
+  EXPECT_EQ(cache.size(), 1U);
+  const auto hit = cache.get("a");
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(*hit, tags_of({text::Tag::kI}));  // newest value won
+}
+
+TEST(RouterLruCache, InvalidateFingerprintDropsExactlyThatGeneration) {
+  obs::Registry registry;
+  ShardedLruCache cache({.capacity = 64, .shards = 4}, registry);
+  const auto tag = tags_of({text::Tag::kO});
+  for (int i = 0; i < 10; ++i)
+    cache.put("old-" + std::to_string(i), tag, 111);
+  for (int i = 0; i < 7; ++i)
+    cache.put("new-" + std::to_string(i), tag, 222);
+
+  EXPECT_EQ(cache.invalidate_fingerprint(111), 10U);
+  EXPECT_EQ(cache.size(), 7U);
+  EXPECT_FALSE(cache.get("old-0"));
+  EXPECT_TRUE(cache.get("new-0"));
+  EXPECT_EQ(registry.snapshot().counter_value("cache.invalidated"), 10U);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0U);
+  EXPECT_EQ(cache.bytes(), 0U);
+}
+
+TEST(RouterLruCache, ConcurrentGetPutStressStaysBoundedAndConserves) {
+  obs::Registry registry;
+  ShardedLruCache cache({.capacity = 128, .shards = 8}, registry);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      const auto tag = tags_of({text::Tag::kB, text::Tag::kI});
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::string key = "k" + std::to_string((t * 7 + i) % 300);
+        if (auto hit = cache.get(key)) {
+          ASSERT_EQ(hit->size(), 2U);
+        } else {
+          cache.put(key, tag, 42);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_LE(cache.size(), 128U);
+  const auto snapshot = registry.snapshot();
+  // Every get() landed in exactly one ledger.
+  EXPECT_EQ(snapshot.counter_value("cache.hits") +
+                snapshot.counter_value("cache.misses"),
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+}
+
+// --- router over real replicas ---------------------------------------------
+
+class RouterTier : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const auto data = corpus::generate_corpus(corpus::bc2gm_like_spec(0.05, 7));
+    model_ = new std::shared_ptr<const core::GraphNerModel>(
+        std::make_shared<const core::GraphNerModel>(
+            core::GraphNerModel::train(data.train, {}, core::GraphNerConfig{})));
+    sentences_ = new std::vector<text::Sentence>();
+    for (const auto& s : data.test) {
+      text::Sentence stripped;
+      stripped.id = s.id;
+      stripped.tokens = s.tokens;
+      serve::normalize_tokens(stripped.tokens);
+      sentences_->push_back(std::move(stripped));
+    }
+    expected_ = new std::vector<std::vector<text::Tag>>(
+        (*model_)->decode_crf(*sentences_));
+  }
+  static void TearDownTestSuite() {
+    delete expected_;
+    delete sentences_;
+    delete model_;
+  }
+
+  [[nodiscard]] static RouterConfig small_config(std::size_t replicas,
+                                                 bool cache = true) {
+    RouterConfig config;
+    config.replicas = replicas;
+    config.cache_enabled = cache;
+    config.replica_service.workers = 1;
+    config.failover_backoff.initial = std::chrono::milliseconds(1);
+    config.failover_backoff.max = std::chrono::milliseconds(4);
+    return config;
+  }
+
+  static std::shared_ptr<const core::GraphNerModel>* model_;
+  static std::vector<text::Sentence>* sentences_;
+  static std::vector<std::vector<text::Tag>>* expected_;
+};
+
+std::shared_ptr<const core::GraphNerModel>* RouterTier::model_ = nullptr;
+std::vector<text::Sentence>* RouterTier::sentences_ = nullptr;
+std::vector<std::vector<text::Tag>>* RouterTier::expected_ = nullptr;
+
+TEST_F(RouterTier, RoutedDecodeMatchesOfflineDecodeAcrossReplicas) {
+  Router router(*model_, small_config(3));
+  std::vector<std::future<serve::TagResponse>> futures;
+  futures.reserve(sentences_->size());
+  for (const auto& sentence : *sentences_)
+    futures.push_back(router.submit(sentence));
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    auto response = futures[i].get();
+    ASSERT_TRUE(response.ok()) << response.error;
+    EXPECT_EQ(response.tags, (*expected_)[i]) << "sentence " << i;
+  }
+  router.stop();
+}
+
+TEST_F(RouterTier, CacheHitAnswersRepeatWithoutTouchingReplicas) {
+  Router router(*model_, small_config(2));
+  const auto& sentence = sentences_->front();
+
+  auto first = router.submit(sentence).get();
+  ASSERT_TRUE(first.ok());
+  const auto submitted_before =
+      router.observability_snapshot().counter_value("replica.0.submitted") +
+      router.observability_snapshot().counter_value("replica.1.submitted");
+
+  auto second = router.submit(sentence).get();
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.coalesced);  // served from the cross-request cache
+  EXPECT_EQ(second.tags, first.tags);
+
+  const auto snapshot = router.observability_snapshot();
+  EXPECT_EQ(snapshot.counter_value("cache.hits"), 1U);
+  EXPECT_EQ(snapshot.counter_value("replica.0.submitted") +
+                snapshot.counter_value("replica.1.submitted"),
+            submitted_before);  // no replica decode for the repeat
+  router.stop();
+}
+
+TEST_F(RouterTier, CacheDisabledCountsEveryRequestAsMiss) {
+  Router router(*model_, small_config(1, /*cache=*/false));
+  const auto& sentence = sentences_->front();
+  ASSERT_TRUE(router.submit(sentence).get().ok());
+  ASSERT_TRUE(router.submit(sentence).get().ok());
+  const auto snapshot = router.observability_snapshot();
+  EXPECT_EQ(snapshot.counter_value("cache.hits"), 0U);
+  EXPECT_EQ(snapshot.counter_value("cache.misses"), 2U);
+  EXPECT_EQ(snapshot.counter_value("router.requests"), 2U);
+  router.stop();
+}
+
+TEST_F(RouterTier, KilledReplicaIsRoutedAroundAndRevives) {
+  Router router(*model_, small_config(2));
+  router.replica(0).kill();
+  EXPECT_FALSE(router.replica(0).healthy());
+
+  for (std::size_t i = 0; i < 8; ++i) {
+    auto response = router.submit((*sentences_)[i % sentences_->size()]).get();
+    ASSERT_TRUE(response.ok()) << response.error;
+    EXPECT_EQ(response.tags, (*expected_)[i % sentences_->size()]);
+  }
+  // Only replica 1 decoded anything.
+  auto snapshot = router.observability_snapshot();
+  EXPECT_EQ(snapshot.counter_value("replica.0.submitted"), 0U);
+
+  router.replica(0).revive();
+  EXPECT_TRUE(router.replica(0).healthy());
+  ASSERT_TRUE(router.submit(sentences_->front()).get().ok());
+  router.stop();
+}
+
+TEST_F(RouterTier, AllReplicasDownAnswersUnavailableNotShutdown) {
+  Router router(*model_, small_config(2));
+  router.replica(0).kill();
+  router.replica(1).kill();
+  auto response = router.submit(sentences_->front()).get();
+  EXPECT_EQ(response.status, serve::Status::kUnavailable);
+  EXPECT_TRUE(serve::status_retryable(response.status));
+  const auto snapshot = router.observability_snapshot();
+  EXPECT_EQ(snapshot.counter_value("router.unavailable"), 1U);
+  router.stop();
+}
+
+TEST_F(RouterTier, ReplicaMetricsAreMonotoneAcrossKillRevive) {
+  Router router(*model_, small_config(1));
+  ASSERT_TRUE(router.submit((*sentences_)[0]).get().ok());
+  ASSERT_TRUE(router.submit((*sentences_)[1]).get().ok());
+  const auto before =
+      router.observability_snapshot().counter_value("replica.0.submitted");
+  EXPECT_EQ(before, 2U);
+
+  router.replica(0).kill();
+  router.replica(0).revive();
+  // The retired service's counters survive the lifecycle transition...
+  EXPECT_EQ(router.observability_snapshot().counter_value("replica.0.submitted"),
+            before);
+  // ...and keep accumulating on the fresh service.
+  ASSERT_TRUE(router.submit((*sentences_)[2]).get().ok());
+  EXPECT_EQ(router.observability_snapshot().counter_value("replica.0.submitted"),
+            before + 1);
+  router.stop();
+}
+
+TEST_F(RouterTier, HotSwapInvalidatesTheRetiredCacheGeneration) {
+  // A second model with different weights => different fingerprint.
+  const auto other_data =
+      corpus::generate_corpus(corpus::bc2gm_like_spec(0.05, 11));
+  core::GraphNerModel other = core::GraphNerModel::train(
+      other_data.train, {}, core::GraphNerConfig{});
+  ASSERT_NE(other.fingerprint(), (*model_)->fingerprint());
+  const std::string path = ::testing::TempDir() + "router_swap.gmm";
+  other.save_mmap_file(path);
+
+  Router router(*model_, small_config(1));
+  ASSERT_TRUE(router.submit(sentences_->front()).get().ok());
+  EXPECT_EQ(router.cache().size(), 1U);
+
+  const std::string reply = router.admin("swap 0 " + path);
+  EXPECT_EQ(reply.rfind("OK swapped replica 0", 0), 0U) << reply;
+  EXPECT_NE(reply.find("invalidated 1 cache entries"), std::string::npos)
+      << reply;
+  EXPECT_EQ(router.cache().size(), 0U);
+  EXPECT_EQ(router.replica(0).fingerprint(), other.fingerprint());
+
+  // The repeat is a miss now (new generation) and decodes under the new
+  // weights — the swapped-in model is mmap'd, shared zero-copy.
+  auto response = router.submit(sentences_->front()).get();
+  ASSERT_TRUE(response.ok());
+  EXPECT_FALSE(response.coalesced);
+  EXPECT_EQ(response.tags, other.decode_crf({sentences_->front()})[0]);
+
+  const auto snapshot = router.observability_snapshot();
+  EXPECT_EQ(snapshot.counter_value("router.swaps"), 1U);
+  EXPECT_EQ(snapshot.counter_value("cache.invalidated"), 1U);
+  router.stop();
+}
+
+TEST_F(RouterTier, AdminStatusListsReplicasAndRejectsNonsense) {
+  Router router(*model_, small_config(2));
+  const std::string status = router.admin("status");
+  EXPECT_NE(status.find("healthy"), std::string::npos) << status;
+  EXPECT_NE(status.find("fingerprint="), std::string::npos) << status;
+  EXPECT_NE(status.find("cache\ton"), std::string::npos) << status;
+
+  EXPECT_EQ(router.admin("explode").rfind("ERROR", 0), 0U);
+  EXPECT_EQ(router.admin("kill 7").rfind("ERROR", 0), 0U);
+  EXPECT_EQ(router.admin("swap 0").rfind("ERROR", 0), 0U);
+  EXPECT_EQ(router.admin("swap 0 /nonexistent/model").rfind("ERROR", 0), 0U);
+  router.stop();
+}
+
+TEST_F(RouterTier, ConservationLawsHoldAfterMixedTraffic) {
+  Router router(*model_, small_config(3));
+  // Mixed stream with plenty of repeats (the skew the cache exists for),
+  // resolved in waves: the cache is populated when a request's future is
+  // waited on, so rounds after the first hit the entries round one made.
+  std::size_t total = 0;
+  for (int round = 0; round < 5; ++round) {
+    std::vector<std::future<serve::TagResponse>> futures;
+    for (std::size_t i = 0; i < 10 && i < sentences_->size(); ++i)
+      futures.push_back(router.submit((*sentences_)[i]));
+    for (auto& future : futures) ASSERT_TRUE(future.get().ok());
+    total += futures.size();
+  }
+
+  const auto snapshot = router.observability_snapshot();
+  const auto requests = snapshot.counter_value("router.requests");
+  const auto hits = snapshot.counter_value("cache.hits");
+  const auto misses = snapshot.counter_value("cache.misses");
+  const auto failovers = snapshot.counter_value("router.failovers");
+  const auto unavailable = snapshot.counter_value("router.unavailable");
+  std::uint64_t submitted = 0;
+  for (int i = 0; i < 3; ++i)
+    submitted += snapshot.counter_value("replica." + std::to_string(i) +
+                                        ".submitted");
+  EXPECT_EQ(requests, total);
+  EXPECT_EQ(requests, hits + misses);
+  EXPECT_EQ(submitted, misses - unavailable + failovers);
+  EXPECT_GT(hits, 0U);
+  router.stop();
+}
+
+TEST_F(RouterTier, ChaosKillReviveUnderLoadLosesNoRequestAndHidesShutdown) {
+  Router router(*model_, small_config(3, /*cache=*/false));
+  std::atomic<bool> done{false};
+  std::thread chaos([&] {
+    // Kill/revive replicas under fire; replica 2 always stays up so
+    // every failover walk can terminate.
+    while (!done.load()) {
+      router.replica(0).kill();
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      router.replica(1).kill();
+      router.replica(0).revive();
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      router.replica(1).revive();
+    }
+    router.replica(0).revive();
+    router.replica(1).revive();
+  });
+
+  constexpr int kClients = 4;
+  constexpr int kRequests = 50;
+  std::atomic<int> answered{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int r = 0; r < kRequests; ++r) {
+        const auto& sentence = (*sentences_)[(c + r) % sentences_->size()];
+        auto response = router.submit(sentence).get();
+        // Every future resolves; replica-local SHUTDOWN never leaks.
+        EXPECT_NE(response.status, serve::Status::kShutdown);
+        if (response.ok()) {
+          EXPECT_EQ(response.tags,
+                    (*expected_)[(c + r) % sentences_->size()]);
+          answered.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  done.store(true);
+  chaos.join();
+
+  EXPECT_GT(answered.load(), 0);
+  const auto snapshot = router.observability_snapshot();
+  EXPECT_EQ(snapshot.counter_value("router.requests"),
+            static_cast<std::uint64_t>(kClients) * kRequests);
+  router.stop();
+}
+
+TEST_F(RouterTier, SocketServerFrontsRouterWithAdminProtocol) {
+  Router router(*model_, small_config(2));
+  serve::SocketServer server(router, {});
+  server.start();
+
+  serve::ClientConnection connection;
+  connection.connect("127.0.0.1", server.port());
+
+  // A tagging request rides the normal line protocol.
+  connection.send_line("r1\t" + [&] {
+    std::string text;
+    for (const auto& token : sentences_->front().tokens)
+      text += token + " ";
+    return text;
+  }());
+  std::string response;
+  ASSERT_TRUE(connection.recv_line(response));
+  EXPECT_EQ(serve::response_status(response), "OK") << response;
+
+  // Admin lines answer multi-line up to "#END".
+  connection.send_line("#REPLICA status");
+  std::vector<std::string> reply;
+  std::string line;
+  do {
+    ASSERT_TRUE(connection.recv_line(line));
+    reply.push_back(line);
+  } while (line != "#END");
+  ASSERT_GE(reply.size(), 4U);  // 2 replica lines + cache line + #END
+  EXPECT_NE(reply[0].find("healthy"), std::string::npos);
+
+  connection.send_line("#REPLICA kill 0");
+  do {
+    ASSERT_TRUE(connection.recv_line(line));
+  } while (line != "#END");
+  EXPECT_FALSE(router.replica(0).healthy());
+
+  server.stop();
+  router.stop();
+}
+
+}  // namespace
+}  // namespace graphner::router

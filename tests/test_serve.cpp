@@ -700,6 +700,63 @@ TEST(ServeProtocol, ParsesTsvJsonAndControlLines) {
             LineKind::kMalformed);
 }
 
+TEST(ServeProtocol, NormalizationUnifiesTsvAndJsonSpellings) {
+  // The same sentence in sloppy JSON tokens (stray whitespace, a UTF-8
+  // BOM, an empty token) and in clean TSV must converge on one canonical
+  // token vector — everything keyed on the sentence downstream (batch
+  // coalescing, the router's cross-request cache) depends on it.
+  auto json = parse_request_line(
+      "{\"id\":\"r1\",\"tokens\":[\"\\tp53 \",\"binds\\n\",\" DNA\",\"\","
+      "\"\xEF\xBB\xBFgene\"]}");
+  ASSERT_EQ(json.kind, LineKind::kRequest);
+  auto tsv = parse_request_line("r1\tp53 binds DNA gene");
+  ASSERT_EQ(tsv.kind, LineKind::kRequest);
+  EXPECT_EQ(json.request.tokens,
+            (std::vector<std::string>{"p53", "binds", "DNA", "gene"}));
+  EXPECT_EQ(json.request.tokens, tsv.request.tokens);
+  EXPECT_EQ(sentence_key(json.request.tokens),
+            sentence_key(tsv.request.tokens));
+
+  // Interior whitespace collapses but does not split the token, and the
+  // key still tells one two-word token from two tokens apart.
+  EXPECT_EQ(normalize_token("New \r\n York"), "New York");
+  EXPECT_NE(sentence_key({"New York"}), sentence_key({"New", "York"}));
+}
+
+TEST(ServeProtocol, ParsesReplicaAdminLines) {
+  const auto admin = parse_request_line("  #REPLICA kill 1 ");
+  ASSERT_EQ(admin.kind, LineKind::kAdmin);
+  EXPECT_EQ(admin.admin, "kill 1");
+
+  const auto bare = parse_request_line("#REPLICA");
+  EXPECT_EQ(bare.kind, LineKind::kMalformed);
+  EXPECT_NE(bare.error.find("needs a command"), std::string::npos);
+}
+
+TEST_F(ServeTest, RequestDeadlineBoundsTheRetryLoop) {
+  TaggingService service(*model_, {});
+  SocketServer server(service, {});
+  server.start();
+  service.stop();  // every request now answers SHUTDOWN — retryable forever
+
+  ClientConnection connection;
+  connection.connect("127.0.0.1", server.port());
+  util::BackoffPolicy policy;
+  policy.initial = std::chrono::milliseconds(25);
+  policy.max = std::chrono::milliseconds(25);
+  policy.jitter = 0.0;
+  policy.max_retries = 1000;  // ~25 s of backoff if only retries bounded it
+  std::string response;
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(
+      connection.request_with_retry("r1@80\tp53 binds DNA", response, policy));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(response_status(response), "SHUTDOWN") << response;
+  // The '@80' budget, not the retry count, ended the loop.
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+  server.stop();
+}
+
 TEST(ServeProtocol, ParsesMetricsFlavours) {
   const auto legacy = parse_request_line("#METRICS");
   ASSERT_EQ(legacy.kind, LineKind::kMetrics);
