@@ -8,6 +8,9 @@
 //   graphner_client --port 8765 --admin "kill 1"
 //       send a "#REPLICA <cmd>" admin line (graphner_router only) and
 //       print the reply up to its #END terminator
+//   graphner_client --port 8765 --admin "#LEARN file new-sents.txt"
+//       an --admin value starting with '#' goes out verbatim — the online
+//       learning verb of a --learn router absorbs the file's sentences
 //
 // With --concurrency N the lines are striped over N connections, each of
 // which pipelines a window of requests — that is what drives the server's
@@ -60,7 +63,9 @@ int main(int argc, char** argv) {
   auto metrics = cli.toggle("metrics", "fetch the server metrics JSON and exit");
   auto admin = cli.flag<std::string>(
       "admin", "",
-      "send '#REPLICA <cmd>' (kill/revive/swap/status) and print the reply");
+      "send '#REPLICA <cmd>' (kill/revive/swap/status/learn) and print the "
+      "reply; a value starting with '#' (e.g. '#LEARN text ...') is sent "
+      "verbatim");
   auto metrics_format = cli.flag<std::string>(
       "metrics-format", "",
       "with --metrics: json | tsv | prom (empty = legacy service JSON)");
@@ -97,7 +102,10 @@ int main(int argc, char** argv) {
       // as "#METRICS TSV"); print everything including the terminator.
       serve::ClientConnection connection;
       connection.connect(*host, *port, connect_policy);
-      connection.send_line("#REPLICA " + *admin);
+      // "--admin '#LEARN ...'" ships the control line as-is; anything else
+      // keeps the historical "#REPLICA <cmd>" framing.
+      connection.send_line(admin->front() == '#' ? *admin
+                                                 : "#REPLICA " + *admin);
       std::string line;
       do {
         if (!connection.recv_line(line))

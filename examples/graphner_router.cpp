@@ -14,7 +14,11 @@
 // "GNERMMAP"); with the mmap format all replicas share one page-cache
 // copy of the weights. The wire protocol is graphner_serve's, plus the
 // "#REPLICA kill|revive|swap|status" admin line (graphner_client --admin)
-// driving the chaos drill and hot-swap.
+// driving the chaos drill and hot-swap, and — with --learn — the "#LEARN
+// text|file|status" online-learning line (DESIGN.md §12): new sentences
+// become k-NN graph vertices incrementally, a localized re-propagation
+// refreshes their label distributions, and the learned fork is
+// hot-swapped into every replica.
 //
 // SIGINT/SIGTERM trigger a graceful stop: the listener closes, every
 // replica drains, and the final metrics JSON is printed to stderr.
@@ -124,6 +128,14 @@ int main(int argc, char** argv) {
   auto metrics_every = cli.flag<long>(
       "metrics-dump-every", 0,
       "dump the Prometheus metrics snapshot to stderr every N seconds (0 = off)");
+  auto learn = cli.toggle(
+      "learn", "enable the online #LEARN path (incremental graph + "
+               "localized re-propagation, hot-swapped into every replica)");
+  auto learn_seed = cli.flag<std::string>(
+      "learn-seed", "",
+      "sentence file absorbed as the first learn batch before serving");
+  auto learn_tolerance = cli.flag<double>(
+      "learn-tolerance", 1e-6, "residual tolerance of localized re-propagation");
   cli.parse(argc, argv);
 
   try {
@@ -155,7 +167,18 @@ int main(int argc, char** argv) {
     router_config.replica_service.blend_decode = *blend;
     router_config.replica_service.degrade.high_watermark = *degrade_high;
     router_config.replica_service.degrade.low_watermark = *degrade_low;
+    router_config.learn_enabled = *learn || !learn_seed->empty();
+    router_config.learn.tolerance = *learn_tolerance;
     router::Router router(model, router_config);
+
+    if (!learn_seed->empty()) {
+      // The seed corpus goes through the exact admin path a client's
+      // "#LEARN file" would take, so serving starts from a learned tier.
+      const std::string reply = router.admin("learn file " + *learn_seed);
+      if (reply.rfind("OK", 0) != 0)
+        throw std::runtime_error("learn seed: " + reply);
+      std::cerr << "graphner_router: " << reply;
+    }
 
     if (!offline->empty()) {
       // Offline reference pass through the *same* routed tier: identical

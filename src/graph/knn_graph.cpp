@@ -1,26 +1,18 @@
 #include "src/graph/knn_graph.hpp"
 
-#include <algorithm>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
 #include <string>
 
+#include "src/graph/knn_index.hpp"
 #include "src/obs/registry.hpp"
 #include "src/obs/span.hpp"
-#include "src/util/parallel.hpp"
-#include "src/util/top_k.hpp"
 
 namespace graphner::graph {
 
 KnnGraph::KnnGraph(std::size_t num_vertices, std::size_t k)
     : k_(k), edges_(num_vertices) {}
-
-std::size_t KnnGraph::edge_count() const noexcept {
-  std::size_t n = 0;
-  for (const auto& e : edges_) n += e.size();
-  return n;
-}
 
 void KnnGraph::save(std::ostream& out) const {
   out.precision(10);  // round-trip float weights exactly
@@ -48,7 +40,19 @@ KnnGraph KnnGraph::load(std::istream& in) {
                                std::to_string(src) + " -> " +
                                std::to_string(edge.target) + ", vertices=" +
                                std::to_string(vertices) + ")");
-    graph.edges_[src].push_back(edge);
+    std::vector<Edge>& out_edges = graph.edges_[src];
+    if (out_edges.size() >= k)
+      throw std::runtime_error("knn graph: vertex " + std::to_string(src) +
+                               " has more than k=" + std::to_string(k) +
+                               " edges (record " + std::to_string(record) + ")");
+    for (const Edge& existing : out_edges)
+      if (existing.target == edge.target)
+        throw std::runtime_error("knn graph: duplicate edge " +
+                                 std::to_string(src) + " -> " +
+                                 std::to_string(edge.target) + " (record " +
+                                 std::to_string(record) + ")");
+    out_edges.push_back(edge);
+    ++graph.edge_count_;
     ++record;
   }
   // The loop may stop either at a clean end-of-stream or on a token that is
@@ -61,61 +65,18 @@ KnnGraph KnnGraph::load(std::istream& in) {
 
 KnnGraph build_knn_graph(const std::vector<SparseVector>& vectors,
                          const KnnConfig& config) {
-  const std::size_t n = vectors.size();
-  KnnGraph graph(n, config.k);
+  // One-shot build = one append into an empty KnnIndex (knn_index.cpp):
+  // identical candidate enumeration and scoring, so this refactor is
+  // behaviour-preserving — and callers that keep the index instead get
+  // incremental appends for free.
   obs::ScopedSpan span("graph.knn_build");
-
-  // Inverted index: feature id -> (vertex, value) pairs, so the scoring
-  // loop accumulates dot products without touching the candidate's vector.
-  struct Posting {
-    VertexId vertex;
-    float value;
-  };
-  std::uint32_t max_feature = 0;
-  for (const auto& vec : vectors)
-    for (const auto& e : vec.entries()) max_feature = std::max(max_feature, e.index);
-  std::vector<std::vector<Posting>> postings(static_cast<std::size_t>(max_feature) + 1);
-  for (std::size_t v = 0; v < n; ++v)
-    for (const auto& e : vectors[v].entries())
-      postings[e.index].push_back({static_cast<VertexId>(v), e.value});
-
-  std::size_t skipped_features = 0;
-  for (auto& plist : postings)
-    if (plist.size() > config.max_posting_length) {
-      plist.clear();
-      plist.shrink_to_fit();
-      ++skipped_features;
-    }
-
-  // Each worker keeps a dense accumulator reused across its chunk; the
-  // `touched` list bounds the reset cost by the candidate count.
-  util::parallel_for_chunked(0, n, [&](std::size_t lo, std::size_t hi) {
-    std::vector<double> acc(n, 0.0);
-    std::vector<VertexId> touched;
-    for (std::size_t v = lo; v < hi; ++v) {
-      touched.clear();
-      for (const auto& e : vectors[v].entries()) {
-        for (const Posting& p : postings[e.index]) {
-          if (p.vertex == v) continue;
-          if (acc[p.vertex] == 0.0) touched.push_back(p.vertex);
-          acc[p.vertex] += static_cast<double>(e.value) * p.value;
-        }
-      }
-      util::TopK<VertexId> best(config.k);
-      for (const VertexId u : touched) {
-        if (acc[u] > config.min_similarity) best.push(acc[u], u);
-        acc[u] = 0.0;
-      }
-      std::vector<Edge> edges;
-      for (auto& [score, u] : best.take_sorted())
-        edges.push_back({u, static_cast<float>(score)});
-      graph.set_neighbours(static_cast<VertexId>(v), std::move(edges));
-    }
-  });
-
+  const std::size_t n = vectors.size();
+  KnnIndex index = KnnIndex::build(vectors, config);
+  KnnGraph graph = index.take_graph();
   span.attr("vertices", static_cast<std::uint64_t>(n));
   span.attr("edges", static_cast<std::uint64_t>(graph.edge_count()));
-  span.attr("skipped_features", static_cast<std::uint64_t>(skipped_features));
+  span.attr("skipped_features",
+            static_cast<std::uint64_t>(index.capped_features()));
   obs::Registry& registry = obs::Registry::global();
   registry.gauge("graph.knn.vertices").set(static_cast<double>(n));
   registry.gauge("graph.knn.edges").set(static_cast<double>(graph.edge_count()));

@@ -30,21 +30,35 @@ class KnnGraph {
 
   [[nodiscard]] std::size_t vertex_count() const noexcept { return edges_.size(); }
   [[nodiscard]] std::size_t k() const noexcept { return k_; }
-  [[nodiscard]] std::size_t edge_count() const noexcept;
+  /// Total directed edges. O(1): the count is maintained incrementally by
+  /// set_neighbours / grow / load instead of re-scanned per call (it backs
+  /// metric updates on every build and append).
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edge_count_; }
 
   [[nodiscard]] const std::vector<Edge>& neighbours(VertexId v) const {
     return edges_.at(v);
   }
   void set_neighbours(VertexId v, std::vector<Edge> edges) {
-    edges_.at(v) = std::move(edges);
+    std::vector<Edge>& slot = edges_.at(v);
+    edge_count_ += edges.size();
+    edge_count_ -= slot.size();
+    slot = std::move(edges);
   }
+
+  /// Append `count` new vertices with empty neighbour lists (incremental
+  /// k-NN insertion; existing vertex ids are stable).
+  void grow(std::size_t count) { edges_.resize(edges_.size() + count); }
 
   /// Text serialization: one line per edge "src dst weight".
   void save(std::ostream& out) const;
+  /// Rejects (with distinct messages): malformed header, truncated or
+  /// unparseable records, out-of-range vertex ids, more than k edges on a
+  /// source vertex, and duplicate (src, target) records.
   static KnnGraph load(std::istream& in);
 
  private:
   std::size_t k_ = 0;
+  std::size_t edge_count_ = 0;
   std::vector<std::vector<Edge>> edges_;
 };
 

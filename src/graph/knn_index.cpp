@@ -1,0 +1,161 @@
+#include "src/graph/knn_index.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <tuple>
+
+#include "src/obs/registry.hpp"
+#include "src/obs/span.hpp"
+#include "src/util/parallel.hpp"
+#include "src/util/top_k.hpp"
+
+namespace graphner::graph {
+
+KnnIndex KnnIndex::build(std::vector<SparseVector> vectors,
+                         const KnnConfig& config) {
+  KnnIndex index(config);
+  (void)index.append(std::move(vectors));
+  return index;
+}
+
+KnnIndex::AppendResult KnnIndex::append(std::vector<SparseVector> new_vectors) {
+  AppendResult result;
+  const std::size_t n_old = vectors_.size();
+  const std::size_t n_new = new_vectors.size();
+  const std::size_t n_total = n_old + n_new;
+  result.first_id = static_cast<VertexId>(n_old);
+  result.appended = n_new;
+  if (n_new == 0) return result;
+
+  obs::ScopedSpan span("graph.knn_append");
+  span.attr("existing", static_cast<std::uint64_t>(n_old));
+  span.attr("appended", static_cast<std::uint64_t>(n_new));
+
+  vectors_.reserve(n_total);
+  for (auto& vec : new_vectors) vectors_.push_back(std::move(vec));
+  graph_.grow(n_new);
+
+  // 1. Extend the inverted index with the new vertices' entries. True
+  // posting lengths keep counting past the cap so a list that crossed it
+  // stays retired (it would connect everything to everything).
+  std::uint32_t max_feature = 0;
+  for (std::size_t v = n_old; v < n_total; ++v)
+    for (const auto& e : vectors_[v].entries())
+      max_feature = std::max(max_feature, e.index);
+  if (static_cast<std::size_t>(max_feature) + 1 > postings_.size()) {
+    postings_.resize(static_cast<std::size_t>(max_feature) + 1);
+    posting_lengths_.resize(postings_.size(), 0);
+  }
+  for (std::size_t v = n_old; v < n_total; ++v) {
+    for (const auto& e : vectors_[v].entries()) {
+      std::size_t& length = ++posting_lengths_[e.index];
+      std::vector<Posting>& plist = postings_[e.index];
+      if (length > config_.max_posting_length) {
+        if (!plist.empty()) {
+          plist.clear();
+          plist.shrink_to_fit();
+          ++capped_features_;
+          ++result.newly_capped_features;
+        }
+        continue;
+      }
+      plist.push_back({static_cast<VertexId>(v), e.value});
+    }
+  }
+
+  // 2. Score each new vertex against the postings (which now hold old and
+  // new vertices alike, so intra-batch edges form too). The loop body is
+  // the same candidate enumeration build_knn_graph ran, which is what
+  // makes append-then-query bit-identical to a rebuild. Similarities of
+  // (old vertex, new vertex) pairs double as reverse-patch candidates:
+  // sim is symmetric and both sides accumulate shared features in the
+  // same ascending-index order, so the score is the exact double the old
+  // vertex's own scan would have produced.
+  struct ReverseCandidate {
+    VertexId old_vertex;
+    VertexId new_vertex;
+    double score;
+  };
+  std::vector<ReverseCandidate> reverse;
+  std::mutex reverse_mutex;
+
+  util::parallel_for_chunked(n_old, n_total, [&](std::size_t lo, std::size_t hi) {
+    std::vector<double> acc(n_total, 0.0);
+    std::vector<VertexId> touched;
+    std::vector<ReverseCandidate> local;
+    for (std::size_t v = lo; v < hi; ++v) {
+      touched.clear();
+      for (const auto& e : vectors_[v].entries()) {
+        for (const Posting& p : postings_[e.index]) {
+          if (p.vertex == v) continue;
+          if (acc[p.vertex] == 0.0) touched.push_back(p.vertex);
+          acc[p.vertex] += static_cast<double>(e.value) * p.value;
+        }
+      }
+      util::TopK<VertexId> best(config_.k);
+      for (const VertexId u : touched) {
+        if (acc[u] > config_.min_similarity) {
+          best.push(acc[u], u);
+          if (u < n_old)
+            local.push_back({u, static_cast<VertexId>(v), acc[u]});
+        }
+        acc[u] = 0.0;
+      }
+      std::vector<Edge> edges;
+      for (auto& [score, u] : best.take_sorted())
+        edges.push_back({u, static_cast<float>(score)});
+      graph_.set_neighbours(static_cast<VertexId>(v), std::move(edges));
+    }
+    if (!local.empty()) {
+      std::lock_guard<std::mutex> lock(reverse_mutex);
+      reverse.insert(reverse.end(), local.begin(), local.end());
+    }
+  });
+
+  // 3. Reverse patch: merge each old vertex's candidates into its edge
+  // list. The old list is the exact top-k over the old vertex set and the
+  // union's top-k can only draw from (old top-k) ∪ (new candidates), so
+  // sort-and-truncate over the merge is an exact top-k over the union.
+  std::sort(reverse.begin(), reverse.end(),
+            [](const ReverseCandidate& a, const ReverseCandidate& b) {
+              return std::tie(a.old_vertex, a.new_vertex) <
+                     std::tie(b.old_vertex, b.new_vertex);
+            });
+  std::size_t i = 0;
+  while (i < reverse.size()) {
+    const VertexId u = reverse[i].old_vertex;
+    std::vector<Edge> merged(graph_.neighbours(u));
+    for (; i < reverse.size() && reverse[i].old_vertex == u; ++i)
+      merged.push_back({reverse[i].new_vertex,
+                        static_cast<float>(reverse[i].score)});
+    // Stable: an old edge outranks a new candidate of equal weight, the
+    // same first-come-stays rule TopK::push applies in a rebuild.
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const Edge& a, const Edge& b) { return a.weight > b.weight; });
+    if (merged.size() > config_.k) merged.resize(config_.k);
+    // The pre-append list cannot reference this batch, so u changed iff a
+    // batch vertex survived the truncation.
+    bool changed = false;
+    for (const Edge& e : merged)
+      if (e.target >= n_old) {
+        changed = true;
+        break;
+      }
+    if (changed) {
+      result.patched.push_back(u);
+      graph_.set_neighbours(u, std::move(merged));
+    }
+  }
+
+  span.attr("patched", static_cast<std::uint64_t>(result.patched.size()));
+  span.attr("edges", static_cast<std::uint64_t>(graph_.edge_count()));
+  obs::Registry& registry = obs::Registry::global();
+  registry.counter("graph.knn.appends").inc();
+  registry.counter("graph.knn.appended_vertices").inc(n_new);
+  registry.counter("graph.knn.patched_vertices").inc(result.patched.size());
+  registry.gauge("graph.knn.vertices").set(static_cast<double>(n_total));
+  registry.gauge("graph.knn.edges").set(static_cast<double>(graph_.edge_count()));
+  return result;
+}
+
+}  // namespace graphner::graph

@@ -1,0 +1,97 @@
+// Incremental exact k-NN index: the persistent state behind KnnGraph.
+//
+// build_knn_graph (knn_graph.cpp) derives the inverted posting index,
+// scores every vertex and throws the index away — absorbing new corpus
+// text means an O(V^2 F) rebuild. KnnIndex keeps the postings (and the
+// vertex vectors) alive so new vertices can be inserted incrementally:
+//
+//   * a new vertex is scored only against the posting lists of its own
+//     features — O(candidates), the same candidate generation a rebuild
+//     would run for that one vertex;
+//   * an old vertex u is patched only where a new vertex v actually enters
+//     u's top-k (u's existing edge list is its exact top-k over the old
+//     vertex set, so merging the new candidates keeps it exact).
+//
+// append() therefore produces, vertex for vertex, the same edge sets a
+// from-scratch rebuild over the union would (the golden test in
+// tests/test_graph.cpp): identical candidate enumeration order per source
+// vertex gives bit-identical similarity scores, and the reverse patch is
+// an exact top-k merge. The one documented divergence is the posting-length
+// cap: a feature whose posting list outgrows max_posting_length *during an
+// append* stops generating candidates from then on, but edges it justified
+// earlier are kept (a rebuild would drop the feature everywhere). That is
+// the Feria-et-al-style quality/latency trade of incremental insertion,
+// not a correctness issue — and it cannot trigger when the cap is not
+// crossed, which the golden test pins.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/graph/knn_graph.hpp"
+#include "src/graph/sparse_vector.hpp"
+#include "src/graph/trigram.hpp"
+
+namespace graphner::graph {
+
+class KnnIndex {
+ public:
+  KnnIndex() = default;
+  explicit KnnIndex(KnnConfig config) : config_(config), graph_(0, config.k) {}
+
+  /// Build from scratch = one append into an empty index (identical
+  /// scoring path, so build-then-append and rebuild agree by construction).
+  [[nodiscard]] static KnnIndex build(std::vector<SparseVector> vectors,
+                                      const KnnConfig& config);
+
+  struct AppendResult {
+    VertexId first_id = 0;       ///< id of the first appended vertex
+    std::size_t appended = 0;    ///< how many vertices were appended
+    /// Pre-existing vertices whose top-k gained at least one new edge
+    /// (sorted ascending, unique) — the propagation seeds besides the new
+    /// vertices themselves.
+    std::vector<VertexId> patched;
+    /// Features whose posting list crossed max_posting_length during this
+    /// append and stopped generating candidates.
+    std::size_t newly_capped_features = 0;
+  };
+
+  /// Insert `new_vectors` as vertices [size, size + n) and wire them into
+  /// the graph: forward edges (each new vertex's exact top-k over the whole
+  /// index, new vertices included) and reverse patches (every old vertex
+  /// whose top-k the new vertices enter).
+  AppendResult append(std::vector<SparseVector> new_vectors);
+
+  [[nodiscard]] const KnnGraph& graph() const noexcept { return graph_; }
+  [[nodiscard]] const std::vector<SparseVector>& vectors() const noexcept {
+    return vectors_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return vectors_.size(); }
+  [[nodiscard]] const KnnConfig& config() const noexcept { return config_; }
+  /// Features whose posting list ever crossed max_posting_length.
+  [[nodiscard]] std::size_t capped_features() const noexcept {
+    return capped_features_;
+  }
+
+  /// Release the graph (the index keeps an empty one; used by the one-shot
+  /// build_knn_graph wrapper).
+  [[nodiscard]] KnnGraph take_graph() { return std::move(graph_); }
+
+ private:
+  struct Posting {
+    VertexId vertex;
+    float value;
+  };
+
+  KnnConfig config_{};
+  KnnGraph graph_{0, 0};
+  std::vector<SparseVector> vectors_;
+  /// Inverted index: feature id -> (vertex, value), vertex-id ascending.
+  /// A capped feature keeps an empty list but its true length lives on in
+  /// posting_lengths_ so the cap stays crossed.
+  std::vector<std::vector<Posting>> postings_;
+  std::vector<std::size_t> posting_lengths_;
+  std::size_t capped_features_ = 0;
+};
+
+}  // namespace graphner::graph

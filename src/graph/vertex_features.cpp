@@ -28,6 +28,20 @@ std::vector<std::string> lexical_features(const text::Sentence& sentence,
 
 }  // namespace
 
+std::vector<std::string> vertex_features_at(const text::Sentence& sentence,
+                                            std::size_t position,
+                                            const features::FeatureExtractor& extractor,
+                                            const VertexFeatureConfig& config) {
+  if (config.representation == VertexRepresentation::kLexical)
+    return lexical_features(sentence, position);
+  std::vector<std::string> names = extractor.extract_at(sentence, position);
+  if (config.representation == VertexRepresentation::kMiSelected)
+    std::erase_if(names, [&](const std::string& n) {
+      return !config.selected_features.contains(n);
+    });
+  return names;
+}
+
 std::string representation_name(VertexRepresentation rep) {
   switch (rep) {
     case VertexRepresentation::kAllFeatures: return "All-features";
@@ -56,17 +70,8 @@ VertexVectors build_vertex_vectors(const TrigramVertices& vertices,
     const text::Sentence& sentence = *sentences[s];
     for (std::size_t i = 0; i < sentence.size(); ++i) {
       const VertexId v = vertices.positions[s][i];
-      std::vector<std::string> names;
-      if (config.representation == VertexRepresentation::kLexical) {
-        names = lexical_features(sentence, i);
-      } else {
-        names = extractor.extract_at(sentence, i);
-        if (config.representation == VertexRepresentation::kMiSelected) {
-          std::erase_if(names, [&](const std::string& n) {
-            return !config.selected_features.contains(n);
-          });
-        }
-      }
+      const std::vector<std::string> names =
+          vertex_features_at(sentence, i, extractor, config);
       ++vertex_counts[v];
       for (const auto& name : names) {
         auto [it, inserted] =

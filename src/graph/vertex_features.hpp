@@ -40,6 +40,14 @@ struct VertexVectors {
   std::size_t feature_instance_count = 0;
 };
 
+/// The feature names contributing to the vertex at `position` of `sentence`
+/// under `config` — the single-position unit build_vertex_vectors counts,
+/// exposed so the online learner accumulates the *same* cooccurrence
+/// statistics incrementally.
+[[nodiscard]] std::vector<std::string> vertex_features_at(
+    const text::Sentence& sentence, std::size_t position,
+    const features::FeatureExtractor& extractor, const VertexFeatureConfig& config);
+
 /// Build PPMI vectors for every vertex. `sentences` must iterate in the
 /// same order as `vertices.positions` (train sentences, then test).
 [[nodiscard]] VertexVectors build_vertex_vectors(

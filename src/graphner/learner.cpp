@@ -1,0 +1,214 @@
+#include "src/graphner/learner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/graph/trigram.hpp"
+#include "src/obs/registry.hpp"
+#include "src/obs/span.hpp"
+#include "src/util/logging.hpp"
+
+namespace graphner::core {
+
+using propagation::LabelDistribution;
+using text::kNumTags;
+
+namespace {
+
+[[nodiscard]] std::string key_of(const std::array<std::string, 3>& trigram) {
+  return trigram[0] + '\x1f' + trigram[1] + '\x1f' + trigram[2];
+}
+
+}  // namespace
+
+OnlineLearner::OnlineLearner(std::shared_ptr<const GraphNerModel> base,
+                             OnlineLearnerConfig config)
+    : base_(std::move(base)),
+      config_(config),
+      feature_config_(base_->config().vertex_features),
+      index_(base_->config().knn) {
+  if (config_.mu <= 0.0) config_.mu = base_->config().propagation.mu;
+  if (config_.nu <= 0.0) config_.nu = base_->config().propagation.nu;
+}
+
+LearnStats OnlineLearner::learn(const std::vector<text::Sentence>& batch) {
+  LearnStats stats;
+  stats.sentences = batch.size();
+  if (batch.empty()) {
+    stats.converged = true;
+    return stats;
+  }
+
+  obs::ScopedSpan span("learn.batch");
+  span.attr("sentences", static_cast<std::uint64_t>(batch.size()));
+  const std::size_t n_before = trigrams_.size();
+
+  // Pass over the batch: register trigram types, accumulate cooccurrence
+  // counts (global feature counts always; per-vertex counts only for
+  // vertices new in this batch — their vectors are about to be built),
+  // and fold each position's CRF posterior into its vertex's running sum.
+  std::vector<std::unordered_map<std::uint32_t, std::uint32_t>> new_vf;
+  std::vector<graph::VertexId> touched_existing;
+  crf::LinearChainCrf::Scratch scratch;
+  features::EncodeScratch encode;
+  for (const auto& sentence : batch) {
+    if (sentence.size() == 0) continue;
+    const crf::SentencePosteriors posterior =
+        base_->posteriors_one(sentence, scratch, encode);
+    for (std::size_t i = 0; i < sentence.size(); ++i) {
+      const auto trigram = graph::trigram_at(sentence, i);
+      const std::string key = key_of(trigram);
+      auto [slot, inserted] =
+          vertex_of_.emplace(key, static_cast<graph::VertexId>(trigrams_.size()));
+      const graph::VertexId v = slot->second;
+      if (inserted) {
+        trigrams_.push_back(trigram);
+        posterior_sum_.emplace_back();
+        occurrences_.push_back(0.0);
+        new_vf.emplace_back();
+      } else if (v < n_before) {
+        touched_existing.push_back(v);
+      }
+      for (const auto& name : graph::vertex_features_at(
+               sentence, i, base_->extractor(), feature_config_)) {
+        auto [fit, finserted] = feature_ids_.emplace(
+            name, static_cast<std::uint32_t>(feature_counts_.size()));
+        if (finserted) feature_counts_.push_back(0);
+        ++feature_counts_[fit->second];
+        ++total_feature_instances_;
+        if (v >= n_before) ++new_vf[v - n_before][fit->second];
+      }
+      for (std::size_t y = 0; y < kNumTags; ++y)
+        posterior_sum_[v][y] += posterior.tag_marginals[i][y];
+      occurrences_[v] += 1.0;
+    }
+  }
+  const std::size_t n_new = trigrams_.size() - n_before;
+  stats.appended_vertices = n_new;
+
+  // Build PPMI vectors for the new vertices against the accumulated
+  // counts (same formula as build_vertex_vectors' pass 2) and append them
+  // to the index.
+  const auto total =
+      static_cast<double>(std::max<std::uint64_t>(1, total_feature_instances_));
+  const auto df_cap = static_cast<std::uint64_t>(
+      feature_config_.max_document_frequency * total);
+  std::vector<graph::SparseVector> new_vectors(n_new);
+  for (std::size_t j = 0; j < n_new; ++j) {
+    const double pv = occurrences_[n_before + j];
+    std::vector<graph::SparseEntry> entries;
+    entries.reserve(new_vf[j].size());
+    for (const auto& [f, c] : new_vf[j]) {
+      if (feature_counts_[f] > df_cap) continue;
+      const double pmi = std::log(static_cast<double>(c) * total /
+                                  (pv * static_cast<double>(feature_counts_[f])));
+      if (pmi > 0.0) entries.push_back({f, static_cast<float>(pmi)});
+    }
+    new_vectors[j] = graph::SparseVector(std::move(entries));
+    new_vectors[j].normalize();
+  }
+  const graph::KnnIndex::AppendResult appended =
+      index_.append(std::move(new_vectors));
+  stats.patched_vertices = appended.patched.size();
+
+  // Extend the propagation state. Every vertex is anchored (see header):
+  // X_ref where the labelled data saw the trigram, the running posterior
+  // average elsewhere.
+  x_.resize(trigrams_.size());
+  x_reference_.resize(trigrams_.size());
+  is_labelled_.resize(trigrams_.size(), true);
+  hand_labelled_.resize(trigrams_.size(), false);
+  for (std::size_t v = n_before; v < trigrams_.size(); ++v) {
+    if (const auto* ref = base_->reference().find(trigrams_[v])) {
+      x_reference_[v] = *ref;
+      hand_labelled_[v] = true;
+    } else {
+      for (std::size_t y = 0; y < kNumTags; ++y)
+        x_reference_[v][y] = posterior_sum_[v][y] / occurrences_[v];
+    }
+    x_[v] = x_reference_[v];  // warm start at the anchor
+  }
+
+  // Existing unlabelled vertices whose running posterior average drifted:
+  // their anchor (hence their equation) changed, so they seed too.
+  std::sort(touched_existing.begin(), touched_existing.end());
+  touched_existing.erase(
+      std::unique(touched_existing.begin(), touched_existing.end()),
+      touched_existing.end());
+  std::vector<graph::VertexId> seeds;
+  for (const graph::VertexId v : touched_existing) {
+    if (hand_labelled_[v]) continue;
+    LabelDistribution anchor{};
+    double drift = 0.0;
+    for (std::size_t y = 0; y < kNumTags; ++y) {
+      anchor[y] = posterior_sum_[v][y] / occurrences_[v];
+      drift = std::max(drift, std::abs(anchor[y] - x_reference_[v][y]));
+    }
+    if (drift > config_.anchor_tolerance) {
+      x_reference_[v] = anchor;
+      seeds.push_back(v);
+      ++stats.perturbed_vertices;
+    }
+  }
+  for (std::size_t v = n_before; v < trigrams_.size(); ++v)
+    seeds.push_back(static_cast<graph::VertexId>(v));
+  seeds.insert(seeds.end(), appended.patched.begin(), appended.patched.end());
+
+  // Localized re-propagation from the batch's footprint.
+  propagation::IncrementalPropagationConfig prop;
+  prop.mu = config_.mu;
+  prop.nu = config_.nu;
+  prop.tolerance = config_.tolerance;
+  prop.max_relaxations = config_.max_relaxations;
+  const propagation::IncrementalPropagationResult result =
+      propagation::propagate_incremental(index_.graph(), x_, x_reference_,
+                                         is_labelled_, seeds, prop);
+  stats.relaxations = result.relaxations;
+  stats.active_vertices = result.active_vertices;
+  stats.final_residual = result.final_residual;
+  stats.converged = result.converged;
+
+  rebuild_learned_table();
+
+  obs::Registry& registry = obs::Registry::global();
+  registry.counter("learn.batches").inc();
+  registry.counter("learn.sentences").inc(stats.sentences);
+  registry.counter("learn.vertices_appended").inc(stats.appended_vertices);
+  registry.counter("learn.relaxations").inc(stats.relaxations);
+  registry.gauge("learn.vertices").set(static_cast<double>(trigrams_.size()));
+  registry.gauge("learn.edges").set(static_cast<double>(edge_count()));
+  registry.gauge("learn.residual").set(stats.final_residual);
+  registry.gauge("learn.active_fraction")
+      .set(trigrams_.empty() ? 0.0
+                             : static_cast<double>(stats.active_vertices) /
+                                   static_cast<double>(trigrams_.size()));
+  span.attr("appended", static_cast<std::uint64_t>(stats.appended_vertices));
+  span.attr("patched", static_cast<std::uint64_t>(stats.patched_vertices));
+  span.attr("relaxations", static_cast<std::uint64_t>(stats.relaxations));
+  util::log_info("learn: ", batch.size(), " sentences, +",
+                 stats.appended_vertices, " vertices (", trigrams_.size(),
+                 " total), ", stats.patched_vertices, " patched, ",
+                 stats.relaxations, " relaxations, residual ",
+                 stats.final_residual);
+  return stats;
+}
+
+void OnlineLearner::rebuild_learned_table() {
+  // The learned table carries the propagated distributions of every vertex
+  // the labelled data never anchored — exactly the trigrams the base
+  // model's blended decode has no corpus-level signal for.
+  auto learned = std::make_shared<ReferenceDistributions>();
+  for (std::size_t v = 0; v < trigrams_.size(); ++v)
+    if (!hand_labelled_[v]) learned->set(trigrams_[v], x_[v]);
+  learned_ = std::move(learned);
+}
+
+std::shared_ptr<const GraphNerModel> OnlineLearner::snapshot_model() const {
+  auto learned = learned_;
+  if (!learned) learned = std::make_shared<const ReferenceDistributions>();
+  return std::make_shared<const GraphNerModel>(
+      base_->fork_with_learned(std::move(learned)));
+}
+
+}  // namespace graphner::core

@@ -1,0 +1,139 @@
+// Online learning: absorb new unlabelled text into a served model.
+//
+// The serving-tier analogue of the transductive TEST procedure, run
+// incrementally (DESIGN.md §12). The learner owns the corpus-level state a
+// batch pipeline throws away after every run — the trigram vertex registry,
+// the PPMI cooccurrence counts, the k-NN posting index (graph::KnnIndex)
+// and the propagated label distributions — so absorbing a batch of
+// sentences costs work proportional to the batch's neighbourhood, not to
+// the corpus:
+//
+//   1. new trigram types become vertices; their PPMI vectors are built
+//      from the *accumulated* cooccurrence counts and appended to the
+//      index (exact forward edges + reverse patches);
+//   2. every vertex is anchored: hand-labelled trigrams by the model's
+//      X_ref, the rest by their running averaged CRF posterior — the
+//      incremental analogue of Algorithm 1 line 6, moved into the
+//      objective so the fixed point (a) is unique and (b) carries the
+//      corpus-level CRF signal;
+//   3. propagate_incremental relaxes outward from the appended vertices,
+//      the reverse-patched vertices, and any vertex whose posterior
+//      anchor drifted — localized re-propagation instead of a full sweep;
+//   4. snapshot_model() forks the base model with the propagated
+//      distributions as a learned lookup table (O(1) in model size); the
+//      router hot-swaps the fork and the new fingerprint invalidates the
+//      decode cache.
+//
+// Documented approximation: a vertex's PPMI vector is frozen at the counts
+// seen when it first appeared (later occurrences update global feature
+// counts and the vertex's posterior anchor, not its vector). That is the
+// standard incremental-index trade; the bench gates its accuracy cost.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/graph/knn_index.hpp"
+#include "src/graph/vertex_features.hpp"
+#include "src/graphner/pipeline.hpp"
+#include "src/propagation/propagation.hpp"
+#include "src/text/sentence.hpp"
+
+namespace graphner::core {
+
+struct OnlineLearnerConfig {
+  /// Propagation weights; <= 0 inherits the base model's configured value.
+  double mu = -1.0;
+  double nu = -1.0;
+  /// Residual tolerance for localized re-propagation.
+  double tolerance = 1e-6;
+  /// Sup-norm drift of a running posterior anchor that re-seeds its vertex.
+  double anchor_tolerance = 1e-6;
+  std::size_t max_relaxations = 0;  ///< 0 = propagate_incremental default
+};
+
+/// Per-learn-call outcome (also mirrored into the learn.* metrics).
+struct LearnStats {
+  std::size_t sentences = 0;
+  std::size_t appended_vertices = 0;   ///< new trigram types this batch
+  std::size_t patched_vertices = 0;    ///< old vertices with new edges
+  std::size_t perturbed_vertices = 0;  ///< anchors drifted past tolerance
+  std::size_t relaxations = 0;
+  std::size_t active_vertices = 0;
+  double final_residual = 0.0;
+  bool converged = false;
+};
+
+class OnlineLearner {
+ public:
+  explicit OnlineLearner(std::shared_ptr<const GraphNerModel> base,
+                         OnlineLearnerConfig config = {});
+
+  /// Absorb a batch of (untagged) sentences: append vertices, re-propagate
+  /// locally, refresh the learned table. Not thread-safe — serialize calls
+  /// (the router holds a learn mutex).
+  LearnStats learn(const std::vector<text::Sentence>& batch);
+
+  /// Fork of the base model carrying the current learned table; safe to
+  /// hot-swap into serving replicas. Distinct fingerprint per distinct
+  /// learned content.
+  [[nodiscard]] std::shared_ptr<const GraphNerModel> snapshot_model() const;
+
+  [[nodiscard]] std::size_t vertex_count() const noexcept {
+    return trigrams_.size();
+  }
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return index_.graph().edge_count();
+  }
+  [[nodiscard]] const std::vector<propagation::LabelDistribution>&
+  distributions() const noexcept {
+    return x_;
+  }
+  /// Per-vertex anchors (X_ref or running posterior average) and the
+  /// all-true labelled mask — the exact inputs the learner propagates
+  /// under, exposed so benches/tests can verify the fixed point.
+  [[nodiscard]] const std::vector<propagation::LabelDistribution>& anchors()
+      const noexcept {
+    return x_reference_;
+  }
+  [[nodiscard]] const std::vector<bool>& labelled_mask() const noexcept {
+    return is_labelled_;
+  }
+  [[nodiscard]] const graph::KnnIndex& index() const noexcept { return index_; }
+  [[nodiscard]] const GraphNerModel& base() const noexcept { return *base_; }
+
+ private:
+  void rebuild_learned_table();
+
+  std::shared_ptr<const GraphNerModel> base_;
+  OnlineLearnerConfig config_;
+  graph::VertexFeatureConfig feature_config_;
+
+  // Trigram type registry (vertex ids are dense, append-only).
+  std::unordered_map<std::string, graph::VertexId> vertex_of_;
+  std::vector<std::array<std::string, 3>> trigrams_;
+
+  // Accumulated PPMI cooccurrence statistics (mirrors build_vertex_vectors'
+  // pass 1, kept alive across batches).
+  std::unordered_map<std::string, std::uint32_t> feature_ids_;
+  std::vector<std::uint64_t> feature_counts_;
+  std::uint64_t total_feature_instances_ = 0;
+
+  graph::KnnIndex index_;
+
+  // Per-vertex propagation state. is_labelled is implicitly all-true (see
+  // header comment); hand_labelled_ marks vertices anchored by X_ref.
+  std::vector<propagation::LabelDistribution> posterior_sum_;
+  std::vector<double> occurrences_;
+  std::vector<propagation::LabelDistribution> x_;
+  std::vector<propagation::LabelDistribution> x_reference_;
+  std::vector<bool> is_labelled_;
+  std::vector<bool> hand_labelled_;
+
+  std::shared_ptr<const ReferenceDistributions> learned_;
+};
+
+}  // namespace graphner::core

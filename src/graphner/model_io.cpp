@@ -118,7 +118,7 @@ GraphNerModel GraphNerModel::load(std::istream& in) {
   model.crf_->set_weights(weights);
 
   expect_token(in, "reference");
-  model.reference_ = std::make_unique<ReferenceDistributions>(
+  model.reference_ = std::make_shared<ReferenceDistributions>(
       ReferenceDistributions::load(in));
 
   if (!in) throw std::runtime_error("model file: truncated");
@@ -170,14 +170,14 @@ void GraphNerModel::load_head(std::istream& in, GraphNerModel& model) {
   int has_brown = 0;
   in >> has_brown;
   if (has_brown != 0)
-    model.brown_ = std::make_unique<embeddings::BrownClustering>(
+    model.brown_ = std::make_shared<embeddings::BrownClustering>(
         embeddings::BrownClustering::load(in));
 
   expect_token(in, "embclusters");
   int has_clusters = 0;
   in >> has_clusters;
   if (has_clusters != 0) {
-    model.embedding_clusters_ = std::make_unique<embeddings::EmbeddingClusters>();
+    model.embedding_clusters_ = std::make_shared<embeddings::EmbeddingClusters>();
     std::size_t entries = 0;
     in >> model.embedding_clusters_->k >> entries;
     for (std::size_t i = 0; i < entries; ++i) {
@@ -194,12 +194,12 @@ void GraphNerModel::load_head(std::istream& in, GraphNerModel& model) {
     feature_config.brown = model.brown_.get();
     feature_config.embedding_clusters = model.embedding_clusters_.get();
   }
-  model.extractor_ = std::make_unique<features::FeatureExtractor>(feature_config);
+  model.extractor_ = std::make_shared<features::FeatureExtractor>(feature_config);
 
   expect_token(in, "features");
   std::size_t feature_count = 0;
   in >> feature_count;
-  model.index_ = std::make_unique<crf::FeatureIndex>();
+  model.index_ = std::make_shared<crf::FeatureIndex>();
   for (std::size_t i = 0; i < feature_count; ++i) {
     std::string name;
     in >> name;
@@ -210,7 +210,7 @@ void GraphNerModel::load_head(std::istream& in, GraphNerModel& model) {
   const crf::StateSpace space = model.config_.crf_order == 2
                                     ? crf::StateSpace::order2()
                                     : crf::StateSpace::order1();
-  model.crf_ = std::make_unique<crf::LinearChainCrf>(space, model.index_->size());
+  model.crf_ = std::make_shared<crf::LinearChainCrf>(space, model.index_->size());
 }
 
 GraphNerModel GraphNerModel::load(std::istream& in,

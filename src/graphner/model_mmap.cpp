@@ -107,6 +107,13 @@ void GraphNerModel::compute_fingerprint() {
   const std::uint64_t shape[2] = {static_cast<std::uint64_t>(w.size()),
                                   static_cast<std::uint64_t>(index_->size())};
   fingerprint_ = fmt::fnv1a(shape, sizeof(shape), hash);
+  // Online-learned forks decode differently under identical weights, so
+  // their identity must differ too — otherwise the decode cache would keep
+  // serving the base model's tags after a #LEARN swap.
+  if (learned_) {
+    const std::uint64_t learned_hash = learned_->content_hash();
+    fingerprint_ = fmt::fnv1a(&learned_hash, sizeof(learned_hash), fingerprint_);
+  }
 }
 
 bool GraphNerModel::weights_mapped() const noexcept {
@@ -255,7 +262,7 @@ GraphNerModel GraphNerModel::load_mmap_file(const std::string& path) {
   GraphNerModel model;
   load_head(meta_in, model);
   expect_meta_token(meta_in, "reference");
-  model.reference_ = std::make_unique<ReferenceDistributions>(
+  model.reference_ = std::make_shared<ReferenceDistributions>(
       ReferenceDistributions::load(meta_in));
   if (!meta_in) throw std::runtime_error("mmap model meta: truncated");
   expect_meta_token(meta_in, "end");

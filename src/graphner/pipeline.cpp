@@ -109,14 +109,14 @@ GraphNerModel GraphNerModel::train(const std::vector<text::Sentence>& labelled,
                           unlabelled_text.end());
 
     if (!checkpoint.restore("brown", [&](std::istream& in) {
-          model.brown_ = std::make_unique<embeddings::BrownClustering>(
+          model.brown_ = std::make_shared<embeddings::BrownClustering>(
               embeddings::BrownClustering::load(in));
         })) {
       embeddings::BrownConfig brown_config;
       brown_config.num_clusters = config.brown_clusters;
       obs::ScopedSpan span("train.brown");
       span.attr("sentences", static_cast<std::uint64_t>(embedding_text.size()));
-      model.brown_ = std::make_unique<embeddings::BrownClustering>(
+      model.brown_ = std::make_shared<embeddings::BrownClustering>(
           embeddings::BrownClustering::train(embedding_text, brown_config));
       span.close();
       checkpoint.commit("brown",
@@ -127,7 +127,7 @@ GraphNerModel GraphNerModel::train(const std::vector<text::Sentence>& labelled,
     // table; the SGD trajectory itself is never needed again.
     if (!checkpoint.restore("word2vec", [&](std::istream& in) {
           model.embedding_clusters_ =
-              std::make_unique<embeddings::EmbeddingClusters>(
+              std::make_shared<embeddings::EmbeddingClusters>(
                   embeddings::EmbeddingClusters::load(in));
         })) {
       embeddings::Word2VecConfig w2v_config;
@@ -137,7 +137,7 @@ GraphNerModel GraphNerModel::train(const std::vector<text::Sentence>& labelled,
       const auto w2v = embeddings::Word2Vec::train(embedding_text, w2v_config);
       w2v_span.close();
       obs::ScopedSpan kmeans_span("train.kmeans");
-      model.embedding_clusters_ = std::make_unique<embeddings::EmbeddingClusters>(
+      model.embedding_clusters_ = std::make_shared<embeddings::EmbeddingClusters>(
           embeddings::cluster_embeddings(w2v, config.embedding_kmeans_clusters,
                                          config.embedding_seed + 1));
       kmeans_span.close();
@@ -146,7 +146,7 @@ GraphNerModel GraphNerModel::train(const std::vector<text::Sentence>& labelled,
       });
     }
   }
-  model.extractor_ = std::make_unique<features::FeatureExtractor>(make_feature_config(
+  model.extractor_ = std::make_shared<features::FeatureExtractor>(make_feature_config(
       config.profile, model.brown_.get(), model.embedding_clusters_.get()));
 
   // CRF_train(D_l)  — Algorithm 1, line 2. The umbrella span covers
@@ -154,7 +154,7 @@ GraphNerModel GraphNerModel::train(const std::vector<text::Sentence>& labelled,
   // its children "train.encode" / "train.crf" carry the phase splits.
   obs::ScopedSpan crf_total_span("train.crf_total");
   const crf::StateSpace space = make_space(config.crf_order);
-  model.index_ = std::make_unique<crf::FeatureIndex>();
+  model.index_ = std::make_shared<crf::FeatureIndex>();
   // The encode artifact is the frozen feature-name table in id order.
   // Interning the names restores identical ids; together with the crf
   // artifact it reproduces the trained CRF without touching the corpus.
@@ -174,7 +174,7 @@ GraphNerModel GraphNerModel::train(const std::vector<text::Sentence>& labelled,
     restored_crf = checkpoint.restore("crf", [&](std::istream& in) {
       model.index_->freeze();
       model.crf_ =
-          std::make_unique<crf::LinearChainCrf>(space, model.index_->size());
+          std::make_shared<crf::LinearChainCrf>(space, model.index_->size());
       std::size_t count = 0;
       in >> count;
       if (count != model.crf_->num_parameters())
@@ -204,7 +204,7 @@ GraphNerModel GraphNerModel::train(const std::vector<text::Sentence>& labelled,
           out << model.index_->name(id) << '\n';
       });
     model.crf_ =
-        std::make_unique<crf::LinearChainCrf>(space, model.index_->size());
+        std::make_shared<crf::LinearChainCrf>(space, model.index_->size());
     {
       obs::ScopedSpan crf_span("train.crf");
       train_crf(*model.crf_, batch, config.train);
@@ -223,7 +223,7 @@ GraphNerModel GraphNerModel::train(const std::vector<text::Sentence>& labelled,
   // Set_ReferenceDistributions(D_l)  — Algorithm 1, line 3.
   {
     obs::ScopedSpan ref_span("train.reference");
-    model.reference_ = std::make_unique<ReferenceDistributions>(
+    model.reference_ = std::make_shared<ReferenceDistributions>(
         ReferenceDistributions::build(labelled));
     model.reference_seconds_ = ref_span.close();
   }
@@ -308,7 +308,11 @@ std::vector<text::Tag> GraphNerModel::decode_one_blended(
   // the rest keep the pure CRF posterior.
   std::vector<std::array<double, kNumTags>> beliefs(length);
   for (std::size_t i = 0; i < length; ++i) {
-    const auto* ref = reference_->find(graph::trigram_at(sentence, i));
+    const auto trigram = graph::trigram_at(sentence, i);
+    // Hand-labelled reference first; the online-learned (propagated) table
+    // only fills trigrams the labelled data never anchored.
+    const auto* ref = reference_->find(trigram);
+    if (!ref && learned_) ref = learned_->find(trigram);
     for (std::size_t y = 0; y < kNumTags; ++y) {
       beliefs[i][y] = ref ? config_.alpha * posterior.tag_marginals[i][y] +
                                 (1.0 - config_.alpha) * (*ref)[y]
@@ -317,6 +321,36 @@ std::vector<text::Tag> GraphNerModel::decode_one_blended(
     util::normalize_inplace(beliefs[i]);
   }
   return crf::belief_viterbi(beliefs, clamped_edge_ratios(posterior, length));
+}
+
+crf::SentencePosteriors GraphNerModel::posteriors_one(
+    const text::Sentence& sentence, crf::LinearChainCrf::Scratch& scratch,
+    features::EncodeScratch& encode) const {
+  const crf::EncodedSentence& encoded =
+      features::encode_for_inference(sentence, *extractor_, *index_, encode);
+  return crf_->posteriors(encoded, scratch);
+}
+
+GraphNerModel GraphNerModel::fork_with_learned(
+    std::shared_ptr<const ReferenceDistributions> learned) const {
+  GraphNerModel fork;
+  fork.config_ = config_;
+  fork.brown_ = brown_;
+  fork.embedding_clusters_ = embedding_clusters_;
+  fork.extractor_ = extractor_;
+  fork.index_ = index_;
+  fork.crf_ = crf_;
+  fork.reference_ = reference_;
+  fork.learned_ = std::move(learned);
+  fork.train_seconds_ = train_seconds_;
+  fork.reference_seconds_ = reference_seconds_;
+  fork.training_timings_ = training_timings_;
+  // Keep any mmap mapping alive for as long as the fork serves from it.
+  fork.mapping_ = mapping_;
+  fork.map_base_ = map_base_;
+  fork.map_size_ = map_size_;
+  fork.compute_fingerprint();
+  return fork;
 }
 
 GraphNerModel::TestContext GraphNerModel::prepare(

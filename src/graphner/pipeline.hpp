@@ -194,9 +194,34 @@ class GraphNerModel {
   [[nodiscard]] TestResult test(const std::vector<text::Sentence>& labelled,
                                 const std::vector<text::Sentence>& test) const;
 
+  /// Single-sentence CRF posteriors for external consumers (the online
+  /// learner averages these per appended trigram vertex). Same thread-safety
+  /// contract as decode_one.
+  [[nodiscard]] crf::SentencePosteriors posteriors_one(
+      const text::Sentence& sentence, crf::LinearChainCrf::Scratch& scratch,
+      features::EncodeScratch& encode) const;
+
+  /// Shallow fork carrying an online-learned distribution table: shares
+  /// every trained member (CRF weights, feature index, extractor, reference
+  /// table, any mmap mapping) with this model by reference count, swaps in
+  /// `learned`, and recomputes the fingerprint so the serving tier's decode
+  /// cache distinguishes the fork from its base. O(1) in model size — this
+  /// is what makes #LEARN's hot-swap cheap.
+  [[nodiscard]] GraphNerModel fork_with_learned(
+      std::shared_ptr<const ReferenceDistributions> learned) const;
+  /// The online-learned table; nullptr on models that never learned.
+  [[nodiscard]] const ReferenceDistributions* learned() const noexcept {
+    return learned_.get();
+  }
+
   [[nodiscard]] const GraphNerConfig& config() const noexcept { return config_; }
   [[nodiscard]] const ReferenceDistributions& reference() const noexcept {
     return *reference_;
+  }
+  /// The trained feature extractor (the online learner builds incremental
+  /// PPMI vertex vectors with it; read-only and thread-safe like decode).
+  [[nodiscard]] const features::FeatureExtractor& extractor() const noexcept {
+    return *extractor_;
   }
   [[nodiscard]] double train_seconds() const noexcept { return train_seconds_; }
   /// Per-phase TRAIN wall-clock (zeroed on a load()ed model).
@@ -272,14 +297,22 @@ class GraphNerModel {
   void compute_fingerprint();
 
   GraphNerConfig config_{};
-  // unique_ptrs keep the model movable while FeatureExtractor holds
-  // stable pointers to the embedding resources.
-  std::unique_ptr<embeddings::BrownClustering> brown_;
-  std::unique_ptr<embeddings::EmbeddingClusters> embedding_clusters_;
-  std::unique_ptr<features::FeatureExtractor> extractor_;
-  std::unique_ptr<crf::FeatureIndex> index_;
-  std::unique_ptr<crf::LinearChainCrf> crf_;
-  std::unique_ptr<ReferenceDistributions> reference_;
+  // shared_ptrs keep the model movable while FeatureExtractor holds stable
+  // pointers to the embedding resources — and let fork_with_learned share
+  // every heavy immutable member (weights, index, extractor, reference)
+  // with its base instead of copying them per learn batch.
+  std::shared_ptr<embeddings::BrownClustering> brown_;
+  std::shared_ptr<embeddings::EmbeddingClusters> embedding_clusters_;
+  std::shared_ptr<features::FeatureExtractor> extractor_;
+  std::shared_ptr<crf::FeatureIndex> index_;
+  std::shared_ptr<crf::LinearChainCrf> crf_;
+  std::shared_ptr<ReferenceDistributions> reference_;
+  /// Online-learned distributions (propagated, not hand-labelled), consulted
+  /// by decode_one_blended when reference_ misses. In-memory serving state:
+  /// save()/save_mmap_file persist the base model only, so the text format
+  /// is unchanged. Never mutated after the fork is built — swaps replace
+  /// the whole model.
+  std::shared_ptr<const ReferenceDistributions> learned_;
   double train_seconds_ = 0.0;
   double reference_seconds_ = 0.0;
   TrainingTimings training_timings_{};

@@ -87,6 +87,31 @@ ReferenceDistributions ReferenceDistributions::load(std::istream& in) {
   return result;
 }
 
+std::uint64_t ReferenceDistributions::content_hash() const {
+  // Hash each entry independently and combine commutatively (sum), so the
+  // digest does not depend on unordered_map iteration order and needs no
+  // key sort on the hot learn path.
+  constexpr std::uint64_t kOffset = 1469598103934665603ull;
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  const auto fnv1a = [](std::uint64_t h, const void* data, std::size_t len) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+      h ^= bytes[i];
+      h *= kPrime;
+    }
+    return h;
+  };
+  std::uint64_t combined = fnv1a(kOffset, nullptr, 0);
+  for (const auto& [key, dist] : table_) {
+    std::uint64_t h = kOffset;
+    h = fnv1a(h, key.data(), key.size());
+    h = fnv1a(h, dist.data(), dist.size() * sizeof(double));
+    combined += h;
+  }
+  combined ^= static_cast<std::uint64_t>(table_.size());
+  return combined;
+}
+
 double ReferenceDistributions::positive_fraction() const {
   if (table_.empty()) return 0.0;
   std::size_t positive = 0;

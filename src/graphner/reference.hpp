@@ -7,6 +7,7 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <unordered_map>
@@ -27,6 +28,18 @@ class ReferenceDistributions {
       const std::array<std::string, 3>& trigram) const;
 
   [[nodiscard]] std::size_t size() const noexcept { return table_.size(); }
+
+  /// Insert or overwrite an entry. Serving-time online learning stores
+  /// propagated distributions for previously unseen trigrams this way.
+  void set(const std::array<std::string, 3>& trigram,
+           const propagation::LabelDistribution& dist) {
+    table_[key_of(trigram)] = dist;
+  }
+
+  /// Order-independent FNV-1a digest of the table's content. Mixed into the
+  /// model fingerprint so learned-table forks are distinguishable from their
+  /// base (and from each other) by the decode cache.
+  [[nodiscard]] std::uint64_t content_hash() const;
 
   /// Fraction of entries whose B+I mass exceeds the O mass ("positively
   /// labelled vertices", §III-D).

@@ -2,6 +2,8 @@
 
 #include <cassert>
 #include <cmath>
+#include <queue>
+#include <utility>
 
 #include "src/obs/registry.hpp"
 #include "src/obs/span.hpp"
@@ -120,6 +122,122 @@ PropagationResult propagate(const graph::KnnGraph& graph,
     }
   }
   span.attr("final_residual", last_residual);
+  return result;
+}
+
+IncrementalPropagationResult propagate_incremental(
+    const graph::KnnGraph& graph, std::vector<LabelDistribution>& x,
+    const std::vector<LabelDistribution>& reference,
+    const std::vector<bool>& is_labelled,
+    const std::vector<graph::VertexId>& seeds,
+    const IncrementalPropagationConfig& config) {
+  const std::size_t n = x.size();
+  assert(graph.vertex_count() == n);
+  assert(reference.size() == n && is_labelled.size() == n);
+  const double inv_y = 1.0 / static_cast<double>(kNumTags);
+  const std::size_t max_relaxations =
+      config.max_relaxations > 0 ? config.max_relaxations : 200 * n;
+
+  IncrementalPropagationResult result;
+  if (n == 0 || seeds.empty()) {
+    result.converged = true;
+    return result;
+  }
+
+  obs::ScopedSpan span("propagation.incremental");
+  span.attr("vertices", static_cast<std::uint64_t>(n));
+  span.attr("seeds", static_cast<std::uint64_t>(seeds.size()));
+
+  // x[v]'s equation reads its out-neighbours, so when x[v] moves it is the
+  // *in*-neighbours whose residuals change — the push direction needs the
+  // reverse adjacency. Built per call: the graph just mutated (that is why
+  // we are here), so a cached transpose would be stale anyway.
+  std::vector<std::vector<graph::VertexId>> in_edges(n);
+  for (std::size_t v = 0; v < n; ++v)
+    for (const auto& edge : graph.neighbours(static_cast<graph::VertexId>(v)))
+      in_edges[edge.target].push_back(static_cast<graph::VertexId>(v));
+
+  // Gauss-Seidel coordinate update (equation 2 against the *current* x).
+  const auto relaxed_value = [&](std::size_t v, LabelDistribution& out) {
+    const double seed = is_labelled[v] ? 1.0 : 0.0;
+    LabelDistribution gamma{};
+    double weight_sum = 0.0;
+    for (const auto& edge : graph.neighbours(static_cast<graph::VertexId>(v))) {
+      weight_sum += edge.weight;
+      for (std::size_t y = 0; y < kNumTags; ++y)
+        gamma[y] += edge.weight * x[edge.target][y];
+    }
+    const double kappa = seed + config.nu + config.mu * weight_sum;
+    for (std::size_t y = 0; y < kNumTags; ++y) {
+      gamma[y] = seed * reference[v][y] + config.mu * gamma[y] + config.nu * inv_y;
+      out[y] = kappa > 0.0 ? gamma[y] / kappa : x[v][y];
+    }
+  };
+
+  // Lazy max-heap worklist: residual[] holds each vertex's latest residual;
+  // a popped entry whose priority no longer matches it is stale and skipped
+  // (cheaper than a decrease-key heap at these fanouts).
+  std::vector<double> residual(n, 0.0);
+  std::vector<char> ever_active(n, 0);
+  std::priority_queue<std::pair<double, graph::VertexId>> heap;
+
+  const auto enqueue = [&](graph::VertexId v) {
+    LabelDistribution relaxed{};
+    relaxed_value(v, relaxed);
+    double r = 0.0;
+    for (std::size_t y = 0; y < kNumTags; ++y)
+      r = std::max(r, std::abs(relaxed[y] - x[v][y]));
+    residual[v] = r;
+    if (r > config.tolerance) {
+      heap.emplace(r, v);
+      if (!ever_active[v]) {
+        ever_active[v] = 1;
+        ++result.active_vertices;
+      }
+    }
+  };
+
+  // Seed both the touched vertices and their in-neighbours: a seed whose x
+  // was perturbed directly (rather than via an edge change) has residual
+  // zero itself while its in-neighbours' equations already moved.
+  for (const graph::VertexId s : seeds) {
+    enqueue(s);
+    for (const graph::VertexId u : in_edges[s]) enqueue(u);
+  }
+
+  obs::Registry& registry = obs::Registry::global();
+  obs::Gauge& residual_gauge = registry.gauge("propagation.residual");
+
+  while (!heap.empty() && result.relaxations < max_relaxations) {
+    const auto [r, v] = heap.top();
+    heap.pop();
+    if (r != residual[v]) continue;  // stale entry
+    if (r <= config.tolerance) continue;
+    LabelDistribution relaxed{};
+    relaxed_value(v, relaxed);
+    x[v] = relaxed;
+    residual[v] = 0.0;  // exact coordinate-wise minimizer given current x
+    ++result.relaxations;
+    residual_gauge.set(r);
+    for (const graph::VertexId u : in_edges[v]) enqueue(u);
+  }
+
+  double final_residual = 0.0;
+  for (std::size_t v = 0; v < n; ++v)
+    if (ever_active[v]) final_residual = std::max(final_residual, residual[v]);
+  result.final_residual = final_residual;
+  result.converged = final_residual <= config.tolerance;
+  residual_gauge.set(final_residual);
+  registry.counter("propagation.incremental.runs").inc();
+  registry.counter("propagation.incremental.relaxations")
+      .inc(result.relaxations);
+  registry.gauge("propagation.incremental.active")
+      .set(static_cast<double>(result.active_vertices));
+
+  span.attr("relaxations", static_cast<std::uint64_t>(result.relaxations));
+  span.attr("active", static_cast<std::uint64_t>(result.active_vertices));
+  span.attr("final_residual", result.final_residual);
+  span.attr("converged", result.converged ? std::uint64_t{1} : std::uint64_t{0});
   return result;
 }
 

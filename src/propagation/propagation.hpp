@@ -57,4 +57,51 @@ struct PropagationResult {
     const std::vector<LabelDistribution>& reference,
     const std::vector<bool>& is_labelled, const PropagationConfig& config);
 
+// --- incremental, residual-driven re-propagation -------------------------
+//
+// Equation 2's fixed point is unique whenever nu > 0: each coordinate
+// update is a convex combination with strictly positive weight on the
+// seed/prior anchors, so the sweep operator is a sup-norm contraction and
+// Jacobi (propagate, run to convergence) and the asynchronous Gauss-Seidel
+// relaxations below agree on the limit. That is what makes a *localized*
+// update sound: after appending vertices or perturbing a neighbourhood,
+// only the equations of the touched vertices changed — relaxing outward
+// from them along reverse edges until every residual falls under tolerance
+// reaches the same fixed point a full re-propagation would, while leaving
+// converged regions of the graph untouched (their residual never rises
+// above tolerance, so the worklist never admits them).
+
+struct IncrementalPropagationConfig {
+  double mu = 1e-6;       ///< neighbour-agreement weight (as PropagationConfig)
+  double nu = 1e-6;       ///< uniform-prior weight; must be > 0 for the
+                          ///< contraction argument above
+  double tolerance = 1e-9;  ///< sup-norm residual at which a vertex is settled
+  /// Safety valve on total relaxations; 0 = 200 * vertex_count. Hitting it
+  /// reports converged = false rather than looping on a degenerate input.
+  std::size_t max_relaxations = 0;
+};
+
+struct IncrementalPropagationResult {
+  std::size_t relaxations = 0;       ///< vertex updates applied
+  std::size_t active_vertices = 0;   ///< distinct vertices that ever entered
+                                     ///< the worklist (the localized set)
+  double final_residual = 0.0;       ///< max residual at exit (<= tolerance
+                                     ///< when converged)
+  bool converged = false;
+};
+
+/// Residual-prioritized push sweep: relax the highest-residual vertex
+/// first, starting from `seeds` (appended vertices, patched neighbourhoods,
+/// perturbed references), propagating along reverse edges. `x` is updated
+/// in place and must already hold every untouched vertex's (approximate)
+/// fixed-point value — vertices outside the seeds' influence region are
+/// never visited. Publishes the propagation.residual gauge (the PR-5
+/// convergence driver) and propagation.incremental.* counters.
+IncrementalPropagationResult propagate_incremental(
+    const graph::KnnGraph& graph, std::vector<LabelDistribution>& x,
+    const std::vector<LabelDistribution>& reference,
+    const std::vector<bool>& is_labelled,
+    const std::vector<graph::VertexId>& seeds,
+    const IncrementalPropagationConfig& config);
+
 }  // namespace graphner::propagation

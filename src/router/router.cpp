@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <future>
 #include <sstream>
 #include <utility>
@@ -50,6 +51,8 @@ Router::Router(std::shared_ptr<const core::GraphNerModel> model,
   for (std::size_t i = 0; i < n; ++i)
     replicas_.push_back(
         std::make_unique<InProcessReplica>(model, config.replica_service));
+  if (config.learn_enabled)
+    learner_ = std::make_unique<core::OnlineLearner>(model, config.learn);
   registry_.gauge("router.replicas").set(static_cast<double>(n));
   registry_.gauge("router.cache_enabled")
       .set(config.cache_enabled ? 1.0 : 0.0);
@@ -255,8 +258,96 @@ std::string Router::admin(const std::string& command) {
            " cache entries)\n";
   }
 
+  if (verb == "learn") {
+    if (!learner_)
+      return "ERROR learning disabled (start the router with --learn)\n";
+    std::string mode;
+    in >> mode;
+    if (mode == "status") {
+      std::lock_guard<std::mutex> lock(learn_mutex_);
+      std::ostringstream out;
+      out << "learn\tvertices=" << learner_->vertex_count()
+          << "\tedges=" << learner_->edge_count() << "\tbase_fingerprint="
+          << fingerprint_hex(learner_->base().fingerprint()) << '\n';
+      return out.str();
+    }
+    std::vector<text::Sentence> batch;
+    if (mode == "text") {
+      text::Sentence sentence;
+      std::string token;
+      while (in >> token) sentence.tokens.push_back(std::move(token));
+      if (sentence.size() == 0) return "ERROR learn text needs tokens\n";
+      batch.push_back(std::move(sentence));
+    } else if (mode == "file") {
+      std::string path;
+      if (!(in >> path)) return "ERROR learn file needs a path\n";
+      std::ifstream file(path);
+      if (!file) return "ERROR learn file: cannot open " + path + "\n";
+      std::string line;
+      while (std::getline(file, line)) {
+        text::Sentence sentence;
+        std::istringstream tokens(line);
+        std::string token;
+        while (tokens >> token) sentence.tokens.push_back(std::move(token));
+        if (sentence.size() > 0) batch.push_back(std::move(sentence));
+      }
+      if (batch.empty()) return "ERROR learn file: no sentences in " + path + "\n";
+    } else {
+      return "ERROR unknown learn mode \"" + mode +
+             "\" (expected text, file or status)\n";
+    }
+
+    // Learn, fork, and hot-swap the fork into the whole tier atomically
+    // with respect to other learns (submits keep flowing — each replica
+    // swap is itself atomic and the cache is generation-keyed).
+    std::lock_guard<std::mutex> lock(learn_mutex_);
+    core::LearnStats stats;
+    std::shared_ptr<const core::GraphNerModel> fork;
+    try {
+      stats = learner_->learn(batch);
+      fork = learner_->snapshot_model();
+    } catch (const std::exception& e) {
+      return "ERROR learn failed: " + std::string(e.what()) + "\n";
+    }
+    const std::size_t invalidated = swap_all_replicas(fork);
+    std::ostringstream out;
+    out << "OK learned " << batch.size() << " sentence(s): +"
+        << stats.appended_vertices << " vertices ("
+        << learner_->vertex_count() << " total), " << stats.patched_vertices
+        << " patched, " << stats.perturbed_vertices << " perturbed, "
+        << stats.relaxations << " relaxations, residual "
+        << stats.final_residual << (stats.converged ? "" : " (not converged)")
+        << ", fingerprint " << fingerprint_hex(fork->fingerprint())
+        << ", invalidated " << invalidated << " cache entries\n";
+    return out.str();
+  }
+
   return "ERROR unknown #REPLICA command \"" + verb +
-         "\" (expected kill, revive, swap or status)\n";
+         "\" (expected kill, revive, swap, status or learn)\n";
+}
+
+std::size_t Router::swap_all_replicas(
+    const std::shared_ptr<const core::GraphNerModel>& model) {
+  std::vector<std::uint64_t> old_fingerprints;
+  old_fingerprints.reserve(replicas_.size());
+  for (const auto& replica : replicas_)
+    old_fingerprints.push_back(replica->fingerprint());
+  for (auto& replica : replicas_) {
+    replica->swap_model(model);
+    swaps_.inc();
+  }
+  // Every generation that was serving before the sweep and is not the new
+  // one is now orphaned (same rule as single-replica swap, applied after
+  // all replicas moved).
+  std::sort(old_fingerprints.begin(), old_fingerprints.end());
+  old_fingerprints.erase(
+      std::unique(old_fingerprints.begin(), old_fingerprints.end()),
+      old_fingerprints.end());
+  std::size_t invalidated = 0;
+  for (const std::uint64_t old : old_fingerprints)
+    if (old != model->fingerprint())
+      invalidated += cache_.invalidate_fingerprint(old);
+  return invalidated;
 }
 
 void Router::stop() {

@@ -16,7 +16,12 @@
 // Administration rides the wire as "#REPLICA kill|revive|swap|status"
 // (TagService::admin): kill/revive drive the chaos drill, swap hot-swaps
 // one replica's model from a file (text or mmap format, auto-sniffed) and
-// invalidates the cache generation no replica serves anymore.
+// invalidates the cache generation no replica serves anymore. With
+// learn_enabled, "#LEARN text|file|status" (wire sugar for "#REPLICA
+// learn ...") drives the online-learning path: the batch is absorbed by
+// an OnlineLearner (incremental k-NN append + localized re-propagation,
+// DESIGN.md §12) and the resulting learned fork is hot-swapped into every
+// replica through the same fingerprint/cache-invalidation machinery.
 //
 // Metrics: router.* and cache.* from the router's own registry, each
 // replica's counters under "replica.<i>." (monotone across kill/revive),
@@ -34,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "src/graphner/learner.hpp"
 #include "src/graphner/pipeline.hpp"
 #include "src/obs/registry.hpp"
 #include "src/router/hash_ring.hpp"
@@ -59,6 +65,11 @@ struct RouterConfig {
                                        2.0,
                                        0.2,
                                        3};
+  /// Enable the online "#LEARN" path: the router keeps an OnlineLearner
+  /// over the initial model and hot-swaps learned forks into every
+  /// replica after each absorbed batch.
+  bool learn_enabled = false;
+  core::OnlineLearnerConfig learn;
 };
 
 class Router : public serve::TagService {
@@ -79,8 +90,15 @@ class Router : public serve::TagService {
   [[nodiscard]] obs::RegistrySnapshot observability_snapshot() const override;
   [[nodiscard]] std::string metrics_json() const override;
 
-  /// "#REPLICA kill <i> | revive <i> | swap <i> <model-path> | status".
+  /// "#REPLICA kill <i> | revive <i> | swap <i> <model-path> | status",
+  /// plus the "#LEARN"-routed "learn text <tokens...> | file <path> |
+  /// status" when learn_enabled.
   [[nodiscard]] std::string admin(const std::string& command) override;
+
+  /// The online learner, nullptr unless config.learn_enabled.
+  [[nodiscard]] const core::OnlineLearner* learner() const noexcept {
+    return learner_.get();
+  }
 
   [[nodiscard]] std::size_t replica_count() const noexcept {
     return replicas_.size();
@@ -121,6 +139,12 @@ class Router : public serve::TagService {
   obs::Counter& unavailable_;
   obs::Counter& swaps_;
   obs::Counter& cache_misses_;  ///< same instrument the cache counts into
+  /// Swap `model` into every replica and drop cache generations no
+  /// replica serves anymore (shared by admin swap-all paths like learn).
+  std::size_t swap_all_replicas(
+      const std::shared_ptr<const core::GraphNerModel>& model);
+  std::unique_ptr<core::OnlineLearner> learner_;
+  std::mutex learn_mutex_;  ///< serializes learn batches + fork swaps
   bool stopped_ = false;
   std::mutex stop_mutex_;
 };

@@ -263,6 +263,20 @@ ParsedLine parse_request_line(const std::string& line) {
     }
     return out;
   }
+  if (trimmed == "#LEARN" || trimmed.rfind("#LEARN ", 0) == 0) {
+    // Sugar over the admin channel: "#LEARN <args>" == "#REPLICA learn
+    // <args>", so the online-learning path rides the existing admin
+    // dispatch (TagService::admin) end to end.
+    const std::string args{util::trim(trimmed.substr(6))};
+    if (args.empty()) {
+      out.kind = LineKind::kMalformed;
+      out.error = "#LEARN needs arguments (text <tokens...> | file <path> | status)";
+    } else {
+      out.admin = "learn " + args;
+      out.kind = LineKind::kAdmin;
+    }
+    return out;
+  }
   if (trimmed == "#QUIT") {
     out.kind = LineKind::kQuit;
     return out;

@@ -36,6 +36,15 @@
 // reader handles exactly this shape (string escapes included) — it is a
 // protocol parser, not a general JSON library.
 //
+// "#LEARN" feeds the online-learning path (DESIGN.md §12) and is sugar
+// for the admin channel ("#LEARN x" parses as "#REPLICA learn x"):
+//
+//   #LEARN text <tokens...>   absorb one space-separated sentence
+//   #LEARN file <path>        absorb every sentence line of a local file
+//   #LEARN status             report learner state without learning
+//
+// The reply is free-form lines terminated by "#END", like #REPLICA.
+//
 // Fault-tolerance fields: the optional per-request deadline (an '@'
 // suffix on the TSV id, a "deadline_ms" member in JSON) bounds how long
 // the request may wait before the service sheds it with status
@@ -65,7 +74,7 @@ enum class LineKind {
   kRequest,    ///< `request` is filled
   kMetrics,    ///< "#METRICS [JSON|TSV|PROM]" — `metrics_flavour` is filled
   kDecode,     ///< "#DECODE ..." — `decode` is filled (nullopt = reset)
-  kAdmin,      ///< "#REPLICA ..." — `admin` holds the command words
+  kAdmin,      ///< "#REPLICA ..." / "#LEARN ..." — `admin` holds the words
   kQuit,       ///< "#QUIT"
   kEmpty,      ///< blank line — ignore
   kMalformed,  ///< `error` is filled

@@ -1,6 +1,7 @@
 // Tests for trigram vertices, PPMI vectors, k-NN graph and graph stats.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 #include <sstream>
@@ -9,6 +10,7 @@
 #include "src/features/extractor.hpp"
 #include "src/graph/graph_stats.hpp"
 #include "src/graph/knn_graph.hpp"
+#include "src/graph/knn_index.hpp"
 #include "src/graph/sparse_vector.hpp"
 #include "src/graph/trigram.hpp"
 #include "src/graph/vertex_features.hpp"
@@ -168,6 +170,150 @@ TEST(KnnGraph, LoadAcceptsEdgelessGraph) {
   EXPECT_EQ(graph.vertex_count(), 4U);
   EXPECT_EQ(graph.k(), 2U);
   EXPECT_EQ(graph.edge_count(), 0U);
+}
+
+TEST(KnnGraph, LoadRejectsMoreThanKEdgesPerSource) {
+  // k = 1 but vertex 0 declares two (distinct) neighbours.
+  std::stringstream buffer("3 1\n0 1 0.5\n0 2 0.4\n");
+  try {
+    (void)KnnGraph::load(buffer);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("more than k=1"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(KnnGraph, LoadRejectsDuplicateEdges) {
+  // Same (src, target) pair twice; k = 2 so the per-source cap alone would
+  // not catch it — the duplicate check must, with its own message.
+  std::stringstream buffer("3 2\n0 1 0.5\n0 1 0.4\n");
+  try {
+    (void)KnnGraph::load(buffer);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate edge 0 -> 1"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(KnnGraph, EdgeCountMaintainedBySetNeighbours) {
+  KnnGraph graph(3, 4);
+  EXPECT_EQ(graph.edge_count(), 0U);
+  graph.set_neighbours(0, {{1, 0.5F}, {2, 0.25F}});
+  EXPECT_EQ(graph.edge_count(), 2U);
+  graph.set_neighbours(1, {{0, 0.5F}});
+  EXPECT_EQ(graph.edge_count(), 3U);
+  // Replacement subtracts the old slot before adding the new one.
+  graph.set_neighbours(0, {{2, 0.75F}});
+  EXPECT_EQ(graph.edge_count(), 2U);
+  graph.set_neighbours(1, {});
+  EXPECT_EQ(graph.edge_count(), 1U);
+}
+
+TEST(KnnGraph, EdgeCountSurvivesSaveLoad) {
+  util::Rng rng(11);
+  const auto vectors = random_unit_vectors(25, 18, 5, rng);
+  const auto graph = build_knn_graph(vectors, {4, 1000, 1e-9});
+  ASSERT_GT(graph.edge_count(), 0U);
+  std::stringstream buffer;
+  graph.save(buffer);
+  const auto loaded = KnnGraph::load(buffer);
+  EXPECT_EQ(loaded.edge_count(), graph.edge_count());
+}
+
+void expect_identical_graphs(const KnnGraph& a, const KnnGraph& b) {
+  ASSERT_EQ(a.vertex_count(), b.vertex_count());
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (std::size_t v = 0; v < a.vertex_count(); ++v) {
+    const auto& ea = a.neighbours(static_cast<VertexId>(v));
+    const auto& eb = b.neighbours(static_cast<VertexId>(v));
+    ASSERT_EQ(ea.size(), eb.size()) << "vertex " << v;
+    for (std::size_t j = 0; j < ea.size(); ++j) {
+      EXPECT_EQ(ea[j].target, eb[j].target) << "vertex " << v << " edge " << j;
+      // Bit-identical, not approximately equal: append scores candidates
+      // through the same accumulation order as a rebuild.
+      EXPECT_EQ(ea[j].weight, eb[j].weight) << "vertex " << v << " edge " << j;
+    }
+  }
+}
+
+TEST(KnnIndex, BuildMatchesBuildKnnGraph) {
+  util::Rng rng(7);
+  const auto vectors = random_unit_vectors(40, 25, 5, rng);
+  const KnnConfig config{5, 1000, 1e-9};
+  const auto graph = build_knn_graph(vectors, config);
+  KnnIndex index = KnnIndex::build(vectors, config);
+  expect_identical_graphs(index.graph(), graph);
+}
+
+class KnnAppendGolden : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KnnAppendGolden, AppendThenQueryMatchesRebuild) {
+  // The ISSUE 8 golden test: build over the first 40 vectors, append the
+  // remaining 20 (in two batches, so intra-append and cross-append edges
+  // both occur), and require the graph to match a from-scratch rebuild
+  // over all 60 — edge targets, order and bit-identical weights.
+  util::Rng rng(GetParam());
+  const auto vectors = random_unit_vectors(60, 30, 6, rng);
+  const KnnConfig config{5, 1000, 1e-9};
+
+  KnnIndex index = KnnIndex::build(
+      std::vector<SparseVector>(vectors.begin(), vectors.begin() + 40), config);
+  const auto first = index.append(
+      std::vector<SparseVector>(vectors.begin() + 40, vectors.begin() + 52));
+  EXPECT_EQ(first.first_id, 40U);
+  EXPECT_EQ(first.appended, 12U);
+  const auto second = index.append(
+      std::vector<SparseVector>(vectors.begin() + 52, vectors.end()));
+  EXPECT_EQ(second.first_id, 52U);
+
+  const auto rebuilt = build_knn_graph(vectors, config);
+  expect_identical_graphs(index.graph(), rebuilt);
+
+  // Patched lists only name pre-existing vertices, ascending and unique.
+  for (const auto& result : {first, second}) {
+    EXPECT_TRUE(std::is_sorted(result.patched.begin(), result.patched.end()));
+    for (const VertexId u : result.patched) EXPECT_LT(u, result.first_id);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KnnAppendGolden, ::testing::Values(21, 22, 23));
+
+TEST(KnnIndex, AppendPatchesReverseEdges) {
+  // Two far-apart old vertices; the appended vertex duplicates vertex 0's
+  // support, so 0 must gain an edge to it (reverse patch) while vertex 1
+  // stays untouched.
+  std::vector<SparseVector> old_vectors;
+  old_vectors.push_back(SparseVector({{0, 1.0F}}));
+  old_vectors.push_back(SparseVector({{9, 1.0F}}));
+  for (auto& v : old_vectors) v.normalize();
+  KnnIndex index = KnnIndex::build(old_vectors, {2, 1000, 1e-9});
+  ASSERT_EQ(index.graph().edge_count(), 0U);
+
+  SparseVector twin({{0, 1.0F}});
+  twin.normalize();
+  const auto result = index.append({twin});
+  ASSERT_EQ(result.patched.size(), 1U);
+  EXPECT_EQ(result.patched[0], 0U);
+  ASSERT_EQ(index.graph().neighbours(0).size(), 1U);
+  EXPECT_EQ(index.graph().neighbours(0)[0].target, 2U);
+  EXPECT_TRUE(index.graph().neighbours(1).empty());
+  ASSERT_EQ(index.graph().neighbours(2).size(), 1U);
+  EXPECT_EQ(index.graph().neighbours(2)[0].target, 0U);
+}
+
+TEST(KnnIndex, AppendEmptyBatchIsNoop) {
+  util::Rng rng(9);
+  const auto vectors = random_unit_vectors(10, 12, 4, rng);
+  KnnIndex index = KnnIndex::build(vectors, {3, 1000, 1e-9});
+  const std::size_t edges_before = index.graph().edge_count();
+  const auto result = index.append({});
+  EXPECT_EQ(result.appended, 0U);
+  EXPECT_TRUE(result.patched.empty());
+  EXPECT_EQ(index.graph().edge_count(), edges_before);
+  EXPECT_EQ(index.size(), 10U);
 }
 
 TEST(KnnGraph, HighDfFeaturesSkipped) {

@@ -1,0 +1,185 @@
+// Online learning tests (ISSUE 8): OnlineLearner state growth, learned-fork
+// fingerprints, the #LEARN wire verb, and the router's learn → fork →
+// tier-wide hot-swap → cache-invalidation path.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/corpus/generator.hpp"
+#include "src/graphner/learner.hpp"
+#include "src/obs/registry.hpp"
+#include "src/router/router.hpp"
+#include "src/serve/protocol.hpp"
+
+namespace graphner::core {
+namespace {
+
+class LearnTier : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const auto data = corpus::generate_corpus(corpus::bc2gm_like_spec(0.05, 7));
+    model_ = new std::shared_ptr<const GraphNerModel>(
+        std::make_shared<const GraphNerModel>(
+            GraphNerModel::train(data.train, {}, GraphNerConfig{})));
+    sentences_ = new std::vector<text::Sentence>();
+    for (const auto& s : data.test) {
+      text::Sentence stripped;
+      stripped.id = s.id;
+      stripped.tokens = s.tokens;
+      sentences_->push_back(std::move(stripped));
+    }
+    ASSERT_GE(sentences_->size(), 8U);
+  }
+  static void TearDownTestSuite() {
+    delete sentences_;
+    delete model_;
+  }
+
+  [[nodiscard]] static std::vector<text::Sentence> slice(std::size_t begin,
+                                                         std::size_t end) {
+    return {sentences_->begin() + begin, sentences_->begin() + end};
+  }
+
+  static std::shared_ptr<const GraphNerModel>* model_;
+  static std::vector<text::Sentence>* sentences_;
+};
+
+std::shared_ptr<const GraphNerModel>* LearnTier::model_ = nullptr;
+std::vector<text::Sentence>* LearnTier::sentences_ = nullptr;
+
+TEST_F(LearnTier, LearnGrowsStateAndRepeatedBatchAppendsNothing) {
+  OnlineLearner learner(*model_);
+  const auto batch = slice(0, 4);
+  const LearnStats stats = learner.learn(batch);
+  EXPECT_EQ(stats.sentences, batch.size());
+  EXPECT_GT(stats.appended_vertices, 0U);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_EQ(learner.vertex_count(), stats.appended_vertices);
+  EXPECT_EQ(learner.distributions().size(), learner.vertex_count());
+  EXPECT_EQ(learner.index().graph().vertex_count(), learner.vertex_count());
+
+  // Same sentences again: every trigram type is already a vertex, and the
+  // posterior anchors re-average to the same values — a structural no-op.
+  const LearnStats again = learner.learn(batch);
+  EXPECT_EQ(again.appended_vertices, 0U);
+  EXPECT_EQ(again.patched_vertices, 0U);
+  EXPECT_TRUE(again.converged);
+  EXPECT_EQ(learner.vertex_count(), stats.appended_vertices);
+}
+
+TEST_F(LearnTier, LearnMetricsConserve) {
+  auto& registry = obs::Registry::global();
+  const std::uint64_t appended_before =
+      registry.counter("learn.vertices_appended").value();
+  OnlineLearner learner(*model_);
+  (void)learner.learn(slice(0, 3));
+  (void)learner.learn(slice(3, 6));
+  // Conservation law scraped by the CI smoke: the learn.vertices gauge is
+  // this learner's vertex count, and every one of those vertices arrived
+  // through the learn.vertices_appended counter.
+  EXPECT_EQ(registry.gauge("learn.vertices").value(),
+            static_cast<double>(learner.vertex_count()));
+  EXPECT_EQ(registry.counter("learn.vertices_appended").value() -
+                appended_before,
+            static_cast<std::uint64_t>(learner.vertex_count()));
+  EXPECT_EQ(registry.gauge("learn.edges").value(),
+            static_cast<double>(learner.edge_count()));
+}
+
+TEST_F(LearnTier, SnapshotForkCarriesLearnedTableAndFreshFingerprint) {
+  OnlineLearner learner(*model_);
+  const auto empty_fork = learner.snapshot_model();
+  // No learned content yet: the fork hashes an empty table — same blended
+  // decode behaviour as the base, but it is still a distinct generation.
+  EXPECT_EQ(empty_fork->learned()->size(), 0U);
+
+  (void)learner.learn(slice(0, 4));
+  const auto fork = learner.snapshot_model();
+  ASSERT_NE(fork->learned(), nullptr);
+  EXPECT_GT(fork->learned()->size(), 0U);
+  EXPECT_NE(fork->fingerprint(), (*model_)->fingerprint());
+  EXPECT_NE(fork->fingerprint(), empty_fork->fingerprint());
+
+  // Unchanged learned content => identical fingerprint (pure function of
+  // content, not of construction time); more learning changes it again.
+  EXPECT_EQ(learner.snapshot_model()->fingerprint(), fork->fingerprint());
+  (void)learner.learn(slice(4, 8));
+  EXPECT_NE(learner.snapshot_model()->fingerprint(), fork->fingerprint());
+
+  // The fork decodes (blended path reads the learned table on reference
+  // misses) and stays tag-compatible in shape.
+  crf::LinearChainCrf::Scratch scratch;
+  features::EncodeScratch encode;
+  const auto& sentence = sentences_->front();
+  EXPECT_EQ(fork->decode_one_blended(sentence, scratch, encode).size(),
+            sentence.size());
+}
+
+TEST(LearnProtocol, LearnLineIsAdminSugar) {
+  const auto parsed = serve::parse_request_line("#LEARN text p53 activates");
+  EXPECT_EQ(parsed.kind, serve::LineKind::kAdmin);
+  EXPECT_EQ(parsed.admin, "learn text p53 activates");
+
+  const auto status = serve::parse_request_line("#LEARN status");
+  EXPECT_EQ(status.kind, serve::LineKind::kAdmin);
+  EXPECT_EQ(status.admin, "learn status");
+
+  const auto bare = serve::parse_request_line("#LEARN");
+  EXPECT_EQ(bare.kind, serve::LineKind::kMalformed);
+  EXPECT_NE(bare.error.find("#LEARN"), std::string::npos);
+}
+
+TEST_F(LearnTier, RouterLearnSwapsEveryReplicaAndInvalidatesTheCache) {
+  router::RouterConfig config;
+  config.replicas = 2;
+  config.replica_service.workers = 1;
+  config.learn_enabled = true;
+  router::Router router(*model_, config);
+  const auto base_fingerprint = (*model_)->fingerprint();
+  EXPECT_EQ(router.replica(0).fingerprint(), base_fingerprint);
+
+  // Prime the cache under the base generation.
+  ASSERT_TRUE(router.submit(sentences_->front()).get().ok());
+  EXPECT_EQ(router.cache().size(), 1U);
+
+  const std::string status = router.admin("learn status");
+  EXPECT_EQ(status.rfind("learn\tvertices=0", 0), 0U) << status;
+
+  std::string line;
+  for (const auto& token : (*sentences_)[1].tokens)
+    line += (line.empty() ? "" : " ") + token;
+  const std::string reply = router.admin("learn text " + line);
+  EXPECT_EQ(reply.rfind("OK learned 1 sentence(s)", 0), 0U) << reply;
+
+  // The learned fork reached *both* replicas and retired the old cache
+  // generation tier-wide.
+  EXPECT_NE(router.replica(0).fingerprint(), base_fingerprint);
+  EXPECT_EQ(router.replica(0).fingerprint(), router.replica(1).fingerprint());
+  EXPECT_EQ(router.cache().size(), 0U);
+
+  // Serving still works against the swapped-in fork.
+  ASSERT_TRUE(router.submit(sentences_->front()).get().ok());
+
+  EXPECT_EQ(router.admin("learn bogus").rfind("ERROR unknown learn mode", 0),
+            0U);
+  EXPECT_EQ(router.admin("learn text").rfind("ERROR learn text needs", 0), 0U);
+  EXPECT_EQ(
+      router.admin("learn file /nonexistent/sents").rfind("ERROR learn file", 0),
+      0U);
+  router.stop();
+}
+
+TEST_F(LearnTier, RouterRejectsLearnWhenDisabled) {
+  router::RouterConfig config;
+  config.replicas = 1;
+  config.replica_service.workers = 1;
+  router::Router router(*model_, config);
+  EXPECT_EQ(router.admin("learn status").rfind("ERROR learning disabled", 0),
+            0U);
+  router.stop();
+}
+
+}  // namespace
+}  // namespace graphner::core

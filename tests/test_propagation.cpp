@@ -1,6 +1,9 @@
 // Tests for graph propagation (equations 1 and 2 of the paper).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "src/propagation/propagation.hpp"
 #include "src/util/rng.hpp"
 
@@ -207,6 +210,244 @@ TEST_P(PropagationSweep, LossNonIncreasingOnRandomInstances) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PropagationSweep,
                          ::testing::Range<std::uint64_t>(0, 8));
+
+// --- degenerate graph shapes (ISSUE 8 satellite) -------------------------
+
+void expect_sane(const std::vector<LabelDistribution>& distributions) {
+  for (const auto& d : distributions) {
+    double sum = 0.0;
+    for (const double p : d) {
+      EXPECT_FALSE(std::isnan(p));
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0 + 1e-12);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(PropagationDegenerate, DisconnectedComponentsConvergeIndependently) {
+  // Two 3-chains with no edges between them; component A labelled B at one
+  // end, component B labelled O. Mass must not leak across components.
+  KnnGraph graph(6, 2);
+  for (const std::size_t base : {std::size_t(0), std::size_t(3)}) {
+    graph.set_neighbours(static_cast<graph::VertexId>(base),
+                         {{static_cast<graph::VertexId>(base + 1), 1.0F}});
+    graph.set_neighbours(static_cast<graph::VertexId>(base + 1),
+                         {{static_cast<graph::VertexId>(base), 1.0F},
+                          {static_cast<graph::VertexId>(base + 2), 1.0F}});
+    graph.set_neighbours(static_cast<graph::VertexId>(base + 2),
+                         {{static_cast<graph::VertexId>(base + 1), 1.0F}});
+  }
+  std::vector<LabelDistribution> x(6, uniform_distribution());
+  std::vector<LabelDistribution> ref(6, uniform_distribution());
+  std::vector<bool> labelled(6, false);
+  labelled[0] = labelled[3] = true;
+  ref[0] = dist(1, 0, 0);
+  ref[3] = dist(0, 0, 1);
+
+  const auto result = propagate(graph, x, ref, labelled, {1.0, 1e-4, 200});
+  expect_sane(result.distributions);
+  // Within each component the anchored tag dominates its unlabelled tail;
+  // across components there is no influence at all.
+  EXPECT_GT(result.distributions[2][0], result.distributions[2][2]);
+  EXPECT_GT(result.distributions[5][2], result.distributions[5][0]);
+}
+
+TEST(PropagationDegenerate, IsolatedVerticesAmongConnectedOnes) {
+  // Vertex 2 has no edges in either direction; its fixed point is the
+  // seed/nu blend only, untouched by the connected pair around it.
+  KnnGraph graph(3, 2);
+  graph.set_neighbours(0, {{1, 1.0F}});
+  graph.set_neighbours(1, {{0, 1.0F}});
+  std::vector<LabelDistribution> x(3, uniform_distribution());
+  std::vector<LabelDistribution> ref(3, uniform_distribution());
+  std::vector<bool> labelled(3, false);
+  labelled[0] = true;
+  ref[0] = dist(1, 0, 0);
+
+  const auto result = propagate(graph, x, ref, labelled, {0.5, 0.05, 100});
+  expect_sane(result.distributions);
+  // Unlabelled + isolated: exactly the uniform prior.
+  for (const double p : result.distributions[2]) EXPECT_NEAR(p, 1.0 / 3.0, 1e-9);
+  // The labelled vertex keeps its anchor's argmax.
+  EXPECT_GT(result.distributions[0][0], result.distributions[0][2]);
+}
+
+TEST(PropagationDegenerate, SingleVertexGraph) {
+  KnnGraph graph(1, 2);
+  std::vector<LabelDistribution> x = {dist(0.2, 0.3, 0.5)};
+  std::vector<LabelDistribution> ref = {dist(0, 1, 0)};
+  std::vector<bool> labelled = {true};
+  const auto result = propagate(graph, x, ref, labelled, {0.5, 0.1, 10});
+  expect_sane(result.distributions);
+  // Closed form: (ref + nu * uniform) / (1 + nu).
+  EXPECT_NEAR(result.distributions[0][1], (1.0 + 0.1 / 3.0) / 1.1, 1e-9);
+}
+
+TEST(PropagationDegenerate, EmptyGraphIsANoop) {
+  KnnGraph graph(0, 2);
+  std::vector<LabelDistribution> x;
+  std::vector<LabelDistribution> ref;
+  std::vector<bool> labelled;
+  const auto result = propagate(graph, x, ref, labelled, {0.5, 0.1, 3});
+  EXPECT_TRUE(result.distributions.empty());
+  const auto incremental =
+      propagate_incremental(graph, x, ref, labelled, {}, {});
+  EXPECT_TRUE(incremental.converged);
+  EXPECT_EQ(incremental.relaxations, 0U);
+}
+
+// --- incremental re-propagation ------------------------------------------
+
+struct Instance {
+  KnnGraph graph{0, 0};
+  std::vector<LabelDistribution> x;
+  std::vector<LabelDistribution> ref;
+  std::vector<bool> labelled;
+};
+
+Instance random_instance(std::uint64_t seed, std::size_t n) {
+  util::Rng rng(seed);
+  Instance inst;
+  inst.graph = KnnGraph(n, 3);
+  for (std::size_t v = 0; v < n; ++v) {
+    std::vector<graph::Edge> edges;
+    for (int e = 0; e < 3; ++e) {
+      const auto u = static_cast<graph::VertexId>(rng.below(n));
+      const bool duplicate =
+          std::any_of(edges.begin(), edges.end(),
+                      [&](const graph::Edge& ex) { return ex.target == u; });
+      if (u != v && !duplicate)
+        edges.push_back({u, static_cast<float>(rng.uniform(0.1, 1.0))});
+    }
+    inst.graph.set_neighbours(static_cast<graph::VertexId>(v), std::move(edges));
+  }
+  inst.x.assign(n, uniform_distribution());
+  inst.ref.assign(n, uniform_distribution());
+  inst.labelled.assign(n, false);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (rng.flip(0.4)) {
+      inst.labelled[v] = true;
+      const double b = rng.uniform();
+      inst.ref[v] = dist(b, 0.0, 1.0 - b);
+    }
+  }
+  return inst;
+}
+
+double sup_diff(const std::vector<LabelDistribution>& a,
+                const std::vector<LabelDistribution>& b) {
+  double out = 0.0;
+  for (std::size_t v = 0; v < a.size(); ++v)
+    for (std::size_t y = 0; y < text::kNumTags; ++y)
+      out = std::max(out, std::abs(a[v][y] - b[v][y]));
+  return out;
+}
+
+class IncrementalGolden : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IncrementalGolden, ConvergesToTheFullPropagateFixedPoint) {
+  // The ISSUE 8 golden test: the residual-driven Gauss-Seidel worklist and
+  // Jacobi-to-convergence must agree on the fixed point within tolerance.
+  auto inst = random_instance(GetParam(), 18);
+  const PropagationConfig full_config{0.4, 0.05, 2000, 0};
+  const auto full =
+      propagate(inst.graph, inst.x, inst.ref, inst.labelled, full_config);
+
+  IncrementalPropagationConfig config;
+  config.mu = 0.4;
+  config.nu = 0.05;
+  config.tolerance = 1e-12;
+  config.max_relaxations = 1'000'000;  // tight tolerance needs headroom
+  std::vector<graph::VertexId> all(inst.x.size());
+  for (std::size_t v = 0; v < all.size(); ++v)
+    all[v] = static_cast<graph::VertexId>(v);
+  const auto result = propagate_incremental(inst.graph, inst.x, inst.ref,
+                                            inst.labelled, all, config);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.final_residual, config.tolerance);
+  expect_sane(inst.x);
+  EXPECT_LT(sup_diff(inst.x, full.distributions), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalGolden, ::testing::Values(31, 32, 33));
+
+TEST(PropagationIncremental, LocalizedPerturbationOnlyTouchesItsBasin) {
+  // Two disconnected 3-chains, both converged; perturb a reference in the
+  // first. Only that component's vertices may enter the worklist, and the
+  // result must match a full re-propagation.
+  KnnGraph graph(6, 2);
+  for (const std::size_t base : {std::size_t(0), std::size_t(3)}) {
+    graph.set_neighbours(static_cast<graph::VertexId>(base),
+                         {{static_cast<graph::VertexId>(base + 1), 1.0F}});
+    graph.set_neighbours(static_cast<graph::VertexId>(base + 1),
+                         {{static_cast<graph::VertexId>(base), 1.0F},
+                          {static_cast<graph::VertexId>(base + 2), 1.0F}});
+    graph.set_neighbours(static_cast<graph::VertexId>(base + 2),
+                         {{static_cast<graph::VertexId>(base + 1), 1.0F}});
+  }
+  std::vector<LabelDistribution> x(6, uniform_distribution());
+  std::vector<LabelDistribution> ref(6, uniform_distribution());
+  std::vector<bool> labelled(6, false);
+  labelled[0] = labelled[3] = true;
+  ref[0] = dist(1, 0, 0);
+  ref[3] = dist(0, 0, 1);
+
+  // Converge fully first.
+  IncrementalPropagationConfig config;
+  config.mu = 0.5;
+  config.nu = 0.05;
+  config.tolerance = 1e-12;
+  config.max_relaxations = 1'000'000;
+  const std::vector<graph::VertexId> all = {0, 1, 2, 3, 4, 5};
+  ASSERT_TRUE(
+      propagate_incremental(graph, x, ref, labelled, all, config).converged);
+
+  // Perturb vertex 0's anchor and relax from that seed alone.
+  ref[0] = dist(0, 1, 0);
+  const auto before = x;
+  const auto result =
+      propagate_incremental(graph, x, ref, labelled, {0}, config);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.active_vertices, 3U);  // never the second component
+  for (std::size_t v = 3; v < 6; ++v)
+    EXPECT_EQ(x[v], before[v]) << "vertex " << v << " moved";
+
+  // Golden: the localized solution equals a from-scratch full solve.
+  std::vector<LabelDistribution> fresh(6, uniform_distribution());
+  ASSERT_TRUE(
+      propagate_incremental(graph, fresh, ref, labelled, all, config).converged);
+  EXPECT_LT(sup_diff(x, fresh), 1e-9);
+}
+
+TEST(PropagationIncremental, RelaxationCapReportsNonConvergence) {
+  auto inst = random_instance(41, 12);
+  IncrementalPropagationConfig config;
+  config.mu = 0.4;
+  config.nu = 0.05;
+  config.tolerance = 1e-12;
+  config.max_relaxations = 3;
+  std::vector<graph::VertexId> all(inst.x.size());
+  for (std::size_t v = 0; v < all.size(); ++v)
+    all[v] = static_cast<graph::VertexId>(v);
+  const auto result = propagate_incremental(inst.graph, inst.x, inst.ref,
+                                            inst.labelled, all, config);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.relaxations, 3U);
+  EXPECT_GT(result.final_residual, config.tolerance);
+  expect_sane(inst.x);  // partial progress is still a valid distribution set
+}
+
+TEST(PropagationIncremental, NoSeedsIsANoop) {
+  auto inst = random_instance(42, 8);
+  const auto before = inst.x;
+  const auto result = propagate_incremental(inst.graph, inst.x, inst.ref,
+                                            inst.labelled, {}, {});
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.relaxations, 0U);
+  EXPECT_EQ(inst.x, before);
+}
 
 }  // namespace
 }  // namespace graphner::propagation
