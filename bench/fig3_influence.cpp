@@ -30,11 +30,11 @@ int main(int argc, char** argv) {
   for (const auto& s : data.test) all.push_back(&s);
 
   const features::FeatureExtractor extractor{features::FeatureConfig{}};
-  const auto vectors = graph::build_vertex_vectors(vertices, all, extractor,
-                                                   graph::VertexFeatureConfig{});
+  auto vectors = graph::build_vertex_vectors(vertices, all, extractor,
+                                             graph::VertexFeatureConfig{});
   graph::KnnConfig knn_config;
   knn_config.k = *k;
-  const auto knn = graph::build_knn_graph(vectors.vectors, knn_config);
+  const auto knn = graph::build_knn_graph(std::move(vectors.vectors), knn_config);
   const auto stats = graph::compute_graph_stats(knn);
 
   // Labelled / positively-labelled fractions (paper: 77.2% / 8.5%).

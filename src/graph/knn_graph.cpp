@@ -63,7 +63,7 @@ KnnGraph KnnGraph::load(std::istream& in) {
   return graph;
 }
 
-KnnGraph build_knn_graph(const std::vector<SparseVector>& vectors,
+KnnGraph build_knn_graph(std::vector<SparseVector>&& vectors,
                          const KnnConfig& config) {
   // One-shot build = one append into an empty KnnIndex (knn_index.cpp):
   // identical candidate enumeration and scoring, so this refactor is
@@ -71,7 +71,7 @@ KnnGraph build_knn_graph(const std::vector<SparseVector>& vectors,
   // incremental appends for free.
   obs::ScopedSpan span("graph.knn_build");
   const std::size_t n = vectors.size();
-  KnnIndex index = KnnIndex::build(vectors, config);
+  KnnIndex index = KnnIndex::build(std::move(vectors), config);
   KnnGraph graph = index.take_graph();
   span.attr("vertices", static_cast<std::uint64_t>(n));
   span.attr("edges", static_cast<std::uint64_t>(graph.edge_count()));
@@ -82,6 +82,12 @@ KnnGraph build_knn_graph(const std::vector<SparseVector>& vectors,
   registry.gauge("graph.knn.edges").set(static_cast<double>(graph.edge_count()));
   registry.counter("graph.knn.builds").inc();
   return graph;
+}
+
+KnnGraph build_knn_graph(const std::vector<SparseVector>& vectors,
+                         const KnnConfig& config) {
+  // Copy-in convenience for callers that keep using `vectors` afterwards.
+  return build_knn_graph(std::vector<SparseVector>(vectors), config);
 }
 
 }  // namespace graphner::graph

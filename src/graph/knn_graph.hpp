@@ -9,6 +9,7 @@
 // vertices (util::parallel_for_chunked).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <vector>
@@ -28,20 +29,59 @@ class KnnGraph {
   KnnGraph() = default;
   KnnGraph(std::size_t num_vertices, std::size_t k);
 
+  // The atomic edge counter deletes the implicit special members; copies
+  // and moves are only taken from quiescent graphs (no concurrent
+  // set_neighbours), so a plain relaxed load transfers the count.
+  KnnGraph(const KnnGraph& other)
+      : k_(other.k_),
+        edge_count_(other.edge_count_.load(std::memory_order_relaxed)),
+        edges_(other.edges_) {}
+  KnnGraph(KnnGraph&& other) noexcept
+      : k_(other.k_),
+        edge_count_(other.edge_count_.load(std::memory_order_relaxed)),
+        edges_(std::move(other.edges_)) {
+    other.edge_count_.store(0, std::memory_order_relaxed);
+  }
+  KnnGraph& operator=(const KnnGraph& other) {
+    if (this != &other) {
+      k_ = other.k_;
+      edge_count_.store(other.edge_count_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+      edges_ = other.edges_;
+    }
+    return *this;
+  }
+  KnnGraph& operator=(KnnGraph&& other) noexcept {
+    if (this != &other) {
+      k_ = other.k_;
+      edge_count_.store(other.edge_count_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+      edges_ = std::move(other.edges_);
+      other.edge_count_.store(0, std::memory_order_relaxed);
+    }
+    return *this;
+  }
+
   [[nodiscard]] std::size_t vertex_count() const noexcept { return edges_.size(); }
   [[nodiscard]] std::size_t k() const noexcept { return k_; }
   /// Total directed edges. O(1): the count is maintained incrementally by
   /// set_neighbours / grow / load instead of re-scanned per call (it backs
   /// metric updates on every build and append).
-  [[nodiscard]] std::size_t edge_count() const noexcept { return edge_count_; }
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return edge_count_.load(std::memory_order_relaxed);
+  }
 
   [[nodiscard]] const std::vector<Edge>& neighbours(VertexId v) const {
     return edges_.at(v);
   }
+  /// Safe to call concurrently for *distinct* vertices (KnnIndex::append
+  /// scores new vertices from worker threads): each worker writes a
+  /// disjoint edges_ slot, and the shared counter is adjusted with one
+  /// relaxed atomic add (unsigned wrap makes a negative delta net out).
   void set_neighbours(VertexId v, std::vector<Edge> edges) {
     std::vector<Edge>& slot = edges_.at(v);
-    edge_count_ += edges.size();
-    edge_count_ -= slot.size();
+    edge_count_.fetch_add(edges.size() - slot.size(),
+                          std::memory_order_relaxed);
     slot = std::move(edges);
   }
 
@@ -58,7 +98,9 @@ class KnnGraph {
 
  private:
   std::size_t k_ = 0;
-  std::size_t edge_count_ = 0;
+  /// Atomic because parallel append workers set_neighbours concurrently
+  /// (disjoint slots, shared counter).
+  std::atomic<std::size_t> edge_count_{0};
   std::vector<std::vector<Edge>> edges_;
 };
 
@@ -71,7 +113,12 @@ struct KnnConfig {
   double min_similarity = 1e-4;
 };
 
-/// Build the exact k-NN graph over unit-normalized vectors.
+/// Build the exact k-NN graph over unit-normalized vectors. The rvalue
+/// overload moves the vectors into the scoring index; one-shot callers
+/// that are done with them should use it so peak memory stays at one copy
+/// (the lvalue overload copies, for callers that keep using `vectors`).
+[[nodiscard]] KnnGraph build_knn_graph(std::vector<SparseVector>&& vectors,
+                                       const KnnConfig& config);
 [[nodiscard]] KnnGraph build_knn_graph(const std::vector<SparseVector>& vectors,
                                        const KnnConfig& config);
 

@@ -34,6 +34,7 @@ KnnIndex::AppendResult KnnIndex::append(std::vector<SparseVector> new_vectors) {
   vectors_.reserve(n_total);
   for (auto& vec : new_vectors) vectors_.push_back(std::move(vec));
   graph_.grow(n_new);
+  if (transpose_built_) in_edges_.resize(n_total);
 
   // 1. Extend the inverted index with the new vertices' entries. True
   // posting lengths keep counting past the cap so a list that crossed it
@@ -112,6 +113,14 @@ KnnIndex::AppendResult KnnIndex::append(std::vector<SparseVector> new_vectors) {
     }
   });
 
+  // Transpose upkeep for the forward edges: new vertices had no edges
+  // before, so these are pure insertions. Serial — two new vertices may
+  // share a target, so workers cannot push into in_edges_ directly.
+  if (transpose_built_)
+    for (std::size_t v = n_old; v < n_total; ++v)
+      for (const Edge& e : graph_.neighbours(static_cast<VertexId>(v)))
+        in_edges_[e.target].push_back(static_cast<VertexId>(v));
+
   // 3. Reverse patch: merge each old vertex's candidates into its edge
   // list. The old list is the exact top-k over the old vertex set and the
   // union's top-k can only draw from (old top-k) ∪ (new candidates), so
@@ -142,6 +151,38 @@ KnnIndex::AppendResult KnnIndex::append(std::vector<SparseVector> new_vectors) {
         break;
       }
     if (changed) {
+      if (transpose_built_) {
+        // Diff old vs merged top-k (both <= k entries, so nested scans are
+        // fine): dropped targets lose u in their in-list, entered targets
+        // gain it. Swap-pop keeps removal O(in-degree); list order is
+        // unspecified by contract.
+        const std::vector<Edge>& old_edges = graph_.neighbours(u);
+        for (const Edge& oe : old_edges) {
+          bool kept = false;
+          for (const Edge& me : merged)
+            if (me.target == oe.target) {
+              kept = true;
+              break;
+            }
+          if (kept) continue;
+          std::vector<VertexId>& in = in_edges_[oe.target];
+          for (std::size_t j = 0; j < in.size(); ++j)
+            if (in[j] == u) {
+              in[j] = in.back();
+              in.pop_back();
+              break;
+            }
+        }
+        for (const Edge& me : merged) {
+          bool had = false;
+          for (const Edge& oe : old_edges)
+            if (oe.target == me.target) {
+              had = true;
+              break;
+            }
+          if (!had) in_edges_[me.target].push_back(u);
+        }
+      }
       result.patched.push_back(u);
       graph_.set_neighbours(u, std::move(merged));
     }
@@ -156,6 +197,17 @@ KnnIndex::AppendResult KnnIndex::append(std::vector<SparseVector> new_vectors) {
   registry.gauge("graph.knn.vertices").set(static_cast<double>(n_total));
   registry.gauge("graph.knn.edges").set(static_cast<double>(graph_.edge_count()));
   return result;
+}
+
+const std::vector<std::vector<VertexId>>& KnnIndex::transpose() {
+  if (!transpose_built_) {
+    in_edges_.assign(graph_.vertex_count(), {});
+    for (std::size_t v = 0; v < graph_.vertex_count(); ++v)
+      for (const Edge& e : graph_.neighbours(static_cast<VertexId>(v)))
+        in_edges_[e.target].push_back(static_cast<VertexId>(v));
+    transpose_built_ = true;
+  }
+  return in_edges_;
 }
 
 }  // namespace graphner::graph

@@ -73,6 +73,14 @@ class KnnIndex {
     return capped_features_;
   }
 
+  /// Reverse adjacency (vertex -> vertices whose edge lists point at it),
+  /// the push direction propagate_incremental relaxes along. Materialized
+  /// O(V+E) on first call, then patched incrementally by append alongside
+  /// the forward edges — so a learn batch costs O(batch neighbourhood),
+  /// not an O(V+E) transpose rebuild per call. One-shot builds that never
+  /// ask for it pay nothing. Neighbour order within a list is unspecified.
+  [[nodiscard]] const std::vector<std::vector<VertexId>>& transpose();
+
   /// Release the graph (the index keeps an empty one; used by the one-shot
   /// build_knn_graph wrapper).
   [[nodiscard]] KnnGraph take_graph() { return std::move(graph_); }
@@ -92,6 +100,10 @@ class KnnIndex {
   std::vector<std::vector<Posting>> postings_;
   std::vector<std::size_t> posting_lengths_;
   std::size_t capped_features_ = 0;
+  /// Lazily-built reverse adjacency (see transpose()); kept in sync by
+  /// append once materialized.
+  std::vector<std::vector<VertexId>> in_edges_;
+  bool transpose_built_ = false;
 };
 
 }  // namespace graphner::graph

@@ -161,9 +161,12 @@ LearnStats OnlineLearner::learn(const std::vector<text::Sentence>& batch) {
   prop.nu = config_.nu;
   prop.tolerance = config_.tolerance;
   prop.max_relaxations = config_.max_relaxations;
+  // index_.transpose() is maintained incrementally across appends, so the
+  // sweep's cost tracks the batch neighbourhood, not the corpus.
   const propagation::IncrementalPropagationResult result =
-      propagation::propagate_incremental(index_.graph(), x_, x_reference_,
-                                         is_labelled_, seeds, prop);
+      propagation::propagate_incremental(index_.graph(), index_.transpose(),
+                                         x_, x_reference_, is_labelled_, seeds,
+                                         prop);
   stats.relaxations = result.relaxations;
   stats.active_vertices = result.active_vertices;
   stats.final_residual = result.final_residual;

@@ -126,13 +126,16 @@ PropagationResult propagate(const graph::KnnGraph& graph,
 }
 
 IncrementalPropagationResult propagate_incremental(
-    const graph::KnnGraph& graph, std::vector<LabelDistribution>& x,
+    const graph::KnnGraph& graph,
+    const std::vector<std::vector<graph::VertexId>>& in_edges,
+    std::vector<LabelDistribution>& x,
     const std::vector<LabelDistribution>& reference,
     const std::vector<bool>& is_labelled,
     const std::vector<graph::VertexId>& seeds,
     const IncrementalPropagationConfig& config) {
   const std::size_t n = x.size();
   assert(graph.vertex_count() == n);
+  assert(in_edges.size() == n);
   assert(reference.size() == n && is_labelled.size() == n);
   const double inv_y = 1.0 / static_cast<double>(kNumTags);
   const std::size_t max_relaxations =
@@ -147,15 +150,6 @@ IncrementalPropagationResult propagate_incremental(
   obs::ScopedSpan span("propagation.incremental");
   span.attr("vertices", static_cast<std::uint64_t>(n));
   span.attr("seeds", static_cast<std::uint64_t>(seeds.size()));
-
-  // x[v]'s equation reads its out-neighbours, so when x[v] moves it is the
-  // *in*-neighbours whose residuals change — the push direction needs the
-  // reverse adjacency. Built per call: the graph just mutated (that is why
-  // we are here), so a cached transpose would be stale anyway.
-  std::vector<std::vector<graph::VertexId>> in_edges(n);
-  for (std::size_t v = 0; v < n; ++v)
-    for (const auto& edge : graph.neighbours(static_cast<graph::VertexId>(v)))
-      in_edges[edge.target].push_back(static_cast<graph::VertexId>(v));
 
   // Gauss-Seidel coordinate update (equation 2 against the *current* x).
   const auto relaxed_value = [&](std::size_t v, LabelDistribution& out) {
@@ -179,6 +173,8 @@ IncrementalPropagationResult propagate_incremental(
   // (cheaper than a decrease-key heap at these fanouts).
   std::vector<double> residual(n, 0.0);
   std::vector<char> ever_active(n, 0);
+  std::vector<graph::VertexId> activated;  // the localized set, for the
+                                           // active-only exit scan below
   std::priority_queue<std::pair<double, graph::VertexId>> heap;
 
   const auto enqueue = [&](graph::VertexId v) {
@@ -192,6 +188,7 @@ IncrementalPropagationResult propagate_incremental(
       heap.emplace(r, v);
       if (!ever_active[v]) {
         ever_active[v] = 1;
+        activated.push_back(v);
         ++result.active_vertices;
       }
     }
@@ -222,9 +219,12 @@ IncrementalPropagationResult propagate_incremental(
     for (const graph::VertexId u : in_edges[v]) enqueue(u);
   }
 
+  // Exit residual over the active set only: every vertex outside it kept a
+  // zero residual throughout (its equation never changed), so scanning all
+  // n vertices would cost O(corpus) per batch for no information.
   double final_residual = 0.0;
-  for (std::size_t v = 0; v < n; ++v)
-    if (ever_active[v]) final_residual = std::max(final_residual, residual[v]);
+  for (const graph::VertexId v : activated)
+    final_residual = std::max(final_residual, residual[v]);
   result.final_residual = final_residual;
   result.converged = final_residual <= config.tolerance;
   residual_gauge.set(final_residual);
@@ -239,6 +239,23 @@ IncrementalPropagationResult propagate_incremental(
   span.attr("final_residual", result.final_residual);
   span.attr("converged", result.converged ? std::uint64_t{1} : std::uint64_t{0});
   return result;
+}
+
+IncrementalPropagationResult propagate_incremental(
+    const graph::KnnGraph& graph, std::vector<LabelDistribution>& x,
+    const std::vector<LabelDistribution>& reference,
+    const std::vector<bool>& is_labelled,
+    const std::vector<graph::VertexId>& seeds,
+    const IncrementalPropagationConfig& config) {
+  // No maintained transpose available — derive it here. The learner avoids
+  // this path by passing KnnIndex::transpose() (incrementally patched).
+  const std::size_t n = x.size();
+  std::vector<std::vector<graph::VertexId>> in_edges(n);
+  for (std::size_t v = 0; v < n; ++v)
+    for (const auto& edge : graph.neighbours(static_cast<graph::VertexId>(v)))
+      in_edges[edge.target].push_back(static_cast<graph::VertexId>(v));
+  return propagate_incremental(graph, in_edges, x, reference, is_labelled,
+                               seeds, config);
 }
 
 }  // namespace graphner::propagation

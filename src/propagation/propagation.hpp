@@ -97,6 +97,23 @@ struct IncrementalPropagationResult {
 /// fixed-point value — vertices outside the seeds' influence region are
 /// never visited. Publishes the propagation.residual gauge (the PR-5
 /// convergence driver) and propagation.incremental.* counters.
+///
+/// `in_edges` is the graph's reverse adjacency (in_edges[v] = vertices
+/// whose edge lists contain v). Passing it in keeps a learn batch's cost
+/// proportional to the batch neighbourhood: KnnIndex maintains the
+/// transpose incrementally across appends (KnnIndex::transpose()), so the
+/// per-call O(V+E) rebuild disappears from the steady-state learn path.
+IncrementalPropagationResult propagate_incremental(
+    const graph::KnnGraph& graph,
+    const std::vector<std::vector<graph::VertexId>>& in_edges,
+    std::vector<LabelDistribution>& x,
+    const std::vector<LabelDistribution>& reference,
+    const std::vector<bool>& is_labelled,
+    const std::vector<graph::VertexId>& seeds,
+    const IncrementalPropagationConfig& config);
+
+/// Convenience overload for callers without a maintained transpose: builds
+/// the reverse adjacency from `graph` (O(V+E)) and delegates.
 IncrementalPropagationResult propagate_incremental(
     const graph::KnnGraph& graph, std::vector<LabelDistribution>& x,
     const std::vector<LabelDistribution>& reference,

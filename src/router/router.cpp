@@ -232,7 +232,6 @@ std::string Router::admin(const std::string& command) {
   if (verb == "swap") {
     std::string path;
     if (!(in >> path)) return "ERROR #REPLICA swap needs a model path\n";
-    const std::uint64_t old_fingerprint = replicas_[index]->fingerprint();
     std::shared_ptr<const core::GraphNerModel> model;
     try {
       model = std::make_shared<core::GraphNerModel>(
@@ -240,6 +239,10 @@ std::string Router::admin(const std::string& command) {
     } catch (const std::exception& e) {
       return "ERROR swap failed: " + std::string(e.what()) + "\n";
     }
+    // Same mutex as the learn path: a concurrent swap-all must not observe
+    // (or be observed by) a half-applied single-replica swap.
+    std::lock_guard<std::mutex> lock(swap_mutex_);
+    const std::uint64_t old_fingerprint = replicas_[index]->fingerprint();
     replicas_[index]->swap_model(model);
     swaps_.inc();
     // A cache generation nobody serves anymore can only produce stale
@@ -264,7 +267,7 @@ std::string Router::admin(const std::string& command) {
     std::string mode;
     in >> mode;
     if (mode == "status") {
-      std::lock_guard<std::mutex> lock(learn_mutex_);
+      std::lock_guard<std::mutex> lock(swap_mutex_);
       std::ostringstream out;
       out << "learn\tvertices=" << learner_->vertex_count()
           << "\tedges=" << learner_->edge_count() << "\tbase_fingerprint="
@@ -300,7 +303,7 @@ std::string Router::admin(const std::string& command) {
     // Learn, fork, and hot-swap the fork into the whole tier atomically
     // with respect to other learns (submits keep flowing — each replica
     // swap is itself atomic and the cache is generation-keyed).
-    std::lock_guard<std::mutex> lock(learn_mutex_);
+    std::lock_guard<std::mutex> lock(swap_mutex_);
     core::LearnStats stats;
     std::shared_ptr<const core::GraphNerModel> fork;
     try {

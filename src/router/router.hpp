@@ -144,7 +144,11 @@ class Router : public serve::TagService {
   std::size_t swap_all_replicas(
       const std::shared_ptr<const core::GraphNerModel>& model);
   std::unique_ptr<core::OnlineLearner> learner_;
-  std::mutex learn_mutex_;  ///< serializes learn batches + fork swaps
+  /// Serializes every model-swap admin path — learn batches + fork swaps
+  /// AND single-replica "#REPLICA swap" — so interleaved swaps (each admin
+  /// command runs on its own connection thread) cannot invalidate a
+  /// generation mid-sweep or strand an orphaned cache generation.
+  std::mutex swap_mutex_;
   bool stopped_ = false;
   std::mutex stop_mutex_;
 };

@@ -304,6 +304,40 @@ TEST(KnnIndex, AppendPatchesReverseEdges) {
   EXPECT_EQ(index.graph().neighbours(2)[0].target, 0U);
 }
 
+TEST(KnnIndex, TransposeMaintainedAcrossAppends) {
+  // The transpose is materialized once and then patched by append (forward
+  // edges of new vertices + reverse-patch diffs on old vertices). After
+  // two appends it must equal, per vertex as a set, a transpose recomputed
+  // from the final graph (neighbour order within a list is unspecified).
+  util::Rng rng(31);
+  const auto vectors = random_unit_vectors(60, 30, 6, rng);
+  const KnnConfig config{5, 1000, 1e-9};
+
+  KnnIndex index = KnnIndex::build(
+      std::vector<SparseVector>(vectors.begin(), vectors.begin() + 40), config);
+  (void)index.transpose();  // materialize early so appends patch it
+  (void)index.append(
+      std::vector<SparseVector>(vectors.begin() + 40, vectors.begin() + 52));
+  (void)index.append(
+      std::vector<SparseVector>(vectors.begin() + 52, vectors.end()));
+
+  const auto& maintained = index.transpose();
+  ASSERT_EQ(maintained.size(), index.graph().vertex_count());
+  std::vector<std::vector<VertexId>> recomputed(index.graph().vertex_count());
+  for (std::size_t v = 0; v < index.graph().vertex_count(); ++v)
+    for (const auto& e : index.graph().neighbours(static_cast<VertexId>(v)))
+      recomputed[e.target].push_back(static_cast<VertexId>(v));
+  for (std::size_t v = 0; v < recomputed.size(); ++v) {
+    std::vector<VertexId> got = maintained[v];
+    std::sort(got.begin(), got.end());
+    // No duplicates: reverse-patch upkeep must not double-insert.
+    EXPECT_TRUE(std::adjacent_find(got.begin(), got.end()) == got.end())
+        << "vertex " << v;
+    std::sort(recomputed[v].begin(), recomputed[v].end());
+    EXPECT_EQ(got, recomputed[v]) << "vertex " << v;
+  }
+}
+
 TEST(KnnIndex, AppendEmptyBatchIsNoop) {
   util::Rng rng(9);
   const auto vectors = random_unit_vectors(10, 12, 4, rng);
