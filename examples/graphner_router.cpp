@@ -15,10 +15,19 @@
 // copy of the weights. The wire protocol is graphner_serve's, plus the
 // "#REPLICA kill|revive|swap|status" admin line (graphner_client --admin)
 // driving the chaos drill and hot-swap, and — with --learn — the "#LEARN
-// text|file|status" online-learning line (DESIGN.md §12): new sentences
-// become k-NN graph vertices incrementally, a localized re-propagation
-// refreshes their label distributions, and the learned fork is
-// hot-swapped into every replica.
+// text|file|status|rollback" online-learning line (DESIGN.md §12): new
+// sentences become k-NN graph vertices incrementally, a localized
+// re-propagation refreshes their label distributions, and the learned
+// fork is hot-swapped into every replica.
+//
+// Durable, self-protecting learning (DESIGN.md §13): --learn-wal-dir
+// journals every committed batch before the swap and replays it on
+// restart to byte-identical learned state; --canary gates each fork on a
+// held-out decode set (drift past --canary-max-disagreement quarantines
+// the batch); "#LEARN rollback" restores the previous generation
+// tier-wide. --health-probe-ms starts the replica health supervisor:
+// sentinel probes open per-replica circuit breakers after
+// --health-failures consecutive misses and close them again half-open.
 //
 // SIGINT/SIGTERM trigger a graceful stop: the listener closes, every
 // replica drains, and the final metrics JSON is printed to stderr.
@@ -136,6 +145,32 @@ int main(int argc, char** argv) {
       "sentence file absorbed as the first learn batch before serving");
   auto learn_tolerance = cli.flag<double>(
       "learn-tolerance", 1e-6, "residual tolerance of localized re-propagation");
+  auto learn_wal_dir = cli.flag<std::string>(
+      "learn-wal-dir", "",
+      "durable learning: journal committed #LEARN batches here and replay "
+      "them on restart (DESIGN.md §13; empty = in-memory only)");
+  auto learn_snapshot_every = cli.flag<std::size_t>(
+      "learn-snapshot-every", 32,
+      "committed batches between learn WAL snapshot compactions");
+  auto learn_max_file_bytes = cli.flag<std::uint64_t>(
+      "learn-max-file-bytes", 8ULL << 20,
+      "reject '#LEARN file' inputs larger than this many bytes");
+  auto canary = cli.flag<std::string>(
+      "canary", "",
+      "held-out canary sentence file every learned fork must decode "
+      "before swapping in (empty = gate off)");
+  auto canary_max_disagreement = cli.flag<double>(
+      "canary-max-disagreement", 0.25,
+      "max fraction of canary sentences whose tags may change per batch; "
+      "drift past this quarantines the batch");
+  auto health_probe_ms = cli.flag<long>(
+      "health-probe-ms", 0,
+      "replica health supervisor probe interval (0 = supervisor off)");
+  auto health_deadline_ms = cli.flag<long>(
+      "health-probe-deadline-ms", 250, "deadline for each sentinel probe");
+  auto health_failures = cli.flag<std::size_t>(
+      "health-failures", 3,
+      "consecutive probe failures that open a replica's circuit breaker");
   cli.parse(argc, argv);
 
   try {
@@ -167,17 +202,40 @@ int main(int argc, char** argv) {
     router_config.replica_service.blend_decode = *blend;
     router_config.replica_service.degrade.high_watermark = *degrade_high;
     router_config.replica_service.degrade.low_watermark = *degrade_low;
-    router_config.learn_enabled = *learn || !learn_seed->empty();
+    router_config.learn_enabled =
+        *learn || !learn_seed->empty() || !learn_wal_dir->empty();
     router_config.learn.tolerance = *learn_tolerance;
+    router_config.learn_wal_dir = *learn_wal_dir;
+    router_config.learn_snapshot_every = *learn_snapshot_every;
+    router_config.learn_max_file_bytes = *learn_max_file_bytes;
+    router_config.canary_max_disagreement = *canary_max_disagreement;
+    if (!canary->empty()) router_config.canary = read_sentence_lines(*canary);
+    router_config.health_probe_interval =
+        std::chrono::milliseconds(*health_probe_ms);
+    router_config.health_probe_deadline =
+        std::chrono::milliseconds(*health_deadline_ms);
+    router_config.health_failure_threshold = *health_failures;
     router::Router router(model, router_config);
 
     if (!learn_seed->empty()) {
       // The seed corpus goes through the exact admin path a client's
       // "#LEARN file" would take, so serving starts from a learned tier.
-      const std::string reply = router.admin("learn file " + *learn_seed);
-      if (reply.rfind("OK", 0) != 0)
-        throw std::runtime_error("learn seed: " + reply);
-      std::cerr << "graphner_router: " << reply;
+      // With a WAL dir, a restart that already replayed learned state
+      // skips the seed — replay owns the learned history, not the flag.
+      const router::LearnLog* learn_log = router.learn_log();
+      const bool recovered =
+          learn_log != nullptr && (learn_log->recovery().snapshot_loaded ||
+                                   learn_log->recovery().replayed_batches > 0);
+      if (recovered) {
+        std::cerr << "graphner_router: learn seed skipped (WAL replay "
+                     "recovered seq "
+                  << learn_log->last_seq() << ")\n";
+      } else {
+        const std::string reply = router.admin("learn file " + *learn_seed);
+        if (reply.rfind("OK", 0) != 0)
+          throw std::runtime_error("learn seed: " + reply);
+        std::cerr << "graphner_router: " << reply;
+      }
     }
 
     if (!offline->empty()) {

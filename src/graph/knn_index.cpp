@@ -1,7 +1,11 @@
 #include "src/graph/knn_index.hpp"
 
 #include <algorithm>
+#include <istream>
 #include <mutex>
+#include <ostream>
+#include <stdexcept>
+#include <string>
 #include <tuple>
 
 #include "src/obs/registry.hpp"
@@ -197,6 +201,143 @@ KnnIndex::AppendResult KnnIndex::append(std::vector<SparseVector> new_vectors) {
   registry.gauge("graph.knn.vertices").set(static_cast<double>(n_total));
   registry.gauge("graph.knn.edges").set(static_cast<double>(graph_.edge_count()));
   return result;
+}
+
+void KnnIndex::save(std::ostream& out) const {
+  out << "knn-index v1\n";
+  out.precision(17);
+  out << "config " << config_.k << ' ' << config_.max_posting_length << ' '
+      << config_.min_similarity << '\n';
+  out.precision(10);  // round-trip float vector values and edge weights exactly
+  out << "vectors " << vectors_.size() << '\n';
+  for (const SparseVector& vec : vectors_) {
+    out << vec.nnz();
+    for (const SparseEntry& e : vec.entries())
+      out << ' ' << e.index << ' ' << e.value;
+    out << '\n';
+  }
+  out << "edges " << graph_.vertex_count() << ' ' << graph_.k() << '\n';
+  for (std::size_t v = 0; v < graph_.vertex_count(); ++v) {
+    const auto& edges = graph_.neighbours(static_cast<VertexId>(v));
+    out << edges.size();
+    for (const Edge& e : edges) out << ' ' << e.target << ' ' << e.weight;
+    out << '\n';
+  }
+  out << "transpose " << (transpose_built_ ? 1 : 0) << '\n';
+  if (transpose_built_)
+    for (const auto& in : in_edges_) {
+      out << in.size();
+      for (const VertexId u : in) out << ' ' << u;
+      out << '\n';
+    }
+}
+
+KnnIndex KnnIndex::load(std::istream& in) {
+  std::string word;
+  std::string version;
+  if (!(in >> word >> version) || word != "knn-index" || version != "v1")
+    throw std::runtime_error("knn index: bad header (expected `knn-index v1`)");
+  KnnConfig config;
+  if (!(in >> word >> config.k >> config.max_posting_length >>
+        config.min_similarity) ||
+      word != "config")
+    throw std::runtime_error("knn index: malformed config line");
+  KnnIndex index(config);
+
+  std::size_t n = 0;
+  if (!(in >> word >> n) || word != "vectors")
+    throw std::runtime_error("knn index: malformed vectors header");
+  index.vectors_.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    std::size_t nnz = 0;
+    if (!(in >> nnz))
+      throw std::runtime_error("knn index: truncated at vector " +
+                               std::to_string(v));
+    std::vector<SparseEntry> entries(nnz);
+    for (SparseEntry& e : entries)
+      if (!(in >> e.index >> e.value))
+        throw std::runtime_error("knn index: malformed entry in vector " +
+                                 std::to_string(v));
+    index.vectors_.emplace_back(std::move(entries));
+  }
+
+  std::size_t graph_vertices = 0;
+  std::size_t graph_k = 0;
+  if (!(in >> word >> graph_vertices >> graph_k) || word != "edges")
+    throw std::runtime_error("knn index: malformed edges header");
+  if (graph_vertices != n)
+    throw std::runtime_error("knn index: edge section lists " +
+                             std::to_string(graph_vertices) +
+                             " vertices but vector section has " +
+                             std::to_string(n));
+  index.graph_ = KnnGraph(n, graph_k);
+  for (std::size_t v = 0; v < n; ++v) {
+    std::size_t degree = 0;
+    if (!(in >> degree) || degree > graph_k)
+      throw std::runtime_error("knn index: bad degree for vertex " +
+                               std::to_string(v));
+    std::vector<Edge> edges(degree);
+    for (Edge& e : edges) {
+      if (!(in >> e.target >> e.weight))
+        throw std::runtime_error("knn index: malformed edge of vertex " +
+                                 std::to_string(v));
+      if (e.target >= n)
+        throw std::runtime_error("knn index: edge of vertex " +
+                                 std::to_string(v) + " targets out-of-range " +
+                                 std::to_string(e.target));
+    }
+    index.graph_.set_neighbours(static_cast<VertexId>(v), std::move(edges));
+  }
+
+  int has_transpose = 0;
+  if (!(in >> word >> has_transpose) || word != "transpose")
+    throw std::runtime_error("knn index: malformed transpose header");
+  if (has_transpose != 0) {
+    index.in_edges_.resize(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      std::size_t in_degree = 0;
+      if (!(in >> in_degree))
+        throw std::runtime_error("knn index: truncated transpose at vertex " +
+                                 std::to_string(v));
+      index.in_edges_[v].resize(in_degree);
+      for (VertexId& u : index.in_edges_[v]) {
+        if (!(in >> u))
+          throw std::runtime_error("knn index: malformed transpose entry of "
+                                   "vertex " +
+                                   std::to_string(v));
+        if (u >= n)
+          throw std::runtime_error("knn index: transpose of vertex " +
+                                   std::to_string(v) +
+                                   " references out-of-range " +
+                                   std::to_string(u));
+      }
+    }
+    index.transpose_built_ = true;
+  }
+
+  // Rebuild the posting lists by replaying the vectors in id order — the
+  // exact order successive appends inserted them, so list contents, cap
+  // transitions and capped_features_ all match the live index.
+  for (std::size_t v = 0; v < n; ++v) {
+    for (const SparseEntry& e : index.vectors_[v].entries()) {
+      if (static_cast<std::size_t>(e.index) + 1 > index.postings_.size()) {
+        index.postings_.resize(static_cast<std::size_t>(e.index) + 1);
+        index.posting_lengths_.resize(index.postings_.size(), 0);
+      }
+      std::size_t& length = ++index.posting_lengths_[e.index];
+      std::vector<Posting>& plist = index.postings_[e.index];
+      if (length > config.max_posting_length) {
+        if (!plist.empty()) {
+          plist.clear();
+          plist.shrink_to_fit();
+          ++index.capped_features_;
+        }
+        continue;
+      }
+      plist.push_back({static_cast<VertexId>(v), e.value});
+    }
+  }
+  return index;
 }
 
 const std::vector<std::vector<VertexId>>& KnnIndex::transpose() {

@@ -85,6 +85,20 @@ class KnnIndex {
   /// build_knn_graph wrapper).
   [[nodiscard]] KnnGraph take_graph() { return std::move(graph_); }
 
+  /// Text serialization of the full incremental state. Vectors and edges
+  /// are written verbatim (floats at precision 10, which round-trips
+  /// exactly); the transpose lists are written verbatim too, because their
+  /// within-list order drives propagate_incremental's relaxation (hence
+  /// floating-point summation) order and must survive a restart
+  /// bit-for-bit. The posting lists are NOT written: load() rebuilds them
+  /// by replaying the vectors in id order, which reproduces the exact
+  /// append-order lists (and cap transitions) the live index had.
+  void save(std::ostream& out) const;
+  /// Restore an index save()d earlier; a subsequent append() produces
+  /// bit-identical edges/transpose to the original instance. Rejects
+  /// malformed input with distinct messages per corruption class.
+  [[nodiscard]] static KnnIndex load(std::istream& in);
+
  private:
   struct Posting {
     VertexId vertex;

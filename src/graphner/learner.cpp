@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
 #include <utility>
 
 #include "src/graph/trigram.hpp"
@@ -205,6 +208,137 @@ void OnlineLearner::rebuild_learned_table() {
   for (std::size_t v = 0; v < trigrams_.size(); ++v)
     if (!hand_labelled_[v]) learned->set(trigrams_[v], x_[v]);
   learned_ = std::move(learned);
+}
+
+void OnlineLearner::save(std::ostream& out) const {
+  out << "graphner-learner v1\n";
+  out << "base " << std::hex << base_->fingerprint() << std::dec << '\n';
+  out.precision(17);  // round-trip doubles exactly
+  out << "config " << config_.mu << ' ' << config_.nu << ' '
+      << config_.tolerance << ' ' << config_.anchor_tolerance << ' '
+      << config_.max_relaxations << '\n';
+
+  out << "vertices " << trigrams_.size() << '\n';
+  for (const auto& trigram : trigrams_)
+    out << trigram[0] << '\x1f' << trigram[1] << '\x1f' << trigram[2] << '\n';
+
+  // Feature names in id order (feature ids are dense), so load() can
+  // reconstruct the name -> id map exactly.
+  std::vector<const std::string*> names(feature_ids_.size(), nullptr);
+  for (const auto& [name, id] : feature_ids_) names[id] = &name;
+  out << "features " << names.size() << ' ' << total_feature_instances_
+      << '\n';
+  for (std::size_t f = 0; f < names.size(); ++f)
+    out << *names[f] << '\x1f' << feature_counts_[f] << '\n';
+
+  out << "state " << trigrams_.size() << '\n';
+  for (std::size_t v = 0; v < trigrams_.size(); ++v) {
+    out << (hand_labelled_[v] ? 1 : 0) << ' ' << occurrences_[v];
+    for (std::size_t y = 0; y < kNumTags; ++y) out << ' ' << posterior_sum_[v][y];
+    for (std::size_t y = 0; y < kNumTags; ++y) out << ' ' << x_[v][y];
+    for (std::size_t y = 0; y < kNumTags; ++y) out << ' ' << x_reference_[v][y];
+    out << '\n';
+  }
+
+  index_.save(out);
+}
+
+OnlineLearner OnlineLearner::load(std::istream& in,
+                                  std::shared_ptr<const GraphNerModel> base) {
+  std::string word;
+  std::string version;
+  if (!(in >> word >> version) || word != "graphner-learner" || version != "v1")
+    throw std::runtime_error(
+        "learner snapshot: bad header (expected `graphner-learner v1`)");
+  std::uint64_t base_fingerprint = 0;
+  if (!(in >> word >> std::hex >> base_fingerprint >> std::dec) ||
+      word != "base")
+    throw std::runtime_error("learner snapshot: malformed base line");
+  if (base_fingerprint != base->fingerprint())
+    throw std::runtime_error(
+        "learner snapshot: base model fingerprint mismatch (snapshot was "
+        "taken over a different model)");
+  OnlineLearnerConfig config;
+  if (!(in >> word >> config.mu >> config.nu >> config.tolerance >>
+        config.anchor_tolerance >> config.max_relaxations) ||
+      word != "config")
+    throw std::runtime_error("learner snapshot: malformed config line");
+  OnlineLearner learner(std::move(base), config);
+
+  std::size_t n = 0;
+  if (!(in >> word >> n) || word != "vertices")
+    throw std::runtime_error("learner snapshot: malformed vertices header");
+  in.ignore();  // the newline ending the header line
+  learner.trigrams_.reserve(n);
+  std::string line;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!std::getline(in, line))
+      throw std::runtime_error("learner snapshot: truncated at vertex " +
+                               std::to_string(v));
+    const std::size_t first = line.find('\x1f');
+    const std::size_t second =
+        first == std::string::npos ? first : line.find('\x1f', first + 1);
+    if (second == std::string::npos)
+      throw std::runtime_error("learner snapshot: malformed trigram " +
+                               std::to_string(v));
+    // The line IS key_of(trigram) — reuse it as the registry key.
+    learner.vertex_of_.emplace(line, static_cast<graph::VertexId>(v));
+    learner.trigrams_.push_back({line.substr(0, first),
+                                 line.substr(first + 1, second - first - 1),
+                                 line.substr(second + 1)});
+  }
+
+  std::size_t n_features = 0;
+  if (!(in >> word >> n_features >> learner.total_feature_instances_) ||
+      word != "features")
+    throw std::runtime_error("learner snapshot: malformed features header");
+  in.ignore();
+  learner.feature_counts_.reserve(n_features);
+  for (std::size_t f = 0; f < n_features; ++f) {
+    if (!std::getline(in, line))
+      throw std::runtime_error("learner snapshot: truncated at feature " +
+                               std::to_string(f));
+    const std::size_t sep = line.rfind('\x1f');
+    if (sep == std::string::npos)
+      throw std::runtime_error("learner snapshot: malformed feature " +
+                               std::to_string(f));
+    learner.feature_ids_.emplace(line.substr(0, sep),
+                                 static_cast<std::uint32_t>(f));
+    learner.feature_counts_.push_back(std::stoull(line.substr(sep + 1)));
+  }
+
+  std::size_t n_state = 0;
+  if (!(in >> word >> n_state) || word != "state" || n_state != n)
+    throw std::runtime_error("learner snapshot: malformed state header");
+  learner.posterior_sum_.resize(n);
+  learner.occurrences_.resize(n);
+  learner.x_.resize(n);
+  learner.x_reference_.resize(n);
+  learner.is_labelled_.assign(n, true);
+  learner.hand_labelled_.assign(n, false);
+  for (std::size_t v = 0; v < n; ++v) {
+    int hand = 0;
+    bool ok = static_cast<bool>(in >> hand >> learner.occurrences_[v]);
+    for (std::size_t y = 0; ok && y < kNumTags; ++y)
+      ok = static_cast<bool>(in >> learner.posterior_sum_[v][y]);
+    for (std::size_t y = 0; ok && y < kNumTags; ++y)
+      ok = static_cast<bool>(in >> learner.x_[v][y]);
+    for (std::size_t y = 0; ok && y < kNumTags; ++y)
+      ok = static_cast<bool>(in >> learner.x_reference_[v][y]);
+    if (!ok)
+      throw std::runtime_error("learner snapshot: malformed state of vertex " +
+                               std::to_string(v));
+    learner.hand_labelled_[v] = hand != 0;
+  }
+
+  learner.index_ = graph::KnnIndex::load(in);
+  if (learner.index_.size() != n)
+    throw std::runtime_error(
+        "learner snapshot: index holds " + std::to_string(learner.index_.size()) +
+        " vectors for " + std::to_string(n) + " vertices");
+
+  learner.rebuild_learned_table();
+  return learner;
 }
 
 std::shared_ptr<const GraphNerModel> OnlineLearner::snapshot_model() const {

@@ -105,6 +105,23 @@ class OnlineLearner {
   [[nodiscard]] const graph::KnnIndex& index() const noexcept { return index_; }
   [[nodiscard]] const GraphNerModel& base() const noexcept { return *base_; }
 
+  /// Full-state text serialization (DESIGN.md §13): trigram registry, PPMI
+  /// cooccurrence counts, per-vertex propagation state and the embedded
+  /// k-NN index (vectors, edges and the transpose lists verbatim — their
+  /// within-list order drives relaxation order, hence floating-point
+  /// summation order, and must survive a restart bit-for-bit). Doubles are
+  /// written at precision 17 and floats at 10, which round-trips exactly,
+  /// so a load()ed learner that absorbs the same batches as the original
+  /// reaches bit-identical state — the property WAL replay relies on.
+  void save(std::ostream& out) const;
+  /// Restore a save()d learner over `base`. The snapshot's resolved config
+  /// is restored too (it participated in the propagation the snapshot
+  /// captured). Rejects, with distinct messages, a snapshot taken over a
+  /// different base model (fingerprint mismatch) and each malformed
+  /// section.
+  [[nodiscard]] static OnlineLearner load(
+      std::istream& in, std::shared_ptr<const GraphNerModel> base);
+
  private:
   void rebuild_learned_table();
 

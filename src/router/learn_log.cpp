@@ -1,0 +1,244 @@
+#include "src/router/learn_log.hpp"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+#include "src/util/fault.hpp"
+#include "src/util/logging.hpp"
+
+namespace graphner::router {
+namespace {
+
+void ensure_dir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) return;
+  throw std::runtime_error("learn log: cannot create directory " + dir + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+LearnLog::LearnLog(LearnLogConfig config,
+                   std::shared_ptr<const core::GraphNerModel> base,
+                   core::OnlineLearnerConfig learn_config,
+                   obs::Registry& registry)
+    : config_(std::move(config)),
+      base_(std::move(base)),
+      learn_config_(learn_config),
+      registry_(registry) {
+  if (config_.dir.empty()) {
+    learner_ = base_learner();
+    return;
+  }
+  ensure_dir(config_.dir);
+
+  // Newest snapshot first (a missing file is simply "no snapshot yet").
+  {
+    std::ifstream snapshot(snapshot_path(), std::ios::binary);
+    if (snapshot) {
+      std::string word;
+      std::string version;
+      if (!(snapshot >> word >> version) || word != "graphner-learn-snapshot" ||
+          version != "v1")
+        throw std::runtime_error("learn snapshot: bad header in " +
+                                 snapshot_path());
+      if (!(snapshot >> word >> snapshot_seq_) || word != "seq")
+        throw std::runtime_error("learn snapshot: malformed seq line");
+      if (!(snapshot >> word >> quarantined_total_) || word != "quarantined")
+        throw std::runtime_error("learn snapshot: malformed quarantined line");
+      if (!(snapshot >> word >> std::hex >> snapshot_fingerprint_ >>
+            std::dec) ||
+          word != "fingerprint")
+        throw std::runtime_error("learn snapshot: malformed fingerprint line");
+      have_snapshot_ = true;
+      recovery_.snapshot_loaded = true;
+      recovery_.snapshot_seq = snapshot_seq_;
+      last_seq_ = snapshot_seq_;
+    }
+  }
+  learner_ = base_learner();
+
+  // Replay the WAL tail on top. The scan classifies any torn tail; the
+  // Wal handle opened right after truncates it so appends restart on a
+  // frame boundary.
+  const util::WalReplay replay = util::wal_replay(wal_path());
+  recovery_.wal_tail = replay.tail;
+  recovery_.wal_torn_bytes = replay.file_bytes - replay.committed_bytes;
+  for (const std::string& payload : replay.records) {
+    Record record = decode(payload);
+    // A record at or below the snapshot sequence is already folded in
+    // (crash between snapshot write and WAL reset leaves this window).
+    if (record.seq <= snapshot_seq_) continue;
+    if (record.quarantine) ++quarantined_total_;
+    if (record.seq > last_seq_) last_seq_ = record.seq;
+    if (!record.quarantine) ++committed_since_snapshot_;
+    mirror_.push_back(std::move(record));
+  }
+  wal_ = std::make_unique<util::Wal>(wal_path());
+
+  apply_journal(&recovery_.replayed_batches, &recovery_.skipped_quarantined);
+  registry_.counter("learn.wal.replayed").inc(recovery_.replayed_batches);
+  registry_.gauge("learn.wal.bytes").set(static_cast<double>(wal_->bytes()));
+  if (recovery_.snapshot_loaded || !mirror_.empty() ||
+      recovery_.wal_tail != util::WalTailState::kClean)
+    util::log_info("learn log: recovered seq ", last_seq_, " (snapshot seq ",
+                   snapshot_seq_, ", ", recovery_.replayed_batches,
+                   " batch(es) replayed, ", recovery_.skipped_quarantined,
+                   " quarantined, tail ",
+                   util::wal_tail_state_name(recovery_.wal_tail), ", ",
+                   recovery_.wal_torn_bytes, " torn byte(s) dropped)");
+}
+
+std::unique_ptr<core::OnlineLearner> LearnLog::base_learner() {
+  if (have_snapshot_) {
+    std::ifstream snapshot(snapshot_path(), std::ios::binary);
+    if (!snapshot)
+      throw std::runtime_error("learn snapshot: cannot reopen " +
+                               snapshot_path());
+    // Skip the four header lines; the learner serialization follows.
+    std::string line;
+    for (int i = 0; i < 4; ++i)
+      if (!std::getline(snapshot, line))
+        throw std::runtime_error("learn snapshot: truncated header");
+    return std::make_unique<core::OnlineLearner>(
+        core::OnlineLearner::load(snapshot, base_));
+  }
+  return std::make_unique<core::OnlineLearner>(base_, learn_config_);
+}
+
+void LearnLog::apply_journal(std::size_t* replayed, std::size_t* skipped) {
+  std::unordered_set<std::uint64_t> quarantined;
+  for (const Record& record : mirror_)
+    if (record.quarantine) quarantined.insert(record.seq);
+  for (const Record& record : mirror_) {
+    if (record.quarantine) continue;
+    if (quarantined.count(record.seq) != 0) {
+      if (skipped != nullptr) ++*skipped;
+      continue;
+    }
+    (void)learner_->learn(parse_batch(record.body));
+    if (replayed != nullptr) ++*replayed;
+  }
+}
+
+std::uint64_t LearnLog::commit(const std::vector<text::Sentence>& batch) {
+  Record record;
+  record.seq = last_seq_ + 1;
+  std::ostringstream body;
+  for (const text::Sentence& sentence : batch) {
+    for (std::size_t i = 0; i < sentence.tokens.size(); ++i)
+      body << (i > 0 ? " " : "") << sentence.tokens[i];
+    body << '\n';
+  }
+  record.body = body.str();
+  if (wal_) {
+    const std::string payload = encode(record);
+    wal_->append(payload);  // throws on injected/real failure; nothing moved
+    registry_.counter("learn.wal.appends").inc();
+    registry_.gauge("learn.wal.bytes").set(static_cast<double>(wal_->bytes()));
+  }
+  const std::uint64_t seq = record.seq;
+  mirror_.push_back(std::move(record));
+  last_seq_ = seq;
+  ++committed_since_snapshot_;
+  if (wal_ && config_.snapshot_every > 0 &&
+      committed_since_snapshot_ >= config_.snapshot_every) {
+    try {
+      compact();
+    } catch (const std::exception& e) {
+      // The commit itself is durable in the WAL; a failed compaction only
+      // means recovery replays a longer tail. Next commit retries.
+      util::log_warn("learn log: snapshot compaction failed (", e.what(),
+                     "); keeping WAL tail");
+    }
+  }
+  return seq;
+}
+
+void LearnLog::quarantine(std::uint64_t seq, const std::string& reason) {
+  Record record;
+  record.seq = seq;
+  record.quarantine = true;
+  record.body = reason;
+  if (wal_) {
+    wal_->append(encode(record));
+    registry_.counter("learn.wal.appends").inc();
+    registry_.gauge("learn.wal.bytes").set(static_cast<double>(wal_->bytes()));
+  }
+  mirror_.push_back(std::move(record));
+  if (seq > last_seq_) last_seq_ = seq;  // a rejected batch consumed its seq
+  ++quarantined_total_;
+}
+
+void LearnLog::rebuild() {
+  learner_ = base_learner();
+  apply_journal(nullptr, nullptr);
+}
+
+void LearnLog::compact() {
+  const std::uint64_t fork_fingerprint =
+      learner_->snapshot_model()->fingerprint();
+  util::atomic_save(
+      snapshot_path(),
+      [&](std::ostream& out) {
+        out << "graphner-learn-snapshot v1\n";
+        out << "seq " << last_seq_ << '\n';
+        out << "quarantined " << quarantined_total_ << '\n';
+        out << "fingerprint " << std::hex << fork_fingerprint << std::dec
+            << '\n';
+        learner_->save(out);
+      },
+      "learn.snapshot.truncate");
+  snapshot_seq_ = last_seq_;
+  snapshot_fingerprint_ = fork_fingerprint;
+  have_snapshot_ = true;
+  wal_->reset();
+  mirror_.clear();
+  committed_since_snapshot_ = 0;
+  registry_.counter("learn.snapshot.writes").inc();
+  registry_.gauge("learn.wal.bytes").set(0.0);
+  util::log_info("learn log: snapshot at seq ", last_seq_, ", WAL reset");
+}
+
+std::string LearnLog::encode(const Record& record) {
+  std::ostringstream out;
+  if (record.quarantine)
+    out << "quarantine " << record.seq << '\t' << record.body;
+  else
+    out << "batch " << record.seq << '\n' << record.body;
+  return out.str();
+}
+
+LearnLog::Record LearnLog::decode(const std::string& payload) {
+  Record record;
+  std::istringstream in(payload);
+  std::string kind;
+  if (!(in >> kind >> record.seq) || (kind != "batch" && kind != "quarantine"))
+    throw std::runtime_error("learn log: unrecognized record kind");
+  record.quarantine = kind == "quarantine";
+  const std::size_t sep = payload.find(record.quarantine ? '\t' : '\n');
+  if (sep != std::string::npos) record.body = payload.substr(sep + 1);
+  return record;
+}
+
+std::vector<text::Sentence> LearnLog::parse_batch(const std::string& body) {
+  std::vector<text::Sentence> batch;
+  std::istringstream lines(body);
+  std::string line;
+  while (std::getline(lines, line)) {
+    text::Sentence sentence;
+    std::istringstream tokens(line);
+    std::string token;
+    while (tokens >> token) sentence.tokens.push_back(std::move(token));
+    if (sentence.size() > 0) batch.push_back(std::move(sentence));
+  }
+  return batch;
+}
+
+}  // namespace graphner::router

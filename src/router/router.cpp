@@ -45,14 +45,34 @@ Router::Router(std::shared_ptr<const core::GraphNerModel> model,
       failovers_(registry_.counter("router.failovers")),
       unavailable_(registry_.counter("router.unavailable")),
       swaps_(registry_.counter("router.swaps")),
-      cache_misses_(registry_.counter("cache.misses")) {
+      cache_misses_(registry_.counter("cache.misses")),
+      breakers_(std::max<std::size_t>(1, config.replicas)) {
   const std::size_t n = std::max<std::size_t>(1, config.replicas);
+  std::shared_ptr<const core::GraphNerModel> serving = model;
+  if (config.learn_enabled) {
+    // Recover the durable learned state (snapshot + WAL replay) before
+    // any replica starts: committed batches survive a crash, so the tier
+    // resumes serving exactly the generation it last swapped.
+    learn_log_ = std::make_unique<LearnLog>(
+        LearnLogConfig{config.learn_wal_dir, config.learn_snapshot_every},
+        model, config.learn, registry_);
+    if (learn_log_->learner().vertex_count() > 0)
+      serving = learn_log_->learner().snapshot_model();
+    generations_.push_back({learn_log_->last_seq(), serving});
+  }
   replicas_.reserve(n);
   for (std::size_t i = 0; i < n; ++i)
     replicas_.push_back(
-        std::make_unique<InProcessReplica>(model, config.replica_service));
-  if (config.learn_enabled)
-    learner_ = std::make_unique<core::OnlineLearner>(model, config.learn);
+        std::make_unique<InProcessReplica>(serving, config.replica_service));
+  if (config.health_probe_interval.count() > 0) {
+    SupervisorConfig probe;
+    probe.probe_interval = config.health_probe_interval;
+    probe.probe_deadline = config.health_probe_deadline;
+    probe.failure_threshold = config.health_failure_threshold;
+    probe.revive_backoff = config.health_revive_backoff;
+    supervisor_ = std::make_unique<HealthSupervisor>(probe, replicas_,
+                                                     breakers_, registry_);
+  }
   registry_.gauge("router.replicas").set(static_cast<double>(n));
   registry_.gauge("router.cache_enabled")
       .set(config.cache_enabled ? 1.0 : 0.0);
@@ -60,7 +80,9 @@ Router::Router(std::shared_ptr<const core::GraphNerModel> model,
                  config.cache_enabled
                      ? "on (" + std::to_string(cache_.capacity()) + " entries)"
                      : "off",
-                 ", model fingerprint ", fingerprint_hex(model->fingerprint()));
+                 ", model fingerprint ",
+                 fingerprint_hex(serving->fingerprint()),
+                 supervisor_ ? ", health supervisor on" : "");
 }
 
 Router::~Router() { stop(); }
@@ -80,10 +102,14 @@ std::future<serve::TagResponse> Router::submit(
   // request lands in exactly one of cache.{hits,misses} — that is the
   // conservation law CI checks — so the disabled/unroutable paths count a
   // miss explicitly instead of skipping the ledger.
+  // Open circuit breakers route a replica out exactly like bad health —
+  // unless every breaker is open (fail-static; see routable()).
+  const bool ignore_breakers = all_breakers_open();
+
   bool counted = false;
   if (config_.cache_enabled) {
     for (const std::size_t idx : order) {
-      if (!replicas_[idx]->healthy()) continue;
+      if (!routable(idx, ignore_breakers)) continue;
       counted = true;
       if (auto hit = cache_.get(cache_key(base_key, replicas_[idx]->fingerprint()))) {
         serve::TagResponse response;
@@ -96,14 +122,14 @@ std::future<serve::TagResponse> Router::submit(
   }
   if (!counted) cache_misses_.inc();
 
-  // Submit to the owner (first healthy on the ring) *now* — pipelining
+  // Submit to the owner (first routable on the ring) *now* — pipelining
   // depends on submit never blocking — and defer the wait/failover/cache
   // tail to the future's get().
   ReplicaSubmission primary;
   std::size_t used = order.size();
   for (std::size_t i = 0; i < order.size(); ++i) {
     const std::size_t idx = order[i];
-    if (!replicas_[idx]->healthy()) continue;
+    if (!routable(idx, ignore_breakers)) continue;
     primary = replicas_[idx]->submit(sentence, deadline, decode);
     if (primary.accepted) {
       used = idx;
@@ -146,9 +172,10 @@ serve::TagResponse Router::resolve(ReplicaSubmission primary, std::size_t used,
     std::size_t last_failed = used;
     for (;;) {
       bool attempted = false;
+      const bool ignore_breakers = all_breakers_open();
       for (const std::size_t idx : order) {
         if (idx == last_failed) continue;
-        if (!replicas_[idx]->healthy()) continue;
+        if (!routable(idx, ignore_breakers)) continue;
         ReplicaSubmission retry_sub =
             replicas_[idx]->submit(sentence, deadline, decode);
         if (!retry_sub.accepted) continue;
@@ -207,7 +234,9 @@ std::string Router::admin(const std::string& command) {
       out << i << '\t' << (replicas_[i]->healthy() ? "healthy" : "down")
           << "\tfingerprint=" << fingerprint_hex(replicas_[i]->fingerprint())
           << "\tsubmitted=" << snapshot.counter_value("submitted")
-          << "\tcompleted=" << snapshot.counter_value("completed") << '\n';
+          << "\tcompleted=" << snapshot.counter_value("completed")
+          << "\tbreaker=" << (breakers_.is_open(i) ? "open" : "closed")
+          << '\n';
     }
     out << "cache\t" << (config_.cache_enabled ? "on" : "off") << "\tentries="
         << cache_.size() << "\tbytes=" << cache_.bytes() << '\n';
@@ -261,72 +290,199 @@ std::string Router::admin(const std::string& command) {
            " cache entries)\n";
   }
 
-  if (verb == "learn") {
-    if (!learner_)
-      return "ERROR learning disabled (start the router with --learn)\n";
-    std::string mode;
-    in >> mode;
-    if (mode == "status") {
-      std::lock_guard<std::mutex> lock(swap_mutex_);
-      std::ostringstream out;
-      out << "learn\tvertices=" << learner_->vertex_count()
-          << "\tedges=" << learner_->edge_count() << "\tbase_fingerprint="
-          << fingerprint_hex(learner_->base().fingerprint()) << '\n';
-      return out.str();
-    }
-    std::vector<text::Sentence> batch;
-    if (mode == "text") {
-      text::Sentence sentence;
-      std::string token;
-      while (in >> token) sentence.tokens.push_back(std::move(token));
-      if (sentence.size() == 0) return "ERROR learn text needs tokens\n";
-      batch.push_back(std::move(sentence));
-    } else if (mode == "file") {
-      std::string path;
-      if (!(in >> path)) return "ERROR learn file needs a path\n";
-      std::ifstream file(path);
-      if (!file) return "ERROR learn file: cannot open " + path + "\n";
-      std::string line;
-      while (std::getline(file, line)) {
-        text::Sentence sentence;
-        std::istringstream tokens(line);
-        std::string token;
-        while (tokens >> token) sentence.tokens.push_back(std::move(token));
-        if (sentence.size() > 0) batch.push_back(std::move(sentence));
-      }
-      if (batch.empty()) return "ERROR learn file: no sentences in " + path + "\n";
-    } else {
-      return "ERROR unknown learn mode \"" + mode +
-             "\" (expected text, file or status)\n";
-    }
-
-    // Learn, fork, and hot-swap the fork into the whole tier atomically
-    // with respect to other learns (submits keep flowing — each replica
-    // swap is itself atomic and the cache is generation-keyed).
-    std::lock_guard<std::mutex> lock(swap_mutex_);
-    core::LearnStats stats;
-    std::shared_ptr<const core::GraphNerModel> fork;
-    try {
-      stats = learner_->learn(batch);
-      fork = learner_->snapshot_model();
-    } catch (const std::exception& e) {
-      return "ERROR learn failed: " + std::string(e.what()) + "\n";
-    }
-    const std::size_t invalidated = swap_all_replicas(fork);
-    std::ostringstream out;
-    out << "OK learned " << batch.size() << " sentence(s): +"
-        << stats.appended_vertices << " vertices ("
-        << learner_->vertex_count() << " total), " << stats.patched_vertices
-        << " patched, " << stats.perturbed_vertices << " perturbed, "
-        << stats.relaxations << " relaxations, residual "
-        << stats.final_residual << (stats.converged ? "" : " (not converged)")
-        << ", fingerprint " << fingerprint_hex(fork->fingerprint())
-        << ", invalidated " << invalidated << " cache entries\n";
-    return out.str();
-  }
+  if (verb == "learn") return admin_learn(in);
 
   return "ERROR unknown #REPLICA command \"" + verb +
          "\" (expected kill, revive, swap, status or learn)\n";
+}
+
+std::string Router::admin_learn(std::istringstream& in) {
+  if (!learn_log_)
+    return "ERROR learning disabled (start the router with --learn)\n";
+  std::string mode;
+  in >> mode;
+
+  if (mode == "status") {
+    std::lock_guard<std::mutex> lock(swap_mutex_);
+    const core::OnlineLearner& learner = learn_log_->learner();
+    std::ostringstream out;
+    out << "learn\tvertices=" << learner.vertex_count()
+        << "\tedges=" << learner.edge_count() << "\tbase_fingerprint="
+        << fingerprint_hex(learner.base().fingerprint()) << '\n';
+    out << "wal\t" << (learn_log_->durable() ? "on" : "off")
+        << "\tseq=" << learn_log_->last_seq()
+        << "\tbytes=" << learn_log_->wal_bytes()
+        << "\trecords=" << learn_log_->wal_records()
+        << "\tsnapshot_seq=" << learn_log_->snapshot_seq()
+        << "\tsnapshot_fingerprint="
+        << fingerprint_hex(learn_log_->snapshot_fingerprint())
+        << "\tquarantined=" << learn_log_->quarantined_total() << '\n';
+    out << "generation\tcurrent=" << generations_.back().seq << ':'
+        << fingerprint_hex(generations_.back().model->fingerprint());
+    if (generations_.size() >= 2) {
+      const Generation& previous = generations_[generations_.size() - 2];
+      out << "\tprevious=" << previous.seq << ':'
+          << fingerprint_hex(previous.model->fingerprint());
+    } else {
+      out << "\tprevious=none";
+    }
+    out << "\tretained=" << generations_.size() << '\n';
+    return out.str();
+  }
+
+  if (mode == "rollback") {
+    std::lock_guard<std::mutex> lock(swap_mutex_);
+    if (generations_.size() < 2)
+      return "ERROR rollback: no previous generation retained\n";
+    const Generation bad = generations_.back();
+    if (learn_log_->snapshot_seq() >= bad.seq)
+      return "ERROR rollback: generation " + std::to_string(bad.seq) +
+             " is already folded into the snapshot and cannot be rolled "
+             "back\n";
+    // Rollback = retroactive quarantine of the newest committed sequence:
+    // journal it first (so a restart replays to the rolled-back state),
+    // rebuild the learner without it, then swap the previous generation
+    // back tier-wide through the usual cache-invalidation sweep.
+    try {
+      learn_log_->quarantine(bad.seq, "rollback");
+    } catch (const std::exception& e) {
+      return "ERROR rollback: could not journal the quarantine (" +
+             std::string(e.what()) + "); nothing rolled back\n";
+    }
+    learn_log_->rebuild();
+    generations_.pop_back();
+    const Generation& restored = generations_.back();
+    const std::size_t invalidated = swap_all_replicas(restored.model);
+    return "OK rolled back: quarantined seq " + std::to_string(bad.seq) +
+           ", restored generation " + std::to_string(restored.seq) +
+           " (fingerprint " + fingerprint_hex(restored.model->fingerprint()) +
+           ", invalidated " + std::to_string(invalidated) +
+           " cache entries)\n";
+  }
+
+  std::vector<text::Sentence> batch;
+  if (mode == "text") {
+    text::Sentence sentence;
+    std::string token;
+    while (in >> token) sentence.tokens.push_back(std::move(token));
+    if (sentence.size() == 0) return "ERROR learn text needs tokens\n";
+    batch.push_back(std::move(sentence));
+  } else if (mode == "file") {
+    std::string path;
+    if (!(in >> path)) return "ERROR learn file needs a path\n";
+    std::ifstream file(path, std::ios::binary | std::ios::ate);
+    if (!file) return "ERROR learn file: cannot open " + path + "\n";
+    const auto size = static_cast<std::uint64_t>(file.tellg());
+    if (size > config_.learn_max_file_bytes)
+      return "ERROR learn file: " + path + " is " + std::to_string(size) +
+             " bytes, over the " +
+             std::to_string(config_.learn_max_file_bytes) +
+             "-byte ingestion cap\n";
+    file.seekg(0);
+    std::string line;
+    while (std::getline(file, line)) {
+      text::Sentence sentence;
+      std::istringstream tokens(line);
+      std::string token;
+      while (tokens >> token) sentence.tokens.push_back(std::move(token));
+      if (sentence.size() > 0) batch.push_back(std::move(sentence));
+    }
+    if (batch.empty()) return "ERROR learn file: no sentences in " + path + "\n";
+  } else {
+    return "ERROR unknown learn mode \"" + mode +
+           "\" (expected text, file, status or rollback)\n";
+  }
+
+  // Learn, gate, journal, then hot-swap the fork into the whole tier —
+  // atomically with respect to other learns (submits keep flowing — each
+  // replica swap is itself atomic and the cache is generation-keyed).
+  // Order matters: the batch is only *committed* (WAL record appended)
+  // after the canary gate passed, so a crash anywhere before the append
+  // leaves no trace of the batch, and a crash after it replays the batch.
+  std::lock_guard<std::mutex> lock(swap_mutex_);
+  core::LearnStats stats;
+  std::shared_ptr<const core::GraphNerModel> fork;
+  try {
+    stats = learn_log_->learner().learn(batch);
+    fork = learn_log_->learner().snapshot_model();
+  } catch (const std::exception& e) {
+    learn_log_->rebuild();  // the learner may be half-mutated
+    return "ERROR learn failed: " + std::string(e.what()) + "\n";
+  }
+
+  if (!config_.canary.empty()) {
+    const double disagreement =
+        canary_disagreement(*generations_.back().model, *fork);
+    registry_.counter("learn.canary.checks").inc();
+    registry_.gauge("learn.canary.disagreement").set(disagreement);
+    if (disagreement > config_.canary_max_disagreement) {
+      registry_.counter("learn.canary.quarantined").inc();
+      const std::uint64_t seq = learn_log_->last_seq() + 1;
+      std::string note;
+      try {
+        learn_log_->quarantine(seq, "canary disagreement " +
+                                        std::to_string(disagreement));
+      } catch (const std::exception& e) {
+        // The batch was never committed, so replay is correct either way;
+        // only the quarantine bookkeeping is lost.
+        note = " (quarantine not journaled: " + std::string(e.what()) + ")";
+      }
+      learn_log_->rebuild();
+      std::ostringstream out;
+      out << "ERROR learn rejected by canary gate: disagreement "
+          << disagreement << " > " << config_.canary_max_disagreement
+          << "; batch quarantined as seq " << seq << note
+          << ", no replica swapped\n";
+      return out.str();
+    }
+  }
+
+  std::uint64_t seq = 0;
+  try {
+    seq = learn_log_->commit(batch);
+  } catch (const std::exception& e) {
+    // The record is not durable — the learner must not keep state a
+    // restart would lose. Rebuild back to the journaled prefix; nothing
+    // swaps.
+    learn_log_->rebuild();
+    return "ERROR learn commit failed (" + std::string(e.what()) +
+           "); learned state rolled back, no replica swapped\n";
+  }
+
+  const std::size_t invalidated = swap_all_replicas(fork);
+  generations_.push_back({seq, fork});
+  const std::size_t keep = std::max<std::size_t>(2, config_.learn_generations);
+  while (generations_.size() > keep) generations_.pop_front();
+
+  std::ostringstream out;
+  out << "OK learned " << batch.size() << " sentence(s): +"
+      << stats.appended_vertices << " vertices ("
+      << learn_log_->learner().vertex_count() << " total), "
+      << stats.patched_vertices << " patched, " << stats.perturbed_vertices
+      << " perturbed, " << stats.relaxations << " relaxations, residual "
+      << stats.final_residual << (stats.converged ? "" : " (not converged)")
+      << ", seq " << seq << ", fingerprint "
+      << fingerprint_hex(fork->fingerprint()) << ", invalidated "
+      << invalidated << " cache entries\n";
+  return out.str();
+}
+
+double Router::canary_disagreement(const core::GraphNerModel& current,
+                                   const core::GraphNerModel& fork) {
+  crf::LinearChainCrf::Scratch scratch;
+  features::EncodeScratch encode;
+  std::size_t differing = 0;
+  for (const text::Sentence& sentence : config_.canary) {
+    // The blended decode is the tier the learned table feeds (plain
+    // Viterbi never consults it), so it is the decode the gate must watch.
+    const std::vector<text::Tag> before =
+        current.decode_one_blended(sentence, scratch, encode);
+    const std::vector<text::Tag> after =
+        fork.decode_one_blended(sentence, scratch, encode);
+    if (before != after) ++differing;
+  }
+  return static_cast<double>(differing) /
+         static_cast<double>(config_.canary.size());
 }
 
 std::size_t Router::swap_all_replicas(
@@ -357,6 +513,8 @@ void Router::stop() {
   std::lock_guard<std::mutex> lock(stop_mutex_);
   if (stopped_) return;
   stopped_ = true;
+  // The supervisor probes replicas; it must be gone before they drain.
+  if (supervisor_) supervisor_->stop();
   for (auto& replica : replicas_) replica->stop();
 }
 

@@ -17,11 +17,20 @@
 // (TagService::admin): kill/revive drive the chaos drill, swap hot-swaps
 // one replica's model from a file (text or mmap format, auto-sniffed) and
 // invalidates the cache generation no replica serves anymore. With
-// learn_enabled, "#LEARN text|file|status" (wire sugar for "#REPLICA
-// learn ...") drives the online-learning path: the batch is absorbed by
-// an OnlineLearner (incremental k-NN append + localized re-propagation,
-// DESIGN.md §12) and the resulting learned fork is hot-swapped into every
-// replica through the same fingerprint/cache-invalidation machinery.
+// learn_enabled, "#LEARN text|file|status|rollback" (wire sugar for
+// "#REPLICA learn ...") drives the online-learning path: the batch is
+// absorbed by an OnlineLearner (incremental k-NN append + localized
+// re-propagation, DESIGN.md §12), gated by a canary decode, journaled to
+// the learn WAL (LearnLog — crash replay reaches byte-identical learned
+// state, DESIGN.md §13), and only then hot-swapped into every replica
+// through the same fingerprint/cache-invalidation machinery. rollback
+// retroactively quarantines the newest committed batch and restores the
+// previous generation tier-wide.
+//
+// With health_probe_interval > 0 a HealthSupervisor probes every replica
+// with sentinel decodes; consecutive failures open a per-replica circuit
+// breaker that routes traffic around the replica until a half-open probe
+// (backed off, auto-reviving dead replicas) closes it again.
 //
 // Metrics: router.* and cache.* from the router's own registry, each
 // replica's counters under "replica.<i>." (monotone across kill/revive),
@@ -34,8 +43,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -43,8 +55,10 @@
 #include "src/graphner/pipeline.hpp"
 #include "src/obs/registry.hpp"
 #include "src/router/hash_ring.hpp"
+#include "src/router/learn_log.hpp"
 #include "src/router/lru_cache.hpp"
 #include "src/router/replica.hpp"
+#include "src/router/supervisor.hpp"
 #include "src/serve/tag_service.hpp"
 #include "src/util/fault.hpp"
 
@@ -70,6 +84,41 @@ struct RouterConfig {
   /// replica after each absorbed batch.
   bool learn_enabled = false;
   core::OnlineLearnerConfig learn;
+  /// Durable learning (DESIGN.md §13): directory for the learn WAL +
+  /// snapshots. Empty = in-memory only (learned state dies with the
+  /// process); set, committed batches are journaled before any swap and
+  /// replayed on startup to byte-identical learned state.
+  std::string learn_wal_dir;
+  /// Committed batches between snapshot compactions of the learn WAL.
+  std::size_t learn_snapshot_every = 32;
+  /// Held-out canary sentences every learned fork must decode before it
+  /// swaps in; empty disables the gate.
+  std::vector<text::Sentence> canary;
+  /// Max fraction of canary sentences whose blended tags may differ
+  /// between the serving generation and the fork. A batch that drifts
+  /// past this is quarantined (journaled, skipped on replay) and never
+  /// reaches a replica. Negative = quarantine every gated batch
+  /// (deterministic chaos drills).
+  double canary_max_disagreement = 0.25;
+  /// "#LEARN file" ingestion cap — larger files are rejected unread.
+  std::uint64_t learn_max_file_bytes = 8ULL << 20;
+  /// Learned generations retained for "#LEARN rollback" (min 2 once a
+  /// batch commits: current + previous).
+  std::size_t learn_generations = 4;
+  /// Health supervisor probe interval; 0 (default) disables the
+  /// supervisor entirely — replica health stays manual (#REPLICA
+  /// kill/revive) exactly as before.
+  std::chrono::milliseconds health_probe_interval{0};
+  /// Deadline for each sentinel probe decode.
+  std::chrono::milliseconds health_probe_deadline{250};
+  /// Consecutive probe failures that open a replica's circuit breaker.
+  std::size_t health_failure_threshold = 3;
+  /// Half-open re-probe schedule for open breakers.
+  util::BackoffPolicy health_revive_backoff{std::chrono::milliseconds(100),
+                                            std::chrono::milliseconds(2000),
+                                            2.0,
+                                            0.2,
+                                            1 << 30};
 };
 
 class Router : public serve::TagService {
@@ -97,7 +146,18 @@ class Router : public serve::TagService {
 
   /// The online learner, nullptr unless config.learn_enabled.
   [[nodiscard]] const core::OnlineLearner* learner() const noexcept {
-    return learner_.get();
+    return learn_log_ ? &learn_log_->learner() : nullptr;
+  }
+  /// The durable learn journal, nullptr unless config.learn_enabled.
+  [[nodiscard]] const LearnLog* learn_log() const noexcept {
+    return learn_log_.get();
+  }
+  /// Per-replica circuit breakers (opened by the health supervisor;
+  /// exposed so tests can drive breaker states deterministically).
+  [[nodiscard]] BreakerBoard& breakers() noexcept { return breakers_; }
+  /// The health supervisor, nullptr unless health_probe_interval > 0.
+  [[nodiscard]] HealthSupervisor* supervisor() noexcept {
+    return supervisor_.get();
   }
 
   [[nodiscard]] std::size_t replica_count() const noexcept {
@@ -139,11 +199,39 @@ class Router : public serve::TagService {
   obs::Counter& unavailable_;
   obs::Counter& swaps_;
   obs::Counter& cache_misses_;  ///< same instrument the cache counts into
+  /// True when `idx` may take traffic: healthy and its breaker is not
+  /// open — unless EVERY breaker is open, in which case breakers are
+  /// ignored (fail-static: when the probe path itself is what broke,
+  /// routing around everything would turn a monitoring bug into an
+  /// outage).
+  [[nodiscard]] bool routable(std::size_t idx, bool ignore_breakers) const {
+    return replicas_[idx]->healthy() &&
+           (ignore_breakers || !breakers_.is_open(idx));
+  }
+  [[nodiscard]] bool all_breakers_open() const {
+    return breakers_.open_count() >= replicas_.size();
+  }
+  /// Fraction of canary sentences whose blended decode differs between
+  /// `current` and `fork` (the swap gate; call with canary non-empty).
+  [[nodiscard]] double canary_disagreement(
+      const core::GraphNerModel& current, const core::GraphNerModel& fork);
+  /// The "#REPLICA learn ..." admin subtree (swap_mutex_ held by caller's
+  /// command dispatch where needed — see implementation).
+  [[nodiscard]] std::string admin_learn(std::istringstream& in);
   /// Swap `model` into every replica and drop cache generations no
   /// replica serves anymore (shared by admin swap-all paths like learn).
   std::size_t swap_all_replicas(
       const std::shared_ptr<const core::GraphNerModel>& model);
-  std::unique_ptr<core::OnlineLearner> learner_;
+  std::unique_ptr<LearnLog> learn_log_;
+  /// Bounded history of learned generations (sequence that produced each
+  /// + the swapped model); back() is what the tier currently serves.
+  struct Generation {
+    std::uint64_t seq = 0;
+    std::shared_ptr<const core::GraphNerModel> model;
+  };
+  std::deque<Generation> generations_;
+  BreakerBoard breakers_;
+  std::unique_ptr<HealthSupervisor> supervisor_;
   /// Serializes every model-swap admin path — learn batches + fork swaps
   /// AND single-replica "#REPLICA swap" — so interleaved swaps (each admin
   /// command runs on its own connection thread) cannot invalidate a

@@ -217,6 +217,21 @@ void split_deadline_suffix(std::string& id, long& deadline_ms) {
   if (id.empty()) id = "-";
 }
 
+/// Reject an oversized admin payload with a structured error. Returns
+/// true when the line was rejected (out is fully filled).
+[[nodiscard]] bool reject_oversized_admin(const std::string& verb,
+                                          std::size_t payload_bytes,
+                                          ParsedLine& out) {
+  if (payload_bytes <= kMaxAdminLineBytes) return false;
+  std::ostringstream error;
+  error << verb << " line too large: " << payload_bytes
+        << " byte(s) exceeds the " << kMaxAdminLineBytes
+        << "-byte admin line cap";
+  out.kind = LineKind::kMalformed;
+  out.error = error.str();
+  return true;
+}
+
 }  // namespace
 
 ParsedLine parse_request_line(const std::string& line) {
@@ -255,6 +270,10 @@ ParsedLine parse_request_line(const std::string& line) {
   }
   if (trimmed == "#REPLICA" || trimmed.rfind("#REPLICA ", 0) == 0) {
     out.admin = std::string{util::trim(trimmed.substr(8))};
+    if (reject_oversized_admin("#REPLICA", out.admin.size(), out)) {
+      out.admin.clear();
+      return out;
+    }
     if (out.admin.empty()) {
       out.kind = LineKind::kMalformed;
       out.error = "#REPLICA needs a command (kill/revive/swap/status)";
@@ -268,6 +287,7 @@ ParsedLine parse_request_line(const std::string& line) {
     // <args>", so the online-learning path rides the existing admin
     // dispatch (TagService::admin) end to end.
     const std::string args{util::trim(trimmed.substr(6))};
+    if (reject_oversized_admin("#LEARN", args.size(), out)) return out;
     if (args.empty()) {
       out.kind = LineKind::kMalformed;
       out.error = "#LEARN needs arguments (text <tokens...> | file <path> | status)";

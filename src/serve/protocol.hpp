@@ -41,9 +41,12 @@
 //
 //   #LEARN text <tokens...>   absorb one space-separated sentence
 //   #LEARN file <path>        absorb every sentence line of a local file
-//   #LEARN status             report learner state without learning
+//   #LEARN status             report learner/WAL/generation state
+//   #LEARN rollback           restore the previous learned generation
 //
 // The reply is free-form lines terminated by "#END", like #REPLICA.
+// Admin payloads larger than kMaxAdminLineBytes are rejected at parse
+// time with a structured error (see below).
 //
 // Fault-tolerance fields: the optional per-request deadline (an '@'
 // suffix on the TSV id, a "deadline_ms" member in JSON) bounds how long
@@ -53,6 +56,7 @@
 // "degraded":true in JSON — same tags shape, lower decode tier.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <string>
 #include <vector>
@@ -61,6 +65,13 @@
 #include "src/serve/types.hpp"
 
 namespace graphner::serve {
+
+/// Upper bound on the payload of one admin control line ("#REPLICA ..." /
+/// "#LEARN ..."). Admin lines are parsed and echoed into logs and the WAL;
+/// an unbounded one would let a single connection balloon the learn
+/// journal (or the log) with one write. Oversized lines are rejected at
+/// parse time with a structured error, before any admin dispatch runs.
+inline constexpr std::size_t kMaxAdminLineBytes = 64 * 1024;
 
 struct Request {
   std::string id;

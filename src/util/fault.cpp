@@ -195,6 +195,12 @@ void fsync_path(const std::string& path, int open_flags) {
 
 void atomic_save(const std::string& path,
                  const std::function<void(std::ostream&)>& writer) {
+  atomic_save(path, writer, "checkpoint.truncate");
+}
+
+void atomic_save(const std::string& path,
+                 const std::function<void(std::ostream&)>& writer,
+                 std::string_view truncate_fault_point) {
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
@@ -208,9 +214,10 @@ void atomic_save(const std::string& path,
 
   // Chaos hook: a crash mid-write leaves a torn tmp and never reaches the
   // rename — the destination keeps its previous complete content.
-  if (fault_fires("checkpoint.truncate")) {
+  if (fault_fires(truncate_fault_point)) {
     if (::truncate(tmp.c_str(), 0) != 0) { /* tmp already torn enough */ }
-    throw FaultInjectedError("checkpoint.truncate while writing " + path);
+    throw FaultInjectedError(std::string(truncate_fault_point) +
+                             " while writing " + path);
   }
 
   fsync_path(tmp, O_WRONLY);

@@ -176,4 +176,11 @@ class Backoff {
 void atomic_save(const std::string& path,
                  const std::function<void(std::ostream&)>& writer);
 
+/// Same, but the torn-write chaos hook listens on a caller-chosen fault
+/// point (e.g. "learn.snapshot.truncate") so different save sites can be
+/// crashed independently in one chaos run.
+void atomic_save(const std::string& path,
+                 const std::function<void(std::ostream&)>& writer,
+                 std::string_view truncate_fault_point);
+
 }  // namespace graphner::util

@@ -1,0 +1,214 @@
+#include "src/util/wal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "src/util/fault.hpp"
+
+namespace graphner::util {
+namespace {
+
+constexpr std::uint32_t kFrameMagic = 0x474E574CU;  // "GNWL"
+constexpr std::size_t kHeaderBytes = 12;            // magic + length + crc
+
+[[nodiscard]] const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit)
+        c = (c & 1U) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void put_u32(char* out, std::uint32_t value) {
+  out[0] = static_cast<char>(value & 0xFF);
+  out[1] = static_cast<char>((value >> 8) & 0xFF);
+  out[2] = static_cast<char>((value >> 16) & 0xFF);
+  out[3] = static_cast<char>((value >> 24) & 0xFF);
+}
+
+[[nodiscard]] std::uint32_t get_u32(const char* in) {
+  const auto* b = reinterpret_cast<const unsigned char*>(in);
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+void write_all(int fd, const char* data, std::size_t size,
+               const std::string& path) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("wal: write to " + path + " failed: " +
+                               std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+void fsync_or_throw(int fd, const std::string& path) {
+  if (::fsync(fd) != 0)
+    throw std::runtime_error("wal: fsync " + path + " failed: " +
+                             std::strerror(errno));
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  const auto& table = crc_table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = seed ^ 0xFFFFFFFFU;
+  for (std::size_t i = 0; i < size; ++i)
+    crc = table[(crc ^ bytes[i]) & 0xFFU] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFU;
+}
+
+const char* wal_tail_state_name(WalTailState state) noexcept {
+  switch (state) {
+    case WalTailState::kClean: return "clean";
+    case WalTailState::kShortHeader: return "short-header";
+    case WalTailState::kTruncatedPayload: return "truncated-payload";
+    case WalTailState::kBadCrc: return "bad-crc";
+    case WalTailState::kBadMagic: return "bad-magic";
+  }
+  return "?";
+}
+
+WalReplay wal_replay(const std::string& path) {
+  WalReplay replay;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (::access(path.c_str(), F_OK) != 0) return replay;  // no log yet
+    throw std::runtime_error("wal: cannot read " + path);
+  }
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) throw std::runtime_error("wal: read of " + path + " failed");
+  replay.file_bytes = data.size();
+
+  std::size_t offset = 0;
+  const auto fail = [&](WalTailState state, std::string why) {
+    replay.tail = state;
+    replay.error = "record " + std::to_string(replay.records.size()) +
+                   " at byte " + std::to_string(offset) + ": " + std::move(why);
+  };
+  while (offset < data.size()) {
+    const std::size_t remaining = data.size() - offset;
+    if (remaining < kHeaderBytes) {
+      fail(WalTailState::kShortHeader,
+           "torn frame header (" + std::to_string(remaining) + " of " +
+               std::to_string(kHeaderBytes) + " bytes)");
+      break;
+    }
+    const std::uint32_t magic = get_u32(data.data() + offset);
+    if (magic != kFrameMagic) {
+      fail(WalTailState::kBadMagic, "trailing garbage (bad frame magic)");
+      break;
+    }
+    const std::uint32_t length = get_u32(data.data() + offset + 4);
+    const std::uint32_t crc = get_u32(data.data() + offset + 8);
+    if (remaining - kHeaderBytes < length) {
+      fail(WalTailState::kTruncatedPayload,
+           "payload truncated (" + std::to_string(remaining - kHeaderBytes) +
+               " of " + std::to_string(length) + " bytes)");
+      break;
+    }
+    const char* payload = data.data() + offset + kHeaderBytes;
+    if (crc32(payload, length) != crc) {
+      fail(WalTailState::kBadCrc, "payload CRC mismatch");
+      break;
+    }
+    replay.records.emplace_back(payload, length);
+    offset += kHeaderBytes + length;
+    replay.committed_bytes = offset;
+  }
+  return replay;
+}
+
+Wal::Wal(std::string path) : path_(std::move(path)) {
+  const WalReplay replay = wal_replay(path_);
+  recovered_tail_ = replay.tail;
+  recovered_torn_bytes_ = replay.file_bytes - replay.committed_bytes;
+  bytes_ = replay.committed_bytes;
+  records_ = replay.records.size();
+
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd_ < 0)
+    throw std::runtime_error("wal: cannot open " + path_ + " for append: " +
+                             std::strerror(errno));
+  // Drop any torn tail now so the append offset is a frame boundary.
+  if (recovered_torn_bytes_ > 0) {
+    if (::ftruncate(fd_, static_cast<off_t>(bytes_)) != 0)
+      throw std::runtime_error("wal: truncating torn tail of " + path_ +
+                               " failed: " + std::strerror(errno));
+    fsync_or_throw(fd_, path_);
+  }
+}
+
+Wal::~Wal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Wal::append(std::string_view payload) {
+  if (fault_fires("learn.wal.append"))
+    throw FaultInjectedError("learn.wal.append for " + path_);
+
+  if (dirty_tail_) {
+    if (::ftruncate(fd_, static_cast<off_t>(bytes_)) != 0)
+      throw std::runtime_error("wal: truncating failed tail of " + path_ +
+                               ": " + std::strerror(errno));
+    dirty_tail_ = false;
+  }
+
+  std::string frame(kHeaderBytes + payload.size(), '\0');
+  put_u32(frame.data(), kFrameMagic);
+  put_u32(frame.data() + 4, static_cast<std::uint32_t>(payload.size()));
+  put_u32(frame.data() + 8, crc32(payload.data(), payload.size()));
+  std::memcpy(frame.data() + kHeaderBytes, payload.data(), payload.size());
+
+  if (::lseek(fd_, static_cast<off_t>(bytes_), SEEK_SET) < 0)
+    throw std::runtime_error("wal: seek in " + path_ + " failed: " +
+                             std::strerror(errno));
+
+  // Chaos hook: a crash mid-append leaves a torn frame on disk. The torn
+  // prefix is flushed so the state a restart recovers from is exactly what
+  // the "crash" left behind; committed counters do not move.
+  if (fault_fires("learn.wal.torn")) {
+    const std::size_t torn = frame.size() > 1 ? frame.size() / 2 : 1;
+    write_all(fd_, frame.data(), torn, path_);
+    fsync_or_throw(fd_, path_);
+    dirty_tail_ = true;
+    throw FaultInjectedError("learn.wal.torn while appending to " + path_);
+  }
+
+  write_all(fd_, frame.data(), frame.size(), path_);
+  fsync_or_throw(fd_, path_);
+  bytes_ += frame.size();
+  ++records_;
+}
+
+void Wal::reset() {
+  if (::ftruncate(fd_, 0) != 0)
+    throw std::runtime_error("wal: reset of " + path_ + " failed: " +
+                             std::strerror(errno));
+  fsync_or_throw(fd_, path_);
+  bytes_ = 0;
+  records_ = 0;
+  dirty_tail_ = false;
+}
+
+}  // namespace graphner::util

@@ -1,0 +1,227 @@
+// Learn WAL tests (ISSUE 9): CRC framing, fsync-order durability, and —
+// the core torn-write property — truncating the file at EVERY byte
+// boundary of the last record recovers exactly the committed prefix,
+// with the tail classified into the right corruption class.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/util/fault.hpp"
+#include "src/util/wal.hpp"
+
+namespace graphner::util {
+namespace {
+
+class WalFile : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "wal_test_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".wal";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override {
+    FaultInjector::instance().disable();
+    std::remove(path_.c_str());
+  }
+
+  [[nodiscard]] std::string read_file() const {
+    std::ifstream in(path_, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+  }
+  void write_file(const std::string& bytes) const {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::string path_;
+};
+
+TEST(WalCrc32, MatchesKnownVectorsAndChains) {
+  // The classic check value of CRC-32/IEEE.
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926U);
+  EXPECT_EQ(crc32("", 0), 0U);
+  // Chaining across a split equals one pass over the concatenation.
+  const std::string text = "graphner write-ahead log";
+  for (std::size_t cut = 0; cut <= text.size(); ++cut) {
+    const std::uint32_t head = crc32(text.data(), cut);
+    EXPECT_EQ(crc32(text.data() + cut, text.size() - cut, head),
+              crc32(text.data(), text.size()));
+  }
+}
+
+TEST_F(WalFile, AppendReplayRoundTripAcrossReopen) {
+  const std::vector<std::string> payloads = {
+      "batch 1\nalpha beta\n", "", std::string(3000, 'x'),
+      std::string("bin\0ary\xff", 8)};
+  {
+    Wal wal(path_);
+    for (const auto& payload : payloads) wal.append(payload);
+    EXPECT_EQ(wal.records(), payloads.size());
+    EXPECT_EQ(wal.recovered_tail(), WalTailState::kClean);
+  }
+  const WalReplay replay = wal_replay(path_);
+  EXPECT_EQ(replay.tail, WalTailState::kClean);
+  EXPECT_TRUE(replay.error.empty());
+  EXPECT_EQ(replay.committed_bytes, replay.file_bytes);
+  ASSERT_EQ(replay.records.size(), payloads.size());
+  for (std::size_t i = 0; i < payloads.size(); ++i)
+    EXPECT_EQ(replay.records[i], payloads[i]) << "record " << i;
+
+  // Reopening appends after the existing committed records.
+  Wal reopened(path_);
+  EXPECT_EQ(reopened.records(), payloads.size());
+  reopened.append("tail");
+  EXPECT_EQ(wal_replay(path_).records.size(), payloads.size() + 1);
+}
+
+TEST_F(WalFile, MissingFileIsEmptyCleanLog) {
+  const WalReplay replay = wal_replay(path_);
+  EXPECT_EQ(replay.tail, WalTailState::kClean);
+  EXPECT_TRUE(replay.records.empty());
+  EXPECT_EQ(replay.file_bytes, 0U);
+}
+
+// The exhaustive torn-write sweep: truncate at every byte boundary of the
+// last record. Whatever prefix of the final frame survives, replay must
+// return exactly the first two records, classify the tail, and report the
+// torn byte count; reopening must truncate back to the committed prefix.
+TEST_F(WalFile, TruncationAtEveryByteRecoversCommittedPrefix) {
+  constexpr std::size_t kHeaderBytes = 12;
+  {
+    Wal wal(path_);
+    wal.append("first record");
+    wal.append("second record");
+    wal.append("third record, the casualty");
+  }
+  const std::string full = read_file();
+  const std::uint64_t committed = wal_replay(path_).committed_bytes;
+  const std::size_t last_frame_start =
+      full.size() - (kHeaderBytes + std::string("third record, the casualty").size());
+
+  for (std::size_t cut = last_frame_start; cut < full.size(); ++cut) {
+    write_file(full.substr(0, cut));
+    const WalReplay replay = wal_replay(path_);
+    ASSERT_EQ(replay.records.size(), 2U) << "cut at byte " << cut;
+    EXPECT_EQ(replay.records[1], "second record");
+    EXPECT_EQ(replay.committed_bytes, last_frame_start) << "cut " << cut;
+    EXPECT_EQ(replay.file_bytes, cut);
+    if (cut == last_frame_start) {
+      EXPECT_EQ(replay.tail, WalTailState::kClean);
+      EXPECT_TRUE(replay.error.empty());
+    } else if (cut < last_frame_start + kHeaderBytes) {
+      EXPECT_EQ(replay.tail, WalTailState::kShortHeader) << "cut " << cut;
+      EXPECT_NE(replay.error.find("header"), std::string::npos);
+    } else {
+      EXPECT_EQ(replay.tail, WalTailState::kTruncatedPayload) << "cut " << cut;
+      EXPECT_NE(replay.error.find("payload"), std::string::npos);
+    }
+    // Opening for append truncates the torn tail; the next append lands
+    // on a frame boundary and replays cleanly.
+    Wal reopened(path_);
+    EXPECT_EQ(reopened.records(), 2U);
+    EXPECT_EQ(reopened.bytes(), last_frame_start);
+    EXPECT_EQ(reopened.recovered_torn_bytes(), cut - last_frame_start);
+    reopened.append("fourth record");
+    const WalReplay healed = wal_replay(path_);
+    EXPECT_EQ(healed.tail, WalTailState::kClean);
+    ASSERT_EQ(healed.records.size(), 3U);
+    EXPECT_EQ(healed.records[2], "fourth record");
+    // Restore the 3-record file for the next cut.
+    write_file(full);
+  }
+  EXPECT_EQ(committed, full.size());
+}
+
+TEST_F(WalFile, CorruptPayloadClassifiesAsBadCrc) {
+  {
+    Wal wal(path_);
+    wal.append("intact");
+    wal.append("to be corrupted");
+  }
+  std::string bytes = read_file();
+  bytes.back() ^= 0x40;  // flip a payload bit of the final record
+  write_file(bytes);
+  const WalReplay replay = wal_replay(path_);
+  EXPECT_EQ(replay.tail, WalTailState::kBadCrc);
+  ASSERT_EQ(replay.records.size(), 1U);
+  EXPECT_EQ(replay.records[0], "intact");
+  EXPECT_NE(replay.error.find("CRC"), std::string::npos) << replay.error;
+}
+
+TEST_F(WalFile, TrailingGarbageClassifiesAsBadMagic) {
+  {
+    Wal wal(path_);
+    wal.append("intact");
+  }
+  std::string bytes = read_file();
+  bytes += "this is not a frame header, it is garbage";
+  write_file(bytes);
+  const WalReplay replay = wal_replay(path_);
+  EXPECT_EQ(replay.tail, WalTailState::kBadMagic);
+  ASSERT_EQ(replay.records.size(), 1U);
+  EXPECT_NE(replay.error.find("magic"), std::string::npos) << replay.error;
+
+  Wal reopened(path_);
+  EXPECT_EQ(reopened.recovered_tail(), WalTailState::kBadMagic);
+  EXPECT_GT(reopened.recovered_torn_bytes(), 0U);
+}
+
+TEST_F(WalFile, AppendFaultFailsCleanlyBeforeAnyByte) {
+  Wal wal(path_);
+  wal.append("durable");
+  const std::uint64_t bytes_before = wal.bytes();
+  FaultInjector::instance().configure("learn.wal.append=1:0:1", 9);
+  EXPECT_THROW(wal.append("never lands"), FaultInjectedError);
+  FaultInjector::instance().disable();
+  EXPECT_EQ(wal.bytes(), bytes_before);
+  EXPECT_EQ(read_file().size(), bytes_before);  // nothing reached the file
+  wal.append("after recovery");
+  const WalReplay replay = wal_replay(path_);
+  EXPECT_EQ(replay.tail, WalTailState::kClean);
+  ASSERT_EQ(replay.records.size(), 2U);
+  EXPECT_EQ(replay.records[1], "after recovery");
+}
+
+TEST_F(WalFile, TornFaultLeavesTornTailThatReplayAndReopenDrop) {
+  Wal wal(path_);
+  wal.append("durable");
+  const std::uint64_t committed = wal.bytes();
+  FaultInjector::instance().configure("learn.wal.torn=1:0:1", 9);
+  EXPECT_THROW(wal.append("power cut mid-frame"), FaultInjectedError);
+  FaultInjector::instance().disable();
+  // The torn prefix is on disk — exactly what a crashed process leaves.
+  EXPECT_GT(read_file().size(), committed);
+  const WalReplay torn = wal_replay(path_);
+  EXPECT_NE(torn.tail, WalTailState::kClean);
+  ASSERT_EQ(torn.records.size(), 1U);
+  EXPECT_EQ(torn.committed_bytes, committed);
+  // The same handle keeps working: the next append truncates the dirty
+  // tail first, so the log never grows a hole.
+  wal.append("healed");
+  const WalReplay healed = wal_replay(path_);
+  EXPECT_EQ(healed.tail, WalTailState::kClean);
+  ASSERT_EQ(healed.records.size(), 2U);
+  EXPECT_EQ(healed.records[1], "healed");
+}
+
+TEST_F(WalFile, ResetEmptiesTheLog) {
+  Wal wal(path_);
+  wal.append("soon compacted away");
+  wal.reset();
+  EXPECT_EQ(wal.bytes(), 0U);
+  EXPECT_EQ(wal.records(), 0U);
+  EXPECT_EQ(read_file().size(), 0U);
+  wal.append("fresh epoch");
+  const WalReplay replay = wal_replay(path_);
+  ASSERT_EQ(replay.records.size(), 1U);
+  EXPECT_EQ(replay.records[0], "fresh epoch");
+}
+
+}  // namespace
+}  // namespace graphner::util
