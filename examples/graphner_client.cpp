@@ -60,6 +60,10 @@ int main(int argc, char** argv) {
       "reconnect", 0, "reconnects allowed per connection when it drops mid-stream");
   auto deadline_ms = cli.flag<long>(
       "deadline-ms", 0, "per-request deadline sent as the '@<ms>' id suffix");
+  auto model = cli.flag<std::string>(
+      "model", "",
+      "tenant/model selector sent as the '#<name>' id suffix (empty = the "
+      "server's default model)");
   auto metrics = cli.toggle("metrics", "fetch the server metrics JSON and exit");
   auto admin = cli.flag<std::string>(
       "admin", "",
@@ -169,8 +173,9 @@ int main(int argc, char** argv) {
           connection.connect(*host, *port, connect_policy);
           if (!decode_line.empty()) connection.send_line(decode_line);
           int reconnects_left = *reconnect;
-          const std::string suffix =
+          std::string suffix =
               *deadline_ms > 0 ? "@" + std::to_string(*deadline_ms) : "";
+          if (!model->empty()) suffix += "#" + *model;  // model split is outermost
           // This connection owns lines c, c + connections, c + 2*connections...
           std::vector<std::size_t> mine;
           for (std::size_t i = c; i < lines.size(); i += connections)

@@ -9,6 +9,11 @@
 //       no server: route the file through the replica tier and print the
 //       exact response lines a client would see — CI diffs this against
 //       graphner_client output to prove online == offline
+//   graphner_router --load-model gene.gmm --add-model jnlpba=jnlpba.gmm \
+//                   --quota jnlpba=100/50
+//       multi-tenant: serve two resident models; requests pick one per
+//       request ('#jnlpba' id suffix, JSON "model", or "#MODEL jnlpba")
+//       and the jnlpba tenant is rate-limited (DESIGN.md §14)
 //
 // --load-model auto-sniffs the format (text "graphner-model" vs mmap
 // "GNERMMAP"); with the mmap format all replicas share one page-cache
@@ -75,6 +80,16 @@ core::GraphNerModel obtain_model(const std::string& load_path,
     unlabelled.push_back(std::move(stripped));
   }
   return core::GraphNerModel::train(data.train, unlabelled, config);
+}
+
+/// Split a comma-separated flag value; an empty value yields nothing.
+std::vector<std::string> split_csv(const std::string& value) {
+  std::vector<std::string> out;
+  std::istringstream in(value);
+  std::string entry;
+  while (std::getline(in, entry, ','))
+    if (!entry.empty()) out.push_back(entry);
+  return out;
 }
 
 /// One sentence per line, whitespace-tokenized; ids are line<N> to match
@@ -171,6 +186,18 @@ int main(int argc, char** argv) {
   auto health_failures = cli.flag<std::size_t>(
       "health-failures", 3,
       "consecutive probe failures that open a replica's circuit breaker");
+  auto add_models = cli.flag<std::string>(
+      "add-model", "",
+      "additional resident models, 'name=path[,name=path...]' — each is "
+      "served under its wire name ('#name' id suffix / JSON \"model\" / "
+      "\"#MODEL name\"); the --load-model model stays the default tenant");
+  auto tenant_replicas = cli.flag<std::size_t>(
+      "tenant-replicas", 1, "replica pools per --add-model tenant");
+  auto quotas = cli.flag<std::string>(
+      "quota", "",
+      "per-tenant token-bucket quotas, 'name=rate/burst[,...]' (rate "
+      "tokens/s refill, burst bucket size; over-quota requests answer "
+      "QUOTA_EXCEEDED)");
   cli.parse(argc, argv);
 
   try {
@@ -215,7 +242,36 @@ int main(int argc, char** argv) {
     router_config.health_probe_deadline =
         std::chrono::milliseconds(*health_deadline_ms);
     router_config.health_failure_threshold = *health_failures;
+    router_config.tenant_replicas = *tenant_replicas;
     router::Router router(model, router_config);
+
+    // Additional resident models: every entry becomes a named tenant with
+    // its own replica pool, selectable per request on the wire.
+    for (const std::string& entry : split_csv(*add_models)) {
+      const std::size_t eq = entry.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= entry.size())
+        throw std::runtime_error("--add-model entry '" + entry +
+                                 "' is not name=path");
+      const std::string name = entry.substr(0, eq);
+      const std::string path = entry.substr(eq + 1);
+      router.add_model(name, std::make_shared<core::GraphNerModel>(
+                                 core::GraphNerModel::load_auto_file(path)));
+      std::cerr << "graphner_router: model " << name << " resident from "
+                << path << '\n';
+    }
+    for (const std::string& entry : split_csv(*quotas)) {
+      const std::size_t eq = entry.find('=');
+      const std::size_t slash = entry.find('/', eq == std::string::npos ? 0 : eq);
+      if (eq == std::string::npos || slash == std::string::npos)
+        throw std::runtime_error("--quota entry '" + entry +
+                                 "' is not name=rate/burst");
+      const std::string reply =
+          router.admin("quota " + entry.substr(0, eq) + ' ' +
+                       entry.substr(eq + 1, slash - eq - 1) + ' ' +
+                       entry.substr(slash + 1));
+      if (reply.rfind("OK", 0) != 0) throw std::runtime_error(reply);
+      std::cerr << "graphner_router: " << reply;
+    }
 
     if (!learn_seed->empty()) {
       // The seed corpus goes through the exact admin path a client's

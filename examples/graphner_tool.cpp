@@ -11,12 +11,17 @@
 //       test.in, write detections to FILE in the shared-task format
 //   graphner_tool eval --dir DIR --detections FILE
 //       score an annotation file with the BC2GM protocol
+//   graphner_tool jnlpba --scale 0.2 --save-mmap jnlpba.gmm [--gazetteer]
+//       train an 11-label 5-entity model on the JNLPBA-like corpus,
+//       report typed-span P/R/F per entity type, persist for serving
 #include <fstream>
 #include <iostream>
 #include <stdexcept>
 
 #include "src/corpus/bc2gm_io.hpp"
 #include "src/corpus/generator.hpp"
+#include "src/corpus/jnlpba.hpp"
+#include "src/eval/typed_eval.hpp"
 #include "src/graphner/experiment.hpp"
 #include "src/obs/export.hpp"
 #include "src/util/cli.hpp"
@@ -182,11 +187,70 @@ int cmd_eval(int argc, char** argv) {
   return 0;
 }
 
+// Multi-entity pipeline (DESIGN.md §14): generate the JNLPBA-like
+// 5-entity corpus, train the 11-label model (optionally with the
+// harvested terminology gazetteer), report typed-span P/R/F per entity
+// type, and persist the model for the multi-tenant serving tier.
+int cmd_jnlpba(int argc, char** argv) {
+  util::Cli cli("graphner_tool jnlpba",
+                "train + evaluate a 5-entity JNLPBA-like model");
+  auto scale = cli.flag<double>("scale", 1.0, "corpus scale");
+  auto seed = cli.flag<std::uint64_t>("seed", 77, "corpus seed");
+  auto gazetteer = cli.toggle(
+      "gazetteer", "harvest a typed terminology from the training mentions "
+                   "and feed membership features to the CRF");
+  auto save_model = cli.flag<std::string>(
+      "save-model", "", "persist the trained model (text format)");
+  auto save_mmap = cli.flag<std::string>(
+      "save-mmap", "", "persist the trained model (zero-copy mmap format)");
+  cli.parse(argc, argv);
+
+  const auto data =
+      corpus::generate_jnlpba_corpus(corpus::jnlpba_like_spec(*scale, *seed));
+  core::GraphNerConfig config;
+  config.labels = corpus::jnlpba_label_set();
+  config.gazetteer_features = *gazetteer;
+  const core::GraphNerModel model =
+      core::GraphNerModel::train(data.train, {}, config);
+
+  const auto predicted = model.decode_crf(data.test);
+  std::vector<std::vector<text::Tag>> gold;
+  gold.reserve(data.test.size());
+  for (const auto& sentence : data.test) gold.push_back(sentence.tags);
+  const auto result = eval::evaluate_typed(predicted, gold, model.labels());
+
+  const auto& types = model.labels().entity_types();
+  for (std::size_t t = 0; t < types.size(); ++t) {
+    const eval::Metrics& m = result.per_type[t];
+    std::cout << types[t] << ": P "
+              << util::TablePrinter::fmt(100 * m.precision()) << "%, R "
+              << util::TablePrinter::fmt(100 * m.recall()) << "%, F "
+              << util::TablePrinter::fmt(100 * m.f_score()) << "% (TP "
+              << m.true_positives << ", FP " << m.false_positives << ", FN "
+              << m.false_negatives << ")\n";
+  }
+  std::cout << "overall: P "
+            << util::TablePrinter::fmt(100 * result.overall.precision())
+            << "%, R " << util::TablePrinter::fmt(100 * result.overall.recall())
+            << "%, F "
+            << util::TablePrinter::fmt(100 * result.overall.f_score()) << "%\n";
+
+  if (!save_model->empty()) {
+    model.save_file(*save_model);
+    std::cout << "saved model to " << *save_model << '\n';
+  }
+  if (!save_mmap->empty()) {
+    model.save_mmap_file(*save_mmap);
+    std::cout << "saved mmap model to " << *save_mmap << '\n';
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: graphner_tool <generate|tag|eval> [flags]\n"
+    std::cerr << "usage: graphner_tool <generate|tag|eval|jnlpba> [flags]\n"
                  "       graphner_tool <subcommand> --help\n";
     return 2;
   }
@@ -194,6 +258,7 @@ int main(int argc, char** argv) {
   if (subcommand == "generate") return cmd_generate(argc - 1, argv + 1);
   if (subcommand == "tag") return cmd_tag(argc - 1, argv + 1);
   if (subcommand == "eval") return cmd_eval(argc - 1, argv + 1);
+  if (subcommand == "jnlpba") return cmd_jnlpba(argc - 1, argv + 1);
   std::cerr << "unknown subcommand '" << subcommand << "'\n";
   return 2;
 }

@@ -1,0 +1,287 @@
+#include "src/corpus/jnlpba.hpp"
+
+#include <algorithm>
+#include <array>
+#include <string_view>
+
+#include "src/corpus/gene_lexicon.hpp"
+#include "src/corpus/wordlists.hpp"
+#include "src/text/annotation.hpp"
+#include "src/text/bio.hpp"
+#include "src/util/rng.hpp"
+
+namespace graphner::corpus {
+namespace {
+
+using sv = std::string_view;
+
+// Entity-type indices into jnlpba_label_set().entity_types().
+enum Type : std::size_t {
+  kProtein = 0,
+  kDna = 1,
+  kRna = 2,
+  kCellLine = 3,
+  kCellType = 4,
+};
+
+// A template slot: either one of the five typed entity kinds or a
+// background-text kind. Templates are short clause skeletons in the GENIA
+// register; the typed slots are what the generator fills from the shared
+// symbol inventory.
+enum class Slot {
+  kProteinSlot,
+  kDnaSlot,
+  kRnaSlot,
+  kCellLineSlot,
+  kCellTypeSlot,
+  kVerb,
+  kAdjective,
+  kNoun,
+  kThe,
+  kIn,
+  kOf,
+  kStop,
+};
+
+// Clause skeletons. The same symbol inventory feeds the protein/DNA/RNA
+// slots, so templates are what disambiguate the type — the property that
+// makes JNLPBA harder than single-type gene detection.
+constexpr std::array<std::array<Slot, 10>, 14> kTemplates = {{
+    {Slot::kThe, Slot::kProteinSlot, Slot::kVerb, Slot::kDnaSlot, Slot::kIn,
+     Slot::kCellTypeSlot, Slot::kStop},
+    {Slot::kProteinSlot, Slot::kVerb, Slot::kThe, Slot::kAdjective, Slot::kNoun,
+     Slot::kIn, Slot::kCellLineSlot, Slot::kStop},
+    {Slot::kThe, Slot::kDnaSlot, Slot::kVerb, Slot::kAdjective, Slot::kNoun,
+     Slot::kOf, Slot::kProteinSlot, Slot::kStop},
+    {Slot::kRnaSlot, Slot::kVerb, Slot::kIn, Slot::kCellTypeSlot, Slot::kOf,
+     Slot::kAdjective, Slot::kNoun, Slot::kStop},
+    {Slot::kThe, Slot::kNoun, Slot::kOf, Slot::kRnaSlot, Slot::kVerb, Slot::kIn,
+     Slot::kCellLineSlot, Slot::kStop},
+    {Slot::kCellTypeSlot, Slot::kVerb, Slot::kProteinSlot, Slot::kIn, Slot::kThe,
+     Slot::kAdjective, Slot::kNoun, Slot::kStop},
+    {Slot::kThe, Slot::kCellLineSlot, Slot::kVerb, Slot::kThe, Slot::kRnaSlot,
+     Slot::kStop},
+    {Slot::kProteinSlot, Slot::kOf, Slot::kCellTypeSlot, Slot::kVerb, Slot::kThe,
+     Slot::kDnaSlot, Slot::kStop},
+    {Slot::kThe, Slot::kAdjective, Slot::kProteinSlot, Slot::kVerb, Slot::kIn,
+     Slot::kCellTypeSlot, Slot::kStop},
+    {Slot::kDnaSlot, Slot::kVerb, Slot::kIn, Slot::kThe, Slot::kAdjective,
+     Slot::kCellLineSlot, Slot::kStop},
+    {Slot::kThe, Slot::kNoun, Slot::kOf, Slot::kProteinSlot, Slot::kIn,
+     Slot::kCellTypeSlot, Slot::kVerb, Slot::kAdjective, Slot::kStop},
+    {Slot::kRnaSlot, Slot::kOf, Slot::kThe, Slot::kDnaSlot, Slot::kVerb,
+     Slot::kIn, Slot::kCellLineSlot, Slot::kStop},
+    {Slot::kThe, Slot::kCellTypeSlot, Slot::kVerb, Slot::kThe, Slot::kNoun,
+     Slot::kOf, Slot::kRnaSlot, Slot::kStop},
+    {Slot::kAdjective, Slot::kNoun, Slot::kIn, Slot::kCellLineSlot, Slot::kVerb,
+     Slot::kThe, Slot::kProteinSlot, Slot::kStop},
+}};
+
+// Typed surface suffixes. Protein mentions are bare symbols (or "<SYM>
+// protein"); DNA/RNA mentions carry a disambiguating head noun.
+constexpr std::array kDnaHeads = {sv{"gene"}, sv{"promoter"}, sv{"enhancer"},
+                                  sv{"locus"}};
+constexpr std::array kRnaHeads = {sv{"mRNA"}, sv{"transcript"},
+                                  sv{"transcripts"}};
+constexpr std::array kCellTypes = {
+    sv{"T cells"},        sv{"B cells"},         sv{"monocytes"},
+    sv{"macrophages"},    sv{"neutrophils"},     sv{"thymocytes"},
+    sv{"natural killer cells"}, sv{"dendritic cells"},
+    sv{"peripheral blood lymphocytes"}, sv{"erythroid progenitors"}};
+
+struct JnlpbaState {
+  const JnlpbaSpec* spec = nullptr;
+  std::vector<std::string> symbols;  ///< shared protein/DNA/RNA inventory
+  std::size_t shared_symbols = 0;    ///< [0, shared) may appear in training
+  std::vector<std::string> cell_line_pool;
+  std::size_t shared_cell_lines = 0;
+  util::Rng rng;
+
+  explicit JnlpbaState(const JnlpbaSpec& s) : spec(&s), rng(s.seed) {
+    util::Rng sym_rng(s.seed ^ 0x1152baULL);
+    symbols.reserve(s.num_symbols);
+    while (symbols.size() < s.num_symbols) {
+      std::string sym = make_hgnc_symbol(sym_rng);
+      if (std::find(symbols.begin(), symbols.end(), sym) == symbols.end())
+        symbols.push_back(std::move(sym));
+    }
+    const auto reserved = static_cast<std::size_t>(
+        s.test_only_fraction * static_cast<double>(symbols.size()));
+    shared_symbols =
+        symbols.size() > reserved ? symbols.size() - reserved : symbols.size();
+
+    for (const auto& c : cell_lines()) cell_line_pool.emplace_back(c);
+    while (cell_line_pool.size() < 24)
+      cell_line_pool.push_back(make_hgnc_symbol(sym_rng) + " cells");
+    const auto cl_reserved = static_cast<std::size_t>(
+        s.test_only_fraction * static_cast<double>(cell_line_pool.size()));
+    shared_cell_lines = cell_line_pool.size() - cl_reserved;
+  }
+
+  const std::string& pick_symbol(bool is_test) {
+    const bool test_only = is_test && shared_symbols < symbols.size() &&
+                           rng.flip(spec->test_only_draw_rate);
+    if (test_only) {
+      // Zipf over the reserved tail: unseen surfaces recur within the test
+      // side, which is what corpus-level averaging exploits.
+      return symbols[shared_symbols + rng.zipf(symbols.size() - shared_symbols)];
+    }
+    return symbols[rng.zipf(shared_symbols)];
+  }
+
+  const std::string& pick_cell_line(bool is_test) {
+    const bool test_only = is_test && shared_cell_lines < cell_line_pool.size() &&
+                           rng.flip(spec->test_only_draw_rate);
+    if (test_only) {
+      return cell_line_pool[shared_cell_lines +
+                            rng.zipf(cell_line_pool.size() - shared_cell_lines)];
+    }
+    return cell_line_pool[rng.zipf(shared_cell_lines)];
+  }
+};
+
+struct TypedRealized {
+  std::vector<std::string> tokens;
+  std::vector<text::TypedTokenSpan> mentions;
+};
+
+void append_phrase(TypedRealized& out, sv phrase) {
+  std::size_t start = 0;
+  while (start < phrase.size()) {
+    const std::size_t space = phrase.find(' ', start);
+    const sv word = phrase.substr(
+        start, space == sv::npos ? sv::npos : space - start);
+    if (!word.empty()) out.tokens.emplace_back(word);
+    if (space == sv::npos) break;
+    start = space + 1;
+  }
+}
+
+void emit_mention(TypedRealized& out, std::size_t first, std::size_t type) {
+  out.mentions.push_back({first, out.tokens.size() - 1, type});
+}
+
+TypedRealized realize_jnlpba(JnlpbaState& state, bool is_test) {
+  TypedRealized out;
+  auto& rng = state.rng;
+  const auto& tmpl = kTemplates[rng.below(kTemplates.size())];
+  for (const Slot slot : tmpl) {
+    switch (slot) {
+      case Slot::kProteinSlot: {
+        const std::size_t first = out.tokens.size();
+        out.tokens.push_back(state.pick_symbol(is_test));
+        if (rng.flip(0.3)) out.tokens.emplace_back("protein");
+        emit_mention(out, first, kProtein);
+        break;
+      }
+      case Slot::kDnaSlot: {
+        const std::size_t first = out.tokens.size();
+        out.tokens.push_back(state.pick_symbol(is_test));
+        out.tokens.emplace_back(rng.pick(kDnaHeads));
+        emit_mention(out, first, kDna);
+        break;
+      }
+      case Slot::kRnaSlot: {
+        const std::size_t first = out.tokens.size();
+        out.tokens.push_back(state.pick_symbol(is_test));
+        out.tokens.emplace_back(rng.pick(kRnaHeads));
+        emit_mention(out, first, kRna);
+        break;
+      }
+      case Slot::kCellLineSlot: {
+        const std::size_t first = out.tokens.size();
+        append_phrase(out, state.pick_cell_line(is_test));
+        emit_mention(out, first, kCellLine);
+        break;
+      }
+      case Slot::kCellTypeSlot: {
+        const std::size_t first = out.tokens.size();
+        append_phrase(out, rng.pick(kCellTypes));
+        emit_mention(out, first, kCellType);
+        break;
+      }
+      case Slot::kVerb:
+        out.tokens.emplace_back(rng.pick(verbs()));
+        break;
+      case Slot::kAdjective:
+        out.tokens.emplace_back(rng.pick(adjectives()));
+        break;
+      case Slot::kNoun:
+        out.tokens.emplace_back(rng.pick(background_words()));
+        break;
+      case Slot::kThe:
+        out.tokens.emplace_back("the");
+        break;
+      case Slot::kIn:
+        out.tokens.emplace_back("in");
+        break;
+      case Slot::kOf:
+        out.tokens.emplace_back("of");
+        break;
+      case Slot::kStop:
+        out.tokens.emplace_back(".");
+        return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const text::LabelSet& jnlpba_label_set() {
+  static const text::LabelSet labels(std::vector<std::string>{
+      "protein", "DNA", "RNA", "cell_line", "cell_type"});
+  return labels;
+}
+
+JnlpbaSpec jnlpba_like_spec(double scale, std::uint64_t seed) {
+  JnlpbaSpec spec;
+  spec.train_sentences = static_cast<std::size_t>(800 * scale);
+  spec.test_sentences = static_cast<std::size_t>(250 * scale);
+  spec.num_symbols =
+      std::max<std::size_t>(60, static_cast<std::size_t>(120 * scale));
+  spec.seed = seed;
+  return spec;
+}
+
+LabelledCorpus generate_jnlpba_corpus(const JnlpbaSpec& spec) {
+  JnlpbaState state(spec);
+  const text::LabelSet& labels = jnlpba_label_set();
+
+  LabelledCorpus corpus;
+  corpus.name = spec.name;
+
+  auto make_side = [&](std::size_t count, bool is_test,
+                       std::vector<text::Sentence>& sink) {
+    for (std::size_t i = 0; i < count; ++i) {
+      TypedRealized realized = realize_jnlpba(state, is_test);
+
+      text::Sentence sentence;
+      sentence.id = spec.name + (is_test ? "-test-" : "-train-") +
+                    std::to_string(i);
+      sentence.tokens = std::move(realized.tokens);
+      sentence.tags =
+          text::encode_typed_bio(realized.mentions, sentence.size(), labels);
+
+      if (is_test) {
+        // Untyped char-span annotations for the legacy evaluator tooling;
+        // typed evaluation decodes the tags against the label set instead.
+        for (const auto& span : realized.mentions) {
+          text::Annotation ann;
+          ann.sentence_id = sentence.id;
+          ann.span = sentence.to_char_span({span.first, span.last});
+          ann.mention = sentence.span_text({span.first, span.last});
+          corpus.test_gold.push_back(ann);
+          corpus.test_truth.push_back(std::move(ann));
+        }
+      }
+      sink.push_back(std::move(sentence));
+    }
+  };
+
+  make_side(spec.train_sentences, /*is_test=*/false, corpus.train);
+  make_side(spec.test_sentences, /*is_test=*/true, corpus.test);
+  return corpus;
+}
+
+}  // namespace graphner::corpus

@@ -1,0 +1,52 @@
+// Synthetic JNLPBA-like corpus: 5-entity multi-class BIO.
+//
+// The JNLPBA shared task tags five entity types — protein, DNA, RNA,
+// cell_line and cell_type — over GENIA-derived abstracts. This factory
+// generates a corpus with the same *structural* pressure points the
+// single-type generators model (recurring 3-gram contexts, surface forms
+// unseen in training, look-alike tokens shared between types), but with
+// typed mentions, so the multi-entity decode path (11-label state space,
+// typed spans, per-type evaluation) is exercised end to end.
+//
+// Type confusability is deliberate: DNA and RNA mentions are built from
+// the same symbol inventory as proteins ("<SYM> gene" vs "<SYM> mRNA" vs
+// bare "<SYM>"), so the context — not the token identity — carries the
+// type, exactly the property that makes JNLPBA harder than binary gene
+// mention detection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/corpus/corpus.hpp"
+#include "src/text/label_set.hpp"
+
+namespace graphner::corpus {
+
+/// The five JNLPBA entity types, canonical order. Index into this array is
+/// the entity-type id used in tags (B-protein = 0, I-protein = 1, ...).
+[[nodiscard]] const text::LabelSet& jnlpba_label_set();
+
+struct JnlpbaSpec {
+  std::string name = "jnlpba";
+  std::size_t train_sentences = 800;
+  std::size_t test_sentences = 250;
+  /// Distinct base symbols shared by the protein/DNA/RNA surface pools.
+  std::size_t num_symbols = 120;
+  /// Fraction of each pool reserved for test-only surfaces, and the chance
+  /// a test-side slot draws one (recall pressure, as in the gene corpora).
+  double test_only_fraction = 0.15;
+  double test_only_draw_rate = 0.25;
+  std::uint64_t seed = 77;
+};
+
+/// Paper-shaped preset; `scale` multiplies sentence counts.
+[[nodiscard]] JnlpbaSpec jnlpba_like_spec(double scale = 1.0,
+                                          std::uint64_t seed = 77);
+
+/// Generate deterministically from the spec. Sentence tags use the
+/// jnlpba_label_set() canonical 11-label layout; test_gold/test_truth carry
+/// the (untyped) span annotations for the legacy evaluator tooling.
+[[nodiscard]] LabelledCorpus generate_jnlpba_corpus(const JnlpbaSpec& spec);
+
+}  // namespace graphner::corpus

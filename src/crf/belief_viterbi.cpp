@@ -1,11 +1,12 @@
 #include "src/crf/belief_viterbi.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
+#include <vector>
 
 namespace graphner::crf {
 
-using text::kNumTags;
 using text::Tag;
 
 namespace {
@@ -13,38 +14,39 @@ constexpr double kEps = 1e-12;
 }  // namespace
 
 TagTransitionMatrix normalize_transition_counts(const TagTransitionMatrix& counts) {
-  TagTransitionMatrix out{};
-  for (std::size_t a = 0; a < kNumTags; ++a) {
+  const std::size_t L = counts.n();
+  TagTransitionMatrix out(L);
+  for (std::size_t a = 0; a < L; ++a) {
     double row = 0.0;
-    for (std::size_t b = 0; b < kNumTags; ++b) row += counts[a * kNumTags + b];
-    for (std::size_t b = 0; b < kNumTags; ++b)
-      out[a * kNumTags + b] =
-          row > 0.0 ? counts[a * kNumTags + b] / row : 1.0 / kNumTags;
+    for (std::size_t b = 0; b < L; ++b) row += counts.at(a, b);
+    for (std::size_t b = 0; b < L; ++b)
+      out.at(a, b) =
+          row > 0.0 ? counts.at(a, b) / row : 1.0 / static_cast<double>(L);
   }
   return out;
 }
 
 TagTransitionMatrix transition_ratio_matrix(const TagTransitionMatrix& counts) {
-  TagTransitionMatrix out{};
+  const std::size_t L = counts.n();
+  TagTransitionMatrix out(L);
   double total = 0.0;
   for (const double c : counts) total += c;
   if (total <= 0.0) {
     out.fill(1.0);
     return out;
   }
-  std::array<double, kNumTags> from_marginal{};
-  std::array<double, kNumTags> to_marginal{};
-  for (std::size_t a = 0; a < kNumTags; ++a) {
-    for (std::size_t b = 0; b < kNumTags; ++b) {
-      from_marginal[a] += counts[a * kNumTags + b];
-      to_marginal[b] += counts[a * kNumTags + b];
+  std::vector<double> from_marginal(L, 0.0);
+  std::vector<double> to_marginal(L, 0.0);
+  for (std::size_t a = 0; a < L; ++a) {
+    for (std::size_t b = 0; b < L; ++b) {
+      from_marginal[a] += counts.at(a, b);
+      to_marginal[b] += counts.at(a, b);
     }
   }
-  for (std::size_t a = 0; a < kNumTags; ++a) {
-    for (std::size_t b = 0; b < kNumTags; ++b) {
+  for (std::size_t a = 0; a < L; ++a) {
+    for (std::size_t b = 0; b < L; ++b) {
       const double denom = from_marginal[a] * to_marginal[b];
-      out[a * kNumTags + b] =
-          denom > 0.0 ? counts[a * kNumTags + b] * total / denom : 0.0;
+      out.at(a, b) = denom > 0.0 ? counts.at(a, b) * total / denom : 0.0;
     }
   }
   return out;
@@ -64,33 +66,35 @@ namespace {
 /// (but legal) positions can never collapse to 0 and be mistaken for an
 /// illegal path.
 template <typename TransitionAt>
-std::vector<Tag> belief_viterbi_impl(
-    const std::vector<std::array<double, kNumTags>>& beliefs,
-    TransitionAt&& transition_at) {
+std::vector<Tag> belief_viterbi_impl(const std::vector<text::LabelDist>& beliefs,
+                                     TransitionAt&& transition_at,
+                                     const text::LabelSet& labels) {
   const std::size_t n = beliefs.size();
+  const std::size_t L = labels.num_labels();
   std::vector<Tag> tags(n);
   if (n == 0) return tags;
+  assert(beliefs[0].size() == L);
 
   constexpr double kScoreFloor = 1e-280;
-  std::vector<std::array<double, kNumTags>> score(n);
-  std::vector<std::array<std::size_t, kNumTags>> back(n);
+  std::vector<text::LabelDist> score(n, text::LabelDist(L));
+  std::vector<std::array<std::size_t, text::kMaxLabels>> back(n);
 
-  for (std::size_t t = 0; t < kNumTags; ++t) {
-    const bool legal_start = text::tag_from_index(t) != Tag::kI;
+  for (std::size_t t = 0; t < L; ++t) {
+    const bool legal_start = labels.is_legal_start(text::tag_from_index(t));
     score[0][t] = legal_start ? std::max(beliefs[0][t], kEps) : 0.0;
   }
   for (std::size_t i = 1; i < n; ++i) {
     const TagTransitionMatrix& transitions = transition_at(i);
+    assert(transitions.n() == L);
     double row_max = 0.0;
-    for (std::size_t t = 0; t < kNumTags; ++t) {
+    for (std::size_t t = 0; t < L; ++t) {
       double best = 0.0;
       std::size_t arg = 0;
-      for (std::size_t p = 0; p < kNumTags; ++p) {
-        if (text::is_illegal_transition(text::tag_from_index(p),
-                                        text::tag_from_index(t)))
+      for (std::size_t p = 0; p < L; ++p) {
+        if (labels.is_illegal_transition(text::tag_from_index(p),
+                                         text::tag_from_index(t)))
           continue;
-        const double cand =
-            score[i - 1][p] * std::max(transitions[p * kNumTags + t], kEps);
+        const double cand = score[i - 1][p] * std::max(transitions.at(p, t), kEps);
         if (cand > best) {
           best = cand;
           arg = p;
@@ -103,7 +107,7 @@ std::vector<Tag> belief_viterbi_impl(
     }
     if (row_max > 0.0) {
       const double inv = 1.0 / row_max;
-      for (std::size_t t = 0; t < kNumTags; ++t) {
+      for (std::size_t t = 0; t < L; ++t) {
         double& v = score[i][t];
         v *= inv;
         if (v > 0.0 && v < kScoreFloor) v = kScoreFloor;
@@ -113,7 +117,7 @@ std::vector<Tag> belief_viterbi_impl(
 
   std::size_t cur = 0;
   double best = -1.0;
-  for (std::size_t t = 0; t < kNumTags; ++t) {
+  for (std::size_t t = 0; t < L; ++t) {
     if (score[n - 1][t] > best) {
       best = score[n - 1][t];
       cur = t;
@@ -128,23 +132,26 @@ std::vector<Tag> belief_viterbi_impl(
 
 }  // namespace
 
-std::vector<Tag> belief_viterbi(
-    const std::vector<std::array<double, kNumTags>>& beliefs,
-    const TagTransitionMatrix& transitions) {
-  return belief_viterbi_impl(beliefs,
-                             [&](std::size_t) -> const TagTransitionMatrix& {
-                               return transitions;
-                             });
+std::vector<Tag> belief_viterbi(const std::vector<text::LabelDist>& beliefs,
+                                const TagTransitionMatrix& transitions,
+                                const text::LabelSet& labels) {
+  return belief_viterbi_impl(
+      beliefs,
+      [&](std::size_t) -> const TagTransitionMatrix& { return transitions; },
+      labels);
 }
 
 std::vector<Tag> belief_viterbi(
-    const std::vector<std::array<double, kNumTags>>& beliefs,
-    const std::vector<TagTransitionMatrix>& per_edge_transitions) {
+    const std::vector<text::LabelDist>& beliefs,
+    const std::vector<TagTransitionMatrix>& per_edge_transitions,
+    const text::LabelSet& labels) {
   assert(per_edge_transitions.size() == beliefs.size());
   return belief_viterbi_impl(
-      beliefs, [&](std::size_t i) -> const TagTransitionMatrix& {
+      beliefs,
+      [&](std::size_t i) -> const TagTransitionMatrix& {
         return per_edge_transitions[i];
-      });
+      },
+      labels);
 }
 
 }  // namespace graphner::crf

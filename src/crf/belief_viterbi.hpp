@@ -3,25 +3,31 @@
 // Algorithm 1, line 9: after GraphNER mixes CRF posteriors with propagated
 // graph distributions, the final decode runs Viterbi over those combined
 // per-token tag beliefs and the CRF's tag-transition probabilities.
+//
+// All entry points are generic over the model's LabelSet: beliefs carry one
+// column per label, matrices are L x L, and the BIO legality constraint is
+// taken from the set (no I_t after anything but B_t/I_t, no initial I). The
+// defaulted `labels` parameter is the legacy single-type {B, I, O} set.
 #pragma once
 
-#include <array>
 #include <vector>
 
+#include "src/text/label_set.hpp"
 #include "src/text/tag.hpp"
 
 namespace graphner::crf {
 
-/// Row-major kNumTags x kNumTags matrix of transition probabilities
-/// p(next | prev); rows need not be perfectly normalized.
-using TagTransitionMatrix = std::array<double, text::kNumTags * text::kNumTags>;
+/// Row-major L x L matrix of transition probabilities p(next | prev);
+/// rows need not be perfectly normalized.
+using TagTransitionMatrix = text::LabelMatrix;
 
 /// Decode argmax_t sum_i log(beliefs[i][t_i]) + sum_i log(T[t_{i-1}][t_i])
-/// with the BIO constraint (no I after O, no initial I) enforced.
+/// with the BIO constraint of `labels` enforced.
 /// Zero beliefs/transitions are floored at a tiny epsilon.
 [[nodiscard]] std::vector<text::Tag> belief_viterbi(
-    const std::vector<std::array<double, text::kNumTags>>& beliefs,
-    const TagTransitionMatrix& transitions);
+    const std::vector<text::LabelDist>& beliefs,
+    const TagTransitionMatrix& transitions,
+    const text::LabelSet& labels = text::LabelSet::single());
 
 /// Position-specific variant: transitions[i] applies to the edge between
 /// positions i-1 and i (entry 0 unused; sizes must match beliefs). Used
@@ -30,8 +36,9 @@ using TagTransitionMatrix = std::array<double, text::kNumTags * text::kNumTags>;
 /// order 1 — a corpus-aggregated matrix misprices rare transitions (e.g.
 /// rewards B -> I between two adjacent single-token mentions).
 [[nodiscard]] std::vector<text::Tag> belief_viterbi(
-    const std::vector<std::array<double, text::kNumTags>>& beliefs,
-    const std::vector<TagTransitionMatrix>& per_edge_transitions);
+    const std::vector<text::LabelDist>& beliefs,
+    const std::vector<TagTransitionMatrix>& per_edge_transitions,
+    const text::LabelSet& labels = text::LabelSet::single());
 
 /// Normalize expected tag-bigram counts into a row-stochastic transition
 /// matrix (rows with zero mass become uniform).

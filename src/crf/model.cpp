@@ -26,10 +26,11 @@ LinearChainCrf::LinearChainCrf(StateSpace space, std::size_t num_features)
     state_tag_idx_[s] = static_cast<std::uint8_t>(
         text::tag_index(space_.tag_of(static_cast<StateId>(s))));
   const auto& transitions = space_.transitions();
+  const std::size_t L = space_.num_labels();
   slot_tag_pair_.resize(transitions.size());
   for (std::size_t t = 0; t < transitions.size(); ++t)
     slot_tag_pair_[t] = static_cast<std::uint8_t>(
-        text::tag_index(space_.tag_of(transitions[t].from)) * kNumTags +
+        text::tag_index(space_.tag_of(transitions[t].from)) * L +
         text::tag_index(space_.tag_of(transitions[t].to)));
 
   rebuild_weight_caches();
@@ -405,9 +406,10 @@ SentencePosteriors LinearChainCrf::fold_posteriors(const EncodedSentence& senten
   const std::size_t n = sentence.size();
   const std::size_t S = space_.num_states();
 
+  const std::size_t L = space_.num_labels();
   SentencePosteriors out;
   out.log_z = sc.log_z;
-  out.tag_marginals.assign(n, {});
+  out.tag_marginals.assign(n, text::LabelDist(L));
   for (std::size_t i = 0; i < n; ++i) {
     auto& row = out.tag_marginals[i];
     row.fill(0.0);
@@ -417,7 +419,7 @@ SentencePosteriors LinearChainCrf::fold_posteriors(const EncodedSentence& senten
   }
 
   // Pairwise tag marginals (entry 0 unused).
-  out.pairwise_marginals.assign(n, {});
+  out.pairwise_marginals.assign(n, text::LabelMatrix(L));
   const std::size_t num_trans = space_.transitions().size();
   for (std::size_t i = 1; i < n; ++i) {
     auto& cell = out.pairwise_marginals[i];
@@ -441,6 +443,13 @@ DecodeOptions LinearChainCrf::effective_options(const DecodeOptions& options) co
   // treat it as no beam at all: the dense recurrence gives the same answer
   // without paying for active-set bookkeeping.
   if (eff.beam >= space_.num_states()) eff.beam = 0;
+  // The pruned kernels track reachability in 32-bit state masks (in_mask_,
+  // start_mask_); spaces wider than 32 states (multi-entity order 2) decode
+  // through the exact dense path instead.
+  if (space_.num_states() > 32) {
+    eff.beam = 0;
+    eff.posterior_threshold = 0.0;
+  }
   return eff;
 }
 
@@ -475,8 +484,9 @@ SentencePosteriors LinearChainCrf::posteriors(const EncodedSentence& sentence) c
 }
 
 void LinearChainCrf::accumulate_tag_transition_expectations(
-    const EncodedSentence& sentence,
-    std::array<double, kNumTags * kNumTags>& counts, Scratch& sc) const {
+    const EncodedSentence& sentence, text::LabelMatrix& counts,
+    Scratch& sc) const {
+  assert(counts.n() == space_.num_labels());
   const std::size_t n = sentence.size();
   if (n < 2) return;
 
@@ -491,8 +501,7 @@ void LinearChainCrf::accumulate_tag_transition_expectations(
 }
 
 void LinearChainCrf::accumulate_tag_transition_expectations(
-    const EncodedSentence& sentence,
-    std::array<double, kNumTags * kNumTags>& counts) const {
+    const EncodedSentence& sentence, text::LabelMatrix& counts) const {
   Scratch scratch;
   accumulate_tag_transition_expectations(sentence, counts, scratch);
 }

@@ -34,12 +34,13 @@ namespace graphner::crf {
 
 /// Per-sentence inference outputs consumed by GraphNER (Algorithm 1 line 5).
 struct SentencePosteriors {
-  /// posterior[i][t] = p(tag at i == t | x); rows sum to 1 (kNumTags cols).
-  std::vector<std::array<double, text::kNumTags>> tag_marginals;
-  /// pairwise[i][a * kNumTags + b] = p(tag_{i-1} = a, tag_i = b | x) for
+  /// posterior[i][t] = p(label at i == t | x); rows sum to 1 (one column
+  /// per label of the model's LabelSet — 3 for the legacy B/I/O set).
+  std::vector<text::LabelDist> tag_marginals;
+  /// pairwise[i][a * L + b] = p(label_{i-1} = a, label_i = b | x) for
   /// i >= 1 (entry 0 is unused). These are the position-specific
   /// "transition probabilities" GraphNER's final Viterbi consumes.
-  std::vector<std::array<double, text::kNumTags * text::kNumTags>> pairwise_marginals;
+  std::vector<text::LabelMatrix> pairwise_marginals;
   double log_z = 0.0;
 };
 
@@ -148,15 +149,14 @@ class LinearChainCrf {
                                 const DecodeOptions& options) const;
 
   /// Expected tag-bigram counts E[count(t at i-1, t' at i)] summed over the
-  /// sentence, added into `counts` (kNumTags x kNumTags row-major). Used to
-  /// derive the tag-transition matrix GraphNER's final Viterbi consumes.
-  void accumulate_tag_transition_expectations(
-      const EncodedSentence& sentence,
-      std::array<double, text::kNumTags * text::kNumTags>& counts,
-      Scratch& scratch) const;
-  void accumulate_tag_transition_expectations(
-      const EncodedSentence& sentence,
-      std::array<double, text::kNumTags * text::kNumTags>& counts) const;
+  /// sentence, added into `counts` (L x L row-major, sized to the space's
+  /// label count). Used to derive the tag-transition matrix GraphNER's
+  /// final Viterbi consumes.
+  void accumulate_tag_transition_expectations(const EncodedSentence& sentence,
+                                              text::LabelMatrix& counts,
+                                              Scratch& scratch) const;
+  void accumulate_tag_transition_expectations(const EncodedSentence& sentence,
+                                              text::LabelMatrix& counts) const;
 
   /// MAP decode to tags (same options contract as posteriors()).
   std::vector<text::Tag> viterbi(const EncodedSentence& sentence,
@@ -252,7 +252,7 @@ class LinearChainCrf {
 
   // Space-derived lookup tables, built once in the constructor.
   std::vector<std::uint8_t> state_tag_idx_;   ///< tag index per state
-  std::vector<std::uint8_t> slot_tag_pair_;   ///< tag_from * kNumTags + tag_to
+  std::vector<std::uint8_t> slot_tag_pair_;   ///< tag_from * num_labels + tag_to
 
   // Decode-time tables (DESIGN.md §10), refreshed alongside the weight
   // caches by rebuild_decode_tables().

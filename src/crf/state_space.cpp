@@ -3,56 +3,58 @@
 namespace graphner::crf {
 
 using text::Tag;
-using text::kNumTags;
 
-namespace {
-
-[[nodiscard]] bool bio_legal(Tag prev, Tag next) noexcept {
-  return !text::is_illegal_transition(prev, next);
-}
-
-}  // namespace
-
-StateSpace StateSpace::order1() {
+StateSpace StateSpace::order1(const text::LabelSet& labels) {
   StateSpace space;
   space.order_ = 1;
-  space.state_tag_ = {Tag::kB, Tag::kI, Tag::kO};
-  for (StateId s = 0; s < kNumTags; ++s) {
-    // A sentence may start with B or O but not I.
-    if (space.state_tag_[s] != Tag::kI) space.starts_.push_back(s);
+  space.labels_ = labels;
+  const std::size_t num_labels = labels.num_labels();
+  space.state_tag_.resize(num_labels);
+  for (std::size_t t = 0; t < num_labels; ++t)
+    space.state_tag_[t] = static_cast<Tag>(t);
+  for (StateId s = 0; s < num_labels; ++s) {
+    // A sentence may start with any B or O but not inside a mention.
+    if (labels.is_legal_start(space.state_tag_[s])) space.starts_.push_back(s);
   }
-  for (StateId a = 0; a < kNumTags; ++a)
-    for (StateId b = 0; b < kNumTags; ++b)
-      if (bio_legal(space.state_tag_[a], space.state_tag_[b]))
+  for (StateId a = 0; a < num_labels; ++a)
+    for (StateId b = 0; b < num_labels; ++b)
+      if (!labels.is_illegal_transition(space.state_tag_[a], space.state_tag_[b]))
         space.transitions_.push_back({a, b});
   space.finalize();
   return space;
 }
 
-StateSpace StateSpace::order2() {
+StateSpace StateSpace::order2(const text::LabelSet& labels) {
   StateSpace space;
   space.order_ = 2;
-  // State (prev, cur) = prev * 3 + cur; only BIO-legal pairs are reachable
-  // but we materialize all 9 for simple indexing.
-  space.state_tag_.resize(kNumTags * kNumTags);
-  for (std::size_t prev = 0; prev < kNumTags; ++prev)
-    for (std::size_t cur = 0; cur < kNumTags; ++cur)
-      space.state_tag_[prev * kNumTags + cur] = text::tag_from_index(cur);
+  space.labels_ = labels;
+  const std::size_t num_labels = labels.num_labels();
+  // State (prev, cur) = prev * L + cur; only BIO-legal pairs are reachable
+  // but we materialize all L^2 for simple indexing.
+  space.state_tag_.resize(num_labels * num_labels);
+  for (std::size_t prev = 0; prev < num_labels; ++prev)
+    for (std::size_t cur = 0; cur < num_labels; ++cur)
+      space.state_tag_[prev * num_labels + cur] = static_cast<Tag>(cur);
 
   // Start states behave as (O, t): the virtual pre-sentence tag is O, so
-  // the first real tag may be B or O.
-  const auto state_of = [](std::size_t prev, std::size_t cur) {
-    return static_cast<StateId>(prev * kNumTags + cur);
+  // the first real tag may be any B or O.
+  const auto state_of = [num_labels](std::size_t prev, std::size_t cur) {
+    return static_cast<StateId>(prev * num_labels + cur);
   };
-  const auto o = text::tag_index(Tag::kO);
-  space.starts_.push_back(state_of(o, text::tag_index(Tag::kB)));
-  space.starts_.push_back(state_of(o, o));
+  const std::size_t o = labels.outside_index();
+  for (std::size_t t = 0; t < num_labels; ++t)
+    if (labels.is_legal_start(static_cast<Tag>(t)))
+      space.starts_.push_back(state_of(o, t));
 
-  for (std::size_t a = 0; a < kNumTags; ++a) {
-    for (std::size_t b = 0; b < kNumTags; ++b) {
-      if (!bio_legal(text::tag_from_index(a), text::tag_from_index(b))) continue;
-      for (std::size_t c = 0; c < kNumTags; ++c) {
-        if (!bio_legal(text::tag_from_index(b), text::tag_from_index(c))) continue;
+  const auto legal = [&](std::size_t a, std::size_t b) {
+    return !labels.is_illegal_transition(static_cast<Tag>(a),
+                                         static_cast<Tag>(b));
+  };
+  for (std::size_t a = 0; a < num_labels; ++a) {
+    for (std::size_t b = 0; b < num_labels; ++b) {
+      if (!legal(a, b)) continue;
+      for (std::size_t c = 0; c < num_labels; ++c) {
+        if (!legal(b, c)) continue;
         space.transitions_.push_back({state_of(a, b), state_of(b, c)});
       }
     }
@@ -89,6 +91,7 @@ void StateSpace::finalize() {
 }
 
 std::vector<StateId> StateSpace::encode(const std::vector<Tag>& tags) const {
+  const std::size_t num_labels = labels_.num_labels();
   std::vector<StateId> states(tags.size());
   if (order_ == 1) {
     for (std::size_t i = 0; i < tags.size(); ++i)
@@ -96,10 +99,10 @@ std::vector<StateId> StateSpace::encode(const std::vector<Tag>& tags) const {
     return states;
   }
   // Order 2: previous tag for position 0 is the virtual O.
-  std::size_t prev = text::tag_index(Tag::kO);
+  std::size_t prev = labels_.outside_index();
   for (std::size_t i = 0; i < tags.size(); ++i) {
     const std::size_t cur = text::tag_index(tags[i]);
-    states[i] = static_cast<StateId>(prev * kNumTags + cur);
+    states[i] = static_cast<StateId>(prev * num_labels + cur);
     prev = cur;
   }
   return states;

@@ -1,11 +1,12 @@
 // State space abstraction: one linear-chain CRF implementation serves both
-// CRF orders used in the paper.
+// CRF orders used in the paper, over any BIO label set.
 //
-// Order 1: states are the tags themselves (3 states).
-// Order 2: states are (previous tag, tag) pairs (9 states); a transition
-// (a,b) -> (c,d) is legal iff b == c, so the chain over pair-states encodes
-// a second-order dependency while the inference code stays first-order.
-// Both spaces also bake in the BIO constraint (no I directly after O).
+// Order 1: states are the labels themselves (L states; 3 for the legacy
+// single-type set). Order 2: states are (previous label, label) pairs (L^2
+// states); a transition (a,b) -> (c,d) is legal iff b == c, so the chain
+// over pair-states encodes a second-order dependency while the inference
+// code stays first-order. Both spaces also bake in the multi-class BIO
+// constraint (I_t only after B_t or I_t, no initial I).
 //
 // The legal transition structure is exposed as two CSR tables built once in
 // finalize(): for each state, a contiguous run of (neighbour state,
@@ -18,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "src/text/label_set.hpp"
 #include "src/text/tag.hpp"
 
 namespace graphner::crf {
@@ -38,12 +40,27 @@ struct CsrEdge {
 
 class StateSpace {
  public:
-  [[nodiscard]] static StateSpace order1();
-  [[nodiscard]] static StateSpace order2();
+  /// Legacy single-type spaces (label set {B, I, O}).
+  [[nodiscard]] static StateSpace order1() {
+    return order1(text::LabelSet::single());
+  }
+  [[nodiscard]] static StateSpace order2() {
+    return order2(text::LabelSet::single());
+  }
+  /// The same spaces over an arbitrary BIO label set. For the single-type
+  /// set these are bit-identical to the legacy factories (state id ==
+  /// label id at order 1, state = prev * 3 + cur at order 2).
+  [[nodiscard]] static StateSpace order1(const text::LabelSet& labels);
+  [[nodiscard]] static StateSpace order2(const text::LabelSet& labels);
 
   [[nodiscard]] std::size_t num_states() const noexcept { return state_tag_.size(); }
   [[nodiscard]] text::Tag tag_of(StateId state) const { return state_tag_[state]; }
   [[nodiscard]] int order() const noexcept { return order_; }
+  /// The label inventory this space was built over.
+  [[nodiscard]] const text::LabelSet& labels() const noexcept { return labels_; }
+  [[nodiscard]] std::size_t num_labels() const noexcept {
+    return labels_.num_labels();
+  }
 
   /// Legal (from, to) pairs, including the BIO constraint.
   [[nodiscard]] const std::vector<Transition>& transitions() const noexcept {
@@ -91,6 +108,7 @@ class StateSpace {
 
  private:
   int order_ = 1;
+  text::LabelSet labels_;
   std::vector<text::Tag> state_tag_;
   std::vector<Transition> transitions_;
   std::vector<StateId> starts_;

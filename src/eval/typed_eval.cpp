@@ -1,0 +1,49 @@
+#include "src/eval/typed_eval.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/text/bio.hpp"
+
+namespace graphner::eval {
+
+TypedEvalResult evaluate_typed(
+    const std::vector<std::vector<text::Tag>>& predicted,
+    const std::vector<std::vector<text::Tag>>& gold,
+    const text::LabelSet& labels) {
+  if (predicted.size() != gold.size())
+    throw std::invalid_argument(
+        "evaluate_typed: predicted/gold sentence counts differ");
+
+  TypedEvalResult result;
+  result.per_type.resize(std::max<std::size_t>(labels.num_types(), 1));
+
+  for (std::size_t s = 0; s < predicted.size(); ++s) {
+    auto pred_spans = text::decode_typed_bio(predicted[s], labels);
+    auto gold_spans = text::decode_typed_bio(gold[s], labels);
+    std::sort(pred_spans.begin(), pred_spans.end());
+    std::sort(gold_spans.begin(), gold_spans.end());
+
+    // Exact typed match: both sides sorted, each gold span credited once.
+    std::size_t g = 0;
+    for (const auto& p : pred_spans) {
+      while (g < gold_spans.size() && gold_spans[g] < p) {
+        result.per_type[gold_spans[g].type].false_negatives++;
+        ++g;
+      }
+      if (g < gold_spans.size() && gold_spans[g] == p) {
+        result.per_type[p.type].true_positives++;
+        ++g;
+      } else {
+        result.per_type[p.type].false_positives++;
+      }
+    }
+    for (; g < gold_spans.size(); ++g)
+      result.per_type[gold_spans[g].type].false_negatives++;
+  }
+
+  for (const auto& m : result.per_type) result.overall += m;
+  return result;
+}
+
+}  // namespace graphner::eval

@@ -1,0 +1,33 @@
+// Multi-entity (typed-span) evaluation.
+//
+// The JNLPBA protocol scores exact typed-span matches: a predicted mention
+// is a true positive iff a gold mention with the same token boundaries AND
+// the same entity type exists in the same sentence. Per-type counters give
+// the usual per-entity P/R/F breakdown plus the micro-averaged overall row
+// (the shared task's headline number).
+#pragma once
+
+#include <vector>
+
+#include "src/eval/metrics.hpp"
+#include "src/text/label_set.hpp"
+#include "src/text/tag.hpp"
+
+namespace graphner::eval {
+
+struct TypedEvalResult {
+  Metrics overall;                 ///< micro-average over all types
+  std::vector<Metrics> per_type;   ///< indexed by entity-type id
+};
+
+/// Evaluate predicted tag sequences against gold tag sequences (parallel
+/// vectors, one entry per sentence) by decoding both through `labels` and
+/// matching typed spans exactly. Throws std::invalid_argument on a
+/// sentence-count mismatch; a length mismatch within a sentence scores
+/// whatever spans each side decodes to (no crash).
+[[nodiscard]] TypedEvalResult evaluate_typed(
+    const std::vector<std::vector<text::Tag>>& predicted,
+    const std::vector<std::vector<text::Tag>>& gold,
+    const text::LabelSet& labels);
+
+}  // namespace graphner::eval

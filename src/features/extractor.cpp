@@ -3,6 +3,8 @@
 #include <array>
 #include <cassert>
 
+#include "src/features/gazetteer.hpp"
+
 #include "src/text/lemmatizer.hpp"
 #include "src/util/strings.hpp"
 
@@ -165,6 +167,8 @@ void FeatureExtractor::extract_into(const text::Sentence& sentence,
   while (out.size() < sentence.size()) out.emplace_back();
   for (std::size_t i = 0; i < sentence.size(); ++i)
     extract_at_into(sentence, i, out[i]);
+
+  if (config_.gazetteer != nullptr) config_.gazetteer->annotate(sentence, out);
 
   if (config_.pos_tagger != nullptr && sentence.size() > 0) {
     const auto pos = config_.pos_tagger->tag(sentence.tokens);

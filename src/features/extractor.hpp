@@ -19,6 +19,8 @@
 
 namespace graphner::features {
 
+class Gazetteer;
+
 struct FeatureConfig {
   bool token_identity = true;
   bool lemmas = true;
@@ -38,6 +40,10 @@ struct FeatureConfig {
   /// features are produced by the whole-sentence extract() path, which
   /// tags each sentence once; extract_at() alone does not include them.
   const postag::HmmPosTagger* pos_tagger = nullptr;
+  /// Optional terminology bank (Lerner et al.-style). Gazetteer matches
+  /// are phrase-level, so like POS they come from the whole-sentence
+  /// extract() path only; extract_at() alone does not include them.
+  const Gazetteer* gazetteer = nullptr;
 };
 
 /// Per-position string features ("W=tumor", "SUF2=or", ...).

@@ -1,5 +1,7 @@
 #include "src/features/mi_selection.hpp"
 
+#include "src/text/label_set.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <unordered_map>
@@ -9,8 +11,8 @@ namespace graphner::features {
 std::vector<MiScore> feature_mutual_information(
     const std::vector<text::Sentence>& labelled, const FeatureExtractor& extractor) {
   // Joint counts: feature -> per-tag occurrence counts; plus tag marginals.
-  std::unordered_map<std::string, std::array<std::uint64_t, text::kNumTags>> joint;
-  std::array<std::uint64_t, text::kNumTags> tag_counts{};
+  std::unordered_map<std::string, std::array<std::uint64_t, text::kMaxLabels>> joint;
+  std::array<std::uint64_t, text::kMaxLabels> tag_counts{};
   std::uint64_t total = 0;
 
   for (const auto& sentence : labelled) {
@@ -33,7 +35,7 @@ std::vector<MiScore> feature_mutual_information(
     for (const auto c : counts) feature_total += c;
     const double pf = static_cast<double>(feature_total) / n;
     double mi = 0.0;
-    for (std::size_t t = 0; t < text::kNumTags; ++t) {
+    for (std::size_t t = 0; t < text::kMaxLabels; ++t) {
       const double pt = static_cast<double>(tag_counts[t]) / n;
       if (pt <= 0.0) continue;
       // Present-feature cell.

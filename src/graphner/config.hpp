@@ -8,6 +8,7 @@
 #include "src/graph/knn_graph.hpp"
 #include "src/graph/vertex_features.hpp"
 #include "src/propagation/propagation.hpp"
+#include "src/text/label_set.hpp"
 
 namespace graphner::core {
 
@@ -24,6 +25,18 @@ enum class CrfProfile {
 struct GraphNerConfig {
   CrfProfile profile = CrfProfile::kBanner;
   int crf_order = 2;  ///< 1 or 2; the paper reports with order 2
+
+  /// The BIO label inventory the model trains and decodes over. Default is
+  /// the paper's single-type {B, I, O} gene set; a multi-entity set (e.g.
+  /// the JNLPBA-style 5-type profile) widens every distribution, the CRF
+  /// state space and the wire tag names.
+  text::LabelSet labels{};
+
+  /// Harvest a per-entity-type terminology bank from the labelled training
+  /// mentions and feed gazetteer membership features to the CRF (Lerner et
+  /// al.-style terminology augmentation). The bank is serialized with the
+  /// model so a loaded model extracts identical features.
+  bool gazetteer_features = false;
 
   crf::TrainOptions train{};
 

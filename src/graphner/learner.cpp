@@ -15,7 +15,6 @@
 namespace graphner::core {
 
 using propagation::LabelDistribution;
-using text::kNumTags;
 
 namespace {
 
@@ -45,6 +44,7 @@ LearnStats OnlineLearner::learn(const std::vector<text::Sentence>& batch) {
 
   obs::ScopedSpan span("learn.batch");
   span.attr("sentences", static_cast<std::uint64_t>(batch.size()));
+  const std::size_t L = base_->labels().num_labels();
   const std::size_t n_before = trigrams_.size();
 
   // Pass over the batch: register trigram types, accumulate cooccurrence
@@ -67,7 +67,7 @@ LearnStats OnlineLearner::learn(const std::vector<text::Sentence>& batch) {
       const graph::VertexId v = slot->second;
       if (inserted) {
         trigrams_.push_back(trigram);
-        posterior_sum_.emplace_back();
+        posterior_sum_.emplace_back(L);
         occurrences_.push_back(0.0);
         new_vf.emplace_back();
       } else if (v < n_before) {
@@ -82,7 +82,7 @@ LearnStats OnlineLearner::learn(const std::vector<text::Sentence>& batch) {
         ++total_feature_instances_;
         if (v >= n_before) ++new_vf[v - n_before][fit->second];
       }
-      for (std::size_t y = 0; y < kNumTags; ++y)
+      for (std::size_t y = 0; y < L; ++y)
         posterior_sum_[v][y] += posterior.tag_marginals[i][y];
       occurrences_[v] += 1.0;
     }
@@ -118,16 +118,17 @@ LearnStats OnlineLearner::learn(const std::vector<text::Sentence>& batch) {
   // Extend the propagation state. Every vertex is anchored (see header):
   // X_ref where the labelled data saw the trigram, the running posterior
   // average elsewhere.
-  x_.resize(trigrams_.size());
-  x_reference_.resize(trigrams_.size());
+  x_.resize(trigrams_.size(), LabelDistribution(L));
+  x_reference_.resize(trigrams_.size(), LabelDistribution(L));
   is_labelled_.resize(trigrams_.size(), true);
   hand_labelled_.resize(trigrams_.size(), false);
   for (std::size_t v = n_before; v < trigrams_.size(); ++v) {
-    if (const auto* ref = base_->reference().find(trigrams_[v])) {
+    const auto* ref = base_->reference().find(trigrams_[v]);
+    if (ref != nullptr && ref->size() == L) {
       x_reference_[v] = *ref;
       hand_labelled_[v] = true;
     } else {
-      for (std::size_t y = 0; y < kNumTags; ++y)
+      for (std::size_t y = 0; y < L; ++y)
         x_reference_[v][y] = posterior_sum_[v][y] / occurrences_[v];
     }
     x_[v] = x_reference_[v];  // warm start at the anchor
@@ -142,9 +143,9 @@ LearnStats OnlineLearner::learn(const std::vector<text::Sentence>& batch) {
   std::vector<graph::VertexId> seeds;
   for (const graph::VertexId v : touched_existing) {
     if (hand_labelled_[v]) continue;
-    LabelDistribution anchor{};
+    LabelDistribution anchor(L);
     double drift = 0.0;
-    for (std::size_t y = 0; y < kNumTags; ++y) {
+    for (std::size_t y = 0; y < L; ++y) {
       anchor[y] = posterior_sum_[v][y] / occurrences_[v];
       drift = std::max(drift, std::abs(anchor[y] - x_reference_[v][y]));
     }
@@ -231,12 +232,15 @@ void OnlineLearner::save(std::ostream& out) const {
   for (std::size_t f = 0; f < names.size(); ++f)
     out << *names[f] << '\x1f' << feature_counts_[f] << '\n';
 
+  // Column count per vertex follows the base model's label inventory; the
+  // loader re-derives it from the (fingerprint-checked) base model.
+  const std::size_t L = base_->labels().num_labels();
   out << "state " << trigrams_.size() << '\n';
   for (std::size_t v = 0; v < trigrams_.size(); ++v) {
     out << (hand_labelled_[v] ? 1 : 0) << ' ' << occurrences_[v];
-    for (std::size_t y = 0; y < kNumTags; ++y) out << ' ' << posterior_sum_[v][y];
-    for (std::size_t y = 0; y < kNumTags; ++y) out << ' ' << x_[v][y];
-    for (std::size_t y = 0; y < kNumTags; ++y) out << ' ' << x_reference_[v][y];
+    for (std::size_t y = 0; y < L; ++y) out << ' ' << posterior_sum_[v][y];
+    for (std::size_t y = 0; y < L; ++y) out << ' ' << x_[v][y];
+    for (std::size_t y = 0; y < L; ++y) out << ' ' << x_reference_[v][y];
     out << '\n';
   }
 
@@ -310,20 +314,21 @@ OnlineLearner OnlineLearner::load(std::istream& in,
   std::size_t n_state = 0;
   if (!(in >> word >> n_state) || word != "state" || n_state != n)
     throw std::runtime_error("learner snapshot: malformed state header");
-  learner.posterior_sum_.resize(n);
+  const std::size_t L = learner.base_->labels().num_labels();
+  learner.posterior_sum_.assign(n, LabelDistribution(L));
   learner.occurrences_.resize(n);
-  learner.x_.resize(n);
-  learner.x_reference_.resize(n);
+  learner.x_.assign(n, LabelDistribution(L));
+  learner.x_reference_.assign(n, LabelDistribution(L));
   learner.is_labelled_.assign(n, true);
   learner.hand_labelled_.assign(n, false);
   for (std::size_t v = 0; v < n; ++v) {
     int hand = 0;
     bool ok = static_cast<bool>(in >> hand >> learner.occurrences_[v]);
-    for (std::size_t y = 0; ok && y < kNumTags; ++y)
+    for (std::size_t y = 0; ok && y < L; ++y)
       ok = static_cast<bool>(in >> learner.posterior_sum_[v][y]);
-    for (std::size_t y = 0; ok && y < kNumTags; ++y)
+    for (std::size_t y = 0; ok && y < L; ++y)
       ok = static_cast<bool>(in >> learner.x_[v][y]);
-    for (std::size_t y = 0; ok && y < kNumTags; ++y)
+    for (std::size_t y = 0; ok && y < L; ++y)
       ok = static_cast<bool>(in >> learner.x_reference_[v][y]);
     if (!ok)
       throw std::runtime_error("learner snapshot: malformed state of vertex " +

@@ -18,6 +18,9 @@
 //   | "meta"   payload   |  text metadata: the same sections save() writes,
 //   |                    |  minus the weight table (model_io.cpp save_head)
 //   +--------------------+  aligned
+//   | "labels" payload   |  label count + one wire label name per line,
+//   |                    |  validated via text::label_set_from_names
+//   +--------------------+  aligned
 //   | "weights" payload  |  raw double[count] — mapped, never copied
 //   +--------------------+
 //
@@ -37,7 +40,10 @@ namespace graphner::core::model_format {
 /// First 8 bytes of the file. Distinct from the text format's
 /// "graphner-model" first bytes so load_auto_file can sniff the format.
 inline constexpr char kMagic[8] = {'G', 'N', 'E', 'R', 'M', 'M', 'A', 'P'};
-inline constexpr std::uint32_t kVersion = 1;
+/// v2 adds the mandatory "labels" section (the model's BIO label
+/// inventory, validated through text::label_set_from_names before any
+/// decode structure is built over it).
+inline constexpr std::uint32_t kVersion = 2;
 /// Written as the literal 0x01020304 by the saving machine; reads back
 /// permuted on a machine of the other byte order.
 inline constexpr std::uint32_t kEndianTag = 0x01020304u;
@@ -46,6 +52,7 @@ inline constexpr std::uint32_t kEndianTag = 0x01020304u;
 inline constexpr std::uint64_t kAlign = 64;
 
 inline constexpr std::string_view kSectionMeta = "meta";
+inline constexpr std::string_view kSectionLabels = "labels";
 inline constexpr std::string_view kSectionWeights = "weights";
 
 struct Header {

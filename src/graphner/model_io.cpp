@@ -24,10 +24,12 @@ namespace graphner::core {
 namespace {
 
 constexpr const char* kMagic = "graphner-model";
-// v2 appends an "end" sentinel so truncation after the last section and
-// trailing garbage are both detectable (a v1 reader stopped at whatever the
-// reference table claimed and silently ignored anything that followed).
-constexpr int kVersion = 2;
+// v2 appended an "end" sentinel so truncation after the last section and
+// trailing garbage are both detectable; v3 adds the "labels" block (the
+// model's BIO label inventory, validated through label_set_from_names at
+// load). The constant lives on GraphNerModel so the mmap format's meta
+// section shares it.
+constexpr int kVersion = GraphNerModel::kTextFormatVersion;
 
 void expect_token(std::istream& in, const std::string& expected) {
   std::string token;
@@ -61,6 +63,12 @@ void GraphNerModel::save(std::ostream& out) const {
 void GraphNerModel::save_head(std::ostream& out) const {
   out << "config " << static_cast<int>(config_.profile) << ' ' << config_.crf_order
       << ' ' << config_.alpha << '\n';
+  // The model's BIO label inventory, one wire name per line in canonical
+  // layout order (B_t, I_t pairs, O last). The loader revalidates through
+  // label_set_from_names, so a corrupted table cannot silently build a
+  // wrong-shaped state space.
+  out << "labels " << config_.labels.num_labels() << '\n';
+  for (const auto& name : config_.labels.names()) out << name << '\n';
   out << "propagation " << config_.propagation.mu << ' ' << config_.propagation.nu
       << ' ' << config_.propagation.iterations << '\n';
   out << "knn " << config_.knn.k << ' ' << config_.knn.max_posting_length << ' '
@@ -89,6 +97,9 @@ void GraphNerModel::save_head(std::ostream& out) const {
     for (const auto& [word, cluster] : entries)
       out << word << ' ' << cluster << '\n';
   }
+
+  out << "gazetteer " << (gazetteer_ ? 1 : 0) << '\n';
+  if (gazetteer_) gazetteer_->save(out);
 
   out << "features " << index_->size() << '\n';
   for (crf::FeatureIndex::Id id = 0; id < index_->size(); ++id)
@@ -147,6 +158,28 @@ void GraphNerModel::load_head(std::istream& in, GraphNerModel& model) {
   int profile = 0;
   in >> profile >> model.config_.crf_order >> model.config_.alpha;
   model.config_.profile = static_cast<CrfProfile>(profile);
+  expect_token(in, "labels");
+  std::size_t label_count = 0;
+  if (!(in >> label_count))
+    throw std::runtime_error("model file: missing label count");
+  std::vector<std::string> label_names;
+  label_names.reserve(label_count);
+  for (std::size_t i = 0; i < label_count; ++i) {
+    std::string name;
+    if (!(in >> name))
+      throw std::runtime_error("model file: labels table truncated (promises " +
+                               std::to_string(label_count) + " labels, holds " +
+                               std::to_string(i) + ")");
+    label_names.push_back(std::move(name));
+  }
+  try {
+    model.config_.labels = text::label_set_from_names(label_names);
+  } catch (const std::invalid_argument& e) {
+    // label_set_from_names throws invalid_argument with the distinct
+    // "duplicate label ..." / "label set is not BIO-closed ..." messages;
+    // re-throw in the loader's error type, message preserved.
+    throw std::runtime_error("model file: " + std::string(e.what()));
+  }
   expect_token(in, "propagation");
   in >> model.config_.propagation.mu >> model.config_.propagation.nu >>
       model.config_.propagation.iterations;
@@ -188,12 +221,21 @@ void GraphNerModel::load_head(std::istream& in, GraphNerModel& model) {
     }
   }
 
+  expect_token(in, "gazetteer");
+  int has_gazetteer = 0;
+  in >> has_gazetteer;
+  if (has_gazetteer != 0)
+    model.gazetteer_ = std::make_shared<features::Gazetteer>(
+        features::Gazetteer::load(in));
+  model.config_.gazetteer_features = has_gazetteer != 0;
+
   // Extractor over the restored resources.
   features::FeatureConfig feature_config;
   if (model.config_.profile == CrfProfile::kBannerChemDner) {
     feature_config.brown = model.brown_.get();
     feature_config.embedding_clusters = model.embedding_clusters_.get();
   }
+  feature_config.gazetteer = model.gazetteer_.get();
   model.extractor_ = std::make_shared<features::FeatureExtractor>(feature_config);
 
   expect_token(in, "features");
@@ -207,9 +249,10 @@ void GraphNerModel::load_head(std::istream& in, GraphNerModel& model) {
   }
   model.index_->freeze();
 
-  const crf::StateSpace space = model.config_.crf_order == 2
-                                    ? crf::StateSpace::order2()
-                                    : crf::StateSpace::order1();
+  const crf::StateSpace space =
+      model.config_.crf_order == 2
+          ? crf::StateSpace::order2(model.config_.labels)
+          : crf::StateSpace::order1(model.config_.labels);
   model.crf_ = std::make_shared<crf::LinearChainCrf>(space, model.index_->size());
 }
 

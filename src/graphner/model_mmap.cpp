@@ -127,50 +127,69 @@ void GraphNerModel::save_mmap_file(const std::string& path) const {
   // drift.
   std::ostringstream meta_out;
   meta_out.precision(17);
-  meta_out << "graphner-model 2\n";
+  meta_out << "graphner-model " << kTextFormatVersion << '\n';
   save_head(meta_out);
   meta_out << "reference\n";
   reference_->save(meta_out);
   meta_out << "end\n";
   const std::string meta = meta_out.str();
 
+  // Dedicated "labels" section: the label inventory stands alone so a
+  // reader (or operator with xxd) can learn a model's tag set without
+  // parsing the whole meta text. The loader validates it independently
+  // and cross-checks it against the meta config.
+  std::ostringstream labels_out;
+  labels_out << config_.labels.num_labels() << '\n';
+  for (const auto& name : config_.labels.names()) labels_out << name << '\n';
+  const std::string labels = labels_out.str();
+
   const auto weights = crf_->weights();
   const std::uint64_t weights_bytes = weights.size() * sizeof(double);
 
   const std::uint64_t table_end =
-      sizeof(fmt::Header) + 2 * sizeof(fmt::SectionEntry);
+      sizeof(fmt::Header) + 3 * sizeof(fmt::SectionEntry);
   const std::uint64_t meta_off = fmt::align_up(table_end, fmt::kAlign);
-  const std::uint64_t weights_off =
+  const std::uint64_t labels_off =
       fmt::align_up(meta_off + meta.size(), fmt::kAlign);
+  const std::uint64_t weights_off =
+      fmt::align_up(labels_off + labels.size(), fmt::kAlign);
 
   fmt::Header header{};
   std::memcpy(header.magic, fmt::kMagic, sizeof(header.magic));
   header.version = fmt::kVersion;
   header.endian_tag = fmt::kEndianTag;
-  header.section_count = 2;
-  header.payload_fingerprint =
-      fmt::fnv1a(weights.data(), weights_bytes,
-                 fmt::fnv1a(meta.data(), meta.size()));
+  header.section_count = 3;
+  header.payload_fingerprint = fmt::fnv1a(
+      weights.data(), weights_bytes,
+      fmt::fnv1a(labels.data(), labels.size(),
+                 fmt::fnv1a(meta.data(), meta.size())));
   header.file_size = weights_off + weights_bytes;
 
-  fmt::SectionEntry sections[2] = {};
+  fmt::SectionEntry sections[3] = {};
   std::memcpy(sections[0].name, fmt::kSectionMeta.data(),
               fmt::kSectionMeta.size());
   sections[0].offset = meta_off;
   sections[0].size = meta.size();
   sections[0].align = fmt::kAlign;
-  std::memcpy(sections[1].name, fmt::kSectionWeights.data(),
-              fmt::kSectionWeights.size());
-  sections[1].offset = weights_off;
-  sections[1].size = weights_bytes;
+  std::memcpy(sections[1].name, fmt::kSectionLabels.data(),
+              fmt::kSectionLabels.size());
+  sections[1].offset = labels_off;
+  sections[1].size = labels.size();
   sections[1].align = fmt::kAlign;
+  std::memcpy(sections[2].name, fmt::kSectionWeights.data(),
+              fmt::kSectionWeights.size());
+  sections[2].offset = weights_off;
+  sections[2].size = weights_bytes;
+  sections[2].align = fmt::kAlign;
 
   util::atomic_save(path, [&](std::ostream& out) {
     out.write(reinterpret_cast<const char*>(&header), sizeof(header));
     out.write(reinterpret_cast<const char*>(sections), sizeof(sections));
     write_padding(out, table_end, meta_off);
     out.write(meta.data(), static_cast<std::streamsize>(meta.size()));
-    write_padding(out, meta_off + meta.size(), weights_off);
+    write_padding(out, meta_off + meta.size(), labels_off);
+    out.write(labels.data(), static_cast<std::streamsize>(labels.size()));
+    write_padding(out, labels_off + labels.size(), weights_off);
     out.write(reinterpret_cast<const char*>(weights.data()),
               static_cast<std::streamsize>(weights_bytes));
   });
@@ -220,6 +239,7 @@ GraphNerModel GraphNerModel::load_mmap_file(const std::string& path) {
               sections.size() * sizeof(fmt::SectionEntry));
 
   const fmt::SectionEntry* meta_section = nullptr;
+  const fmt::SectionEntry* labels_section = nullptr;
   const fmt::SectionEntry* weights_section = nullptr;
   std::uint64_t fingerprint = fmt::kFnvOffsetBasis;
   for (const auto& section : sections) {
@@ -235,12 +255,14 @@ GraphNerModel GraphNerModel::load_mmap_file(const std::string& path) {
                                "' out of bounds");
     fingerprint = fmt::fnv1a(bytes + section.offset, section.size, fingerprint);
     if (name == fmt::kSectionMeta) meta_section = &section;
+    if (name == fmt::kSectionLabels) labels_section = &section;
     if (name == fmt::kSectionWeights) weights_section = &section;
   }
-  if (meta_section == nullptr || weights_section == nullptr)
+  if (meta_section == nullptr || labels_section == nullptr ||
+      weights_section == nullptr)
     throw std::runtime_error(
-        "mmap model file: missing required section (need 'meta' and "
-        "'weights')");
+        "mmap model file: missing required section (need 'meta', 'labels' "
+        "and 'weights')");
   if (fingerprint != header.payload_fingerprint)
     throw std::runtime_error(
         "mmap model file: payload fingerprint mismatch (file corrupted)");
@@ -248,19 +270,51 @@ GraphNerModel GraphNerModel::load_mmap_file(const std::string& path) {
     throw std::runtime_error(
         "mmap model file: weights section size is not a multiple of 8");
 
-  // The payloads are now trusted; parse meta with the text-format parsers.
+  // The payloads are now fingerprint-trusted. Validate the labels section
+  // first: it is what the decode structures will be shaped by, so it gets
+  // its own structural checks before the meta text is even parsed.
+  std::istringstream labels_in(std::string(
+      reinterpret_cast<const char*>(bytes + labels_section->offset),
+      labels_section->size));
+  std::size_t label_count = 0;
+  if (!(labels_in >> label_count))
+    throw std::runtime_error("mmap model file: labels section missing count");
+  std::vector<std::string> label_names;
+  label_names.reserve(label_count);
+  for (std::size_t i = 0; i < label_count; ++i) {
+    std::string name;
+    if (!(labels_in >> name))
+      throw std::runtime_error(
+          "mmap model file: labels section truncated (promises " +
+          std::to_string(label_count) + " labels, holds " + std::to_string(i) +
+          ")");
+    label_names.push_back(std::move(name));
+  }
+  text::LabelSet file_labels;
+  try {
+    file_labels = text::label_set_from_names(label_names);
+  } catch (const std::invalid_argument& e) {
+    // Preserve the distinct "duplicate label ..." / "label set is not
+    // BIO-closed ..." messages in the loader's error type.
+    throw std::runtime_error("mmap model file: " + std::string(e.what()));
+  }
+
+  // Parse meta with the text-format parsers.
   std::istringstream meta_in(std::string(
       reinterpret_cast<const char*>(bytes + meta_section->offset),
       meta_section->size));
   expect_meta_token(meta_in, "graphner-model");
   int text_version = 0;
   meta_in >> text_version;
-  if (text_version != 2)
+  if (text_version != kTextFormatVersion)
     throw std::runtime_error("mmap model meta: unsupported text version " +
                              std::to_string(text_version));
 
   GraphNerModel model;
   load_head(meta_in, model);
+  if (!(model.config_.labels == file_labels))
+    throw std::runtime_error(
+        "mmap model file: labels section disagrees with model metadata");
   expect_meta_token(meta_in, "reference");
   model.reference_ = std::make_shared<ReferenceDistributions>(
       ReferenceDistributions::load(meta_in));

@@ -21,18 +21,21 @@ using text::kNumTags;
 
 namespace {
 
-[[nodiscard]] crf::StateSpace make_space(int order) {
-  return order == 2 ? crf::StateSpace::order2() : crf::StateSpace::order1();
+[[nodiscard]] crf::StateSpace make_space(int order, const text::LabelSet& labels) {
+  return order == 2 ? crf::StateSpace::order2(labels)
+                    : crf::StateSpace::order1(labels);
 }
 
 [[nodiscard]] features::FeatureConfig make_feature_config(
     CrfProfile profile, const embeddings::BrownClustering* brown,
-    const embeddings::EmbeddingClusters* clusters) {
+    const embeddings::EmbeddingClusters* clusters,
+    const features::Gazetteer* gazetteer) {
   features::FeatureConfig config;
   if (profile == CrfProfile::kBannerChemDner) {
     config.brown = brown;
     config.embedding_clusters = clusters;
   }
+  config.gazetteer = gazetteer;
   return config;
 }
 
@@ -47,19 +50,20 @@ namespace {
 [[nodiscard]] std::vector<crf::TagTransitionMatrix> clamped_edge_ratios(
     const crf::SentencePosteriors& posterior, std::size_t length) {
   constexpr double kMaxRatio = 5.0;
-  std::vector<crf::TagTransitionMatrix> edge_ratios(length);
+  const std::size_t L =
+      length > 0 ? posterior.tag_marginals[0].size() : std::size_t{kNumTags};
+  std::vector<crf::TagTransitionMatrix> edge_ratios(
+      length, crf::TagTransitionMatrix(L));
   edge_ratios[0].fill(1.0);
   for (std::size_t i = 1; i < length; ++i) {
-    for (std::size_t a = 0; a < kNumTags; ++a) {
-      for (std::size_t b = 0; b < kNumTags; ++b) {
+    for (std::size_t a = 0; a < L; ++a) {
+      for (std::size_t b = 0; b < L; ++b) {
         const double denom =
             posterior.tag_marginals[i - 1][a] * posterior.tag_marginals[i][b];
         const double ratio =
-            denom > 1e-12
-                ? posterior.pairwise_marginals[i][a * kNumTags + b] / denom
-                : 0.0;
-        edge_ratios[i][a * kNumTags + b] =
-            util::clamp(ratio, 1.0 / kMaxRatio, kMaxRatio);
+            denom > 1e-12 ? posterior.pairwise_marginals[i].at(a, b) / denom
+                          : 0.0;
+        edge_ratios[i].at(a, b) = util::clamp(ratio, 1.0 / kMaxRatio, kMaxRatio);
       }
     }
   }
@@ -146,14 +150,20 @@ GraphNerModel GraphNerModel::train(const std::vector<text::Sentence>& labelled,
       });
     }
   }
+  // Terminology bank harvested from the labelled mentions (cheap enough to
+  // rebuild on every run — no checkpoint phase).
+  if (config.gazetteer_features)
+    model.gazetteer_ = std::make_shared<features::Gazetteer>(
+        features::Gazetteer::from_labelled(labelled, config.labels));
   model.extractor_ = std::make_shared<features::FeatureExtractor>(make_feature_config(
-      config.profile, model.brown_.get(), model.embedding_clusters_.get()));
+      config.profile, model.brown_.get(), model.embedding_clusters_.get(),
+      model.gazetteer_.get()));
 
   // CRF_train(D_l)  — Algorithm 1, line 2. The umbrella span covers
   // encode + optimization (and the checkpoint restore/commit around them);
   // its children "train.encode" / "train.crf" carry the phase splits.
   obs::ScopedSpan crf_total_span("train.crf_total");
-  const crf::StateSpace space = make_space(config.crf_order);
+  const crf::StateSpace space = make_space(config.crf_order, config.labels);
   model.index_ = std::make_shared<crf::FeatureIndex>();
   // The encode artifact is the frozen feature-name table in id order.
   // Interning the names restores identical ids; together with the crf
@@ -224,7 +234,7 @@ GraphNerModel GraphNerModel::train(const std::vector<text::Sentence>& labelled,
   {
     obs::ScopedSpan ref_span("train.reference");
     model.reference_ = std::make_shared<ReferenceDistributions>(
-        ReferenceDistributions::build(labelled));
+        ReferenceDistributions::build(labelled, config.labels));
     model.reference_seconds_ = ref_span.close();
   }
   model.training_timings_ = training_timings_from_spans(trace);
@@ -306,21 +316,24 @@ std::vector<text::Tag> GraphNerModel::decode_one_blended(
   // Algorithm 1 line 8 with X_ref in place of the propagated distributions:
   // positions whose 3-gram was seen labelled get the corpus-level anchor,
   // the rest keep the pure CRF posterior.
-  std::vector<std::array<double, kNumTags>> beliefs(length);
+  const std::size_t L = config_.labels.num_labels();
+  std::vector<text::LabelDist> beliefs(length, text::LabelDist(L));
   for (std::size_t i = 0; i < length; ++i) {
     const auto trigram = graph::trigram_at(sentence, i);
     // Hand-labelled reference first; the online-learned (propagated) table
     // only fills trigrams the labelled data never anchored.
     const auto* ref = reference_->find(trigram);
     if (!ref && learned_) ref = learned_->find(trigram);
-    for (std::size_t y = 0; y < kNumTags; ++y) {
-      beliefs[i][y] = ref ? config_.alpha * posterior.tag_marginals[i][y] +
-                                (1.0 - config_.alpha) * (*ref)[y]
-                          : posterior.tag_marginals[i][y];
+    const bool usable = ref != nullptr && ref->size() == L;
+    for (std::size_t y = 0; y < L; ++y) {
+      beliefs[i][y] = usable ? config_.alpha * posterior.tag_marginals[i][y] +
+                                   (1.0 - config_.alpha) * (*ref)[y]
+                             : posterior.tag_marginals[i][y];
     }
     util::normalize_inplace(beliefs[i]);
   }
-  return crf::belief_viterbi(beliefs, clamped_edge_ratios(posterior, length));
+  return crf::belief_viterbi(beliefs, clamped_edge_ratios(posterior, length),
+                             config_.labels);
 }
 
 crf::SentencePosteriors GraphNerModel::posteriors_one(
@@ -337,6 +350,7 @@ GraphNerModel GraphNerModel::fork_with_learned(
   fork.config_ = config_;
   fork.brown_ = brown_;
   fork.embedding_clusters_ = embedding_clusters_;
+  fork.gazetteer_ = gazetteer_;
   fork.extractor_ = extractor_;
   fork.index_ = index_;
   fork.crf_ = crf_;
@@ -381,13 +395,16 @@ GraphNerModel::TestContext GraphNerModel::prepare(
   context.posteriors.resize(all.size());
   context.baseline_tags.assign(test.size(), {});
 
+  const std::size_t L = config_.labels.num_labels();
   struct InferenceAcc {
     crf::TagTransitionMatrix counts{};
     crf::LinearChainCrf::Scratch scratch;    // per-worker reusable lattice
     features::EncodeScratch encode;          // per-worker encode buffers
   };
+  InferenceAcc init;
+  init.counts = crf::TagTransitionMatrix(L);
   const InferenceAcc acc = util::parallel_reduce(
-      std::size_t{0}, all.size(), InferenceAcc{},
+      std::size_t{0}, all.size(), std::move(init),
       [&](InferenceAcc& local, std::size_t i) {
         if (all[i]->size() == 0) return;
         const crf::EncodedSentence& encoded = features::encode_for_inference(
@@ -422,12 +439,12 @@ GraphNerModel::TestContext GraphNerModel::prepare(
 
   // ---- Line 6: X <- Average(P_s, V).
   const std::size_t num_vertices = context.vertices.vertex_count();
-  context.x_initial.assign(num_vertices, LabelDistribution{});
+  context.x_initial.assign(num_vertices, LabelDistribution(L));
   std::vector<double> occurrence_count(num_vertices, 0.0);
   for (std::size_t s = 0; s < all.size(); ++s) {
     for (std::size_t i = 0; i < all[s]->size(); ++i) {
       const graph::VertexId v = context.vertices.positions[s][i];
-      for (std::size_t y = 0; y < kNumTags; ++y)
+      for (std::size_t y = 0; y < L; ++y)
         context.x_initial[v][y] += context.posteriors[s].tag_marginals[i][y];
       occurrence_count[v] += 1.0;
     }
@@ -436,20 +453,21 @@ GraphNerModel::TestContext GraphNerModel::prepare(
     if (occurrence_count[v] > 0.0)
       for (auto& p : context.x_initial[v]) p /= occurrence_count[v];
     else
-      context.x_initial[v] = propagation::uniform_distribution();
+      context.x_initial[v] = propagation::uniform_distribution(L);
   }
 
   // Reference distributions aligned with the vertex set (V_l membership).
-  context.x_reference.assign(num_vertices, LabelDistribution{});
+  context.x_reference.assign(num_vertices, LabelDistribution(L));
   context.is_labelled.assign(num_vertices, false);
   for (std::size_t v = 0; v < num_vertices; ++v) {
-    if (const auto* ref = reference_->find(context.vertices.trigrams[v])) {
+    const auto* ref = reference_->find(context.vertices.trigrams[v]);
+    if (ref && ref->size() == L) {
       context.x_reference[v] = *ref;
       context.is_labelled[v] = true;
-      const double positive = (*ref)[text::tag_index(text::Tag::kB)] +
-                              (*ref)[text::tag_index(text::Tag::kI)];
-      if (positive > (*ref)[text::tag_index(text::Tag::kO)])
-        ++context.positive_vertices;
+      // O is the last label; everything before it is positive mass.
+      double positive = 0.0;
+      for (std::size_t y = 0; y + 1 < L; ++y) positive += (*ref)[y];
+      if (positive > (*ref)[L - 1]) ++context.positive_vertices;
     }
   }
   return context;
@@ -478,17 +496,18 @@ GraphNerModel::TestResult GraphNerModel::finish(
     if (length == 0) return;
     const std::size_t s = context.labelled_sentence_count + t;
     const crf::SentencePosteriors& posterior = context.posteriors[s];
-    std::vector<std::array<double, kNumTags>> beliefs(length);
+    const std::size_t L = config_.labels.num_labels();
+    std::vector<text::LabelDist> beliefs(length, text::LabelDist(L));
     for (std::size_t i = 0; i < length; ++i) {
       const graph::VertexId v = context.vertices.positions[s][i];
-      for (std::size_t y = 0; y < kNumTags; ++y) {
+      for (std::size_t y = 0; y < L; ++y) {
         beliefs[i][y] = alpha * posterior.tag_marginals[i][y] +
                         (1.0 - alpha) * propagated.distributions[v][y];
       }
       util::normalize_inplace(beliefs[i]);
     }
-    result.graphner_tags[t] =
-        crf::belief_viterbi(beliefs, clamped_edge_ratios(posterior, length));
+    result.graphner_tags[t] = crf::belief_viterbi(
+        beliefs, clamped_edge_ratios(posterior, length), config_.labels);
   });
   result.timings.combine_decode_seconds = combine_span.close();
 

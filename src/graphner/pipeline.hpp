@@ -25,6 +25,7 @@
 #include "src/embeddings/word2vec.hpp"
 #include "src/features/encoder.hpp"
 #include "src/features/extractor.hpp"
+#include "src/features/gazetteer.hpp"
 #include "src/graph/graph_stats.hpp"
 #include "src/graph/trigram.hpp"
 #include "src/graphner/config.hpp"
@@ -215,6 +216,11 @@ class GraphNerModel {
   }
 
   [[nodiscard]] const GraphNerConfig& config() const noexcept { return config_; }
+  /// The BIO label inventory this model decodes over (wire tag names, state
+  /// space width, distribution sizes all derive from it).
+  [[nodiscard]] const text::LabelSet& labels() const noexcept {
+    return config_.labels;
+  }
   [[nodiscard]] const ReferenceDistributions& reference() const noexcept {
     return *reference_;
   }
@@ -223,12 +229,21 @@ class GraphNerModel {
   [[nodiscard]] const features::FeatureExtractor& extractor() const noexcept {
     return *extractor_;
   }
+  /// The terminology bank (nullptr unless gazetteer_features was set).
+  [[nodiscard]] const features::Gazetteer* gazetteer() const noexcept {
+    return gazetteer_.get();
+  }
   [[nodiscard]] double train_seconds() const noexcept { return train_seconds_; }
   /// Per-phase TRAIN wall-clock (zeroed on a load()ed model).
   [[nodiscard]] const TrainingTimings& training_timings() const noexcept {
     return training_timings_;
   }
   [[nodiscard]] std::size_t feature_count() const noexcept { return index_->size(); }
+
+  /// Text model format version. v3 adds the "labels" block (the model's
+  /// BIO label inventory) right after the config line; the same version
+  /// number gates the mmap format's meta section.
+  static constexpr int kTextFormatVersion = 3;
 
   /// Persist a trained model (text format) / restore it. A loaded model
   /// tags and runs Algorithm 1 exactly like the one that was saved. The
@@ -303,6 +318,7 @@ class GraphNerModel {
   // with its base instead of copying them per learn batch.
   std::shared_ptr<embeddings::BrownClustering> brown_;
   std::shared_ptr<embeddings::EmbeddingClusters> embedding_clusters_;
+  std::shared_ptr<features::Gazetteer> gazetteer_;
   std::shared_ptr<features::FeatureExtractor> extractor_;
   std::shared_ptr<crf::FeatureIndex> index_;
   std::shared_ptr<crf::LinearChainCrf> crf_;

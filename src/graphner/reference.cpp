@@ -16,14 +16,17 @@ std::string ReferenceDistributions::key_of(const std::array<std::string, 3>& tri
 }
 
 ReferenceDistributions ReferenceDistributions::build(
-    const std::vector<text::Sentence>& labelled) {
+    const std::vector<text::Sentence>& labelled, const text::LabelSet& labels) {
   ReferenceDistributions out;
+  const std::size_t L = labels.num_labels();
   std::unordered_map<std::string, std::size_t> occurrences;
   for (const auto& sentence : labelled) {
     assert(sentence.has_tags());
     for (std::size_t i = 0; i < sentence.size(); ++i) {
       const std::string key = key_of(graph::trigram_at(sentence, i));
-      auto& dist = out.table_[key];
+      auto& dist =
+          out.table_.try_emplace(key, propagation::LabelDistribution(L))
+              .first->second;
       dist[text::tag_index(sentence.tags[i])] += 1.0;
       ++occurrences[key];
     }
@@ -58,7 +61,10 @@ void ReferenceDistributions::save(std::ostream& out) const {
     std::string printable = *key;
     for (char& c : printable)
       if (c == '\x1f') c = '\t';
-    out << printable << '\t' << dist[0] << ' ' << dist[1] << ' ' << dist[2] << '\n';
+    out << printable << '\t';
+    for (std::size_t y = 0; y < dist.size(); ++y)
+      out << (y == 0 ? "" : " ") << dist[y];
+    out << '\n';
   }
 }
 
@@ -79,9 +85,14 @@ ReferenceDistributions ReferenceDistributions::load(std::istream& in) {
       start = tab + 1;
     }
     fields[3] = line.substr(start);
-    propagation::LabelDistribution dist{};
+    // Read however many columns the line carries (3 for legacy single-type
+    // files, 2T+1 for multi-entity label sets).
+    propagation::LabelDistribution dist(text::kMaxLabels);
     std::istringstream nums(fields[3]);
-    nums >> dist[0] >> dist[1] >> dist[2];
+    std::size_t count = 0;
+    double v = 0.0;
+    while (count < text::kMaxLabels && (nums >> v)) dist[count++] = v;
+    dist.resize(count);
     result.table_[fields[0] + '\x1f' + fields[1] + '\x1f' + fields[2]] = dist;
   }
   return result;
@@ -116,9 +127,11 @@ double ReferenceDistributions::positive_fraction() const {
   if (table_.empty()) return 0.0;
   std::size_t positive = 0;
   for (const auto& [key, dist] : table_) {
-    const double pos = dist[text::tag_index(text::Tag::kB)] +
-                       dist[text::tag_index(text::Tag::kI)];
-    if (pos > dist[text::tag_index(text::Tag::kO)]) ++positive;
+    // O is the last label in the canonical layout; everything before it is
+    // some flavour of B/I mass.
+    double pos = 0.0;
+    for (std::size_t y = 0; y + 1 < dist.size(); ++y) pos += dist[y];
+    if (pos > dist[dist.size() - 1]) ++positive;
   }
   return static_cast<double>(positive) / static_cast<double>(table_.size());
 }

@@ -14,14 +14,18 @@
 #include <vector>
 
 #include "src/propagation/propagation.hpp"
+#include "src/text/label_set.hpp"
 #include "src/text/sentence.hpp"
 
 namespace graphner::core {
 
 class ReferenceDistributions {
  public:
-  /// Build from labelled sentences (tags required).
-  static ReferenceDistributions build(const std::vector<text::Sentence>& labelled);
+  /// Build from labelled sentences (tags required). Distributions carry one
+  /// column per label of `labels` (3 for the legacy single-type set).
+  static ReferenceDistributions build(
+      const std::vector<text::Sentence>& labelled,
+      const text::LabelSet& labels = text::LabelSet::single());
 
   /// X_ref for a trigram key; nullptr when the trigram is not in V_l.
   [[nodiscard]] const propagation::LabelDistribution* find(
@@ -41,8 +45,8 @@ class ReferenceDistributions {
   /// base (and from each other) by the decode cache.
   [[nodiscard]] std::uint64_t content_hash() const;
 
-  /// Fraction of entries whose B+I mass exceeds the O mass ("positively
-  /// labelled vertices", §III-D).
+  /// Fraction of entries whose non-O mass exceeds the O mass ("positively
+  /// labelled vertices", §III-D; O is always the last label).
   [[nodiscard]] double positive_fraction() const;
 
   /// Text serialization. Trigram keys are written tab-separated so the

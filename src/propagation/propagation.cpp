@@ -20,7 +20,8 @@ double propagation_loss(const graph::KnnGraph& graph,
                         const PropagationConfig& config) {
   const std::size_t n = x.size();
   assert(reference.size() == n && is_labelled.size() == n);
-  const LabelDistribution u = uniform_distribution();
+  const std::size_t L = n > 0 ? x[0].size() : kNumTags;
+  const LabelDistribution u = uniform_distribution(L);
 
   // Each term only reads x, so the sum splits cleanly across workers.
   struct Terms {
@@ -32,18 +33,18 @@ double propagation_loss(const graph::KnnGraph& graph,
       std::size_t{0}, n, Terms{},
       [&](Terms& acc, std::size_t v) {
         if (is_labelled[v]) {
-          for (std::size_t y = 0; y < kNumTags; ++y) {
+          for (std::size_t y = 0; y < L; ++y) {
             const double d = x[v][y] - reference[v][y];
             acc.seed += d * d;
           }
         }
         for (const auto& edge : graph.neighbours(static_cast<graph::VertexId>(v))) {
-          for (std::size_t y = 0; y < kNumTags; ++y) {
+          for (std::size_t y = 0; y < L; ++y) {
             const double d = x[v][y] - x[edge.target][y];
             acc.smooth += edge.weight * d * d;
           }
         }
-        for (std::size_t y = 0; y < kNumTags; ++y) {
+        for (std::size_t y = 0; y < L; ++y) {
           const double d = x[v][y] - u[y];
           acc.prior += d * d;
         }
@@ -65,10 +66,11 @@ PropagationResult propagate(const graph::KnnGraph& graph,
   assert(graph.vertex_count() == n);
   assert(reference.size() == n && is_labelled.size() == n);
 
+  const std::size_t L = n > 0 ? initial[0].size() : kNumTags;
   PropagationResult result;
   result.distributions = initial;
-  std::vector<LabelDistribution> next(n);
-  const double inv_y = 1.0 / static_cast<double>(kNumTags);
+  std::vector<LabelDistribution> next(n, LabelDistribution(L));
+  const double inv_y = 1.0 / static_cast<double>(L);
 
   obs::ScopedSpan span("propagation");
   span.attr("vertices", static_cast<std::uint64_t>(n));
@@ -84,15 +86,15 @@ PropagationResult propagate(const graph::KnnGraph& graph,
     util::parallel_for_chunked(0, n, [&](std::size_t lo, std::size_t hi) {
       for (std::size_t v = lo; v < hi; ++v) {
         const double seed = is_labelled[v] ? 1.0 : 0.0;
-        LabelDistribution gamma{};
+        LabelDistribution gamma(L);
         double weight_sum = 0.0;
         for (const auto& edge : graph.neighbours(static_cast<graph::VertexId>(v))) {
           weight_sum += edge.weight;
-          for (std::size_t y = 0; y < kNumTags; ++y)
+          for (std::size_t y = 0; y < L; ++y)
             gamma[y] += edge.weight * cur[edge.target][y];
         }
         const double kappa = seed + config.nu + config.mu * weight_sum;
-        for (std::size_t y = 0; y < kNumTags; ++y) {
+        for (std::size_t y = 0; y < L; ++y) {
           gamma[y] = seed * reference[v][y] + config.mu * gamma[y] + config.nu * inv_y;
           next[v][y] = kappa > 0.0 ? gamma[y] / kappa : cur[v][y];
         }
@@ -104,7 +106,7 @@ PropagationResult propagate(const graph::KnnGraph& graph,
     // is too expensive to provide every iteration.
     double residual = 0.0;
     for (std::size_t v = 0; v < n; ++v)
-      for (std::size_t y = 0; y < kNumTags; ++y)
+      for (std::size_t y = 0; y < L; ++y)
         residual = std::max(residual,
                             std::abs(next[v][y] - result.distributions[v][y]));
     residual_gauge.set(residual);
@@ -137,7 +139,8 @@ IncrementalPropagationResult propagate_incremental(
   assert(graph.vertex_count() == n);
   assert(in_edges.size() == n);
   assert(reference.size() == n && is_labelled.size() == n);
-  const double inv_y = 1.0 / static_cast<double>(kNumTags);
+  const std::size_t L = n > 0 ? x[0].size() : kNumTags;
+  const double inv_y = 1.0 / static_cast<double>(L);
   const std::size_t max_relaxations =
       config.max_relaxations > 0 ? config.max_relaxations : 200 * n;
 
@@ -154,15 +157,15 @@ IncrementalPropagationResult propagate_incremental(
   // Gauss-Seidel coordinate update (equation 2 against the *current* x).
   const auto relaxed_value = [&](std::size_t v, LabelDistribution& out) {
     const double seed = is_labelled[v] ? 1.0 : 0.0;
-    LabelDistribution gamma{};
+    LabelDistribution gamma(L);
     double weight_sum = 0.0;
     for (const auto& edge : graph.neighbours(static_cast<graph::VertexId>(v))) {
       weight_sum += edge.weight;
-      for (std::size_t y = 0; y < kNumTags; ++y)
+      for (std::size_t y = 0; y < L; ++y)
         gamma[y] += edge.weight * x[edge.target][y];
     }
     const double kappa = seed + config.nu + config.mu * weight_sum;
-    for (std::size_t y = 0; y < kNumTags; ++y) {
+    for (std::size_t y = 0; y < L; ++y) {
       gamma[y] = seed * reference[v][y] + config.mu * gamma[y] + config.nu * inv_y;
       out[y] = kappa > 0.0 ? gamma[y] / kappa : x[v][y];
     }
@@ -178,10 +181,10 @@ IncrementalPropagationResult propagate_incremental(
   std::priority_queue<std::pair<double, graph::VertexId>> heap;
 
   const auto enqueue = [&](graph::VertexId v) {
-    LabelDistribution relaxed{};
+    LabelDistribution relaxed(L);
     relaxed_value(v, relaxed);
     double r = 0.0;
-    for (std::size_t y = 0; y < kNumTags; ++y)
+    for (std::size_t y = 0; y < L; ++y)
       r = std::max(r, std::abs(relaxed[y] - x[v][y]));
     residual[v] = r;
     if (r > config.tolerance) {
@@ -210,7 +213,7 @@ IncrementalPropagationResult propagate_incremental(
     heap.pop();
     if (r != residual[v]) continue;  // stale entry
     if (r <= config.tolerance) continue;
-    LabelDistribution relaxed{};
+    LabelDistribution relaxed(L);
     relaxed_value(v, relaxed);
     x[v] = relaxed;
     residual[v] = 0.0;  // exact coordinate-wise minimizer given current x

@@ -1,6 +1,7 @@
 // Iterative graph propagation (paper §II-A, equations 1 and 2).
 //
-// Label distributions over {B, I, O} live on the 3-gram vertices. The loss
+// Label distributions over the model's label set (legacy {B, I, O}, or any
+// multi-entity BIO inventory) live on the 3-gram vertices. The loss
 //   C(X) =   sum_{u in V_l} ||X(u) - X_ref(u)||^2
 //          + mu * sum_u sum_{k in N(u)} w_uk ||X(u) - X(k)||^2
 //          + nu * sum_u ||X(u) - U||^2
@@ -10,19 +11,23 @@
 // iterate) so sweeps are deterministic and parallelizable.
 #pragma once
 
-#include <array>
 #include <vector>
 
 #include "src/graph/knn_graph.hpp"
+#include "src/text/label_set.hpp"
 #include "src/text/tag.hpp"
 
 namespace graphner::propagation {
 
-using LabelDistribution = std::array<double, text::kNumTags>;
+/// One column per label of the owning model's LabelSet (default size 3,
+/// the legacy {B, I, O} set). All distributions passed into one propagation
+/// call must share a size; the sweeps take the label count from the inputs.
+using LabelDistribution = text::LabelDist;
 
-[[nodiscard]] constexpr LabelDistribution uniform_distribution() noexcept {
-  LabelDistribution u{};
-  u.fill(1.0 / static_cast<double>(text::kNumTags));
+[[nodiscard]] constexpr LabelDistribution uniform_distribution(
+    std::size_t num_labels = text::kNumTags) noexcept {
+  LabelDistribution u(num_labels);
+  u.fill(1.0 / static_cast<double>(num_labels));
   return u;
 }
 

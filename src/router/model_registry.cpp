@@ -1,0 +1,92 @@
+#include "src/router/model_registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "src/serve/protocol.hpp"
+
+namespace graphner::router {
+
+namespace {
+constexpr const char* kDefaultName = "default";
+}  // namespace
+
+TenantMetrics::TenantMetrics(obs::Registry& registry, const std::string& tenant)
+    : requests(registry.counter("tenant." + tenant + ".requests")),
+      cache_hits(registry.counter("tenant." + tenant + ".cache_hits")),
+      cache_misses(registry.counter("tenant." + tenant + ".cache_misses")),
+      deadline_drops(registry.counter("tenant." + tenant + ".deadline_drops")),
+      quota_rejected(registry.counter("tenant." + tenant + ".quota_rejected")) {}
+
+ModelRegistry::ModelRegistry(obs::Registry& registry) : registry_(registry) {
+  tenants_.emplace(
+      kDefaultName,
+      std::make_shared<Tenant>(kDefaultName, /*tenant_is_default=*/true,
+                               registry_));
+}
+
+std::shared_ptr<Tenant> ModelRegistry::resolve(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tenants_.find(name.empty() ? kDefaultName : name);
+  return it == tenants_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<Tenant> ModelRegistry::add(
+    const std::string& name, std::shared_ptr<const core::GraphNerModel> model,
+    std::size_t replicas, const serve::ServiceConfig& service,
+    std::size_t vnodes) {
+  if (!serve::valid_model_name(name))
+    throw std::invalid_argument("model name \"" + name +
+                                "\" is not addressable ([A-Za-z0-9_.-] only)");
+  auto tenant =
+      std::make_shared<Tenant>(name, /*tenant_is_default=*/false, registry_);
+  tenant->model = model;
+  const std::size_t n = std::max<std::size_t>(1, replicas);
+  tenant->replicas.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    tenant->replicas.push_back(
+        std::make_unique<InProcessReplica>(model, service));
+  tenant->ring = std::make_unique<HashRing>(n, vnodes);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = tenants_.emplace(name, tenant);
+  if (!inserted) {
+    // Already resident: tear the speculative pool back down outside the
+    // caller's request path is unnecessary — it never served a request.
+    for (auto& replica : tenant->replicas) replica->stop();
+    throw std::invalid_argument("model \"" + name +
+                                "\" is already resident (use model swap)");
+  }
+  return it->second;
+}
+
+std::shared_ptr<Tenant> ModelRegistry::remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tenants_.find(name);
+  if (it == tenants_.end() || it->second->is_default) return nullptr;
+  std::shared_ptr<Tenant> tenant = it->second;
+  tenants_.erase(it);
+  return tenant;
+}
+
+std::vector<std::shared_ptr<Tenant>> ModelRegistry::list() const {
+  std::vector<std::shared_ptr<Tenant>> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(tenants_.size());
+    for (const auto& [name, tenant] : tenants_) out.push_back(tenant);
+  }
+  // std::map iterates name-sorted already; hoist the default to the front
+  // so "model list" always leads with the alias every bare request uses.
+  std::stable_partition(out.begin(), out.end(),
+                        [](const auto& t) { return t->is_default; });
+  return out;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tenants_.size();
+}
+
+}  // namespace graphner::router

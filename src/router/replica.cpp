@@ -54,9 +54,8 @@ InProcessReplica::InProcessReplica(
 
 InProcessReplica::~InProcessReplica() { stop(); }
 
-ReplicaSubmission InProcessReplica::submit(
-    text::Sentence sentence, std::chrono::milliseconds deadline,
-    std::optional<crf::DecodeOptions> decode) {
+ReplicaSubmission InProcessReplica::submit(text::Sentence sentence,
+                                           serve::SubmitOptions options) {
   std::shared_ptr<serve::TaggingService> service;
   std::uint64_t fingerprint = 0;
   {
@@ -65,11 +64,14 @@ ReplicaSubmission InProcessReplica::submit(
     service = service_;
     fingerprint = model_->fingerprint();
   }
+  // The router already resolved the tenant onto this replica; the inner
+  // service must not second-guess the name against its own default.
+  options.model.clear();
   // Submitted outside the lock: submit() never blocks, but a concurrent
   // kill() may stop the service first — then the future resolves with
   // SHUTDOWN and the router fails over to a sibling.
   ReplicaSubmission out;
-  out.future = service->submit(std::move(sentence), deadline, std::move(decode));
+  out.future = service->submit(std::move(sentence), std::move(options));
   out.fingerprint = fingerprint;
   out.accepted = true;
   return out;
@@ -83,6 +85,13 @@ bool InProcessReplica::healthy() const {
 std::uint64_t InProcessReplica::fingerprint() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return model_ ? model_->fingerprint() : 0;
+}
+
+std::shared_ptr<const text::LabelSet> InProcessReplica::labels() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!labels_ && model_)
+    labels_ = std::make_shared<const text::LabelSet>(model_->labels());
+  return labels_;
 }
 
 void InProcessReplica::retire_service() {
@@ -126,6 +135,7 @@ void InProcessReplica::swap_model(
   std::lock_guard<std::mutex> lock(mutex_);
   model_ = std::move(model);
   service_ = std::move(service);
+  labels_ = nullptr;  // re-materialized from the new model on demand
   healthy_ = true;
 }
 

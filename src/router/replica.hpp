@@ -48,13 +48,20 @@ class ReplicaHandle {
  public:
   virtual ~ReplicaHandle() = default;
 
+  /// `options.model` is already resolved by the router's registry — a
+  /// replica serves exactly one model — and `options.key` carries the
+  /// ingestion-time sentence key, so failover resubmits never re-derive
+  /// it.
   [[nodiscard]] virtual ReplicaSubmission submit(
-      text::Sentence sentence, std::chrono::milliseconds deadline,
-      std::optional<crf::DecodeOptions> decode) = 0;
+      text::Sentence sentence, serve::SubmitOptions options) = 0;
 
   [[nodiscard]] virtual bool healthy() const = 0;
   /// Current model generation (stable while no swap is in flight).
   [[nodiscard]] virtual std::uint64_t fingerprint() const = 0;
+  /// The serving model's label inventory, for responses the router
+  /// fabricates itself (cache hits never touch a service worker).
+  [[nodiscard]] virtual std::shared_ptr<const text::LabelSet> labels()
+      const = 0;
 
   /// Stop serving: drain what is queued, then reject everything until
   /// revive(). Safe to call concurrently with submits.
@@ -80,11 +87,11 @@ class InProcessReplica : public ReplicaHandle {
                    serve::ServiceConfig config);
   ~InProcessReplica() override;
 
-  [[nodiscard]] ReplicaSubmission submit(
-      text::Sentence sentence, std::chrono::milliseconds deadline,
-      std::optional<crf::DecodeOptions> decode) override;
+  [[nodiscard]] ReplicaSubmission submit(text::Sentence sentence,
+                                         serve::SubmitOptions options) override;
   [[nodiscard]] bool healthy() const override;
   [[nodiscard]] std::uint64_t fingerprint() const override;
+  [[nodiscard]] std::shared_ptr<const text::LabelSet> labels() const override;
   void kill() override;
   void revive() override;
   void swap_model(std::shared_ptr<const core::GraphNerModel> model) override;
@@ -103,6 +110,9 @@ class InProcessReplica : public ReplicaHandle {
   /// service while a swap retires it; the drain in stop() resolves every
   /// future before the last reference drops.
   std::shared_ptr<serve::TaggingService> service_;
+  /// Lazily materialized copy of the model's label inventory, shared by
+  /// every cache-hit response; invalidated on swap_model.
+  mutable std::shared_ptr<const text::LabelSet> labels_;
   bool healthy_ = false;
   bool stopped_ = false;
   /// Counters of every retired service, merged by name.

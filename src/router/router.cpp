@@ -39,6 +39,7 @@ namespace {
 Router::Router(std::shared_ptr<const core::GraphNerModel> model,
                RouterConfig config)
     : config_(config),
+      models_(registry_),
       cache_(config.cache, registry_),
       ring_(std::max<std::size_t>(1, config.replicas), config.vnodes),
       requests_(registry_.counter("router.requests")),
@@ -46,6 +47,8 @@ Router::Router(std::shared_ptr<const core::GraphNerModel> model,
       unavailable_(registry_.counter("router.unavailable")),
       swaps_(registry_.counter("router.swaps")),
       cache_misses_(registry_.counter("cache.misses")),
+      unknown_model_(registry_.counter("router.unknown_model")),
+      quota_rejected_(registry_.counter("router.quota_rejected")),
       breakers_(std::max<std::size_t>(1, config.replicas)) {
   const std::size_t n = std::max<std::size_t>(1, config.replicas);
   std::shared_ptr<const core::GraphNerModel> serving = model;
@@ -87,21 +90,50 @@ Router::Router(std::shared_ptr<const core::GraphNerModel> model,
 
 Router::~Router() { stop(); }
 
-std::future<serve::TagResponse> Router::submit(
-    text::Sentence sentence, std::chrono::milliseconds deadline,
-    std::optional<crf::DecodeOptions> decode) {
-  requests_.inc();
-  const std::string skey = serve::sentence_key(sentence.tokens);
-  std::vector<std::size_t> order = ring_.order(skey);
+std::future<serve::TagResponse> Router::submit(text::Sentence sentence,
+                                               serve::SubmitOptions options) {
+  // Admission control runs before the request ledger: an UNKNOWN_MODEL or
+  // QUOTA_EXCEEDED rejection never touches router.requests or the cache
+  // counters, so the conservation laws stay exact over admitted traffic.
+  std::shared_ptr<Tenant> tenant = models_.resolve(options.model);
+  if (!tenant) {
+    unknown_model_.inc();
+    serve::TagResponse response;
+    response.status = serve::Status::kUnknownModel;
+    response.error =
+        "unknown model \"" + options.model + "\" (see #REPLICA model list)";
+    return ready_response(std::move(response));
+  }
+  if (!tenant->quota.try_acquire()) {
+    quota_rejected_.inc();
+    tenant->metrics.quota_rejected.inc();
+    serve::TagResponse response;
+    response.status = serve::Status::kQuotaExceeded;
+    response.error = "tenant \"" + tenant->name + "\" is over quota; back off";
+    return ready_response(std::move(response));
+  }
 
-  std::string base_key = skey;
+  requests_.inc();
+  tenant->metrics.requests.inc();
+  // The sentence key is computed once at protocol ingestion and threaded
+  // through options.key; derive it only for direct API callers.
+  if (options.key.empty())
+    options.key = serve::sentence_key(sentence.tokens);
+  auto& pool = pool_of(*tenant);
+  std::vector<std::size_t> order = ring_of(*tenant).order(options.key);
+
+  // The tenant name joins the cache identity so two tenants can never
+  // observe each other's entries, even under fingerprint collision.
+  std::string base_key = options.key;
   base_key += '\x1e';
-  if (decode) base_key += decode->to_string();
+  if (options.decode) base_key += options.decode->to_string();
+  base_key += '\x1e';
+  base_key += tenant->name;
 
   // Cache lookup under the generation the owner would decode with. Every
-  // request lands in exactly one of cache.{hits,misses} — that is the
-  // conservation law CI checks — so the disabled/unroutable paths count a
-  // miss explicitly instead of skipping the ledger.
+  // admitted request lands in exactly one of cache.{hits,misses} — that is
+  // the conservation law CI checks — so the disabled/unroutable paths
+  // count a miss explicitly instead of skipping the ledger.
   // Open circuit breakers route a replica out exactly like bad health —
   // unless every breaker is open (fail-static; see routable()).
   const bool ignore_breakers = all_breakers_open();
@@ -109,18 +141,21 @@ std::future<serve::TagResponse> Router::submit(
   bool counted = false;
   if (config_.cache_enabled) {
     for (const std::size_t idx : order) {
-      if (!routable(idx, ignore_breakers)) continue;
+      if (!routable_in(*tenant, idx, ignore_breakers)) continue;
       counted = true;
-      if (auto hit = cache_.get(cache_key(base_key, replicas_[idx]->fingerprint()))) {
+      if (auto hit = cache_.get(cache_key(base_key, pool[idx]->fingerprint()))) {
+        tenant->metrics.cache_hits.inc();
         serve::TagResponse response;
         response.tags = std::move(*hit);
         response.coalesced = true;  // served by a previous request's decode
+        response.labels = pool[idx]->labels();
         return ready_response(std::move(response));
       }
       break;
     }
   }
   if (!counted) cache_misses_.inc();
+  tenant->metrics.cache_misses.inc();
 
   // Submit to the owner (first routable on the ring) *now* — pipelining
   // depends on submit never blocking — and defer the wait/failover/cache
@@ -129,8 +164,8 @@ std::future<serve::TagResponse> Router::submit(
   std::size_t used = order.size();
   for (std::size_t i = 0; i < order.size(); ++i) {
     const std::size_t idx = order[i];
-    if (!routable(idx, ignore_breakers)) continue;
-    primary = replicas_[idx]->submit(sentence, deadline, decode);
+    if (!routable_in(*tenant, idx, ignore_breakers)) continue;
+    primary = pool[idx]->submit(sentence, options);
     if (primary.accepted) {
       used = idx;
       break;
@@ -147,20 +182,21 @@ std::future<serve::TagResponse> Router::submit(
   return std::async(
       std::launch::deferred,
       [this, primary = std::move(primary), used, order = std::move(order),
-       sentence = std::move(sentence), deadline, decode = std::move(decode),
-       base_key = std::move(base_key)]() mutable {
+       sentence = std::move(sentence), options = std::move(options),
+       base_key = std::move(base_key), tenant = std::move(tenant)]() mutable {
         return resolve(std::move(primary), used, std::move(order),
-                       std::move(sentence), deadline, std::move(decode),
-                       std::move(base_key));
+                       std::move(sentence), std::move(options),
+                       std::move(base_key), std::move(tenant));
       });
 }
 
 serve::TagResponse Router::resolve(ReplicaSubmission primary, std::size_t used,
                                    std::vector<std::size_t> order,
                                    text::Sentence sentence,
-                                   std::chrono::milliseconds deadline,
-                                   std::optional<crf::DecodeOptions> decode,
-                                   std::string base_key) {
+                                   serve::SubmitOptions options,
+                                   std::string base_key,
+                                   std::shared_ptr<Tenant> tenant) {
+  auto& pool = pool_of(*tenant);
   serve::TagResponse response = primary.future.get();
   std::uint64_t fingerprint = primary.fingerprint;
 
@@ -175,9 +211,10 @@ serve::TagResponse Router::resolve(ReplicaSubmission primary, std::size_t used,
       const bool ignore_breakers = all_breakers_open();
       for (const std::size_t idx : order) {
         if (idx == last_failed) continue;
-        if (!routable(idx, ignore_breakers)) continue;
-        ReplicaSubmission retry_sub =
-            replicas_[idx]->submit(sentence, deadline, decode);
+        if (!routable_in(*tenant, idx, ignore_breakers)) continue;
+        // The resubmit reuses options verbatim — including the
+        // ingestion-time sentence key — so failover never re-normalizes.
+        ReplicaSubmission retry_sub = pool[idx]->submit(sentence, options);
         if (!retry_sub.accepted) continue;
         failovers_.inc();
         attempted = true;
@@ -199,6 +236,8 @@ serve::TagResponse Router::resolve(ReplicaSubmission primary, std::size_t used,
     }
   }
 
+  if (response.status == serve::Status::kDeadlineExceeded)
+    tenant->metrics.deadline_drops.inc();
   if (config_.cache_enabled && response.ok() && !response.degraded)
     cache_.put(cache_key(base_key, fingerprint), response.tags, fingerprint);
   return response;
@@ -206,10 +245,17 @@ serve::TagResponse Router::resolve(ReplicaSubmission primary, std::size_t used,
 
 obs::RegistrySnapshot Router::observability_snapshot() const {
   obs::RegistrySnapshot out;
-  out.append(registry_.snapshot());  // router.* + cache.*
+  out.append(registry_.snapshot());  // router.* + cache.* + tenant.*
   for (std::size_t i = 0; i < replicas_.size(); ++i)
     out.append(replicas_[i]->metrics_snapshot(),
                "replica." + std::to_string(i) + ".");
+  for (const auto& tenant : models_.list()) {
+    if (tenant->is_default) continue;  // its pool IS replica.<i> above
+    for (std::size_t i = 0; i < tenant->replicas.size(); ++i)
+      out.append(tenant->replicas[i]->metrics_snapshot(),
+                 "tenant." + tenant->name + ".replica." + std::to_string(i) +
+                     ".");
+  }
   out.append(obs::Registry::global().snapshot());
   for (const auto& [name, stats] : util::FaultInjector::instance().all_stats()) {
     out.counters.push_back({"fault." + name + ".calls", {}, stats.calls});
@@ -290,10 +336,134 @@ std::string Router::admin(const std::string& command) {
            " cache entries)\n";
   }
 
+  if (verb == "model") return admin_model(in);
+  if (verb == "quota") return admin_quota(in);
   if (verb == "learn") return admin_learn(in);
 
   return "ERROR unknown #REPLICA command \"" + verb +
-         "\" (expected kill, revive, swap, status or learn)\n";
+         "\" (expected kill, revive, swap, status, model, quota or learn)\n";
+}
+
+std::string Router::admin_model(std::istringstream& in) {
+  std::string sub;
+  in >> sub;
+
+  if (sub == "list") {
+    std::ostringstream out;
+    for (const auto& tenant : models_.list()) {
+      auto& pool = pool_of(*tenant);
+      std::size_t healthy = 0;
+      for (const auto& replica : pool)
+        if (replica->healthy()) ++healthy;
+      const std::uint64_t fp = pool.empty() ? 0 : pool[0]->fingerprint();
+      out << tenant->name << '\t'
+          << (tenant->is_default ? "default" : "added")
+          << "\treplicas=" << healthy << '/' << pool.size()
+          << "\tfingerprint=" << fingerprint_hex(fp) << "\tquota=";
+      if (tenant->quota.limited()) {
+        const auto [rate, burst] = tenant->quota.shape();
+        out << rate << '/' << burst;
+      } else {
+        out << "off";
+      }
+      out << "\trequests=" << tenant->metrics.requests.value() << '\n';
+    }
+    return out.str();
+  }
+
+  if (sub == "add" || sub == "swap") {
+    std::string name, path;
+    if (!(in >> name >> path))
+      return "ERROR #REPLICA model " + sub + " needs <name> <model-path>\n";
+    std::shared_ptr<const core::GraphNerModel> model;
+    try {
+      model = std::make_shared<core::GraphNerModel>(
+          core::GraphNerModel::load_auto_file(path));
+    } catch (const std::exception& e) {
+      return "ERROR model " + sub + " failed: " + std::string(e.what()) + "\n";
+    }
+
+    if (sub == "add") {
+      try {
+        models_.add(name, model, config_.tenant_replicas,
+                    config_.replica_service, config_.vnodes);
+      } catch (const std::exception& e) {
+        return "ERROR model add failed: " + std::string(e.what()) + "\n";
+      }
+      return "OK model " + name + " resident (fingerprint " +
+             fingerprint_hex(model->fingerprint()) + ", " +
+             std::to_string(std::max<std::size_t>(1, config_.tenant_replicas)) +
+             " replica(s))\n";
+    }
+
+    std::shared_ptr<Tenant> tenant = models_.resolve(name);
+    if (!tenant)
+      return "ERROR model \"" + name +
+             "\" is not resident (use model add first)\n";
+    std::lock_guard<std::mutex> lock(swap_mutex_);
+    const std::size_t invalidated = swap_pool(pool_of(*tenant), model);
+    if (!tenant->is_default) tenant->model = model;
+    return "OK swapped model " + tenant->name + " to " + path +
+           " (fingerprint " + fingerprint_hex(model->fingerprint()) +
+           ", invalidated " + std::to_string(invalidated) +
+           " cache entries)\n";
+  }
+
+  if (sub == "drop") {
+    std::string name;
+    if (!(in >> name)) return "ERROR #REPLICA model drop needs <name>\n";
+    std::shared_ptr<Tenant> tenant = models_.remove(name);
+    if (!tenant)
+      return "ERROR model \"" + name +
+             "\" is not droppable (not resident, or the default model)\n";
+    // New requests can no longer resolve the name; drain the pool so every
+    // in-flight future settles, then drop the dead generation's cache
+    // entries (tenant-scoped keys — no other tenant is touched).
+    std::lock_guard<std::mutex> lock(swap_mutex_);
+    std::size_t invalidated = 0;
+    for (auto& replica : tenant->replicas) {
+      const std::uint64_t fp = replica->fingerprint();
+      replica->stop();
+      invalidated += cache_.invalidate_fingerprint(fp);
+    }
+    return "OK dropped model " + name + " (invalidated " +
+           std::to_string(invalidated) + " cache entries)\n";
+  }
+
+  return "ERROR unknown #REPLICA model command \"" + sub +
+         "\" (expected add, swap, drop or list)\n";
+}
+
+std::string Router::admin_quota(std::istringstream& in) {
+  std::string name;
+  if (!(in >> name))
+    return "ERROR #REPLICA quota needs <model> <rate> <burst> | <model> off\n";
+  std::shared_ptr<Tenant> tenant = models_.resolve(name);
+  if (!tenant) return "ERROR model \"" + name + "\" is not resident\n";
+
+  std::string rate_word;
+  if (!(in >> rate_word))
+    return "ERROR #REPLICA quota needs <rate> <burst> (tokens/s, tokens) or "
+           "off\n";
+  if (rate_word == "off") {
+    tenant->quota.remove();
+    return "OK quota off for " + tenant->name + "\n";
+  }
+  double rate = 0.0;
+  double burst = 0.0;
+  std::istringstream rate_in(rate_word);
+  if (!(rate_in >> rate) || !(in >> burst) || rate < 0.0 || burst < 0.0)
+    return "ERROR #REPLICA quota: rate and burst must be non-negative "
+           "numbers\n";
+  tenant->quota.configure(rate, burst);
+  return "OK quota for " + tenant->name + ": rate " + rate_word + "/s, burst " +
+         std::to_string(static_cast<std::uint64_t>(burst)) + "\n";
+}
+
+void Router::add_model(const std::string& name,
+                       std::shared_ptr<const core::GraphNerModel> model) {
+  models_.add(name, std::move(model), config_.tenant_replicas,
+              config_.replica_service, config_.vnodes);
 }
 
 std::string Router::admin_learn(std::istringstream& in) {
@@ -485,13 +655,14 @@ double Router::canary_disagreement(const core::GraphNerModel& current,
          static_cast<double>(config_.canary.size());
 }
 
-std::size_t Router::swap_all_replicas(
+std::size_t Router::swap_pool(
+    std::vector<std::unique_ptr<ReplicaHandle>>& pool,
     const std::shared_ptr<const core::GraphNerModel>& model) {
   std::vector<std::uint64_t> old_fingerprints;
-  old_fingerprints.reserve(replicas_.size());
-  for (const auto& replica : replicas_)
+  old_fingerprints.reserve(pool.size());
+  for (const auto& replica : pool)
     old_fingerprints.push_back(replica->fingerprint());
-  for (auto& replica : replicas_) {
+  for (auto& replica : pool) {
     replica->swap_model(model);
     swaps_.inc();
   }
@@ -509,6 +680,11 @@ std::size_t Router::swap_all_replicas(
   return invalidated;
 }
 
+std::size_t Router::swap_all_replicas(
+    const std::shared_ptr<const core::GraphNerModel>& model) {
+  return swap_pool(replicas_, model);
+}
+
 void Router::stop() {
   std::lock_guard<std::mutex> lock(stop_mutex_);
   if (stopped_) return;
@@ -516,6 +692,8 @@ void Router::stop() {
   // The supervisor probes replicas; it must be gone before they drain.
   if (supervisor_) supervisor_->stop();
   for (auto& replica : replicas_) replica->stop();
+  for (const auto& tenant : models_.list())
+    for (auto& replica : tenant->replicas) replica->stop();
 }
 
 }  // namespace graphner::router

@@ -13,6 +13,20 @@
 //      fails over to ring-order siblings with util::Backoff if the
 //      replica died mid-request, and inserts OK responses into the cache.
 //
+// Multi-tenancy (DESIGN.md §14): a ModelRegistry maps wire model names
+// onto resident models. The default tenant aliases the router's own
+// replica set — bare requests are byte-identical to the pre-tenancy tier —
+// while "#REPLICA model add|swap|drop|list <name> [<path>]" manages
+// additional resident models, each with its own replica pool and ring.
+// The cache identity gains the tenant dimension (sentence key + decode
+// options + model name + fingerprint), so tenants can never observe each
+// other's entries even under fingerprint collision. Per-tenant
+// token-bucket quotas ("#REPLICA quota <name> <rate> <burst>") bounce
+// over-quota requests with the structured QUOTA_EXCEEDED status before
+// they reach a replica; unknown selectors answer UNKNOWN_MODEL. Neither
+// counts into router.requests — the conservation laws below are over
+// admitted requests only.
+//
 // Administration rides the wire as "#REPLICA kill|revive|swap|status"
 // (TagService::admin): kill/revive drive the chaos drill, swap hot-swaps
 // one replica's model from a file (text or mmap format, auto-sniffed) and
@@ -38,8 +52,9 @@
 // the whole tier. Conservation laws CI asserts after a drain:
 //
 //   router.requests == cache.hits + cache.misses
-//   sum_i replica.<i>.submitted ==
+//   sum_i replica.<i>.submitted + sum_n,i tenant.<n>.replica.<i>.submitted ==
 //       cache.misses - router.unavailable + router.failovers
+//   tenant.<n>.requests == tenant.<n>.cache_hits + tenant.<n>.cache_misses
 #pragma once
 
 #include <cstddef>
@@ -57,6 +72,7 @@
 #include "src/router/hash_ring.hpp"
 #include "src/router/learn_log.hpp"
 #include "src/router/lru_cache.hpp"
+#include "src/router/model_registry.hpp"
 #include "src/router/replica.hpp"
 #include "src/router/supervisor.hpp"
 #include "src/serve/tag_service.hpp"
@@ -72,6 +88,10 @@ struct RouterConfig {
   LruCacheConfig cache;
   /// Virtual nodes per replica on the consistent-hash ring.
   std::size_t vnodes = 64;
+  /// Replicas per *added* tenant model ("#REPLICA model add"); the
+  /// default model keeps `replicas`. Tenant replica pools share the
+  /// replica_service configuration.
+  std::size_t tenant_replicas = 1;
   /// Backoff between failover attempts once the whole ring has been
   /// walked without an answer (a replica may be mid-revive).
   util::BackoffPolicy failover_backoff{std::chrono::milliseconds(10),
@@ -133,16 +153,25 @@ class Router : public serve::TagService {
   Router& operator=(const Router&) = delete;
 
   [[nodiscard]] std::future<serve::TagResponse> submit(
-      text::Sentence sentence, std::chrono::milliseconds deadline = {},
-      std::optional<crf::DecodeOptions> decode = std::nullopt) override;
+      text::Sentence sentence, serve::SubmitOptions options) override;
+  using serve::TagService::submit;  ///< positional (deadline, decode) sugar
 
   [[nodiscard]] obs::RegistrySnapshot observability_snapshot() const override;
   [[nodiscard]] std::string metrics_json() const override;
 
-  /// "#REPLICA kill <i> | revive <i> | swap <i> <model-path> | status",
-  /// plus the "#LEARN"-routed "learn text <tokens...> | file <path> |
-  /// status" when learn_enabled.
+  /// The admin verb table documented in protocol.hpp: replica lifecycle
+  /// (kill/revive/swap/status), tenant models (model add|swap|drop|list,
+  /// quota), and the "#LEARN"-routed learn subtree when learn_enabled.
   [[nodiscard]] std::string admin(const std::string& command) override;
+
+  /// In-process mirror of "#REPLICA model add": register an additional
+  /// resident model under `name`. Throws std::invalid_argument on an
+  /// invalid or already-resident name.
+  void add_model(const std::string& name,
+                 std::shared_ptr<const core::GraphNerModel> model);
+
+  /// The tenant registry (default tenant + every added model).
+  [[nodiscard]] const ModelRegistry& models() const noexcept { return models_; }
 
   /// The online learner, nullptr unless config.learn_enabled.
   [[nodiscard]] const core::OnlineLearner* learner() const noexcept {
@@ -171,14 +200,26 @@ class Router : public serve::TagService {
 
  private:
   /// The synchronous tail of a request: wait on the primary submission,
-  /// fail over to siblings if the replica died, cache OK responses.
+  /// fail over to siblings *within the tenant's pool* if the replica died,
+  /// cache OK responses under the tenant-scoped base key.
   [[nodiscard]] serve::TagResponse resolve(ReplicaSubmission primary,
                                            std::size_t used,
                                            std::vector<std::size_t> order,
                                            text::Sentence sentence,
-                                           std::chrono::milliseconds deadline,
-                                           std::optional<crf::DecodeOptions> decode,
-                                           std::string base_key);
+                                           serve::SubmitOptions options,
+                                           std::string base_key,
+                                           std::shared_ptr<Tenant> tenant);
+
+  /// The replica pool a tenant routes over: the router's own replicas_
+  /// for the default tenant (see ModelRegistry), the tenant's private
+  /// pool otherwise.
+  [[nodiscard]] std::vector<std::unique_ptr<ReplicaHandle>>& pool_of(
+      Tenant& tenant) noexcept {
+    return tenant.is_default ? replicas_ : tenant.replicas;
+  }
+  [[nodiscard]] HashRing& ring_of(Tenant& tenant) noexcept {
+    return tenant.is_default ? ring_ : *tenant.ring;
+  }
 
   [[nodiscard]] static bool needs_failover(serve::Status status) noexcept {
     // A killed/draining replica answers SHUTDOWN; UNAVAILABLE means a
@@ -191,6 +232,9 @@ class Router : public serve::TagService {
 
   RouterConfig config_;
   obs::Registry registry_;
+  /// Tenant registry; declared after registry_ (its instruments live
+  /// there) and before cache_/replicas_ so teardown order is safe.
+  ModelRegistry models_;
   ShardedLruCache cache_;
   std::vector<std::unique_ptr<ReplicaHandle>> replicas_;
   HashRing ring_;
@@ -199,6 +243,8 @@ class Router : public serve::TagService {
   obs::Counter& unavailable_;
   obs::Counter& swaps_;
   obs::Counter& cache_misses_;  ///< same instrument the cache counts into
+  obs::Counter& unknown_model_;  ///< UNKNOWN_MODEL rejections (pre-admission)
+  obs::Counter& quota_rejected_;  ///< QUOTA_EXCEEDED rejections (pre-admission)
   /// True when `idx` may take traffic: healthy and its breaker is not
   /// open — unless EVERY breaker is open, in which case breakers are
   /// ignored (fail-static: when the probe path itself is what broke,
@@ -207,6 +253,14 @@ class Router : public serve::TagService {
   [[nodiscard]] bool routable(std::size_t idx, bool ignore_breakers) const {
     return replicas_[idx]->healthy() &&
            (ignore_breakers || !breakers_.is_open(idx));
+  }
+  /// Tenant-aware routability: circuit breakers are a property of the
+  /// default pool (the supervisor only probes replicas_); added tenants'
+  /// replicas route on health alone.
+  [[nodiscard]] bool routable_in(const Tenant& tenant, std::size_t idx,
+                                 bool ignore_breakers) const {
+    if (tenant.is_default) return routable(idx, ignore_breakers);
+    return tenant.replicas[idx]->healthy();
   }
   [[nodiscard]] bool all_breakers_open() const {
     return breakers_.open_count() >= replicas_.size();
@@ -218,8 +272,16 @@ class Router : public serve::TagService {
   /// The "#REPLICA learn ..." admin subtree (swap_mutex_ held by caller's
   /// command dispatch where needed — see implementation).
   [[nodiscard]] std::string admin_learn(std::istringstream& in);
-  /// Swap `model` into every replica and drop cache generations no
-  /// replica serves anymore (shared by admin swap-all paths like learn).
+  /// The "#REPLICA model add|swap|drop|list" tenant-management subtree.
+  [[nodiscard]] std::string admin_model(std::istringstream& in);
+  /// The "#REPLICA quota <model> <rate> <burst> | <model> off" subtree.
+  [[nodiscard]] std::string admin_quota(std::istringstream& in);
+  /// Swap `model` into every replica of `pool` and drop cache generations
+  /// the pool no longer serves; returns entries invalidated. Caller holds
+  /// swap_mutex_.
+  std::size_t swap_pool(std::vector<std::unique_ptr<ReplicaHandle>>& pool,
+                        const std::shared_ptr<const core::GraphNerModel>& model);
+  /// swap_pool over the default pool (the learn/rollback swap path).
   std::size_t swap_all_replicas(
       const std::shared_ptr<const core::GraphNerModel>& model);
   std::unique_ptr<LearnLog> learn_log_;

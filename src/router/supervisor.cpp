@@ -58,8 +58,10 @@ bool HealthSupervisor::probe(ReplicaHandle& replica) {
   }
   text::Sentence sentinel;
   sentinel.tokens = {"health", "probe"};
+  serve::SubmitOptions probe_options;
+  probe_options.deadline = config_.probe_deadline;
   ReplicaSubmission submission =
-      replica.submit(std::move(sentinel), config_.probe_deadline, std::nullopt);
+      replica.submit(std::move(sentinel), std::move(probe_options));
   if (!submission.accepted) {
     probe_failures_.inc();
     return false;

@@ -56,6 +56,7 @@ ServiceMetrics::ServiceMetrics()
     : submitted_(registry_.counter("submitted")),
       rejected_overload_(registry_.counter("rejected_overload")),
       rejected_shutdown_(registry_.counter("rejected_shutdown")),
+      rejected_unknown_model_(registry_.counter("rejected_unknown_model")),
       completed_(registry_.counter("completed")),
       errors_(registry_.counter("errors")),
       batches_(registry_.counter("batches")),
@@ -72,6 +73,8 @@ void ServiceMetrics::on_rejected(Status status) noexcept {
     rejected_overload_.inc();
   else if (status == Status::kShutdown)
     rejected_shutdown_.inc();
+  else if (status == Status::kUnknownModel)
+    rejected_unknown_model_.inc();
 }
 
 void ServiceMetrics::on_batch(std::size_t batch_size) noexcept {
@@ -102,6 +105,7 @@ MetricsSnapshot ServiceMetrics::snapshot() const {
   out.submitted = out.raw.counter_value("submitted");
   out.rejected_overload = out.raw.counter_value("rejected_overload");
   out.rejected_shutdown = out.raw.counter_value("rejected_shutdown");
+  out.rejected_unknown_model = out.raw.counter_value("rejected_unknown_model");
   out.completed = out.raw.counter_value("completed");
   out.errors = out.raw.counter_value("errors");
   out.batches = out.raw.counter_value("batches");

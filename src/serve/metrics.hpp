@@ -57,6 +57,7 @@ struct MetricsSnapshot {
   std::uint64_t submitted = 0;          ///< admission attempts
   std::uint64_t rejected_overload = 0;  ///< queue-full rejections
   std::uint64_t rejected_shutdown = 0;  ///< submitted after stop()
+  std::uint64_t rejected_unknown_model = 0;  ///< bad SubmitOptions::model
   std::uint64_t completed = 0;          ///< responses produced by workers
   std::uint64_t errors = 0;             ///< decode exceptions
   std::uint64_t batches = 0;            ///< micro-batches decoded
@@ -109,6 +110,7 @@ class ServiceMetrics {
   obs::Counter& submitted_;
   obs::Counter& rejected_overload_;
   obs::Counter& rejected_shutdown_;
+  obs::Counter& rejected_unknown_model_;
   obs::Counter& completed_;
   obs::Counter& errors_;
   obs::Counter& batches_;

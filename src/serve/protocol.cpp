@@ -105,6 +105,15 @@ struct JsonCursor {
         return false;
       }
       out.deadline_ms = value;
+    } else if (key == "model") {
+      if (!parse_json_string(cur, out.model)) {
+        error = "\"model\" must be a string";
+        return false;
+      }
+      if (!valid_model_name(out.model)) {
+        error = "\"model\" must be a name of [A-Za-z0-9_.-]";
+        return false;
+      }
     } else if (key == "tokens") {
       if (!cur.consume('[')) {
         error = "\"tokens\" must be an array";
@@ -201,6 +210,19 @@ struct JsonCursor {
   return true;
 }
 
+/// Split an optional '#<model>' selector suffix off a TSV id (the
+/// outermost suffix: "<id>[@ms][#model]"). Only a non-empty suffix of
+/// model-name characters counts — see valid_model_name — so ids that
+/// legitimately contain '#' still round-trip unchanged.
+void split_model_suffix(std::string& id, std::string& model) {
+  const std::size_t hash = id.find_last_of('#');
+  if (hash == std::string::npos || hash + 1 >= id.size()) return;
+  if (!valid_model_name(std::string_view{id}.substr(hash + 1))) return;
+  model.assign(id, hash + 1, std::string::npos);
+  id.resize(hash);
+  if (id.empty()) id = "-";
+}
+
 /// Split an optional '@<ms>' deadline suffix off a TSV id. Only a
 /// non-empty all-digit suffix counts, so ids that legitimately contain
 /// '@' (emails, handles) still round-trip unchanged.
@@ -229,6 +251,46 @@ void split_deadline_suffix(std::string& id, long& deadline_ms) {
         << "-byte admin line cap";
   out.kind = LineKind::kMalformed;
   out.error = error.str();
+  return true;
+}
+
+/// One row of the admin-alias table: the wire spelling, the words
+/// prefixed onto the payload before dispatch, and the usage string an
+/// empty payload answers with. "#REPLICA" maps 1:1; "#LEARN" is sugar
+/// that prefixes "learn" — one parse path for the whole admin surface
+/// (oversize cap, empty-payload check, kAdmin framing), per the verb
+/// table in protocol.hpp.
+struct AdminAlias {
+  std::string_view line_verb;     ///< e.g. "#REPLICA"
+  std::string_view admin_prefix;  ///< e.g. "" or "learn "
+  std::string_view usage;         ///< the empty-payload error detail
+};
+
+constexpr AdminAlias kAdminAliases[] = {
+    {"#REPLICA", "",
+     "needs a command (kill/revive/swap/status/model/quota/learn)"},
+    {"#LEARN", "learn ",
+     "needs arguments (text <tokens...> | file <path> | status)"},
+};
+
+/// Parse `trimmed` against one admin alias. Returns true when the line
+/// carried that verb (out is fully filled, kAdmin or kMalformed).
+[[nodiscard]] bool parse_admin_alias(const std::string& trimmed,
+                                     const AdminAlias& alias, ParsedLine& out) {
+  const std::size_t n = alias.line_verb.size();
+  if (trimmed.compare(0, n, alias.line_verb) != 0) return false;
+  if (trimmed.size() > n && trimmed[n] != ' ') return false;
+  const std::string args{
+      util::trim(trimmed.size() > n ? trimmed.substr(n + 1) : std::string{})};
+  if (reject_oversized_admin(std::string{alias.line_verb}, args.size(), out))
+    return true;
+  if (args.empty()) {
+    out.kind = LineKind::kMalformed;
+    out.error = std::string{alias.line_verb} + " " + std::string{alias.usage};
+    return true;
+  }
+  out.admin = std::string{alias.admin_prefix} + args;
+  out.kind = LineKind::kAdmin;
   return true;
 }
 
@@ -268,35 +330,27 @@ ParsedLine parse_request_line(const std::string& line) {
       out.kind = LineKind::kMalformed;
     return out;
   }
-  if (trimmed == "#REPLICA" || trimmed.rfind("#REPLICA ", 0) == 0) {
-    out.admin = std::string{util::trim(trimmed.substr(8))};
-    if (reject_oversized_admin("#REPLICA", out.admin.size(), out)) {
-      out.admin.clear();
-      return out;
-    }
-    if (out.admin.empty()) {
-      out.kind = LineKind::kMalformed;
-      out.error = "#REPLICA needs a command (kill/revive/swap/status)";
+  if (trimmed == "#MODEL" || trimmed.rfind("#MODEL ", 0) == 0) {
+    // Connection-scoped default model, the "#DECODE" of the tenant
+    // dimension: applies to every later request that carries no selector
+    // of its own; no reply on well-formed lines.
+    const std::string name{util::trim(trimmed.substr(6))};
+    if (name.empty() || name == "off" || name == "reset") {
+      out.kind = LineKind::kModel;  // out.model stays empty = reset
+    } else if (valid_model_name(name)) {
+      out.model = name;
+      out.kind = LineKind::kModel;
     } else {
-      out.kind = LineKind::kAdmin;
+      out.kind = LineKind::kMalformed;
+      out.error = "bad MODEL name \"" + name + "\" (expected [A-Za-z0-9_.-])";
     }
     return out;
   }
-  if (trimmed == "#LEARN" || trimmed.rfind("#LEARN ", 0) == 0) {
-    // Sugar over the admin channel: "#LEARN <args>" == "#REPLICA learn
-    // <args>", so the online-learning path rides the existing admin
-    // dispatch (TagService::admin) end to end.
-    const std::string args{util::trim(trimmed.substr(6))};
-    if (reject_oversized_admin("#LEARN", args.size(), out)) return out;
-    if (args.empty()) {
-      out.kind = LineKind::kMalformed;
-      out.error = "#LEARN needs arguments (text <tokens...> | file <path> | status)";
-    } else {
-      out.admin = "learn " + args;
-      out.kind = LineKind::kAdmin;
-    }
-    return out;
-  }
+  // The admin surface: one alias table, one parse path (see protocol.hpp
+  // for the verb table). "#LEARN" is spelled-out sugar for "#REPLICA
+  // learn", so the online-learning path rides the same admin dispatch.
+  for (const AdminAlias& alias : kAdminAliases)
+    if (parse_admin_alias(trimmed, alias, out)) return out;
   if (trimmed == "#QUIT") {
     out.kind = LineKind::kQuit;
     return out;
@@ -314,6 +368,9 @@ ParsedLine parse_request_line(const std::string& line) {
       out.request.tokens = split_tokens(trimmed);
     } else {
       out.request.id = std::string{util::trim(line.substr(0, tab))};
+      // Suffix order mirrors the wire shape "<id>[@ms][#model]": the
+      // selector is outermost, the deadline inside it.
+      split_model_suffix(out.request.id, out.request.model);
       split_deadline_suffix(out.request.id, out.request.deadline_ms);
       if (out.request.id.empty()) out.request.id = "-";
       out.request.tokens = split_tokens(line.substr(tab + 1));
@@ -322,9 +379,22 @@ ParsedLine parse_request_line(const std::string& line) {
   }
   // Both flavours converge on the same canonical token text here, so
   // everything keyed on the sentence downstream (coalescing, the router
-  // cache) sees one spelling per sentence regardless of transport.
+  // cache) sees one spelling per sentence regardless of transport. The
+  // key is derived here, once, and threaded through SubmitOptions::key —
+  // no later tier re-normalizes or re-joins the tokens.
   normalize_tokens(out.request.tokens);
+  out.request.key = sentence_key(out.request.tokens);
   return out;
+}
+
+bool valid_model_name(std::string_view name) noexcept {
+  if (name.empty()) return false;
+  for (const char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                    c == '.' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
 }
 
 std::string normalize_token(std::string token) {
@@ -364,6 +434,12 @@ std::string sentence_key(const std::vector<std::string>& tokens) {
 }
 
 std::string format_response(const Request& request, const TagResponse& response) {
+  // Tag names come from the label inventory of the model that decoded the
+  // request (multi-entity models spell "B-protein" etc.); responses with
+  // no carrier fall back to the legacy single-type set, whose names are
+  // byte-identical to the old hard-coded "B"/"I"/"O".
+  const text::LabelSet& labels =
+      response.labels ? *response.labels : text::LabelSet::single();
   std::ostringstream out;
   if (request.json) {
     out << "{\"id\":\"" << json_escape(request.id) << "\",\"status\":\"";
@@ -374,7 +450,7 @@ std::string format_response(const Request& request, const TagResponse& response)
     if (response.ok()) {
       out << ",\"tags\":[";
       for (std::size_t i = 0; i < response.tags.size(); ++i)
-        out << (i > 0 ? "," : "") << '"' << text::tag_name(response.tags[i]) << '"';
+        out << (i > 0 ? "," : "") << '"' << labels.name(response.tags[i]) << '"';
       out << ']';
     } else {
       out << ",\"error\":\"" << json_escape(response.error) << '"';
@@ -386,7 +462,7 @@ std::string format_response(const Request& request, const TagResponse& response)
       << (response.degraded ? "*" : "") << '\t';
   if (response.ok()) {
     for (std::size_t i = 0; i < response.tags.size(); ++i)
-      out << (i > 0 ? " " : "") << text::tag_name(response.tags[i]);
+      out << (i > 0 ? " " : "") << labels.name(response.tags[i]);
   } else {
     out << sanitize_tsv(response.error);
   }

@@ -3,16 +3,34 @@
 // Each request is one line, in either flavour; the response mirrors the
 // flavour of the request:
 //
-//   TSV:   <id>['@'<deadline_ms>] '\t' <token> (' ' <token>)*
+//   TSV:   <id>['@'<deadline_ms>]['#'<model>] '\t' <token> (' ' <token>)*
 //      ->  <id> '\t' <STATUS> '\t' <tag> (' ' <tag>)*
-//   JSON:  {"id": "...", "tokens": ["...", ...], "deadline_ms": 50}
+//   JSON:  {"id": "...", "tokens": [...], "deadline_ms": 50, "model": "x"}
 //      ->  {"id":"...","status":"ok","tags":["B","I","O"]}
+//
+// The optional model selector is the tenant dimension (DESIGN.md §14): it
+// names which resident model generation decodes the request. "#MODEL"
+// sets a connection-scoped default for requests that carry none:
+//
+//   #MODEL jnlpba   every later bare request decodes under model "jnlpba"
+//   #MODEL off      drop the default (bare "#MODEL" does the same)
+//
+// Like "#DECODE", a well-formed "#MODEL" line produces no reply. Requests
+// with no selector anywhere keep the pre-tenancy semantics bit-for-bit:
+// they resolve to the registry's "default" alias, so model-less clients
+// never see the tenant dimension at all. An unknown name answers with the
+// structured UNKNOWN_MODEL status; a tenant past its token-bucket quota
+// answers QUOTA_EXCEEDED. Neither is retryable or triggers failover. Tag
+// names in responses come from the *serving model's* label inventory, so
+// a multi-entity model answers "B-protein I-protein O ..." while
+// single-type models keep the legacy "B I O" spelling.
 //
 // A line with no tab and not starting with '{' is treated as bare
 // space-separated tokens with id "-" (netcat-friendly). Control lines:
 // "#QUIT" closes the connection; "#METRICS" scrapes the server:
 //
-//   #METRICS        one JSON line of the service's own metrics (legacy)
+//   #METRICS        one JSON line of the service's own metrics
+//                   (DEPRECATED — see MetricsFlavour::kLegacy)
 //   #METRICS JSON   one JSON line of the full observability snapshot
 //                   (serve.* + process-global + fault.* counters)
 //   #METRICS TSV    same snapshot as "name<TAB>value" lines, then "#END"
@@ -36,15 +54,31 @@
 // reader handles exactly this shape (string escapes included) — it is a
 // protocol parser, not a general JSON library.
 //
-// "#LEARN" feeds the online-learning path (DESIGN.md §12) and is sugar
-// for the admin channel ("#LEARN x" parses as "#REPLICA learn x"):
+// Admin channel — ONE parse path, one verb table. Every administrative
+// line funnels into LineKind::kAdmin and is dispatched by the serving
+// tier (TagService::admin). "#REPLICA <verb> ..." is the canonical
+// spelling; "#LEARN <args>" is pure sugar for "#REPLICA learn <args>"
+// (same size cap, same reply framing — free-form lines terminated by
+// "#END"). The verbs the router tier implements:
 //
-//   #LEARN text <tokens...>   absorb one space-separated sentence
-//   #LEARN file <path>        absorb every sentence line of a local file
-//   #LEARN status             report learner/WAL/generation state
-//   #LEARN rollback           restore the previous learned generation
+//   verb                            | effect
+//   --------------------------------+---------------------------------
+//   status                          | per-replica health/fingerprint/
+//                                   | counters + cache line
+//   kill <i>                        | drain replica i, then reject
+//   revive <i>                      | fresh worker pool on replica i
+//   swap <i> <path>                 | hot-swap replica i's model
+//   model add <name> <path>         | load + register a tenant model
+//   model swap <name> <path>        | hot-swap a tenant's generation
+//   model drop <name>               | unload a tenant model
+//   model list                      | resident models, one per line
+//   quota <name> <rate> <burst>     | set a tenant's token bucket
+//   quota <name> off                | remove the tenant's quota
+//   learn text <tokens...>          | absorb one sentence (DESIGN.md §12)
+//   learn file <path>               | absorb every sentence line of a file
+//   learn status                    | learner/WAL/generation state
+//   learn rollback                  | restore the previous generation
 //
-// The reply is free-form lines terminated by "#END", like #REPLICA.
 // Admin payloads larger than kMaxAdminLineBytes are rejected at parse
 // time with a structured error (see below).
 //
@@ -59,6 +93,7 @@
 #include <cstddef>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/crf/decode_options.hpp"
@@ -79,12 +114,21 @@ struct Request {
   bool json = false;  ///< respond in the request's flavour
   /// Per-request deadline in milliseconds; 0 = use the service default.
   long deadline_ms = 0;
+  /// Tenant/model selector ('#<name>' TSV id suffix, "model" JSON member).
+  /// Empty = the connection's "#MODEL" default, else the server default.
+  std::string model;
+  /// The canonical '\x1f'-joined sentence key over the normalized tokens,
+  /// computed exactly once here at ingestion. Threaded through
+  /// SubmitOptions::key so coalescing, the router cache and failover
+  /// resubmits all reuse it instead of re-normalizing.
+  std::string key;
 };
 
 enum class LineKind {
   kRequest,    ///< `request` is filled
   kMetrics,    ///< "#METRICS [JSON|TSV|PROM]" — `metrics_flavour` is filled
   kDecode,     ///< "#DECODE ..." — `decode` is filled (nullopt = reset)
+  kModel,      ///< "#MODEL ..." — `model` is filled (empty = reset)
   kAdmin,      ///< "#REPLICA ..." / "#LEARN ..." — `admin` holds the words
   kQuit,       ///< "#QUIT"
   kEmpty,      ///< blank line — ignore
@@ -93,7 +137,14 @@ enum class LineKind {
 
 /// Which serialization a "#METRICS" control line asked for.
 enum class MetricsFlavour {
-  kLegacy,  ///< bare "#METRICS": the service's own metrics, one JSON line
+  /// Bare "#METRICS": the service's own metrics, one JSON line.
+  /// DEPRECATED since the tenant-scoped API: the body only covers the
+  /// answering service's private registry — no tenant.*, cache.* or
+  /// fault.* rows — so dashboards over it silently miss the multi-tenant
+  /// surface. Kept bit-for-bit for old scrapers; new clients should send
+  /// "#METRICS JSON" (same transport, full snapshot). Scheduled for
+  /// removal once nothing in CI scrapes the bare form.
+  kLegacy,
   kJson,    ///< full observability snapshot, one JSON line
   kTsv,     ///< full snapshot as name<TAB>value lines, terminated "#END"
   kProm,    ///< full snapshot as Prometheus text, terminated "# EOF"
@@ -106,6 +157,9 @@ struct ParsedLine {
   /// For kDecode: the connection's new decode override, or nullopt for
   /// "#DECODE off" (drop the override, use the server default).
   std::optional<crf::DecodeOptions> decode;
+  /// For kModel: the connection's new default model, or empty for
+  /// "#MODEL off" (drop the default, use the server default).
+  std::string model;
   /// For kAdmin: the words after "#REPLICA" (e.g. "kill 1", "status"),
   /// interpreted by the serving tier (TagService::admin). The reply is
   /// free-form lines terminated by "#END".
@@ -133,6 +187,14 @@ void normalize_tokens(std::vector<std::string>& tokens);
 /// the unit separator '\x1f' (never produced by tokenization). This is
 /// the coalescing key and the sentence part of the router cache key.
 [[nodiscard]] std::string sentence_key(const std::vector<std::string>& tokens);
+
+/// True when `name` is a well-formed model/tenant name: non-empty, only
+/// [A-Za-z0-9_.-]. The restricted charset is what lets the '#<model>' TSV
+/// id suffix coexist with ids that legitimately contain '#' — a suffix
+/// that fails this test is part of the id, not a selector. The router's
+/// "model add" admin verb enforces the same rule, so every registrable
+/// name is also addressable on the wire.
+[[nodiscard]] bool valid_model_name(std::string_view name) noexcept;
 
 /// One response line (no trailing newline), in the request's flavour.
 [[nodiscard]] std::string format_response(const Request& request,

@@ -54,6 +54,9 @@ struct PendingRequest {
   /// Per-request decode options (pruning / quantization); nullopt decodes
   /// under the service default. Set by the wire's "#DECODE" control line.
   std::optional<crf::DecodeOptions> decode;
+  /// Canonical sentence key, threaded from SubmitOptions (or derived once
+  /// at admission) so the coalescing worker never re-joins the tokens.
+  std::string key;
 
   [[nodiscard]] bool expired(std::chrono::steady_clock::time_point now) const noexcept {
     return now > deadline;

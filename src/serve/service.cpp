@@ -31,7 +31,9 @@ TaggingService::TaggingService(const core::GraphNerModel& model,
     : model_(model),
       config_(config),
       decode_default_(config.decode ? *config.decode : model.decode_options()),
+      labels_(std::make_shared<const text::LabelSet>(model.labels())),
       queue_(config.batching) {
+  if (config_.model_name.empty()) config_.model_name = "default";
   // A degrade policy with low > high would flap; clamp to a sane hysteresis.
   if (config_.degrade.low_watermark > config_.degrade.high_watermark)
     config_.degrade.low_watermark = config_.degrade.high_watermark;
@@ -52,13 +54,30 @@ TaggingService::TaggingService(const core::GraphNerModel& model,
 
 TaggingService::~TaggingService() { stop(); }
 
-std::future<TagResponse> TaggingService::submit(
-    text::Sentence sentence, std::chrono::milliseconds deadline,
-    std::optional<crf::DecodeOptions> decode) {
+std::future<TagResponse> TaggingService::submit(text::Sentence sentence,
+                                                SubmitOptions options) {
+  if (!options.model.empty() && options.model != config_.model_name) {
+    // A single-model service has exactly one tenant; anything else is a
+    // selector error, answered structurally and without touching the queue.
+    std::promise<TagResponse> promise;
+    TagResponse response;
+    response.status = Status::kUnknownModel;
+    response.error = "unknown model \"" + options.model +
+                     "\" (this server serves \"" + config_.model_name + "\")";
+    metrics_.on_rejected(response.status);
+    promise.set_value(std::move(response));
+    return promise.get_future();
+  }
+
   PendingRequest request;
+  // The canonical sentence key: threaded from protocol ingestion when the
+  // request came over the wire, derived exactly once here otherwise.
+  request.key = options.key.empty() ? sentence_key(sentence.tokens)
+                                    : std::move(options.key);
   request.sentence = std::move(sentence);
-  request.decode = decode;
+  request.decode = std::move(options.decode);
   request.enqueued_at = std::chrono::steady_clock::now();
+  std::chrono::milliseconds deadline = options.deadline;
   if (deadline.count() <= 0) deadline = config_.default_deadline;
   if (deadline.count() > 0) request.deadline = request.enqueued_at + deadline;
   std::future<TagResponse> future = request.promise.get_future();
@@ -188,10 +207,10 @@ void TaggingService::worker_loop([[maybe_unused]] std::size_t worker_id) {
 
       const bool try_coalesce = coalesce && batch.size() > 1;
       if (try_coalesce) {
-        // The canonical '\x1f'-joined key the protocol layer also uses for
-        // the router's cross-request cache (tokens are normalized at
-        // ingestion, so both layers key the same spelling).
-        key = sentence_key(request.sentence.tokens);
+        // The canonical '\x1f'-joined key, computed once at ingestion and
+        // carried on the request (PendingRequest::key) — the same key the
+        // router's cross-request cache uses, never re-derived here.
+        key = request.key;
         // Two requests only share a decode when they share its options:
         // a pruned answer must never be fanned out to an exact request.
         if (request.decode) key += opts.to_string();
@@ -199,6 +218,7 @@ void TaggingService::worker_loop([[maybe_unused]] std::size_t worker_id) {
           response.tags = hit->second.first;       // shared decode's tags
           response.decode_us = hit->second.second; // ...and its cost
           response.coalesced = true;
+          response.labels = labels_;
           metrics_.on_completed(response.queue_us, response.decode_us,
                                 /*error=*/false, /*coalesced=*/true,
                                 response.degraded);
@@ -218,6 +238,7 @@ void TaggingService::worker_loop([[maybe_unused]] std::size_t worker_id) {
         response.status = Status::kError;
         response.error = e.what();
       }
+      if (response.status == Status::kOk) response.labels = labels_;
       response.decode_us =
           us_between(decode_start, std::chrono::steady_clock::now());
       if (try_coalesce && response.status == Status::kOk)

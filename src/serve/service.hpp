@@ -59,6 +59,12 @@ struct ServiceConfig {
   /// configured with (GraphNerModel::set_decode_options / load-time
   /// quantization).
   std::optional<crf::DecodeOptions> decode;
+  /// The name this service's model answers to. A submission whose
+  /// SubmitOptions::model is non-empty and different is rejected with
+  /// Status::kUnknownModel — a single-model server has nothing else to
+  /// offer. Behind a Router the selector is resolved before the replica,
+  /// so replicas never see a mismatch.
+  std::string model_name = "default";
 };
 
 class TaggingService : public TagService {
@@ -73,13 +79,13 @@ class TaggingService : public TagService {
 
   /// Enqueue one sentence. Always returns a future that will be fulfilled:
   /// with tags on success, or with a terminal non-OK status (kOverloaded /
-  /// kShutdown immediately, kDeadlineExceeded if the deadline passes while
-  /// queued). `deadline` <= 0 uses the config default; > 0 overrides it.
-  /// `decode`, when set, overrides the service's decode options for this
-  /// request only (the wire's "#DECODE" control line).
-  [[nodiscard]] std::future<TagResponse> submit(
-      text::Sentence sentence, std::chrono::milliseconds deadline = {},
-      std::optional<crf::DecodeOptions> decode = std::nullopt) override;
+  /// kShutdown / kUnknownModel immediately, kDeadlineExceeded if the
+  /// deadline passes while queued). `options.deadline` <= 0 uses the
+  /// config default; `options.decode` overrides the service's decode
+  /// options for this request only (the wire's "#DECODE" control line).
+  [[nodiscard]] std::future<TagResponse> submit(text::Sentence sentence,
+                                                SubmitOptions options) override;
+  using TagService::submit;  ///< the positional (deadline, decode) sugar
 
   /// The options requests decode under when they carry no override.
   [[nodiscard]] const crf::DecodeOptions& default_decode_options() const noexcept {
@@ -123,6 +129,12 @@ class TaggingService : public TagService {
   const core::GraphNerModel& model_;
   ServiceConfig config_;
   crf::DecodeOptions decode_default_;  ///< config_.decode or the model's own
+  /// The model's label inventory, attached to every OK response so the
+  /// wire layer can name multi-entity tags. A copy under shared_ptr (one
+  /// refcount bump per response) rather than a pointer into the model:
+  /// responses legally outlive the service *and* the model (a replica
+  /// hot-swap drops both while formatted replies are still in flight).
+  std::shared_ptr<const text::LabelSet> labels_;
   BatchQueue queue_;
   ServiceMetrics metrics_;
   std::vector<std::thread> workers_;

@@ -151,6 +151,9 @@ void SocketServer::handle_connection(std::size_t slot) {
   // Connection-scoped decode override, set by "#DECODE" lines; nullopt
   // decodes under the service default.
   std::optional<crf::DecodeOptions> conn_decode;
+  // Connection-scoped default model, set by "#MODEL" lines; empty resolves
+  // to the server's default model (the pre-tenancy behaviour).
+  std::string conn_model;
   bool quit = false;
 
   try {
@@ -168,10 +171,19 @@ void SocketServer::handle_connection(std::size_t slot) {
             text::Sentence sentence;
             sentence.id = parsed.request.id;
             sentence.tokens = std::move(parsed.request.tokens);
-            const std::chrono::milliseconds deadline{parsed.request.deadline_ms};
+            SubmitOptions options;
+            options.deadline =
+                std::chrono::milliseconds{parsed.request.deadline_ms};
+            options.decode = conn_decode;
+            // Per-request selector wins; else the connection's "#MODEL"
+            // default; else empty = the server default model.
+            options.model = parsed.request.model.empty()
+                                ? conn_model
+                                : parsed.request.model;
+            options.key = std::move(parsed.request.key);
             in_flight.emplace_back(
                 std::move(parsed.request),
-                service_.submit(std::move(sentence), deadline, conn_decode));
+                service_.submit(std::move(sentence), std::move(options)));
             break;
           }
           case LineKind::kMetrics:
@@ -182,6 +194,10 @@ void SocketServer::handle_connection(std::size_t slot) {
             // Applies to every later request on this connection; no reply,
             // so pipelined clients keep 1:1 request/response accounting.
             conn_decode = parsed.decode;
+            break;
+          case LineKind::kModel:
+            // Same discipline as #DECODE: connection-scoped, no reply.
+            conn_model = parsed.model;
             break;
           case LineKind::kAdmin:
             want_admin = true;

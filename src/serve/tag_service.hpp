@@ -20,6 +20,30 @@
 
 namespace graphner::serve {
 
+/// Everything a submission carries besides the sentence itself. Grown
+/// instead of the old positional (deadline, decode) parameters so new
+/// per-request dimensions ride one struct through every tier — socket
+/// handler, router, replica, service — without another signature sweep.
+struct SubmitOptions {
+  /// Per-request deadline; <= 0 uses the service default.
+  std::chrono::milliseconds deadline{0};
+  /// Per-request decode override (the wire's "#DECODE"); nullopt decodes
+  /// under the service default.
+  std::optional<crf::DecodeOptions> decode;
+  /// Tenant/model selector (the wire's "#model" id suffix, JSON "model"
+  /// member or "#MODEL" connection default). Empty selects the default
+  /// model, which is what every pre-tenancy client gets — full wire
+  /// compatibility. An unknown name answers Status::kUnknownModel.
+  std::string model;
+  /// The canonical '\x1f'-joined sentence key, computed once at protocol
+  /// ingestion (parse_request_line) right after token normalization.
+  /// Every downstream consumer — micro-batch coalescing, the router
+  /// cache, failover resubmits — reuses this instead of re-deriving it,
+  /// so one request normalizes its tokens exactly once. Empty = the
+  /// service derives it itself (direct API callers).
+  std::string key;
+};
+
 class TagService {
  public:
   virtual ~TagService() = default;
@@ -28,8 +52,18 @@ class TagService {
   /// fulfilled — with tags, or with a structured non-OK status — and must
   /// never block the caller on decode (pipelining depends on it).
   [[nodiscard]] virtual std::future<TagResponse> submit(
+      text::Sentence sentence, SubmitOptions options) = 0;
+
+  /// Positional sugar over the options struct (the pre-tenancy call shape;
+  /// derived classes re-expose it with `using TagService::submit`).
+  [[nodiscard]] std::future<TagResponse> submit(
       text::Sentence sentence, std::chrono::milliseconds deadline = {},
-      std::optional<crf::DecodeOptions> decode = std::nullopt) = 0;
+      std::optional<crf::DecodeOptions> decode = std::nullopt) {
+    SubmitOptions options;
+    options.deadline = deadline;
+    options.decode = std::move(decode);
+    return submit(std::move(sentence), std::move(options));
+  }
 
   /// The full scrape the "#METRICS JSON|TSV|PROM" flavours serialize.
   [[nodiscard]] virtual obs::RegistrySnapshot observability_snapshot() const = 0;

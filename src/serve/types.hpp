@@ -9,10 +9,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "src/text/label_set.hpp"
 #include "src/text/tag.hpp"
 
 namespace graphner::serve {
@@ -29,6 +31,14 @@ enum class Status : std::uint8_t {
   /// Emitted by the router tier, never by a single TaggingService; a
   /// retry may land after a hot-swap revives a replica.
   kUnavailable = 5,
+  /// The request named a model no resident generation answers to (the
+  /// tenant dimension of SubmitOptions::model). Not retryable and never a
+  /// failover trigger: the tier is healthy, the selector is wrong.
+  kUnknownModel = 6,
+  /// The tenant's token-bucket quota is exhausted. A policy rejection,
+  /// not a load signal — the client should slow down, so it is neither
+  /// retryable nor a failover trigger.
+  kQuotaExceeded = 7,
 };
 
 [[nodiscard]] constexpr std::string_view status_name(Status status) noexcept {
@@ -39,6 +49,8 @@ enum class Status : std::uint8_t {
     case Status::kError: return "ERROR";
     case Status::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case Status::kUnavailable: return "UNAVAILABLE";
+    case Status::kUnknownModel: return "UNKNOWN_MODEL";
+    case Status::kQuotaExceeded: return "QUOTA_EXCEEDED";
   }
   return "?";
 }
@@ -61,6 +73,11 @@ struct TagResponse {
   /// The service was in degraded mode and answered with the plain CRF
   /// Viterbi decode instead of the GraphNER posterior-blend decode.
   bool degraded = false;
+  /// The label inventory `tags` decodes under — how the wire layer turns
+  /// tag ids into names for multi-entity models ("B-protein", ...). Null
+  /// falls back to the legacy single-type names ("B"/"I"/"O"), which is
+  /// what single() also spells, so the carrier never changes legacy bytes.
+  std::shared_ptr<const text::LabelSet> labels;
 
   [[nodiscard]] bool ok() const noexcept { return status == Status::kOk; }
 };

@@ -62,4 +62,71 @@ std::size_t positive_token_count(const std::vector<Tag>& tags) noexcept {
                     [](Tag t) { return t != Tag::kO; }));
 }
 
+std::vector<Tag> encode_typed_bio(const std::vector<TypedTokenSpan>& spans,
+                                  std::size_t length, const LabelSet& labels) {
+  std::vector<Tag> tags(length, labels.outside_tag());
+  for (const auto& span : spans) {
+    assert(span.first <= span.last);
+    assert(span.type < labels.num_types());
+    if (span.last >= length) continue;
+    bool occupied = false;
+    for (std::size_t i = span.first; i <= span.last; ++i)
+      if (!labels.is_outside(tags[i])) occupied = true;
+    if (occupied) continue;
+    tags[span.first] = labels.begin_tag(span.type);
+    for (std::size_t i = span.first + 1; i <= span.last; ++i)
+      tags[i] = labels.inside_tag(span.type);
+  }
+  return tags;
+}
+
+std::vector<TypedTokenSpan> decode_typed_bio(const std::vector<Tag>& tags,
+                                             const LabelSet& labels) {
+  std::vector<TypedTokenSpan> spans;
+  std::size_t start = 0;
+  std::size_t type = 0;
+  bool open = false;
+  const auto close = [&](std::size_t end) {
+    if (open) spans.push_back({start, end, type});
+    open = false;
+  };
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    const Tag tag = tags[i];
+    if (labels.is_outside(tag)) {
+      close(i - 1);
+    } else if (labels.is_begin(tag)) {
+      close(i - 1);
+      start = i;
+      type = labels.type_of(tag);
+      open = true;
+    } else {  // inside
+      const std::size_t t = labels.type_of(tag);
+      if (!open || t != type) {  // stray or type-switching I: new mention
+        close(i - 1);
+        start = i;
+        type = t;
+        open = true;
+      }
+    }
+  }
+  close(tags.empty() ? 0 : tags.size() - 1);
+  return spans;
+}
+
+void repair_bio(std::vector<Tag>& tags, const LabelSet& labels) noexcept {
+  Tag prev = labels.outside_tag();
+  for (auto& tag : tags) {
+    if (labels.is_illegal_transition(prev, tag))
+      tag = labels.begin_tag(labels.type_of(tag));
+    prev = tag;
+  }
+}
+
+std::size_t positive_token_count(const std::vector<Tag>& tags,
+                                 const LabelSet& labels) noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(tags.begin(), tags.end(),
+                    [&](Tag t) { return !labels.is_outside(t); }));
+}
+
 }  // namespace graphner::text

@@ -1,12 +1,30 @@
 // Conversion between mention spans and BIO tag sequences.
+//
+// The untyped functions are the legacy single-type (gene) path over
+// {B, I, O}. The typed variants generalize to any LabelSet: spans carry
+// an entity-type index and the codec round-trips through the canonical
+// B_t/I_t/O label layout (see label_set.hpp).
 #pragma once
 
 #include <vector>
 
+#include "src/text/label_set.hpp"
 #include "src/text/sentence.hpp"
 #include "src/text/tag.hpp"
 
 namespace graphner::text {
+
+/// An inclusive token range tagged with its entity-type index (into the
+/// owning LabelSet's entity_types()).
+struct TypedTokenSpan {
+  std::size_t first = 0;
+  std::size_t last = 0;
+  std::size_t type = 0;
+
+  [[nodiscard]] std::size_t length() const noexcept { return last - first + 1; }
+  friend bool operator==(const TypedTokenSpan&, const TypedTokenSpan&) = default;
+  friend auto operator<=>(const TypedTokenSpan&, const TypedTokenSpan&) = default;
+};
 
 /// Encode non-overlapping spans into a BIO sequence of length `length`.
 /// Spans must be sorted and in range; overlapping spans keep the first.
@@ -22,5 +40,27 @@ void repair_bio(std::vector<Tag>& tags) noexcept;
 
 /// Count tokens tagged B or I.
 [[nodiscard]] std::size_t positive_token_count(const std::vector<Tag>& tags) noexcept;
+
+// --- typed (multi-entity) variants ----------------------------------------
+
+/// Encode non-overlapping typed spans into a BIO sequence over `labels`.
+/// Same overlap rules as encode_bio (first span wins).
+[[nodiscard]] std::vector<Tag> encode_typed_bio(
+    const std::vector<TypedTokenSpan>& spans, std::size_t length,
+    const LabelSet& labels);
+
+/// Decode a typed BIO sequence into typed spans. A stray I_t (after O or
+/// after a different type) starts a new mention of type t; a type change
+/// between adjacent B/I labels closes the open mention.
+[[nodiscard]] std::vector<TypedTokenSpan> decode_typed_bio(
+    const std::vector<Tag>& tags, const LabelSet& labels);
+
+/// Repair illegal transitions in place under `labels` (I_t not preceded
+/// by B_t/I_t becomes B_t) — the N-class generalization of repair_bio.
+void repair_bio(std::vector<Tag>& tags, const LabelSet& labels) noexcept;
+
+/// Count tokens carrying any non-O label of `labels`.
+[[nodiscard]] std::size_t positive_token_count(const std::vector<Tag>& tags,
+                                               const LabelSet& labels) noexcept;
 
 }  // namespace graphner::text

@@ -1,0 +1,90 @@
+#include "src/text/label_set.hpp"
+
+#include <cctype>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace graphner::text {
+namespace {
+
+[[nodiscard]] bool valid_type_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (const char c : name)
+    if (std::isspace(static_cast<unsigned char>(c)) || c == '\t' || c == '\n')
+      return false;
+  return true;
+}
+
+}  // namespace
+
+LabelSet::LabelSet(std::vector<std::string> entity_types)
+    : types_(std::move(entity_types)) {
+  if (types_.size() == 1 && (types_[0].empty() || types_[0] == "GENE"))
+    types_.clear();  // canonical spelling of the legacy set
+  if (2 * types_.size() + 1 > kMaxLabels)
+    throw std::invalid_argument(
+        "label set too large: " + std::to_string(types_.size()) +
+        " entity types needs " + std::to_string(2 * types_.size() + 1) +
+        " labels, capacity is " + std::to_string(kMaxLabels));
+  std::unordered_set<std::string> seen;
+  for (const std::string& type : types_) {
+    if (!valid_type_name(type))
+      throw std::invalid_argument("bad entity type name \"" + type + '"');
+    if (!seen.insert(type).second)
+      throw std::invalid_argument("duplicate entity type \"" + type + '"');
+  }
+  names_.reserve(2 * types_.size() + 1);
+  if (types_.empty()) {
+    names_ = {"B", "I", "O"};
+  } else {
+    for (const std::string& type : types_) {
+      names_.push_back("B-" + type);
+      names_.push_back("I-" + type);
+    }
+    names_.push_back("O");
+  }
+}
+
+const LabelSet& LabelSet::single() {
+  static const LabelSet instance;
+  return instance;
+}
+
+std::optional<Tag> LabelSet::parse(std::string_view name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i)
+    if (names_[i] == name) return static_cast<Tag>(i);
+  return std::nullopt;
+}
+
+LabelSet label_set_from_names(const std::vector<std::string>& names) {
+  if (names.empty() || names.size() % 2 == 0)
+    throw std::invalid_argument(
+        "label set is not BIO-closed: " + std::to_string(names.size()) +
+        " label(s), expected an odd count (B/I pairs plus O)");
+  if (names.back() != "O")
+    throw std::invalid_argument(
+        "label set is not BIO-closed: last label must be \"O\", got \"" +
+        names.back() + '"');
+  {
+    std::unordered_set<std::string> seen;
+    for (const std::string& name : names)
+      if (!seen.insert(name).second)
+        throw std::invalid_argument("duplicate label \"" + name + '"');
+  }
+  if (names.size() == 3 && names[0] == "B" && names[1] == "I") return LabelSet{};
+  std::vector<std::string> types;
+  types.reserve(names.size() / 2);
+  for (std::size_t t = 0; 2 * t + 1 < names.size(); ++t) {
+    const std::string& b = names[2 * t];
+    const std::string& i = names[2 * t + 1];
+    if (b.rfind("B-", 0) != 0 || i.rfind("I-", 0) != 0 ||
+        b.substr(2) != i.substr(2) || b.size() <= 2)
+      throw std::invalid_argument(
+          "label set is not BIO-closed: expected matching \"B-x\"/\"I-x\" "
+          "pair, got \"" + b + "\"/\"" + i + '"');
+    types.push_back(b.substr(2));
+  }
+  return LabelSet{std::move(types)};
+}
+
+}  // namespace graphner::text

@@ -1,0 +1,245 @@
+// Runtime BIO label sets: the tag inventory a model decodes over.
+//
+// The paper's task is single-type (gene) mention detection — exactly
+// {B, I, O} — but the pipeline is corpus-agnostic: a JNLPBA-style corpus
+// tags five entity types with multi-class BIO. A LabelSet carries the
+// entity-type inventory and fixes the *canonical label layout*:
+//
+//   B_t = 2t,  I_t = 2t + 1   for entity type t in [0, T)
+//   O   = 2T                  (always the last label id)
+//
+// With one entity type this reproduces the legacy enum values B=0, I=1,
+// O=2 bit-for-bit, so every serialized model, wire tag name and decode of
+// the single-type world is unchanged. "O is last" is what lets
+// positive-mass checks generalize as sum(non-O) vs O without a lookup.
+//
+// text::Tag stays the open label-id type (its fixed uint8_t underlying
+// type legally holds values beyond the three named enumerators); only
+// code paths that hard-code the 3-label layout consult kNumTags, and
+// those take a LabelSet now.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/text/tag.hpp"
+
+namespace graphner::text {
+
+/// Capacity ceiling for the inline distribution type below (5 entity
+/// types = 11 labels fits; the constructor rejects larger inventories).
+inline constexpr std::size_t kMaxLabels = 12;
+
+/// A fixed-capacity, runtime-sized vector of per-label mass. Drop-in for
+/// the former std::array<double, kNumTags>: default-constructed size is 3
+/// (the legacy B/I/O shape), indexing/iteration/fill are unchanged, and
+/// no heap allocation ever happens, so per-vertex distributions stay
+/// cache-friendly in the propagation sweeps.
+class LabelDist {
+ public:
+  constexpr LabelDist() noexcept : size_(3) { values_.fill(0.0); }
+  constexpr explicit LabelDist(std::size_t n) noexcept
+      : size_(std::min(n, kMaxLabels)) {
+    values_.fill(0.0);
+  }
+  constexpr LabelDist(std::initializer_list<double> init) noexcept : size_(0) {
+    values_.fill(0.0);
+    for (const double v : init)
+      if (size_ < kMaxLabels) values_[size_++] = v;
+  }
+
+  [[nodiscard]] constexpr std::size_t size() const noexcept { return size_; }
+  /// Resize (newly exposed entries are zero; shrinking zeroes the tail so
+  /// a later re-grow starts clean).
+  constexpr void resize(std::size_t n) noexcept {
+    n = std::min(n, kMaxLabels);
+    for (std::size_t i = n; i < size_; ++i) values_[i] = 0.0;
+    for (std::size_t i = size_; i < n; ++i) values_[i] = 0.0;
+    size_ = n;
+  }
+  constexpr void fill(double v) noexcept {
+    for (std::size_t i = 0; i < size_; ++i) values_[i] = v;
+  }
+
+  [[nodiscard]] constexpr double& operator[](std::size_t i) noexcept {
+    return values_[i];
+  }
+  [[nodiscard]] constexpr double operator[](std::size_t i) const noexcept {
+    return values_[i];
+  }
+  [[nodiscard]] constexpr double* data() noexcept { return values_.data(); }
+  [[nodiscard]] constexpr const double* data() const noexcept {
+    return values_.data();
+  }
+  [[nodiscard]] constexpr double* begin() noexcept { return values_.data(); }
+  [[nodiscard]] constexpr double* end() noexcept { return values_.data() + size_; }
+  [[nodiscard]] constexpr const double* begin() const noexcept {
+    return values_.data();
+  }
+  [[nodiscard]] constexpr const double* end() const noexcept {
+    return values_.data() + size_;
+  }
+
+  [[nodiscard]] friend constexpr bool operator==(const LabelDist& a,
+                                                 const LabelDist& b) noexcept {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.size_; ++i)
+      if (a.values_[i] != b.values_[i]) return false;
+    return true;
+  }
+
+ private:
+  std::array<double, kMaxLabels> values_;
+  std::size_t size_;
+};
+
+/// A runtime-sized square label matrix (flat row-major, n x n). Replaces
+/// the former std::array<double, kNumTags * kNumTags>: flat indexing
+/// [a * n + b] still works via operator[], default shape is 3x3.
+class LabelMatrix {
+ public:
+  LabelMatrix() : n_(3), values_(9, 0.0) {}
+  explicit LabelMatrix(std::size_t n) : n_(n), values_(n * n, 0.0) {}
+
+  /// Labels per side (the row/column count, not the element count).
+  [[nodiscard]] std::size_t n() const noexcept { return n_; }
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  void fill(double v) noexcept {
+    std::fill(values_.begin(), values_.end(), v);
+  }
+
+  [[nodiscard]] double& operator[](std::size_t flat) noexcept {
+    return values_[flat];
+  }
+  [[nodiscard]] double operator[](std::size_t flat) const noexcept {
+    return values_[flat];
+  }
+  [[nodiscard]] double& at(std::size_t a, std::size_t b) noexcept {
+    return values_[a * n_ + b];
+  }
+  [[nodiscard]] double at(std::size_t a, std::size_t b) const noexcept {
+    return values_[a * n_ + b];
+  }
+  [[nodiscard]] double* data() noexcept { return values_.data(); }
+  [[nodiscard]] const double* data() const noexcept { return values_.data(); }
+  [[nodiscard]] double* begin() noexcept { return values_.data(); }
+  [[nodiscard]] double* end() noexcept { return values_.data() + values_.size(); }
+  [[nodiscard]] const double* begin() const noexcept { return values_.data(); }
+  [[nodiscard]] const double* end() const noexcept {
+    return values_.data() + values_.size();
+  }
+
+  [[nodiscard]] friend bool operator==(const LabelMatrix& a,
+                                       const LabelMatrix& b) noexcept {
+    return a.n_ == b.n_ && a.values_ == b.values_;
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<double> values_;
+};
+
+class LabelSet {
+ public:
+  /// The legacy single-type set {B, I, O} (entity type name "GENE" is
+  /// cosmetic; the wire names stay exactly "B"/"I"/"O").
+  LabelSet() : LabelSet(std::vector<std::string>{}) {}
+
+  /// Multi-class BIO over `entity_types` (canonical layout above). An
+  /// empty vector yields the legacy single-type set. Throws
+  /// std::invalid_argument on duplicates, empty names, names containing
+  /// whitespace/'\t'/'\n', or more than kMaxLabels labels.
+  explicit LabelSet(std::vector<std::string> entity_types);
+
+  /// The process-wide legacy instance, for defaulted reference parameters.
+  [[nodiscard]] static const LabelSet& single();
+
+  [[nodiscard]] std::size_t num_types() const noexcept { return types_.size(); }
+  [[nodiscard]] std::size_t num_labels() const noexcept {
+    return names_.size();
+  }
+  /// True for the legacy {B, I, O} shape (wire names "B"/"I"/"O").
+  [[nodiscard]] bool is_single() const noexcept { return types_.empty(); }
+
+  [[nodiscard]] Tag begin_tag(std::size_t type) const noexcept {
+    return static_cast<Tag>(2 * type);
+  }
+  [[nodiscard]] Tag inside_tag(std::size_t type) const noexcept {
+    return static_cast<Tag>(2 * type + 1);
+  }
+  [[nodiscard]] Tag outside_tag() const noexcept {
+    return static_cast<Tag>(num_labels() - 1);
+  }
+  [[nodiscard]] std::size_t outside_index() const noexcept {
+    return num_labels() - 1;
+  }
+
+  [[nodiscard]] bool is_begin(Tag tag) const noexcept {
+    const auto i = tag_index(tag);
+    return i + 1 < num_labels() && i % 2 == 0;
+  }
+  [[nodiscard]] bool is_inside(Tag tag) const noexcept {
+    const auto i = tag_index(tag);
+    return i + 1 < num_labels() && i % 2 == 1;
+  }
+  [[nodiscard]] bool is_outside(Tag tag) const noexcept {
+    return tag_index(tag) == outside_index();
+  }
+  /// Entity type of a B/I label (undefined for O).
+  [[nodiscard]] std::size_t type_of(Tag tag) const noexcept {
+    return tag_index(tag) / 2;
+  }
+
+  /// Wire name of a label ("B"/"I"/"O" single-type, "B-protein"/... else).
+  [[nodiscard]] std::string_view name(Tag tag) const noexcept {
+    const std::size_t i = tag_index(tag);
+    return i < names_.size() ? std::string_view{names_[i]} : "?";
+  }
+  [[nodiscard]] const std::vector<std::string>& names() const noexcept {
+    return names_;
+  }
+  [[nodiscard]] const std::vector<std::string>& entity_types() const noexcept {
+    return types_;
+  }
+
+  /// Parse a wire label name; nullopt for anything not in the set.
+  [[nodiscard]] std::optional<Tag> parse(std::string_view name) const;
+  /// Parse like the legacy parse_tag: unknown names map to O.
+  [[nodiscard]] Tag parse_or_outside(std::string_view name) const {
+    return parse(name).value_or(outside_tag());
+  }
+
+  /// Multi-class BIO constraint: I_t may only follow B_t or I_t.
+  [[nodiscard]] bool is_illegal_transition(Tag prev, Tag next) const noexcept {
+    if (!is_inside(next)) return false;
+    return !(prev == begin_tag(type_of(next)) || prev == next);
+  }
+  /// A sentence may not start inside a mention.
+  [[nodiscard]] bool is_legal_start(Tag tag) const noexcept {
+    return !is_inside(tag);
+  }
+
+  [[nodiscard]] friend bool operator==(const LabelSet& a, const LabelSet& b) {
+    return a.types_ == b.types_;
+  }
+
+ private:
+  std::vector<std::string> types_;  ///< empty = legacy single-type
+  std::vector<std::string> names_;  ///< one per label id, canonical order
+};
+
+/// Validate that `names` spells a canonically laid-out BIO label set
+/// (B-x/I-x pairs in order, O last; "B"/"I"/"O" for the single-type set)
+/// and build the LabelSet. Throws std::invalid_argument with a
+/// loader-friendly message ("duplicate label ...", "label set is not
+/// BIO-closed ...") otherwise — this is the entry point model
+/// deserialization uses, so corrupted label tables fail loudly.
+[[nodiscard]] LabelSet label_set_from_names(const std::vector<std::string>& names);
+
+}  // namespace graphner::text

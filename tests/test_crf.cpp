@@ -280,7 +280,7 @@ TEST(CrfPosteriors, RowsSumToOne) {
 TEST(BeliefViterbi, PicksArgmaxWhenTransitionsUniform) {
   TagTransitionMatrix uniform;
   uniform.fill(1.0);
-  std::vector<std::array<double, kNumTags>> beliefs = {
+  std::vector<text::LabelDist> beliefs = {
       {0.7, 0.1, 0.2}, {0.1, 0.8, 0.1}, {0.2, 0.1, 0.7}};
   const auto tags = belief_viterbi(beliefs, uniform);
   EXPECT_EQ(tags, (std::vector<Tag>{Tag::kB, Tag::kI, Tag::kO}));
@@ -290,9 +290,9 @@ TEST(BeliefViterbi, EnforcesBioConstraint) {
   TagTransitionMatrix uniform;
   uniform.fill(1.0);
   // Highest belief would be I at position 0 and I after O — both illegal.
-  std::vector<std::array<double, kNumTags>> beliefs = {{0.2, 0.6, 0.2},
-                                                       {0.1, 0.1, 0.8},
-                                                       {0.1, 0.8, 0.1}};
+  std::vector<text::LabelDist> beliefs = {{0.2, 0.6, 0.2},
+                                          {0.1, 0.1, 0.8},
+                                          {0.1, 0.8, 0.1}};
   const auto tags = belief_viterbi(beliefs, uniform);
   EXPECT_NE(tags[0], Tag::kI);
   for (std::size_t i = 1; i < tags.size(); ++i)

@@ -109,6 +109,22 @@ TEST_F(ModelIoMalformed, RejectsMissingVersion) {
   expect_load_error("graphner-model x\n", "version");
 }
 
+TEST_F(ModelIoMalformed, RejectsLabelsBlockCorruption) {
+  // The single-type model's labels block is "labels 3\nB\nI\nO\n".
+  const std::size_t block = saved_->find("labels 3\nB\nI\nO\n");
+  ASSERT_NE(block, std::string::npos);
+  std::string dup = *saved_;
+  dup.replace(block, 15, "labels 3\nB\nB\nO\n");
+  expect_load_error(dup, "duplicate label \"B\"");
+
+  std::string unclosed = *saved_;
+  unclosed.replace(block, 15, "labels 3\nB\nI\nQ\n");
+  expect_load_error(unclosed, "label set is not BIO-closed");
+
+  // Cut the stream mid-table: the truncation check names the labels table.
+  expect_load_error(saved_->substr(0, block + 13), "labels table truncated");
+}
+
 TEST_F(ModelIoMalformed, RejectsTrailingGarbage) {
   expect_load_error(*saved_ + "leftover bytes\n", "trailing garbage");
   // A second concatenated model is also trailing garbage.
@@ -160,6 +176,55 @@ class ModelIoMmap : public ::testing::Test {
       EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
           << e.what();
     }
+  }
+
+  /// Locate a section's payload [offset, size) via the section table.
+  static std::pair<std::uint64_t, std::uint64_t> find_section(
+      const std::string& bytes, std::string_view name) {
+    std::uint32_t count = 0;
+    std::memcpy(&count, &bytes[16], sizeof(count));  // header.section_count
+    char padded[16] = {};
+    std::memcpy(padded, name.data(), name.size());
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::size_t entry = sizeof(model_format::Header) +
+                                i * sizeof(model_format::SectionEntry);
+      if (std::memcmp(&bytes[entry], padded, sizeof(padded)) != 0) continue;
+      std::uint64_t off = 0, size = 0;
+      std::memcpy(&off, &bytes[entry + 16], 8);
+      std::memcpy(&size, &bytes[entry + 24], 8);
+      return {off, size};
+    }
+    ADD_FAILURE() << "section '" << name << "' not found";
+    return {0, 0};
+  }
+
+  /// Recompute header.payload_fingerprint over the (possibly mutated)
+  /// payloads so a content corruption reaches its own dedicated check
+  /// instead of tripping the fingerprint gate.
+  static void patch_fingerprint(std::string& bytes) {
+    std::uint32_t count = 0;
+    std::memcpy(&count, &bytes[16], sizeof(count));
+    std::uint64_t fp = model_format::kFnvOffsetBasis;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::size_t entry = sizeof(model_format::Header) +
+                                i * sizeof(model_format::SectionEntry);
+      std::uint64_t off = 0, size = 0;
+      std::memcpy(&off, &bytes[entry + 16], 8);
+      std::memcpy(&size, &bytes[entry + 24], 8);
+      fp = model_format::fnv1a(bytes.data() + off, size, fp);
+    }
+    std::memcpy(&bytes[24], &fp, 8);  // header.payload_fingerprint
+  }
+
+  /// Mutate the "labels" payload (same length) and re-fingerprint.
+  static std::string with_labels_payload(const std::string& bytes,
+                                         const std::string& payload) {
+    const auto [off, size] = find_section(bytes, "labels");
+    EXPECT_EQ(payload.size(), size) << "same-length mutation required";
+    std::string corrupt = bytes;
+    std::memcpy(&corrupt[off], payload.data(), payload.size());
+    patch_fingerprint(corrupt);
+    return corrupt;
   }
 
   static const corpus::LabelledCorpus* data_;
@@ -297,23 +362,41 @@ TEST_F(ModelIoMmap, RejectsRaggedWeightsSection) {
   // Shrink the weights section by one byte and re-fingerprint so the
   // not-a-multiple-of-8 check is what fires, not the corruption check.
   std::string corrupt = *bytes_;
-  const std::size_t section0 = sizeof(model_format::Header);
-  const std::size_t section1 = section0 + sizeof(model_format::SectionEntry);
-  std::uint64_t meta_off = 0, meta_size = 0, w_off = 0, w_size = 0;
-  std::memcpy(&meta_off, &corrupt[section0 + 16], 8);
-  std::memcpy(&meta_size, &corrupt[section0 + 24], 8);
-  std::memcpy(&w_off, &corrupt[section1 + 16], 8);
-  std::memcpy(&w_size, &corrupt[section1 + 24], 8);
+  // weights is the last section; its entry is the last in the table.
+  const std::size_t weights_entry =
+      sizeof(model_format::Header) + 2 * sizeof(model_format::SectionEntry);
+  std::uint64_t w_size = 0;
+  std::memcpy(&w_size, &corrupt[weights_entry + 24], 8);
   w_size -= 1;
   corrupt.resize(corrupt.size() - 1);
-  std::memcpy(&corrupt[section1 + 24], &w_size, 8);
+  std::memcpy(&corrupt[weights_entry + 24], &w_size, 8);
   const std::uint64_t file_size = corrupt.size();
   std::memcpy(&corrupt[32], &file_size, 8);  // header.file_size
-  const std::uint64_t fingerprint = model_format::fnv1a(
-      corrupt.data() + w_off, w_size,
-      model_format::fnv1a(corrupt.data() + meta_off, meta_size));
-  std::memcpy(&corrupt[24], &fingerprint, 8);  // header.payload_fingerprint
+  patch_fingerprint(corrupt);
   expect_mmap_error(corrupt, "not a multiple of 8");
+}
+
+// --- labels section corruption (multi-entity label inventory) --------------
+//
+// The single-type labels payload is exactly "3\nB\nI\nO\n"; each test mutates
+// it in place (same length, fingerprint re-patched) so the labels parser's
+// own check fires, each with its distinct message.
+
+TEST_F(ModelIoMmap, RejectsLabelsSectionTruncatedTable) {
+  // Promise more labels than the payload holds.
+  expect_mmap_error(with_labels_payload(*bytes_, "9\nB\nI\nO\n"),
+                    "labels section truncated");
+}
+
+TEST_F(ModelIoMmap, RejectsLabelsSectionDuplicateLabel) {
+  expect_mmap_error(with_labels_payload(*bytes_, "3\nB\nB\nO\n"),
+                    "duplicate label \"B\"");
+}
+
+TEST_F(ModelIoMmap, RejectsLabelsSectionNotBioClosed) {
+  // Last label must be O; a mutated tail breaks BIO closure.
+  expect_mmap_error(with_labels_payload(*bytes_, "3\nB\nI\nQ\n"),
+                    "label set is not BIO-closed");
 }
 
 }  // namespace
